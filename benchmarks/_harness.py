@@ -1,0 +1,117 @@
+"""Shared benchmark harness.
+
+Every benchmark module regenerates one figure of the paper's evaluation:
+each (sweep value, algorithm) pair is a pytest-benchmark case replaying an
+identical workload, so the pytest-benchmark table *is* the figure's data
+series.  Cell-access metrics ride along in ``extra_info`` and in the
+module-level REGISTRY, which the trailing (non-benchmark) shape tests use
+to assert the paper's qualitative claims — who wins, and how curves move.
+
+Scale: benchmarks default to ``REPRO_BENCH_SCALE`` (default 0.02; 2% of
+the paper's population and query counts).  Raise it toward 1.0 to run the
+paper's full sizes.  All sweeps keep the paper's parameter ratios.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine.metrics import RunReport
+from repro.engine.server import run_workload
+from repro.experiments.common import (
+    build_monitor,
+    make_workload,
+    scaled_grid,
+    scaled_spec,
+)
+from repro.mobility.workload import Workload, WorkloadSpec
+
+ALGORITHMS = ("CPM", "YPK-CNN", "SEA-CNN")
+
+
+def bench_scale() -> float:
+    """Workload scale for the benchmark suite (env-overridable)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+
+
+_WORKLOADS: dict[WorkloadSpec, Workload] = {}
+
+
+def cached_workload(spec: WorkloadSpec) -> Workload:
+    """Materialize (once) and cache the workload for a spec."""
+    workload = _WORKLOADS.get(spec)
+    if workload is None:
+        workload = make_workload(spec)
+        _WORKLOADS[spec] = workload
+    return workload
+
+
+def replay(algorithm: str, workload: Workload, cells_per_axis: int) -> RunReport:
+    """One full replay of a workload into a fresh monitor."""
+    monitor = build_monitor(algorithm, cells_per_axis, bounds=workload.spec.bounds)
+    return run_workload(monitor, workload)
+
+
+def run_benchmark_case(
+    benchmark,
+    registry: dict,
+    key: tuple,
+    algorithm: str,
+    workload: Workload,
+    cells_per_axis: int,
+) -> RunReport:
+    """Standard benchmark body: time a full replay, record the report."""
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["cells_per_axis"] = cells_per_axis
+    report = benchmark.pedantic(
+        replay, args=(algorithm, workload, cells_per_axis), rounds=1, iterations=1
+    )
+    benchmark.extra_info["cell_accesses_per_query_per_ts"] = round(
+        report.cell_accesses_per_query_per_timestamp, 4
+    )
+    benchmark.extra_info["total_cell_scans"] = report.total_cell_scans
+    registry[key] = report
+    return report
+
+
+def series(registry: dict, algorithm: str, metric: str = "total_processing_sec"):
+    """Extract one algorithm's series from a registry, in sweep order."""
+    out = []
+    for (value, algo), report in registry.items():
+        if algo == algorithm:
+            out.append((value, getattr(report, metric)))
+    return out
+
+
+def print_series_table(title: str, registry: dict, algorithms=ALGORITHMS) -> None:
+    """Print the regenerated figure series (visible with pytest -s)."""
+    values = []
+    for (value, _algo) in registry.items():
+        if value[0] not in values:
+            values.append(value[0])
+    print(f"\n== {title} ==")
+    header = ["param"] + [f"{a} cpu(s)" for a in algorithms] + [
+        f"{a} acc/q/ts" for a in algorithms
+    ]
+    print("  ".join(header))
+    for value in values:
+        row = [str(value)]
+        for algo in algorithms:
+            report = registry.get((value, algo))
+            row.append(f"{report.total_processing_sec:.3f}" if report else "-")
+        for algo in algorithms:
+            report = registry.get((value, algo))
+            row.append(
+                f"{report.cell_accesses_per_query_per_timestamp:.2f}" if report else "-"
+            )
+        print("  ".join(row))
+
+
+def default_spec(**overrides) -> WorkloadSpec:
+    """Scaled Table 6.1 defaults for the benchmark suite."""
+    return scaled_spec(bench_scale(), **overrides)
+
+
+def default_grid() -> int:
+    """Scaled default grid granularity (128 at full scale)."""
+    return scaled_grid(bench_scale())

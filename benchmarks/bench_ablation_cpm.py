@@ -1,0 +1,59 @@
+"""Ablations of CPM's design choices (DESIGN.md Section 6).
+
+Variants replaying the same workload:
+
+* full            — the paper's algorithm;
+* no-merge        — Section 3.3 batch merge disabled (any outgoing NN
+                    forces a re-computation, per Section 3.2 semantics);
+* no-bookkeeping  — visit list/heap reuse disabled (the low-memory
+                    fallback: recompute from scratch).
+
+Expected: full <= no-merge <= no-bookkeeping in cell scans; the deltas
+quantify the contribution of each mechanism.
+"""
+
+import pytest
+
+from _harness import cached_workload, default_grid, default_spec
+from repro.engine.server import run_workload
+from repro.experiments.ablations import VARIANTS, build_variant
+
+REGISTRY: dict = {}
+
+
+def replay_variant(variant: str):
+    workload = cached_workload(default_spec())
+    monitor = build_variant(variant, default_grid(), workload.spec.bounds)
+    return run_workload(monitor, workload)
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_ablation(benchmark, variant):
+    benchmark.group = "CPM ablations"
+    report = benchmark.pedantic(replay_variant, args=(variant,), rounds=1, iterations=1)
+    benchmark.extra_info["total_cell_scans"] = report.total_cell_scans
+    benchmark.extra_info["cell_accesses_per_query_per_ts"] = round(
+        report.cell_accesses_per_query_per_timestamp, 4
+    )
+    REGISTRY[variant] = report
+
+
+def test_ablation_shape():
+    if len(REGISTRY) < 3:
+        pytest.skip("benchmarks did not run")
+    print("\n== CPM ablations (cell scans) ==")
+    for variant, report in REGISTRY.items():
+        print(
+            f"  {variant:15s} cpu={report.total_processing_sec:.3f}s "
+            f"scans={report.total_cell_scans}"
+        )
+    full = REGISTRY["full"].total_cell_scans
+    no_merge = REGISTRY["no-merge"].total_cell_scans
+    no_book = REGISTRY["no-bookkeeping"].total_cell_scans
+    # Each mechanism saves work: the merge avoids re-computations entirely
+    # when incomers offset outgoing NNs; book-keeping reuse shortens each
+    # re-computation.  (The two ablations are not ordered relative to each
+    # other: no-merge recomputes more *often*, no-bookkeeping makes each
+    # recomputation *pricier* — which dominates depends on the workload.)
+    assert full <= no_merge
+    assert full <= no_book

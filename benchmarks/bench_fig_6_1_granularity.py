@@ -1,0 +1,56 @@
+"""Figure 6.1 — CPU time versus grid granularity.
+
+Paper: grids 32^2 .. 1024^2 at Table 6.1 defaults; CPM lowest everywhere,
+SEA-CNN worse than YPK-CNN (moving-query overhead), every method degrading
+at over-fine granularities.  Granularities scale with the workload so that
+objects-per-cell match the paper's densities (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from _harness import (
+    ALGORITHMS,
+    bench_scale,
+    cached_workload,
+    default_spec,
+    print_series_table,
+    run_benchmark_case,
+)
+from repro.experiments.common import scaled_grid
+from repro.experiments.fig_6_1 import PAPER_GRIDS
+
+REGISTRY: dict = {}
+
+
+def grids() -> list[int]:
+    seen = []
+    for paper_grid in PAPER_GRIDS:
+        grid = scaled_grid(bench_scale(), paper_grid)
+        if grid not in seen:
+            seen.append(grid)
+    return seen
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("grid", grids())
+def test_fig_6_1(benchmark, grid, algorithm):
+    benchmark.group = f"fig6.1 granularity grid={grid}"
+    workload = cached_workload(default_spec())
+    run_benchmark_case(benchmark, REGISTRY, (grid, algorithm), algorithm, workload, grid)
+
+
+def test_fig_6_1_shape():
+    """CPM must scan the fewest cells at every granularity."""
+    if not REGISTRY:
+        pytest.skip("benchmarks did not run (collected with -k or --benchmark-skip)")
+    print_series_table("Figure 6.1: CPU vs granularity", REGISTRY)
+    for grid in grids():
+        cpm = REGISTRY[(grid, "CPM")]
+        ypk = REGISTRY[(grid, "YPK-CNN")]
+        sea = REGISTRY[(grid, "SEA-CNN")]
+        assert (
+            cpm.total_cell_scans < ypk.total_cell_scans
+        ), f"CPM should scan fewer cells than YPK-CNN at {grid}^2"
+        assert (
+            cpm.total_cell_scans < sea.total_cell_scans
+        ), f"CPM should scan fewer cells than SEA-CNN at {grid}^2"

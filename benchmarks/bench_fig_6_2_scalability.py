@@ -1,0 +1,98 @@
+"""Figure 6.2 — scalability: CPU time versus N (6.2a) and versus n (6.2b).
+
+Paper: all methods grow roughly linearly in both the object population and
+the query count, with the baselines far more sensitive than CPM.
+"""
+
+import pytest
+
+from _harness import (
+    ALGORITHMS,
+    bench_scale,
+    cached_workload,
+    default_grid,
+    default_spec,
+    print_series_table,
+    run_benchmark_case,
+)
+from repro.experiments.fig_6_2 import PAPER_N, PAPER_QUERIES
+
+REGISTRY_N: dict = {}
+REGISTRY_Q: dict = {}
+
+
+def object_counts() -> list[int]:
+    seen = []
+    for paper_n in PAPER_N:
+        n = max(200, round(paper_n * bench_scale()))
+        if n not in seen:
+            seen.append(n)
+    return seen
+
+
+def query_counts() -> list[int]:
+    seen = []
+    for paper_n in PAPER_QUERIES:
+        n = max(2, round(paper_n * bench_scale()))
+        if n not in seen:
+            seen.append(n)
+    return seen
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("n_objects", object_counts())
+def test_fig_6_2a_objects(benchmark, n_objects, algorithm):
+    benchmark.group = f"fig6.2a N={n_objects}"
+    workload = cached_workload(default_spec(n_objects=n_objects))
+    run_benchmark_case(
+        benchmark, REGISTRY_N, (n_objects, algorithm), algorithm, workload,
+        default_grid(),
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("n_queries", query_counts())
+def test_fig_6_2b_queries(benchmark, n_queries, algorithm):
+    benchmark.group = f"fig6.2b n={n_queries}"
+    workload = cached_workload(default_spec(n_queries=n_queries))
+    run_benchmark_case(
+        benchmark, REGISTRY_Q, (n_queries, algorithm), algorithm, workload,
+        default_grid(),
+    )
+
+
+def test_fig_6_2_shape():
+    """Cost grows with N and n; CPM scans fewest cells at every point."""
+    if not REGISTRY_N or not REGISTRY_Q:
+        pytest.skip("benchmarks did not run")
+    print_series_table("Figure 6.2a: CPU vs N", REGISTRY_N)
+    print_series_table("Figure 6.2b: CPU vs n", REGISTRY_Q)
+    for registry in (REGISTRY_N, REGISTRY_Q):
+        for (value, algo), report in registry.items():
+            if algo == "CPM":
+                assert (
+                    report.total_cell_scans
+                    < registry[(value, "YPK-CNN")].total_cell_scans
+                )
+                assert (
+                    report.total_cell_scans
+                    < registry[(value, "SEA-CNN")].total_cell_scans
+                )
+    # 6.2a: CPU grows with N (note: *cell scans* legitimately shrink with N
+    # at fixed k, because best_dist — and hence every search region —
+    # contracts as density rises; the paper's y-axis is CPU time).
+    for algo in ALGORITHMS:
+        points = sorted(
+            (value, r.total_processing_sec)
+            for (value, a), r in REGISTRY_N.items()
+            if a == algo
+        )
+        assert points[-1][1] > 0.8 * points[0][1], ("N", algo)
+    # 6.2b: work grows with the query count for every method.
+    for algo in ALGORITHMS:
+        points = sorted(
+            (value, r.total_cell_scans)
+            for (value, a), r in REGISTRY_Q.items()
+            if a == algo
+        )
+        assert points[-1][1] >= points[0][1], ("n", algo)

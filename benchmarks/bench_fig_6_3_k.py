@@ -1,0 +1,65 @@
+"""Figure 6.3 — effect of k: CPU time (6.3a) and cell accesses (6.3b).
+
+Paper: costs grow with k; CPM stays far below the baselines in both
+metrics, and for small k CPM performs less than one cell access per query
+per timestamp (results maintained from the update stream alone).
+"""
+
+import pytest
+
+from _harness import (
+    ALGORITHMS,
+    bench_scale,
+    cached_workload,
+    default_grid,
+    default_spec,
+    print_series_table,
+    run_benchmark_case,
+)
+from repro.experiments.fig_6_3 import PAPER_K
+
+REGISTRY: dict = {}
+
+
+def k_values() -> list[int]:
+    spec = default_spec()
+    seen = []
+    for paper_k in PAPER_K:
+        k = min(paper_k, max(1, spec.n_objects // 8))
+        if k not in seen:
+            seen.append(k)
+    return seen
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("k", k_values())
+def test_fig_6_3(benchmark, k, algorithm):
+    benchmark.group = f"fig6.3 k={k}"
+    workload = cached_workload(default_spec(k=k))
+    run_benchmark_case(
+        benchmark, REGISTRY, (k, algorithm), algorithm, workload, default_grid()
+    )
+
+
+def test_fig_6_3_shape():
+    if not REGISTRY:
+        pytest.skip("benchmarks did not run")
+    print_series_table("Figure 6.3: CPU and cell accesses vs k", REGISTRY)
+    for k in k_values():
+        cpm = REGISTRY[(k, "CPM")]
+        ypk = REGISTRY[(k, "YPK-CNN")]
+        sea = REGISTRY[(k, "SEA-CNN")]
+        # 6.3b: CPM accesses far fewer cells at every k.
+        assert cpm.total_cell_scans < ypk.total_cell_scans
+        assert cpm.total_cell_scans < sea.total_cell_scans
+    # For the smallest k, CPM stays within ~1 access per query per
+    # timestamp (the paper reports < 1 for k=1 and k=4).
+    smallest = min(k_values())
+    cpm_small = REGISTRY[(smallest, "CPM")]
+    assert cpm_small.cell_accesses_per_query_per_timestamp < 5.0
+    # Cell accesses grow with k for every algorithm.
+    for algo in ALGORITHMS:
+        accesses = [
+            REGISTRY[(k, algo)].total_cell_scans for k in sorted(k_values())
+        ]
+        assert accesses[-1] > accesses[0], algo

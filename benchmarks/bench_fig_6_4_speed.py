@@ -1,0 +1,73 @@
+"""Figure 6.4 — effect of object speed (6.4a) and query speed (6.4b).
+
+Paper: CPM is practically unaffected by object speed while both baselines
+degrade (their search regions grow with how far the previous neighbors
+moved); for query speed, CPM and YPK-CNN are insensitive while SEA-CNN's
+cost grows with the query displacement.
+"""
+
+import pytest
+
+from _harness import (
+    ALGORITHMS,
+    cached_workload,
+    default_grid,
+    default_spec,
+    print_series_table,
+    run_benchmark_case,
+)
+
+SPEEDS = ("slow", "medium", "fast")
+
+REGISTRY_OBJ: dict = {}
+REGISTRY_QRY: dict = {}
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("speed", SPEEDS)
+def test_fig_6_4a_object_speed(benchmark, speed, algorithm):
+    benchmark.group = f"fig6.4a object={speed}"
+    workload = cached_workload(default_spec(object_speed=speed))
+    run_benchmark_case(
+        benchmark, REGISTRY_OBJ, (speed, algorithm), algorithm, workload,
+        default_grid(),
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("speed", SPEEDS)
+def test_fig_6_4b_query_speed(benchmark, speed, algorithm):
+    benchmark.group = f"fig6.4b query={speed}"
+    workload = cached_workload(default_spec(query_speed=speed))
+    run_benchmark_case(
+        benchmark, REGISTRY_QRY, (speed, algorithm), algorithm, workload,
+        default_grid(),
+    )
+
+
+def test_fig_6_4_shape():
+    if not REGISTRY_OBJ or not REGISTRY_QRY:
+        pytest.skip("benchmarks did not run")
+    print_series_table("Figure 6.4a: CPU vs object speed", REGISTRY_OBJ)
+    print_series_table("Figure 6.4b: CPU vs query speed", REGISTRY_QRY)
+    # 6.4a: the baselines' search regions grow with object speed — their
+    # cell scans at fast speed far exceed their slow-speed scans, while
+    # CPM's growth is comparatively mild.
+    for algo in ("YPK-CNN", "SEA-CNN"):
+        slow = REGISTRY_OBJ[("slow", algo)].total_cell_scans
+        fast = REGISTRY_OBJ[("fast", algo)].total_cell_scans
+        assert fast > slow, algo
+    cpm_slow = REGISTRY_OBJ[("slow", "CPM")].total_cell_scans
+    cpm_fast = REGISTRY_OBJ[("fast", "CPM")].total_cell_scans
+    ypk_growth = (
+        REGISTRY_OBJ[("fast", "YPK-CNN")].total_cell_scans
+        / max(1, REGISTRY_OBJ[("slow", "YPK-CNN")].total_cell_scans)
+    )
+    cpm_growth = cpm_fast / max(1, cpm_slow)
+    assert cpm_growth < ypk_growth, "CPM should be less speed-sensitive than YPK"
+    # CPM scans fewest cells at every speed in both sweeps.
+    for registry in (REGISTRY_OBJ, REGISTRY_QRY):
+        for speed in SPEEDS:
+            cpm = registry[(speed, "CPM")].total_cell_scans
+            assert cpm < registry[(speed, "YPK-CNN")].total_cell_scans
+            assert cpm < registry[(speed, "SEA-CNN")].total_cell_scans

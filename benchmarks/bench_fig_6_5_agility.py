@@ -1,0 +1,70 @@
+"""Figure 6.5 — effect of object agility f_obj (6.5a) and query agility
+f_qry (6.5b).
+
+Paper: every method's cost grows with the fraction of moving objects; CPM
+grows linearly (index maintenance).  CPM's cost also grows with query
+agility (fresh NN computations for moving queries), while YPK-CNN is
+nearly flat in f_qry (it re-evaluates everything anyway).
+"""
+
+import pytest
+
+from _harness import (
+    ALGORITHMS,
+    cached_workload,
+    default_grid,
+    default_spec,
+    print_series_table,
+    run_benchmark_case,
+)
+
+AGILITIES = (0.1, 0.2, 0.3, 0.4, 0.5)
+
+REGISTRY_OBJ: dict = {}
+REGISTRY_QRY: dict = {}
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("agility", AGILITIES)
+def test_fig_6_5a_object_agility(benchmark, agility, algorithm):
+    benchmark.group = f"fig6.5a f_obj={agility}"
+    workload = cached_workload(default_spec(object_agility=agility))
+    run_benchmark_case(
+        benchmark, REGISTRY_OBJ, (agility, algorithm), algorithm, workload,
+        default_grid(),
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("agility", AGILITIES)
+def test_fig_6_5b_query_agility(benchmark, agility, algorithm):
+    benchmark.group = f"fig6.5b f_qry={agility}"
+    workload = cached_workload(default_spec(query_agility=agility))
+    run_benchmark_case(
+        benchmark, REGISTRY_QRY, (agility, algorithm), algorithm, workload,
+        default_grid(),
+    )
+
+
+def test_fig_6_5_shape():
+    if not REGISTRY_OBJ or not REGISTRY_QRY:
+        pytest.skip("benchmarks did not run")
+    print_series_table("Figure 6.5a: CPU vs object agility", REGISTRY_OBJ)
+    print_series_table("Figure 6.5b: CPU vs query agility", REGISTRY_QRY)
+    # 6.5a: cell scans grow with object agility for the baselines (more
+    # updates -> more invalidations).
+    for algo in ALGORITHMS:
+        low = REGISTRY_OBJ[(0.1, algo)].total_cell_scans
+        high = REGISTRY_OBJ[(0.5, algo)].total_cell_scans
+        assert high >= low, algo
+    # 6.5b: CPM's scans grow with query agility (moving queries recompute
+    # from scratch).
+    cpm_low = REGISTRY_QRY[(0.1, "CPM")].total_cell_scans
+    cpm_high = REGISTRY_QRY[(0.5, "CPM")].total_cell_scans
+    assert cpm_high > cpm_low
+    # CPM scans fewest cells everywhere.
+    for registry in (REGISTRY_OBJ, REGISTRY_QRY):
+        for agility in AGILITIES:
+            cpm = registry[(agility, "CPM")].total_cell_scans
+            assert cpm < registry[(agility, "YPK-CNN")].total_cell_scans
+            assert cpm < registry[(agility, "SEA-CNN")].total_cell_scans

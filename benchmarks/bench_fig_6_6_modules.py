@@ -1,0 +1,80 @@
+"""Figure 6.6 — module isolation versus N: constantly moving queries
+(6.6a, NN computation) and static queries (6.6b, result maintenance).
+
+Paper: 6.6a compares only CPM and YPK-CNN (SEA-CNN has no first-time
+evaluation module); CPM wins and the gap widens with N.  6.6b shows
+YPK-CNN and SEA-CNN behaving similarly while CPM performs far fewer
+computations.
+"""
+
+import pytest
+
+from _harness import (
+    ALGORITHMS,
+    bench_scale,
+    cached_workload,
+    default_grid,
+    default_spec,
+    print_series_table,
+    run_benchmark_case,
+)
+from repro.experiments.fig_6_2 import PAPER_N
+
+REGISTRY_MOVING: dict = {}
+REGISTRY_STATIC: dict = {}
+
+
+def object_counts() -> list[int]:
+    seen = []
+    for paper_n in PAPER_N:
+        n = max(200, round(paper_n * bench_scale()))
+        if n not in seen:
+            seen.append(n)
+    return seen
+
+
+@pytest.mark.parametrize("algorithm", ("CPM", "YPK-CNN"))
+@pytest.mark.parametrize("n_objects", object_counts())
+def test_fig_6_6a_moving_queries(benchmark, n_objects, algorithm):
+    benchmark.group = f"fig6.6a moving N={n_objects}"
+    workload = cached_workload(
+        default_spec(n_objects=n_objects, query_agility=1.0)
+    )
+    run_benchmark_case(
+        benchmark, REGISTRY_MOVING, (n_objects, algorithm), algorithm, workload,
+        default_grid(),
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("n_objects", object_counts())
+def test_fig_6_6b_static_queries(benchmark, n_objects, algorithm):
+    benchmark.group = f"fig6.6b static N={n_objects}"
+    workload = cached_workload(
+        default_spec(n_objects=n_objects, query_agility=0.0)
+    )
+    run_benchmark_case(
+        benchmark, REGISTRY_STATIC, (n_objects, algorithm), algorithm, workload,
+        default_grid(),
+    )
+
+
+def test_fig_6_6_shape():
+    if not REGISTRY_MOVING or not REGISTRY_STATIC:
+        pytest.skip("benchmarks did not run")
+    print_series_table(
+        "Figure 6.6a: constantly moving queries vs N", REGISTRY_MOVING,
+        algorithms=("CPM", "YPK-CNN"),
+    )
+    print_series_table("Figure 6.6b: static queries vs N", REGISTRY_STATIC)
+    # 6.6a: CPM's NN computation module processes fewer cells than
+    # YPK-CNN's two-step search at every N.
+    for n in object_counts():
+        cpm = REGISTRY_MOVING[(n, "CPM")]
+        ypk = REGISTRY_MOVING[(n, "YPK-CNN")]
+        assert cpm.total_cell_scans < ypk.total_cell_scans, n
+    # 6.6b: result maintenance — CPM far below both baselines.
+    for n in object_counts():
+        cpm = REGISTRY_STATIC[(n, "CPM")]
+        assert cpm.total_cell_scans < REGISTRY_STATIC[(n, "YPK-CNN")].total_cell_scans
+        assert cpm.total_cell_scans < REGISTRY_STATIC[(n, "SEA-CNN")].total_cell_scans

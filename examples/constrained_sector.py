@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Constrained NN monitoring: watch the nearest object inside a sector.
+
+Figure 5.3's scenario: a dispatcher at q only cares about units to the
+northeast (say, the direction of an incident).  CPM restricts the search
+and the monitoring to cells intersecting the constraint region; objects
+outside it never enter the result, no matter how close they come.
+
+Run:  python examples/constrained_sector.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import CPMMonitor, ObjectUpdate, Rect
+
+
+def main() -> None:
+    rng = random.Random(11)
+
+    monitor = CPMMonitor(cells_per_axis=32)
+    units = {oid: (rng.random(), rng.random()) for oid in range(300)}
+    monitor.load_objects(units.items())
+
+    q = (0.5, 0.5)
+    northeast = Rect(0.5, 0.5, 1.0, 1.0)
+    result = monitor.install_constrained_query(qid=0, point=q, region=northeast, k=2)
+    print("dispatcher at (0.5, 0.5), sector = northeast quadrant")
+    print("initial 2 nearest units in sector:")
+    for dist, oid in result:
+        x, y = units[oid]
+        print(f"  unit {oid:3d} at ({x:.3f}, {y:.3f}), distance {dist:.4f}")
+
+    # A unit rushes toward the dispatcher but from the southwest: it gets
+    # arbitrarily close yet never enters the sector-constrained result.
+    intruder = max(
+        units, key=lambda o: (units[o][0] - 0.5) ** 2 + (units[o][1] - 0.5) ** 2
+    )
+    print(f"\nunit {intruder} approaches from the southwest (outside sector):")
+    monitor.process([ObjectUpdate(intruder, units[intruder], (0.499, 0.499))])
+    units[intruder] = (0.499, 0.499)
+    top = monitor.result(0)
+    assert intruder not in [oid for _d, oid in top]
+    print(f"  result unchanged: {[oid for _d, oid in top]} (intruder excluded)")
+
+    # The same unit crosses into the sector: now it dominates the result.
+    print(f"unit {intruder} crosses into the sector at (0.501, 0.501):")
+    monitor.process([ObjectUpdate(intruder, units[intruder], (0.501, 0.501))])
+    units[intruder] = (0.501, 0.501)
+    top = monitor.result(0)
+    print(f"  new nearest-in-sector: unit {top[0][1]} at distance {top[0][0]:.4f}")
+    assert top[0][1] == intruder
+
+    # Verify against a filtered brute-force scan.
+    import math
+
+    expected = sorted(
+        (math.hypot(x - q[0], y - q[1]), oid)
+        for oid, (x, y) in units.items()
+        if northeast.contains_point(x, y)
+    )[:2]
+    assert monitor.result(0) == expected
+    print("\nbrute-force verification: OK")
+
+
+if __name__ == "__main__":
+    main()

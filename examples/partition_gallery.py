@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Partition gallery: the paper's figures, rendered in ASCII.
+
+Draws the conceptual partitioning of Figure 3.1b (point query and
+aggregate-query MBR variants), a live influence region, and the object
+density of a skewed grid — all with the library's terminal renderers.
+
+Run:  python examples/partition_gallery.py
+"""
+
+from __future__ import annotations
+
+from repro import CPMMonitor, WorkloadSpec
+from repro.core.partition import ConceptualPartition
+from repro.core.strategies import AggregateNNStrategy
+from repro.mobility.skewed import SkewedGenerator
+from repro.vis.ascii import (
+    partition_legend,
+    render_grid_occupancy,
+    render_influence_region,
+    render_partition,
+)
+
+
+def main() -> None:
+    print("Figure 3.1b — conceptual partitioning around a query cell:")
+    partition = ConceptualPartition.around_cell((4, 4), 9, 9)
+    print(render_partition(partition))
+    print(partition_legend())
+
+    print("\nFigure 5.1a — partitioning around an aggregate query's MBR:")
+    monitor = CPMMonitor(cells_per_axis=9)
+    strategy = AggregateNNStrategy([(0.30, 0.35), (0.55, 0.45), (0.45, 0.60)], "sum")
+    block = strategy.partition(monitor.grid)
+    print(render_partition(block))
+
+    print("\nA live influence region (200 objects, k=8):")
+    import random
+
+    rng = random.Random(5)
+    monitor = CPMMonitor(cells_per_axis=24)
+    monitor.load_objects(
+        (oid, (rng.random(), rng.random())) for oid in range(200)
+    )
+    monitor.install_query(0, (0.45, 0.55), k=8)
+    print(render_influence_region(monitor, 0))
+    print("Q = query cell, # = influence region (marked cells)")
+
+    print("\nObject density of a skewed workload (4 hotspots):")
+    spec = WorkloadSpec(n_objects=600, n_queries=0, timestamps=0, seed=2)
+    workload = SkewedGenerator(spec, hotspots=4, spread=0.05).generate()
+    from repro.grid.grid import Grid
+
+    grid = Grid(24)
+    for oid, (x, y) in workload.initial_objects.items():
+        grid.insert(oid, x, y)
+    print(render_grid_occupancy(grid))
+
+
+if __name__ == "__main__":
+    main()

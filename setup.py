@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The reproduction environment is offline and has setuptools but no
+``wheel`` package, so PEP 660 editable installs (which must build a wheel)
+fail.  Keeping a ``setup.py`` and omitting the ``[build-system]`` table in
+pyproject.toml lets ``pip install -e .`` take the legacy ``setup.py
+develop`` path, which needs neither network access nor ``wheel``.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""Analytical performance model of Section 4.1 (system S12 of DESIGN.md).
+
+* :mod:`repro.analysis.model` — closed-form estimates of the influence
+  region size (``C_inf``, ``O_inf``), the book-keeping size (``C_SH``),
+  the memory footprint (``Space_G``, ``Space_QT``, ``Space_CPM``) and the
+  per-cycle running time (``Time_CPM``) under the uniform-distribution
+  assumption.
+* :mod:`repro.analysis.space` — memory-unit accounting for all three
+  monitoring methods, reproducing the footnote-6 space comparison.
+"""
+
+from repro.analysis.model import (
+    best_dist_estimate,
+    cinf_estimate,
+    csh_estimate,
+    oinf_estimate,
+    space_cpm,
+    space_grid,
+    space_query_table,
+    time_cpm,
+)
+from repro.analysis.space import (
+    measured_space_units,
+    modeled_space_units,
+    space_report,
+    units_to_mbytes,
+)
+
+__all__ = [
+    "best_dist_estimate",
+    "cinf_estimate",
+    "csh_estimate",
+    "measured_space_units",
+    "modeled_space_units",
+    "oinf_estimate",
+    "space_cpm",
+    "space_grid",
+    "space_query_table",
+    "space_report",
+    "time_cpm",
+    "units_to_mbytes",
+]

@@ -1,0 +1,132 @@
+"""Closed-form performance model (Section 4.1).
+
+All formulae assume N objects and n queries uniformly distributed in a unit
+square workspace, grid cell side ``delta``, and k neighbors per query:
+
+* ``best_dist = sqrt(k / (pi * N))`` — radius of the circle expected to
+  contain k uniform objects;
+* ``C_inf = pi * ceil(best_dist / delta)^2`` — cells in the influence
+  region;
+* ``O_inf = C_inf * N * delta^2`` — objects in those cells;
+* ``C_SH = 4 * ceil(best_dist / delta)^2`` — cells held in the visit list
+  plus the search heap (the circumscribed square of the influence circle);
+* ``Space_G = 3N + n * C_inf`` memory units for the grid and influence
+  lists; ``Space_QT = n * (15 + 2k + 3 * C_SH)`` for the query table;
+* ``Time_CPM = 2 * N * f_obj
+  + n * f_qry * (C_SH log C_SH + O_inf log k + 2 C_inf)
+  + n * (1 - f_qry) * k log k`` abstract operations per cycle.
+
+These estimates drive two things: the choice of grid granularity (the
+``delta`` trade-off of Figure 4.1 / Figure 6.1) and the footnote-6 space
+comparison.  The tests validate them against simulation on uniform data.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def best_dist_estimate(k: int, n_objects: int) -> float:
+    """Expected k-th NN distance for uniform data in the unit square."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if n_objects < 1:
+        raise ValueError("n_objects must be positive")
+    return math.sqrt(k / (math.pi * n_objects))
+
+
+def cinf_estimate(delta: float, k: int, n_objects: int) -> float:
+    """Expected number of cells in the influence region (``C_inf``)."""
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    rings = math.ceil(best_dist_estimate(k, n_objects) / delta)
+    return math.pi * rings * rings
+
+
+def oinf_estimate(delta: float, k: int, n_objects: int) -> float:
+    """Expected number of objects in the influence region (``O_inf``).
+
+    Each cell holds ``N * delta^2`` objects on average; as ``delta``
+    shrinks, ``O_inf`` approaches its minimum, k.
+    """
+    return cinf_estimate(delta, k, n_objects) * n_objects * delta * delta
+
+
+def csh_estimate(delta: float, k: int, n_objects: int) -> float:
+    """Expected cells in the visit list plus search heap (``C_SH``)."""
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    rings = math.ceil(best_dist_estimate(k, n_objects) / delta)
+    return 4.0 * rings * rings
+
+
+def space_grid(delta: float, k: int, n_objects: int, n_queries: int) -> float:
+    """``Space_G = 3N + n * C_inf`` memory units."""
+    return 3.0 * n_objects + n_queries * cinf_estimate(delta, k, n_objects)
+
+
+def space_query_table(delta: float, k: int, n_objects: int, n_queries: int) -> float:
+    """``Space_QT = n * (15 + 2k + 3 * C_SH)`` memory units.
+
+    Per query: 3 units for id and coordinates, ``2k`` for the result ids
+    and distances, ``3 * (C_SH + 4)`` for visit-list and heap entries
+    (cell/rectangle coordinates plus mindist each).
+    """
+    return n_queries * (15.0 + 2.0 * k + 3.0 * csh_estimate(delta, k, n_objects))
+
+
+def space_cpm(delta: float, k: int, n_objects: int, n_queries: int) -> float:
+    """Total CPM memory units: ``Space_G + Space_QT``."""
+    return space_grid(delta, k, n_objects, n_queries) + space_query_table(
+        delta, k, n_objects, n_queries
+    )
+
+
+def time_cpm(
+    delta: float,
+    k: int,
+    n_objects: int,
+    n_queries: int,
+    f_obj: float,
+    f_qry: float,
+) -> float:
+    """Abstract operations per processing cycle (``Time_CPM``).
+
+    The three terms are index maintenance (2 hash operations per moving
+    object), NN computation for moving queries (heap operations + object
+    probes + influence-list maintenance) and result maintenance for static
+    queries (re-ordering the ``best_NN`` tree).
+    """
+    if not 0.0 <= f_obj <= 1.0 or not 0.0 <= f_qry <= 1.0:
+        raise ValueError("agilities must lie in [0, 1]")
+    csh = csh_estimate(delta, k, n_objects)
+    cinf = cinf_estimate(delta, k, n_objects)
+    oinf = oinf_estimate(delta, k, n_objects)
+    log_k = math.log2(k) if k > 1 else 1.0
+    log_csh = math.log2(csh) if csh > 1 else 1.0
+    index_time = 2.0 * n_objects * f_obj
+    moving_query_time = n_queries * f_qry * (csh * log_csh + oinf * log_k + 2.0 * cinf)
+    static_query_time = n_queries * (1.0 - f_qry) * k * log_k
+    return index_time + moving_query_time + static_query_time
+
+
+def optimal_delta(
+    k: int,
+    n_objects: int,
+    n_queries: int,
+    f_obj: float,
+    f_qry: float,
+    candidates: list[float] | None = None,
+) -> float:
+    """Grid cell side minimizing the modeled ``Time_CPM``.
+
+    Scans a candidate list (by default the paper's granularities 32..1024
+    cells per axis) — the model is not convex in closed form because of the
+    ceilings.
+    """
+    if candidates is None:
+        candidates = [1.0 / g for g in (32, 64, 128, 256, 512, 1024)]
+    return min(
+        candidates,
+        key=lambda d: time_cpm(d, k, n_objects, n_queries, f_obj, f_qry),
+    )

@@ -1,0 +1,125 @@
+"""Memory-unit accounting for all three monitors (footnote 6 reproduction).
+
+The paper reports the space overhead at the default setting (N=100K, n=5K,
+k=16, 128x128 grid) as 2.854 / 3.074 / 3.314 MBytes for YPK-CNN / SEA-CNN /
+CPM respectively — CPM pays a modest premium for its book-keeping.  We
+reproduce both a *modeled* count (Section 4.1 formulae extended to the
+baselines) and a *measured* count (walking live monitor structures), in the
+paper's abstract memory units ("the minimum unit of memory can store a
+(real or integer) number").
+
+Accounting per method:
+
+* every method: ``3N`` units for the grid's object entries and
+  ``3 + 2k`` units per query (id + coordinates, k result ids + distances);
+* YPK-CNN: nothing else — it keeps no cell book-keeping;
+* SEA-CNN: one unit per (cell, query) answer-region mark;
+* CPM: one unit per influence mark plus ``3 * (C_SH + 4)`` units per query
+  for the visit list and search heap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.model import cinf_estimate, csh_estimate
+from repro.baselines.sea import SeaCnnMonitor
+from repro.baselines.ypk import YpkCnnMonitor
+from repro.core.cpm import CPMMonitor
+from repro.monitor import ContinuousMonitor
+
+#: bytes per abstract memory unit (a 4-byte number, as in 2005-era builds).
+BYTES_PER_UNIT = 4
+
+
+def units_to_mbytes(units: float, bytes_per_unit: int = BYTES_PER_UNIT) -> float:
+    """Convert abstract memory units to megabytes."""
+    return units * bytes_per_unit / (1024.0 * 1024.0)
+
+
+def modeled_space_units(
+    method: str,
+    delta: float,
+    k: int,
+    n_objects: int,
+    n_queries: int,
+) -> float:
+    """Section 4.1-style modeled footprint of a method, in memory units."""
+    base = 3.0 * n_objects + n_queries * (3.0 + 2.0 * k)
+    method = method.upper()
+    if method in ("YPK", "YPK-CNN"):
+        return base
+    if method in ("SEA", "SEA-CNN"):
+        return base + n_queries * cinf_estimate(delta, k, n_objects)
+    if method == "CPM":
+        return (
+            base
+            + n_queries * cinf_estimate(delta, k, n_objects)
+            + n_queries * 3.0 * (csh_estimate(delta, k, n_objects) + 4.0)
+        )
+    raise ValueError(f"unknown method {method!r}")
+
+
+def measured_space_units(monitor: ContinuousMonitor) -> float:
+    """Memory units actually held by a live monitor."""
+    if isinstance(monitor, CPMMonitor):
+        units = 3.0 * monitor.object_count
+        units += monitor.grid.total_marks
+        for qid in monitor.query_ids():
+            state = monitor.query_state(qid)
+            units += 3.0 + 2.0 * state.k
+            units += 3.0 * (state.csh() + state.heap.rect_entry_count())
+        return units
+    if isinstance(monitor, SeaCnnMonitor):
+        units = 3.0 * monitor.object_count
+        units += monitor.grid.total_marks
+        for qid in monitor.query_ids():
+            entries = monitor.result(qid)
+            units += 3.0 + 2.0 * len(entries)
+        return units
+    if isinstance(monitor, YpkCnnMonitor):
+        units = 3.0 * monitor.object_count
+        for qid in monitor.query_ids():
+            entries = monitor.result(qid)
+            units += 3.0 + 2.0 * len(entries)
+        return units
+    raise TypeError(f"unsupported monitor type {type(monitor).__name__}")
+
+
+@dataclass(frozen=True, slots=True)
+class SpaceRow:
+    """One method's modeled and measured footprint."""
+
+    method: str
+    modeled_units: float
+    measured_units: float
+
+    @property
+    def modeled_mbytes(self) -> float:
+        return units_to_mbytes(self.modeled_units)
+
+    @property
+    def measured_mbytes(self) -> float:
+        return units_to_mbytes(self.measured_units)
+
+
+def space_report(
+    monitors: list[ContinuousMonitor],
+    delta: float,
+    k: int,
+    n_objects: int,
+    n_queries: int,
+) -> list[SpaceRow]:
+    """Modeled vs measured footprint rows for a set of live monitors."""
+    rows = []
+    for monitor in monitors:
+        rows.append(
+            SpaceRow(
+                method=monitor.name,
+                modeled_units=modeled_space_units(
+                    monitor.name, delta, k, n_objects, n_queries
+                ),
+                measured_units=measured_space_units(monitor),
+            )
+        )
+    return rows

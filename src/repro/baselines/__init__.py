@@ -1,0 +1,27 @@
+"""Comparison algorithms and reference implementations.
+
+* :mod:`repro.baselines.ypk` — YPK-CNN [YPK05]: periodic re-evaluation with
+  a two-step square search (Figure 2.1).
+* :mod:`repro.baselines.sea` — SEA-CNN [XMA05]: answer-region book-keeping
+  with circular search regions (Figure 2.2).
+* :mod:`repro.baselines.brute` — brute-force scan; ground truth for every
+  correctness test (supports arbitrary query strategies, so it also
+  validates aggregate and constrained monitoring).
+* :mod:`repro.baselines.naive_grid` — the naive sorted-cell NN search that
+  opens Section 3.1; optimal in processed cells, expensive in practice.
+"""
+
+from repro.baselines.brute import BruteForceMonitor
+from repro.baselines.common import two_step_nn_search
+from repro.baselines.naive_grid import naive_nn_search, naive_strategy_search
+from repro.baselines.sea import SeaCnnMonitor
+from repro.baselines.ypk import YpkCnnMonitor
+
+__all__ = [
+    "BruteForceMonitor",
+    "SeaCnnMonitor",
+    "YpkCnnMonitor",
+    "naive_nn_search",
+    "naive_strategy_search",
+    "two_step_nn_search",
+]

@@ -1,0 +1,100 @@
+"""Shared search primitives for the grid baselines.
+
+The central piece is the two-step NN search of YPK-CNN (Figure 2.1a):
+
+1. visit the cells of growing squares ``R`` around the query cell until k
+   candidate objects are found; let ``d`` be the k-th candidate distance;
+2. scan every remaining cell intersecting the square ``SR`` centered at the
+   query cell with side ``2*d + delta`` and return the k best objects.
+
+SEA-CNN has no first-time evaluation module of its own, so — exactly as in
+the paper's experimental setup — it borrows this function for initial
+results and for recovering from disappearing neighbors.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.points import Point
+from repro.grid.cell import CellCoord
+from repro.grid.grid import Grid
+
+ResultEntry = tuple[float, int]
+
+
+def ring_cells(grid: Grid, center: CellCoord, radius: int) -> list[CellCoord]:
+    """Cells at Chebyshev distance ``radius`` from ``center`` (clipped).
+
+    ``radius == 0`` yields the center cell itself.  The result is empty when
+    the whole ring falls outside the grid.
+    """
+    ci, cj = center
+    if radius == 0:
+        return [(ci, cj)] if grid.in_bounds(ci, cj) else []
+    cells: list[CellCoord] = []
+    lo_i, hi_i = ci - radius, ci + radius
+    lo_j, hi_j = cj - radius, cj + radius
+    for i in range(lo_i, hi_i + 1):
+        if grid.in_bounds(i, lo_j):
+            cells.append((i, lo_j))
+        if grid.in_bounds(i, hi_j):
+            cells.append((i, hi_j))
+    for j in range(lo_j + 1, hi_j - 1 + 1):
+        if grid.in_bounds(lo_i, j):
+            cells.append((lo_i, j))
+        if grid.in_bounds(hi_i, j):
+            cells.append((hi_i, j))
+    return cells
+
+
+def collect_cell_objects(
+    grid: Grid, cells, q: Point, out: list[ResultEntry]
+) -> None:
+    """Scan ``cells`` (charging cell accesses) and append ``(dist, oid)``."""
+    qx, qy = q
+    for i, j in cells:
+        for oid, (x, y) in grid.scan(i, j).items():
+            out.append((math.hypot(x - qx, y - qy), oid))
+
+
+def square_cells(grid: Grid, center_cell: CellCoord, half_side: float):
+    """Cells intersecting the square of the given half side length centered
+    at the *center of* ``center_cell`` (the paper's "centered at c_q")."""
+    x0, y0, x1, y1 = grid.cell_rect(*center_cell)
+    cx = (x0 + x1) / 2.0
+    cy = (y0 + y1) / 2.0
+    return grid.cells_in_rect(cx - half_side, cy - half_side, cx + half_side, cy + half_side)
+
+
+def two_step_nn_search(grid: Grid, q: Point, k: int) -> list[ResultEntry]:
+    """YPK-CNN's first-time evaluation (Figure 2.1a).
+
+    Returns the k best ``(dist, oid)`` pairs (fewer when the grid holds
+    fewer than k objects), sorted ascending with ``(dist, oid)``
+    tie-breaking.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    cq = grid.cell_of(q[0], q[1])
+    candidates: list[ResultEntry] = []
+    scanned: set[CellCoord] = set()
+    # Step 1: grow the square R ring by ring until k objects are found.
+    max_radius = max(grid.cols, grid.rows)
+    radius = 0
+    while len(candidates) < k and radius <= max_radius:
+        ring = ring_cells(grid, cq, radius)
+        collect_cell_objects(grid, ring, q, candidates)
+        scanned.update(ring)
+        radius += 1
+    candidates.sort()
+    if len(candidates) < k:
+        # The whole grid holds fewer than k objects.
+        return candidates
+    d = candidates[k - 1][0]
+    # Step 2: scan the cells intersecting SR (side 2*d + delta) that the
+    # first step did not already cover.
+    remaining = [c for c in square_cells(grid, cq, d + grid.delta / 2.0) if c not in scanned]
+    collect_cell_objects(grid, remaining, q, candidates)
+    candidates.sort()
+    return candidates[:k]

@@ -1,0 +1,287 @@
+"""SEA-CNN [XMA05]: shared-execution answer-region monitoring.
+
+The method of Xiong et al. (ICDE 2005) as described in Section 2 of the CPM
+paper.  Each query keeps an *answer region* — the circle centered at the
+query with radius ``best_dist`` (the current k-th NN distance) — and marks
+the grid cells intersecting it.  Updates touching marked cells classify the
+query into one of three cases (Figure 2.2), each defining a circular search
+region ``SR`` of radius ``r``:
+
+1. neighbors moving *within* the answer region, or outer objects *entering*
+   it: ``r = best_dist``;
+2. a current neighbor moving *out* of the answer region: ``r = d_max``, the
+   distance of the previous neighbor that moved furthest;
+3. the query itself moving to ``q'``: ``r = best_dist + dist(q, q')``,
+   centered at ``q'``.
+
+The new result is computed among all objects in the cells intersecting
+``SR``.  SEA-CNN "focuses exclusively on monitoring the NN changes, without
+including a module for the first-time evaluation", so — as in the paper's
+experimental study — initial results (and recovery from neighbors that go
+off-line) use YPK-CNN's two-step search.
+
+Queries whose result is under-full (fewer than k objects on-line) have an
+unbounded answer region; they are flagged and re-evaluated from scratch
+whenever any object update arrives.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+from repro.baselines.common import two_step_nn_search
+from repro.geometry.points import Point
+from repro.geometry.rects import Rect
+from repro.grid.cell import CellCoord
+from repro.grid.grid import Grid
+from repro.grid.stats import GridStats
+from repro.monitor import ContinuousMonitor, ResultEntry
+from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind
+
+
+class _SeaQuery:
+    __slots__ = ("best_dist", "entries", "ids", "k", "marked", "monitor_all", "x", "y")
+
+    def __init__(self, x: float, y: float, k: int) -> None:
+        self.x = x
+        self.y = y
+        self.k = k
+        self.entries: list[ResultEntry] = []
+        self.ids: set[int] = set()
+        self.best_dist = math.inf
+        self.marked: set[CellCoord] = set()
+        self.monitor_all = False
+
+
+class _SeaScratch:
+    """Per-cycle classification flags for one affected query."""
+
+    __slots__ = ("d_max", "offline", "within")
+
+    def __init__(self) -> None:
+        self.within = False
+        self.d_max = 0.0
+        self.offline = False
+
+
+class SeaCnnMonitor(ContinuousMonitor):
+    """SEA-CNN continuous monitor over a main-memory grid."""
+
+    name = "SEA-CNN"
+
+    def __init__(
+        self,
+        cells_per_axis: int = 128,
+        *,
+        bounds: Rect | tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0),
+        delta: float | None = None,
+    ) -> None:
+        if delta is not None:
+            self._grid = Grid(delta=delta, bounds=bounds)
+        else:
+            self._grid = Grid(cells_per_axis, bounds=bounds)
+        self._positions: dict[int, Point] = {}
+        self._queries: dict[int, _SeaQuery] = {}
+
+    # ------------------------------------------------------------------
+    # Objects
+    # ------------------------------------------------------------------
+
+    @property
+    def grid(self) -> Grid:
+        return self._grid
+
+    @property
+    def stats(self) -> GridStats:
+        return self._grid.stats
+
+    def load_objects(self, objects: Iterable[tuple[int, Point]]) -> None:
+        for oid, (x, y) in objects:
+            self._grid.insert(oid, x, y)
+            self._positions[oid] = (x, y)
+
+    def object_position(self, oid: int) -> Point | None:
+        return self._positions.get(oid)
+
+    @property
+    def object_count(self) -> int:
+        return len(self._positions)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def install_query(self, qid: int, point: Point, k: int = 1) -> list[ResultEntry]:
+        if qid in self._queries:
+            raise KeyError(f"query {qid} is already installed")
+        query = _SeaQuery(point[0], point[1], k)
+        self._queries[qid] = query
+        self._set_result(qid, query, two_step_nn_search(self._grid, point, k))
+        return list(query.entries)
+
+    def remove_query(self, qid: int) -> None:
+        query = self._queries.pop(qid)
+        for coord in query.marked:
+            self._grid.remove_mark(coord, qid)
+
+    def result(self, qid: int) -> list[ResultEntry]:
+        return list(self._queries[qid].entries)
+
+    def query_ids(self) -> list[int]:
+        return list(self._queries)
+
+    def answer_region_cells(self, qid: int) -> set[CellCoord]:
+        """Cells currently marked for the query (tests/diagnostics)."""
+        return set(self._queries[qid].marked)
+
+    # ------------------------------------------------------------------
+    # Processing
+    # ------------------------------------------------------------------
+
+    def process(
+        self,
+        object_updates: Sequence[ObjectUpdate],
+        query_updates: Sequence[QueryUpdate] = (),
+    ) -> set[int]:
+        grid = self._grid
+        queries = self._queries
+        updated_qids = {qu.qid for qu in query_updates}
+        scratch: dict[int, _SeaScratch] = {}
+
+        for upd in object_updates:
+            oid = upd.oid
+            old = upd.old
+            new = upd.new
+            if old is not None:
+                old_cell = grid.delete(oid, old[0], old[1])
+                for qid in grid.marks(old_cell):
+                    if qid in updated_qids:
+                        continue
+                    query = queries[qid]
+                    if oid not in query.ids:
+                        continue
+                    sc = scratch.get(qid)
+                    if sc is None:
+                        sc = scratch[qid] = _SeaScratch()
+                    if new is None:
+                        sc.offline = True
+                    else:
+                        d = math.hypot(new[0] - query.x, new[1] - query.y)
+                        if d > query.best_dist:
+                            if d > sc.d_max:
+                                sc.d_max = d
+                        else:
+                            sc.within = True
+            if new is not None:
+                new_cell = grid.insert(oid, new[0], new[1])
+                self._positions[oid] = new
+                for qid in grid.marks(new_cell):
+                    if qid in updated_qids:
+                        continue
+                    query = queries[qid]
+                    if oid in query.ids:
+                        continue
+                    d = math.hypot(new[0] - query.x, new[1] - query.y)
+                    if d <= query.best_dist:
+                        sc = scratch.get(qid)
+                        if sc is None:
+                            sc = scratch[qid] = _SeaScratch()
+                        sc.within = True
+            else:
+                self._positions.pop(oid, None)
+
+        # Under-full queries watch the whole workspace.
+        if object_updates:
+            for qid, query in queries.items():
+                if query.monitor_all and qid not in updated_qids and qid not in scratch:
+                    sc = scratch[qid] = _SeaScratch()
+                    sc.offline = True  # force a fresh search
+
+        changed: set[int] = set()
+        for qid, sc in scratch.items():
+            query = queries[qid]
+            old_entries = query.entries
+            if sc.offline:
+                entries = two_step_nn_search(self._grid, (query.x, query.y), query.k)
+            else:
+                radius = sc.d_max if sc.d_max > 0.0 else query.best_dist
+                entries = self._range_evaluate(query, (query.x, query.y), radius)
+            self._set_result(qid, query, entries)
+            if entries != old_entries:
+                changed.add(qid)
+
+        for qu in query_updates:
+            if qu.kind is QueryUpdateKind.TERMINATE:
+                self.remove_query(qu.qid)
+                continue
+            if qu.kind is QueryUpdateKind.MOVE:
+                self._move_query(qu.qid, qu.point, qu.k)
+                changed.add(qu.qid)
+                continue
+            assert qu.point is not None
+            self.install_query(qu.qid, qu.point, qu.k or 1)
+            changed.add(qu.qid)
+        return changed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _move_query(self, qid: int, point: Point | None, k: int | None) -> None:
+        """Case (iii) of Figure 2.2b: ``r = best_dist + dist(q, q')``."""
+        assert point is not None
+        query = self._queries[qid]
+        if k is not None and k != query.k:
+            # Changing k invalidates the answer region; restart the query.
+            self.remove_query(qid)
+            self.install_query(qid, point, k)
+            return
+        travel = math.hypot(point[0] - query.x, point[1] - query.y)
+        old_best = query.best_dist
+        query.x, query.y = point
+        if query.monitor_all or math.isinf(old_best):
+            entries = two_step_nn_search(self._grid, point, query.k)
+        else:
+            entries = self._range_evaluate(query, point, old_best + travel)
+        self._set_result(qid, query, entries)
+
+    def _range_evaluate(
+        self, query: _SeaQuery, center: Point, radius: float
+    ) -> list[ResultEntry]:
+        """Scan the cells intersecting the circle ``(center, radius)`` and
+        return the k best objects found."""
+        candidates: list[ResultEntry] = []
+        cx, cy = center
+        for i, j in self._grid.cells_in_circle(center, radius):
+            for oid, (x, y) in self._grid.scan(i, j).items():
+                candidates.append((math.hypot(x - cx, y - cy), oid))
+        candidates.sort()
+        if len(candidates) < query.k:
+            # Defensive: the population shrank below k inside SR.
+            return two_step_nn_search(self._grid, center, query.k)
+        return candidates[: query.k]
+
+    def _set_result(self, qid: int, query: _SeaQuery, entries: list[ResultEntry]) -> None:
+        """Store a new result and re-mark the answer region cells."""
+        query.entries = entries
+        query.ids = {oid for _dist, oid in entries}
+        query.best_dist = entries[query.k - 1][0] if len(entries) >= query.k else math.inf
+        query.monitor_all = not math.isfinite(query.best_dist)
+        if query.monitor_all:
+            new_marked: set[CellCoord] = set()
+        else:
+            # Epsilon slack keeps the k-th NN's own cell marked even when
+            # floating-point jitter pushes its mindist a hair above
+            # best_dist (same guard as CPM's reconcile_marks).
+            new_marked = set(
+                self._grid.cells_in_circle(
+                    (query.x, query.y),
+                    query.best_dist + self._grid.boundary_epsilon,
+                )
+            )
+        for coord in query.marked - new_marked:
+            self._grid.remove_mark(coord, qid)
+        for coord in new_marked - query.marked:
+            self._grid.add_mark(coord, qid)
+        query.marked = new_marked

@@ -1,0 +1,59 @@
+"""The paper's primary contribution: Conceptual Partitioning Monitoring.
+
+Modules:
+
+* :mod:`repro.core.partition` — the conceptual space partitioning of
+  Figure 3.1b: direction rectangles ``U/D/L/R`` at increasing levels tiling
+  the grid around the query's cell (or, for aggregate queries, around the
+  cell block covered by the MBR of the query points).
+* :mod:`repro.core.heap` — the search heap ``H`` holding mixed cell and
+  rectangle entries keyed by ``mindist``.
+* :mod:`repro.core.neighbors` — the ``best_NN`` list (k best ``(dist, oid)``
+  pairs with total ``(dist, oid)`` ordering).
+* :mod:`repro.core.strategies` — per-query geometry: point NN, aggregate NN
+  (sum/min/max, Section 5) and constrained NN (Figure 5.3).
+* :mod:`repro.core.bookkeeping` — per-query state: visit list, leftover
+  heap, result, ``best_dist`` and the marked-prefix influence-list
+  invariant.
+* :mod:`repro.core.cpm` — the CPM monitor itself: NN computation
+  (Figure 3.4), NN re-computation (Figure 3.6), batched update handling
+  (Figure 3.8) and the monitoring loop (Figure 3.9).
+"""
+
+from repro.core.cpm import CPMMonitor
+from repro.core.metrics_ext import MinkowskiNNStrategy
+from repro.core.neighbors import NeighborList
+from repro.core.range_monitor import GridRangeMonitor
+from repro.core.partition import (
+    DIRECTION_NAMES,
+    DIRECTIONS,
+    DOWN,
+    LEFT,
+    RIGHT,
+    UP,
+    ConceptualPartition,
+)
+from repro.core.strategies import (
+    AggregateNNStrategy,
+    ConstrainedStrategy,
+    PointNNStrategy,
+    QueryStrategy,
+)
+
+__all__ = [
+    "CPMMonitor",
+    "ConceptualPartition",
+    "GridRangeMonitor",
+    "MinkowskiNNStrategy",
+    "DIRECTIONS",
+    "DIRECTION_NAMES",
+    "DOWN",
+    "LEFT",
+    "NeighborList",
+    "PointNNStrategy",
+    "AggregateNNStrategy",
+    "ConstrainedStrategy",
+    "QueryStrategy",
+    "RIGHT",
+    "UP",
+]

@@ -1,0 +1,193 @@
+"""Per-query book-keeping: the query-table entry of Figure 3.3a.
+
+For every installed query CPM stores (Section 3.1):
+
+* the current result ``best_NN`` and its ``best_dist``,
+* the **visit list** — every cell processed during NN search, in ascending
+  ``mindist`` order ("each cell entry de-heaped from H is inserted at the
+  end of the list"),
+* the **search heap** ``H`` — entries en-heaped but not de-heaped,
+* the influence-region information.
+
+The influence region is the set of cells that intersect the circle (for
+aggregate queries: the iso-distance contour) with radius ``best_dist``; the
+cells of the grid carrying this query's mark are always a *prefix* of the
+visit list, tracked by ``marked_upto``.  Shrinking ``best_dist`` therefore
+unmarks a suffix slice of the prefix; re-computation extends it.  This is
+the "scan the cells c in the visit list with ``mindist(c,q)`` between the
+new and the old value of ``best_dist``" of Section 3.3, made explicit.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+
+from repro.core.heap import SearchHeap
+from repro.core.neighbors import NeighborList
+from repro.core.partition import ConceptualPartition
+from repro.core.strategies import QueryStrategy
+from repro.grid.cell import CellCoord
+from repro.grid.grid import Grid
+
+
+class QueryState:
+    """Book-keeping for one installed query (a row of the query table QT)."""
+
+    __slots__ = (
+        "best_dist",
+        "heap",
+        "k",
+        "marked_upto",
+        "nn",
+        "partition",
+        "qid",
+        "strategy",
+        "visit_cells",
+        "visit_keys",
+    )
+
+    def __init__(
+        self, qid: int, strategy: QueryStrategy, k: int, partition: ConceptualPartition
+    ) -> None:
+        self.qid = qid
+        self.k = k
+        self.strategy = strategy
+        self.partition = partition
+        self.heap = SearchHeap()
+        self.visit_cells: list[CellCoord] = []
+        self.visit_keys: list[float] = []
+        self.nn = NeighborList(k)
+        self.best_dist = float("inf")
+        self.marked_upto = 0
+
+    # ------------------------------------------------------------------
+    # Visit list
+    # ------------------------------------------------------------------
+
+    def append_visit(self, key: float, cell: CellCoord) -> None:
+        """Record a processed cell at the end of the visit list.
+
+        De-heap order is ascending, so the parallel key list stays sorted —
+        the precondition for the bisect-based influence reconciliation.
+        """
+        self.visit_cells.append(cell)
+        self.visit_keys.append(key)
+
+    @property
+    def visit_length(self) -> int:
+        return len(self.visit_cells)
+
+    def influence_cells(self) -> list[CellCoord]:
+        """Cells currently carrying this query's influence mark."""
+        return self.visit_cells[: self.marked_upto]
+
+    def csh(self) -> int:
+        """``C_SH``: cells stored in the visit list or the search heap
+        (the space quantity analyzed in Section 4.1)."""
+        return len(self.visit_cells) + self.heap.cell_entry_count()
+
+    # ------------------------------------------------------------------
+    # Influence-list reconciliation
+    # ------------------------------------------------------------------
+
+    def reconcile_marks(self, grid: Grid, processed_upto: int) -> None:
+        """Restore the marked-prefix invariant after ``best_dist`` changed.
+
+        Args:
+            processed_upto: number of leading visit entries whose cells were
+                scanned for the *current* result (cells beyond it may only
+                stay marked if they still fall within ``best_dist`` — they
+                cannot, since scanning stopped at the first key >=
+                ``best_dist``).
+
+        The target prefix covers every visit cell with key <= ``best_dist``
+        (closed-circle intersection, so the cell housing the k-th NN always
+        stays marked) but never cells that were not scanned for the current
+        result.  A few ulps of slack guard the closed-circle rule against
+        floating-point jitter in the cell keys: the k-th NN's own cell may
+        compute a key a hair *above* the NN's distance (e.g. boundary cells
+        after clamping), and unmarking it would make that NN's departure
+        invisible.
+        """
+        target = bisect_right(
+            self.visit_keys, self.best_dist + grid.boundary_epsilon
+        )
+        if target > processed_upto:
+            target = processed_upto
+        current = self.marked_upto if self.marked_upto > processed_upto else processed_upto
+        if target < current:
+            qid = self.qid
+            cells = self.visit_cells
+            for idx in range(target, current):
+                grid.remove_mark(cells[idx], qid)
+        self.marked_upto = target
+
+    def unmark_all(self, grid: Grid) -> None:
+        """Remove every influence mark (query termination, Figure 3.9)."""
+        qid = self.qid
+        for idx in range(self.marked_upto):
+            grid.remove_mark(self.visit_cells[idx], qid)
+        self.marked_upto = 0
+
+    # ------------------------------------------------------------------
+    # Low-memory fallback
+    # ------------------------------------------------------------------
+
+    def drop_bookkeeping(self) -> None:
+        """Discard the search heap and the visit list (Section 3.3): "in
+        case that the physical memory of the system is exhausted, we can
+        directly discard the search heap and the visit list of q to free
+        space".  The influence marks must be re-derivable, so callers must
+        have unmarked the grid first; monitoring continues with NN
+        computation from scratch instead of re-computation."""
+        if self.marked_upto:
+            raise RuntimeError("unmark the grid before dropping book-keeping")
+        self.heap.clear()
+        self.visit_cells.clear()
+        self.visit_keys.clear()
+
+    def result_entries(self) -> list[tuple[float, int]]:
+        """Current result as ascending ``(dist, oid)`` pairs."""
+        return self.nn.entries()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryState(qid={self.qid}, k={self.k}, |NN|={len(self.nn)}, "
+            f"best_dist={self.best_dist:.6g}, visit={len(self.visit_cells)}, "
+            f"marked={self.marked_upto}, heap={len(self.heap)})"
+        )
+
+
+class CycleScratch:
+    """Per-cycle counters of the update-handling module (Figure 3.8).
+
+    The paper resets ``out_count`` and ``in_list`` for every query at the
+    start of each cycle; we allocate them lazily on first touch, which is
+    observationally equivalent and O(touched queries) instead of O(n).
+    """
+
+    __slots__ = ("in_list", "out_count", "touched")
+
+    def __init__(self, k: int) -> None:
+        self.out_count = 0
+        # "we do not need more than the k best incomers in any case"
+        self.in_list = NeighborList(k)
+        self.touched = False
+
+    def note_incomer(self, dist: float, oid: int) -> None:
+        self.touched = True
+        if oid in self.in_list:
+            # The object issued several updates this cycle; keep the latest.
+            self.in_list.remove(oid)
+        self.in_list.add(dist, oid)
+
+    def drop_incomer(self, oid: int) -> None:
+        """Forget a pending incomer that moved again within the same cycle."""
+        self.in_list.discard(oid)
+
+    def note_outgoing(self) -> None:
+        self.touched = True
+        self.out_count += 1
+
+    def note_reorder(self) -> None:
+        self.touched = True

@@ -1,0 +1,406 @@
+"""The CPM continuous monitoring algorithm (Section 3).
+
+The monitor owns the grid ``G``, the query table ``QT`` and the full
+processing pipeline:
+
+* **NN computation** (Figure 3.4) — best-first search over the conceptual
+  partitioning; processes the minimal set of cells (those intersecting the
+  circle with radius ``best_dist``) and leaves behind the visit list, the
+  residual search heap and the influence-list marks.
+* **NN re-computation** (Figure 3.6) — re-runs an affected query by
+  re-scanning the visit list sequentially (O(1) "get next" instead of heap
+  operations) and only then resuming the residual heap.
+* **Update handling** (Figure 3.8) — batch processing of a cycle's object
+  updates.  Only queries whose influence region intersects an updated cell
+  are touched; if the k best incomers (``in_list``) outnumber the outgoing
+  NNs (``out_count``) the new result is assembled *without accessing the
+  grid*, otherwise re-computation runs.
+* **NN monitoring** (Figure 3.9) — the per-cycle driver: object updates
+  first (ignoring queries that received updates), then query terminations,
+  movements (termination + re-insertion) and insertions.
+
+Query generality (Section 5): any :class:`repro.core.strategies.QueryStrategy`
+can be installed, so the same engine monitors point NN, aggregate NN
+(sum/min/max) and constrained queries.
+
+Ablation/robustness switches (see DESIGN.md):
+
+* ``reuse_bookkeeping=False`` — the paper's low-memory fallback: drop the
+  visit list/heap and recompute affected queries from scratch.
+* ``merge_optimization=False`` — disable the Section 3.3 batch enhancement;
+  any outgoing NN triggers re-computation as in the single-update
+  processing of Section 3.2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.bookkeeping import CycleScratch, QueryState
+from repro.core.heap import CELL
+from repro.core.partition import DIRECTIONS
+from repro.core.strategies import (
+    AggregateNNStrategy,
+    ConstrainedStrategy,
+    PointNNStrategy,
+    QueryStrategy,
+)
+from repro.geometry.aggregates import AggregateFunction
+from repro.geometry.points import Point
+from repro.geometry.rects import Rect
+from repro.grid.grid import Grid
+from repro.grid.stats import GridStats
+from repro.monitor import ContinuousMonitor, ResultEntry
+from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind
+
+
+class CPMMonitor(ContinuousMonitor):
+    """Conceptual Partitioning Monitoring over a main-memory grid."""
+
+    name = "CPM"
+
+    def __init__(
+        self,
+        cells_per_axis: int = 128,
+        *,
+        bounds: Rect | tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0),
+        delta: float | None = None,
+        reuse_bookkeeping: bool = True,
+        merge_optimization: bool = True,
+    ) -> None:
+        if delta is not None:
+            self._grid = Grid(delta=delta, bounds=bounds)
+        else:
+            self._grid = Grid(cells_per_axis, bounds=bounds)
+        self._positions: dict[int, Point] = {}
+        self._queries: dict[int, QueryState] = {}
+        self.reuse_bookkeeping = reuse_bookkeeping
+        self.merge_optimization = merge_optimization
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def grid(self) -> Grid:
+        """The underlying object grid ``G`` (read-only use by callers)."""
+        return self._grid
+
+    @property
+    def stats(self) -> GridStats:
+        return self._grid.stats
+
+    @property
+    def object_count(self) -> int:
+        return len(self._positions)
+
+    def object_position(self, oid: int) -> Point | None:
+        return self._positions.get(oid)
+
+    def query_ids(self) -> list[int]:
+        return list(self._queries)
+
+    def query_state(self, qid: int) -> QueryState:
+        """Book-keeping of a query (tests, diagnostics, space accounting)."""
+        return self._queries[qid]
+
+    def best_dist(self, qid: int) -> float:
+        """Distance of the query's k-th neighbor (``inf`` when under-full)."""
+        return self._queries[qid].best_dist
+
+    def influence_cells(self, qid: int) -> list[tuple[int, int]]:
+        """Cells currently in the query's influence region (marked cells)."""
+        return self._queries[qid].influence_cells()
+
+    # ------------------------------------------------------------------
+    # Object population
+    # ------------------------------------------------------------------
+
+    def load_objects(self, objects: Iterable[tuple[int, Point]]) -> None:
+        """Bulk-load the initial object set.
+
+        Only valid before any query is installed — afterwards objects must
+        arrive as appearance updates so that results stay consistent.
+        """
+        if self._queries:
+            raise RuntimeError(
+                "bulk loading after query installation would corrupt results; "
+                "send appearance updates instead"
+            )
+        for oid, (x, y) in objects:
+            self._grid.insert(oid, x, y)
+            self._positions[oid] = (x, y)
+
+    # ------------------------------------------------------------------
+    # Query installation (Figure 3.4)
+    # ------------------------------------------------------------------
+
+    def install_query(self, qid: int, point: Point, k: int = 1) -> list[ResultEntry]:
+        """Register a plain point k-NN query."""
+        return self.install_strategy_query(qid, PointNNStrategy(point[0], point[1]), k)
+
+    def install_ann_query(
+        self,
+        qid: int,
+        points: Sequence[Point],
+        k: int = 1,
+        fn: str | AggregateFunction = "sum",
+    ) -> list[ResultEntry]:
+        """Register an aggregate NN query over ``points`` (Section 5)."""
+        return self.install_strategy_query(qid, AggregateNNStrategy(points, fn), k)
+
+    def install_constrained_query(
+        self, qid: int, point: Point, region: Rect, k: int = 1
+    ) -> list[ResultEntry]:
+        """Register a constrained NN query (Figure 5.3)."""
+        strategy = ConstrainedStrategy(PointNNStrategy(point[0], point[1]), region)
+        return self.install_strategy_query(qid, strategy, k)
+
+    def install_strategy_query(
+        self, qid: int, strategy: QueryStrategy, k: int = 1
+    ) -> list[ResultEntry]:
+        """Register a query with an arbitrary geometry strategy."""
+        if qid in self._queries:
+            raise KeyError(f"query {qid} is already installed")
+        state = QueryState(qid, strategy, k, strategy.partition(self._grid))
+        self._seed_heap(state)
+        self._run_search(state)
+        state.best_dist = state.nn.kth_dist
+        state.reconcile_marks(self._grid, processed_upto=state.visit_length)
+        self._queries[qid] = state
+        return state.result_entries()
+
+    def remove_query(self, qid: int) -> None:
+        """Terminate a query: drop its QT entry and influence marks."""
+        state = self._queries.pop(qid)
+        state.unmark_all(self._grid)
+
+    def result(self, qid: int) -> list[ResultEntry]:
+        return self._queries[qid].result_entries()
+
+    # ------------------------------------------------------------------
+    # Search internals
+    # ------------------------------------------------------------------
+
+    def _seed_heap(self, state: QueryState) -> None:
+        """Lines 3-5 of Figure 3.4: en-heap the core cells and the level-0
+        rectangle of each direction."""
+        grid = self._grid
+        strategy = state.strategy
+        for i, j in state.partition.core_cells():
+            if strategy.cell_allowed(grid, i, j):
+                state.heap.push_cell(strategy.cell_key(grid, i, j), i, j)
+        for direction in DIRECTIONS:
+            if state.partition.exists(direction, 0):
+                state.heap.push_rect(
+                    strategy.strip_key0(grid, state.partition, direction), direction, 0
+                )
+
+    def _run_search(self, state: QueryState) -> None:
+        """The de-heaping loop of Figure 3.4 (also the heap continuation of
+        Figure 3.6): process entries in ascending key order until the next
+        key is ``>= best_dist``."""
+        grid = self._grid
+        strategy = state.strategy
+        heap = state.heap
+        nn = state.nn
+        partition = state.partition
+        step = strategy.level_step(grid)
+        while heap:
+            if nn.is_full and heap.peek_key() >= nn.kth_dist:
+                break
+            key, _seq, kind, a, b = heap.pop()
+            if kind == CELL:
+                self._process_cell(state, key, a, b)
+            else:
+                direction, level = a, b
+                for i, j in partition.strip_cells(direction, level):
+                    if strategy.cell_allowed(grid, i, j):
+                        heap.push_cell(strategy.cell_key(grid, i, j), i, j)
+                if partition.exists(direction, level + 1):
+                    heap.push_rect(key + step, direction, level + 1)
+
+    def _process_cell(self, state: QueryState, key: float, i: int, j: int) -> None:
+        """Lines 10-12 of Figure 3.4: scan the cell, update ``best_NN``,
+        insert the query into the cell's influence list, extend the visit
+        list."""
+        strategy = state.strategy
+        nn = state.nn
+        for oid, (x, y) in self._grid.scan(i, j).items():
+            if strategy.accepts(x, y):
+                nn.add(strategy.dist(x, y), oid)
+        self._grid.add_mark((i, j), state.qid)
+        state.append_visit(key, (i, j))
+        state.marked_upto = state.visit_length
+
+    def _recompute(self, state: QueryState) -> None:
+        """NN re-computation (Figure 3.6): rescan the visit list first, then
+        resume the residual heap."""
+        grid = self._grid
+        strategy = state.strategy
+        nn = state.nn
+        nn.clear()
+        visit_cells = state.visit_cells
+        visit_keys = state.visit_keys
+        pos = 0
+        total = len(visit_cells)
+        while pos < total:
+            if nn.is_full and visit_keys[pos] >= nn.kth_dist:
+                break
+            i, j = visit_cells[pos]
+            for oid, (x, y) in grid.scan(i, j).items():
+                if strategy.accepts(x, y):
+                    nn.add(strategy.dist(x, y), oid)
+            if pos >= state.marked_upto:
+                grid.add_mark((i, j), state.qid)
+                state.marked_upto = pos + 1
+            pos += 1
+        if pos == total:
+            # The whole visit list was consumed; the residual heap holds the
+            # frontier (its minimum key is >= every visit-list key).
+            self._run_search(state)
+            pos = state.visit_length
+        state.best_dist = nn.kth_dist
+        state.reconcile_marks(grid, processed_upto=pos)
+
+    def _recompute_from_scratch(self, state: QueryState) -> None:
+        """Low-memory / ablation path: forget the book-keeping and run the
+        full NN computation again (Section 3.3, last paragraph)."""
+        state.unmark_all(self._grid)
+        state.drop_bookkeeping()
+        state.nn.clear()
+        state.best_dist = float("inf")
+        self._seed_heap(state)
+        self._run_search(state)
+        state.best_dist = state.nn.kth_dist
+        state.reconcile_marks(self._grid, processed_upto=state.visit_length)
+
+    def drop_bookkeeping(self, qid: int) -> None:
+        """Manually shed a query's visit list and heap to free memory; the
+        query keeps being monitored, falling back to computation from
+        scratch on its next re-computation."""
+        state = self._queries[qid]
+        marked = state.influence_cells()
+        state.unmark_all(self._grid)
+        state.drop_bookkeeping()
+        # The influence marks must survive — update filtering depends on
+        # them — so re-mark the same cells through a synthetic visit list
+        # (sorted by key, preserving the ascending-key invariant).
+        keyed = sorted(
+            (state.strategy.cell_key(self._grid, i, j), (i, j)) for i, j in marked
+        )
+        for key, coord in keyed:
+            state.append_visit(key, coord)
+            self._grid.add_mark(coord, qid)
+        state.marked_upto = state.visit_length
+
+    # ------------------------------------------------------------------
+    # Update handling (Figures 3.8 and 3.9)
+    # ------------------------------------------------------------------
+
+    def process(
+        self,
+        object_updates: Sequence[ObjectUpdate],
+        query_updates: Sequence[QueryUpdate] = (),
+    ) -> set[int]:
+        grid = self._grid
+        queries = self._queries
+        positions = self._positions
+        # "Queries that receive updates are ignored when handling object
+        # updates in order to avoid waste of computations" (Section 3.3).
+        updated_qids = {qu.qid for qu in query_updates}
+        scratch: dict[int, CycleScratch] = {}
+
+        for upd in object_updates:
+            oid = upd.oid
+            old = upd.old
+            new = upd.new
+            if old is not None:
+                old_cell = grid.delete(oid, old[0], old[1])
+                for qid in grid.marks(old_cell):
+                    if qid in updated_qids:
+                        continue
+                    state = queries[qid]
+                    sc = scratch.get(qid)
+                    if oid in state.nn:
+                        if sc is None:
+                            sc = scratch[qid] = CycleScratch(state.k)
+                        if new is not None and state.strategy.accepts(new[0], new[1]):
+                            d = state.strategy.dist(new[0], new[1])
+                            if d <= state.best_dist:
+                                # p remains in the NN set; update the order.
+                                state.nn.update_dist(oid, d)
+                                sc.note_reorder()
+                                continue
+                        # p is an outgoing NN (moved beyond best_dist, left
+                        # the constraint region, or went off-line).
+                        state.nn.remove(oid)
+                        sc.note_outgoing()
+                    elif sc is not None:
+                        # A pending incomer moved again within this cycle.
+                        sc.drop_incomer(oid)
+            if new is not None:
+                new_cell = grid.insert(oid, new[0], new[1])
+                positions[oid] = new
+                for qid in grid.marks(new_cell):
+                    if qid in updated_qids:
+                        continue
+                    state = queries[qid]
+                    if oid in state.nn:
+                        continue
+                    if not state.strategy.accepts(new[0], new[1]):
+                        continue
+                    d = state.strategy.dist(new[0], new[1])
+                    if d <= state.best_dist:
+                        sc = scratch.get(qid)
+                        if sc is None:
+                            sc = scratch[qid] = CycleScratch(state.k)
+                        sc.note_incomer(d, oid)
+            else:
+                positions.pop(oid, None)
+
+        changed: set[int] = set()
+        for qid, sc in scratch.items():
+            if not sc.touched:
+                continue
+            state = queries[qid]
+            before = state.nn.entries() if sc.out_count == 0 else None
+            self._finalize_query(state, sc)
+            if before is None or state.nn.entries() != before:
+                changed.add(qid)
+
+        # Figure 3.9 lines 5-9: terminations first within each update, then
+        # (re-)insertions.
+        for qu in query_updates:
+            if qu.kind is QueryUpdateKind.TERMINATE:
+                self.remove_query(qu.qid)
+                changed.discard(qu.qid)
+                continue
+            if qu.kind is QueryUpdateKind.MOVE:
+                self.remove_query(qu.qid)
+            assert qu.point is not None
+            self.install_query(qu.qid, qu.point, qu.k or 1)
+            changed.add(qu.qid)
+        return changed
+
+    def _finalize_query(self, state: QueryState, sc: CycleScratch) -> None:
+        """Lines 17-24 of Figure 3.8: merge when the incomers can replace
+        the outgoing NNs, otherwise re-compute."""
+        if self.merge_optimization:
+            can_merge = len(sc.in_list) >= sc.out_count
+        else:
+            # Ablation: Section 3.2 single-update semantics — any outgoing
+            # NN forces a re-computation.
+            can_merge = sc.out_count == 0
+        if can_merge:
+            merged = state.nn.entries() + sc.in_list.entries()
+            state.nn.replace(merged)
+            new_best = state.nn.kth_dist
+            assert new_best <= state.best_dist or state.best_dist == float("inf")
+            state.best_dist = new_best
+            # The influence region can only shrink here (Section 3.3).
+            state.reconcile_marks(self._grid, processed_upto=state.marked_upto)
+        elif self.reuse_bookkeeping:
+            self._recompute(state)
+        else:
+            self._recompute_from_scratch(state)

@@ -1,0 +1,145 @@
+"""The ``best_NN`` list: the k best neighbors found so far.
+
+The paper implements ``best_NN`` as a red-black tree so that probing an
+object against the result costs ``log k`` (Section 4.1).  In Python a sorted
+list with ``bisect`` gives the same asymptotics with far smaller constants
+for the paper's k range (1..256).
+
+Ordering is total on ``(distance, object id)`` so that distance ties resolve
+deterministically — every monitor in this library uses the same order, which
+lets the equivalence tests compare results exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+
+ResultEntry = tuple[float, int]
+
+_INF = math.inf
+
+
+class NeighborList:
+    """Capacity-bounded sorted list of ``(dist, oid)`` pairs.
+
+    Holds at most ``k`` entries; :meth:`add` keeps the k best seen.  During
+    CPM update handling entries are also removed (outgoing NNs) and re-keyed
+    (NNs that moved within ``best_dist``), temporarily leaving the list
+    under-full until the merge/re-computation step refills it.
+    """
+
+    __slots__ = ("k", "_dists", "_entries")
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._entries: list[ResultEntry] = []
+        self._dists: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._dists
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.k
+
+    @property
+    def kth_dist(self) -> float:
+        """Distance of the k-th neighbor — the ``best_dist`` of Table 3.1.
+
+        ``inf`` while fewer than k neighbors are known, so that search
+        pruning (``mindist >= best_dist``) naturally keeps going.
+        """
+        if len(self._entries) < self.k:
+            return _INF
+        return self._entries[self.k - 1][0]
+
+    def dist_of(self, oid: int) -> float:
+        """Current stored distance of a member (KeyError when absent)."""
+        return self._dists[oid]
+
+    def entries(self) -> list[ResultEntry]:
+        """Copy of the entries in ascending ``(dist, oid)`` order."""
+        return list(self._entries)
+
+    def worst(self) -> ResultEntry:
+        """The current k-th (last) entry (IndexError when empty)."""
+        return self._entries[-1]
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def add(self, dist: float, oid: int) -> bool:
+        """Offer a candidate; keep it if it is among the k best so far.
+
+        Returns ``True`` when the candidate entered the list.  The candidate
+        must not already be a member (update handling re-keys members with
+        :meth:`update_dist` instead).
+        """
+        if oid in self._dists:
+            raise KeyError(f"object {oid} already in the neighbor list")
+        entry = (dist, oid)
+        if len(self._entries) < self.k:
+            insort(self._entries, entry)
+            self._dists[oid] = dist
+            return True
+        if entry < self._entries[-1]:
+            evicted = self._entries.pop()
+            del self._dists[evicted[1]]
+            insort(self._entries, entry)
+            self._dists[oid] = dist
+            return True
+        return False
+
+    def update_dist(self, oid: int, new_dist: float) -> None:
+        """Re-key a member after it moved ("update the order in best_NN")."""
+        old = self._dists[oid]
+        self._entries.remove((old, oid))
+        insort(self._entries, (new_dist, oid))
+        self._dists[oid] = new_dist
+
+    def remove(self, oid: int) -> float:
+        """Evict a member (an outgoing NN); returns its stored distance."""
+        old = self._dists.pop(oid)
+        self._entries.remove((old, oid))
+        return old
+
+    def discard(self, oid: int) -> bool:
+        """Remove ``oid`` if present; returns whether it was a member."""
+        if oid not in self._dists:
+            return False
+        self.remove(oid)
+        return True
+
+    def replace(self, entries: list[ResultEntry]) -> None:
+        """Reset the list to the k best of ``entries`` (deduplicated ids)."""
+        best: dict[int, float] = {}
+        for dist, oid in entries:
+            cur = best.get(oid)
+            if cur is None or dist < cur:
+                best[oid] = dist
+        ordered = sorted((dist, oid) for oid, dist in best.items())
+        self._entries = ordered[: self.k]
+        self._dists = {oid: dist for dist, oid in self._entries}
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._dists.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shown = ", ".join(f"{oid}@{dist:.4g}" for dist, oid in self._entries[:4])
+        extra = "..." if len(self._entries) > 4 else ""
+        return f"NeighborList(k={self.k}, [{shown}{extra}])"

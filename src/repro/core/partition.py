@@ -1,0 +1,195 @@
+"""Conceptual partitioning of the grid around a query (Figure 3.1b).
+
+The cells around the query cell ``c_q`` are organized into direction
+rectangles.  "Each rectangle *rect* is defined by a direction and a level
+number.  The direction could be U, D, L, or R (for up, down, left and right)
+depending on the relative position of *rect* with respect to q.  The level
+number indicates the number of rectangles between *rect* and ``c_q``."
+
+We realize the partition as a *pinwheel*: the level-``l`` rectangle of each
+direction is a one-cell-thick arm of the square ring at Chebyshev distance
+``l + 1`` from the core block, each arm claiming exactly one ring corner so
+the four arms tile the ring without overlap:
+
+* ``U_l``: row ``j_hi + l + 1``, columns ``[i_lo - l,     i_hi + l + 1]``
+* ``R_l``: column ``i_hi + l + 1``, rows ``[j_lo - l - 1, j_hi + l]``
+* ``D_l``: row ``j_lo - l - 1``, columns ``[i_lo - l - 1, i_hi + l]``
+* ``L_l``: column ``i_lo - l - 1``, rows ``[j_lo - l,     j_hi + l + 1]``
+
+where ``[i_lo..i_hi] x [j_lo..j_hi]`` is the *core block*: the single query
+cell for plain NN queries, or the cells covered by the MBR ``M`` of the
+query points for aggregate queries (Section 5, Figure 5.1a).
+
+Because every arm spans the core's projection on its axis, the minimum
+distance from the query to ``DIR_l`` is a pure perpendicular distance, which
+yields Lemma 3.1 exactly: ``mindist(DIR_{l+1}, q) = mindist(DIR_l, q) + δ``
+(and Corollaries 5.1/5.2 for aggregate distances).
+
+Rectangles are clipped to the grid; a direction is exhausted once its strip
+coordinate leaves the grid, after which no higher level in that direction
+exists.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.grid.cell import CellCoord
+
+UP, RIGHT, DOWN, LEFT = range(4)
+DIRECTIONS: tuple[int, int, int, int] = (UP, RIGHT, DOWN, LEFT)
+DIRECTION_NAMES: tuple[str, str, str, str] = ("U", "R", "D", "L")
+
+
+class ConceptualPartition:
+    """Pinwheel tiling of a ``cols x rows`` grid around a core cell block.
+
+    Args:
+        i_lo, i_hi: inclusive column range of the core block.
+        j_lo, j_hi: inclusive row range of the core block.
+        cols, rows: grid dimensions.
+    """
+
+    __slots__ = ("cols", "i_hi", "i_lo", "j_hi", "j_lo", "rows")
+
+    def __init__(
+        self, i_lo: int, i_hi: int, j_lo: int, j_hi: int, cols: int, rows: int
+    ) -> None:
+        if not (0 <= i_lo <= i_hi < cols and 0 <= j_lo <= j_hi < rows):
+            raise ValueError(
+                f"core block ({i_lo}..{i_hi}, {j_lo}..{j_hi}) does not fit a "
+                f"{cols}x{rows} grid"
+            )
+        self.i_lo = i_lo
+        self.i_hi = i_hi
+        self.j_lo = j_lo
+        self.j_hi = j_hi
+        self.cols = cols
+        self.rows = rows
+
+    @classmethod
+    def around_cell(cls, cell: CellCoord, cols: int, rows: int) -> "ConceptualPartition":
+        """Partition around a single query cell (the plain-NN case)."""
+        i, j = cell
+        return cls(i, i, j, j, cols, rows)
+
+    # ------------------------------------------------------------------
+    # Levels
+    # ------------------------------------------------------------------
+
+    def max_level(self, direction: int) -> int:
+        """Highest valid level of ``direction`` (−1 when none exists)."""
+        if direction == UP:
+            return self.rows - 2 - self.j_hi
+        if direction == RIGHT:
+            return self.cols - 2 - self.i_hi
+        if direction == DOWN:
+            return self.j_lo - 1
+        if direction == LEFT:
+            return self.i_lo - 1
+        raise ValueError(f"unknown direction {direction}")
+
+    def exists(self, direction: int, level: int) -> bool:
+        """Whether rectangle ``DIR_level`` has at least one grid cell."""
+        return 0 <= level <= self.max_level(direction)
+
+    # ------------------------------------------------------------------
+    # Cell enumeration
+    # ------------------------------------------------------------------
+
+    def strip_cell_range(
+        self, direction: int, level: int
+    ) -> tuple[int, int, int, int]:
+        """Clipped inclusive cell range ``(i0, i1, j0, j1)`` of ``DIR_level``.
+
+        Raises ``ValueError`` when the rectangle does not exist.
+        """
+        if not self.exists(direction, level):
+            raise ValueError(
+                f"rectangle {DIRECTION_NAMES[direction]}_{level} is outside the grid"
+            )
+        if direction == UP:
+            j = self.j_hi + level + 1
+            return (max(0, self.i_lo - level), min(self.cols - 1, self.i_hi + level + 1), j, j)
+        if direction == RIGHT:
+            i = self.i_hi + level + 1
+            return (i, i, max(0, self.j_lo - level - 1), min(self.rows - 1, self.j_hi + level))
+        if direction == DOWN:
+            j = self.j_lo - level - 1
+            return (max(0, self.i_lo - level - 1), min(self.cols - 1, self.i_hi + level), j, j)
+        # LEFT
+        i = self.i_lo - level - 1
+        return (i, i, max(0, self.j_lo - level), min(self.rows - 1, self.j_hi + level + 1))
+
+    def strip_cells(self, direction: int, level: int) -> Iterator[CellCoord]:
+        """Cells of rectangle ``DIR_level`` (clipped to the grid)."""
+        i0, i1, j0, j1 = self.strip_cell_range(direction, level)
+        if j0 == j1:  # horizontal arm (U or D)
+            for i in range(i0, i1 + 1):
+                yield (i, j0)
+        else:  # vertical arm (L or R)
+            for j in range(j0, j1 + 1):
+                yield (i0, j)
+
+    def strip_cell_count(self, direction: int, level: int) -> int:
+        """Number of grid cells in rectangle ``DIR_level``."""
+        i0, i1, j0, j1 = self.strip_cell_range(direction, level)
+        return (i1 - i0 + 1) * (j1 - j0 + 1)
+
+    def core_cells(self) -> Iterator[CellCoord]:
+        """Cells of the core block (just ``c_q`` for plain NN queries)."""
+        for i in range(self.i_lo, self.i_hi + 1):
+            for j in range(self.j_lo, self.j_hi + 1):
+                yield (i, j)
+
+    def core_cell_count(self) -> int:
+        return (self.i_hi - self.i_lo + 1) * (self.j_hi - self.j_lo + 1)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def owner_of(self, cell: CellCoord) -> tuple[int, int] | None:
+        """Return ``(direction, level)`` of the rectangle owning ``cell``.
+
+        Returns ``None`` for core-block cells.  Used by tests to verify that
+        the rectangles tile the grid exactly once.
+        """
+        i, j = cell
+        if not (0 <= i < self.cols and 0 <= j < self.rows):
+            raise ValueError(f"cell {cell} outside the grid")
+        in_core_i = self.i_lo <= i <= self.i_hi
+        in_core_j = self.j_lo <= j <= self.j_hi
+        if in_core_i and in_core_j:
+            return None
+        # Candidate levels by perpendicular offset from the core block.
+        candidates: list[tuple[int, int]] = []
+        if j > self.j_hi:
+            candidates.append((UP, j - self.j_hi - 1))
+        if i > self.i_hi:
+            candidates.append((RIGHT, i - self.i_hi - 1))
+        if j < self.j_lo:
+            candidates.append((DOWN, self.j_lo - j - 1))
+        if i < self.i_lo:
+            candidates.append((LEFT, self.i_lo - i - 1))
+        owners = [
+            (direction, level)
+            for direction, level in candidates
+            if self._strip_contains(direction, level, cell)
+        ]
+        if len(owners) != 1:  # pragma: no cover - guarded by property tests
+            raise AssertionError(f"cell {cell} owned by {owners}")
+        return owners[0]
+
+    def _strip_contains(self, direction: int, level: int, cell: CellCoord) -> bool:
+        if not self.exists(direction, level):
+            return False
+        i0, i1, j0, j1 = self.strip_cell_range(direction, level)
+        i, j = cell
+        return i0 <= i <= i1 and j0 <= j <= j1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ConceptualPartition(core=({self.i_lo}..{self.i_hi}, "
+            f"{self.j_lo}..{self.j_hi}), grid={self.cols}x{self.rows})"
+        )

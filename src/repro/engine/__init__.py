@@ -1,0 +1,12 @@
+"""Monitoring server and metrics collection (system S11 of DESIGN.md).
+
+The engine replays a materialized workload into any
+:class:`repro.monitor.ContinuousMonitor`, timing each processing cycle and
+snapshotting the grid access counters — the two quantities the paper's
+evaluation reports (CPU time and cell accesses).
+"""
+
+from repro.engine.metrics import CycleMetrics, RunReport
+from repro.engine.server import MonitoringServer, run_workload
+
+__all__ = ["CycleMetrics", "MonitoringServer", "RunReport", "run_workload"]

@@ -1,0 +1,93 @@
+"""Per-cycle and per-run metrics.
+
+The paper's evaluation reports two primary quantities:
+
+* **CPU time** per simulation (Figures 6.1, 6.2, 6.4, 6.5, 6.6 and 6.3a);
+* **cell accesses per query per timestamp** (Figure 6.3b), where "a cell
+  visit corresponds to a complete scan over the object list in the cell".
+
+:class:`CycleMetrics` captures both per processing cycle;
+:class:`RunReport` aggregates a full simulation and computes the derived
+figures the experiment drivers print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.grid.stats import GridStats
+
+
+@dataclass(slots=True)
+class CycleMetrics:
+    """Measurements of one processing cycle (one timestamp)."""
+
+    timestamp: int
+    elapsed_sec: float
+    stats: GridStats
+    object_updates: int
+    query_updates: int
+    results_changed: int
+
+
+@dataclass(slots=True)
+class RunReport:
+    """Aggregated measurements of one workload replay."""
+
+    algorithm: str
+    n_queries: int
+    cycles: list[CycleMetrics] = field(default_factory=list)
+    install_sec: float = 0.0
+    install_stats: GridStats = field(default_factory=GridStats)
+
+    @property
+    def timestamps(self) -> int:
+        return len(self.cycles)
+
+    @property
+    def total_processing_sec(self) -> float:
+        """CPU time spent handling updates (excludes initial installation)."""
+        return sum(c.elapsed_sec for c in self.cycles)
+
+    @property
+    def total_sec(self) -> float:
+        """CPU time including the initial query installation."""
+        return self.install_sec + self.total_processing_sec
+
+    @property
+    def total_cell_scans(self) -> int:
+        return sum(c.stats.cell_scans for c in self.cycles)
+
+    @property
+    def total_objects_scanned(self) -> int:
+        return sum(c.stats.objects_scanned for c in self.cycles)
+
+    @property
+    def total_results_changed(self) -> int:
+        return sum(c.results_changed for c in self.cycles)
+
+    @property
+    def cell_accesses_per_query_per_timestamp(self) -> float:
+        """The Figure 6.3b metric."""
+        denom = self.n_queries * max(1, self.timestamps)
+        if denom == 0:
+            return 0.0
+        return self.total_cell_scans / denom
+
+    @property
+    def mean_cycle_sec(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.total_processing_sec / len(self.cycles)
+
+    def summary(self) -> dict[str, float]:
+        """Flat summary used by the experiment reporting tables."""
+        return {
+            "cpu_sec": self.total_processing_sec,
+            "cpu_total_sec": self.total_sec,
+            "install_sec": self.install_sec,
+            "cell_scans": float(self.total_cell_scans),
+            "cell_accesses_per_query_per_ts": self.cell_accesses_per_query_per_timestamp,
+            "objects_scanned": float(self.total_objects_scanned),
+            "results_changed": float(self.total_results_changed),
+        }

@@ -1,0 +1,97 @@
+"""The central monitoring server: workload replay and measurement.
+
+Mirrors the paper's simulation loop: load the initial object population,
+install the queries, then — for every timestamp — hand the cycle's object
+and query updates to the monitoring algorithm, measure the processing time
+with ``time.perf_counter`` and snapshot the grid counters.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from repro.engine.metrics import CycleMetrics, RunReport
+from repro.mobility.workload import Workload
+from repro.monitor import ContinuousMonitor, ResultEntry
+
+
+class MonitoringServer:
+    """Drives one monitor over one workload.
+
+    Args:
+        monitor: the algorithm under test.
+        workload: the materialized update stream.
+        collect_results: when true, every cycle's full result table is
+            recorded (needed by the equivalence tests; costs memory).
+    """
+
+    def __init__(
+        self,
+        monitor: ContinuousMonitor,
+        workload: Workload,
+        *,
+        collect_results: bool = False,
+    ) -> None:
+        self.monitor = monitor
+        self.workload = workload
+        self.collect_results = collect_results
+        #: per-cycle {qid: result} tables, when collect_results is set.
+        self.result_log: list[dict[int, list[ResultEntry]]] = []
+
+    def run(
+        self,
+        on_cycle: Callable[[CycleMetrics], None] | None = None,
+    ) -> RunReport:
+        """Replay the full workload; returns the aggregated report."""
+        monitor = self.monitor
+        workload = self.workload
+        report = RunReport(
+            algorithm=monitor.name, n_queries=len(workload.initial_queries)
+        )
+
+        monitor.load_objects(workload.initial_objects.items())
+        monitor.reset_stats()
+        t0 = time.perf_counter()
+        for qid, point in workload.initial_queries.items():
+            monitor.install_query(qid, point, workload.spec.k)
+        report.install_sec = time.perf_counter() - t0
+        report.install_stats = monitor.stats.snapshot()
+
+        if self.collect_results:
+            self.result_log.append(self._snapshot_results())
+
+        for batch in workload.batches:
+            monitor.reset_stats()
+            t0 = time.perf_counter()
+            changed = monitor.process(batch.object_updates, batch.query_updates)
+            elapsed = time.perf_counter() - t0
+            metrics = CycleMetrics(
+                timestamp=batch.timestamp,
+                elapsed_sec=elapsed,
+                stats=monitor.stats.snapshot(),
+                object_updates=len(batch.object_updates),
+                query_updates=len(batch.query_updates),
+                results_changed=len(changed),
+            )
+            report.cycles.append(metrics)
+            if self.collect_results:
+                self.result_log.append(self._snapshot_results())
+            if on_cycle is not None:
+                on_cycle(metrics)
+        return report
+
+    def _snapshot_results(self) -> dict[int, list[ResultEntry]]:
+        return {qid: self.monitor.result(qid) for qid in self.monitor.query_ids()}
+
+
+def run_workload(
+    monitor: ContinuousMonitor,
+    workload: Workload,
+    *,
+    collect_results: bool = False,
+) -> RunReport:
+    """One-shot convenience wrapper around :class:`MonitoringServer`."""
+    return MonitoringServer(
+        monitor, workload, collect_results=collect_results
+    ).run()

@@ -1,0 +1,33 @@
+"""Experiment drivers regenerating every figure of the evaluation
+(Section 6).  Each ``fig_6_x`` module exposes a ``run(scale=...)`` function
+returning an :class:`repro.experiments.common.ExperimentResult` and a
+``main()`` that prints the series as an ASCII table, so that
+
+``python -m repro.experiments.fig_6_1``
+
+regenerates the corresponding figure's data at a laptop-friendly scale
+(raise ``--scale`` towards 1.0 for the paper's full sizes).
+"""
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    SeriesPoint,
+    build_monitor,
+    make_workload,
+    run_algorithms,
+    scaled_spec,
+)
+from repro.experiments.reporting import format_table, render_result
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "ExperimentResult",
+    "SeriesPoint",
+    "build_monitor",
+    "format_table",
+    "make_workload",
+    "render_result",
+    "run_algorithms",
+    "scaled_spec",
+]

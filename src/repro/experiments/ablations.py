@@ -1,0 +1,88 @@
+"""Ablations of CPM's design choices (DESIGN.md Section 6).
+
+Three CPM variants replay the same workload:
+
+* **full** — the paper's algorithm;
+* **no-merge** — `merge_optimization=False`: the Section 3.3 batch
+  enhancement is disabled, so any outgoing NN triggers a re-computation
+  (the Section 3.2 single-update semantics);
+* **no-bookkeeping** — `reuse_bookkeeping=False`: the low-memory fallback;
+  affected queries recompute from scratch instead of resuming the visit
+  list and residual heap.
+
+Expected shape: full <= no-merge <= no-bookkeeping in both CPU time and
+cell accesses; the gaps quantify how much each mechanism contributes.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.cpm import CPMMonitor
+from repro.engine.server import run_workload
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    SeriesPoint,
+    make_workload,
+    scaled_grid,
+    scaled_spec,
+)
+from repro.experiments.reporting import print_result
+
+VARIANTS = ("full", "no-merge", "no-bookkeeping")
+
+
+def build_variant(variant: str, cells_per_axis: int, bounds) -> CPMMonitor:
+    """Instantiate a CPM ablation variant by name."""
+    if variant == "full":
+        monitor = CPMMonitor(cells_per_axis, bounds=bounds)
+    elif variant == "no-merge":
+        monitor = CPMMonitor(cells_per_axis, bounds=bounds, merge_optimization=False)
+    elif variant == "no-bookkeeping":
+        monitor = CPMMonitor(cells_per_axis, bounds=bounds, reuse_bookkeeping=False)
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+    monitor.name = f"CPM[{variant}]"
+    return monitor
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = 2005) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Ablation",
+        title="CPM design-choice ablations (same workload)",
+        parameter="variant",
+    )
+    spec = scaled_spec(scale, seed=seed)
+    grid = scaled_grid(scale)
+    workload = make_workload(spec)
+    for variant in VARIANTS:
+        monitor = build_variant(variant, grid, spec.bounds)
+        report = run_workload(monitor, workload)
+        result.points.append(
+            SeriesPoint(
+                parameter="variant",
+                value=variant,
+                algorithm="CPM",  # one column; the sweep value is the variant
+                report=report,
+            )
+        )
+    result.notes.append(
+        f"workload: N={spec.n_objects}, n={spec.n_queries}, k={spec.k}, "
+        f"T={spec.timestamps}, grid={grid}^2"
+    )
+    return result
+
+
+def main(argv: list[str] | None = None) -> ExperimentResult:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--seed", type=int, default=2005)
+    args = parser.parse_args(argv)
+    result = run(scale=args.scale, seed=args.seed)
+    print_result(result, metrics=("cpu_sec", "cell_accesses"))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Figure 6.1 — CPU time versus grid granularity.
+
+Default workload (Table 6.1), grid sizes 32x32 .. 1024x1024, one run per
+(granularity, algorithm).  Expected shape: CPM fastest at every
+granularity; intermediate granularities (the paper picks 128x128) give the
+best CPU/space trade-off for all methods.
+
+At reduced scale the sweep keeps the paper's granularity ratios relative to
+the scaled object density (see ``scaled_grid`` in
+:mod:`repro.experiments.common`).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    make_workload,
+    run_algorithms,
+    scaled_grid,
+    scaled_spec,
+)
+from repro.experiments.reporting import print_result
+
+#: the paper's granularities (cells per axis), scaled at runtime.
+PAPER_GRIDS = (32, 64, 128, 256, 512, 1024)
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = 2005) -> ExperimentResult:
+    """Regenerate the Figure 6.1 series at the given scale."""
+    spec = scaled_spec(scale, seed=seed)
+    workload = make_workload(spec)
+    result = ExperimentResult(
+        experiment="Figure 6.1",
+        title="CPU time versus grid granularity",
+        parameter="cells_per_axis",
+    )
+    result.notes.append(
+        f"workload: N={spec.n_objects}, n={spec.n_queries}, k={spec.k}, "
+        f"T={spec.timestamps}, scale={scale}"
+    )
+    for paper_grid in PAPER_GRIDS:
+        grid = scaled_grid(scale, paper_grid)
+        if any(p.value == grid for p in result.points):
+            continue  # scaled sweep collapsed two paper granularities
+        result.points.extend(
+            run_algorithms(workload, grid, "cells_per_axis", grid)
+        )
+    return result
+
+
+def main(argv: list[str] | None = None) -> ExperimentResult:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--seed", type=int, default=2005)
+    args = parser.parse_args(argv)
+    result = run(scale=args.scale, seed=args.seed)
+    print_result(result, metrics=("cpu_sec", "cell_accesses"))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Figure 6.2 — scalability: CPU time versus N (6.2a) and versus n (6.2b).
+
+Paper sweeps: N in {10K, 50K, 100K, 150K, 200K} objects and n in
+{1K, 2K, 5K, 7K, 10K} queries, everything else at Table 6.1 defaults.
+Expected shape: all methods grow roughly linearly in both N and n, with
+YPK-CNN and SEA-CNN far more sensitive than CPM.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    make_workload,
+    run_algorithms,
+    scaled_grid,
+    scaled_spec,
+)
+from repro.experiments.reporting import print_result
+
+#: paper sweep values.
+PAPER_N = (10_000, 50_000, 100_000, 150_000, 200_000)
+PAPER_QUERIES = (1_000, 2_000, 5_000, 7_000, 10_000)
+
+
+def run_objects(scale: float = DEFAULT_SCALE, seed: int = 2005) -> ExperimentResult:
+    """Figure 6.2a: CPU time versus the object population N."""
+    result = ExperimentResult(
+        experiment="Figure 6.2a",
+        title="CPU time versus number of objects",
+        parameter="N",
+    )
+    grid = scaled_grid(scale)
+    for paper_n in PAPER_N:
+        n_objects = max(200, round(paper_n * scale))
+        if any(p.value == n_objects for p in result.points):
+            continue  # scaled sweep collapsed two paper population sizes
+        spec = scaled_spec(scale, n_objects=n_objects, seed=seed)
+        workload = make_workload(spec)
+        result.points.extend(run_algorithms(workload, grid, "N", n_objects))
+    result.notes.append(f"grid={grid}^2, scale={scale}")
+    return result
+
+
+def run_queries(scale: float = DEFAULT_SCALE, seed: int = 2005) -> ExperimentResult:
+    """Figure 6.2b: CPU time versus the number of queries n."""
+    result = ExperimentResult(
+        experiment="Figure 6.2b",
+        title="CPU time versus number of queries",
+        parameter="n",
+    )
+    grid = scaled_grid(scale)
+    for paper_n in PAPER_QUERIES:
+        n_queries = max(2, round(paper_n * scale))
+        if any(p.value == n_queries for p in result.points):
+            continue  # scaled sweep collapsed two query counts
+        spec = scaled_spec(scale, n_queries=n_queries, seed=seed)
+        workload = make_workload(spec)
+        result.points.extend(run_algorithms(workload, grid, "n", n_queries))
+    result.notes.append(f"grid={grid}^2, scale={scale}")
+    return result
+
+
+def main(argv: list[str] | None = None) -> tuple[ExperimentResult, ExperimentResult]:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--seed", type=int, default=2005)
+    args = parser.parse_args(argv)
+    res_a = run_objects(scale=args.scale, seed=args.seed)
+    print_result(res_a)
+    res_b = run_queries(scale=args.scale, seed=args.seed)
+    print_result(res_b)
+    return res_a, res_b
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Figure 6.3 — effect of k: CPU time (6.3a) and cell accesses (6.3b).
+
+Paper sweep: k in {1, 4, 16, 64, 256}, everything else at defaults.
+Expected shape: all methods grow with k; CPM stays far below the baselines
+in both CPU time and cell accesses, and for small k CPM performs *less than
+one* cell access per query per timestamp (most queries are maintained from
+the update stream alone, without touching the grid).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    make_workload,
+    run_algorithms,
+    scaled_grid,
+    scaled_spec,
+)
+from repro.experiments.reporting import print_result
+
+#: paper sweep values.
+PAPER_K = (1, 4, 16, 64, 256)
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = 2005) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Figure 6.3",
+        title="CPU time and cell accesses versus k",
+        parameter="k",
+    )
+    grid = scaled_grid(scale)
+    for paper_k in PAPER_K:
+        # k must stay well below the scaled population to be meaningful.
+        spec = scaled_spec(scale, seed=seed)
+        k = min(paper_k, max(1, spec.n_objects // 8))
+        if any(p.value == k for p in result.points):
+            continue
+        spec = spec.replace(k=k)
+        workload = make_workload(spec)
+        result.points.extend(run_algorithms(workload, grid, "k", k))
+    result.notes.append(f"grid={grid}^2, scale={scale}")
+    return result
+
+
+def main(argv: list[str] | None = None) -> ExperimentResult:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--seed", type=int, default=2005)
+    args = parser.parse_args(argv)
+    result = run(scale=args.scale, seed=args.seed)
+    print_result(result, metrics=("cpu_sec", "cell_accesses"))
+    return result
+
+
+if __name__ == "__main__":
+    main()

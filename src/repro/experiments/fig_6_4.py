@@ -1,0 +1,74 @@
+"""Figure 6.4 — effect of object speed (6.4a) and query speed (6.4b).
+
+Paper sweep: speed class in {slow, medium, fast} for objects (6.4a) and
+queries (6.4b), everything else at defaults.  Expected shape:
+
+* 6.4a — CPM is practically unaffected by object speed, while both
+  YPK-CNN and SEA-CNN degrade with faster objects (their search regions
+  are bounded by how far the furthest previous neighbor moved);
+* 6.4b — CPM and YPK-CNN are insensitive to query speed (both recompute
+  moving queries from scratch), while SEA-CNN's search region — and hence
+  its cost — grows with the query displacement.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    make_workload,
+    run_algorithms,
+    scaled_grid,
+    scaled_spec,
+)
+from repro.experiments.reporting import print_result
+
+SPEEDS = ("slow", "medium", "fast")
+
+
+def run_object_speed(scale: float = DEFAULT_SCALE, seed: int = 2005) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Figure 6.4a",
+        title="CPU time versus object speed",
+        parameter="object_speed",
+    )
+    grid = scaled_grid(scale)
+    for speed in SPEEDS:
+        spec = scaled_spec(scale, object_speed=speed, seed=seed)
+        workload = make_workload(spec)
+        result.points.extend(run_algorithms(workload, grid, "object_speed", speed))
+    result.notes.append(f"grid={grid}^2, scale={scale}")
+    return result
+
+
+def run_query_speed(scale: float = DEFAULT_SCALE, seed: int = 2005) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Figure 6.4b",
+        title="CPU time versus query speed",
+        parameter="query_speed",
+    )
+    grid = scaled_grid(scale)
+    for speed in SPEEDS:
+        spec = scaled_spec(scale, query_speed=speed, seed=seed)
+        workload = make_workload(spec)
+        result.points.extend(run_algorithms(workload, grid, "query_speed", speed))
+    result.notes.append(f"grid={grid}^2, scale={scale}")
+    return result
+
+
+def main(argv: list[str] | None = None) -> tuple[ExperimentResult, ExperimentResult]:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--seed", type=int, default=2005)
+    args = parser.parse_args(argv)
+    res_a = run_object_speed(scale=args.scale, seed=args.seed)
+    print_result(res_a)
+    res_b = run_query_speed(scale=args.scale, seed=args.seed)
+    print_result(res_b)
+    return res_a, res_b
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Figure 6.5 — effect of object agility (6.5a) and query agility (6.5b).
+
+Paper sweep: f_obj and f_qry in {10%, 20%, 30%, 40%, 50%}, everything else
+at defaults.  Expected shape:
+
+* 6.5a — every method's cost grows with the fraction of moving objects;
+  CPM grows gently (index update cost is linear in N * f_obj);
+* 6.5b — CPM's cost grows with f_qry (NN computation for a moving query is
+  pricier than maintaining a static one); YPK-CNN is nearly flat (it pays
+  a full re-evaluation either way); SEA-CNN grows as well.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    make_workload,
+    run_algorithms,
+    scaled_grid,
+    scaled_spec,
+)
+from repro.experiments.reporting import print_result
+
+AGILITIES = (0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def run_object_agility(scale: float = DEFAULT_SCALE, seed: int = 2005) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Figure 6.5a",
+        title="CPU time versus object agility",
+        parameter="f_obj",
+    )
+    grid = scaled_grid(scale)
+    for agility in AGILITIES:
+        spec = scaled_spec(scale, object_agility=agility, seed=seed)
+        workload = make_workload(spec)
+        result.points.extend(run_algorithms(workload, grid, "f_obj", agility))
+    result.notes.append(f"grid={grid}^2, scale={scale}")
+    return result
+
+
+def run_query_agility(scale: float = DEFAULT_SCALE, seed: int = 2005) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Figure 6.5b",
+        title="CPU time versus query agility",
+        parameter="f_qry",
+    )
+    grid = scaled_grid(scale)
+    for agility in AGILITIES:
+        spec = scaled_spec(scale, query_agility=agility, seed=seed)
+        workload = make_workload(spec)
+        result.points.extend(run_algorithms(workload, grid, "f_qry", agility))
+    result.notes.append(f"grid={grid}^2, scale={scale}")
+    return result
+
+
+def main(argv: list[str] | None = None) -> tuple[ExperimentResult, ExperimentResult]:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--seed", type=int, default=2005)
+    args = parser.parse_args(argv)
+    res_a = run_object_agility(scale=args.scale, seed=args.seed)
+    print_result(res_a)
+    res_b = run_query_agility(scale=args.scale, seed=args.seed)
+    print_result(res_b)
+    return res_a, res_b
+
+
+if __name__ == "__main__":
+    main()

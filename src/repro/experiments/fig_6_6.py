@@ -1,0 +1,84 @@
+"""Figure 6.6 — module isolation: constantly moving (6.6a) and static
+(6.6b) queries versus the object population N.
+
+* 6.6a isolates the **NN computation** modules: every query moves every
+  timestamp (f_qry = 100%), so results are recomputed from scratch each
+  cycle.  SEA-CNN is omitted, exactly as in the paper ("it does not include
+  an explicit mechanism for obtaining the initial NN set").  Expected
+  shape: CPM below YPK-CNN, gap widening with N.
+* 6.6b isolates **result maintenance**: queries never move (f_qry = 0%).
+  Expected shape: YPK-CNN and SEA-CNN similar, CPM far below both.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    make_workload,
+    run_algorithms,
+    scaled_grid,
+    scaled_spec,
+)
+from repro.experiments.fig_6_2 import PAPER_N
+from repro.experiments.reporting import print_result
+
+
+def run_moving(scale: float = DEFAULT_SCALE, seed: int = 2005) -> ExperimentResult:
+    """Figure 6.6a: constantly moving queries (NN computation module)."""
+    result = ExperimentResult(
+        experiment="Figure 6.6a",
+        title="CPU time, constantly moving queries, versus N",
+        parameter="N",
+    )
+    grid = scaled_grid(scale)
+    for paper_n in PAPER_N:
+        n_objects = max(200, round(paper_n * scale))
+        if any(p.value == n_objects for p in result.points):
+            continue  # scaled sweep collapsed two population sizes
+        spec = scaled_spec(scale, n_objects=n_objects, query_agility=1.0, seed=seed)
+        workload = make_workload(spec)
+        result.points.extend(
+            run_algorithms(
+                workload, grid, "N", n_objects, algorithms=("CPM", "YPK-CNN")
+            )
+        )
+    result.notes.append(f"f_qry=100%, grid={grid}^2, scale={scale}; SEA-CNN omitted")
+    return result
+
+
+def run_static(scale: float = DEFAULT_SCALE, seed: int = 2005) -> ExperimentResult:
+    """Figure 6.6b: static queries (result maintenance module)."""
+    result = ExperimentResult(
+        experiment="Figure 6.6b",
+        title="CPU time, static queries, versus N",
+        parameter="N",
+    )
+    grid = scaled_grid(scale)
+    for paper_n in PAPER_N:
+        n_objects = max(200, round(paper_n * scale))
+        if any(p.value == n_objects for p in result.points):
+            continue  # scaled sweep collapsed two population sizes
+        spec = scaled_spec(scale, n_objects=n_objects, query_agility=0.0, seed=seed)
+        workload = make_workload(spec)
+        result.points.extend(run_algorithms(workload, grid, "N", n_objects))
+    result.notes.append(f"f_qry=0%, grid={grid}^2, scale={scale}")
+    return result
+
+
+def main(argv: list[str] | None = None) -> tuple[ExperimentResult, ExperimentResult]:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--seed", type=int, default=2005)
+    args = parser.parse_args(argv)
+    res_a = run_moving(scale=args.scale, seed=args.seed)
+    print_result(res_a)
+    res_b = run_static(scale=args.scale, seed=args.seed)
+    print_result(res_b)
+    return res_a, res_b
+
+
+if __name__ == "__main__":
+    main()

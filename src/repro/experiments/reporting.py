@@ -1,0 +1,61 @@
+"""ASCII reporting for experiment results.
+
+The paper's figures are line charts; without a plotting dependency we print
+the underlying series as aligned tables (one row per sweep value, one
+column per algorithm), which is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.common import ExperimentResult
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(col.rjust(widths[i]) for i, col in enumerate(row)))
+        if idx == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_result(result: ExperimentResult, metric: str = "cpu_sec") -> str:
+    """Render one experiment's series for a metric as a table."""
+    algorithms = result.algorithms()
+    headers = [result.parameter] + [f"{a} ({metric})" for a in algorithms]
+    rows = []
+    for value in result.values():
+        row: list[object] = [value]
+        for algorithm in algorithms:
+            row.append(getattr(result.point(value, algorithm), metric))
+        rows.append(row)
+    title = f"== {result.experiment}: {result.title} =="
+    body = format_table(headers, rows)
+    notes = "\n".join(f"note: {n}" for n in result.notes)
+    return "\n".join(s for s in (title, body, notes) if s)
+
+
+def print_result(result: ExperimentResult, metrics: Sequence[str] = ("cpu_sec",)) -> None:
+    """Print one experiment, one table per requested metric."""
+    for metric in metrics:
+        print(render_result(result, metric))
+        print()

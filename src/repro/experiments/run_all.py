@@ -1,0 +1,72 @@
+"""Run the full evaluation and emit a markdown report.
+
+``python -m repro.experiments.run_all --scale 0.05 --out report.md``
+regenerates every figure of the paper (plus the space table and the
+ablations) and writes the series as a single markdown document — the raw
+material behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import sys
+import time
+from contextlib import redirect_stdout
+
+from repro.experiments import (
+    ablations,
+    fig_6_1,
+    fig_6_2,
+    fig_6_3,
+    fig_6_4,
+    fig_6_5,
+    fig_6_6,
+    space_table,
+)
+from repro.experiments.common import DEFAULT_SCALE
+
+
+def run_all(scale: float = DEFAULT_SCALE, seed: int = 2005) -> str:
+    """Run every experiment; returns the combined report text."""
+    sections: list[tuple[str, object]] = [
+        ("Figure 6.1 — grid granularity", lambda: fig_6_1.main(["--scale", str(scale), "--seed", str(seed)])),
+        ("Figure 6.2 — scalability (N, n)", lambda: fig_6_2.main(["--scale", str(scale), "--seed", str(seed)])),
+        ("Figure 6.3 — effect of k", lambda: fig_6_3.main(["--scale", str(scale), "--seed", str(seed)])),
+        ("Figure 6.4 — speeds", lambda: fig_6_4.main(["--scale", str(scale), "--seed", str(seed)])),
+        ("Figure 6.5 — agilities", lambda: fig_6_5.main(["--scale", str(scale), "--seed", str(seed)])),
+        ("Figure 6.6 — module isolation", lambda: fig_6_6.main(["--scale", str(scale), "--seed", str(seed)])),
+        ("Footnote 6 — space", lambda: space_table.main(["--scale", str(scale), "--seed", str(seed)])),
+        ("Ablations", lambda: ablations.main(["--scale", str(scale), "--seed", str(seed)])),
+    ]
+    out = io.StringIO()
+    out.write(f"# CPM evaluation report (scale={scale}, seed={seed})\n\n")
+    for title, runner in sections:
+        out.write(f"## {title}\n\n```\n")
+        t0 = time.perf_counter()
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            runner()
+        out.write(buf.getvalue().rstrip() + "\n")
+        out.write(f"```\n\n_elapsed: {time.perf_counter() - t0:.1f}s_\n\n")
+    return out.getvalue()
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the markdown report to this path")
+    args = parser.parse_args(argv)
+    report = run_all(scale=args.scale, seed=args.seed)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        print(f"report written to {args.out}", file=sys.stderr)
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

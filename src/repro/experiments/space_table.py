@@ -1,0 +1,103 @@
+"""Footnote 6 — space overhead of the three methods at default settings.
+
+The paper reports 2.854 / 3.074 / 3.314 MBytes for YPK-CNN / SEA-CNN / CPM
+with N=100K, n=5K, k=16 on a 128x128 grid.  This driver reproduces both the
+Section 4.1 *model* at the paper's full size and a *measured* footprint of
+live monitors at a chosen scale, in abstract memory units and MBytes.
+Expected shape: YPK-CNN < SEA-CNN < CPM, all within the same small factor.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.analysis.space import (
+    SpaceRow,
+    measured_space_units,
+    modeled_space_units,
+    units_to_mbytes,
+)
+from repro.engine.server import run_workload
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ALGORITHMS,
+    build_monitor,
+    make_workload,
+    scaled_grid,
+    scaled_spec,
+)
+from repro.experiments.reporting import format_table
+
+#: paper-reported MBytes (footnote 6), for the EXPERIMENTS.md comparison.
+PAPER_MBYTES = {"YPK-CNN": 2.854, "SEA-CNN": 3.074, "CPM": 3.314}
+
+
+@dataclass(slots=True)
+class SpaceExperiment:
+    """Modeled (full-size) and measured (scaled) footprints."""
+
+    modeled_full: list[SpaceRow]
+    measured_scaled: list[SpaceRow]
+    scale: float
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = 2005) -> SpaceExperiment:
+    # Model at the paper's full default size.
+    delta_full = 1.0 / 128.0
+    modeled_full = [
+        SpaceRow(
+            method=name,
+            modeled_units=modeled_space_units(name, delta_full, 16, 100_000, 5_000),
+            measured_units=float("nan"),
+        )
+        for name in ALGORITHMS
+    ]
+    # Measure live monitors after replaying a scaled workload.
+    spec = scaled_spec(scale, seed=seed)
+    grid = scaled_grid(scale)
+    workload = make_workload(spec)
+    delta_scaled = 1.0 / grid
+    measured = []
+    for name in ALGORITHMS:
+        monitor = build_monitor(name, grid)
+        run_workload(monitor, workload)
+        measured.append(
+            SpaceRow(
+                method=name,
+                modeled_units=modeled_space_units(
+                    name, delta_scaled, spec.k, spec.n_objects, spec.n_queries
+                ),
+                measured_units=measured_space_units(monitor),
+            )
+        )
+    return SpaceExperiment(modeled_full=modeled_full, measured_scaled=measured, scale=scale)
+
+
+def main(argv: list[str] | None = None) -> SpaceExperiment:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--seed", type=int, default=2005)
+    args = parser.parse_args(argv)
+    experiment = run(scale=args.scale, seed=args.seed)
+
+    print("== Footnote 6: modeled space at paper-default size ==")
+    rows = [
+        [r.method, f"{r.modeled_units:.0f}", f"{r.modeled_mbytes:.3f}",
+         f"{PAPER_MBYTES[r.method]:.3f}"]
+        for r in experiment.modeled_full
+    ]
+    print(format_table(["method", "model units", "model MB", "paper MB"], rows))
+    print()
+    print(f"== Measured space at scale={experiment.scale} ==")
+    rows = [
+        [r.method, f"{r.modeled_units:.0f}", f"{r.measured_units:.0f}",
+         f"{units_to_mbytes(r.measured_units):.4f}"]
+        for r in experiment.measured_scaled
+    ]
+    print(format_table(["method", "model units", "measured units", "measured MB"], rows))
+    return experiment
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Geometry kernel shared by every subsystem.
+
+The paper works in a two-dimensional Euclidean workspace (Section 3,
+footnote 3).  This package provides the small set of exact geometric
+primitives the monitoring algorithms rely on:
+
+* point-to-point distance (:func:`repro.geometry.points.dist`),
+* point-to-rectangle minimum distance (:func:`repro.geometry.rects.mindist_point_rect`),
+* axis-aligned rectangles with intersection / containment tests
+  (:class:`repro.geometry.rects.Rect`),
+* aggregate distance functions ``sum`` / ``min`` / ``max`` used by the
+  aggregate-NN extension of Section 5
+  (:mod:`repro.geometry.aggregates`).
+
+Everything is pure Python operating on plain ``float`` tuples, which keeps
+the per-object cost of the monitoring hot loops low and the semantics
+obvious.
+"""
+
+from repro.geometry.aggregates import (
+    AGGREGATES,
+    AggregateFunction,
+    adist,
+    get_aggregate,
+)
+from repro.geometry.points import (
+    dist,
+    dist_sq,
+    max_distance_to_corners,
+    midpoint,
+    translate,
+)
+from repro.geometry.rects import (
+    Rect,
+    mindist_point_rect,
+    rects_intersect,
+)
+
+__all__ = [
+    "AGGREGATES",
+    "AggregateFunction",
+    "Rect",
+    "adist",
+    "dist",
+    "dist_sq",
+    "get_aggregate",
+    "max_distance_to_corners",
+    "midpoint",
+    "mindist_point_rect",
+    "rects_intersect",
+    "translate",
+]

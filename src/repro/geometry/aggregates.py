@@ -1,0 +1,100 @@
+"""Aggregate distance functions for aggregate-NN monitoring (Section 5).
+
+Given a set of query points ``Q = {q1, ..., qm}`` and an object ``p``, the
+aggregate distance is ``adist(p, Q) = f(dist(p, q1), ..., dist(p, qm))`` for
+a monotonically increasing ``f``.  The paper develops the three canonical
+cases:
+
+* ``sum`` — minimizes the total distance travelled for all users to meet at
+  ``p`` (the group-NN semantics of [PSTM04]);
+* ``max`` — minimizes the arrival time of the last user;
+* ``min`` — retrieves the object closest to *any* user.
+
+Each aggregate also fixes the per-level increment of the conceptual
+rectangle keys: ``m * delta`` for ``sum`` (Corollary 5.1) and ``delta`` for
+``min``/``max`` (Corollary 5.2).  :class:`AggregateFunction` bundles the
+reduction together with that increment multiplier so the CPM engine can stay
+aggregate-agnostic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.geometry.points import Point, dist
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateFunction:
+    """A monotone aggregate over individual query-point distances.
+
+    Attributes:
+        name: canonical name (``"sum"``, ``"min"`` or ``"max"``).
+        reduce: reduction applied to the iterable of individual distances.
+        level_step_per_point: multiplier ``s`` such that the key of
+            consecutive same-direction conceptual rectangles increases by
+            ``s * m * delta`` where ``m = |Q|``.  ``1.0`` for ``sum``
+            (Corollary 5.1 gives ``m * delta``), ``0.0``-marker is never
+            used; for ``min``/``max`` the increment is ``delta`` regardless
+            of ``m``, expressed as ``per_query=False``.
+        per_query: whether the level increment scales with ``m``.
+    """
+
+    name: str
+    reduce: Callable[[Iterable[float]], float] = field(compare=False)
+    per_query: bool
+
+    def __call__(self, distances: Iterable[float]) -> float:
+        return self.reduce(distances)
+
+    def level_step(self, m: int, delta: float) -> float:
+        """Key increment between levels ``j`` and ``j+1`` (Corollaries 5.1/5.2)."""
+        if m <= 0:
+            raise ValueError("aggregate queries need at least one query point")
+        if delta <= 0:
+            raise ValueError("cell side length must be positive")
+        return m * delta if self.per_query else delta
+
+
+AGG_SUM = AggregateFunction(name="sum", reduce=sum, per_query=True)
+AGG_MIN = AggregateFunction(name="min", reduce=min, per_query=False)
+AGG_MAX = AggregateFunction(name="max", reduce=max, per_query=False)
+
+AGGREGATES: dict[str, AggregateFunction] = {
+    "sum": AGG_SUM,
+    "min": AGG_MIN,
+    "max": AGG_MAX,
+}
+
+
+def get_aggregate(name: str | AggregateFunction) -> AggregateFunction:
+    """Resolve an aggregate by name (or pass one through).
+
+    >>> get_aggregate("sum").name
+    'sum'
+    """
+    if isinstance(name, AggregateFunction):
+        return name
+    try:
+        return AGGREGATES[name]
+    except KeyError:
+        known = ", ".join(sorted(AGGREGATES))
+        raise ValueError(f"unknown aggregate {name!r}; expected one of {known}") from None
+
+
+def adist(p: Point, query_points: Sequence[Point], fn: str | AggregateFunction = "sum") -> float:
+    """Aggregate distance ``adist(p, Q)`` of Section 5.
+
+    >>> adist((0.0, 0.0), [(3.0, 4.0), (0.0, 1.0)], "sum")
+    6.0
+    >>> adist((0.0, 0.0), [(3.0, 4.0), (0.0, 1.0)], "min")
+    1.0
+    >>> adist((0.0, 0.0), [(3.0, 4.0), (0.0, 1.0)], "max")
+    5.0
+    """
+    agg = get_aggregate(fn)
+    if not query_points:
+        raise ValueError("adist over an empty query set is undefined")
+    return agg(dist(p, q) for q in query_points)

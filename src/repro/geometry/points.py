@@ -1,0 +1,55 @@
+"""Point primitives.
+
+Points are plain ``(x, y)`` tuples of floats throughout the library.  The
+monitoring algorithms compute millions of distances per simulation, so these
+helpers stay free of any object-construction overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+Point = tuple[float, float]
+
+
+def dist(a: Point, b: Point) -> float:
+    """Euclidean distance between two points.
+
+    This is the ``dist(p, q)`` of Table 3.1.
+
+    >>> dist((0.0, 0.0), (3.0, 4.0))
+    5.0
+    """
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def dist_sq(a: Point, b: Point) -> float:
+    """Squared Euclidean distance (cheaper when only comparisons matter)."""
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return dx * dx + dy * dy
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """Midpoint of the segment ``ab``."""
+    return ((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)
+
+
+def translate(p: Point, dx: float, dy: float) -> Point:
+    """Return ``p`` shifted by the displacement vector ``(dx, dy)``."""
+    return (p[0] + dx, p[1] + dy)
+
+
+def max_distance_to_corners(p: Point, corners: Iterable[Point]) -> float:
+    """Largest distance from ``p`` to any point of ``corners``.
+
+    Used by tests to bound search regions (e.g. the furthest possible
+    object inside a rectangle is at one of its corners).
+    """
+    best = 0.0
+    for c in corners:
+        d = dist(p, c)
+        if d > best:
+            best = d
+    return best

@@ -1,0 +1,145 @@
+"""Axis-aligned rectangles and the ``mindist`` primitive.
+
+``mindist(c, q)`` — the minimum possible distance between any point inside a
+cell/rectangle ``c`` and a query point ``q`` — is the pruning bound at the
+heart of both the naive sorted-cell search of Section 3.1 and CPM's
+conceptual partitioning (Lemma 3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.points import Point
+
+
+def mindist_point_rect(
+    x: float, y: float, x0: float, y0: float, x1: float, y1: float
+) -> float:
+    """Minimum distance from point ``(x, y)`` to rectangle ``[x0,x1]x[y0,y1]``.
+
+    Returns ``0.0`` when the point lies inside (or on the border of) the
+    rectangle.  The rectangle must satisfy ``x0 <= x1`` and ``y0 <= y1``.
+    """
+    if x < x0:
+        dx = x0 - x
+    elif x > x1:
+        dx = x - x1
+    else:
+        dx = 0.0
+    if y < y0:
+        dy = y0 - y
+    elif y > y1:
+        dy = y - y1
+    else:
+        dy = 0.0
+    if dx == 0.0:
+        return dy
+    if dy == 0.0:
+        return dx
+    return math.hypot(dx, dy)
+
+
+def rects_intersect(
+    ax0: float, ay0: float, ax1: float, ay1: float,
+    bx0: float, by0: float, bx1: float, by1: float,
+) -> bool:
+    """Whether two closed axis-aligned rectangles share at least one point."""
+    return ax0 <= bx1 and bx0 <= ax1 and ay0 <= by1 and by0 <= ay1
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """Closed axis-aligned rectangle ``[x0, x1] x [y0, y1]``.
+
+    Used for the workspace bounds, the MBR ``M`` of a multi-point aggregate
+    query (Section 5) and constrained-NN constraint regions (Figure 5.3).
+    """
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x0 > self.x1 or self.y0 > self.y1:
+            raise ValueError(
+                f"degenerate rectangle: ({self.x0}, {self.y0}, {self.x1}, {self.y1})"
+            )
+
+    @classmethod
+    def bounding(cls, points: list[Point]) -> "Rect":
+        """Minimum bounding rectangle of a non-empty point set."""
+        if not points:
+            raise ValueError("cannot bound an empty point set")
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    @property
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        return (
+            (self.x0, self.y0),
+            (self.x1, self.y0),
+            (self.x1, self.y1),
+            (self.x0, self.y1),
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Whether ``(x, y)`` lies inside or on the border."""
+        return self.x0 <= x <= self.x1 and self.y0 <= y <= self.y1
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.x0 <= other.x0
+            and self.y0 <= other.y0
+            and other.x1 <= self.x1
+            and other.y1 <= self.y1
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        return rects_intersect(
+            self.x0, self.y0, self.x1, self.y1,
+            other.x0, other.y0, other.x1, other.y1,
+        )
+
+    def intersects_bounds(
+        self, x0: float, y0: float, x1: float, y1: float
+    ) -> bool:
+        """Intersection test against raw bounds (avoids a Rect allocation)."""
+        return rects_intersect(self.x0, self.y0, self.x1, self.y1, x0, y0, x1, y1)
+
+    def mindist(self, p: Point) -> float:
+        """Minimum distance from ``p`` to this rectangle (0 inside)."""
+        return mindist_point_rect(p[0], p[1], self.x0, self.y0, self.x1, self.y1)
+
+    def clamp(self, x: float, y: float) -> Point:
+        """Closest point of the rectangle to ``(x, y)``."""
+        cx = min(max(x, self.x0), self.x1)
+        cy = min(max(y, self.y0), self.y1)
+        return (cx, cy)
+
+    def expanded(self, margin: float) -> "Rect":
+        """Rectangle grown by ``margin`` on every side (may not be negative
+        beyond the rectangle extents)."""
+        return Rect(
+            self.x0 - margin, self.y0 - margin,
+            self.x1 + margin, self.y1 + margin,
+        )

@@ -1,0 +1,25 @@
+"""Main-memory regular grid index (substrate S2).
+
+All three monitoring algorithms of the paper (CPM, YPK-CNN, SEA-CNN) index
+the moving objects with a regular grid of cells with side ``delta``
+(Section 3): "we use a grid index since a more complicated data-structure
+(e.g., main memory R-tree) would be very expensive to maintain dynamically".
+
+:class:`repro.grid.grid.Grid` provides
+
+* object bookkeeping — ``insert`` / ``delete`` / ``move`` with per-cell
+  object hash tables (expected O(1) maintenance, the ``Time_ind = 2`` of
+  Section 4.1),
+* per-cell *query marks*, the generic mechanism behind CPM's influence
+  lists and SEA-CNN's answer-region book-keeping,
+* the ``mindist(c, q)`` primitive of Table 3.1, and
+* cell-access accounting (:class:`repro.grid.stats.GridStats`) matching the
+  paper's metric: "a cell visit corresponds to a complete scan over the
+  object list in the cell" (Section 6).
+"""
+
+from repro.grid.cell import CellCoord
+from repro.grid.grid import Grid
+from repro.grid.stats import GridStats
+
+__all__ = ["CellCoord", "Grid", "GridStats"]

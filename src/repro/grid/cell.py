@@ -1,0 +1,36 @@
+"""Cell addressing helpers.
+
+A cell is addressed by its (column, row) pair ``c_{i,j}``, counting from the
+low-left corner of the workspace (Section 3): cell ``c_{i,j}`` covers
+``[i*delta, (i+1)*delta) x [j*delta, (j+1)*delta)`` relative to the
+workspace origin, and an object at ``(x, y)`` belongs to
+``c_{floor(x/delta), floor(y/delta)}``.
+"""
+
+from __future__ import annotations
+
+CellCoord = tuple[int, int]
+
+
+def cell_index(coord_value: float, origin: float, delta: float, n_cells: int) -> int:
+    """Map a coordinate to its cell index along one axis.
+
+    Coordinates exactly on the workspace maximum edge are clamped into the
+    last cell (the half-open cell convention would otherwise push them one
+    cell out of range).
+    """
+    idx = int((coord_value - origin) / delta)
+    if idx < 0:
+        return 0
+    if idx >= n_cells:
+        return n_cells - 1
+    return idx
+
+
+def cell_bounds(
+    i: int, j: int, x_origin: float, y_origin: float, delta: float
+) -> tuple[float, float, float, float]:
+    """Spatial extent ``(x0, y0, x1, y1)`` of cell ``c_{i,j}``."""
+    x0 = x_origin + i * delta
+    y0 = y_origin + j * delta
+    return (x0, y0, x0 + delta, y0 + delta)

@@ -1,0 +1,328 @@
+"""The main-memory grid index ``G`` of Section 3.
+
+Cells are stored sparsely (``dict`` keyed by ``(column, row)``) so that very
+fine granularities — the paper evaluates up to 1024x1024 = ~1M cells
+(Figure 6.1) — cost memory only for occupied cells.  Per-cell object lists
+are hash tables, matching the paper's cost model ("the object lists of the
+cells are implemented as hash tables so that the deletion of an object from
+its old cell and the insertion into its new one takes expected
+``Time_ind = 2``", Section 4.1).
+
+The grid additionally hosts *query marks*: per-cell sets of query ids.  CPM
+uses them as influence lists ("each cell c of the grid is associated with
+(ii) the list of queries whose influence region contains c"), and SEA-CNN
+uses the identical mechanism for its answer-region book-keeping.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+
+from repro.geometry.points import Point
+from repro.geometry.rects import Rect
+from repro.grid.cell import CellCoord, cell_bounds, cell_index
+from repro.grid.stats import GridStats
+
+_EMPTY_OBJECTS: dict[int, Point] = {}
+_EMPTY_MARKS: frozenset[int] = frozenset()
+
+
+class Grid:
+    """Regular grid over a rectangular workspace.
+
+    Args:
+        cells_per_axis: number of cells per dimension (the paper's grids are
+            square: 32x32 ... 1024x1024).  Mutually exclusive with ``delta``.
+        delta: cell side length.  The produced column/row counts cover the
+            workspace, the last column/row possibly extending past it.
+        bounds: workspace rectangle; defaults to the unit square used by the
+            paper's normalized datasets.
+    """
+
+    __slots__ = (
+        "boundary_epsilon",
+        "bounds",
+        "cols",
+        "delta",
+        "rows",
+        "stats",
+        "_cells",
+        "_marks",
+        "_n_objects",
+    )
+
+    def __init__(
+        self,
+        cells_per_axis: int | None = None,
+        *,
+        delta: float | None = None,
+        bounds: Rect | tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0),
+    ) -> None:
+        if not isinstance(bounds, Rect):
+            bounds = Rect(*bounds)
+        if bounds.width <= 0 or bounds.height <= 0:
+            raise ValueError("workspace must have positive area")
+        if (cells_per_axis is None) == (delta is None):
+            raise ValueError("specify exactly one of cells_per_axis or delta")
+        if cells_per_axis is not None:
+            if cells_per_axis <= 0:
+                raise ValueError("cells_per_axis must be positive")
+            extent = max(bounds.width, bounds.height)
+            delta = extent / cells_per_axis
+        assert delta is not None
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.bounds = bounds
+        self.delta = delta
+        self.cols = max(1, math.ceil(bounds.width / delta - 1e-9))
+        self.rows = max(1, math.ceil(bounds.height / delta - 1e-9))
+        # Floating-point slack for boundary decisions (e.g. whether a cell
+        # still belongs to an influence region): a few ulps at the scale of
+        # the workspace coordinates.
+        self.boundary_epsilon = 1e-12 * (
+            1.0
+            + abs(bounds.x0) + abs(bounds.y0)
+            + abs(bounds.x1) + abs(bounds.y1)
+        )
+        self.stats = GridStats()
+        # (i, j) -> {oid: (x, y)} for non-empty cells only.
+        self._cells: dict[CellCoord, dict[int, Point]] = {}
+        # (i, j) -> set of query ids marked on the cell.
+        self._marks: dict[CellCoord, set[int]] = {}
+        self._n_objects = 0
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+
+    def cell_of(self, x: float, y: float) -> CellCoord:
+        """Cell containing the point ``(x, y)`` (clamped to the grid)."""
+        return (
+            cell_index(x, self.bounds.x0, self.delta, self.cols),
+            cell_index(y, self.bounds.y0, self.delta, self.rows),
+        )
+
+    def in_bounds(self, i: int, j: int) -> bool:
+        """Whether ``c_{i,j}`` is a real cell of this grid."""
+        return 0 <= i < self.cols and 0 <= j < self.rows
+
+    def cell_rect(self, i: int, j: int) -> tuple[float, float, float, float]:
+        """Spatial extent ``(x0, y0, x1, y1)`` of cell ``c_{i,j}``.
+
+        The last column/row extends exactly to the workspace edge: objects
+        on the boundary are clamped into those cells by :meth:`cell_of`,
+        and the lower-bound property ``mindist(c, q) <= dist(p, q)`` for
+        every object ``p`` in ``c`` must survive that clamping.
+        """
+        x0, y0, x1, y1 = cell_bounds(i, j, self.bounds.x0, self.bounds.y0, self.delta)
+        if i == self.cols - 1 and x1 < self.bounds.x1:
+            x1 = self.bounds.x1
+        if j == self.rows - 1 and y1 < self.bounds.y1:
+            y1 = self.bounds.y1
+        return (x0, y0, x1, y1)
+
+    def mindist(self, i: int, j: int, q: Point) -> float:
+        """``mindist(c, q)`` of Table 3.1: minimum possible distance between
+        any object in cell ``c_{i,j}`` and the point ``q``.
+
+        Inlined (no :meth:`cell_rect` call): this runs once per en-heaped
+        cell in every NN search, the hottest loop of the library.
+        """
+        delta = self.delta
+        bounds = self.bounds
+        qx = q[0]
+        qy = q[1]
+        x0 = bounds.x0 + i * delta
+        if qx < x0:
+            dx = x0 - qx
+        else:
+            x1 = x0 + delta
+            if i == self.cols - 1 and x1 < bounds.x1:
+                x1 = bounds.x1
+            dx = qx - x1 if qx > x1 else 0.0
+        y0 = bounds.y0 + j * delta
+        if qy < y0:
+            dy = y0 - qy
+        else:
+            y1 = y0 + delta
+            if j == self.rows - 1 and y1 < bounds.y1:
+                y1 = bounds.y1
+            dy = qy - y1 if qy > y1 else 0.0
+        if dx == 0.0:
+            return dy
+        if dy == 0.0:
+            return dx
+        return math.hypot(dx, dy)
+
+    def all_cells(self) -> Iterator[CellCoord]:
+        """Every cell coordinate of the grid (dense enumeration)."""
+        for i in range(self.cols):
+            for j in range(self.rows):
+                yield (i, j)
+
+    def cells_in_rect(
+        self, x0: float, y0: float, x1: float, y1: float
+    ) -> Iterator[CellCoord]:
+        """Cells intersecting the closed rectangle ``[x0,x1] x [y0,y1]``.
+
+        Used by YPK-CNN's square search regions and by SEA-CNN's circular
+        region bounding boxes.
+        """
+        if x1 < x0 or y1 < y0:
+            return
+        lo_i = cell_index(x0, self.bounds.x0, self.delta, self.cols)
+        hi_i = cell_index(x1, self.bounds.x0, self.delta, self.cols)
+        lo_j = cell_index(y0, self.bounds.y0, self.delta, self.rows)
+        hi_j = cell_index(y1, self.bounds.y0, self.delta, self.rows)
+        for i in range(lo_i, hi_i + 1):
+            for j in range(lo_j, hi_j + 1):
+                yield (i, j)
+
+    def cells_in_circle(self, center: Point, radius: float) -> Iterator[CellCoord]:
+        """Cells whose extent intersects the disk ``(center, radius)``."""
+        if radius < 0:
+            return
+        cx, cy = center
+        for coord in self.cells_in_rect(cx - radius, cy - radius, cx + radius, cy + radius):
+            if self.mindist(coord[0], coord[1], center) <= radius:
+                yield coord
+
+    # ------------------------------------------------------------------
+    # Object maintenance
+    # ------------------------------------------------------------------
+
+    def insert(self, oid: int, x: float, y: float) -> CellCoord:
+        """Insert object ``oid`` at ``(x, y)``; returns its cell."""
+        coord = self.cell_of(x, y)
+        cell = self._cells.get(coord)
+        if cell is None:
+            cell = {}
+            self._cells[coord] = cell
+        if oid in cell:
+            raise KeyError(f"object {oid} already present in cell {coord}")
+        cell[oid] = (x, y)
+        self._n_objects += 1
+        self.stats.inserts += 1
+        return coord
+
+    def delete(self, oid: int, x: float, y: float) -> CellCoord:
+        """Delete object ``oid`` located at ``(x, y)``; returns its old cell."""
+        coord = self.cell_of(x, y)
+        cell = self._cells.get(coord)
+        if cell is None or oid not in cell:
+            raise KeyError(f"object {oid} not found in cell {coord}")
+        del cell[oid]
+        if not cell:
+            del self._cells[coord]
+        self._n_objects -= 1
+        self.stats.deletes += 1
+        return coord
+
+    def move(
+        self, oid: int, old: Point, new: Point
+    ) -> tuple[CellCoord, CellCoord]:
+        """Relocate an object; returns ``(old_cell, new_cell)``."""
+        old_coord = self.delete(oid, old[0], old[1])
+        new_coord = self.insert(oid, new[0], new[1])
+        return (old_coord, new_coord)
+
+    def bulk_load(self, objects: Iterable[tuple[int, Point]]) -> None:
+        """Insert many objects at once (initial workload loading)."""
+        for oid, (x, y) in objects:
+            self.insert(oid, x, y)
+
+    # ------------------------------------------------------------------
+    # Object access
+    # ------------------------------------------------------------------
+
+    def scan(self, i: int, j: int) -> dict[int, Point]:
+        """Scan the object list of ``c_{i,j}`` — *this is a cell access*.
+
+        Every call increments the counters that back Figure 6.3b.  The
+        returned mapping is the live cell dictionary; callers must not
+        mutate it.
+        """
+        cell = self._cells.get((i, j), _EMPTY_OBJECTS)
+        self.stats.cell_scans += 1
+        self.stats.objects_scanned += len(cell)
+        return cell
+
+    def peek(self, i: int, j: int) -> dict[int, Point]:
+        """Object list of ``c_{i,j}`` *without* charging a cell access.
+
+        Reserved for assertions, tests and size inspection — algorithm code
+        must go through :meth:`scan`.
+        """
+        return self._cells.get((i, j), _EMPTY_OBJECTS)
+
+    def cell_size(self, i: int, j: int) -> int:
+        """Number of objects currently in ``c_{i,j}`` (no access charged)."""
+        return len(self._cells.get((i, j), _EMPTY_OBJECTS))
+
+    def __len__(self) -> int:
+        """Total number of indexed objects."""
+        return self._n_objects
+
+    @property
+    def occupied_cells(self) -> int:
+        """Number of cells currently holding at least one object."""
+        return len(self._cells)
+
+    # ------------------------------------------------------------------
+    # Query marks (influence lists / answer regions)
+    # ------------------------------------------------------------------
+
+    def add_mark(self, coord: CellCoord, qid: int) -> None:
+        """Mark cell ``coord`` as influenced by query ``qid`` (idempotent)."""
+        marks = self._marks.get(coord)
+        if marks is None:
+            marks = set()
+            self._marks[coord] = marks
+        if qid not in marks:
+            marks.add(qid)
+            self.stats.mark_ops += 1
+
+    def remove_mark(self, coord: CellCoord, qid: int) -> None:
+        """Remove query ``qid``'s mark from ``coord`` (no-op when absent)."""
+        marks = self._marks.get(coord)
+        if marks is None:
+            return
+        if qid in marks:
+            marks.discard(qid)
+            self.stats.mark_ops += 1
+            if not marks:
+                del self._marks[coord]
+
+    def marks(self, coord: CellCoord) -> frozenset[int] | set[int]:
+        """Queries marked on ``coord`` (possibly empty, never None)."""
+        return self._marks.get(coord, _EMPTY_MARKS)
+
+    def marked_cells(self, qid: int) -> list[CellCoord]:
+        """All cells carrying a mark of ``qid`` (test/diagnostic helper)."""
+        return [coord for coord, marks in self._marks.items() if qid in marks]
+
+    @property
+    def total_marks(self) -> int:
+        """Total number of (cell, query) mark pairs currently stored."""
+        return sum(len(m) for m in self._marks.values())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def memory_units(self) -> int:
+        """Memory units per the Section 4.1 accounting model.
+
+        "The minimum unit of memory can store a (real or integer) number";
+        an object costs ``s_obj = 3`` (id + two coordinates) and every mark
+        costs 1 unit (a query id in an influence list).  This feeds the
+        footnote-6 space comparison.
+        """
+        return 3 * self._n_objects + self.total_marks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Grid({self.cols}x{self.rows}, delta={self.delta:.6g}, "
+            f"objects={self._n_objects}, marks={self.total_marks})"
+        )

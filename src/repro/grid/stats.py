@@ -1,0 +1,74 @@
+"""Grid access accounting.
+
+The experimental study of the paper (Figure 6.3b) reports *cell accesses*:
+"a cell visit corresponds to a complete scan over the object list in the
+cell.  Note that a cell may be accessed multiple times within a cycle, if it
+is involved in the processing of multiple queries."
+
+:class:`GridStats` mirrors that definition: :meth:`Grid.scan` bumps
+``cell_scans`` once per scan (not per distinct cell) and adds the number of
+objects encountered to ``objects_scanned``.  Index maintenance operations
+are tracked separately so the harness can decompose running time the same
+way Section 4.1 decomposes ``Time_CPM``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class GridStats:
+    """Mutable counters for one grid instance.
+
+    Attributes:
+        cell_scans: number of complete object-list scans performed.
+        objects_scanned: total objects encountered across all scans.
+        inserts: object insertions into cells.
+        deletes: object deletions from cells.
+        mark_ops: influence-list / answer-region mark additions + removals.
+    """
+
+    cell_scans: int = 0
+    objects_scanned: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    mark_ops: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter (called by the engine between cycles)."""
+        self.cell_scans = 0
+        self.objects_scanned = 0
+        self.inserts = 0
+        self.deletes = 0
+        self.mark_ops = 0
+
+    def snapshot(self) -> "GridStats":
+        """Immutable-ish copy of the current counter values."""
+        return GridStats(
+            cell_scans=self.cell_scans,
+            objects_scanned=self.objects_scanned,
+            inserts=self.inserts,
+            deletes=self.deletes,
+            mark_ops=self.mark_ops,
+        )
+
+    def diff(self, earlier: "GridStats") -> "GridStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return GridStats(
+            cell_scans=self.cell_scans - earlier.cell_scans,
+            objects_scanned=self.objects_scanned - earlier.objects_scanned,
+            inserts=self.inserts - earlier.inserts,
+            deletes=self.deletes - earlier.deletes,
+            mark_ops=self.mark_ops - earlier.mark_ops,
+        )
+
+    def merged(self, other: "GridStats") -> "GridStats":
+        """Element-wise sum of two counter sets."""
+        return GridStats(
+            cell_scans=self.cell_scans + other.cell_scans,
+            objects_scanned=self.objects_scanned + other.objects_scanned,
+            inserts=self.inserts + other.inserts,
+            deletes=self.deletes + other.deletes,
+            mark_ops=self.mark_ops + other.mark_ops,
+        )

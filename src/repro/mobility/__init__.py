@@ -1,0 +1,44 @@
+"""Moving-object workload substrate (systems S9/S10 of DESIGN.md).
+
+The paper's datasets come from the Brinkhoff network-based generator fed
+with the Oldenburg road map [B02]: objects appear on a network node, follow
+the shortest path to a random destination and then disappear; queries move
+on the same network but stay in the system.  We reproduce that stimulus
+with a synthetic road network (see DESIGN.md, substitution table):
+
+* :mod:`repro.mobility.network` — road-network construction (perturbed
+  grid or random geometric graph, largest connected component, normalized
+  to the unit workspace) and shortest-path routing.
+* :mod:`repro.mobility.objects` — the per-object path-following motion
+  model with the paper's speed classes (slow / medium / fast = 1/250,
+  5/250, 25/250 of the sum of workspace extents per timestamp).
+* :mod:`repro.mobility.brinkhoff` — the generator assembling object and
+  query populations into per-timestamp update batches with the paper's
+  agility knobs (f_obj, f_qry).
+* :mod:`repro.mobility.uniform` — uniform random-displacement workload
+  matching the analysis setting of Section 4.1.
+* :mod:`repro.mobility.workload` — the materialized, replayable workload
+  (identical streams for every algorithm under comparison).
+"""
+
+from repro.mobility.brinkhoff import BrinkhoffGenerator
+from repro.mobility.network import RoadNetwork, grid_network, random_geometric_network
+from repro.mobility.objects import SPEED_FACTORS, MovingAgent, speed_per_timestamp
+from repro.mobility.skewed import SkewedGenerator, occupancy_skew
+from repro.mobility.uniform import UniformGenerator
+from repro.mobility.workload import Workload, WorkloadSpec
+
+__all__ = [
+    "BrinkhoffGenerator",
+    "MovingAgent",
+    "RoadNetwork",
+    "SPEED_FACTORS",
+    "SkewedGenerator",
+    "UniformGenerator",
+    "Workload",
+    "WorkloadSpec",
+    "grid_network",
+    "occupancy_skew",
+    "random_geometric_network",
+    "speed_per_timestamp",
+]

@@ -1,0 +1,125 @@
+"""Brinkhoff-style workload generation (Section 6 experimental setup).
+
+Assembles a :class:`repro.mobility.workload.Workload` from a road network:
+
+* ``N`` objects with the Brinkhoff lifecycle (appear on a node, complete
+  the shortest path to a random destination, disappear and get replaced so
+  the average population stays at ``N``);
+* ``n`` queries moving on the same network that "stay in the system
+  throughout the simulation";
+* agility sampling: each timestamp, ``f_obj * N`` objects and
+  ``f_qry * n`` queries issue location updates, the rest stand still;
+* the paper's speed classes for both populations.
+
+The whole stream is deterministic in the spec's seed, so every monitoring
+algorithm replays an identical input.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.geometry.points import Point
+from repro.mobility.network import RoadNetwork, grid_network
+from repro.mobility.objects import MovingAgent, speed_per_timestamp
+from repro.mobility.workload import Workload, WorkloadSpec
+from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind, UpdateBatch
+
+#: query ids start here so they never collide with object ids in reports.
+QUERY_ID_BASE = 1_000_000_000
+
+
+class BrinkhoffGenerator:
+    """Network-based moving object and query generator.
+
+    Args:
+        spec: workload parameters (Table 6.1 analogue).
+        network: road network to move on; a default perturbed-lattice
+            network is built from the spec's seed when omitted.
+    """
+
+    def __init__(self, spec: WorkloadSpec, network: RoadNetwork | None = None) -> None:
+        self.spec = spec
+        self.network = network or grid_network(
+            16, 16, bounds=spec.rect, seed=spec.seed
+        )
+        if self.network.bounds != spec.rect:
+            raise ValueError("network workspace differs from the spec bounds")
+
+    def generate(self) -> Workload:
+        """Materialize the full update stream."""
+        spec = self.spec
+        rng = random.Random(spec.seed)
+        object_speed = speed_per_timestamp(spec.object_speed, spec.rect)
+        query_speed = speed_per_timestamp(spec.query_speed, spec.rect)
+
+        objects: dict[int, MovingAgent] = {}
+        next_oid = 0
+        for _ in range(spec.n_objects):
+            objects[next_oid] = MovingAgent(self.network, object_speed, rng)
+            next_oid += 1
+        queries: dict[int, MovingAgent] = {}
+        for idx in range(spec.n_queries):
+            queries[QUERY_ID_BASE + idx] = MovingAgent(
+                self.network, query_speed, rng, respawn=True
+            )
+
+        initial_objects = {oid: agent.position for oid, agent in objects.items()}
+        initial_queries = {qid: agent.position for qid, agent in queries.items()}
+
+        batches: list[UpdateBatch] = []
+        for t in range(spec.timestamps):
+            object_updates: list[ObjectUpdate] = []
+            moving_oids = self._sample(rng, list(objects), spec.object_agility)
+            for oid in moving_oids:
+                agent = objects[oid]
+                old: Point = agent.position
+                new = agent.advance(rng)
+                if new is None:
+                    # Trip completed: disappear and spawn a replacement to
+                    # keep the average population at N.
+                    object_updates.append(ObjectUpdate(oid, old, None))
+                    del objects[oid]
+                    replacement = MovingAgent(self.network, object_speed, rng)
+                    object_updates.append(
+                        ObjectUpdate(next_oid, None, replacement.position)
+                    )
+                    objects[next_oid] = replacement
+                    next_oid += 1
+                elif new != old:
+                    object_updates.append(ObjectUpdate(oid, old, new))
+
+            query_updates: list[QueryUpdate] = []
+            moving_qids = self._sample(rng, list(queries), spec.query_agility)
+            for qid in moving_qids:
+                agent = queries[qid]
+                old = agent.position
+                new = agent.advance(rng)
+                assert new is not None  # respawning agents never disappear
+                if new != old:
+                    query_updates.append(
+                        QueryUpdate(qid, QueryUpdateKind.MOVE, new, spec.k)
+                    )
+            batches.append(
+                UpdateBatch(
+                    timestamp=t,
+                    object_updates=tuple(object_updates),
+                    query_updates=tuple(query_updates),
+                )
+            )
+        return Workload(
+            spec=spec,
+            initial_objects=initial_objects,
+            initial_queries=initial_queries,
+            batches=batches,
+        )
+
+    @staticmethod
+    def _sample(rng: random.Random, ids: list[int], agility: float) -> list[int]:
+        """Choose ``round(agility * len(ids))`` distinct movers."""
+        if not ids or agility <= 0.0:
+            return []
+        count = round(agility * len(ids))
+        if count >= len(ids):
+            return ids
+        return rng.sample(ids, count)

@@ -1,0 +1,207 @@
+"""Synthetic road networks (the Oldenburg substitute, see DESIGN.md).
+
+The Brinkhoff generator's input is a road map; its output objects move
+along network edges.  We build comparable networks synthetically:
+
+* :func:`grid_network` — a perturbed lattice: nodes on a jittered grid,
+  edges between lattice neighbors with random dropouts.  Produces the
+  Manhattan-like connectivity typical of city road maps.
+* :func:`random_geometric_network` — a random geometric graph (networkx),
+  keeping the largest connected component.  Produces organic, unevenly
+  dense road webs.
+
+Both are normalized so that every node falls inside the requested workspace
+rectangle, and both guarantee connectivity (shortest paths exist between
+all node pairs).  :class:`RoadNetwork` then offers seeded random nodes and
+cached shortest-path routing for the motion model.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Sequence
+
+import networkx as nx
+
+from repro.geometry.points import Point, dist
+from repro.geometry.rects import Rect
+
+
+class RoadNetwork:
+    """A connected road network embedded in a workspace rectangle.
+
+    Args:
+        nodes: node positions; index in the list is the node id.
+        edges: pairs of node ids; edge weight is the Euclidean length.
+        bounds: workspace rectangle containing every node.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Point],
+        edges: Sequence[tuple[int, int]],
+        bounds: Rect | tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0),
+    ) -> None:
+        if not isinstance(bounds, Rect):
+            bounds = Rect(*bounds)
+        if len(nodes) < 2:
+            raise ValueError("a road network needs at least two nodes")
+        self.bounds = bounds
+        self.nodes: list[Point] = [(float(x), float(y)) for x, y in nodes]
+        for x, y in self.nodes:
+            if not bounds.contains_point(x, y):
+                raise ValueError(f"node ({x}, {y}) outside workspace {bounds}")
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(len(self.nodes)))
+        for u, v in edges:
+            if u == v:
+                continue
+            self.graph.add_edge(u, v, weight=dist(self.nodes[u], self.nodes[v]))
+        if self.graph.number_of_edges() == 0:
+            raise ValueError("a road network needs at least one edge")
+        if not nx.is_connected(self.graph):
+            raise ValueError("road network must be connected")
+        self._path_cache: dict[tuple[int, int], list[int]] = {}
+        self._cache_cap = 50_000
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return self.graph.number_of_edges()
+
+    def node_position(self, node: int) -> Point:
+        return self.nodes[node]
+
+    def random_node(self, rng: random.Random) -> int:
+        return rng.randrange(len(self.nodes))
+
+    def random_trip(self, rng: random.Random) -> tuple[int, int]:
+        """A random (source, destination) pair with distinct endpoints."""
+        src = self.random_node(rng)
+        dst = self.random_node(rng)
+        while dst == src:
+            dst = self.random_node(rng)
+        return src, dst
+
+    def shortest_path(self, src: int, dst: int) -> list[Point]:
+        """Shortest path as a polyline of node positions (length >= 2).
+
+        Paths are cached per (src, dst); the cache is bounded and cleared
+        wholesale when it overflows (simple and allocation-friendly).
+        """
+        if src == dst:
+            raise ValueError("trip endpoints must differ")
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            cached = nx.shortest_path(self.graph, src, dst, weight="weight")
+            if len(self._path_cache) >= self._cache_cap:
+                self._path_cache.clear()
+            self._path_cache[key] = cached
+        return [self.nodes[n] for n in cached]
+
+    def path_length(self, polyline: Sequence[Point]) -> float:
+        """Total Euclidean length of a polyline."""
+        return sum(dist(polyline[i], polyline[i + 1]) for i in range(len(polyline) - 1))
+
+
+def grid_network(
+    rows: int = 16,
+    cols: int = 16,
+    *,
+    jitter: float = 0.3,
+    dropout: float = 0.1,
+    bounds: Rect | tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0),
+    seed: int = 0,
+) -> RoadNetwork:
+    """Perturbed-lattice road network (city-like connectivity).
+
+    Args:
+        rows, cols: lattice dimensions (``rows * cols`` nodes).
+        jitter: node displacement as a fraction of the lattice spacing.
+        dropout: probability of removing a lattice edge (removals that
+            would disconnect the network are skipped).
+        bounds: workspace rectangle.
+        seed: RNG seed for jitter and dropouts.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("lattice needs at least 2x2 nodes")
+    if not 0.0 <= dropout < 1.0:
+        raise ValueError("dropout must be in [0, 1)")
+    if not isinstance(bounds, Rect):
+        bounds = Rect(*bounds)
+    rng = random.Random(seed)
+    dx = bounds.width / (cols + 1)
+    dy = bounds.height / (rows + 1)
+    nodes: list[Point] = []
+    for r in range(rows):
+        for c in range(cols):
+            x = bounds.x0 + (c + 1) * dx + rng.uniform(-jitter, jitter) * dx
+            y = bounds.y0 + (r + 1) * dy + rng.uniform(-jitter, jitter) * dy
+            nodes.append(bounds.clamp(x, y))
+    edges: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1))
+            if r + 1 < rows:
+                edges.append((node, node + cols))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(nodes)))
+    graph.add_edges_from(edges)
+    # Random dropouts, skipping bridges that would disconnect the network.
+    for edge in sorted(graph.edges()):
+        if rng.random() < dropout:
+            graph.remove_edge(*edge)
+            if not nx.is_connected(graph):
+                graph.add_edge(*edge)
+    return RoadNetwork(nodes, list(graph.edges()), bounds)
+
+
+def random_geometric_network(
+    n_nodes: int = 300,
+    *,
+    radius: float | None = None,
+    bounds: Rect | tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0),
+    seed: int = 0,
+) -> RoadNetwork:
+    """Random geometric graph network (organic road web).
+
+    Nodes are uniform in the workspace; nodes within ``radius`` are
+    connected; only the largest connected component is kept (so the
+    resulting network may have fewer than ``n_nodes`` nodes).
+    """
+    if n_nodes < 2:
+        raise ValueError("need at least two nodes")
+    if not isinstance(bounds, Rect):
+        bounds = Rect(*bounds)
+    if radius is None:
+        # Above the connectivity threshold ~ sqrt(ln n / (pi n)) with slack.
+        radius = 1.8 * math.sqrt(math.log(max(n_nodes, 3)) / (math.pi * n_nodes))
+    rng = random.Random(seed)
+    raw = nx.random_geometric_graph(n_nodes, radius, seed=seed)
+    component = max(nx.connected_components(raw), key=len)
+    kept = sorted(component)
+    if len(kept) < 2:
+        raise ValueError("random geometric graph degenerated; increase radius")
+    relabel = {old: new for new, old in enumerate(kept)}
+    nodes: list[Point] = []
+    for old in kept:
+        px, py = raw.nodes[old]["pos"]
+        nodes.append(
+            bounds.clamp(
+                bounds.x0 + px * bounds.width, bounds.y0 + py * bounds.height
+            )
+        )
+    edges = [
+        (relabel[u], relabel[v])
+        for u, v in raw.edges()
+        if u in relabel and v in relabel
+    ]
+    del rng  # positions/topology fully determined by networkx's seed
+    return RoadNetwork(nodes, edges, bounds)

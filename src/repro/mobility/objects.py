@@ -1,0 +1,144 @@
+"""Path-following motion model (the Brinkhoff object lifecycle).
+
+"An object appears on a network node, completes the shortest path to a
+random destination, and then disappears" (Section 6).  Speeds follow the
+generator defaults the paper cites: "objects with slow speed cover a
+distance that equals 1/250 of the sum of the workspace extents per
+timestamp.  Medium and fast speeds correspond to distances that are 5 and
+25 times larger."
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.geometry.points import Point, dist
+from repro.geometry.rects import Rect
+from repro.mobility.network import RoadNetwork
+
+#: distance per timestamp, as multiples of (width + height) / 250.
+SPEED_FACTORS: dict[str, float] = {"slow": 1.0, "medium": 5.0, "fast": 25.0}
+
+
+def speed_per_timestamp(speed: str, bounds: Rect) -> float:
+    """Distance covered per timestamp for a named speed class."""
+    try:
+        factor = SPEED_FACTORS[speed]
+    except KeyError:
+        known = ", ".join(sorted(SPEED_FACTORS))
+        raise ValueError(f"unknown speed {speed!r}; expected one of {known}") from None
+    return factor * (bounds.width + bounds.height) / 250.0
+
+
+class MovingAgent:
+    """One agent (object or query) traversing shortest paths on a network.
+
+    Objects disappear at their destination; queries (``respawn=True``)
+    immediately start a new trip from the destination node, staying in the
+    system for the whole simulation.
+    """
+
+    __slots__ = (
+        "_node",
+        "_offset",
+        "_path",
+        "_segment",
+        "network",
+        "position",
+        "respawn",
+        "speed",
+    )
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        speed: float,
+        rng: random.Random,
+        *,
+        respawn: bool = False,
+        start_node: int | None = None,
+    ) -> None:
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self.network = network
+        self.speed = speed
+        self.respawn = respawn
+        self._node = start_node if start_node is not None else network.random_node(rng)
+        self._begin_trip(rng)
+
+    def _begin_trip(self, rng: random.Random) -> None:
+        dst = self.network.random_node(rng)
+        while dst == self._node:
+            dst = self.network.random_node(rng)
+        self._path = self.network.shortest_path(self._node, dst)
+        self._node = dst  # destination becomes the next trip's source
+        self._segment = 0
+        self._offset = 0.0
+        self.position: Point = self._path[0]
+
+    @property
+    def finished(self) -> bool:
+        """Whether the agent stands on its destination node."""
+        return self._segment >= len(self._path) - 1
+
+    def advance(self, rng: random.Random) -> Point | None:
+        """Move one timestamp's worth of distance along the path.
+
+        Returns the new position, or ``None`` when a non-respawning agent
+        completed its trip (the caller should emit a disappearance).
+        Respawning agents roll over into a fresh trip and keep moving.
+        """
+        remaining = self.speed
+        while remaining > 0.0:
+            if self.finished:
+                if not self.respawn:
+                    return None
+                self._begin_trip(rng)
+            seg_start = self._path[self._segment]
+            seg_end = self._path[self._segment + 1]
+            seg_len = dist(seg_start, seg_end)
+            if seg_len <= 0.0:
+                self._segment += 1
+                self._offset = 0.0
+                continue
+            left_on_segment = seg_len - self._offset
+            if remaining < left_on_segment:
+                self._offset += remaining
+                remaining = 0.0
+            else:
+                remaining -= left_on_segment
+                self._segment += 1
+                self._offset = 0.0
+                if self.finished and not self.respawn:
+                    self.position = self._path[-1]
+                    return self.position
+        if self.finished:
+            # Landed exactly on the destination; a respawning agent starts
+            # its next trip on the following timestamp.
+            self.position = self._path[-1]
+            return self.position
+        if self._offset == 0.0:
+            self.position = self._path[self._segment]
+            return self.position
+        t = self._offset / dist(self._path[self._segment], self._path[self._segment + 1])
+        sx, sy = self._path[self._segment]
+        ex, ey = self._path[self._segment + 1]
+        self.position = (sx + (ex - sx) * t, sy + (ey - sy) * t)
+        return self.position
+
+    def remaining_trip_length(self) -> float:
+        """Distance left to the destination (diagnostics/tests)."""
+        if self.finished:
+            return 0.0
+        total = -self._offset
+        for idx in range(self._segment, len(self._path) - 1):
+            total += dist(self._path[idx], self._path[idx + 1])
+        return max(0.0, total)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        x, y = self.position
+        return (
+            f"MovingAgent(pos=({x:.4f}, {y:.4f}), speed={self.speed:.4g}, "
+            f"respawn={self.respawn}, finished={self.finished})"
+        )

@@ -1,0 +1,109 @@
+"""Uniform random-displacement workload (the Section 4.1 analysis setting).
+
+The performance analysis of the paper assumes objects and queries uniformly
+distributed in the unit workspace, issuing updates "following random
+displacement vectors".  This generator realizes exactly that stimulus; the
+tests use it to validate the analytical estimates of
+:mod:`repro.analysis.model` against simulation, and the property-based
+tests use it as a neutral update source.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.geometry.points import Point
+from repro.mobility.objects import speed_per_timestamp
+from repro.mobility.workload import Workload, WorkloadSpec
+from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind, UpdateBatch
+
+from repro.mobility.brinkhoff import QUERY_ID_BASE
+
+
+class UniformGenerator:
+    """Uniformly distributed agents with bounded random displacements.
+
+    Movers jump by a vector drawn uniformly from the square
+    ``[-step, step]^2`` (clamped into the workspace), where ``step`` is the
+    spec's speed class converted by
+    :func:`repro.mobility.objects.speed_per_timestamp`.
+    """
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+
+    def generate(self) -> Workload:
+        spec = self.spec
+        rng = random.Random(spec.seed)
+        bounds = spec.rect
+        object_step = speed_per_timestamp(spec.object_speed, bounds)
+        query_step = speed_per_timestamp(spec.query_speed, bounds)
+
+        positions: dict[int, Point] = {
+            oid: self._random_point(rng) for oid in range(spec.n_objects)
+        }
+        query_positions: dict[int, Point] = {
+            QUERY_ID_BASE + idx: self._random_point(rng)
+            for idx in range(spec.n_queries)
+        }
+        initial_objects = dict(positions)
+        initial_queries = dict(query_positions)
+
+        batches: list[UpdateBatch] = []
+        for t in range(spec.timestamps):
+            object_updates: list[ObjectUpdate] = []
+            for oid in self._movers(rng, list(positions), spec.object_agility):
+                old = positions[oid]
+                new = self._displace(rng, old, object_step)
+                if new != old:
+                    positions[oid] = new
+                    object_updates.append(ObjectUpdate(oid, old, new))
+            query_updates: list[QueryUpdate] = []
+            for qid in self._movers(rng, list(query_positions), spec.query_agility):
+                old = query_positions[qid]
+                new = self._displace(rng, old, query_step)
+                if new != old:
+                    query_positions[qid] = new
+                    query_updates.append(
+                        QueryUpdate(qid, QueryUpdateKind.MOVE, new, spec.k)
+                    )
+            batches.append(
+                UpdateBatch(
+                    timestamp=t,
+                    object_updates=tuple(object_updates),
+                    query_updates=tuple(query_updates),
+                )
+            )
+        return Workload(
+            spec=spec,
+            initial_objects=initial_objects,
+            initial_queries=initial_queries,
+            batches=batches,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _random_point(self, rng: random.Random) -> Point:
+        bounds = self.spec.rect
+        return (
+            rng.uniform(bounds.x0, bounds.x1),
+            rng.uniform(bounds.y0, bounds.y1),
+        )
+
+    def _displace(self, rng: random.Random, p: Point, step: float) -> Point:
+        bounds = self.spec.rect
+        return bounds.clamp(
+            p[0] + rng.uniform(-step, step),
+            p[1] + rng.uniform(-step, step),
+        )
+
+    @staticmethod
+    def _movers(rng: random.Random, ids: list[int], agility: float) -> list[int]:
+        if not ids or agility <= 0.0:
+            return []
+        count = round(agility * len(ids))
+        if count >= len(ids):
+            return ids
+        return rng.sample(ids, count)

@@ -1,0 +1,114 @@
+"""Abstract interface shared by every continuous k-NN monitor.
+
+CPM, YPK-CNN, SEA-CNN and the brute-force reference all implement
+:class:`ContinuousMonitor`, so the replay engine
+(:mod:`repro.engine.server`), the experiment drivers and the cross-algorithm
+equivalence tests can treat them interchangeably.
+
+Results are lists of ``(distance, object_id)`` pairs sorted ascending by
+``(distance, object_id)``; ties on distance are broken by object id in every
+implementation so identical inputs produce identical outputs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+
+from repro.geometry.points import Point
+from repro.grid.stats import GridStats
+from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind, UpdateBatch
+
+ResultEntry = tuple[float, int]
+
+
+class ContinuousMonitor(ABC):
+    """A continuous k-NN monitoring algorithm over moving 2D objects."""
+
+    #: short algorithm name used in reports ("CPM", "YPK-CNN", ...).
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Object population
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def load_objects(self, objects: Iterable[tuple[int, Point]]) -> None:
+        """Bulk-load the initial object population (before any query)."""
+
+    @abstractmethod
+    def object_position(self, oid: int) -> Point | None:
+        """Current position of an object, or ``None`` when off-line."""
+
+    @property
+    @abstractmethod
+    def object_count(self) -> int:
+        """Number of objects currently on-line."""
+
+    # ------------------------------------------------------------------
+    # Query management
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def install_query(self, qid: int, point: Point, k: int = 1) -> list[ResultEntry]:
+        """Register a point k-NN query and return its initial result."""
+
+    @abstractmethod
+    def remove_query(self, qid: int) -> None:
+        """Terminate a query and drop all its book-keeping."""
+
+    @abstractmethod
+    def result(self, qid: int) -> list[ResultEntry]:
+        """Current result of a registered query (ascending ``(dist, oid)``)."""
+
+    @abstractmethod
+    def query_ids(self) -> list[int]:
+        """Ids of all currently registered queries."""
+
+    # ------------------------------------------------------------------
+    # Stream processing
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def process(
+        self,
+        object_updates: Sequence[ObjectUpdate],
+        query_updates: Sequence[QueryUpdate] = (),
+    ) -> set[int]:
+        """Process one cycle of updates; returns ids of queries whose result
+        changed (including newly inserted and moved queries)."""
+
+    def process_batch(self, batch: UpdateBatch) -> set[int]:
+        """Process a packaged :class:`repro.updates.UpdateBatch`."""
+        return self.process(batch.object_updates, batch.query_updates)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def stats(self) -> GridStats:
+        """Grid access counters (cell scans etc.) for the current run."""
+
+    def reset_stats(self) -> None:
+        """Zero the access counters (the engine calls this between cycles)."""
+        self.stats.reset()
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def apply_query_update(self, update: QueryUpdate) -> None:
+        """Default query-update dispatch used by implementations.
+
+        Figure 3.9 treats a moving query as a termination followed by an
+        insertion at the new location.
+        """
+        if update.kind is QueryUpdateKind.TERMINATE:
+            self.remove_query(update.qid)
+            return
+        if update.kind is QueryUpdateKind.MOVE:
+            self.remove_query(update.qid)
+        assert update.point is not None
+        self.install_query(update.qid, update.point, update.k or 1)

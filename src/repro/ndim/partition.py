@@ -1,0 +1,152 @@
+"""The d-dimensional conceptual partition (slab tiling).
+
+Directions are indexed ``0 .. 2d-1``: direction ``2a`` is the positive
+side of axis ``a``, direction ``2a + 1`` its negative side.  The level-l
+slab of direction ``(a, +)`` is the box of cells with
+
+* offset exactly ``l + 1`` beyond the core along axis ``a``,
+* offsets within ``±l`` of the core on axes *before* ``a``,
+* offsets within ``±(l + 1)`` on axes *after* ``a``,
+
+clipped to the grid (and the mirror image for the negative side).
+Equivalently: a shell cell belongs to the *first* axis on which its
+offset magnitude attains the shell radius.  This tiles each shell — hence
+the whole grid — exactly once (verified by property tests in up to four
+dimensions), and every slab spans the core's projection on all non-normal
+axes, so its minimum distance from the query is the perpendicular gap and
+grows by exactly ``δ`` per level (Lemma 3.1 in d dimensions).
+
+For ``d = 2`` this produces an axis-priority variant of the paper's
+pinwheel (Figure 3.1b): each ring holds the same total cell count and
+yields the same key sequence, but corners are assigned by axis order
+instead of rotation (axis-0 arms get ``2l+3`` cells, axis-1 arms
+``2l+1``, versus the pinwheel's uniform ``2l+2``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from itertools import product
+
+NdCell = tuple[int, ...]
+
+
+class NdConceptualPartition:
+    """Slab partition of a ``cells_per_axis ** d`` grid around a core box.
+
+    Args:
+        core_lo, core_hi: inclusive per-axis cell ranges of the core block.
+        cells_per_axis: grid cells along every axis.
+    """
+
+    __slots__ = ("cells_per_axis", "core_hi", "core_lo", "dimensions")
+
+    def __init__(
+        self,
+        core_lo: NdCell,
+        core_hi: NdCell,
+        cells_per_axis: int,
+    ) -> None:
+        if len(core_lo) != len(core_hi):
+            raise ValueError("core corner dimensionality mismatch")
+        if not core_lo:
+            raise ValueError("at least one dimension required")
+        for lo, hi in zip(core_lo, core_hi):
+            if not (0 <= lo <= hi < cells_per_axis):
+                raise ValueError(
+                    f"core ({core_lo}, {core_hi}) does not fit a grid with "
+                    f"{cells_per_axis} cells per axis"
+                )
+        self.core_lo = tuple(core_lo)
+        self.core_hi = tuple(core_hi)
+        self.cells_per_axis = cells_per_axis
+        self.dimensions = len(core_lo)
+
+    @classmethod
+    def around_cell(cls, cell: NdCell, cells_per_axis: int) -> "NdConceptualPartition":
+        return cls(cell, cell, cells_per_axis)
+
+    @property
+    def direction_count(self) -> int:
+        return 2 * self.dimensions
+
+    def direction_axis_sign(self, direction: int) -> tuple[int, int]:
+        """Decode a direction index into ``(axis, sign)`` with sign ±1."""
+        if not 0 <= direction < self.direction_count:
+            raise ValueError(f"unknown direction {direction}")
+        return (direction // 2, 1 if direction % 2 == 0 else -1)
+
+    # ------------------------------------------------------------------
+    # Levels
+    # ------------------------------------------------------------------
+
+    def max_level(self, direction: int) -> int:
+        """Highest level of a direction inside the grid (−1 when none)."""
+        axis, sign = self.direction_axis_sign(direction)
+        if sign > 0:
+            return self.cells_per_axis - 2 - self.core_hi[axis]
+        return self.core_lo[axis] - 1
+
+    def exists(self, direction: int, level: int) -> bool:
+        return 0 <= level <= self.max_level(direction)
+
+    # ------------------------------------------------------------------
+    # Cell enumeration
+    # ------------------------------------------------------------------
+
+    def slab_ranges(
+        self, direction: int, level: int
+    ) -> list[tuple[int, int]]:
+        """Clipped inclusive per-axis cell ranges of the slab."""
+        if not self.exists(direction, level):
+            raise ValueError(f"slab {direction}/{level} is outside the grid")
+        axis, sign = self.direction_axis_sign(direction)
+        ranges: list[tuple[int, int]] = []
+        for b in range(self.dimensions):
+            if b == axis:
+                coord = (
+                    self.core_hi[axis] + level + 1
+                    if sign > 0
+                    else self.core_lo[axis] - level - 1
+                )
+                ranges.append((coord, coord))
+            else:
+                spread = level if b < axis else level + 1
+                lo = max(0, self.core_lo[b] - spread)
+                hi = min(self.cells_per_axis - 1, self.core_hi[b] + spread)
+                ranges.append((lo, hi))
+        return ranges
+
+    def slab_cells(self, direction: int, level: int) -> Iterator[NdCell]:
+        """Cells of the slab (clipped to the grid)."""
+        ranges = self.slab_ranges(direction, level)
+        yield from product(*(range(lo, hi + 1) for lo, hi in ranges))
+
+    def core_cells(self) -> Iterator[NdCell]:
+        yield from product(
+            *(range(lo, hi + 1) for lo, hi in zip(self.core_lo, self.core_hi))
+        )
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def owner_of(self, cell: NdCell) -> tuple[int, int] | None:
+        """``(direction, level)`` owning ``cell``; ``None`` for the core."""
+        offsets = []
+        for b in range(self.dimensions):
+            if cell[b] > self.core_hi[b]:
+                offsets.append(cell[b] - self.core_hi[b])
+            elif cell[b] < self.core_lo[b]:
+                offsets.append(cell[b] - self.core_lo[b])  # negative
+            else:
+                offsets.append(0)
+        radius = max(abs(o) for o in offsets)
+        if radius == 0:
+            return None
+        level = radius - 1
+        for axis in range(self.dimensions):
+            if abs(offsets[axis]) == radius:
+                direction = 2 * axis if offsets[axis] > 0 else 2 * axis + 1
+                return (direction, level)
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,105 @@
+"""Update-stream vocabulary shared by monitors, the engine and the workload
+generators.
+
+The paper models the input as a stream of location updates: "An update from
+object p is a tuple ``<p.id, x_old, y_old, x_new, y_new>``, implying that p
+moves from ``(x_old, y_old)`` to ``(x_new, y_new)``" (Section 3).  We extend
+the tuple with two boundary cases the evaluation needs:
+
+* *appearance* — ``old is None`` (a Brinkhoff-style object enters the
+  network at a node);
+* *disappearance* — ``new is None`` (the object completes its path and goes
+  off-line; Section 4.2 notes CPM "trivially deals with this situation by
+  treating off-line NNs as outgoing ones").
+
+Query updates follow Figure 3.9: a query may be ``insert``-ed, ``move``-d
+(handled as a termination plus a re-insertion) or ``terminate``-d.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.geometry.points import Point
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectUpdate:
+    """One object location update ``<oid, old, new>``.
+
+    ``old is None`` means the object appears; ``new is None`` means it
+    disappears.  Both being ``None`` is invalid.
+    """
+
+    oid: int
+    old: Point | None
+    new: Point | None
+
+    def __post_init__(self) -> None:
+        if self.old is None and self.new is None:
+            raise ValueError(f"update for object {self.oid} carries no location")
+
+    @property
+    def is_appearance(self) -> bool:
+        return self.old is None
+
+    @property
+    def is_disappearance(self) -> bool:
+        return self.new is None
+
+
+class QueryUpdateKind(Enum):
+    """The three query-stream events of Figure 3.9."""
+
+    INSERT = "insert"
+    MOVE = "move"
+    TERMINATE = "terminate"
+
+
+@dataclass(frozen=True, slots=True)
+class QueryUpdate:
+    """One query update.
+
+    ``point`` and ``k`` are required for ``INSERT`` and ``MOVE``; they are
+    ignored for ``TERMINATE``.
+    """
+
+    qid: int
+    kind: QueryUpdateKind
+    point: Point | None = None
+    k: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is not QueryUpdateKind.TERMINATE and self.point is None:
+            raise ValueError(
+                f"query update {self.qid}/{self.kind.value} requires a location"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateBatch:
+    """All updates arriving within one processing cycle (timestamp)."""
+
+    timestamp: int
+    object_updates: tuple[ObjectUpdate, ...] = field(default_factory=tuple)
+    query_updates: tuple[QueryUpdate, ...] = field(default_factory=tuple)
+
+    @property
+    def size(self) -> int:
+        return len(self.object_updates) + len(self.query_updates)
+
+
+def move_update(oid: int, old: Point, new: Point) -> ObjectUpdate:
+    """Convenience constructor for a plain movement update."""
+    return ObjectUpdate(oid=oid, old=old, new=new)
+
+
+def appear_update(oid: int, position: Point) -> ObjectUpdate:
+    """Convenience constructor for an appearance update."""
+    return ObjectUpdate(oid=oid, old=None, new=position)
+
+
+def disappear_update(oid: int, position: Point) -> ObjectUpdate:
+    """Convenience constructor for a disappearance update."""
+    return ObjectUpdate(oid=oid, old=position, new=None)

@@ -1,0 +1,19 @@
+"""ASCII visualization of grids, partitions and influence regions.
+
+No plotting dependency is available offline, so the library renders its
+spatial structures as text — good enough to eyeball the conceptual
+partitioning of Figure 3.1b, a query's influence region, or the object
+density of a grid, directly in a terminal or a doctest.
+"""
+
+from repro.vis.ascii import (
+    render_grid_occupancy,
+    render_influence_region,
+    render_partition,
+)
+
+__all__ = [
+    "render_grid_occupancy",
+    "render_influence_region",
+    "render_partition",
+]

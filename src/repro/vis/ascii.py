@@ -1,0 +1,116 @@
+"""ASCII renderers for the library's spatial structures.
+
+All renderers draw the grid with row 0 at the *bottom* (the paper counts
+cells from the low-left corner), one character per cell.
+"""
+
+from __future__ import annotations
+
+from repro.core.cpm import CPMMonitor
+from repro.core.partition import DIRECTION_NAMES, DIRECTIONS, ConceptualPartition
+from repro.grid.grid import Grid
+
+#: density ramp for occupancy rendering.
+_RAMP = " .:-=+*#%@"
+
+
+def _frame(rows: list[str], cols: int) -> str:
+    """Wrap cell rows (top row first) in a box frame."""
+    top = "+" + "-" * cols + "+"
+    body = [f"|{row}|" for row in rows]
+    return "\n".join([top, *body, top])
+
+
+def render_partition(partition: ConceptualPartition, max_level: int | None = None) -> str:
+    """Draw the conceptual partitioning (Figure 3.1b).
+
+    Core cells show ``q``; every other cell shows its owning direction
+    letter, lowercase for even levels and uppercase for odd levels so the
+    level bands are visible.
+
+    >>> p = ConceptualPartition.around_cell((2, 2), 5, 5)
+    >>> print(render_partition(p))  # doctest: +NORMALIZE_WHITESPACE
+    +-----+
+    |LUUUU|
+    |LluuR|
+    |LlqrR|
+    |LddrR|
+    |DDDDR|
+    +-----+
+    """
+    rows: list[str] = []
+    for j in reversed(range(partition.rows)):
+        row = []
+        for i in range(partition.cols):
+            owner = partition.owner_of((i, j))
+            if owner is None:
+                row.append("q")
+            else:
+                direction, level = owner
+                if max_level is not None and level > max_level:
+                    row.append(" ")
+                    continue
+                letter = DIRECTION_NAMES[direction]
+                row.append(letter.lower() if level % 2 == 0 else letter.upper())
+        rows.append("".join(row))
+    return _frame(rows, partition.cols)
+
+
+def render_influence_region(monitor: CPMMonitor, qid: int) -> str:
+    """Draw a query's influence region over its grid.
+
+    ``Q`` marks the query cell, ``#`` the other influence-region cells,
+    ``.`` visited-but-unmarked cells, spaces the rest.
+    """
+    grid = monitor.grid
+    state = monitor.query_state(qid)
+    marked = set(state.visit_cells[: state.marked_upto])
+    visited = set(state.visit_cells)
+    ref = state.strategy.reference_point()
+    q_cell = grid.cell_of(ref[0], ref[1])
+    rows: list[str] = []
+    for j in reversed(range(grid.rows)):
+        row = []
+        for i in range(grid.cols):
+            cell = (i, j)
+            if cell == q_cell:
+                row.append("Q")
+            elif cell in marked:
+                row.append("#")
+            elif cell in visited:
+                row.append(".")
+            else:
+                row.append(" ")
+        rows.append("".join(row))
+    return _frame(rows, grid.cols)
+
+
+def render_grid_occupancy(grid: Grid) -> str:
+    """Draw object density per cell with a 10-step character ramp."""
+    peak = 1
+    for j in range(grid.rows):
+        for i in range(grid.cols):
+            n = grid.cell_size(i, j)
+            if n > peak:
+                peak = n
+    rows: list[str] = []
+    for j in reversed(range(grid.rows)):
+        row = []
+        for i in range(grid.cols):
+            n = grid.cell_size(i, j)
+            if n == 0:
+                row.append(" ")
+            else:
+                idx = min(len(_RAMP) - 1, 1 + (n * (len(_RAMP) - 2)) // peak)
+                row.append(_RAMP[idx])
+        rows.append("".join(row))
+    return _frame(rows, grid.cols)
+
+
+def partition_legend() -> str:
+    """One-line legend for :func:`render_partition` output."""
+    names = ", ".join(
+        f"{DIRECTION_NAMES[d].lower()}/{DIRECTION_NAMES[d].upper()}"
+        for d in DIRECTIONS
+    )
+    return f"q = query cell; {names} alternate by level (even/odd)"

@@ -1,0 +1,204 @@
+"""Tests for the Section 4.1 analytical model and the space accounting."""
+
+import math
+
+import pytest
+
+from repro.analysis.model import (
+    best_dist_estimate,
+    cinf_estimate,
+    csh_estimate,
+    oinf_estimate,
+    optimal_delta,
+    space_cpm,
+    space_grid,
+    space_query_table,
+    time_cpm,
+)
+from repro.analysis.space import (
+    measured_space_units,
+    modeled_space_units,
+    units_to_mbytes,
+)
+
+
+class TestBestDistEstimate:
+    def test_formula(self):
+        # best_dist = sqrt(k / (pi N)).
+        assert best_dist_estimate(16, 100_000) == pytest.approx(
+            math.sqrt(16 / (math.pi * 100_000))
+        )
+
+    def test_grows_with_k(self):
+        assert best_dist_estimate(64, 1000) > best_dist_estimate(4, 1000)
+
+    def test_shrinks_with_n(self):
+        assert best_dist_estimate(4, 100_000) < best_dist_estimate(4, 1000)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            best_dist_estimate(0, 100)
+        with pytest.raises(ValueError):
+            best_dist_estimate(1, 0)
+
+    def test_matches_simulation_on_uniform_data(self):
+        """The expected k-th NN distance on uniform data should sit near
+        the model (within a loose factor — it is an expectation)."""
+        import random
+
+        rng = random.Random(0)
+        n, k = 5000, 10
+        positions = [(rng.random(), rng.random()) for _ in range(n)]
+        trials = []
+        for _ in range(20):
+            q = (rng.uniform(0.2, 0.8), rng.uniform(0.2, 0.8))
+            dists = sorted(math.hypot(x - q[0], y - q[1]) for x, y in positions)
+            trials.append(dists[k - 1])
+        mean = sum(trials) / len(trials)
+        model = best_dist_estimate(k, n)
+        assert 0.6 * model < mean < 1.6 * model
+
+
+class TestRegionEstimates:
+    def test_cinf_decreasing_in_delta(self):
+        assert cinf_estimate(1 / 256, 16, 100_000) >= cinf_estimate(1 / 64, 16, 100_000)
+
+    def test_oinf_approaches_k_for_small_delta(self):
+        # As delta -> 0 the influence region tightens around the k NNs.
+        oinf = oinf_estimate(1 / 4096, 16, 100_000)
+        assert oinf < 3 * 16
+
+    def test_oinf_grows_for_large_delta(self):
+        assert oinf_estimate(1 / 8, 16, 100_000) > oinf_estimate(1 / 256, 16, 100_000)
+
+    def test_csh_is_4_over_pi_of_cinf(self):
+        # C_SH = 4 r^2, C_inf = pi r^2 with the same ring count r.
+        delta, k, n = 1 / 128, 16, 100_000
+        assert csh_estimate(delta, k, n) / cinf_estimate(delta, k, n) == pytest.approx(
+            4 / math.pi
+        )
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            cinf_estimate(0.0, 16, 1000)
+        with pytest.raises(ValueError):
+            csh_estimate(-1.0, 16, 1000)
+
+    def test_cinf_tracks_simulation(self):
+        """Measured influence-region size should be within a small factor
+        of the model on uniform data."""
+        import random
+
+        from repro.core.cpm import CPMMonitor
+
+        rng = random.Random(1)
+        n, k, cells = 2000, 8, 32
+        monitor = CPMMonitor(cells_per_axis=cells)
+        monitor.load_objects(
+            (oid, (rng.random(), rng.random())) for oid in range(n)
+        )
+        sizes = []
+        for qid in range(15):
+            q = (rng.uniform(0.2, 0.8), rng.uniform(0.2, 0.8))
+            monitor.install_query(qid, q, k)
+            sizes.append(len(monitor.influence_cells(qid)))
+        mean = sum(sizes) / len(sizes)
+        model = cinf_estimate(1 / cells, k, n)
+        assert 0.3 * model < mean < 3.0 * model
+
+
+class TestSpaceModel:
+    def test_space_grid_formula(self):
+        delta, k, n_obj, n_q = 1 / 128, 16, 100_000, 5_000
+        assert space_grid(delta, k, n_obj, n_q) == pytest.approx(
+            3 * n_obj + n_q * cinf_estimate(delta, k, n_obj)
+        )
+
+    def test_space_qt_formula(self):
+        delta, k, n_obj, n_q = 1 / 128, 16, 100_000, 5_000
+        assert space_query_table(delta, k, n_obj, n_q) == pytest.approx(
+            n_q * (15 + 2 * k + 3 * csh_estimate(delta, k, n_obj))
+        )
+
+    def test_space_cpm_is_sum(self):
+        args = (1 / 128, 16, 100_000, 5_000)
+        assert space_cpm(*args) == pytest.approx(
+            space_grid(*args) + space_query_table(*args)
+        )
+
+    def test_footnote_6_magnitudes(self):
+        """The modeled footprints must land in the footnote-6 ballpark
+        (single-digit MBytes) and preserve the method ordering
+        YPK < SEA < CPM."""
+        delta = 1 / 128
+        ypk = modeled_space_units("YPK-CNN", delta, 16, 100_000, 5_000)
+        sea = modeled_space_units("SEA-CNN", delta, 16, 100_000, 5_000)
+        cpm = modeled_space_units("CPM", delta, 16, 100_000, 5_000)
+        assert ypk < sea < cpm
+        for units in (ypk, sea, cpm):
+            assert 0.5 < units_to_mbytes(units) < 10.0
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            modeled_space_units("R-TREE", 1 / 128, 16, 1000, 10)
+
+
+class TestTimeModel:
+    ARGS = dict(delta=1 / 128, k=16, n_objects=100_000, n_queries=5_000)
+
+    def test_increases_with_object_agility(self):
+        low = time_cpm(f_obj=0.1, f_qry=0.3, **self.ARGS)
+        high = time_cpm(f_obj=0.5, f_qry=0.3, **self.ARGS)
+        assert high > low
+
+    def test_increases_with_query_agility(self):
+        low = time_cpm(f_obj=0.5, f_qry=0.1, **self.ARGS)
+        high = time_cpm(f_obj=0.5, f_qry=0.5, **self.ARGS)
+        assert high > low
+
+    def test_linear_in_n_objects_for_index_term(self):
+        a = time_cpm(1 / 128, 16, 50_000, 0, 0.5, 0.0)
+        b = time_cpm(1 / 128, 16, 100_000, 0, 0.5, 0.0)
+        assert b == pytest.approx(2 * a)
+
+    def test_extreme_deltas_are_pricier_than_moderate(self):
+        # The delta trade-off of Figure 4.1: both extremes lose.
+        mid = time_cpm(1 / 128, 16, 100_000, 5_000, 0.5, 0.3)
+        tiny = time_cpm(1 / 4096, 16, 100_000, 5_000, 0.5, 0.3)
+        huge = time_cpm(1 / 4, 16, 100_000, 5_000, 0.5, 0.3)
+        assert mid < tiny
+        assert mid < huge
+
+    def test_agility_bounds_validated(self):
+        with pytest.raises(ValueError):
+            time_cpm(1 / 128, 16, 1000, 10, 1.5, 0.3)
+
+    def test_optimal_delta_is_interior(self):
+        best = optimal_delta(16, 100_000, 5_000, 0.5, 0.3)
+        candidates = [1 / g for g in (32, 64, 128, 256, 512, 1024)]
+        assert best in candidates
+        # Not the extremes for the paper's default setting.
+        assert best not in (candidates[0], candidates[-1])
+
+
+class TestMeasuredSpace:
+    def test_measured_tracks_model_for_cpm(self):
+        import random
+
+        from repro.core.cpm import CPMMonitor
+
+        rng = random.Random(2)
+        n, n_q, k, cells = 1000, 20, 4, 16
+        monitor = CPMMonitor(cells_per_axis=cells)
+        monitor.load_objects((i, (rng.random(), rng.random())) for i in range(n))
+        for qid in range(n_q):
+            monitor.install_query(qid, (rng.random(), rng.random()), k)
+        measured = measured_space_units(monitor)
+        modeled = modeled_space_units("CPM", 1 / cells, k, n, n_q)
+        assert 0.3 * modeled < measured < 3.0 * modeled
+
+    def test_unsupported_monitor_raises(self):
+        from repro.baselines.brute import BruteForceMonitor
+
+        with pytest.raises(TypeError):
+            measured_space_units(BruteForceMonitor())

@@ -1,0 +1,116 @@
+"""Tests for the brute-force reference monitor."""
+
+import math
+
+import pytest
+
+from repro.baselines.brute import BruteForceMonitor
+from repro.core.strategies import AggregateNNStrategy
+from repro.updates import (
+    QueryUpdate,
+    QueryUpdateKind,
+    appear_update,
+    disappear_update,
+    move_update,
+)
+from tests.conftest import brute_knn, scatter
+
+
+class TestBasics:
+    def test_install_and_result(self):
+        m = BruteForceMonitor()
+        objs = scatter(30, seed=1)
+        m.load_objects(objs)
+        assert m.install_query(0, (0.5, 0.5), 3) == brute_knn(dict(objs), (0.5, 0.5), 3)
+
+    def test_double_load_raises(self):
+        m = BruteForceMonitor()
+        m.load_objects([(1, (0.1, 0.1))])
+        with pytest.raises(KeyError):
+            m.load_objects([(1, (0.2, 0.2))])
+
+    def test_double_install_raises(self):
+        m = BruteForceMonitor()
+        m.install_query(0, (0.5, 0.5), 1)
+        with pytest.raises(KeyError):
+            m.install_query(0, (0.5, 0.5), 1)
+
+    def test_object_position_and_count(self):
+        m = BruteForceMonitor()
+        m.load_objects([(1, (0.1, 0.2))])
+        assert m.object_position(1) == (0.1, 0.2)
+        assert m.object_position(2) is None
+        assert m.object_count == 1
+
+    def test_stats_always_zero(self):
+        m = BruteForceMonitor()
+        m.load_objects(scatter(10))
+        m.install_query(0, (0.5, 0.5), 2)
+        m.process([])
+        assert m.stats.cell_scans == 0
+
+
+class TestProcessing:
+    def test_move_updates_results(self):
+        m = BruteForceMonitor()
+        m.load_objects([(1, (0.1, 0.1)), (2, (0.9, 0.9))])
+        m.install_query(0, (0.0, 0.0), 1)
+        changed = m.process([move_update(2, (0.9, 0.9), (0.01, 0.01))])
+        assert changed == {0}
+        assert m.result(0)[0][1] == 2
+
+    def test_appear_disappear(self):
+        m = BruteForceMonitor()
+        m.load_objects([(1, (0.5, 0.5))])
+        m.install_query(0, (0.0, 0.0), 1)
+        m.process([appear_update(2, (0.1, 0.1))])
+        assert m.result(0)[0][1] == 2
+        m.process([disappear_update(2, (0.1, 0.1))])
+        assert m.result(0)[0][1] == 1
+
+    def test_appear_twice_raises(self):
+        m = BruteForceMonitor()
+        m.load_objects([(1, (0.5, 0.5))])
+        with pytest.raises(KeyError):
+            m.process([appear_update(1, (0.1, 0.1))])
+
+    def test_move_unknown_object_raises(self):
+        m = BruteForceMonitor()
+        with pytest.raises(KeyError):
+            m.process([move_update(1, (0.1, 0.1), (0.2, 0.2))])
+
+    def test_query_updates(self):
+        m = BruteForceMonitor()
+        m.load_objects(scatter(20, seed=2))
+        m.process([], [QueryUpdate(0, QueryUpdateKind.INSERT, (0.5, 0.5), 2)])
+        assert len(m.result(0)) == 2
+        m.process([], [QueryUpdate(0, QueryUpdateKind.MOVE, (0.1, 0.1), 2)])
+        assert len(m.result(0)) == 2
+        m.process([], [QueryUpdate(0, QueryUpdateKind.TERMINATE)])
+        assert m.query_ids() == []
+
+    def test_changed_set_excludes_stable_queries(self):
+        m = BruteForceMonitor()
+        m.load_objects([(1, (0.1, 0.1)), (2, (0.9, 0.9))])
+        m.install_query(0, (0.0, 0.0), 1)
+        # Moving object 2 far away does not change q0's result.
+        changed = m.process([move_update(2, (0.9, 0.9), (0.95, 0.95))])
+        assert changed == set()
+
+
+class TestStrategyQueries:
+    def test_ann_ground_truth(self):
+        m = BruteForceMonitor()
+        objs = scatter(40, seed=3)
+        m.load_objects(objs)
+        points = [(0.3, 0.3), (0.7, 0.7)]
+        result = m.install_strategy_query(0, AggregateNNStrategy(points, "sum"), 2)
+        positions = dict(objs)
+        expected = sorted(
+            (
+                sum(math.hypot(x - qx, y - qy) for qx, qy in points),
+                oid,
+            )
+            for oid, (x, y) in positions.items()
+        )[:2]
+        assert [(pytest.approx(d), oid) for d, oid in expected] == result

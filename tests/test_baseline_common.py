@@ -1,0 +1,117 @@
+"""Tests for the shared two-step square search (YPK-CNN, Figure 2.1a)."""
+
+import pytest
+
+from repro.baselines.common import ring_cells, square_cells, two_step_nn_search
+from repro.grid.grid import Grid
+from tests.conftest import brute_knn, scatter
+
+
+def loaded_grid(n=80, cells=8, seed=9):
+    grid = Grid(cells)
+    objs = scatter(n, seed=seed)
+    grid.bulk_load(objs)
+    return grid, dict(objs)
+
+
+class TestRingCells:
+    def test_radius_zero_is_center(self):
+        grid = Grid(8)
+        assert ring_cells(grid, (3, 3), 0) == [(3, 3)]
+
+    def test_radius_one_is_eight_neighbors(self):
+        grid = Grid(8)
+        ring = ring_cells(grid, (3, 3), 1)
+        assert len(ring) == 8
+        assert all(max(abs(i - 3), abs(j - 3)) == 1 for i, j in ring)
+
+    def test_ring_cells_unique(self):
+        grid = Grid(8)
+        for r in range(4):
+            ring = ring_cells(grid, (4, 4), r)
+            assert len(ring) == len(set(ring))
+
+    def test_clipped_at_corner(self):
+        grid = Grid(8)
+        ring = ring_cells(grid, (0, 0), 1)
+        assert set(ring) == {(0, 1), (1, 1), (1, 0)}
+
+    def test_fully_outside_is_empty(self):
+        grid = Grid(4)
+        assert ring_cells(grid, (0, 0), 10) == []
+
+    def test_rings_partition_the_grid(self):
+        grid = Grid(6)
+        seen = set()
+        for r in range(8):
+            for cell in ring_cells(grid, (2, 3), r):
+                assert cell not in seen
+                seen.add(cell)
+        assert len(seen) == 36
+
+
+class TestSquareCells:
+    def test_half_side_smaller_than_half_cell(self):
+        grid = Grid(8)
+        cells = set(square_cells(grid, (3, 3), 0.01))
+        assert cells == {(3, 3)}
+
+    def test_covers_circle_around_any_point_in_cell(self):
+        # Square of half side d + delta/2 centered at the cell center covers
+        # the disk of radius d around any q inside the cell.
+        grid = Grid(8)
+        d = 0.2
+        cells = set(square_cells(grid, (3, 3), d + grid.delta / 2))
+        q = (0.49, 0.49)  # inside cell (3, 3)
+        for coord in grid.cells_in_circle(q, d):
+            assert coord in cells
+
+
+class TestTwoStepSearch:
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    def test_matches_brute_force(self, k):
+        grid, positions = loaded_grid()
+        for q in [(0.5, 0.5), (0.02, 0.97), (0.77, 0.33)]:
+            assert two_step_nn_search(grid, q, k) == brute_knn(positions, q, k)
+
+    def test_sparse_grid_requires_many_rings(self):
+        grid = Grid(16)
+        grid.insert(1, 0.95, 0.95)
+        assert two_step_nn_search(grid, (0.05, 0.05), 1) == [
+            (pytest.approx(1.272792206135786), 1)
+        ]
+
+    def test_fewer_objects_than_k(self):
+        grid, positions = loaded_grid(n=3)
+        result = two_step_nn_search(grid, (0.5, 0.5), 10)
+        assert len(result) == 3
+        assert result == brute_knn(positions, (0.5, 0.5), 10)
+
+    def test_empty_grid(self):
+        grid = Grid(8)
+        assert two_step_nn_search(grid, (0.5, 0.5), 2) == []
+
+    def test_invalid_k(self):
+        grid = Grid(8)
+        with pytest.raises(ValueError):
+            two_step_nn_search(grid, (0.5, 0.5), 0)
+
+    def test_counts_cell_accesses(self):
+        grid, _ = loaded_grid()
+        grid.stats.reset()
+        two_step_nn_search(grid, (0.5, 0.5), 2)
+        assert grid.stats.cell_scans > 0
+
+    def test_does_not_rescan_ring_cells_in_step_two(self):
+        # Distinct cells only: total scans <= grid size.
+        grid, _ = loaded_grid(cells=6)
+        grid.stats.reset()
+        two_step_nn_search(grid, (0.5, 0.5), 4)
+        assert grid.stats.cell_scans <= 36
+
+    def test_dense_cluster_near_query(self):
+        grid = Grid(8)
+        cluster = [(i, (0.5 + i * 1e-4, 0.5)) for i in range(20)]
+        grid.bulk_load(cluster)
+        result = two_step_nn_search(grid, (0.5, 0.5), 5)
+        assert [oid for _d, oid in result] == [0, 1, 2, 3, 4]

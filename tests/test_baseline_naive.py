@@ -1,0 +1,91 @@
+"""Tests for the naive sorted-cell search (Section 3.1 opening)."""
+
+import pytest
+
+from repro.baselines.naive_grid import naive_nn_search, naive_strategy_search
+from repro.core.strategies import AggregateNNStrategy, ConstrainedStrategy, PointNNStrategy
+from repro.geometry.aggregates import adist
+from repro.geometry.rects import Rect
+from repro.grid.grid import Grid
+from tests.conftest import brute_knn, scatter
+
+
+def loaded_grid(n=80, cells=8, seed=9):
+    grid = Grid(cells)
+    objs = scatter(n, seed=seed)
+    grid.bulk_load(objs)
+    return grid, dict(objs)
+
+
+class TestNaivePointSearch:
+    @pytest.mark.parametrize("k", [1, 4, 10])
+    def test_matches_brute_force(self, k):
+        grid, positions = loaded_grid()
+        for q in [(0.5, 0.5), (0.03, 0.03), (0.98, 0.44)]:
+            entries, _cells = naive_nn_search(grid, q, k)
+            assert entries == brute_knn(positions, q, k)
+
+    def test_processed_cells_are_minimal_set(self):
+        """Only cells with mindist < best_dist are processed (plus possibly
+        boundary ties) — the optimality claim of Section 3.1."""
+        grid, _ = loaded_grid()
+        q = (0.5, 0.5)
+        entries, cells = naive_nn_search(grid, q, 3)
+        best = entries[-1][0]
+        for i, j in cells:
+            assert grid.mindist(i, j, q) <= best
+        # Every strictly-inside cell must be present.
+        for i in range(grid.cols):
+            for j in range(grid.rows):
+                if grid.mindist(i, j, q) < best:
+                    assert (i, j) in cells
+
+    def test_processed_cells_sorted_by_mindist(self):
+        grid, _ = loaded_grid()
+        q = (0.3, 0.7)
+        _entries, cells = naive_nn_search(grid, q, 2)
+        keys = [grid.mindist(i, j, q) for i, j in cells]
+        assert keys == sorted(keys)
+
+    def test_empty_grid_scans_everything(self):
+        grid = Grid(4)
+        entries, cells = naive_nn_search(grid, (0.5, 0.5), 1)
+        assert entries == []
+        assert len(cells) == 16
+
+    def test_invalid_k(self):
+        grid = Grid(4)
+        with pytest.raises(ValueError):
+            naive_nn_search(grid, (0.5, 0.5), 0)
+
+
+class TestNaiveStrategySearch:
+    def test_aggregate_strategy(self):
+        grid, positions = loaded_grid()
+        points = [(0.3, 0.3), (0.7, 0.6)]
+        for fn in ("sum", "min", "max"):
+            entries, _cells = naive_strategy_search(
+                grid, AggregateNNStrategy(points, fn), 3
+            )
+            expected = sorted(
+                (adist(p, points, fn), oid) for oid, p in positions.items()
+            )[:3]
+            assert entries == expected
+
+    def test_constrained_strategy(self):
+        grid, positions = loaded_grid()
+        region = Rect(0.5, 0.0, 1.0, 1.0)
+        strategy = ConstrainedStrategy(PointNNStrategy(0.5, 0.5), region)
+        entries, cells = naive_strategy_search(grid, strategy, 2)
+        import math
+
+        expected = sorted(
+            (math.hypot(x - 0.5, y - 0.5), oid)
+            for oid, (x, y) in positions.items()
+            if region.contains_point(x, y)
+        )[:2]
+        assert entries == expected
+        # Only cells intersecting the region are processed.
+        for i, j in cells:
+            x0, y0, x1, y1 = grid.cell_rect(i, j)
+            assert region.intersects_bounds(x0, y0, x1, y1)

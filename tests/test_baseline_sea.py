@@ -1,0 +1,164 @@
+"""Tests for the SEA-CNN baseline monitor (answer-region book-keeping)."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.sea import SeaCnnMonitor
+from repro.updates import (
+    QueryUpdate,
+    QueryUpdateKind,
+    appear_update,
+    disappear_update,
+    move_update,
+)
+from tests.conftest import brute_knn, scatter
+
+
+def fresh(n_objects=60, cells=8, seed=5):
+    m = SeaCnnMonitor(cells_per_axis=cells)
+    objs = scatter(n_objects, seed=seed)
+    m.load_objects(objs)
+    return m, dict(objs)
+
+
+class TestInstall:
+    @pytest.mark.parametrize("k", [1, 4, 9])
+    def test_initial_result(self, k):
+        m, positions = fresh()
+        assert m.install_query(0, (0.5, 0.5), k) == brute_knn(positions, (0.5, 0.5), k)
+
+    def test_answer_region_marks_match_circle(self):
+        m, _ = fresh()
+        m.install_query(0, (0.5, 0.5), 3)
+        best = m.result(0)[-1][0]
+        expected = set(m.grid.cells_in_circle((0.5, 0.5), best))
+        assert m.answer_region_cells(0) == expected
+
+    def test_double_install_raises(self):
+        m, _ = fresh()
+        m.install_query(0, (0.5, 0.5), 1)
+        with pytest.raises(KeyError):
+            m.install_query(0, (0.4, 0.4), 1)
+
+
+class TestCaseClassification:
+    def test_case_i_incomer_rescans_answer_region(self):
+        m, positions = fresh(n_objects=200, cells=16)
+        m.install_query(0, (0.5, 0.5), 2)
+        far = max(
+            positions, key=lambda o: math.hypot(
+                positions[o][0] - 0.5, positions[o][1] - 0.5
+            )
+        )
+        old = positions[far]
+        m.reset_stats()
+        m.process([move_update(far, old, (0.5001, 0.5001))])
+        positions[far] = (0.5001, 0.5001)
+        # SEA rescans the answer region (the paper's criticism: CPM would
+        # have answered from the update alone).
+        assert m.stats.cell_scans > 0
+        assert m.result(0) == brute_knn(positions, (0.5, 0.5), 2)
+
+    def test_case_ii_outgoing_nn(self):
+        m, positions = fresh()
+        m.install_query(0, (0.5, 0.5), 2)
+        nn_oid = m.result(0)[0][1]
+        old = positions[nn_oid]
+        m.process([move_update(nn_oid, old, (0.05, 0.95))])
+        positions[nn_oid] = (0.05, 0.95)
+        assert m.result(0) == brute_knn(positions, (0.5, 0.5), 2)
+
+    def test_case_iii_query_move(self):
+        m, positions = fresh()
+        m.install_query(0, (0.5, 0.5), 2)
+        m.process([], [QueryUpdate(0, QueryUpdateKind.MOVE, (0.6, 0.6), 2)])
+        assert m.result(0) == brute_knn(positions, (0.6, 0.6), 2)
+
+    def test_case_iii_long_query_move(self):
+        m, positions = fresh()
+        m.install_query(0, (0.1, 0.1), 2)
+        m.process([], [QueryUpdate(0, QueryUpdateKind.MOVE, (0.9, 0.9), 2)])
+        assert m.result(0) == brute_knn(positions, (0.9, 0.9), 2)
+
+    def test_offline_nn_falls_back_to_fresh_search(self):
+        m, positions = fresh()
+        m.install_query(0, (0.5, 0.5), 2)
+        nn_oid = m.result(0)[0][1]
+        m.process([disappear_update(nn_oid, positions[nn_oid])])
+        del positions[nn_oid]
+        assert m.result(0) == brute_knn(positions, (0.5, 0.5), 2)
+
+    def test_untouched_query_does_no_work(self):
+        m, positions = fresh(n_objects=100, cells=16)
+        m.install_query(0, (0.2, 0.2), 1)
+        far = max(
+            positions, key=lambda o: math.hypot(
+                positions[o][0] - 0.2, positions[o][1] - 0.2
+            )
+        )
+        old = positions[far]
+        m.reset_stats()
+        m.process([move_update(far, old, (old[0] + 0.001, old[1]))])
+        # Neither old nor new cell is in q's answer region: zero scans.
+        assert m.stats.cell_scans == 0
+
+
+class TestMonitoring:
+    def test_random_stream(self):
+        m, positions = fresh()
+        m.install_query(0, (0.5, 0.5), 3)
+        m.install_query(1, (0.15, 0.85), 2)
+        rng = random.Random(2)
+        for t in range(10):
+            updates = []
+            for oid in rng.sample(list(positions), 15):
+                old = positions[oid]
+                new = (rng.random(), rng.random())
+                positions[oid] = new
+                updates.append(move_update(oid, old, new))
+            m.process(updates)
+            assert m.result(0) == brute_knn(positions, (0.5, 0.5), 3), t
+            assert m.result(1) == brute_knn(positions, (0.15, 0.85), 2), t
+
+    def test_marks_follow_best_dist(self):
+        m, positions = fresh(n_objects=150, cells=16)
+        m.install_query(0, (0.5, 0.5), 2)
+        # Two outsiders move right next to q: the answer region shrinks.
+        far = sorted(
+            positions,
+            key=lambda o: -math.hypot(positions[o][0] - 0.5, positions[o][1] - 0.5),
+        )[:2]
+        marked_before = len(m.answer_region_cells(0))
+        m.process([
+            move_update(far[0], positions[far[0]], (0.5001, 0.5)),
+            move_update(far[1], positions[far[1]], (0.4999, 0.5)),
+        ])
+        assert len(m.answer_region_cells(0)) <= marked_before
+
+    def test_underfull_query_monitors_everything(self):
+        m = SeaCnnMonitor(cells_per_axis=8)
+        m.load_objects([(1, (0.9, 0.9))])
+        m.install_query(0, (0.1, 0.1), 3)
+        assert len(m.result(0)) == 1
+        m.process([appear_update(2, (0.2, 0.2))])
+        assert len(m.result(0)) == 2
+        m.process([appear_update(3, (0.05, 0.15)), appear_update(4, (0.5, 0.5))])
+        result = m.result(0)
+        assert len(result) == 3
+        assert result[0][1] == 3
+
+    def test_terminate_clears_marks(self):
+        m, _ = fresh()
+        m.install_query(0, (0.5, 0.5), 2)
+        assert m.grid.marked_cells(0)
+        m.process([], [QueryUpdate(0, QueryUpdateKind.TERMINATE)])
+        assert not m.grid.marked_cells(0)
+        assert m.query_ids() == []
+
+    def test_move_with_new_k_restarts_query(self):
+        m, positions = fresh()
+        m.install_query(0, (0.5, 0.5), 2)
+        m.process([], [QueryUpdate(0, QueryUpdateKind.MOVE, (0.5, 0.5), 5)])
+        assert m.result(0) == brute_knn(positions, (0.5, 0.5), 5)

@@ -1,0 +1,124 @@
+"""Tests for the YPK-CNN baseline monitor."""
+
+import random
+
+import pytest
+
+from repro.baselines.ypk import YpkCnnMonitor
+from repro.updates import (
+    QueryUpdate,
+    QueryUpdateKind,
+    appear_update,
+    disappear_update,
+    move_update,
+)
+from tests.conftest import brute_knn, scatter
+
+
+def fresh(n_objects=60, cells=8, seed=5):
+    m = YpkCnnMonitor(cells_per_axis=cells)
+    objs = scatter(n_objects, seed=seed)
+    m.load_objects(objs)
+    return m, dict(objs)
+
+
+class TestInstall:
+    @pytest.mark.parametrize("k", [1, 4, 9])
+    def test_initial_result(self, k):
+        m, positions = fresh()
+        assert m.install_query(0, (0.5, 0.5), k) == brute_knn(positions, (0.5, 0.5), k)
+
+    def test_double_install_raises(self):
+        m, _ = fresh()
+        m.install_query(0, (0.5, 0.5), 1)
+        with pytest.raises(KeyError):
+            m.install_query(0, (0.4, 0.4), 1)
+
+
+class TestReEvaluation:
+    def test_static_query_tracks_moving_objects(self):
+        m, positions = fresh()
+        m.install_query(0, (0.5, 0.5), 2)
+        rng = random.Random(1)
+        for t in range(8):
+            updates = []
+            for oid in rng.sample(list(positions), 12):
+                old = positions[oid]
+                new = (rng.random(), rng.random())
+                positions[oid] = new
+                updates.append(move_update(oid, old, new))
+            m.process(updates)
+            assert m.result(0) == brute_knn(positions, (0.5, 0.5), 2), t
+
+    def test_dmax_path_used_for_small_motion(self):
+        """Moving a NN slightly keeps the re-evaluation bounded by d_max
+        (the SR square stays small)."""
+        m, positions = fresh(n_objects=200, cells=16)
+        m.install_query(0, (0.5, 0.5), 2)
+        nn_oid = m.result(0)[0][1]
+        old = positions[nn_oid]
+        m.reset_stats()
+        m.process([move_update(nn_oid, old, (old[0] + 0.01, old[1]))])
+        positions[nn_oid] = (old[0] + 0.01, old[1])
+        # The SR square is tiny; far fewer scans than the whole grid.
+        assert 0 < m.stats.cell_scans < 50
+        assert m.result(0) == brute_knn(positions, (0.5, 0.5), 2)
+
+    def test_re_evaluates_even_without_updates(self):
+        """The paper's criticism: YPK-CNN re-evaluates every query every
+        cycle even when nothing near it changed."""
+        m, _ = fresh()
+        m.install_query(0, (0.5, 0.5), 2)
+        m.reset_stats()
+        m.process([])  # empty cycle
+        assert m.stats.cell_scans > 0
+
+    def test_disappearing_nn_falls_back_to_fresh_search(self):
+        m, positions = fresh()
+        m.install_query(0, (0.5, 0.5), 2)
+        nn_oid = m.result(0)[0][1]
+        m.process([disappear_update(nn_oid, positions[nn_oid])])
+        del positions[nn_oid]
+        assert m.result(0) == brute_knn(positions, (0.5, 0.5), 2)
+
+    def test_appearing_object_found(self):
+        m, positions = fresh()
+        m.install_query(0, (0.5, 0.5), 1)
+        m.process([appear_update(999, (0.501, 0.501))])
+        positions[999] = (0.501, 0.501)
+        assert m.result(0)[0][1] == 999
+
+    def test_underfull_result_grows_with_population(self):
+        m = YpkCnnMonitor(cells_per_axis=4)
+        m.load_objects([(1, (0.3, 0.3))])
+        m.install_query(0, (0.5, 0.5), 3)
+        assert len(m.result(0)) == 1
+        m.process([appear_update(2, (0.6, 0.6)), appear_update(3, (0.1, 0.9))])
+        assert len(m.result(0)) == 3
+
+
+class TestQueryUpdates:
+    def test_move_handled_as_new_query(self):
+        m, positions = fresh()
+        m.install_query(0, (0.5, 0.5), 3)
+        m.process([], [QueryUpdate(0, QueryUpdateKind.MOVE, (0.1, 0.9), 3)])
+        assert m.result(0) == brute_knn(positions, (0.1, 0.9), 3)
+
+    def test_terminate(self):
+        m, _ = fresh()
+        m.install_query(0, (0.5, 0.5), 1)
+        m.process([], [QueryUpdate(0, QueryUpdateKind.TERMINATE)])
+        assert m.query_ids() == []
+
+    def test_mixed_cycle(self):
+        m, positions = fresh()
+        m.install_query(0, (0.5, 0.5), 2)
+        oid = next(iter(positions))
+        old = positions[oid]
+        positions[oid] = (0.8, 0.2)
+        m.process(
+            [move_update(oid, old, (0.8, 0.2))],
+            [QueryUpdate(1, QueryUpdateKind.INSERT, (0.25, 0.75), 2)],
+        )
+        assert m.result(0) == brute_knn(positions, (0.5, 0.5), 2)
+        assert m.result(1) == brute_knn(positions, (0.25, 0.75), 2)

@@ -1,0 +1,124 @@
+"""Tests for constrained NN monitoring (Figure 5.3)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.cpm import CPMMonitor
+from repro.geometry.rects import Rect
+from repro.updates import appear_update, move_update
+from tests.conftest import scatter
+
+
+def brute_constrained(positions, q, k, region):
+    entries = sorted(
+        (math.hypot(x - q[0], y - q[1]), oid)
+        for oid, (x, y) in positions.items()
+        if region.contains_point(x, y)
+    )
+    return entries[:k]
+
+
+def fresh(n_objects=80, cells=8, seed=12):
+    monitor = CPMMonitor(cells_per_axis=cells)
+    objs = scatter(n_objects, seed=seed)
+    monitor.load_objects(objs)
+    return monitor, dict(objs)
+
+
+class TestConstrainedSearch:
+    def test_northeast_sector(self):
+        """The paper's example: monitor the NN to the northeast of q."""
+        monitor, positions = fresh()
+        q = (0.5, 0.5)
+        region = Rect(0.5, 0.5, 1.0, 1.0)
+        result = monitor.install_constrained_query(0, q, region, k=1)
+        assert result == brute_constrained(positions, q, 1, region)
+        # The unconstrained NN differs when it lies outside the region.
+        x, y = positions[result[0][1]]
+        assert x >= 0.5 and y >= 0.5
+
+    @pytest.mark.parametrize(
+        "region",
+        [
+            Rect(0.0, 0.0, 0.5, 0.5),
+            Rect(0.25, 0.25, 0.75, 0.75),
+            Rect(0.8, 0.0, 1.0, 1.0),
+            Rect(0.0, 0.9, 1.0, 1.0),
+        ],
+    )
+    def test_various_regions(self, region):
+        monitor, positions = fresh()
+        q = (0.5, 0.5)
+        result = monitor.install_constrained_query(0, q, region, k=3)
+        assert result == brute_constrained(positions, q, 3, region)
+
+    def test_query_outside_region(self):
+        monitor, positions = fresh()
+        q = (0.1, 0.1)
+        region = Rect(0.6, 0.6, 1.0, 1.0)
+        result = monitor.install_constrained_query(0, q, region, k=2)
+        assert result == brute_constrained(positions, q, 2, region)
+
+    def test_empty_region_gives_empty_result(self):
+        monitor, _ = fresh()
+        region = Rect(0.45, 0.45, 0.4500001, 0.4500001)
+        result = monitor.install_constrained_query(0, (0.5, 0.5), region, k=2)
+        # Possibly empty: no object inside the sliver region.
+        assert all(
+            region.contains_point(*pos)
+            for pos in []
+        )
+        assert isinstance(result, list)
+
+    def test_skips_cells_outside_region(self):
+        monitor, _ = fresh(n_objects=200, cells=16)
+        region = Rect(0.5, 0.5, 1.0, 1.0)
+        monitor.install_constrained_query(0, (0.5, 0.5), region, k=1)
+        state = monitor.query_state(0)
+        for i, j in state.visit_cells:
+            x0, y0, x1, y1 = monitor.grid.cell_rect(i, j)
+            assert region.intersects_bounds(x0, y0, x1, y1)
+
+
+class TestConstrainedMonitoring:
+    def test_object_leaving_region_evicted(self):
+        monitor, positions = fresh()
+        q = (0.5, 0.5)
+        region = Rect(0.5, 0.5, 1.0, 1.0)
+        monitor.install_constrained_query(0, q, region, k=2)
+        nn_oid = monitor.result(0)[0][1]
+        old = positions[nn_oid]
+        # The object moves close to q but OUTSIDE the region: it must leave
+        # the result even though its distance shrank.
+        monitor.process([move_update(nn_oid, old, (0.49, 0.49))])
+        positions[nn_oid] = (0.49, 0.49)
+        assert nn_oid not in [oid for _d, oid in monitor.result(0)]
+        assert monitor.result(0) == brute_constrained(positions, q, 2, region)
+
+    def test_object_entering_region_becomes_candidate(self):
+        monitor, positions = fresh()
+        q = (0.5, 0.5)
+        region = Rect(0.5, 0.5, 1.0, 1.0)
+        monitor.install_constrained_query(0, q, region, k=2)
+        monitor.process([appear_update(999, (0.51, 0.51))])
+        positions[999] = (0.51, 0.51)
+        assert monitor.result(0)[0][1] == 999
+        assert monitor.result(0) == brute_constrained(positions, q, 2, region)
+
+    def test_random_stream_stays_correct(self):
+        rng = random.Random(31)
+        monitor, positions = fresh()
+        q = (0.4, 0.6)
+        region = Rect(0.3, 0.3, 0.9, 0.9)
+        monitor.install_constrained_query(0, q, region, k=3)
+        for t in range(10):
+            updates = []
+            for oid in rng.sample(list(positions), 20):
+                old = positions[oid]
+                new = (rng.random(), rng.random())
+                positions[oid] = new
+                updates.append(move_update(oid, old, new))
+            monitor.process(updates)
+            assert monitor.result(0) == brute_constrained(positions, q, 3, region), t

@@ -1,0 +1,162 @@
+"""Tests for the full monitoring loop (Figure 3.9): query insertions,
+terminations, movements, and mixed object/query update cycles."""
+
+import random
+
+import pytest
+
+from repro.core.cpm import CPMMonitor
+from repro.updates import (
+    ObjectUpdate,
+    QueryUpdate,
+    QueryUpdateKind,
+    move_update,
+)
+from tests.conftest import brute_knn, scatter
+
+
+def fresh(n_objects=60, cells=8, seed=3):
+    monitor = CPMMonitor(cells_per_axis=cells)
+    objs = scatter(n_objects, seed=seed)
+    monitor.load_objects(objs)
+    return monitor, dict(objs)
+
+
+class TestQueryLifecycle:
+    def test_insert_via_update_stream(self):
+        monitor, positions = fresh()
+        changed = monitor.process(
+            [], [QueryUpdate(5, QueryUpdateKind.INSERT, (0.4, 0.6), 3)]
+        )
+        assert changed == {5}
+        assert monitor.result(5) == brute_knn(positions, (0.4, 0.6), 3)
+
+    def test_terminate_via_update_stream(self):
+        monitor, _ = fresh()
+        monitor.install_query(5, (0.4, 0.6), 3)
+        changed = monitor.process([], [QueryUpdate(5, QueryUpdateKind.TERMINATE)])
+        assert 5 not in monitor.query_ids()
+        assert 5 not in changed
+        assert not monitor.grid.marked_cells(5)
+
+    def test_move_recomputes_from_scratch(self):
+        monitor, positions = fresh()
+        monitor.install_query(5, (0.4, 0.6), 3)
+        changed = monitor.process(
+            [], [QueryUpdate(5, QueryUpdateKind.MOVE, (0.9, 0.1), 3)]
+        )
+        assert changed == {5}
+        assert monitor.result(5) == brute_knn(positions, (0.9, 0.1), 3)
+
+    def test_move_relocates_influence_marks(self):
+        monitor, _ = fresh(n_objects=200)
+        monitor.install_query(5, (0.1, 0.1), 2)
+        before = set(monitor.grid.marked_cells(5))
+        monitor.process([], [QueryUpdate(5, QueryUpdateKind.MOVE, (0.9, 0.9), 2)])
+        after = set(monitor.grid.marked_cells(5))
+        assert after
+        assert before != after
+
+    def test_move_can_change_k(self):
+        monitor, positions = fresh()
+        monitor.install_query(5, (0.4, 0.6), 3)
+        monitor.process([], [QueryUpdate(5, QueryUpdateKind.MOVE, (0.4, 0.6), 7)])
+        assert monitor.result(5) == brute_knn(positions, (0.4, 0.6), 7)
+
+
+class TestUpdatedQueriesIgnoredForObjectUpdates:
+    def test_moving_query_sees_post_batch_world(self):
+        """Figure 3.9: object updates are applied first; a moving query's
+        fresh search then runs over the updated grid."""
+        monitor, positions = fresh()
+        monitor.install_query(5, (0.4, 0.6), 1)
+        nn_oid = monitor.result(5)[0][1]
+        old = positions[nn_oid]
+        object_updates = [move_update(nn_oid, old, (0.95, 0.05))]
+        query_updates = [QueryUpdate(5, QueryUpdateKind.MOVE, (0.41, 0.61), 1)]
+        monitor.process(object_updates, query_updates)
+        positions[nn_oid] = (0.95, 0.05)
+        assert monitor.result(5) == brute_knn(positions, (0.41, 0.61), 1)
+
+    def test_terminating_query_skipped_during_object_phase(self):
+        monitor, positions = fresh()
+        monitor.install_query(5, (0.4, 0.6), 1)
+        nn_oid = monitor.result(5)[0][1]
+        old = positions[nn_oid]
+        monitor.process(
+            [move_update(nn_oid, old, (0.9, 0.9))],
+            [QueryUpdate(5, QueryUpdateKind.TERMINATE)],
+        )
+        assert 5 not in monitor.query_ids()
+
+
+class TestMultiQueryCycles:
+    def test_interleaved_stream_stays_correct(self):
+        rng = random.Random(21)
+        monitor, positions = fresh(n_objects=80)
+        queries = {}
+        next_qid = 0
+        for t in range(12):
+            object_updates = []
+            for oid in rng.sample(list(positions), 15):
+                old = positions[oid]
+                new = (
+                    min(max(old[0] + rng.uniform(-0.15, 0.15), 0.0), 1.0),
+                    min(max(old[1] + rng.uniform(-0.15, 0.15), 0.0), 1.0),
+                )
+                positions[oid] = new
+                object_updates.append(move_update(oid, old, new))
+            query_updates = []
+            if t % 3 == 0:
+                q = (rng.random(), rng.random())
+                k = rng.choice([1, 2, 5])
+                queries[next_qid] = (q, k)
+                query_updates.append(
+                    QueryUpdate(next_qid, QueryUpdateKind.INSERT, q, k)
+                )
+                next_qid += 1
+            if t % 4 == 2 and queries:
+                qid = rng.choice(list(queries))
+                q = (rng.random(), rng.random())
+                k = queries[qid][1]
+                queries[qid] = (q, k)
+                query_updates.append(QueryUpdate(qid, QueryUpdateKind.MOVE, q, k))
+            if t % 5 == 4 and len(queries) > 1:
+                qid = rng.choice(list(queries))
+                del queries[qid]
+                query_updates.append(QueryUpdate(qid, QueryUpdateKind.TERMINATE))
+            monitor.process(object_updates, query_updates)
+            for qid, (q, k) in queries.items():
+                assert monitor.result(qid) == brute_knn(positions, q, k), (t, qid)
+
+    def test_shared_cells_between_queries(self):
+        monitor, positions = fresh(n_objects=50)
+        monitor.install_query(0, (0.50, 0.50), 3)
+        monitor.install_query(1, (0.52, 0.48), 3)
+        nn0 = monitor.result(0)[0][1]
+        old = positions[nn0]
+        monitor.process([move_update(nn0, old, (0.05, 0.95))])
+        positions[nn0] = (0.05, 0.95)
+        assert monitor.result(0) == brute_knn(positions, (0.50, 0.50), 3)
+        assert monitor.result(1) == brute_knn(positions, (0.52, 0.48), 3)
+
+    def test_no_queries_is_cheap_and_safe(self):
+        monitor, positions = fresh()
+        oid = next(iter(positions))
+        monitor.reset_stats()
+        changed = monitor.process([move_update(oid, positions[oid], (0.9, 0.9))])
+        assert changed == set()
+        assert monitor.stats.cell_scans == 0
+
+    def test_changed_set_reports_only_real_changes(self):
+        monitor, positions = fresh(n_objects=100)
+        monitor.install_query(0, (0.2, 0.2), 2)
+        monitor.install_query(1, (0.8, 0.8), 2)
+        # Move an object near query 0 only.
+        near0 = min(
+            positions,
+            key=lambda o: (positions[o][0] - 0.2) ** 2 + (positions[o][1] - 0.2) ** 2,
+        )
+        old = positions[near0]
+        changed = monitor.process([move_update(near0, old, (0.21, 0.19))])
+        assert 1 not in changed

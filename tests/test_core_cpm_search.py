@@ -1,0 +1,194 @@
+"""Tests for the CPM NN computation module (Figure 3.4).
+
+Covers correctness against brute force, the cell-minimality guarantee
+(CPM processes exactly the cells intersecting the best_dist circle, like
+the naive sorted-cell algorithm), and the book-keeping left behind
+(visit list order, influence marks, residual heap).
+"""
+
+import math
+
+import pytest
+
+from repro.baselines.naive_grid import naive_nn_search
+from repro.core.cpm import CPMMonitor
+from tests.conftest import brute_knn, scatter
+
+
+def build_monitor(n_objects=80, cells=8, seed=1):
+    monitor = CPMMonitor(cells_per_axis=cells)
+    objs = scatter(n_objects, seed=seed)
+    monitor.load_objects(objs)
+    return monitor, dict(objs)
+
+
+class TestSearchCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 5, 16])
+    def test_matches_brute_force(self, k):
+        monitor, positions = build_monitor()
+        for qid, q in enumerate([(0.5, 0.5), (0.05, 0.95), (0.99, 0.01), (0.31, 0.62)]):
+            got = monitor.install_query(qid, q, k)
+            assert got == brute_knn(positions, q, k)
+
+    def test_query_on_cell_corner(self):
+        monitor, positions = build_monitor()
+        q = (0.25, 0.25)  # exact cell corner of an 8x8 grid
+        assert monitor.install_query(0, q, 3) == brute_knn(positions, q, 3)
+
+    def test_query_on_workspace_corner(self):
+        monitor, positions = build_monitor()
+        q = (0.0, 0.0)
+        assert monitor.install_query(0, q, 4) == brute_knn(positions, q, 4)
+        q2 = (1.0, 1.0)
+        assert monitor.install_query(1, q2, 4) == brute_knn(positions, q2, 4)
+
+    def test_query_colocated_with_object(self):
+        monitor = CPMMonitor(cells_per_axis=4)
+        monitor.load_objects([(1, (0.5, 0.5)), (2, (0.9, 0.9))])
+        result = monitor.install_query(0, (0.5, 0.5), 1)
+        assert result == [(0.0, 1)]
+
+    def test_k_larger_than_population(self):
+        monitor = CPMMonitor(cells_per_axis=4)
+        monitor.load_objects([(1, (0.2, 0.2)), (2, (0.8, 0.8))])
+        result = monitor.install_query(0, (0.5, 0.5), 5)
+        assert len(result) == 2
+        assert math.isinf(monitor.best_dist(0))
+
+    def test_empty_grid(self):
+        monitor = CPMMonitor(cells_per_axis=4)
+        assert monitor.install_query(0, (0.5, 0.5), 3) == []
+
+    def test_duplicate_install_raises(self):
+        monitor, _ = build_monitor()
+        monitor.install_query(0, (0.5, 0.5), 1)
+        with pytest.raises(KeyError):
+            monitor.install_query(0, (0.5, 0.5), 1)
+
+    def test_many_random_queries_various_grids(self):
+        import random
+
+        rng = random.Random(77)
+        for cells in (2, 3, 8, 20):
+            monitor = CPMMonitor(cells_per_axis=cells)
+            objs = scatter(60, seed=cells)
+            monitor.load_objects(objs)
+            positions = dict(objs)
+            for qid in range(10):
+                q = (rng.random(), rng.random())
+                k = rng.choice([1, 3, 7])
+                assert monitor.install_query(qid, q, k) == brute_knn(positions, q, k)
+
+
+class TestCellMinimality:
+    def test_processes_same_cells_as_naive(self):
+        """CPM's visit list must equal the naive algorithm's processed set
+        (the minimal cell set, Section 3.1 optimality claim)."""
+        monitor, _ = build_monitor(n_objects=100, cells=10, seed=5)
+        naive_grid = CPMMonitor(cells_per_axis=10)
+        naive_grid.load_objects(scatter(100, seed=5))
+        for qid, (q, k) in enumerate([((0.5, 0.5), 1), ((0.2, 0.8), 4), ((0.9, 0.1), 8)]):
+            monitor.install_query(qid, q, k)
+            state = monitor.query_state(qid)
+            _entries, naive_cells = naive_nn_search(naive_grid.grid, q, k)
+            assert set(state.visit_cells) == set(naive_cells)
+
+    def test_visit_list_keys_ascending(self):
+        monitor, _ = build_monitor()
+        monitor.install_query(0, (0.37, 0.59), 5)
+        keys = monitor.query_state(0).visit_keys
+        assert keys == sorted(keys)
+
+    def test_all_visited_cells_within_best_dist(self):
+        monitor, _ = build_monitor()
+        monitor.install_query(0, (0.5, 0.5), 3)
+        state = monitor.query_state(0)
+        for key in state.visit_keys:
+            assert key < state.best_dist
+
+    def test_residual_heap_keys_at_least_best_dist(self):
+        monitor, _ = build_monitor()
+        monitor.install_query(0, (0.5, 0.5), 3)
+        state = monitor.query_state(0)
+        assert state.heap.peek_key() >= state.best_dist
+
+
+class TestInfluenceRegion:
+    def test_marks_equal_visit_prefix(self):
+        monitor, _ = build_monitor()
+        monitor.install_query(0, (0.5, 0.5), 4)
+        state = monitor.query_state(0)
+        marked = set(monitor.grid.marked_cells(0))
+        assert marked == set(state.visit_cells[: state.marked_upto])
+
+    def test_marks_are_cells_intersecting_circle(self):
+        monitor, _ = build_monitor()
+        monitor.install_query(0, (0.5, 0.5), 4)
+        best = monitor.best_dist(0)
+        expected = {
+            (i, j)
+            for i, j in monitor.grid.all_cells()
+            if monitor.grid.mindist(i, j, (0.5, 0.5)) <= best
+        }
+        got = set(monitor.influence_cells(0))
+        # Processed cells with mindist <= best_dist; boundary-touching cells
+        # that were never de-heaped may legitimately be absent.
+        assert got <= expected
+        strict = {c for c in expected if monitor.grid.mindist(*c, (0.5, 0.5)) < best}
+        assert strict <= got
+
+    def test_query_cell_always_marked(self):
+        monitor, _ = build_monitor()
+        monitor.install_query(0, (0.51, 0.52), 2)
+        assert monitor.grid.cell_of(0.51, 0.52) in set(monitor.influence_cells(0))
+
+    def test_underfull_query_marks_all_cells(self):
+        monitor = CPMMonitor(cells_per_axis=4)
+        monitor.load_objects([(1, (0.1, 0.1))])
+        monitor.install_query(0, (0.9, 0.9), 3)
+        # best_dist is inf: every cell is in the influence region.
+        assert len(monitor.influence_cells(0)) == 16
+
+
+class TestRemoveQuery:
+    def test_unmarks_everything(self):
+        monitor, _ = build_monitor()
+        monitor.install_query(0, (0.5, 0.5), 4)
+        assert monitor.grid.marked_cells(0)
+        monitor.remove_query(0)
+        assert not monitor.grid.marked_cells(0)
+        assert 0 not in monitor.query_ids()
+
+    def test_remove_missing_raises(self):
+        monitor, _ = build_monitor()
+        with pytest.raises(KeyError):
+            monitor.remove_query(123)
+
+    def test_other_queries_unaffected(self):
+        monitor, positions = build_monitor()
+        monitor.install_query(0, (0.5, 0.5), 4)
+        expected = brute_knn(positions, (0.2, 0.2), 2)
+        monitor.install_query(1, (0.2, 0.2), 2)
+        monitor.remove_query(0)
+        assert monitor.result(1) == expected
+
+
+class TestCsh:
+    def test_csh_counts_visit_plus_heap_cells(self):
+        monitor, _ = build_monitor()
+        monitor.install_query(0, (0.5, 0.5), 2)
+        state = monitor.query_state(0)
+        assert state.csh() == len(state.visit_cells) + state.heap.cell_entry_count()
+
+    def test_boundary_boxes_at_most_four(self):
+        monitor, _ = build_monitor()
+        monitor.install_query(0, (0.5, 0.5), 2)
+        assert monitor.query_state(0).heap.rect_entry_count() <= 4
+
+
+class TestLoadGuard:
+    def test_bulk_load_after_queries_raises(self):
+        monitor, _ = build_monitor()
+        monitor.install_query(0, (0.5, 0.5), 1)
+        with pytest.raises(RuntimeError):
+            monitor.load_objects([(999, (0.4, 0.4))])

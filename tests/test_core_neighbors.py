@@ -1,0 +1,183 @@
+"""Unit tests for the best_NN list (repro.core.neighbors)."""
+
+import math
+
+import pytest
+
+from repro.core.neighbors import NeighborList
+
+
+class TestAdd:
+    def test_fills_to_capacity(self):
+        nn = NeighborList(3)
+        assert nn.add(0.5, 1)
+        assert nn.add(0.3, 2)
+        assert nn.add(0.7, 3)
+        assert nn.is_full
+        assert [oid for _d, oid in nn.entries()] == [2, 1, 3]
+
+    def test_rejects_worse_when_full(self):
+        nn = NeighborList(2)
+        nn.add(0.1, 1)
+        nn.add(0.2, 2)
+        assert not nn.add(0.9, 3)
+        assert 3 not in nn
+
+    def test_evicts_worst_when_better_arrives(self):
+        nn = NeighborList(2)
+        nn.add(0.1, 1)
+        nn.add(0.5, 2)
+        assert nn.add(0.3, 3)
+        assert 2 not in nn
+        assert nn.entries() == [(0.1, 1), (0.3, 3)]
+
+    def test_tie_broken_by_oid(self):
+        nn = NeighborList(1)
+        nn.add(0.5, 10)
+        # Same distance, smaller id wins.
+        assert nn.add(0.5, 3)
+        assert nn.entries() == [(0.5, 3)]
+        # Same distance, larger id loses.
+        assert not nn.add(0.5, 20)
+
+    def test_duplicate_oid_raises(self):
+        nn = NeighborList(3)
+        nn.add(0.5, 1)
+        with pytest.raises(KeyError):
+            nn.add(0.4, 1)
+
+    def test_k_below_one_raises(self):
+        with pytest.raises(ValueError):
+            NeighborList(0)
+
+
+class TestKthDist:
+    def test_inf_while_underfull(self):
+        nn = NeighborList(3)
+        nn.add(0.5, 1)
+        assert math.isinf(nn.kth_dist)
+
+    def test_equals_last_entry_when_full(self):
+        nn = NeighborList(2)
+        nn.add(0.2, 1)
+        nn.add(0.6, 2)
+        assert nn.kth_dist == 0.6
+
+    def test_shrinks_as_better_candidates_arrive(self):
+        nn = NeighborList(2)
+        nn.add(0.8, 1)
+        nn.add(0.9, 2)
+        nn.add(0.1, 3)
+        nn.add(0.2, 4)
+        assert nn.kth_dist == 0.2
+
+
+class TestMembership:
+    def test_contains_and_dist_of(self):
+        nn = NeighborList(2)
+        nn.add(0.4, 7)
+        assert 7 in nn
+        assert nn.dist_of(7) == 0.4
+        assert 8 not in nn
+
+    def test_dist_of_missing_raises(self):
+        nn = NeighborList(2)
+        with pytest.raises(KeyError):
+            nn.dist_of(1)
+
+    def test_len_and_iter(self):
+        nn = NeighborList(3)
+        nn.add(0.2, 1)
+        nn.add(0.1, 2)
+        assert len(nn) == 2
+        assert list(nn) == [(0.1, 2), (0.2, 1)]
+
+    def test_worst(self):
+        nn = NeighborList(3)
+        nn.add(0.2, 1)
+        nn.add(0.9, 2)
+        assert nn.worst() == (0.9, 2)
+
+
+class TestUpdateDist:
+    def test_reorders(self):
+        nn = NeighborList(3)
+        nn.add(0.1, 1)
+        nn.add(0.2, 2)
+        nn.add(0.3, 3)
+        nn.update_dist(1, 0.25)
+        assert [oid for _d, oid in nn.entries()] == [2, 1, 3]
+        assert nn.dist_of(1) == 0.25
+
+    def test_update_to_same_dist(self):
+        nn = NeighborList(2)
+        nn.add(0.5, 1)
+        nn.update_dist(1, 0.5)
+        assert nn.entries() == [(0.5, 1)]
+
+    def test_update_missing_raises(self):
+        nn = NeighborList(2)
+        with pytest.raises(KeyError):
+            nn.update_dist(1, 0.3)
+
+
+class TestRemove:
+    def test_remove_returns_distance(self):
+        nn = NeighborList(2)
+        nn.add(0.4, 9)
+        assert nn.remove(9) == 0.4
+        assert 9 not in nn
+        assert len(nn) == 0
+
+    def test_remove_missing_raises(self):
+        nn = NeighborList(2)
+        with pytest.raises(KeyError):
+            nn.remove(1)
+
+    def test_discard(self):
+        nn = NeighborList(2)
+        nn.add(0.4, 9)
+        assert nn.discard(9)
+        assert not nn.discard(9)
+
+    def test_underfull_after_removal_reports_inf(self):
+        nn = NeighborList(2)
+        nn.add(0.1, 1)
+        nn.add(0.2, 2)
+        nn.remove(2)
+        assert math.isinf(nn.kth_dist)
+
+
+class TestReplace:
+    def test_keeps_k_best(self):
+        nn = NeighborList(2)
+        nn.replace([(0.9, 1), (0.1, 2), (0.5, 3)])
+        assert nn.entries() == [(0.1, 2), (0.5, 3)]
+
+    def test_deduplicates_keeping_best_distance(self):
+        nn = NeighborList(3)
+        nn.replace([(0.9, 1), (0.2, 1), (0.5, 3)])
+        assert nn.entries() == [(0.2, 1), (0.5, 3)]
+
+    def test_replace_with_fewer_than_k(self):
+        nn = NeighborList(5)
+        nn.replace([(0.3, 1)])
+        assert len(nn) == 1
+        assert math.isinf(nn.kth_dist)
+
+    def test_replace_clears_previous(self):
+        nn = NeighborList(2)
+        nn.add(0.1, 1)
+        nn.replace([(0.2, 2)])
+        assert 1 not in nn
+        assert 2 in nn
+
+
+class TestClear:
+    def test_clear(self):
+        nn = NeighborList(2)
+        nn.add(0.1, 1)
+        nn.clear()
+        assert len(nn) == 0
+        assert 1 not in nn
+        assert math.isinf(nn.kth_dist)

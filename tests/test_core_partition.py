@@ -1,0 +1,151 @@
+"""Unit tests for the conceptual partition (Figure 3.1b / Lemma 3.1)."""
+
+import pytest
+
+from repro.core.partition import (
+    DIRECTION_NAMES,
+    DIRECTIONS,
+    DOWN,
+    LEFT,
+    RIGHT,
+    UP,
+    ConceptualPartition,
+)
+
+
+def full_tiling(partition: ConceptualPartition) -> dict:
+    """Map every grid cell to its owning rectangle (or 'core')."""
+    owners = {}
+    for direction in DIRECTIONS:
+        level = 0
+        while partition.exists(direction, level):
+            for cell in partition.strip_cells(direction, level):
+                owners.setdefault(cell, []).append((direction, level))
+            level += 1
+    for cell in partition.core_cells():
+        owners.setdefault(cell, []).append(("core", 0))
+    return owners
+
+
+class TestConstruction:
+    def test_core_outside_grid_raises(self):
+        with pytest.raises(ValueError):
+            ConceptualPartition(5, 5, 5, 5, 4, 4)
+
+    def test_inverted_core_raises(self):
+        with pytest.raises(ValueError):
+            ConceptualPartition(3, 2, 0, 0, 4, 4)
+
+    def test_around_cell(self):
+        p = ConceptualPartition.around_cell((2, 3), 8, 8)
+        assert (p.i_lo, p.i_hi, p.j_lo, p.j_hi) == (2, 2, 3, 3)
+
+
+class TestMaxLevel:
+    def test_center_cell(self):
+        p = ConceptualPartition.around_cell((4, 4), 9, 9)
+        # 4 rows above / below / left / right of the core.
+        for direction in DIRECTIONS:
+            assert p.max_level(direction) == 3
+
+    def test_corner_cell(self):
+        p = ConceptualPartition.around_cell((0, 0), 8, 8)
+        assert p.max_level(UP) == 6
+        assert p.max_level(RIGHT) == 6
+        assert p.max_level(DOWN) == -1
+        assert p.max_level(LEFT) == -1
+
+    def test_exists(self):
+        p = ConceptualPartition.around_cell((0, 0), 8, 8)
+        assert p.exists(UP, 0)
+        assert p.exists(UP, 6)
+        assert not p.exists(UP, 7)
+        assert not p.exists(DOWN, 0)
+        assert not p.exists(UP, -1)
+
+    def test_core_spanning_grid_has_no_rectangles(self):
+        p = ConceptualPartition(0, 3, 0, 3, 4, 4)
+        for direction in DIRECTIONS:
+            assert p.max_level(direction) == -1
+
+
+class TestStripGeometry:
+    def test_pinwheel_level0_around_center(self):
+        p = ConceptualPartition.around_cell((2, 2), 5, 5)
+        assert set(p.strip_cells(UP, 0)) == {(2, 3), (3, 3)}
+        assert set(p.strip_cells(RIGHT, 0)) == {(3, 1), (3, 2)}
+        assert set(p.strip_cells(DOWN, 0)) == {(1, 1), (2, 1)}
+        assert set(p.strip_cells(LEFT, 0)) == {(1, 2), (1, 3)}
+
+    def test_arm_lengths_grow_with_level(self):
+        p = ConceptualPartition.around_cell((8, 8), 17, 17)
+        for direction in DIRECTIONS:
+            for level in range(4):
+                # Unclipped arm covers 2*(level+1) cells.
+                assert p.strip_cell_count(direction, level) == 2 * (level + 1)
+
+    def test_clipping_near_border(self):
+        p = ConceptualPartition.around_cell((0, 0), 8, 8)
+        # U_0 around the corner cell: row 1, columns [0, 1] after clipping.
+        assert set(p.strip_cells(UP, 0)) == {(0, 1), (1, 1)}
+
+    def test_nonexistent_strip_raises(self):
+        p = ConceptualPartition.around_cell((0, 0), 8, 8)
+        with pytest.raises(ValueError):
+            p.strip_cell_range(DOWN, 0)
+
+    def test_core_cells_block(self):
+        p = ConceptualPartition(1, 2, 3, 4, 8, 8)
+        assert set(p.core_cells()) == {(1, 3), (1, 4), (2, 3), (2, 4)}
+        assert p.core_cell_count() == 4
+
+
+class TestTiling:
+    @pytest.mark.parametrize(
+        "core,cols,rows",
+        [
+            ((4, 4), 9, 9),     # centered
+            ((0, 0), 6, 6),     # corner
+            ((5, 0), 6, 6),     # other corner
+            ((3, 0), 7, 5),     # edge, non-square grid
+            ((2, 4), 5, 8),     # asymmetric
+        ],
+    )
+    def test_point_core_tiles_exactly_once(self, core, cols, rows):
+        p = ConceptualPartition.around_cell(core, cols, rows)
+        owners = full_tiling(p)
+        assert len(owners) == cols * rows
+        multi = {cell: who for cell, who in owners.items() if len(who) != 1}
+        assert not multi, f"cells covered != once: {multi}"
+
+    def test_block_core_tiles_exactly_once(self):
+        p = ConceptualPartition(2, 4, 1, 2, 9, 7)
+        owners = full_tiling(p)
+        assert len(owners) == 9 * 7
+        assert all(len(who) == 1 for who in owners.values())
+
+    def test_owner_of_matches_enumeration(self):
+        p = ConceptualPartition.around_cell((3, 3), 8, 8)
+        for direction in DIRECTIONS:
+            level = 0
+            while p.exists(direction, level):
+                for cell in p.strip_cells(direction, level):
+                    assert p.owner_of(cell) == (direction, level)
+                level += 1
+
+    def test_owner_of_core_is_none(self):
+        p = ConceptualPartition.around_cell((3, 3), 8, 8)
+        assert p.owner_of((3, 3)) is None
+
+    def test_owner_of_outside_grid_raises(self):
+        p = ConceptualPartition.around_cell((3, 3), 8, 8)
+        with pytest.raises(ValueError):
+            p.owner_of((8, 0))
+
+
+class TestDirectionNames:
+    def test_names_align_with_constants(self):
+        assert DIRECTION_NAMES[UP] == "U"
+        assert DIRECTION_NAMES[RIGHT] == "R"
+        assert DIRECTION_NAMES[DOWN] == "D"
+        assert DIRECTION_NAMES[LEFT] == "L"

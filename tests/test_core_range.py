@@ -1,0 +1,146 @@
+"""Tests for continuous range monitoring (repro.core.range_monitor)."""
+
+import random
+
+import pytest
+
+from repro.core.range_monitor import GridRangeMonitor
+from repro.geometry.rects import Rect
+from repro.updates import appear_update, disappear_update, move_update
+from tests.conftest import scatter
+
+
+def brute_range(positions, rect):
+    return {oid for oid, (x, y) in positions.items() if rect.contains_point(x, y)}
+
+
+def fresh(n_objects=80, cells=8, seed=17):
+    monitor = GridRangeMonitor(cells_per_axis=cells)
+    objs = scatter(n_objects, seed=seed)
+    monitor.load_objects(objs)
+    return monitor, dict(objs)
+
+
+class TestInstall:
+    def test_initial_result(self):
+        monitor, positions = fresh()
+        rect = Rect(0.2, 0.2, 0.6, 0.7)
+        assert monitor.install_range_query(0, rect) == brute_range(positions, rect)
+
+    def test_empty_range(self):
+        monitor, _ = fresh()
+        rect = Rect(0.45001, 0.45001, 0.45002, 0.45002)
+        result = monitor.install_range_query(0, rect)
+        assert isinstance(result, set)
+
+    def test_whole_workspace(self):
+        monitor, positions = fresh()
+        assert monitor.install_range_query(0, Rect(0.0, 0.0, 1.0, 1.0)) == set(
+            positions
+        )
+
+    def test_duplicate_install_raises(self):
+        monitor, _ = fresh()
+        monitor.install_range_query(0, Rect(0.1, 0.1, 0.2, 0.2))
+        with pytest.raises(KeyError):
+            monitor.install_range_query(0, Rect(0.1, 0.1, 0.2, 0.2))
+
+    def test_influence_cells_are_intersecting_cells(self):
+        monitor, _ = fresh()
+        rect = Rect(0.3, 0.3, 0.55, 0.4)
+        monitor.install_range_query(0, rect)
+        expected = set(monitor.grid.cells_in_rect(rect.x0, rect.y0, rect.x1, rect.y1))
+        assert set(monitor.influence_cells(0)) == expected
+        assert set(monitor.grid.marked_cells(0)) == expected
+
+
+class TestMonitoring:
+    def test_enter_and_leave(self):
+        monitor, positions = fresh()
+        rect = Rect(0.4, 0.4, 0.6, 0.6)
+        monitor.install_range_query(0, rect)
+        outsider = next(
+            oid for oid, (x, y) in positions.items() if not rect.contains_point(x, y)
+        )
+        old = positions[outsider]
+        changed = monitor.process([move_update(outsider, old, (0.5, 0.5))])
+        positions[outsider] = (0.5, 0.5)
+        assert changed == {0}
+        assert outsider in monitor.result(0)
+        changed = monitor.process([move_update(outsider, (0.5, 0.5), old)])
+        positions[outsider] = old
+        assert changed == {0}
+        assert outsider not in monitor.result(0)
+
+    def test_never_scans_cells_during_updates(self):
+        monitor, positions = fresh()
+        monitor.install_range_query(0, Rect(0.3, 0.3, 0.7, 0.7))
+        monitor.reset_stats()
+        oid = next(iter(positions))
+        monitor.process([move_update(oid, positions[oid], (0.5, 0.5))])
+        assert monitor.stats.cell_scans == 0
+
+    def test_random_stream_matches_brute_force(self):
+        rng = random.Random(23)
+        monitor, positions = fresh()
+        rects = {
+            0: Rect(0.0, 0.0, 0.3, 0.3),
+            1: Rect(0.25, 0.25, 0.75, 0.75),
+            2: Rect(0.6, 0.1, 0.95, 0.9),
+        }
+        for qid, rect in rects.items():
+            monitor.install_range_query(qid, rect)
+        next_oid = 1000
+        for _ in range(12):
+            updates = []
+            for oid in rng.sample(sorted(positions), 15):
+                old = positions[oid]
+                new = (rng.random(), rng.random())
+                positions[oid] = new
+                updates.append(move_update(oid, old, new))
+            if rng.random() < 0.5:
+                pos = (rng.random(), rng.random())
+                updates.append(appear_update(next_oid, pos))
+                positions[next_oid] = pos
+                next_oid += 1
+            monitor.process(updates)
+            for qid, rect in rects.items():
+                assert monitor.result(qid) == brute_range(positions, rect), qid
+
+    def test_disappearance_removes_member(self):
+        monitor, positions = fresh()
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        monitor.install_range_query(0, rect)
+        victim = next(iter(positions))
+        monitor.process([disappear_update(victim, positions[victim])])
+        assert victim not in monitor.result(0)
+
+    def test_overlapping_queries_share_marks(self):
+        monitor, positions = fresh()
+        monitor.install_range_query(0, Rect(0.2, 0.2, 0.6, 0.6))
+        monitor.install_range_query(1, Rect(0.4, 0.4, 0.8, 0.8))
+        mover = next(iter(positions))
+        old = positions[mover]
+        changed = monitor.process([move_update(mover, old, (0.5, 0.5))])
+        positions[mover] = (0.5, 0.5)
+        assert changed <= {0, 1}
+        assert mover in monitor.result(0)
+        assert mover in monitor.result(1)
+
+    def test_terminate_clears_marks(self):
+        monitor, _ = fresh()
+        monitor.install_range_query(0, Rect(0.1, 0.1, 0.9, 0.9))
+        monitor.remove_query(0)
+        assert monitor.grid.total_marks == 0
+        assert monitor.query_ids() == []
+
+    def test_boundary_containment_is_closed(self):
+        monitor = GridRangeMonitor(cells_per_axis=4)
+        monitor.load_objects([(1, (0.5, 0.5))])
+        assert monitor.install_range_query(0, Rect(0.5, 0.5, 0.7, 0.7)) == {1}
+
+    def test_load_guard(self):
+        monitor, _ = fresh()
+        monitor.install_range_query(0, Rect(0.1, 0.1, 0.2, 0.2))
+        with pytest.raises(RuntimeError):
+            monitor.load_objects([(999, (0.5, 0.5))])

@@ -1,0 +1,51 @@
+"""Run the doctests embedded in public-module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.geometry.aggregates
+import repro.geometry.points
+import repro.vis.ascii
+
+MODULES_WITH_DOCTESTS = [
+    repro.geometry.points,
+    repro.geometry.aggregates,
+    repro.vis.ascii,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0
+    assert result.attempted >= 1, f"{module.__name__} lost its doctests"
+
+
+def test_package_quickstart_docstring_runs():
+    """The quickstart in the package docstring must actually work."""
+    from repro import CPMMonitor, ObjectUpdate
+
+    monitor = CPMMonitor(cells_per_axis=64)
+    monitor.load_objects([(1, (0.10, 0.20)), (2, (0.70, 0.75))])
+    initial = monitor.install_query(qid=0, point=(0.5, 0.5), k=1)
+    assert initial[0][1] == 2
+    monitor.process([ObjectUpdate(1, (0.10, 0.20), (0.51, 0.52))])
+    assert monitor.result(0)[0][1] == 1
+
+
+def test_readme_quickstart_numbers():
+    """README's quickstart shows concrete distances; keep them honest."""
+    import math
+
+    from repro import CPMMonitor, ObjectUpdate
+
+    monitor = CPMMonitor(cells_per_axis=64)
+    monitor.load_objects([(1, (0.10, 0.20)), (2, (0.70, 0.75))])
+    result = monitor.install_query(qid=0, point=(0.5, 0.5), k=1)
+    assert result[0][0] == pytest.approx(math.hypot(0.2, 0.25))
+    monitor.process([ObjectUpdate(1, (0.10, 0.20), (0.51, 0.52))])
+    assert monitor.result(0)[0][0] == pytest.approx(math.hypot(0.01, 0.02))

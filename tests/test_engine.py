@@ -1,0 +1,118 @@
+"""Tests for the monitoring server and metrics (repro.engine)."""
+
+import pytest
+
+from repro.baselines.brute import BruteForceMonitor
+from repro.core.cpm import CPMMonitor
+from repro.engine.metrics import CycleMetrics, RunReport
+from repro.engine.server import MonitoringServer, run_workload
+from repro.grid.stats import GridStats
+from repro.mobility.brinkhoff import BrinkhoffGenerator
+from repro.mobility.workload import WorkloadSpec
+
+SPEC = WorkloadSpec(n_objects=80, n_queries=4, k=3, timestamps=8, seed=6)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return BrinkhoffGenerator(SPEC).generate()
+
+
+class TestMonitoringServer:
+    def test_run_produces_per_cycle_metrics(self, workload):
+        report = run_workload(CPMMonitor(cells_per_axis=16), workload)
+        assert report.algorithm == "CPM"
+        assert report.timestamps == 8
+        assert all(isinstance(c, CycleMetrics) for c in report.cycles)
+        assert report.total_processing_sec > 0.0
+
+    def test_results_match_brute_force_cycle_by_cycle(self, workload):
+        cpm = MonitoringServer(
+            CPMMonitor(cells_per_axis=16), workload, collect_results=True
+        )
+        brute = MonitoringServer(BruteForceMonitor(), workload, collect_results=True)
+        cpm.run()
+        brute.run()
+        assert len(cpm.result_log) == len(brute.result_log) == 9  # install + 8
+        for t, (got, want) in enumerate(zip(cpm.result_log, brute.result_log)):
+            assert got.keys() == want.keys(), t
+            for qid in want:
+                # Distances must match exactly; ids can differ on exact ties.
+                assert [d for d, _ in got[qid]] == [d for d, _ in want[qid]], (t, qid)
+
+    def test_on_cycle_callback(self, workload):
+        seen = []
+        MonitoringServer(CPMMonitor(cells_per_axis=16), workload).run(
+            on_cycle=lambda m: seen.append(m.timestamp)
+        )
+        assert seen == list(range(8))
+
+    def test_install_metrics_recorded(self, workload):
+        report = run_workload(CPMMonitor(cells_per_axis=16), workload)
+        assert report.install_sec > 0.0
+        assert report.install_stats.cell_scans > 0
+
+    def test_cycle_stats_are_deltas_not_totals(self, workload):
+        report = run_workload(CPMMonitor(cells_per_axis=16), workload)
+        # Each cycle's scans must be far below the total.
+        total = report.total_cell_scans
+        assert all(c.stats.cell_scans <= total for c in report.cycles)
+
+    def test_update_counts_recorded(self, workload):
+        report = run_workload(BruteForceMonitor(), workload)
+        for batch, cycle in zip(workload.batches, report.cycles):
+            assert cycle.object_updates == len(batch.object_updates)
+            assert cycle.query_updates == len(batch.query_updates)
+
+
+class TestRunReport:
+    def make_report(self):
+        report = RunReport(algorithm="X", n_queries=5)
+        for t in range(4):
+            report.cycles.append(
+                CycleMetrics(
+                    timestamp=t,
+                    elapsed_sec=0.5,
+                    stats=GridStats(cell_scans=10, objects_scanned=100),
+                    object_updates=20,
+                    query_updates=2,
+                    results_changed=3,
+                )
+            )
+        report.install_sec = 1.0
+        return report
+
+    def test_totals(self):
+        report = self.make_report()
+        assert report.total_processing_sec == pytest.approx(2.0)
+        assert report.total_sec == pytest.approx(3.0)
+        assert report.total_cell_scans == 40
+        assert report.total_objects_scanned == 400
+        assert report.total_results_changed == 12
+
+    def test_cell_accesses_per_query_per_timestamp(self):
+        report = self.make_report()
+        # 40 scans / (5 queries * 4 timestamps) = 2.0 — the Fig 6.3b metric.
+        assert report.cell_accesses_per_query_per_timestamp == pytest.approx(2.0)
+
+    def test_mean_cycle_sec(self):
+        report = self.make_report()
+        assert report.mean_cycle_sec == pytest.approx(0.5)
+
+    def test_empty_report(self):
+        report = RunReport(algorithm="X", n_queries=0)
+        assert report.total_processing_sec == 0.0
+        assert report.cell_accesses_per_query_per_timestamp == 0.0
+        assert report.mean_cycle_sec == 0.0
+
+    def test_summary_keys(self):
+        summary = self.make_report().summary()
+        assert set(summary) == {
+            "cpu_sec",
+            "cpu_total_sec",
+            "install_sec",
+            "cell_scans",
+            "cell_accesses_per_query_per_ts",
+            "objects_scanned",
+            "results_changed",
+        }

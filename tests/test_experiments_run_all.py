@@ -1,0 +1,36 @@
+"""Smoke test for the aggregated experiment runner."""
+
+import pathlib
+
+from repro.experiments.run_all import run_all
+
+
+class TestRunAll:
+    def test_produces_full_report(self, tmp_path: pathlib.Path):
+        report = run_all(scale=0.003)
+        # Every section present.
+        for heading in (
+            "Figure 6.1",
+            "Figure 6.2",
+            "Figure 6.3",
+            "Figure 6.4",
+            "Figure 6.5",
+            "Figure 6.6",
+            "Footnote 6",
+            "Ablations",
+        ):
+            assert heading in report
+        # Every algorithm appears in the series.
+        for name in ("CPM", "YPK-CNN", "SEA-CNN"):
+            assert name in report
+        # And it is valid markdown-ish: fenced blocks are balanced.
+        assert report.count("```") % 2 == 0
+
+    def test_cli_writes_file(self, tmp_path: pathlib.Path, capsys):
+        from repro.experiments import run_all as mod
+
+        out = tmp_path / "report.md"
+        mod.main(["--scale", "0.003", "--out", str(out)])
+        assert out.exists()
+        text = out.read_text()
+        assert "Figure 6.1" in text

@@ -1,0 +1,107 @@
+"""Unit tests for repro.geometry.aggregates (Section 5 distance functions)."""
+
+import math
+
+import pytest
+
+from repro.geometry.aggregates import (
+    AGG_MAX,
+    AGG_MIN,
+    AGG_SUM,
+    AGGREGATES,
+    adist,
+    get_aggregate,
+)
+
+
+class TestGetAggregate:
+    def test_by_name(self):
+        assert get_aggregate("sum") is AGG_SUM
+        assert get_aggregate("min") is AGG_MIN
+        assert get_aggregate("max") is AGG_MAX
+
+    def test_passthrough(self):
+        assert get_aggregate(AGG_SUM) is AGG_SUM
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            get_aggregate("median")
+
+    def test_registry_complete(self):
+        assert set(AGGREGATES) == {"sum", "min", "max"}
+
+
+class TestAdist:
+    Q = [(0.0, 0.0), (1.0, 0.0)]
+
+    def test_sum(self):
+        assert adist((0.5, 0.0), self.Q, "sum") == pytest.approx(1.0)
+
+    def test_min(self):
+        assert adist((0.9, 0.0), self.Q, "min") == pytest.approx(0.1)
+
+    def test_max(self):
+        assert adist((0.9, 0.0), self.Q, "max") == pytest.approx(0.9)
+
+    def test_single_point_all_equal(self):
+        q = [(0.3, 0.4)]
+        p = (0.0, 0.0)
+        expected = 0.5
+        for fn in ("sum", "min", "max"):
+            assert adist(p, q, fn) == pytest.approx(expected)
+
+    def test_empty_query_set_raises(self):
+        with pytest.raises(ValueError):
+            adist((0.0, 0.0), [], "sum")
+
+    def test_monotone_in_each_distance(self):
+        # Moving p directly away from every query point cannot decrease any
+        # aggregate (monotonically increasing f).
+        q = [(0.2, 0.2), (0.4, 0.3)]
+        near = (0.3, 0.25)
+        far = (0.9, 0.95)
+        for fn in ("sum", "min", "max"):
+            assert adist(far, q, fn) > adist(near, q, fn)
+
+    def test_sum_at_meeting_point(self):
+        # Classic: on the segment between two users, sum is constant.
+        q = [(0.0, 0.0), (1.0, 0.0)]
+        assert adist((0.25, 0.0), q, "sum") == pytest.approx(
+            adist((0.75, 0.0), q, "sum")
+        )
+
+
+class TestLevelStep:
+    def test_sum_scales_with_m(self):
+        # Corollary 5.1: amindist(DIR_{j+1}) = amindist(DIR_j) + m * delta.
+        assert AGG_SUM.level_step(3, 0.1) == pytest.approx(0.3)
+        assert AGG_SUM.level_step(1, 0.1) == pytest.approx(0.1)
+
+    def test_min_max_independent_of_m(self):
+        # Corollary 5.2: increment is delta regardless of m.
+        assert AGG_MIN.level_step(7, 0.1) == pytest.approx(0.1)
+        assert AGG_MAX.level_step(7, 0.1) == pytest.approx(0.1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            AGG_SUM.level_step(0, 0.1)
+        with pytest.raises(ValueError):
+            AGG_SUM.level_step(2, 0.0)
+
+
+class TestReductions:
+    def test_callable_interface(self):
+        assert AGG_SUM([1.0, 2.0, 3.0]) == 6.0
+        assert AGG_MIN([1.0, 2.0, 3.0]) == 1.0
+        assert AGG_MAX([1.0, 2.0, 3.0]) == 3.0
+
+    def test_generator_input(self):
+        assert AGG_SUM(d for d in (0.5, 0.5)) == 1.0
+
+    def test_adist_equals_manual_reduction(self):
+        q = [(0.1, 0.1), (0.9, 0.9), (0.5, 0.1)]
+        p = (0.4, 0.6)
+        dists = [math.hypot(p[0] - x, p[1] - y) for x, y in q]
+        assert adist(p, q, "sum") == pytest.approx(sum(dists))
+        assert adist(p, q, "min") == pytest.approx(min(dists))
+        assert adist(p, q, "max") == pytest.approx(max(dists))

@@ -1,0 +1,89 @@
+"""Unit tests for repro.geometry.points."""
+
+import math
+
+import pytest
+
+from repro.geometry.points import (
+    dist,
+    dist_sq,
+    max_distance_to_corners,
+    midpoint,
+    translate,
+)
+
+
+class TestDist:
+    def test_pythagorean_triple(self):
+        assert dist((0.0, 0.0), (3.0, 4.0)) == 5.0
+
+    def test_zero_for_same_point(self):
+        assert dist((0.3, 0.7), (0.3, 0.7)) == 0.0
+
+    def test_symmetry(self):
+        a, b = (0.1, 0.9), (0.8, 0.2)
+        assert dist(a, b) == dist(b, a)
+
+    def test_axis_aligned(self):
+        assert dist((0.0, 0.0), (2.5, 0.0)) == 2.5
+        assert dist((0.0, 0.0), (0.0, 1.5)) == 1.5
+
+    def test_triangle_inequality(self):
+        a, b, c = (0.0, 0.0), (0.4, 0.7), (1.0, 0.1)
+        assert dist(a, c) <= dist(a, b) + dist(b, c) + 1e-12
+
+    def test_negative_coordinates(self):
+        assert dist((-1.0, -1.0), (2.0, 3.0)) == 5.0
+
+
+class TestDistSq:
+    def test_matches_dist_squared(self):
+        a, b = (0.13, 0.58), (0.92, 0.31)
+        assert dist_sq(a, b) == pytest.approx(dist(a, b) ** 2)
+
+    def test_zero(self):
+        assert dist_sq((1.0, 2.0), (1.0, 2.0)) == 0.0
+
+
+class TestMidpoint:
+    def test_basic(self):
+        assert midpoint((0.0, 0.0), (1.0, 2.0)) == (0.5, 1.0)
+
+    def test_same_point(self):
+        assert midpoint((0.4, 0.4), (0.4, 0.4)) == (0.4, 0.4)
+
+    def test_equidistant(self):
+        a, b = (0.1, 0.3), (0.9, 0.5)
+        m = midpoint(a, b)
+        assert dist(a, m) == pytest.approx(dist(b, m))
+
+
+class TestTranslate:
+    def test_basic(self):
+        assert translate((1.0, 2.0), 0.5, -0.5) == (1.5, 1.5)
+
+    def test_zero_displacement(self):
+        assert translate((0.2, 0.8), 0.0, 0.0) == (0.2, 0.8)
+
+    def test_preserves_distance(self):
+        a, b = (0.1, 0.2), (0.7, 0.9)
+        assert dist(translate(a, 0.3, 0.1), translate(b, 0.3, 0.1)) == pytest.approx(
+            dist(a, b)
+        )
+
+
+class TestMaxDistanceToCorners:
+    def test_unit_square_from_origin(self):
+        corners = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+        assert max_distance_to_corners((0.0, 0.0), corners) == pytest.approx(
+            math.sqrt(2.0)
+        )
+
+    def test_center(self):
+        corners = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+        assert max_distance_to_corners((0.5, 0.5), corners) == pytest.approx(
+            math.sqrt(0.5)
+        )
+
+    def test_empty_iterable(self):
+        assert max_distance_to_corners((0.5, 0.5), []) == 0.0

@@ -1,0 +1,137 @@
+"""Unit tests for repro.geometry.rects."""
+
+import math
+
+import pytest
+
+from repro.geometry.rects import Rect, mindist_point_rect, rects_intersect
+
+
+class TestMindistPointRect:
+    def test_inside_is_zero(self):
+        assert mindist_point_rect(0.5, 0.5, 0.0, 0.0, 1.0, 1.0) == 0.0
+
+    def test_on_border_is_zero(self):
+        assert mindist_point_rect(0.0, 0.5, 0.0, 0.0, 1.0, 1.0) == 0.0
+        assert mindist_point_rect(1.0, 1.0, 0.0, 0.0, 1.0, 1.0) == 0.0
+
+    def test_left_of(self):
+        assert mindist_point_rect(-0.5, 0.5, 0.0, 0.0, 1.0, 1.0) == 0.5
+
+    def test_right_of(self):
+        assert mindist_point_rect(1.7, 0.5, 0.0, 0.0, 1.0, 1.0) == pytest.approx(0.7)
+
+    def test_above(self):
+        assert mindist_point_rect(0.5, 2.0, 0.0, 0.0, 1.0, 1.0) == 1.0
+
+    def test_below(self):
+        assert mindist_point_rect(0.5, -0.25, 0.0, 0.0, 1.0, 1.0) == 0.25
+
+    def test_diagonal_corner(self):
+        assert mindist_point_rect(-3.0, -4.0, 0.0, 0.0, 1.0, 1.0) == 5.0
+
+    def test_degenerate_point_rect(self):
+        assert mindist_point_rect(1.0, 1.0, 0.5, 0.5, 0.5, 0.5) == pytest.approx(
+            math.sqrt(0.5)
+        )
+
+    def test_is_lower_bound_for_interior_points(self):
+        # mindist must never exceed the distance to any point of the rect.
+        import random
+
+        rng = random.Random(5)
+        for _ in range(100):
+            px, py = rng.uniform(-2, 2), rng.uniform(-2, 2)
+            x0, y0 = rng.uniform(-1, 1), rng.uniform(-1, 1)
+            x1, y1 = x0 + rng.uniform(0, 1), y0 + rng.uniform(0, 1)
+            md = mindist_point_rect(px, py, x0, y0, x1, y1)
+            for _ in range(10):
+                ix = rng.uniform(x0, x1)
+                iy = rng.uniform(y0, y1)
+                assert md <= math.hypot(px - ix, py - iy) + 1e-12
+
+
+class TestRectsIntersect:
+    def test_overlapping(self):
+        assert rects_intersect(0, 0, 1, 1, 0.5, 0.5, 1.5, 1.5)
+
+    def test_touching_edge_counts(self):
+        assert rects_intersect(0, 0, 1, 1, 1.0, 0.0, 2.0, 1.0)
+
+    def test_touching_corner_counts(self):
+        assert rects_intersect(0, 0, 1, 1, 1.0, 1.0, 2.0, 2.0)
+
+    def test_disjoint_x(self):
+        assert not rects_intersect(0, 0, 1, 1, 1.1, 0, 2, 1)
+
+    def test_disjoint_y(self):
+        assert not rects_intersect(0, 0, 1, 1, 0, 1.1, 1, 2)
+
+    def test_containment(self):
+        assert rects_intersect(0, 0, 1, 1, 0.25, 0.25, 0.75, 0.75)
+
+
+class TestRect:
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+
+    def test_zero_area_allowed(self):
+        r = Rect(0.5, 0.5, 0.5, 0.5)
+        assert r.area == 0.0
+
+    def test_properties(self):
+        r = Rect(0.0, 0.0, 2.0, 1.0)
+        assert r.width == 2.0
+        assert r.height == 1.0
+        assert r.area == 2.0
+        assert r.center == (1.0, 0.5)
+
+    def test_corners(self):
+        r = Rect(0.0, 0.0, 1.0, 2.0)
+        assert set(r.corners) == {(0.0, 0.0), (1.0, 0.0), (1.0, 2.0), (0.0, 2.0)}
+
+    def test_bounding(self):
+        r = Rect.bounding([(0.2, 0.9), (0.5, 0.1), (0.8, 0.4)])
+        assert (r.x0, r.y0, r.x1, r.y1) == (0.2, 0.1, 0.8, 0.9)
+
+    def test_bounding_single_point(self):
+        r = Rect.bounding([(0.3, 0.4)])
+        assert r.area == 0.0
+        assert r.center == (0.3, 0.4)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+    def test_contains_point(self):
+        r = Rect(0.0, 0.0, 1.0, 1.0)
+        assert r.contains_point(0.5, 0.5)
+        assert r.contains_point(0.0, 1.0)  # border inclusive
+        assert not r.contains_point(1.01, 0.5)
+
+    def test_contains_rect(self):
+        outer = Rect(0.0, 0.0, 1.0, 1.0)
+        assert outer.contains_rect(Rect(0.1, 0.1, 0.9, 0.9))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(0.5, 0.5, 1.5, 0.9))
+
+    def test_intersects(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        assert a.intersects(Rect(0.9, 0.9, 2.0, 2.0))
+        assert not a.intersects(Rect(1.5, 1.5, 2.0, 2.0))
+
+    def test_mindist(self):
+        r = Rect(0.0, 0.0, 1.0, 1.0)
+        assert r.mindist((0.5, 0.5)) == 0.0
+        assert r.mindist((2.0, 0.5)) == 1.0
+
+    def test_clamp(self):
+        r = Rect(0.0, 0.0, 1.0, 1.0)
+        assert r.clamp(-1.0, 0.5) == (0.0, 0.5)
+        assert r.clamp(0.5, 5.0) == (0.5, 1.0)
+        assert r.clamp(0.2, 0.3) == (0.2, 0.3)
+
+    def test_expanded(self):
+        r = Rect(0.2, 0.2, 0.8, 0.8).expanded(0.1)
+        assert (r.x0, r.y0, r.x1, r.y1) == pytest.approx((0.1, 0.1, 0.9, 0.9))

@@ -1,0 +1,81 @@
+"""Unit tests for repro.grid.cell addressing and repro.grid.stats counters."""
+
+import pytest
+
+from repro.grid.cell import cell_bounds, cell_index
+from repro.grid.stats import GridStats
+
+
+class TestCellIndex:
+    def test_basic(self):
+        assert cell_index(0.0, 0.0, 0.25, 4) == 0
+        assert cell_index(0.26, 0.0, 0.25, 4) == 1
+        assert cell_index(0.99, 0.0, 0.25, 4) == 3
+
+    def test_half_open_convention(self):
+        # Exactly on an internal boundary belongs to the upper cell.
+        assert cell_index(0.25, 0.0, 0.25, 4) == 1
+        assert cell_index(0.5, 0.0, 0.25, 4) == 2
+
+    def test_max_edge_clamped(self):
+        assert cell_index(1.0, 0.0, 0.25, 4) == 3
+
+    def test_below_origin_clamped(self):
+        assert cell_index(-0.7, 0.0, 0.25, 4) == 0
+
+    def test_origin_offset(self):
+        assert cell_index(2.6, 2.0, 0.25, 4) == 2
+
+
+class TestCellBounds:
+    def test_basic(self):
+        assert cell_bounds(0, 0, 0.0, 0.0, 0.25) == pytest.approx(
+            (0.0, 0.0, 0.25, 0.25)
+        )
+
+    def test_offset_origin(self):
+        assert cell_bounds(2, 1, 10.0, 20.0, 0.5) == pytest.approx(
+            (11.0, 20.5, 11.5, 21.0)
+        )
+
+    def test_roundtrip_with_index(self):
+        # The midpoint of a cell's bounds maps back to the same cell.
+        for i in range(4):
+            x0, _y0, x1, _y1 = cell_bounds(i, 0, 0.0, 0.0, 0.25)
+            assert cell_index((x0 + x1) / 2, 0.0, 0.25, 4) == i
+
+
+class TestGridStats:
+    def test_initial_zero(self):
+        stats = GridStats()
+        assert stats.cell_scans == 0
+        assert stats.objects_scanned == 0
+        assert stats.inserts == 0
+        assert stats.deletes == 0
+        assert stats.mark_ops == 0
+
+    def test_reset(self):
+        stats = GridStats(cell_scans=5, objects_scanned=9, inserts=1, deletes=2, mark_ops=3)
+        stats.reset()
+        assert stats == GridStats()
+
+    def test_snapshot_is_independent(self):
+        stats = GridStats(cell_scans=5)
+        snap = stats.snapshot()
+        stats.cell_scans = 50
+        assert snap.cell_scans == 5
+
+    def test_diff(self):
+        earlier = GridStats(cell_scans=5, objects_scanned=10)
+        later = GridStats(cell_scans=12, objects_scanned=40)
+        d = later.diff(earlier)
+        assert d.cell_scans == 7
+        assert d.objects_scanned == 30
+
+    def test_merged(self):
+        a = GridStats(cell_scans=2, inserts=1)
+        b = GridStats(cell_scans=3, deletes=4)
+        m = a.merged(b)
+        assert m.cell_scans == 5
+        assert m.inserts == 1
+        assert m.deletes == 4

@@ -1,0 +1,130 @@
+"""Tests for the synthetic road networks (the Oldenburg substitute)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.geometry.rects import Rect
+from repro.mobility.network import RoadNetwork, grid_network, random_geometric_network
+
+
+class TestRoadNetwork:
+    def test_requires_two_nodes(self):
+        with pytest.raises(ValueError):
+            RoadNetwork([(0.5, 0.5)], [])
+
+    def test_requires_edges(self):
+        with pytest.raises(ValueError):
+            RoadNetwork([(0.1, 0.1), (0.9, 0.9)], [])
+
+    def test_requires_connectivity(self):
+        nodes = [(0.1, 0.1), (0.2, 0.2), (0.8, 0.8), (0.9, 0.9)]
+        with pytest.raises(ValueError):
+            RoadNetwork(nodes, [(0, 1), (2, 3)])
+
+    def test_rejects_nodes_outside_workspace(self):
+        with pytest.raises(ValueError):
+            RoadNetwork([(0.1, 0.1), (1.5, 0.5)], [(0, 1)])
+
+    def test_edge_weights_are_euclidean(self):
+        net = RoadNetwork([(0.0, 0.0), (0.3, 0.4)], [(0, 1)])
+        assert net.graph[0][1]["weight"] == pytest.approx(0.5)
+
+    def test_shortest_path_endpoints(self):
+        net = grid_network(4, 4, seed=1)
+        path = net.shortest_path(0, 15)
+        assert path[0] == net.node_position(0)
+        assert path[-1] == net.node_position(15)
+
+    def test_shortest_path_is_optimal(self):
+        net = grid_network(5, 5, seed=2)
+        expected = nx.shortest_path_length(net.graph, 3, 21, weight="weight")
+        path = net.shortest_path(3, 21)
+        assert net.path_length(path) == pytest.approx(expected)
+
+    def test_shortest_path_same_node_raises(self):
+        net = grid_network(4, 4, seed=1)
+        with pytest.raises(ValueError):
+            net.shortest_path(3, 3)
+
+    def test_path_cache_consistency(self):
+        net = grid_network(4, 4, seed=1)
+        first = net.shortest_path(1, 14)
+        second = net.shortest_path(1, 14)
+        assert first == second
+
+    def test_random_trip_distinct_endpoints(self):
+        net = grid_network(4, 4, seed=1)
+        rng = random.Random(0)
+        for _ in range(50):
+            src, dst = net.random_trip(rng)
+            assert src != dst
+
+
+class TestGridNetwork:
+    def test_node_count(self):
+        net = grid_network(4, 5, seed=0)
+        assert net.node_count == 20
+
+    def test_connected(self):
+        for seed in range(5):
+            net = grid_network(6, 6, dropout=0.3, seed=seed)
+            assert nx.is_connected(net.graph)
+
+    def test_nodes_inside_workspace(self):
+        net = grid_network(8, 8, jitter=0.45, seed=3)
+        for x, y in net.nodes:
+            assert net.bounds.contains_point(x, y)
+
+    def test_deterministic_in_seed(self):
+        a = grid_network(5, 5, seed=42)
+        b = grid_network(5, 5, seed=42)
+        assert a.nodes == b.nodes
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_different_seed_differs(self):
+        a = grid_network(5, 5, seed=1)
+        b = grid_network(5, 5, seed=2)
+        assert a.nodes != b.nodes
+
+    def test_custom_bounds(self):
+        bounds = Rect(10.0, 10.0, 20.0, 20.0)
+        net = grid_network(4, 4, bounds=bounds, seed=0)
+        for x, y in net.nodes:
+            assert bounds.contains_point(x, y)
+
+    def test_too_small_lattice_raises(self):
+        with pytest.raises(ValueError):
+            grid_network(1, 5)
+
+    def test_bad_dropout_raises(self):
+        with pytest.raises(ValueError):
+            grid_network(4, 4, dropout=1.0)
+
+
+class TestRandomGeometricNetwork:
+    def test_connected(self):
+        net = random_geometric_network(150, seed=7)
+        assert nx.is_connected(net.graph)
+
+    def test_nodes_inside_workspace(self):
+        net = random_geometric_network(100, seed=3)
+        for x, y in net.nodes:
+            assert net.bounds.contains_point(x, y)
+
+    def test_keeps_largest_component(self):
+        # With a small radius the raw graph fragments; we must still get a
+        # connected network (possibly with fewer nodes).
+        net = random_geometric_network(200, radius=0.09, seed=5)
+        assert nx.is_connected(net.graph)
+        assert net.node_count >= 2
+
+    def test_deterministic_in_seed(self):
+        a = random_geometric_network(80, seed=11)
+        b = random_geometric_network(80, seed=11)
+        assert a.nodes == b.nodes
+
+    def test_too_few_nodes_raises(self):
+        with pytest.raises(ValueError):
+            random_geometric_network(1)

@@ -1,0 +1,100 @@
+"""Tests for the path-following motion model (Brinkhoff lifecycle)."""
+
+import random
+
+import pytest
+
+from repro.geometry.points import dist
+from repro.geometry.rects import Rect
+from repro.mobility.network import grid_network
+from repro.mobility.objects import SPEED_FACTORS, MovingAgent, speed_per_timestamp
+
+
+class TestSpeedPerTimestamp:
+    def test_paper_ratios(self):
+        # slow = (w + h) / 250; medium = 5x; fast = 25x.
+        bounds = Rect(0.0, 0.0, 1.0, 1.0)
+        slow = speed_per_timestamp("slow", bounds)
+        assert slow == pytest.approx(2.0 / 250.0)
+        assert speed_per_timestamp("medium", bounds) == pytest.approx(5 * slow)
+        assert speed_per_timestamp("fast", bounds) == pytest.approx(25 * slow)
+
+    def test_scales_with_workspace(self):
+        big = Rect(0.0, 0.0, 10.0, 10.0)
+        assert speed_per_timestamp("slow", big) == pytest.approx(20.0 / 250.0)
+
+    def test_unknown_speed_raises(self):
+        with pytest.raises(ValueError):
+            speed_per_timestamp("warp", Rect(0, 0, 1, 1))
+
+    def test_factor_table(self):
+        assert SPEED_FACTORS == {"slow": 1.0, "medium": 5.0, "fast": 25.0}
+
+
+class TestMovingAgent:
+    def setup_method(self):
+        self.net = grid_network(6, 6, seed=4)
+        self.rng = random.Random(9)
+
+    def test_starts_on_a_node(self):
+        agent = MovingAgent(self.net, 0.02, self.rng)
+        assert agent.position in self.net.nodes
+
+    def test_advance_moves_at_most_speed(self):
+        agent = MovingAgent(self.net, 0.02, self.rng)
+        old = agent.position
+        new = agent.advance(self.rng)
+        if new is not None:
+            # Straight-line displacement cannot exceed path distance.
+            assert dist(old, new) <= 0.02 + 1e-9
+
+    def test_object_eventually_disappears(self):
+        agent = MovingAgent(self.net, 0.05, self.rng)
+        for _ in range(2000):
+            if agent.advance(self.rng) is None:
+                break
+        else:
+            pytest.fail("object never completed its trip")
+
+    def test_respawning_agent_never_disappears(self):
+        agent = MovingAgent(self.net, 0.05, self.rng, respawn=True)
+        for _ in range(500):
+            assert agent.advance(self.rng) is not None
+
+    def test_remaining_trip_length_decreases(self):
+        agent = MovingAgent(self.net, 0.01, self.rng)
+        before = agent.remaining_trip_length()
+        agent.advance(self.rng)
+        after = agent.remaining_trip_length()
+        assert after <= before
+
+    def test_positions_stay_in_workspace(self):
+        agent = MovingAgent(self.net, 0.1, self.rng, respawn=True)
+        for _ in range(200):
+            pos = agent.advance(self.rng)
+            assert pos is not None
+            assert self.net.bounds.contains_point(pos[0], pos[1])
+
+    def test_fast_agent_covers_whole_trip_in_one_step(self):
+        # Speed far exceeding any path length: the object lands on its
+        # destination immediately.
+        agent = MovingAgent(self.net, 100.0, self.rng)
+        final = agent.advance(self.rng)
+        assert final is not None
+        assert agent.finished
+
+    def test_invalid_speed_raises(self):
+        with pytest.raises(ValueError):
+            MovingAgent(self.net, 0.0, self.rng)
+
+    def test_start_node_respected(self):
+        agent = MovingAgent(self.net, 0.02, self.rng, start_node=5)
+        assert agent.position == self.net.node_position(5)
+
+    def test_deterministic_under_same_rng_seed(self):
+        net = grid_network(5, 5, seed=1)
+        a = MovingAgent(net, 0.03, random.Random(7), respawn=True)
+        b = MovingAgent(net, 0.03, random.Random(7), respawn=True)
+        rng_a, rng_b = random.Random(8), random.Random(8)
+        for _ in range(100):
+            assert a.advance(rng_a) == b.advance(rng_b)

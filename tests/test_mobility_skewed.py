@@ -1,0 +1,95 @@
+"""Tests for the skewed (clustered) workload generator."""
+
+import pytest
+
+from repro.baselines.brute import BruteForceMonitor
+from repro.core.cpm import CPMMonitor
+from repro.engine.server import MonitoringServer
+from repro.grid.grid import Grid
+from repro.mobility.skewed import SkewedGenerator, occupancy_skew
+from repro.mobility.uniform import UniformGenerator
+from repro.mobility.workload import WorkloadSpec
+
+SPEC = WorkloadSpec(n_objects=400, n_queries=4, k=4, timestamps=10, seed=13)
+
+
+class TestGeneration:
+    def test_validates(self):
+        SkewedGenerator(SPEC).generate().validate()
+
+    def test_deterministic(self):
+        a = SkewedGenerator(SPEC).generate()
+        b = SkewedGenerator(SPEC).generate()
+        assert a.initial_objects == b.initial_objects
+        assert a.batches == b.batches
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SkewedGenerator(SPEC, hotspots=0)
+        with pytest.raises(ValueError):
+            SkewedGenerator(SPEC, spread=0.0)
+        with pytest.raises(ValueError):
+            SkewedGenerator(SPEC, reversion=1.5)
+
+    def test_positions_in_workspace(self):
+        wl = SkewedGenerator(SPEC).generate()
+        rect = SPEC.rect
+        for pos in wl.initial_objects.values():
+            assert rect.contains_point(*pos)
+        for batch in wl.batches:
+            for upd in batch.object_updates:
+                if upd.new is not None:
+                    assert rect.contains_point(*upd.new)
+
+    def test_actually_skewed(self):
+        """Cell-occupancy variation must far exceed the uniform baseline."""
+        def skew_of(workload):
+            grid = Grid(16)
+            for oid, (x, y) in workload.initial_objects.items():
+                grid.insert(oid, x, y)
+            counts = [grid.cell_size(i, j) for i in range(16) for j in range(16)]
+            return occupancy_skew(counts)
+
+        skewed = skew_of(SkewedGenerator(SPEC, spread=0.03).generate())
+        uniform = skew_of(UniformGenerator(SPEC).generate())
+        assert skewed > 2.0 * uniform
+
+    def test_skew_persists_over_time(self):
+        """The mean-reverting walk keeps clusters tight through the run."""
+        wl = SkewedGenerator(SPEC, spread=0.03).generate()
+        positions = dict(wl.initial_objects)
+        for batch in wl.batches:
+            for upd in batch.object_updates:
+                if upd.new is None:
+                    positions.pop(upd.oid, None)
+                else:
+                    positions[upd.oid] = upd.new
+        grid = Grid(16)
+        for oid, (x, y) in positions.items():
+            grid.insert(oid, x, y)
+        counts = [grid.cell_size(i, j) for i in range(16) for j in range(16)]
+        assert occupancy_skew(counts) > 1.5
+
+    def test_monitors_stay_correct_under_skew(self):
+        wl = SkewedGenerator(SPEC).generate()
+        cpm = MonitoringServer(CPMMonitor(cells_per_axis=16), wl, collect_results=True)
+        brute = MonitoringServer(BruteForceMonitor(), wl, collect_results=True)
+        cpm.run()
+        brute.run()
+        for got, want in zip(cpm.result_log, brute.result_log):
+            for qid in want:
+                assert [d for d, _ in got[qid]] == [d for d, _ in want[qid]]
+
+
+class TestOccupancySkew:
+    def test_uniform_counts_give_zero(self):
+        assert occupancy_skew([5, 5, 5, 5]) == 0.0
+
+    def test_empty(self):
+        assert occupancy_skew([]) == 0.0
+        assert occupancy_skew([0, 0]) == 0.0
+
+    def test_concentration_increases_skew(self):
+        spread_out = occupancy_skew([3, 2, 3, 2])
+        concentrated = occupancy_skew([10, 0, 0, 0])
+        assert concentrated > spread_out

@@ -1,0 +1,200 @@
+"""Tests for workload specs, the Brinkhoff generator and the uniform
+generator (materialized update streams)."""
+
+import pytest
+
+from repro.mobility.brinkhoff import QUERY_ID_BASE, BrinkhoffGenerator
+from repro.mobility.uniform import UniformGenerator
+from repro.mobility.workload import Workload, WorkloadSpec
+from repro.updates import QueryUpdateKind
+
+
+class TestWorkloadSpec:
+    def test_defaults_mirror_table_6_1_shape(self):
+        spec = WorkloadSpec()
+        assert spec.k == 16
+        assert spec.object_speed == "medium"
+        assert spec.object_agility == 0.5
+        assert spec.query_agility == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_objects=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(k=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(object_agility=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec(query_agility=-0.1)
+        with pytest.raises(ValueError):
+            WorkloadSpec(timestamps=-1)
+
+    def test_replace(self):
+        spec = WorkloadSpec(n_objects=100)
+        other = spec.replace(n_objects=200, k=4)
+        assert other.n_objects == 200
+        assert other.k == 4
+        assert other.seed == spec.seed
+        assert spec.n_objects == 100  # original untouched
+
+
+SMALL = WorkloadSpec(
+    n_objects=60, n_queries=4, k=3, timestamps=12, seed=5,
+    object_agility=0.5, query_agility=0.4,
+)
+
+
+class TestBrinkhoffGenerator:
+    def test_populations(self):
+        wl = BrinkhoffGenerator(SMALL).generate()
+        assert len(wl.initial_objects) == 60
+        assert len(wl.initial_queries) == 4
+        assert len(wl.batches) == 12
+
+    def test_query_ids_namespaced(self):
+        wl = BrinkhoffGenerator(SMALL).generate()
+        assert all(qid >= QUERY_ID_BASE for qid in wl.initial_queries)
+        assert all(oid < QUERY_ID_BASE for oid in wl.initial_objects)
+
+    def test_stream_validates(self):
+        wl = BrinkhoffGenerator(SMALL).generate()
+        wl.validate()  # raises on any inconsistency
+
+    def test_deterministic(self):
+        a = BrinkhoffGenerator(SMALL).generate()
+        b = BrinkhoffGenerator(SMALL).generate()
+        assert a.initial_objects == b.initial_objects
+        assert a.batches == b.batches
+
+    def test_seed_changes_stream(self):
+        a = BrinkhoffGenerator(SMALL).generate()
+        b = BrinkhoffGenerator(SMALL.replace(seed=6)).generate()
+        assert a.initial_objects != b.initial_objects
+
+    def test_agility_controls_update_volume(self):
+        quiet = BrinkhoffGenerator(SMALL.replace(object_agility=0.1)).generate()
+        busy = BrinkhoffGenerator(SMALL.replace(object_agility=1.0)).generate()
+        assert busy.total_object_updates > quiet.total_object_updates
+
+    def test_zero_agility_produces_no_updates(self):
+        wl = BrinkhoffGenerator(
+            SMALL.replace(object_agility=0.0, query_agility=0.0)
+        ).generate()
+        assert wl.total_object_updates == 0
+        assert wl.total_query_updates == 0
+
+    def test_population_stays_constant(self):
+        """Disappearing objects are replaced: the on-line population is N at
+        every timestamp."""
+        wl = BrinkhoffGenerator(SMALL.replace(object_speed="fast")).generate()
+        online = set(wl.initial_objects)
+        for batch in wl.batches:
+            for upd in batch.object_updates:
+                if upd.old is None:
+                    online.add(upd.oid)
+                elif upd.new is None:
+                    online.discard(upd.oid)
+            assert len(online) == 60
+
+    def test_query_updates_are_moves(self):
+        wl = BrinkhoffGenerator(SMALL).generate()
+        for batch in wl.batches:
+            for qu in batch.query_updates:
+                assert qu.kind is QueryUpdateKind.MOVE
+                assert qu.qid in wl.initial_queries
+
+    def test_positions_inside_workspace(self):
+        wl = BrinkhoffGenerator(SMALL).generate()
+        rect = SMALL.rect
+        for pos in wl.initial_objects.values():
+            assert rect.contains_point(*pos)
+        for batch in wl.batches:
+            for upd in batch.object_updates:
+                if upd.new is not None:
+                    assert rect.contains_point(*upd.new)
+
+    def test_mismatched_network_bounds_raises(self):
+        from repro.mobility.network import grid_network
+
+        net = grid_network(4, 4, bounds=(0.0, 0.0, 2.0, 2.0), seed=0)
+        with pytest.raises(ValueError):
+            BrinkhoffGenerator(SMALL, net)
+
+
+class TestUniformGenerator:
+    def test_populations_and_determinism(self):
+        a = UniformGenerator(SMALL).generate()
+        b = UniformGenerator(SMALL).generate()
+        assert len(a.initial_objects) == 60
+        assert len(a.batches) == 12
+        assert a.batches == b.batches
+
+    def test_stream_validates(self):
+        UniformGenerator(SMALL).generate().validate()
+
+    def test_displacement_bounded_by_speed(self):
+        from repro.mobility.objects import speed_per_timestamp
+
+        wl = UniformGenerator(SMALL).generate()
+        step = speed_per_timestamp(SMALL.object_speed, SMALL.rect)
+        for batch in wl.batches:
+            for upd in batch.object_updates:
+                assert upd.old is not None and upd.new is not None
+                assert abs(upd.new[0] - upd.old[0]) <= step + 1e-12
+                assert abs(upd.new[1] - upd.old[1]) <= step + 1e-12
+
+    def test_no_appear_disappear_events(self):
+        wl = UniformGenerator(SMALL).generate()
+        for batch in wl.batches:
+            for upd in batch.object_updates:
+                assert upd.old is not None
+                assert upd.new is not None
+
+
+class TestWorkloadValidate:
+    def test_detects_stale_old_position(self):
+        from repro.updates import ObjectUpdate, UpdateBatch
+
+        wl = Workload(
+            spec=SMALL,
+            initial_objects={1: (0.5, 0.5)},
+            initial_queries={},
+            batches=[
+                UpdateBatch(0, (ObjectUpdate(1, (0.4, 0.4), (0.6, 0.6)),), ())
+            ],
+        )
+        with pytest.raises(AssertionError, match="old position mismatch"):
+            wl.validate()
+
+    def test_detects_double_update(self):
+        from repro.updates import ObjectUpdate, UpdateBatch
+
+        wl = Workload(
+            spec=SMALL,
+            initial_objects={1: (0.5, 0.5)},
+            initial_queries={},
+            batches=[
+                UpdateBatch(
+                    0,
+                    (
+                        ObjectUpdate(1, (0.5, 0.5), (0.6, 0.6)),
+                        ObjectUpdate(1, (0.6, 0.6), (0.7, 0.7)),
+                    ),
+                    (),
+                )
+            ],
+        )
+        with pytest.raises(AssertionError, match="updated twice"):
+            wl.validate()
+
+    def test_detects_duplicate_appearance(self):
+        from repro.updates import ObjectUpdate, UpdateBatch
+
+        wl = Workload(
+            spec=SMALL,
+            initial_objects={1: (0.5, 0.5)},
+            initial_queries={},
+            batches=[UpdateBatch(0, (ObjectUpdate(1, None, (0.6, 0.6)),), ())],
+        )
+        with pytest.raises(AssertionError, match="appeared while on-line"):
+            wl.validate()

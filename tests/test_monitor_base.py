@@ -1,0 +1,76 @@
+"""Tests for the shared monitor interface (repro.monitor)."""
+
+import pytest
+
+from repro.baselines.brute import BruteForceMonitor
+from repro.baselines.sea import SeaCnnMonitor
+from repro.baselines.ypk import YpkCnnMonitor
+from repro.core.cpm import CPMMonitor
+from repro.updates import QueryUpdate, QueryUpdateKind, UpdateBatch, move_update
+from tests.conftest import scatter
+
+ALL = [
+    lambda: CPMMonitor(cells_per_axis=8),
+    lambda: YpkCnnMonitor(cells_per_axis=8),
+    lambda: SeaCnnMonitor(cells_per_axis=8),
+    BruteForceMonitor,
+]
+
+
+@pytest.mark.parametrize("make", ALL)
+class TestSharedInterface:
+    def test_names_are_distinct(self, make):
+        monitor = make()
+        assert monitor.name in {"CPM", "YPK-CNN", "SEA-CNN", "BruteForce"}
+
+    def test_apply_query_update_insert(self, make):
+        monitor = make()
+        monitor.load_objects(scatter(30, seed=1))
+        monitor.apply_query_update(
+            QueryUpdate(5, QueryUpdateKind.INSERT, (0.5, 0.5), 2)
+        )
+        assert 5 in monitor.query_ids()
+        assert len(monitor.result(5)) == 2
+
+    def test_apply_query_update_move(self, make):
+        monitor = make()
+        monitor.load_objects(scatter(30, seed=1))
+        monitor.install_query(5, (0.5, 0.5), 2)
+        monitor.apply_query_update(QueryUpdate(5, QueryUpdateKind.MOVE, (0.1, 0.1), 2))
+        assert 5 in monitor.query_ids()
+
+    def test_apply_query_update_terminate(self, make):
+        monitor = make()
+        monitor.load_objects(scatter(30, seed=1))
+        monitor.install_query(5, (0.5, 0.5), 2)
+        monitor.apply_query_update(QueryUpdate(5, QueryUpdateKind.TERMINATE))
+        assert 5 not in monitor.query_ids()
+
+    def test_process_batch_wrapper(self, make):
+        monitor = make()
+        objs = scatter(30, seed=2)
+        monitor.load_objects(objs)
+        monitor.install_query(0, (0.5, 0.5), 1)
+        positions = dict(objs)
+        oid = next(iter(positions))
+        batch = UpdateBatch(
+            timestamp=0,
+            object_updates=(move_update(oid, positions[oid], (0.51, 0.5)),),
+        )
+        changed = monitor.process_batch(batch)
+        assert isinstance(changed, set)
+        assert monitor.result(0)[0][1] == oid
+
+    def test_reset_stats(self, make):
+        monitor = make()
+        monitor.load_objects(scatter(30, seed=3))
+        monitor.install_query(0, (0.5, 0.5), 1)
+        monitor.reset_stats()
+        assert monitor.stats.cell_scans == 0
+
+    def test_object_bookkeeping(self, make):
+        monitor = make()
+        monitor.load_objects([(1, (0.25, 0.75))])
+        assert monitor.object_count == 1
+        assert monitor.object_position(1) == (0.25, 0.75)
+        assert monitor.object_position(2) is None

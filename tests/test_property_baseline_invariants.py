@@ -1,0 +1,173 @@
+"""Structural invariants of the baseline monitors under random streams.
+
+Beyond result correctness (covered by the equivalence suites), each
+baseline maintains internal state with its own contract:
+
+* YPK-CNN is *stateless across cycles* apart from the previous result:
+  its answer after any batch must equal a from-scratch two-step search
+  over the current grid (self-consistency of the d_max refresh).
+* SEA-CNN's answer-region marks must always equal the cells intersecting
+  the circle ``(q, best_dist)`` (within the boundary epsilon), and no
+  marks may leak after terminations.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.common import two_step_nn_search
+from repro.baselines.sea import SeaCnnMonitor
+from repro.baselines.ypk import YpkCnnMonitor
+from repro.updates import ObjectUpdate
+
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+point = st.tuples(coord, coord)
+
+
+@st.composite
+def streams(draw):
+    n_initial = draw(st.integers(min_value=1, max_value=18))
+    initial = {oid: draw(point) for oid in range(n_initial)}
+    n_batches = draw(st.integers(min_value=1, max_value=4))
+    batches = []
+    alive = set(initial)
+    next_oid = n_initial
+    for _ in range(n_batches):
+        events = []
+        used = set()
+        for _ in range(draw(st.integers(min_value=0, max_value=6))):
+            kind = draw(st.sampled_from(["move", "move", "appear", "disappear"]))
+            if kind == "move" and alive - used:
+                oid = draw(st.sampled_from(sorted(alive - used)))
+                events.append(("move", oid, draw(point)))
+                used.add(oid)
+            elif kind == "disappear" and len(alive - used) > 1:
+                oid = draw(st.sampled_from(sorted(alive - used)))
+                events.append(("disappear", oid, None))
+                used.add(oid)
+                alive.discard(oid)
+            else:
+                events.append(("appear", next_oid, draw(point)))
+                alive.add(next_oid)
+                used.add(next_oid)
+                next_oid += 1
+        batches.append(events)
+    return initial, batches
+
+
+def apply_events(monitor, positions, events):
+    updates = []
+    for kind, oid, new in events:
+        if kind == "move":
+            updates.append(ObjectUpdate(oid, positions[oid], new))
+            positions[oid] = new
+        elif kind == "appear":
+            updates.append(ObjectUpdate(oid, None, new))
+            positions[oid] = new
+        else:
+            updates.append(ObjectUpdate(oid, positions.pop(oid), None))
+    monitor.process(updates)
+
+
+@given(streams(), point, st.integers(min_value=1, max_value=4))
+@settings(max_examples=70, deadline=None)
+def test_ypk_refresh_equals_fresh_search(script, q, k):
+    initial, batches = script
+    monitor = YpkCnnMonitor(cells_per_axis=6)
+    monitor.load_objects(initial.items())
+    positions = dict(initial)
+    monitor.install_query(0, q, k)
+    for events in batches:
+        apply_events(monitor, positions, events)
+        got = [d for d, _oid in monitor.result(0)]
+        fresh = [d for d, _oid in two_step_nn_search(monitor.grid, q, k)]
+        assert len(got) == len(fresh)
+        assert all(abs(a - b) < 1e-9 for a, b in zip(got, fresh))
+
+
+@given(streams(), point, st.integers(min_value=1, max_value=4))
+@settings(max_examples=70, deadline=None)
+def test_sea_marks_equal_answer_region(script, q, k):
+    initial, batches = script
+    monitor = SeaCnnMonitor(cells_per_axis=6)
+    monitor.load_objects(initial.items())
+    positions = dict(initial)
+    monitor.install_query(0, q, k)
+    for events in batches:
+        apply_events(monitor, positions, events)
+        entries = monitor.result(0)
+        marked = monitor.answer_region_cells(0)
+        if len(entries) < k:
+            # Under-full: the monitor watches everything; no circle marks.
+            assert marked == set()
+            continue
+        best = entries[-1][0]
+        expected = set(
+            monitor.grid.cells_in_circle(q, best + monitor.grid.boundary_epsilon)
+        )
+        assert marked == expected
+
+
+@given(streams(), point, st.integers(min_value=1, max_value=3))
+@settings(max_examples=50, deadline=None)
+def test_sea_no_marks_leak_after_termination(script, q, k):
+    initial, batches = script
+    monitor = SeaCnnMonitor(cells_per_axis=6)
+    monitor.load_objects(initial.items())
+    positions = dict(initial)
+    monitor.install_query(0, q, k)
+    for events in batches:
+        apply_events(monitor, positions, events)
+    monitor.remove_query(0)
+    assert monitor.grid.total_marks == 0
+
+
+@given(streams(), point, st.integers(min_value=1, max_value=3))
+@settings(max_examples=50, deadline=None)
+def test_cpm_no_marks_leak_after_termination(script, q, k):
+    from repro.core.cpm import CPMMonitor
+
+    initial, batches = script
+    monitor = CPMMonitor(cells_per_axis=6)
+    monitor.load_objects(initial.items())
+    positions = dict(initial)
+    monitor.install_query(0, q, k)
+    for events in batches:
+        apply_events(monitor, positions, events)
+    monitor.remove_query(0)
+    assert monitor.grid.total_marks == 0
+
+
+@given(streams(), point, st.integers(min_value=1, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_grid_population_consistency(script, q, k):
+    """Every monitor's grid holds exactly the on-line objects."""
+    from repro.core.cpm import CPMMonitor
+
+    initial, batches = script
+    monitors = [
+        CPMMonitor(cells_per_axis=6),
+        YpkCnnMonitor(cells_per_axis=6),
+        SeaCnnMonitor(cells_per_axis=6),
+    ]
+    positions = dict(initial)
+    for m in monitors:
+        m.load_objects(initial.items())
+        m.install_query(0, q, k)
+    for events in batches:
+        updates = []
+        for kind, oid, new in events:
+            if kind == "move":
+                updates.append(ObjectUpdate(oid, positions[oid], new))
+                positions[oid] = new
+            elif kind == "appear":
+                updates.append(ObjectUpdate(oid, None, new))
+                positions[oid] = new
+            else:
+                updates.append(ObjectUpdate(oid, positions.pop(oid), None))
+        for m in monitors:
+            m.process(updates)
+    for m in monitors:
+        assert len(m.grid) == len(positions), m.name
+        assert m.object_count == len(positions), m.name

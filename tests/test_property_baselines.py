@@ -1,0 +1,138 @@
+"""Property-based tests: every monitor agrees with brute force.
+
+YPK-CNN and SEA-CNN replay the same generated streams as CPM; all three
+must produce identical k-NN distance multisets every cycle, under moves,
+appearances and disappearances.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.sea import SeaCnnMonitor
+from repro.baselines.ypk import YpkCnnMonitor
+from repro.core.cpm import CPMMonitor
+from repro.updates import ObjectUpdate
+
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+point = st.tuples(coord, coord)
+
+
+def brute_dists(positions, q, k):
+    dists = sorted(math.hypot(x - q[0], y - q[1]) for x, y in positions.values())
+    return dists[:k]
+
+
+def close(a, b, tol=1e-9):
+    return len(a) == len(b) and all(abs(x - y) <= tol for x, y in zip(a, b))
+
+
+@st.composite
+def move_scripts(draw):
+    """Initial population + batches of moves/appearances/disappearances."""
+    n_initial = draw(st.integers(min_value=2, max_value=20))
+    initial = {oid: draw(point) for oid in range(n_initial)}
+    n_batches = draw(st.integers(min_value=1, max_value=4))
+    batches = []
+    alive = set(initial)
+    next_oid = n_initial
+    for _ in range(n_batches):
+        events = []
+        used = set()
+        for _ in range(draw(st.integers(min_value=0, max_value=6))):
+            kind = draw(st.sampled_from(["move", "move", "appear", "disappear"]))
+            if kind == "move" and alive - used:
+                oid = draw(st.sampled_from(sorted(alive - used)))
+                events.append(("move", oid, draw(point)))
+                used.add(oid)
+            elif kind == "disappear" and len(alive - used) > 1:
+                oid = draw(st.sampled_from(sorted(alive - used)))
+                events.append(("disappear", oid, None))
+                used.add(oid)
+                alive.discard(oid)
+            else:
+                events.append(("appear", next_oid, draw(point)))
+                alive.add(next_oid)
+                used.add(next_oid)
+                next_oid += 1
+        batches.append(events)
+    return initial, batches
+
+
+@given(
+    move_scripts(),
+    point,
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=80, deadline=None)
+def test_all_monitors_agree_with_brute_force(script, q, k, cells):
+    initial, batches = script
+    monitors = [
+        CPMMonitor(cells_per_axis=cells),
+        YpkCnnMonitor(cells_per_axis=cells),
+        SeaCnnMonitor(cells_per_axis=cells),
+    ]
+    positions = dict(initial)
+    for m in monitors:
+        m.load_objects(initial.items())
+        m.install_query(0, q, k)
+        assert close(
+            [d for d, _ in m.result(0)], brute_dists(positions, q, k)
+        ), m.name
+    for events in batches:
+        updates = []
+        for kind, oid, new in events:
+            if kind == "move":
+                updates.append(ObjectUpdate(oid, positions[oid], new))
+                positions[oid] = new
+            elif kind == "appear":
+                updates.append(ObjectUpdate(oid, None, new))
+                positions[oid] = new
+            else:
+                updates.append(ObjectUpdate(oid, positions.pop(oid), None))
+        expected = brute_dists(positions, q, k)
+        for m in monitors:
+            m.process(updates)
+            assert close([d for d, _ in m.result(0)], expected), m.name
+
+
+@given(
+    st.lists(point, min_size=1, max_size=30),
+    point,
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=2, max_value=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_two_step_search_matches_brute_force(objects, q, k, cells):
+    from repro.baselines.common import two_step_nn_search
+    from repro.grid.grid import Grid
+
+    grid = Grid(cells)
+    positions = {}
+    for oid, pos in enumerate(objects):
+        grid.insert(oid, pos[0], pos[1])
+        positions[oid] = pos
+    got = two_step_nn_search(grid, q, k)
+    assert close([d for d, _ in got], brute_dists(positions, q, k))
+
+
+@given(
+    st.lists(point, min_size=0, max_size=30),
+    point,
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=2, max_value=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_naive_search_matches_brute_force(objects, q, k, cells):
+    from repro.baselines.naive_grid import naive_nn_search
+    from repro.grid.grid import Grid
+
+    grid = Grid(cells)
+    positions = {}
+    for oid, pos in enumerate(objects):
+        grid.insert(oid, pos[0], pos[1])
+        positions[oid] = pos
+    got, _cells = naive_nn_search(grid, q, k)
+    assert close([d for d, _ in got], brute_dists(positions, q, k))

@@ -1,0 +1,86 @@
+"""Property-based tests for the NeighborList data structure."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.neighbors import NeighborList
+
+dist = st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+@given(st.lists(dist, max_size=60), st.integers(min_value=1, max_value=10))
+@settings(max_examples=200, deadline=None)
+def test_add_keeps_k_smallest(dists, k):
+    nn = NeighborList(k)
+    for oid, d in enumerate(dists):
+        nn.add(d, oid)
+    expected = sorted((d, oid) for oid, d in enumerate(dists))[:k]
+    assert nn.entries() == expected
+
+
+@given(st.lists(dist, min_size=1, max_size=40), st.integers(min_value=1, max_value=8))
+@settings(max_examples=200, deadline=None)
+def test_entries_always_sorted_and_capped(dists, k):
+    nn = NeighborList(k)
+    for oid, d in enumerate(dists):
+        nn.add(d, oid)
+    entries = nn.entries()
+    assert entries == sorted(entries)
+    assert len(entries) <= k
+
+
+@given(
+    st.lists(dist, min_size=3, max_size=30),
+    st.integers(min_value=1, max_value=6),
+    st.data(),
+)
+@settings(max_examples=150, deadline=None)
+def test_update_and_remove_preserve_consistency(dists, k, data):
+    nn = NeighborList(k)
+    for oid, d in enumerate(dists):
+        nn.add(d, oid)
+    members = [oid for _d, oid in nn.entries()]
+    # Re-key a member.
+    victim = data.draw(st.sampled_from(members))
+    new_dist = data.draw(dist)
+    nn.update_dist(victim, new_dist)
+    assert nn.dist_of(victim) == new_dist
+    entries = nn.entries()
+    assert entries == sorted(entries)
+    # Remove a member.
+    nn.remove(victim)
+    assert victim not in nn
+    entries = nn.entries()
+    assert entries == sorted(entries)
+    # The internal dict always mirrors the sorted list.
+    assert {oid for _d, oid in entries} == {oid for _d, oid in nn}
+
+
+@given(
+    st.lists(st.tuples(dist, st.integers(min_value=0, max_value=100)), max_size=40),
+    st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=200, deadline=None)
+def test_replace_equals_sorted_dedup_topk(pairs, k):
+    nn = NeighborList(k)
+    nn.replace(pairs)
+    best: dict[int, float] = {}
+    for d, oid in pairs:
+        if oid not in best or d < best[oid]:
+            best[oid] = d
+    expected = sorted((d, oid) for oid, d in best.items())[:k]
+    assert nn.entries() == expected
+
+
+@given(st.lists(dist, max_size=30), st.integers(min_value=1, max_value=5))
+@settings(max_examples=150, deadline=None)
+def test_kth_dist_semantics(dists, k):
+    nn = NeighborList(k)
+    for oid, d in enumerate(dists):
+        nn.add(d, oid)
+    if len(dists) < k:
+        assert math.isinf(nn.kth_dist)
+    else:
+        assert nn.kth_dist == sorted(dists)[k - 1]

@@ -1,0 +1,108 @@
+"""Property-based tests for continuous range monitoring."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.range_monitor import GridRangeMonitor
+from repro.geometry.rects import Rect
+from repro.updates import ObjectUpdate
+
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+point = st.tuples(coord, coord)
+
+
+@st.composite
+def rect_strategy(draw):
+    x0 = draw(st.floats(min_value=0.0, max_value=0.9))
+    y0 = draw(st.floats(min_value=0.0, max_value=0.9))
+    w = draw(st.floats(min_value=0.0, max_value=1.0 - x0))
+    h = draw(st.floats(min_value=0.0, max_value=1.0 - y0))
+    return Rect(x0, y0, x0 + w, y0 + h)
+
+
+@st.composite
+def range_scripts(draw):
+    n_initial = draw(st.integers(min_value=0, max_value=20))
+    initial = {oid: draw(point) for oid in range(n_initial)}
+    n_batches = draw(st.integers(min_value=1, max_value=5))
+    batches = []
+    alive = set(initial)
+    next_oid = n_initial
+    for _ in range(n_batches):
+        events = []
+        used = set()
+        for _ in range(draw(st.integers(min_value=0, max_value=7))):
+            kind = draw(st.sampled_from(["move", "appear", "disappear"]))
+            if kind == "move" and alive - used:
+                oid = draw(st.sampled_from(sorted(alive - used)))
+                events.append(("move", oid, draw(point)))
+                used.add(oid)
+            elif kind == "disappear" and alive - used:
+                oid = draw(st.sampled_from(sorted(alive - used)))
+                events.append(("disappear", oid, None))
+                used.add(oid)
+                alive.discard(oid)
+            else:
+                events.append(("appear", next_oid, draw(point)))
+                alive.add(next_oid)
+                used.add(next_oid)
+                next_oid += 1
+        batches.append(events)
+    return initial, batches
+
+
+@given(
+    range_scripts(),
+    st.lists(rect_strategy(), min_size=1, max_size=3),
+    st.integers(min_value=2, max_value=10),
+)
+@settings(max_examples=120, deadline=None)
+def test_range_results_match_brute_force(script, rects, cells):
+    initial, batches = script
+    monitor = GridRangeMonitor(cells_per_axis=cells)
+    monitor.load_objects(initial.items())
+    positions = dict(initial)
+    for qid, rect in enumerate(rects):
+        got = monitor.install_range_query(qid, rect)
+        want = {o for o, p in positions.items() if rect.contains_point(*p)}
+        assert got == want
+    for events in batches:
+        updates = []
+        for kind, oid, new in events:
+            if kind == "move":
+                updates.append(ObjectUpdate(oid, positions[oid], new))
+                positions[oid] = new
+            elif kind == "appear":
+                updates.append(ObjectUpdate(oid, None, new))
+                positions[oid] = new
+            else:
+                updates.append(ObjectUpdate(oid, positions.pop(oid), None))
+        monitor.process(updates)
+        for qid, rect in enumerate(rects):
+            want = {o for o, p in positions.items() if rect.contains_point(*p)}
+            assert monitor.result(qid) == want
+
+
+@given(range_scripts(), rect_strategy())
+@settings(max_examples=60, deadline=None)
+def test_range_monitoring_never_scans(script, rect):
+    """The defining property: range maintenance is scan-free."""
+    initial, batches = script
+    monitor = GridRangeMonitor(cells_per_axis=6)
+    monitor.load_objects(initial.items())
+    positions = dict(initial)
+    monitor.install_range_query(0, rect)
+    monitor.reset_stats()
+    for events in batches:
+        updates = []
+        for kind, oid, new in events:
+            if kind == "move":
+                updates.append(ObjectUpdate(oid, positions[oid], new))
+                positions[oid] = new
+            elif kind == "appear":
+                updates.append(ObjectUpdate(oid, None, new))
+                positions[oid] = new
+            else:
+                updates.append(ObjectUpdate(oid, positions.pop(oid), None))
+        monitor.process(updates)
+    assert monitor.stats.cell_scans == 0

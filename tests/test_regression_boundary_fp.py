@@ -1,0 +1,81 @@
+"""Regression tests for the boundary floating-point incident.
+
+Found by hypothesis: an object exactly on the workspace edge is clamped
+into the last row/column cell, whose naively computed rectangle can end a
+few ulps *before* the edge.  The cell's mindist then exceeds the object's
+true distance, which breaks the invariant ``mindist(c, q) <= dist(p, q)``
+for ``p`` in ``c`` — and, downstream, unmarked the cell housing a query's
+current NN, making that NN's departure invisible.
+
+Fixes under test:
+* ``Grid.cell_rect`` extends the last column/row to the exact bounds;
+* ``reconcile_marks`` / SEA-CNN marking keep ``boundary_epsilon`` slack.
+"""
+
+import pytest
+
+from repro.baselines.sea import SeaCnnMonitor
+from repro.core.cpm import CPMMonitor
+from repro.grid.grid import Grid
+from repro.updates import ObjectUpdate
+
+
+class TestCellRectBoundary:
+    def test_last_cells_reach_the_workspace_edge(self):
+        grid = Grid(6)  # delta = 1/6: 6*(1/6) != 1.0 in floating point
+        *_rest, x1, y1 = grid.cell_rect(5, 5)
+        assert x1 == 1.0
+        assert y1 == 1.0
+
+    def test_boundary_object_has_zero_mindist_in_its_cell(self):
+        grid = Grid(6)
+        cell = grid.cell_of(0.0, 1.0)
+        assert grid.mindist(cell[0], cell[1], (0.0, 1.0)) == 0.0
+
+    def test_boundary_epsilon_positive_and_scales(self):
+        small = Grid(8)
+        big = Grid(8, bounds=(0.0, 0.0, 1000.0, 1000.0))
+        assert 0.0 < small.boundary_epsilon < big.boundary_epsilon
+
+
+class TestHypothesisCounterexample:
+    """The exact falsifying example hypothesis produced."""
+
+    def scenario(self, monitor):
+        monitor.load_objects([(0, (0.0, 0.0)), (1, (0.0, 1.0)), (2, (0.0, 0.0))])
+        monitor.install_query(0, (0.0, 1.0), 1)
+        assert monitor.result(0) == [(0.0, 1)]
+        monitor.process([
+            ObjectUpdate(0, (0.0, 0.0), (0.0, 0.0)),
+            ObjectUpdate(1, (0.0, 1.0), (0.0, 0.0)),
+        ])
+        assert monitor.result(0) == [(1.0, 0)]
+
+    def test_cpm(self):
+        self.scenario(CPMMonitor(cells_per_axis=6))
+
+    def test_sea(self):
+        self.scenario(SeaCnnMonitor(cells_per_axis=6))
+
+    def test_cpm_zero_best_dist_keeps_query_cell_marked(self):
+        monitor = CPMMonitor(cells_per_axis=6)
+        monitor.load_objects([(1, (0.0, 1.0))])
+        monitor.install_query(0, (0.0, 1.0), 1)
+        # best_dist == 0.0, yet the query/NN cell must stay in the
+        # influence region.
+        assert monitor.query_state(0).marked_upto >= 1
+        cq = monitor.grid.cell_of(0.0, 1.0)
+        assert cq in set(monitor.influence_cells(0))
+
+
+class TestCornerClusters:
+    @pytest.mark.parametrize("corner", [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)])
+    def test_nn_departure_from_corner_detected(self, corner):
+        monitor = CPMMonitor(cells_per_axis=6)
+        far = (abs(corner[0] - 0.5), abs(corner[1] - 0.5))
+        monitor.load_objects([(1, corner), (2, far)])
+        monitor.install_query(0, corner, 1)
+        assert monitor.result(0)[0][1] == 1
+        monitor.process([ObjectUpdate(1, corner, far)])
+        # Object 1 left the corner; the result must notice.
+        assert monitor.result(0)[0][0] > 0.0

@@ -1,0 +1,110 @@
+"""Edge-case tests for reporting helpers and the monitoring server."""
+
+import pytest
+
+from repro.baselines.brute import BruteForceMonitor
+from repro.core.cpm import CPMMonitor
+from repro.engine.server import MonitoringServer, run_workload
+from repro.experiments.common import ExperimentResult, SeriesPoint
+from repro.experiments.reporting import format_table, print_result, render_result
+from repro.engine.metrics import RunReport
+from repro.mobility.workload import Workload, WorkloadSpec
+from repro.updates import UpdateBatch
+
+
+def empty_workload(n_objects=5, n_queries=1, timestamps=0):
+    spec = WorkloadSpec(
+        n_objects=n_objects, n_queries=n_queries, timestamps=timestamps, seed=1
+    )
+    return Workload(
+        spec=spec,
+        initial_objects={oid: (0.1 * (oid + 1), 0.5) for oid in range(n_objects)},
+        initial_queries={10**9 + i: (0.5, 0.5) for i in range(n_queries)},
+        batches=[UpdateBatch(timestamp=t) for t in range(timestamps)],
+    )
+
+
+class TestServerEdges:
+    def test_zero_timestamp_workload(self):
+        report = run_workload(CPMMonitor(cells_per_axis=8), empty_workload())
+        assert report.timestamps == 0
+        assert report.total_processing_sec == 0.0
+        assert report.install_sec > 0.0
+
+    def test_empty_batches_preserve_results(self):
+        workload = empty_workload(timestamps=3)
+        server = MonitoringServer(
+            CPMMonitor(cells_per_axis=8), workload, collect_results=True
+        )
+        server.run()
+        assert len(server.result_log) == 4
+        assert all(
+            table == server.result_log[0] for table in server.result_log[1:]
+        )
+
+    def test_workload_without_queries(self):
+        spec = WorkloadSpec(n_objects=3, n_queries=0, timestamps=2, seed=1)
+        workload = Workload(
+            spec=spec,
+            initial_objects={0: (0.1, 0.1), 1: (0.5, 0.5), 2: (0.9, 0.9)},
+            initial_queries={},
+            batches=[UpdateBatch(timestamp=0), UpdateBatch(timestamp=1)],
+        )
+        report = run_workload(BruteForceMonitor(), workload)
+        assert report.n_queries == 0
+        assert report.cell_accesses_per_query_per_timestamp == 0.0
+
+    def test_on_cycle_sees_metrics_in_order(self):
+        workload = empty_workload(timestamps=4)
+        stamps = []
+        MonitoringServer(CPMMonitor(cells_per_axis=8), workload).run(
+            on_cycle=lambda m: stamps.append(m.timestamp)
+        )
+        assert stamps == [0, 1, 2, 3]
+
+
+class TestReportingEdges:
+    def make_result(self):
+        result = ExperimentResult(experiment="X", title="t", parameter="p")
+        for value in (1, 2):
+            for algo in ("A", "B"):
+                report = RunReport(algorithm=algo, n_queries=1)
+                result.points.append(
+                    SeriesPoint(parameter="p", value=value, algorithm=algo, report=report)
+                )
+        return result
+
+    def test_series_extraction(self):
+        result = self.make_result()
+        assert result.values() == [1, 2]
+        assert result.algorithms() == ["A", "B"]
+        assert result.series("A") == [0.0, 0.0]
+
+    def test_missing_point_raises(self):
+        result = self.make_result()
+        with pytest.raises(KeyError):
+            result.point(3, "A")
+        with pytest.raises(KeyError):
+            result.point(1, "C")
+
+    def test_render_contains_all_cells(self):
+        text = render_result(self.make_result())
+        assert "A (cpu_sec)" in text
+        assert "B (cpu_sec)" in text
+        assert text.count("\n") >= 3
+
+    def test_print_result(self, capsys):
+        print_result(self.make_result())
+        out = capsys.readouterr().out
+        assert "== X: t ==" in out
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_format_table_number_formats(self):
+        text = format_table(["v"], [[1234.5678], [0.00012], [3.14159], [0]])
+        assert "1235" in text          # >= 100 -> no decimals
+        assert "0.0001" in text        # < 1 -> 4 decimals
+        assert "3.142" in text         # 1..100 -> 3 decimals
+        assert "0" in text

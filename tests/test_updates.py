@@ -1,0 +1,74 @@
+"""Unit tests for repro.updates (the update-stream vocabulary)."""
+
+import pytest
+
+from repro.updates import (
+    ObjectUpdate,
+    QueryUpdate,
+    QueryUpdateKind,
+    UpdateBatch,
+    appear_update,
+    disappear_update,
+    move_update,
+)
+
+
+class TestObjectUpdate:
+    def test_move(self):
+        u = move_update(1, (0.1, 0.2), (0.3, 0.4))
+        assert not u.is_appearance
+        assert not u.is_disappearance
+
+    def test_appearance(self):
+        u = appear_update(1, (0.3, 0.4))
+        assert u.is_appearance
+        assert not u.is_disappearance
+        assert u.old is None
+
+    def test_disappearance(self):
+        u = disappear_update(1, (0.1, 0.2))
+        assert u.is_disappearance
+        assert u.new is None
+
+    def test_both_none_invalid(self):
+        with pytest.raises(ValueError):
+            ObjectUpdate(1, None, None)
+
+    def test_frozen(self):
+        u = move_update(1, (0.1, 0.2), (0.3, 0.4))
+        with pytest.raises(AttributeError):
+            u.oid = 2
+
+
+class TestQueryUpdate:
+    def test_insert_requires_point(self):
+        with pytest.raises(ValueError):
+            QueryUpdate(1, QueryUpdateKind.INSERT)
+
+    def test_move_requires_point(self):
+        with pytest.raises(ValueError):
+            QueryUpdate(1, QueryUpdateKind.MOVE)
+
+    def test_terminate_needs_no_point(self):
+        u = QueryUpdate(1, QueryUpdateKind.TERMINATE)
+        assert u.point is None
+
+    def test_kinds(self):
+        assert {k.value for k in QueryUpdateKind} == {"insert", "move", "terminate"}
+
+
+class TestUpdateBatch:
+    def test_size(self):
+        batch = UpdateBatch(
+            timestamp=3,
+            object_updates=(move_update(1, (0, 0), (1, 1)),),
+            query_updates=(QueryUpdate(9, QueryUpdateKind.TERMINATE),),
+        )
+        assert batch.size == 2
+        assert batch.timestamp == 3
+
+    def test_empty_batch(self):
+        batch = UpdateBatch(timestamp=0)
+        assert batch.size == 0
+        assert batch.object_updates == ()
+        assert batch.query_updates == ()

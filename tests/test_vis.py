@@ -1,0 +1,112 @@
+"""Tests for the ASCII visualization module."""
+
+import doctest
+
+import pytest
+
+import repro.vis.ascii as ascii_mod
+from repro.core.cpm import CPMMonitor
+from repro.core.partition import ConceptualPartition
+from repro.grid.grid import Grid
+from repro.vis.ascii import (
+    partition_legend,
+    render_grid_occupancy,
+    render_influence_region,
+    render_partition,
+)
+from tests.conftest import scatter
+
+
+class TestRenderPartition:
+    def test_doctest_example(self):
+        result = doctest.testmod(ascii_mod, verbose=False)
+        assert result.failed == 0
+        assert result.attempted >= 1
+
+    def test_dimensions(self):
+        p = ConceptualPartition.around_cell((3, 3), 8, 8)
+        text = render_partition(p)
+        lines = text.splitlines()
+        assert len(lines) == 10  # 8 rows + frame
+        assert all(len(line) == 10 for line in lines)
+
+    def test_exactly_one_query_marker_for_point_core(self):
+        p = ConceptualPartition.around_cell((2, 5), 7, 7)
+        assert render_partition(p).count("q") == 1
+
+    def test_block_core(self):
+        p = ConceptualPartition(2, 3, 2, 4, 8, 8)
+        assert render_partition(p).count("q") == 2 * 3
+
+    def test_every_cell_rendered(self):
+        p = ConceptualPartition.around_cell((0, 0), 6, 6)
+        body = "".join(
+            line[1:-1] for line in render_partition(p).splitlines()[1:-1]
+        )
+        assert len(body) == 36
+        assert " " not in body  # no unassigned cells
+
+    def test_max_level_masks_far_cells(self):
+        p = ConceptualPartition.around_cell((4, 4), 9, 9)
+        text = render_partition(p, max_level=0)
+        assert " " in text
+
+    def test_legend(self):
+        text = partition_legend()
+        for token in ("q", "u/U", "d/D", "l/L", "r/R"):
+            assert token in text
+
+
+class TestRenderInfluenceRegion:
+    def test_query_cell_marked(self):
+        monitor = CPMMonitor(cells_per_axis=8)
+        monitor.load_objects(scatter(60, seed=3))
+        monitor.install_query(0, (0.5, 0.5), 3)
+        text = render_influence_region(monitor, 0)
+        assert text.count("Q") == 1
+
+    def test_region_cells_shown(self):
+        monitor = CPMMonitor(cells_per_axis=8)
+        monitor.load_objects(scatter(200, seed=3))
+        monitor.install_query(0, (0.5, 0.5), 8)
+        text = render_influence_region(monitor, 0)
+        marked = len(monitor.influence_cells(0))
+        # Q replaces one of the marked cells in the rendering.
+        assert text.count("#") == marked - 1
+
+    def test_unknown_query_raises(self):
+        monitor = CPMMonitor(cells_per_axis=8)
+        with pytest.raises(KeyError):
+            render_influence_region(monitor, 42)
+
+
+class TestRenderOccupancy:
+    def test_empty_grid_blank(self):
+        grid = Grid(4)
+        body = "".join(
+            line[1:-1] for line in render_grid_occupancy(grid).splitlines()[1:-1]
+        )
+        assert body.strip() == ""
+
+    def test_occupied_cells_visible(self):
+        grid = Grid(4)
+        grid.insert(1, 0.1, 0.1)
+        grid.insert(2, 0.9, 0.9)
+        text = render_grid_occupancy(grid)
+        body = [line[1:-1] for line in text.splitlines()[1:-1]]
+        # Row 0 is at the bottom: object 1 bottom-left, object 2 top-right.
+        assert body[-1][0] != " "
+        assert body[0][-1] != " "
+
+    def test_density_ramp_monotone(self):
+        grid = Grid(2)
+        for i in range(9):
+            grid.insert(i, 0.1 + i * 1e-4, 0.1)
+        grid.insert(100, 0.9, 0.9)
+        text = render_grid_occupancy(grid)
+        body = [line[1:-1] for line in text.splitlines()[1:-1]]
+        dense = body[-1][0]
+        sparse = body[0][-1]
+        from repro.vis.ascii import _RAMP
+
+        assert _RAMP.index(dense) > _RAMP.index(sparse)
