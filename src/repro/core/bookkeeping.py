@@ -25,22 +25,31 @@ from bisect import bisect_right, insort
 from repro.core.heap import SearchHeap
 from repro.core.neighbors import NeighborList
 from repro.core.partition import ConceptualPartition
-from repro.core.strategies import QueryStrategy
+from repro.core.strategies import PointNNStrategy, QueryStrategy
 from repro.grid.cell import CellCoord
 from repro.grid.grid import Grid
 
 
 class QueryState:
-    """Book-keeping for one installed query (a row of the query table QT)."""
+    """Book-keeping for one installed query (a row of the query table QT).
+
+    ``is_point`` / ``qx`` / ``qy`` cache the plain point-NN geometry so the
+    engine's inner loops (cell scans, update filtering) can compute the
+    Euclidean distance inline instead of dispatching through the strategy —
+    the overwhelmingly common query type pays no virtual-call tax.
+    """
 
     __slots__ = (
         "best_dist",
         "heap",
+        "is_point",
         "k",
         "marked_upto",
         "nn",
         "partition",
         "qid",
+        "qx",
+        "qy",
         "strategy",
         "visit_cells",
         "visit_keys",
@@ -59,6 +68,14 @@ class QueryState:
         self.nn = NeighborList(k)
         self.best_dist = float("inf")
         self.marked_upto = 0
+        if type(strategy) is PointNNStrategy:
+            self.is_point = True
+            self.qx = strategy.x
+            self.qy = strategy.y
+        else:
+            self.is_point = False
+            self.qx = 0.0
+            self.qy = 0.0
 
     # ------------------------------------------------------------------
     # Visit list
@@ -164,6 +181,9 @@ class CycleScratch:
     The paper resets ``out_count`` and ``in_list`` for every query at the
     start of each cycle; we allocate them lazily on first touch, which is
     observationally equivalent and O(touched queries) instead of O(n).
+    Instances are pooled by the monitor and recycled across cycles via
+    :meth:`reset`, so steady-state update handling allocates no scratch
+    objects at all.
     """
 
     __slots__ = ("in_list", "out_count", "touched")
@@ -173,6 +193,12 @@ class CycleScratch:
         # "we do not need more than the k best incomers in any case"
         self.in_list = NeighborList(k)
         self.touched = False
+
+    def reset(self, k: int) -> None:
+        """Recycle this scratch for a (possibly different) query."""
+        self.out_count = 0
+        self.touched = False
+        self.in_list.reconfigure(k)
 
     def note_incomer(self, dist: float, oid: int) -> None:
         self.touched = True

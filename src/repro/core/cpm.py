@@ -34,7 +34,10 @@ Ablation/robustness switches (see DESIGN.md):
 
 from __future__ import annotations
 
+from bisect import insort
 from collections.abc import Iterable, Sequence
+from heapq import heappop
+from math import hypot, inf as _INF
 
 from repro.core.bookkeeping import CycleScratch, QueryState
 from repro.core.heap import CELL
@@ -74,6 +77,9 @@ class CPMMonitor(ContinuousMonitor):
             self._grid = Grid(cells_per_axis, bounds=bounds)
         self._positions: dict[int, Point] = {}
         self._queries: dict[int, QueryState] = {}
+        # Recycled CycleScratch instances (see CycleScratch.reset): the
+        # steady-state update loop allocates no per-cycle scratch objects.
+        self._scratch_pool: list[CycleScratch] = []
         self.reuse_bookkeeping = reuse_bookkeeping
         self.merge_optimization = merge_optimization
 
@@ -187,72 +193,168 @@ class CPMMonitor(ContinuousMonitor):
         rectangle of each direction."""
         grid = self._grid
         strategy = state.strategy
-        for i, j in state.partition.core_cells():
-            if strategy.cell_allowed(grid, i, j):
-                state.heap.push_cell(strategy.cell_key(grid, i, j), i, j)
+        heap = state.heap
+        partition = state.partition
+        if state.is_point:
+            # Plain point NN: mindist computed inline, no constraint filter.
+            qx = state.qx
+            qy = state.qy
+            mindist = grid.mindist_xy
+            for i, j in partition.core_cells():
+                heap.push_cell(mindist(i, j, qx, qy), i, j)
+        else:
+            for i, j in partition.core_cells():
+                if strategy.cell_allowed(grid, i, j):
+                    heap.push_cell(strategy.cell_key(grid, i, j), i, j)
         for direction in DIRECTIONS:
-            if state.partition.exists(direction, 0):
-                state.heap.push_rect(
-                    strategy.strip_key0(grid, state.partition, direction), direction, 0
+            if partition.exists(direction, 0):
+                heap.push_rect(
+                    strategy.strip_key0(grid, partition, direction), direction, 0
                 )
 
     def _run_search(self, state: QueryState) -> None:
         """The de-heaping loop of Figure 3.4 (also the heap continuation of
         Figure 3.6): process entries in ascending key order until the next
-        key is ``>= best_dist``."""
+        key is ``>= best_dist`` (``kth_dist`` is ``inf`` while under-full,
+        so the comparison never stops an unfinished search).
+
+        De-heaped cells run lines 10-12 of Figure 3.4 inline: scan the
+        cell, update ``best_NN``, insert the query into the cell's
+        influence list, extend the visit list.  For plain point queries the
+        best-NN insertion (the semantics of ``NeighborList.add``) is
+        likewise inlined against the live entry/distance containers — this
+        is the hottest loop of the library.
+        """
         grid = self._grid
         strategy = state.strategy
         heap = state.heap
         nn = state.nn
         partition = state.partition
         step = strategy.level_step(grid)
-        while heap:
-            if nn.is_full and heap.peek_key() >= nn.kth_dist:
+        is_point = state.is_point
+        qx = state.qx
+        qy = state.qy
+        qid = state.qid
+        mindist = grid.mindist_xy
+        scan = grid.scan
+        add_mark_id = grid.add_mark_id
+        rows = grid.rows
+        visit_cells = state.visit_cells
+        visit_keys = state.visit_keys
+        # The NN list identity is stable here: the search only inserts (in
+        # place); replace() — which rebinds — never runs during a search.
+        heap_list = heap._heap
+        entries = nn._entries
+        dists = nn._dists
+        k = nn.k
+        n_cur = len(entries)
+        kd = entries[k - 1][0] if n_cur >= k else _INF
+        while heap_list:
+            if heap_list[0][0] >= kd:
                 break
-            key, _seq, kind, a, b = heap.pop()
+            key, _seq, kind, a, b = heappop(heap_list)
             if kind == CELL:
-                self._process_cell(state, key, a, b)
+                cell = scan(a, b)
+                if cell:
+                    if is_point:
+                        for oid, pt in cell.items():
+                            d = hypot(pt[0] - qx, pt[1] - qy)
+                            # Pre-filter on the k-th distance: candidates
+                            # beyond it can never enter; ties resolve by
+                            # (dist, oid) entry order exactly as add().
+                            if d <= kd:
+                                if n_cur < k:
+                                    insort(entries, (d, oid))
+                                    dists[oid] = d
+                                    n_cur += 1
+                                    if n_cur == k:
+                                        kd = entries[k - 1][0]
+                                else:
+                                    entry = (d, oid)
+                                    last = entries[-1]
+                                    if entry < last:
+                                        entries.pop()
+                                        del dists[last[1]]
+                                        insort(entries, entry)
+                                        dists[oid] = d
+                                        kd = entries[k - 1][0]
+                    else:
+                        for oid, (x, y) in cell.items():
+                            if strategy.accepts(x, y):
+                                nn.add(strategy.dist(x, y), oid)
+                        n_cur = len(entries)
+                        kd = entries[k - 1][0] if n_cur >= k else _INF
+                add_mark_id(a * rows + b, qid)
+                visit_cells.append((a, b))
+                visit_keys.append(key)
+                state.marked_upto = len(visit_cells)
             else:
                 direction, level = a, b
-                for i, j in partition.strip_cells(direction, level):
-                    if strategy.cell_allowed(grid, i, j):
-                        heap.push_cell(strategy.cell_key(grid, i, j), i, j)
+                if is_point:
+                    for i, j in partition.strip_cells(direction, level):
+                        heap.push_cell(mindist(i, j, qx, qy), i, j)
+                else:
+                    for i, j in partition.strip_cells(direction, level):
+                        if strategy.cell_allowed(grid, i, j):
+                            heap.push_cell(strategy.cell_key(grid, i, j), i, j)
                 if partition.exists(direction, level + 1):
                     heap.push_rect(key + step, direction, level + 1)
-
-    def _process_cell(self, state: QueryState, key: float, i: int, j: int) -> None:
-        """Lines 10-12 of Figure 3.4: scan the cell, update ``best_NN``,
-        insert the query into the cell's influence list, extend the visit
-        list."""
-        strategy = state.strategy
-        nn = state.nn
-        for oid, (x, y) in self._grid.scan(i, j).items():
-            if strategy.accepts(x, y):
-                nn.add(strategy.dist(x, y), oid)
-        self._grid.add_mark((i, j), state.qid)
-        state.append_visit(key, (i, j))
-        state.marked_upto = state.visit_length
 
     def _recompute(self, state: QueryState) -> None:
         """NN re-computation (Figure 3.6): rescan the visit list first, then
         resume the residual heap."""
         grid = self._grid
-        strategy = state.strategy
         nn = state.nn
         nn.clear()
         visit_cells = state.visit_cells
         visit_keys = state.visit_keys
+        scan = grid.scan
+        qid = state.qid
+        is_point = state.is_point
+        qx = state.qx
+        qy = state.qy
+        strategy = state.strategy
         pos = 0
         total = len(visit_cells)
+        entries = nn._entries
+        dists = nn._dists
+        k = nn.k
+        n_cur = 0
+        kd = _INF  # the list was just cleared; under-full never stops a scan
         while pos < total:
-            if nn.is_full and visit_keys[pos] >= nn.kth_dist:
+            if visit_keys[pos] >= kd:
                 break
             i, j = visit_cells[pos]
-            for oid, (x, y) in grid.scan(i, j).items():
-                if strategy.accepts(x, y):
-                    nn.add(strategy.dist(x, y), oid)
+            cell = scan(i, j)
+            if cell:
+                if is_point:
+                    for oid, pt in cell.items():
+                        d = hypot(pt[0] - qx, pt[1] - qy)
+                        if d <= kd:
+                            # Inline best-NN insertion (same semantics as
+                            # NeighborList.add, see _run_search).
+                            if n_cur < k:
+                                insort(entries, (d, oid))
+                                dists[oid] = d
+                                n_cur += 1
+                                if n_cur == k:
+                                    kd = entries[k - 1][0]
+                            else:
+                                entry = (d, oid)
+                                last = entries[-1]
+                                if entry < last:
+                                    entries.pop()
+                                    del dists[last[1]]
+                                    insort(entries, entry)
+                                    dists[oid] = d
+                                    kd = entries[k - 1][0]
+                else:
+                    for oid, (x, y) in cell.items():
+                        if strategy.accepts(x, y):
+                            nn.add(strategy.dist(x, y), oid)
+                    kd = nn.kth_dist
             if pos >= state.marked_upto:
-                grid.add_mark((i, j), state.qid)
+                grid.add_mark((i, j), qid)
                 state.marked_upto = pos + 1
             pos += 1
         if pos == total:
@@ -298,6 +400,15 @@ class CPMMonitor(ContinuousMonitor):
     # Update handling (Figures 3.8 and 3.9)
     # ------------------------------------------------------------------
 
+    def _acquire_scratch(self, k: int) -> CycleScratch:
+        """Pooled CycleScratch (recycled across cycles, see Figure 3.8)."""
+        pool = self._scratch_pool
+        if pool:
+            sc = pool.pop()
+            sc.reset(k)
+            return sc
+        return CycleScratch(k)
+
     def process(
         self,
         object_updates: Sequence[ObjectUpdate],
@@ -310,64 +421,201 @@ class CPMMonitor(ContinuousMonitor):
         # updates in order to avoid waste of computations" (Section 3.3).
         updated_qids = {qu.qid for qu in query_updates}
         scratch: dict[int, CycleScratch] = {}
+        cell_id = grid.cell_id
+        scratch_get = scratch.get
+        # Inlined cell addressing (same float ops as Grid.cell_id) and the
+        # live mark store: one multiply-add + one index per influence probe.
+        marks_store = grid._marks
+        bounds = grid.bounds
+        bx0 = bounds.x0
+        by0 = bounds.y0
+        delta = grid.delta
+        cols = grid.cols
+        rows = grid.rows
+        cols_1 = cols - 1
+        rows_1 = rows - 1
 
         for upd in object_updates:
             oid = upd.oid
             old = upd.old
             new = upd.new
-            if old is not None:
-                old_cell = grid.delete(oid, old[0], old[1])
-                for qid in grid.marks(old_cell):
-                    if qid in updated_qids:
-                        continue
-                    state = queries[qid]
-                    sc = scratch.get(qid)
-                    if oid in state.nn:
-                        if sc is None:
-                            sc = scratch[qid] = CycleScratch(state.k)
-                        if new is not None and state.strategy.accepts(new[0], new[1]):
-                            d = state.strategy.dist(new[0], new[1])
-                            if d <= state.best_dist:
+            if old is not None and new is not None:
+                i = int((old[0] - bx0) / delta)
+                if i < 0:
+                    i = 0
+                elif i > cols_1:
+                    i = cols_1
+                j = int((old[1] - by0) / delta)
+                if j < 0:
+                    j = 0
+                elif j > rows_1:
+                    j = rows_1
+                old_cid = i * rows + j
+                nx = new[0]
+                ny = new[1]
+                i = int((nx - bx0) / delta)
+                if i < 0:
+                    i = 0
+                elif i > cols_1:
+                    i = cols_1
+                j = int((ny - by0) / delta)
+                if j < 0:
+                    j = 0
+                elif j > rows_1:
+                    j = rows_1
+                new_cid = i * rows + j
+                if old_cid == new_cid:
+                    # Same-cell move (the common case at coarse grids): one
+                    # hash-table store and one influence probe instead of a
+                    # delete/insert pair touching the mark set twice.  The
+                    # combined loop below is exactly the delete-phase
+                    # followed by the insert-phase of Figure 3.8 for a cell
+                    # whose mark set is probed once.
+                    grid.relocate_at(old_cid, oid, new)
+                    positions[oid] = new
+                    ms = marks_store[old_cid]
+                    if ms:
+                        for qid in ms:
+                            if qid in updated_qids:
+                                continue
+                            state = queries[qid]
+                            sc = scratch_get(qid)
+                            if state.is_point:
+                                d = hypot(nx - state.qx, ny - state.qy)
+                                ok = True
+                            else:
+                                ok = state.strategy.accepts(nx, ny)
+                                d = state.strategy.dist(nx, ny) if ok else 0.0
+                            if oid in state.nn._dists:
+                                if sc is None:
+                                    sc = scratch[qid] = self._acquire_scratch(state.k)
+                                if ok and d <= state.best_dist:
+                                    # p remains in the NN set; update order.
+                                    state.nn.update_dist(oid, d)
+                                    sc.note_reorder()
+                                else:
+                                    state.nn.remove(oid)
+                                    sc.note_outgoing()
+                            else:
+                                if sc is not None and oid in sc.in_list._dists:
+                                    # Pending incomer moved again in-cycle.
+                                    sc.in_list.remove(oid)
+                                if ok and d <= state.best_dist:
+                                    if sc is None:
+                                        sc = scratch[qid] = self._acquire_scratch(
+                                            state.k
+                                        )
+                                    sc.note_incomer(d, oid)
+                    continue
+                # Cross-cell move: delete phase on the old cell...
+                grid.delete_at(old_cid, oid)
+                ms = marks_store[old_cid]
+                if ms:
+                    for qid in ms:
+                        if qid in updated_qids:
+                            continue
+                        state = queries[qid]
+                        sc = scratch_get(qid)
+                        if oid in state.nn._dists:
+                            if sc is None:
+                                sc = scratch[qid] = self._acquire_scratch(state.k)
+                            if state.is_point:
+                                d = hypot(nx - state.qx, ny - state.qy)
+                                ok = True
+                            else:
+                                ok = state.strategy.accepts(nx, ny)
+                                d = state.strategy.dist(nx, ny) if ok else 0.0
+                            if ok and d <= state.best_dist:
                                 # p remains in the NN set; update the order.
                                 state.nn.update_dist(oid, d)
                                 sc.note_reorder()
-                                continue
-                        # p is an outgoing NN (moved beyond best_dist, left
-                        # the constraint region, or went off-line).
-                        state.nn.remove(oid)
-                        sc.note_outgoing()
-                    elif sc is not None:
-                        # A pending incomer moved again within this cycle.
-                        sc.drop_incomer(oid)
-            if new is not None:
-                new_cell = grid.insert(oid, new[0], new[1])
+                            else:
+                                # p is an outgoing NN (moved beyond
+                                # best_dist or left the constraint region).
+                                state.nn.remove(oid)
+                                sc.note_outgoing()
+                        elif sc is not None and oid in sc.in_list._dists:
+                            # A pending incomer moved again within this cycle.
+                            sc.in_list.remove(oid)
+                # ... then insert phase on the new cell.
+                grid.insert_at(new_cid, oid, new)
                 positions[oid] = new
-                for qid in grid.marks(new_cell):
+                ms = marks_store[new_cid]
+                if ms:
+                    for qid in ms:
+                        if qid in updated_qids:
+                            continue
+                        state = queries[qid]
+                        if oid in state.nn._dists:
+                            continue
+                        if state.is_point:
+                            d = hypot(nx - state.qx, ny - state.qy)
+                        else:
+                            if not state.strategy.accepts(nx, ny):
+                                continue
+                            d = state.strategy.dist(nx, ny)
+                        if d <= state.best_dist:
+                            sc = scratch_get(qid)
+                            if sc is None:
+                                sc = scratch[qid] = self._acquire_scratch(state.k)
+                            sc.note_incomer(d, oid)
+                continue
+            if old is not None:
+                # Disappearance: off-line NNs are outgoing ones (Section 4.2).
+                old_cid = cell_id(old[0], old[1])
+                grid.delete_at(old_cid, oid)
+                ms = marks_store[old_cid]
+                if ms:
+                    for qid in ms:
+                        if qid in updated_qids:
+                            continue
+                        state = queries[qid]
+                        sc = scratch_get(qid)
+                        if oid in state.nn._dists:
+                            if sc is None:
+                                sc = scratch[qid] = self._acquire_scratch(state.k)
+                            state.nn.remove(oid)
+                            sc.note_outgoing()
+                        elif sc is not None and oid in sc.in_list._dists:
+                            sc.in_list.remove(oid)
+                positions.pop(oid, None)
+                continue
+            # Appearance (old is None; both None is rejected by ObjectUpdate).
+            assert new is not None
+            new_cid = cell_id(new[0], new[1])
+            grid.insert_at(new_cid, oid, new)
+            positions[oid] = new
+            ms = marks_store[new_cid]
+            if ms:
+                nx = new[0]
+                ny = new[1]
+                for qid in ms:
                     if qid in updated_qids:
                         continue
                     state = queries[qid]
-                    if oid in state.nn:
+                    if oid in state.nn._dists:
                         continue
-                    if not state.strategy.accepts(new[0], new[1]):
-                        continue
-                    d = state.strategy.dist(new[0], new[1])
+                    if state.is_point:
+                        d = hypot(nx - state.qx, ny - state.qy)
+                    else:
+                        if not state.strategy.accepts(nx, ny):
+                            continue
+                        d = state.strategy.dist(nx, ny)
                     if d <= state.best_dist:
-                        sc = scratch.get(qid)
+                        sc = scratch_get(qid)
                         if sc is None:
-                            sc = scratch[qid] = CycleScratch(state.k)
+                            sc = scratch[qid] = self._acquire_scratch(state.k)
                         sc.note_incomer(d, oid)
-            else:
-                positions.pop(oid, None)
 
         changed: set[int] = set()
         for qid, sc in scratch.items():
-            if not sc.touched:
-                continue
-            state = queries[qid]
-            before = state.nn.entries() if sc.out_count == 0 else None
-            self._finalize_query(state, sc)
-            if before is None or state.nn.entries() != before:
-                changed.add(qid)
+            if sc.touched:
+                state = queries[qid]
+                before = state.nn.entries() if sc.out_count == 0 else None
+                self._finalize_query(state, sc)
+                if before is None or state.nn.entries() != before:
+                    changed.add(qid)
+        self._scratch_pool.extend(scratch.values())
 
         # Figure 3.9 lines 5-9: terminations first within each update, then
         # (re-)insertions.

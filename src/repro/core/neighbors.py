@@ -139,6 +139,13 @@ class NeighborList:
         self._entries.clear()
         self._dists.clear()
 
+    def reconfigure(self, k: int) -> None:
+        """Clear and change capacity (scratch-buffer recycling)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.clear()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         shown = ", ".join(f"{oid}@{dist:.4g}" for dist, oid in self._entries[:4])
         extra = "..." if len(self._entries) > 4 else ""

@@ -104,7 +104,7 @@ class PointNNStrategy(QueryStrategy):
         return (i, i, j, j)
 
     def cell_key(self, grid: Grid, i: int, j: int) -> float:
-        return grid.mindist(i, j, (self.x, self.y))
+        return grid.mindist_xy(i, j, self.x, self.y)
 
     def strip_key0(
         self, grid: Grid, partition: ConceptualPartition, direction: int
@@ -158,7 +158,7 @@ class AggregateNNStrategy(QueryStrategy):
     def cell_key(self, grid: Grid, i: int, j: int) -> float:
         """``amindist(c, Q) = f over mindist(c, q_i)`` — a lower bound for
         ``adist(p, Q)`` of any object ``p`` in the cell."""
-        return self.fn(grid.mindist(i, j, q) for q in self.points)
+        return self.fn(grid.mindist_xy(i, j, qx, qy) for qx, qy in self.points)
 
     def strip_key0(
         self, grid: Grid, partition: ConceptualPartition, direction: int

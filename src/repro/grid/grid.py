@@ -1,17 +1,38 @@
 """The main-memory grid index ``G`` of Section 3.
 
-Cells are stored sparsely (``dict`` keyed by ``(column, row)``) so that very
-fine granularities — the paper evaluates up to 1024x1024 = ~1M cells
-(Figure 6.1) — cost memory only for occupied cells.  Per-cell object lists
-are hash tables, matching the paper's cost model ("the object lists of the
-cells are implemented as hash tables so that the deletion of an object from
-its old cell and the insertion into its new one takes expected
-``Time_ind = 2``", Section 4.1).
+Cell storage is *flat*: a cell ``c_{i,j}`` is addressed by its packed id
+``cid = i * rows + j`` into array-backed stores (plain Python lists), so
+the hot path — object relocation and influence-list probing on every
+update — costs one integer multiply-add and one list index instead of a
+tuple allocation plus a tuple hash.  Grids too large for dense backing
+(beyond ~2M cells; the paper's finest granularity, 1024x1024, stays dense)
+fall back transparently to a sparse store with identical semantics.
+
+Per-cell object lists are hash tables, matching the paper's cost model
+("the object lists of the cells are implemented as hash tables so that the
+deletion of an object from its old cell and the insertion into its new one
+takes expected ``Time_ind = 2``", Section 4.1).  Empty cell dictionaries
+and mark sets are kept in place once allocated: cells that repeatedly
+empty and refill (the common case under sustained update streams) reuse
+their containers instead of churning the allocator.
 
 The grid additionally hosts *query marks*: per-cell sets of query ids.  CPM
 uses them as influence lists ("each cell c of the grid is associated with
 (ii) the list of queries whose influence region contains c"), and SEA-CNN
-uses the identical mechanism for its answer-region book-keeping.
+uses the identical mechanism for its answer-region book-keeping.  The
+total mark count is maintained incrementally, making :attr:`total_marks`
+O(1).
+
+Two parallel APIs are exposed: the coordinate API (``insert``, ``scan``,
+``add_mark`` ... over ``(i, j)`` tuples — the stable public surface) and
+the packed-id API (``cell_id``, ``insert_at``, ``delete_at``,
+``relocate_at``, ``add_mark_id`` ...).  The CPM engine drives its update
+loop through the packed-id mutators; its very hottest reads (the
+per-update influence probe, the per-move cell addressing) additionally
+inline this module's storage layout directly — any change to the packing
+scheme or the cell decision here must be mirrored in
+``repro.core.cpm.CPMMonitor.process``.  Both views address the same
+storage and may be mixed freely.
 """
 
 from __future__ import annotations
@@ -26,6 +47,24 @@ from repro.grid.stats import GridStats
 
 _EMPTY_OBJECTS: dict[int, Point] = {}
 _EMPTY_MARKS: frozenset[int] = frozenset()
+
+#: largest cell count served by dense (list) backing; 1024x1024 — the
+#: paper's finest evaluated granularity — is ~1M cells and stays dense.
+_DENSE_LIMIT = 1 << 21
+
+
+class _SparseStore(dict):
+    """A dict that reads like an infinite array of ``None``.
+
+    Backs grids beyond :data:`_DENSE_LIMIT` cells: ``store[cid]`` returns
+    ``None`` for untouched cells without inserting anything, so the packed
+    id code paths are identical for dense and sparse grids.
+    """
+
+    __slots__ = ()
+
+    def __missing__(self, key: int) -> None:
+        return None
 
 
 class Grid:
@@ -48,8 +87,10 @@ class Grid:
         "rows",
         "stats",
         "_cells",
+        "_mark_count",
         "_marks",
         "_n_objects",
+        "_occupied",
     )
 
     def __init__(
@@ -86,11 +127,18 @@ class Grid:
             + abs(bounds.x1) + abs(bounds.y1)
         )
         self.stats = GridStats()
-        # (i, j) -> {oid: (x, y)} for non-empty cells only.
-        self._cells: dict[CellCoord, dict[int, Point]] = {}
-        # (i, j) -> set of query ids marked on the cell.
-        self._marks: dict[CellCoord, set[int]] = {}
+        n_cells = self.cols * self.rows
+        # cid -> {oid: (x, y)} and cid -> {qid, ...}; dense list backing
+        # when the grid fits, sparse fallback otherwise.
+        if n_cells <= _DENSE_LIMIT:
+            self._cells: list | _SparseStore = [None] * n_cells
+            self._marks: list | _SparseStore = [None] * n_cells
+        else:
+            self._cells = _SparseStore()
+            self._marks = _SparseStore()
         self._n_objects = 0
+        self._occupied = 0
+        self._mark_count = 0
 
     # ------------------------------------------------------------------
     # Addressing
@@ -102,6 +150,34 @@ class Grid:
             cell_index(x, self.bounds.x0, self.delta, self.cols),
             cell_index(y, self.bounds.y0, self.delta, self.rows),
         )
+
+    def cell_id(self, x: float, y: float) -> int:
+        """Packed id of the cell containing ``(x, y)`` (clamped).
+
+        Identical cell decision as :meth:`cell_of` (same float operations),
+        returned as ``i * rows + j``.
+        """
+        bounds = self.bounds
+        delta = self.delta
+        i = int((x - bounds.x0) / delta)
+        if i < 0:
+            i = 0
+        elif i >= self.cols:
+            i = self.cols - 1
+        j = int((y - bounds.y0) / delta)
+        if j < 0:
+            j = 0
+        elif j >= self.rows:
+            j = self.rows - 1
+        return i * self.rows + j
+
+    def pack(self, i: int, j: int) -> int:
+        """Packed id of ``c_{i,j}``."""
+        return i * self.rows + j
+
+    def unpack(self, cid: int) -> CellCoord:
+        """Coordinate pair of a packed cell id."""
+        return divmod(cid, self.rows)
 
     def in_bounds(self, i: int, j: int) -> bool:
         """Whether ``c_{i,j}`` is a real cell of this grid."""
@@ -122,17 +198,15 @@ class Grid:
             y1 = self.bounds.y1
         return (x0, y0, x1, y1)
 
-    def mindist(self, i: int, j: int, q: Point) -> float:
-        """``mindist(c, q)`` of Table 3.1: minimum possible distance between
-        any object in cell ``c_{i,j}`` and the point ``q``.
+    def mindist_xy(self, i: int, j: int, qx: float, qy: float) -> float:
+        """``mindist(c, q)`` of Table 3.1 for the point ``(qx, qy)``.
 
-        Inlined (no :meth:`cell_rect` call): this runs once per en-heaped
-        cell in every NN search, the hottest loop of the library.
+        Inlined (no :meth:`cell_rect` call, no point tuple): this runs once
+        per en-heaped cell in every NN search, the hottest loop of the
+        library.
         """
         delta = self.delta
         bounds = self.bounds
-        qx = q[0]
-        qy = q[1]
         x0 = bounds.x0 + i * delta
         if qx < x0:
             dx = x0 - qx
@@ -154,6 +228,10 @@ class Grid:
         if dy == 0.0:
             return dx
         return math.hypot(dx, dy)
+
+    def mindist(self, i: int, j: int, q: Point) -> float:
+        """``mindist(c, q)`` with the query as a point tuple."""
+        return self.mindist_xy(i, j, q[0], q[1])
 
     def all_cells(self) -> Iterator[CellCoord]:
         """Every cell coordinate of the grid (dense enumeration)."""
@@ -185,39 +263,69 @@ class Grid:
             return
         cx, cy = center
         for coord in self.cells_in_rect(cx - radius, cy - radius, cx + radius, cy + radius):
-            if self.mindist(coord[0], coord[1], center) <= radius:
+            if self.mindist_xy(coord[0], coord[1], cx, cy) <= radius:
                 yield coord
 
     # ------------------------------------------------------------------
     # Object maintenance
     # ------------------------------------------------------------------
 
-    def insert(self, oid: int, x: float, y: float) -> CellCoord:
-        """Insert object ``oid`` at ``(x, y)``; returns its cell."""
-        coord = self.cell_of(x, y)
-        cell = self._cells.get(coord)
+    def insert_at(self, cid: int, oid: int, point: Point) -> None:
+        """Insert object ``oid`` into the cell with packed id ``cid``.
+
+        The caller vouches that ``cid == self.cell_id(*point)``; the stored
+        position tuple is ``point`` itself (no re-allocation).
+        """
+        cells = self._cells
+        cell = cells[cid]
         if cell is None:
             cell = {}
-            self._cells[coord] = cell
+            cells[cid] = cell
         if oid in cell:
-            raise KeyError(f"object {oid} already present in cell {coord}")
-        cell[oid] = (x, y)
+            raise KeyError(
+                f"object {oid} already present in cell {self.unpack(cid)}"
+            )
+        if not cell:
+            self._occupied += 1
+        cell[oid] = point
         self._n_objects += 1
         self.stats.inserts += 1
-        return coord
+
+    def delete_at(self, cid: int, oid: int) -> None:
+        """Delete object ``oid`` from the cell with packed id ``cid``."""
+        cell = self._cells[cid]
+        if cell is None or oid not in cell:
+            raise KeyError(f"object {oid} not found in cell {self.unpack(cid)}")
+        del cell[oid]
+        if not cell:
+            self._occupied -= 1
+        self._n_objects -= 1
+        self.stats.deletes += 1
+
+    def relocate_at(self, cid: int, oid: int, point: Point) -> None:
+        """Move an object within its cell (same-cell location update).
+
+        Observationally a delete followed by an insert into the same cell
+        (both counters bump), executed as a single hash-table store.
+        """
+        cell = self._cells[cid]
+        if cell is None or oid not in cell:
+            raise KeyError(f"object {oid} not found in cell {self.unpack(cid)}")
+        cell[oid] = point
+        self.stats.deletes += 1
+        self.stats.inserts += 1
+
+    def insert(self, oid: int, x: float, y: float) -> CellCoord:
+        """Insert object ``oid`` at ``(x, y)``; returns its cell."""
+        cid = self.cell_id(x, y)
+        self.insert_at(cid, oid, (x, y))
+        return divmod(cid, self.rows)
 
     def delete(self, oid: int, x: float, y: float) -> CellCoord:
         """Delete object ``oid`` located at ``(x, y)``; returns its old cell."""
-        coord = self.cell_of(x, y)
-        cell = self._cells.get(coord)
-        if cell is None or oid not in cell:
-            raise KeyError(f"object {oid} not found in cell {coord}")
-        del cell[oid]
-        if not cell:
-            del self._cells[coord]
-        self._n_objects -= 1
-        self.stats.deletes += 1
-        return coord
+        cid = self.cell_id(x, y)
+        self.delete_at(cid, oid)
+        return divmod(cid, self.rows)
 
     def move(
         self, oid: int, old: Point, new: Point
@@ -236,17 +344,33 @@ class Grid:
     # Object access
     # ------------------------------------------------------------------
 
-    def scan(self, i: int, j: int) -> dict[int, Point]:
-        """Scan the object list of ``c_{i,j}`` — *this is a cell access*.
+    def scan_id(self, cid: int) -> dict[int, Point]:
+        """Scan the object list of the cell ``cid`` — *this is a cell access*.
 
         Every call increments the counters that back Figure 6.3b.  The
         returned mapping is the live cell dictionary; callers must not
         mutate it.
         """
-        cell = self._cells.get((i, j), _EMPTY_OBJECTS)
-        self.stats.cell_scans += 1
-        self.stats.objects_scanned += len(cell)
-        return cell
+        cell = self._cells[cid]
+        stats = self.stats
+        stats.cell_scans += 1
+        if cell:
+            stats.objects_scanned += len(cell)
+            return cell
+        return _EMPTY_OBJECTS
+
+    def scan(self, i: int, j: int) -> dict[int, Point]:
+        """Scan the object list of ``c_{i,j}`` (a charged cell access)."""
+        if 0 <= i < self.cols and 0 <= j < self.rows:
+            cell = self._cells[i * self.rows + j]
+        else:
+            cell = None
+        stats = self.stats
+        stats.cell_scans += 1
+        if cell:
+            stats.objects_scanned += len(cell)
+            return cell
+        return _EMPTY_OBJECTS
 
     def peek(self, i: int, j: int) -> dict[int, Point]:
         """Object list of ``c_{i,j}`` *without* charging a cell access.
@@ -254,11 +378,15 @@ class Grid:
         Reserved for assertions, tests and size inspection — algorithm code
         must go through :meth:`scan`.
         """
-        return self._cells.get((i, j), _EMPTY_OBJECTS)
+        if 0 <= i < self.cols and 0 <= j < self.rows:
+            cell = self._cells[i * self.rows + j]
+            if cell:
+                return cell
+        return _EMPTY_OBJECTS
 
     def cell_size(self, i: int, j: int) -> int:
         """Number of objects currently in ``c_{i,j}`` (no access charged)."""
-        return len(self._cells.get((i, j), _EMPTY_OBJECTS))
+        return len(self.peek(i, j))
 
     def __len__(self) -> int:
         """Total number of indexed objects."""
@@ -267,45 +395,83 @@ class Grid:
     @property
     def occupied_cells(self) -> int:
         """Number of cells currently holding at least one object."""
-        return len(self._cells)
+        return self._occupied
 
     # ------------------------------------------------------------------
     # Query marks (influence lists / answer regions)
     # ------------------------------------------------------------------
 
+    def add_mark_id(self, cid: int, qid: int) -> None:
+        """Mark the cell ``cid`` as influenced by query ``qid`` (idempotent)."""
+        marks = self._marks
+        ms = marks[cid]
+        if ms is None:
+            marks[cid] = {qid}
+        elif qid not in ms:
+            ms.add(qid)
+        else:
+            return
+        self._mark_count += 1
+        self.stats.mark_ops += 1
+
+    def remove_mark_id(self, cid: int, qid: int) -> None:
+        """Remove query ``qid``'s mark from ``cid`` (no-op when absent)."""
+        ms = self._marks[cid]
+        if ms and qid in ms:
+            ms.remove(qid)
+            self._mark_count -= 1
+            self.stats.mark_ops += 1
+
+    def marks_id(self, cid: int) -> set[int] | None:
+        """Mark set of the cell ``cid`` — ``None`` or empty when unmarked.
+
+        Returns the live set (callers must not mutate) and may return
+        ``None`` instead of an empty collection so callers can branch on
+        truthiness without an allocation.  The CPM update loop indexes the
+        mark store directly rather than paying this call per probe; this
+        accessor is the encapsulated equivalent for everything else.
+        """
+        return self._marks[cid]
+
     def add_mark(self, coord: CellCoord, qid: int) -> None:
         """Mark cell ``coord`` as influenced by query ``qid`` (idempotent)."""
-        marks = self._marks.get(coord)
-        if marks is None:
-            marks = set()
-            self._marks[coord] = marks
-        if qid not in marks:
-            marks.add(qid)
-            self.stats.mark_ops += 1
+        i, j = coord
+        if not (0 <= i < self.cols and 0 <= j < self.rows):
+            raise ValueError(f"cell {coord} outside the {self.cols}x{self.rows} grid")
+        self.add_mark_id(i * self.rows + j, qid)
 
     def remove_mark(self, coord: CellCoord, qid: int) -> None:
         """Remove query ``qid``'s mark from ``coord`` (no-op when absent)."""
-        marks = self._marks.get(coord)
-        if marks is None:
-            return
-        if qid in marks:
-            marks.discard(qid)
-            self.stats.mark_ops += 1
-            if not marks:
-                del self._marks[coord]
+        i, j = coord
+        if 0 <= i < self.cols and 0 <= j < self.rows:
+            self.remove_mark_id(i * self.rows + j, qid)
 
     def marks(self, coord: CellCoord) -> frozenset[int] | set[int]:
         """Queries marked on ``coord`` (possibly empty, never None)."""
-        return self._marks.get(coord, _EMPTY_MARKS)
+        i, j = coord
+        if 0 <= i < self.cols and 0 <= j < self.rows:
+            ms = self._marks[i * self.rows + j]
+            if ms:
+                return ms
+        return _EMPTY_MARKS
 
     def marked_cells(self, qid: int) -> list[CellCoord]:
-        """All cells carrying a mark of ``qid`` (test/diagnostic helper)."""
-        return [coord for coord, marks in self._marks.items() if qid in marks]
+        """All cells carrying a mark of ``qid`` (test/diagnostic helper).
+
+        Ordered by packed cell id (column-major).
+        """
+        marks = self._marks
+        rows = self.rows
+        if isinstance(marks, list):
+            items: Iterable[tuple[int, set[int] | None]] = enumerate(marks)
+        else:
+            items = sorted(marks.items())
+        return [divmod(cid, rows) for cid, ms in items if ms and qid in ms]
 
     @property
     def total_marks(self) -> int:
         """Total number of (cell, query) mark pairs currently stored."""
-        return sum(len(m) for m in self._marks.values())
+        return self._mark_count
 
     # ------------------------------------------------------------------
     # Introspection
@@ -319,10 +485,10 @@ class Grid:
         costs 1 unit (a query id in an influence list).  This feeds the
         footnote-6 space comparison.
         """
-        return 3 * self._n_objects + self.total_marks
+        return 3 * self._n_objects + self._mark_count
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Grid({self.cols}x{self.rows}, delta={self.delta:.6g}, "
-            f"objects={self._n_objects}, marks={self.total_marks})"
+            f"objects={self._n_objects}, marks={self._mark_count})"
         )

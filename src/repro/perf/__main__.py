@@ -1,0 +1,190 @@
+"""Command-line entry point: ``python -m repro.perf``.
+
+Run the suite (the default subcommand)::
+
+    PYTHONPATH=src python -m repro.perf --scale 0.02 --out BENCH_PR1.json
+    PYTHONPATH=src python -m repro.perf --suite smoke --scale 0.01 --out bench.json
+
+The default ``--scale`` honours the ``REPRO_BENCH_SCALE`` environment
+variable (as the pytest-benchmark suite does), falling back to 0.02.
+
+Gate a change against a baseline::
+
+    PYTHONPATH=src python -m repro.perf compare old.json new.json
+    PYTHONPATH=src python -m repro.perf compare old.json new.json --warn-only \
+        --threshold wall_sec=0.5
+
+Exit codes: 0 = ok, 1 = perf regression, 2 = unusable input (schema or
+scale mismatch, bad threshold spec).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.perf.compare import compare_reports, render_comparison
+from repro.perf.runner import run_suite
+from repro.perf.schema import SchemaError, dump_report, load_report
+
+
+def _default_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+
+
+def _parse_annotations(pairs: list[str]) -> dict[str, str]:
+    annotations: dict[str, str] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            # Usage errors exit 2, like _parse_thresholds: exit 1 is
+            # reserved for a genuine perf regression.
+            print(
+                f"error: --annotate expects key=value, got {pair!r}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        annotations[key] = value
+    return annotations
+
+
+def _parse_thresholds(pairs: list[str]) -> dict[str, float]:
+    thresholds: dict[str, float] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        try:
+            if not sep or not key:
+                raise ValueError
+            thresholds[key] = float(value)
+        except ValueError:
+            print(
+                f"error: --threshold expects metric=fraction, got {pair!r}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2) from None
+    return thresholds
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Replay the canonical workload suite or gate two bench files.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run = sub.add_parser("run", help="run the suite (the default subcommand)")
+    for target in (parser, run):
+        target.add_argument(
+            "--scale",
+            type=float,
+            default=None,
+            help="workload scale (default: $REPRO_BENCH_SCALE or 0.02)",
+        )
+        target.add_argument(
+            "--suite",
+            choices=("full", "smoke"),
+            default="full",
+            help="case selection (smoke = the cheap per-PR CI subset)",
+        )
+        target.add_argument(
+            "--repeats",
+            type=int,
+            default=1,
+            help="replays per case; the minimum wall-clock is kept",
+        )
+        target.add_argument("--out", default=None, help="write the bench JSON here")
+        target.add_argument(
+            "--annotate",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="attach provenance annotations (repeatable)",
+        )
+        target.add_argument(
+            "--quiet", action="store_true", help="suppress per-case progress lines"
+        )
+
+    cmp_parser = sub.add_parser("compare", help="diff two bench files")
+    cmp_parser.add_argument("old", help="baseline bench JSON")
+    cmp_parser.add_argument("new", help="candidate bench JSON")
+    cmp_parser.add_argument(
+        "--threshold",
+        action="append",
+        default=[],
+        metavar="METRIC=FRACTION",
+        help="override a regression threshold, e.g. wall_sec=0.5 (repeatable)",
+    )
+    cmp_parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0 (CI bring-up mode)",
+    )
+    cmp_parser.add_argument(
+        "--verbose", action="store_true", help="list every compared metric"
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scale = args.scale if args.scale is not None else _default_scale()
+    if scale <= 0:
+        print("error: --scale must be positive", file=sys.stderr)
+        return 2
+    progress = None if args.quiet else lambda line: print(line, flush=True)
+    report = run_suite(
+        scale,
+        suite=args.suite,
+        repeats=max(1, args.repeats),
+        annotations=_parse_annotations(args.annotate),
+        progress=progress,
+    )
+    total_wall = sum(c.metrics["wall_sec"] for c in report.cases)
+    print(
+        f"suite={report.suite} scale={report.scale} cases={len(report.cases)} "
+        f"total_wall={total_wall:.2f}s"
+    )
+    if args.out:
+        dump_report(report, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        old = load_report(args.old)
+        new = load_report(args.new)
+        comparison = compare_reports(old, new, _parse_thresholds(args.threshold))
+    except SchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_comparison(comparison, verbose=args.verbose))
+    if comparison.ok:
+        print("perf gate: OK")
+        return 0
+    if args.warn_only:
+        print("perf gate: REGRESSED (warn-only mode, not failing the build)")
+        return 0
+    print("perf gate: REGRESSED")
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly with the
+        # conventional SIGPIPE status instead of a traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 141
+    sys.exit(code)

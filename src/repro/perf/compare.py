@@ -1,0 +1,160 @@
+"""The perf gate: diff two bench files against regression thresholds.
+
+``repro.perf compare old.json new.json`` matches cases by ``case_id`` and
+flags every metric whose *increase* exceeds its threshold (all suite
+metrics are costs — lower is better).  Deterministic counters (cell scans)
+carry tight thresholds; wall-clock carries a loose one because CI machines
+are noisy.  The exit code is the contract:
+
+* ``0`` — no regression (or ``--warn-only``);
+* ``1`` — at least one metric regressed past its threshold, or a baseline
+  case disappeared from the new run;
+* ``2`` — the files could not be compared at all (schema mismatch,
+  different scale or suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.schema import BenchReport, SchemaError
+
+#: default relative-increase thresholds per metric (0.05 = +5% fails).
+DEFAULT_THRESHOLDS: dict[str, float] = {
+    # Wall-clock is noisy on shared runners; only gross regressions fail.
+    "wall_sec": 0.30,
+    "process_sec": 0.30,
+    # Cell scans are deterministic for a fixed workload: any growth beyond
+    # rounding is a real algorithmic regression.
+    "cell_scans": 0.02,
+    "cell_accesses_per_query_per_ts": 0.02,
+    # Peak RSS is a coarse high-water mark.
+    "peak_rss_kb": 0.30,
+}
+
+#: metrics below this baseline magnitude are skipped (relative deltas on
+#: near-zero baselines are meaningless noise).
+_MIN_BASELINE = {"wall_sec": 1e-3, "process_sec": 1e-3}
+
+
+@dataclass(slots=True)
+class Delta:
+    """One compared metric of one case."""
+
+    case_id: str
+    metric: str
+    old: float
+    new: float
+    threshold: float
+
+    @property
+    def ratio(self) -> float:
+        if self.old == 0:
+            return float("inf") if self.new > 0 else 1.0
+        return self.new / self.old
+
+    @property
+    def regressed(self) -> bool:
+        floor = _MIN_BASELINE.get(self.metric, 0.0)
+        if self.old < floor and self.new < floor:
+            return False
+        return self.ratio > 1.0 + self.threshold
+
+
+@dataclass(slots=True)
+class Comparison:
+    """Full result of one bench-file diff."""
+
+    deltas: list[Delta]
+    missing_cases: list[str]
+    new_cases: list[str]
+
+    @property
+    def regressions(self) -> list[Delta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing_cases
+
+
+def compare_reports(
+    old: BenchReport,
+    new: BenchReport,
+    thresholds: dict[str, float] | None = None,
+) -> Comparison:
+    """Diff ``new`` against the ``old`` baseline.
+
+    Raises :class:`SchemaError` when the two files measure different
+    things (scale or suite mismatch) — comparing them would be a category
+    error, not a regression.
+    """
+    if old.scale != new.scale:
+        raise SchemaError(
+            f"scale mismatch: baseline ran at {old.scale}, new run at {new.scale}"
+        )
+    if old.suite != new.suite:
+        raise SchemaError(
+            f"suite mismatch: baseline ran {old.suite!r}, new run {new.suite!r}"
+        )
+    limits = dict(DEFAULT_THRESHOLDS)
+    if thresholds:
+        limits.update(thresholds)
+
+    new_by_id = {case.case_id: case for case in new.cases}
+    deltas: list[Delta] = []
+    missing: list[str] = []
+    for old_case in old.cases:
+        new_case = new_by_id.pop(old_case.case_id, None)
+        if new_case is None:
+            missing.append(old_case.case_id)
+            continue
+        for metric, threshold in limits.items():
+            if metric not in old_case.metrics or metric not in new_case.metrics:
+                continue
+            deltas.append(
+                Delta(
+                    case_id=old_case.case_id,
+                    metric=metric,
+                    old=float(old_case.metrics[metric]),
+                    new=float(new_case.metrics[metric]),
+                    threshold=threshold,
+                )
+            )
+    return Comparison(
+        deltas=deltas, missing_cases=missing, new_cases=sorted(new_by_id)
+    )
+
+
+def render_comparison(comparison: Comparison, *, verbose: bool = False) -> str:
+    """Human-readable diff summary (regressions always listed)."""
+    lines: list[str] = []
+    regressions = comparison.regressions
+    improvements = [
+        d for d in comparison.deltas if not d.regressed and d.ratio < 1.0 - d.threshold
+    ]
+    lines.append(
+        f"compared {len(comparison.deltas)} metric pairs: "
+        f"{len(regressions)} regression(s), "
+        f"{len(improvements)} improvement(s) beyond threshold"
+    )
+    for delta in regressions:
+        lines.append(
+            f"  REGRESSION {delta.case_id} {delta.metric}: "
+            f"{delta.old:g} -> {delta.new:g} "
+            f"({(delta.ratio - 1.0) * 100.0:+.1f}%, limit +{delta.threshold * 100:.0f}%)"
+        )
+    for case_id in comparison.missing_cases:
+        lines.append(f"  MISSING baseline case disappeared: {case_id}")
+    for case_id in comparison.new_cases:
+        lines.append(f"  NEW case without baseline: {case_id}")
+    shown = improvements if not verbose else comparison.deltas
+    for delta in shown:
+        if delta in regressions:
+            continue
+        lines.append(
+            f"  {'improved' if delta.ratio < 1.0 else 'ok':>8} "
+            f"{delta.case_id} {delta.metric}: {delta.old:g} -> {delta.new:g} "
+            f"({(delta.ratio - 1.0) * 100.0:+.1f}%)"
+        )
+    return "\n".join(lines)

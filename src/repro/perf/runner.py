@@ -1,0 +1,124 @@
+"""Suite runner: replay the canonical workloads and record the metrics.
+
+For every suite case the runner materializes the workload once (all
+algorithms observe byte-identical update streams, as in the paper's
+methodology) and replays it into a fresh monitor per algorithm:
+
+* ``wall_sec``     — full-replay wall-clock (installation + all cycles),
+  minimum over ``repeats`` replays (the standard noise-robust estimator);
+* ``process_sec`` / ``install_sec`` — the engine's phase decomposition;
+* ``cell_scans`` and ``cell_accesses_per_query_per_ts`` — the Figure 6.3b
+  counters, *deterministic* for a given workload and therefore byte-exact
+  regression signals;
+* ``objects_scanned`` / ``results_changed`` — secondary counters;
+* ``peak_rss_kb``  — the process high-water mark (``ru_maxrss``) sampled
+  after the case; monotonic across a run, so only *increases* versus a
+  baseline are meaningful.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from collections.abc import Callable
+
+from repro.engine.server import run_workload
+from repro.experiments.common import build_monitor
+from repro.mobility.workload import Workload
+from repro.perf.schema import BenchCase, BenchReport, environment_info
+from repro.perf.suite import ALGORITHMS, SuiteCase, build_suite
+
+try:  # pragma: no cover - platform probe
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_kb() -> int:
+    """Process peak RSS in KiB (0 where the platform cannot report it)."""
+    if resource is None:  # pragma: no cover - non-POSIX fallback
+        return 0
+    # Linux reports KiB; macOS reports bytes.
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover - platform specific
+        return raw // 1024
+    return raw
+
+
+def run_case(
+    case: SuiteCase,
+    workload: Workload,
+    algorithm: str,
+    repeats: int = 1,
+) -> BenchCase:
+    """Replay one (case, algorithm) pair; returns its measurement row."""
+    best_wall = float("inf")
+    report = None
+    for _ in range(max(1, repeats)):
+        monitor = build_monitor(algorithm, case.grid, bounds=workload.spec.bounds)
+        gc.collect()
+        t0 = time.perf_counter()
+        candidate = run_workload(monitor, workload)
+        wall = time.perf_counter() - t0
+        if wall < best_wall:
+            best_wall = wall
+            report = candidate
+    assert report is not None
+    spec = workload.spec
+    return BenchCase(
+        case_id=f"{case.key}/{algorithm}",
+        workload=case.workload,
+        algorithm=algorithm,
+        params={
+            "n_objects": spec.n_objects,
+            "n_queries": spec.n_queries,
+            "k": spec.k,
+            "grid": case.grid,
+            "timestamps": spec.timestamps,
+            "seed": spec.seed,
+        },
+        metrics={
+            "wall_sec": round(best_wall, 6),
+            "process_sec": round(report.total_processing_sec, 6),
+            "install_sec": round(report.install_sec, 6),
+            "cell_scans": report.total_cell_scans,
+            "cell_accesses_per_query_per_ts": round(
+                report.cell_accesses_per_query_per_timestamp, 6
+            ),
+            "objects_scanned": report.total_objects_scanned,
+            "results_changed": report.total_results_changed,
+            "peak_rss_kb": peak_rss_kb(),
+        },
+    )
+
+
+def run_suite(
+    scale: float,
+    *,
+    suite: str = "full",
+    repeats: int = 1,
+    algorithms: tuple[str, ...] = ALGORITHMS,
+    annotations: dict[str, str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> BenchReport:
+    """Run the whole suite; returns the filled bench report."""
+    report = BenchReport(
+        scale=scale,
+        suite=suite,
+        repeats=repeats,
+        environment=environment_info(),
+        annotations=dict(annotations or {}),
+    )
+    for case in build_suite(scale, suite=suite):
+        workload = case.materialize()
+        for algorithm in algorithms:
+            row = run_case(case, workload, algorithm, repeats=repeats)
+            report.cases.append(row)
+            if progress is not None:
+                progress(
+                    f"{row.case_id}: wall={row.metrics['wall_sec']:.3f}s "
+                    f"scans={row.metrics['cell_scans']}"
+                )
+    return report

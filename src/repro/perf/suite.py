@@ -1,0 +1,139 @@
+"""The canonical perf workload suite.
+
+One suite run replays a fixed set of workload cases into every monitoring
+algorithm.  The cases mirror the paper's evaluation axes at a configurable
+``scale`` (1.0 = the paper's Table 6.1 sizes):
+
+* ``scalability_n`` — the Figure 6.2a object-population sweep over the
+  network-based (Brinkhoff-style) generator;
+* ``scalability_q`` — the Figure 6.2b query-count sweep;
+* ``granularity``   — the Figure 6.1 grid-granularity sensitivity (half /
+  default / double cells per axis);
+* ``k_sweep``       — the Figure 6.3 result-cardinality sweep;
+* ``uniform``       — the Section 4.1 analysis setting (uniform random
+  displacement);
+* ``skewed``        — the adversarial Gaussian-hotspot workload.
+
+Workload materialization is deterministic (fixed seed per case), so two
+runs of the same suite at the same scale replay byte-identical update
+streams — which is what makes the deterministic counters (cell scans)
+byte-comparable across code versions.
+
+The ``smoke`` suite is the subset cheap enough for per-PR CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import make_workload, scaled_grid, scaled_spec
+from repro.mobility.skewed import SkewedGenerator
+from repro.mobility.uniform import UniformGenerator
+from repro.mobility.workload import Workload, WorkloadSpec
+
+ALGORITHMS = ("CPM", "YPK-CNN", "SEA-CNN")
+
+#: paper sweep values (Figures 6.2a, 6.2b and 6.3).
+PAPER_N = (10_000, 50_000, 100_000, 150_000, 200_000)
+PAPER_QUERIES = (1_000, 2_000, 5_000, 7_000, 10_000)
+K_SWEEP = (4, 16, 64)
+
+#: default RNG seed of the suite (the paper's publication year).
+SUITE_SEED = 2005
+
+
+@dataclass(slots=True, frozen=True)
+class SuiteCase:
+    """One workload case (replayed once per algorithm)."""
+
+    key: str
+    workload: str  # "network" | "uniform" | "skewed"
+    spec: WorkloadSpec
+    grid: int
+
+    def materialize(self) -> Workload:
+        if self.workload == "network":
+            return make_workload(self.spec)
+        if self.workload == "uniform":
+            return UniformGenerator(self.spec).generate()
+        if self.workload == "skewed":
+            return SkewedGenerator(self.spec).generate()
+        raise ValueError(f"unknown workload kind {self.workload!r}")
+
+
+def _dedup(cases: list[SuiteCase]) -> list[SuiteCase]:
+    """Drop cases whose scaled parameters collapsed onto an earlier case."""
+    seen: set[tuple] = set()
+    out: list[SuiteCase] = []
+    for case in cases:
+        signature = (case.workload, case.spec, case.grid)
+        if signature in seen:
+            continue
+        seen.add(signature)
+        out.append(case)
+    return out
+
+
+def build_suite(
+    scale: float, suite: str = "full", seed: int = SUITE_SEED
+) -> list[SuiteCase]:
+    """The case list of one suite run (workloads not yet materialized)."""
+    if suite not in ("full", "smoke"):
+        raise ValueError(f"unknown suite {suite!r} (expected 'full' or 'smoke')")
+    grid = scaled_grid(scale)
+    default = scaled_spec(scale, seed=seed)
+    cases: list[SuiteCase] = []
+
+    # Scalability: CPU versus N (the bench_fig_6_2 workload family).
+    for paper_n in PAPER_N:
+        n_objects = max(200, round(paper_n * scale))
+        cases.append(
+            SuiteCase(
+                key=f"scalability_n/N={n_objects}",
+                workload="network",
+                spec=default.replace(n_objects=n_objects),
+                grid=grid,
+            )
+        )
+    if suite == "full":
+        # Scalability: CPU versus n.
+        for paper_q in PAPER_QUERIES:
+            n_queries = max(2, round(paper_q * scale))
+            cases.append(
+                SuiteCase(
+                    key=f"scalability_q/n={n_queries}",
+                    workload="network",
+                    spec=default.replace(n_queries=n_queries),
+                    grid=grid,
+                )
+            )
+        # Grid granularity sensitivity around the scaled default.
+        for factor, label in ((0.5, "half"), (1.0, "default"), (2.0, "double")):
+            cells = max(4, round(grid * factor))
+            cases.append(
+                SuiteCase(
+                    key=f"granularity/{label}",
+                    workload="network",
+                    spec=default,
+                    grid=cells,
+                )
+            )
+        # Result cardinality.
+        for k in K_SWEEP:
+            cases.append(
+                SuiteCase(
+                    key=f"k_sweep/k={k}",
+                    workload="network",
+                    spec=default.replace(k=k),
+                    grid=grid,
+                )
+            )
+    # Distribution stress cases run in both suites: they exercise the
+    # update-handling hot path under very different cell occupancies.
+    cases.append(
+        SuiteCase(key="uniform/default", workload="uniform", spec=default, grid=grid)
+    )
+    cases.append(
+        SuiteCase(key="skewed/default", workload="skewed", spec=default, grid=grid)
+    )
+    return _dedup(cases)

@@ -298,3 +298,35 @@ class TestDropBookkeeping:
         before = h.monitor.result(0)
         h.monitor.drop_bookkeeping(0)
         assert h.monitor.result(0) == before
+
+
+class TestInlineCellAddressing:
+    """process() inlines the Grid.cell_id float ops for speed; these tests
+    pin the inlined copies to the canonical implementation so the cell
+    decision cannot silently drift between the two."""
+
+    # Boundary-heavy coordinates: cell edges, workspace corners, the exact
+    # maximum edge (clamped into the last cell) and out-of-bounds points.
+    COORDS = [
+        (0.0, 0.0), (0.125, 0.125), (0.1249999999, 0.625), (0.5, 0.5),
+        (0.9999999, 0.0), (1.0, 1.0), (-0.3, 0.4), (1.7, -2.0), (50.0, 50.0),
+    ]
+
+    def test_moved_objects_land_in_cell_id_cell(self):
+        monitor = CPMMonitor(cells_per_axis=8)
+        grid = monitor.grid
+        monitor.load_objects([(0, (0.51, 0.52))])
+        monitor.install_query(0, (0.5, 0.5), 1)
+        prev = (0.51, 0.52)
+        for target in self.COORDS:
+            monitor.process([move_update(0, prev, target)])
+            expected = grid.unpack(grid.cell_id(target[0], target[1]))
+            assert grid.peek(*expected) == {0: target}, target
+            prev = target
+
+    def test_boundary_moves_match_brute_force(self):
+        h = Harness(n_objects=40, cells=8, seed=9)
+        h.install(0, (0.5, 0.5), 4)
+        for idx, target in enumerate(self.COORDS):
+            h.apply([h.move(idx % 10, target)])
+            h.check_all()

@@ -296,3 +296,121 @@ class TestWorkspaceBounds:
         grid = Grid(delta=1.0, bounds=(-2.0, -2.0, 2.0, 2.0))
         coord = grid.insert(1, -1.5, 1.5)
         assert coord == (0, 3)
+
+
+class TestPackedIdApi:
+    """The flat packed-cell-id surface used by the monitoring hot paths."""
+
+    def test_pack_unpack_roundtrip(self):
+        grid = Grid(8)
+        for i in (0, 3, 7):
+            for j in (0, 5, 7):
+                assert grid.unpack(grid.pack(i, j)) == (i, j)
+
+    def test_cell_id_matches_cell_of(self):
+        grid = Grid(16)
+        for x, y in [(0.0, 0.0), (0.999, 0.001), (0.5, 0.5), (1.0, 1.0), (-3.0, 7.0)]:
+            assert grid.unpack(grid.cell_id(x, y)) == grid.cell_of(x, y)
+
+    def test_insert_at_and_delete_at_mirror_coordinate_api(self):
+        grid = Grid(8)
+        cid = grid.cell_id(0.3, 0.7)
+        grid.insert_at(cid, 1, (0.3, 0.7))
+        assert grid.peek(*grid.unpack(cid)) == {1: (0.3, 0.7)}
+        assert len(grid) == 1
+        assert grid.occupied_cells == 1
+        grid.delete_at(cid, 1)
+        assert len(grid) == 0
+        assert grid.occupied_cells == 0
+
+    def test_insert_at_duplicate_raises(self):
+        grid = Grid(8)
+        cid = grid.cell_id(0.5, 0.5)
+        grid.insert_at(cid, 1, (0.5, 0.5))
+        with pytest.raises(KeyError):
+            grid.insert_at(cid, 1, (0.5, 0.5))
+
+    def test_delete_at_missing_raises(self):
+        grid = Grid(8)
+        with pytest.raises(KeyError):
+            grid.delete_at(grid.cell_id(0.5, 0.5), 99)
+
+    def test_relocate_at_counts_as_delete_plus_insert(self):
+        grid = Grid(8)
+        cid = grid.cell_id(0.51, 0.51)
+        grid.insert_at(cid, 1, (0.51, 0.51))
+        before_ins, before_del = grid.stats.inserts, grid.stats.deletes
+        grid.relocate_at(cid, 1, (0.52, 0.52))
+        assert grid.peek(*grid.unpack(cid))[1] == (0.52, 0.52)
+        assert grid.stats.inserts == before_ins + 1
+        assert grid.stats.deletes == before_del + 1
+        assert len(grid) == 1
+
+    def test_relocate_at_missing_raises(self):
+        grid = Grid(8)
+        with pytest.raises(KeyError):
+            grid.relocate_at(grid.cell_id(0.5, 0.5), 1, (0.5, 0.5))
+
+    def test_mark_ids_mirror_coordinate_marks(self):
+        grid = Grid(8)
+        cid = grid.pack(2, 3)
+        grid.add_mark_id(cid, 42)
+        assert grid.marks((2, 3)) == {42}
+        assert grid.marks_id(cid) == {42}
+        assert grid.total_marks == 1
+        grid.remove_mark_id(cid, 42)
+        assert grid.marks((2, 3)) == frozenset()
+        assert grid.total_marks == 0
+
+    def test_add_mark_out_of_bounds_raises(self):
+        grid = Grid(8)
+        with pytest.raises(ValueError):
+            grid.add_mark((8, 0), 1)
+
+    def test_remove_mark_out_of_bounds_is_noop(self):
+        grid = Grid(8)
+        grid.remove_mark((99, 99), 1)  # no raise
+        assert grid.total_marks == 0
+
+    def test_scan_id_charges_a_cell_access(self):
+        grid = Grid(8)
+        cid = grid.cell_id(0.1, 0.1)
+        grid.insert_at(cid, 1, (0.1, 0.1))
+        before = grid.stats.cell_scans
+        cell = grid.scan_id(cid)
+        assert cell == {1: (0.1, 0.1)}
+        assert grid.stats.cell_scans == before + 1
+        assert grid.stats.objects_scanned >= 1
+
+    def test_emptied_cell_keeps_reusable_container(self):
+        """Cells that empty and refill reuse their dict (no realloc churn)."""
+        grid = Grid(8)
+        cid = grid.cell_id(0.4, 0.4)
+        grid.insert_at(cid, 1, (0.4, 0.4))
+        grid.delete_at(cid, 1)
+        assert grid.occupied_cells == 0
+        assert grid.peek(*grid.unpack(cid)) == {}
+        grid.insert_at(cid, 2, (0.41, 0.41))
+        assert grid.occupied_cells == 1
+
+    def test_sparse_fallback_semantics(self):
+        """Grids beyond the dense limit behave identically via the sparse store."""
+        from repro.grid import grid as grid_mod
+
+        old_limit = grid_mod._DENSE_LIMIT
+        grid_mod._DENSE_LIMIT = 0  # force the sparse store
+        try:
+            grid = Grid(8)
+            assert isinstance(grid._cells, grid_mod._SparseStore)
+            coord = grid.insert(1, 0.9, 0.9)
+            assert grid.peek(*coord) == {1: (0.9, 0.9)}
+            grid.add_mark(coord, 5)
+            assert grid.marked_cells(5) == [coord]
+            assert grid.total_marks == 1
+            grid.delete(1, 0.9, 0.9)
+            grid.remove_mark(coord, 5)
+            assert len(grid) == 0
+            assert grid.occupied_cells == 0
+            assert grid.total_marks == 0
+        finally:
+            grid_mod._DENSE_LIMIT = old_limit

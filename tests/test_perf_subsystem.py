@@ -1,0 +1,300 @@
+"""Tests for the ``repro.perf`` subsystem and monitoring-server edges.
+
+Covers the three satellite requirements of the perf-gate PR: BENCH JSON
+schema round-trips, ``compare`` threshold semantics with their exit codes,
+and :class:`repro.engine.server.MonitoringServer` edge cases (empty
+workloads, zero queries).
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.core.cpm import CPMMonitor
+from repro.engine.server import MonitoringServer, run_workload
+from repro.mobility.workload import Workload, WorkloadSpec
+from repro.perf.compare import compare_reports, render_comparison
+from repro.perf.runner import run_case, run_suite
+from repro.perf.schema import (
+    SCHEMA_VERSION,
+    BenchCase,
+    BenchReport,
+    SchemaError,
+    dump_report,
+    load_report,
+)
+from repro.perf.suite import SuiteCase, build_suite
+from repro.perf.__main__ import main as perf_main
+from repro.updates import UpdateBatch
+
+
+def make_case(case_id="scalability_n/N=100/CPM", **metric_overrides) -> BenchCase:
+    metrics = {
+        "wall_sec": 0.5,
+        "process_sec": 0.4,
+        "install_sec": 0.1,
+        "cell_scans": 1000,
+        "cell_accesses_per_query_per_ts": 2.5,
+        "objects_scanned": 5000,
+        "results_changed": 42,
+        "peak_rss_kb": 30000,
+    }
+    metrics.update(metric_overrides)
+    return BenchCase(
+        case_id=case_id,
+        workload="network",
+        algorithm="CPM",
+        params={"n_objects": 100, "n_queries": 5, "k": 4, "grid": 8,
+                "timestamps": 5, "seed": 1},
+        metrics=metrics,
+    )
+
+
+def make_report(cases=None, scale=0.01) -> BenchReport:
+    return BenchReport(scale=scale, suite="smoke", cases=cases or [make_case()])
+
+
+class TestSchema:
+    def test_round_trip_through_dict(self):
+        report = make_report()
+        clone = BenchReport.from_dict(report.to_dict())
+        assert clone.scale == report.scale
+        assert clone.suite == report.suite
+        assert clone.schema_version == SCHEMA_VERSION
+        assert clone.case_ids() == report.case_ids()
+        assert clone.case(report.cases[0].case_id).metrics == report.cases[0].metrics
+
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "bench.json"
+        report = make_report()
+        dump_report(report, path)
+        clone = load_report(path)
+        assert clone.to_dict() == report.to_dict()
+
+    def test_unsupported_version_rejected(self):
+        raw = make_report().to_dict()
+        raw["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError):
+            BenchReport.from_dict(raw)
+
+    def test_missing_required_metric_rejected(self):
+        raw = make_report().to_dict()
+        del raw["cases"][0]["metrics"]["cell_scans"]
+        with pytest.raises(SchemaError):
+            BenchReport.from_dict(raw)
+
+    def test_non_numeric_metric_rejected(self):
+        raw = make_report().to_dict()
+        raw["cases"][0]["metrics"]["wall_sec"] = "fast"
+        with pytest.raises(SchemaError):
+            BenchReport.from_dict(raw)
+
+    def test_duplicate_case_ids_rejected(self):
+        raw = make_report(cases=[make_case(), make_case()]).to_dict()
+        with pytest.raises(SchemaError):
+            BenchReport.from_dict(raw)
+
+    def test_missing_file_raises_schema_error(self, tmp_path):
+        with pytest.raises(SchemaError):
+            load_report(tmp_path / "nope.json")
+
+    def test_invalid_json_raises_schema_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SchemaError):
+            load_report(path)
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        old = make_report()
+        new = copy.deepcopy(old)
+        comparison = compare_reports(old, new)
+        assert comparison.ok
+        assert not comparison.regressions
+
+    def test_deterministic_counter_regression_fails(self):
+        old = make_report()
+        new = make_report(cases=[make_case(cell_scans=1100)])  # +10% > 2%
+        comparison = compare_reports(old, new)
+        assert not comparison.ok
+        assert any(d.metric == "cell_scans" for d in comparison.regressions)
+
+    def test_wall_clock_noise_within_threshold_passes(self):
+        old = make_report()
+        new = make_report(cases=[make_case(wall_sec=0.6)])  # +20% < 30%
+        assert compare_reports(old, new).ok
+
+    def test_threshold_override(self):
+        old = make_report()
+        new = make_report(cases=[make_case(wall_sec=0.6)])
+        comparison = compare_reports(old, new, {"wall_sec": 0.1})
+        assert not comparison.ok
+
+    def test_improvement_is_not_a_regression(self):
+        old = make_report()
+        new = make_report(cases=[make_case(wall_sec=0.25, cell_scans=800)])
+        assert compare_reports(old, new).ok
+
+    def test_missing_case_fails(self):
+        old = make_report(cases=[make_case(), make_case(case_id="uniform/default/CPM")])
+        new = make_report()
+        comparison = compare_reports(old, new)
+        assert not comparison.ok
+        assert comparison.missing_cases == ["uniform/default/CPM"]
+
+    def test_scale_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            compare_reports(make_report(scale=0.01), make_report(scale=0.02))
+
+    def test_render_mentions_regressions(self):
+        old = make_report()
+        new = make_report(cases=[make_case(cell_scans=2000)])
+        text = render_comparison(compare_reports(old, new))
+        assert "REGRESSION" in text
+        assert "cell_scans" in text
+
+
+class TestCli:
+    """Exit-code contract of ``python -m repro.perf``."""
+
+    def _write(self, path, report):
+        dump_report(report, path)
+        return str(path)
+
+    def test_compare_ok_exits_zero(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json", make_report())
+        new = self._write(tmp_path / "new.json", make_report())
+        assert perf_main(["compare", old, new]) == 0
+        assert "perf gate: OK" in capsys.readouterr().out
+
+    def test_compare_regression_exits_one(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json", make_report())
+        new = self._write(
+            tmp_path / "new.json", make_report(cases=[make_case(cell_scans=2000)])
+        )
+        assert perf_main(["compare", old, new]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_compare_warn_only_exits_zero(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json", make_report())
+        new = self._write(
+            tmp_path / "new.json", make_report(cases=[make_case(cell_scans=2000)])
+        )
+        assert perf_main(["compare", old, new, "--warn-only"]) == 0
+        assert "warn-only" in capsys.readouterr().out
+
+    def test_compare_schema_error_exits_two(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json", make_report(scale=0.01))
+        new = self._write(tmp_path / "new.json", make_report(scale=0.05))
+        assert perf_main(["compare", old, new]) == 2
+
+    def test_compare_bad_threshold_exits_two(self, tmp_path):
+        old = self._write(tmp_path / "old.json", make_report())
+        with pytest.raises(SystemExit) as exc:
+            perf_main(["compare", old, old, "--threshold", "wall_sec"])
+        assert exc.value.code == 2
+
+    def test_run_writes_valid_bench_file(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert (
+            perf_main(
+                ["run", "--scale", "0.002", "--suite", "smoke", "--quiet",
+                 "--out", str(out), "--annotate", "origin=test"]
+            )
+            == 0
+        )
+        report = load_report(out)
+        assert report.annotations["origin"] == "test"
+        assert report.cases  # every case has validated required metrics
+        # A file produced by run always passes a self-comparison.
+        assert perf_main(["compare", str(out), str(out)]) == 0
+
+
+class TestSuiteAndRunner:
+    def test_suite_case_ids_unique_and_stable(self):
+        cases = build_suite(0.01)
+        keys = [c.key for c in cases]
+        assert len(keys) == len(set(keys))
+        assert build_suite(0.01) == cases  # deterministic construction
+
+    def test_smoke_suite_is_subset(self):
+        smoke = {c.key for c in build_suite(0.01, suite="smoke")}
+        full = {c.key for c in build_suite(0.01)}
+        assert smoke <= full
+        assert len(smoke) < len(full)
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError):
+            build_suite(0.01, suite="nightly")
+
+    def test_unknown_workload_kind_rejected(self):
+        case = SuiteCase(key="x", workload="teleporting", spec=WorkloadSpec(), grid=8)
+        with pytest.raises(ValueError):
+            case.materialize()
+
+    def test_run_case_metrics_are_deterministic_counters(self):
+        case = build_suite(0.002, suite="smoke")[0]
+        workload = case.materialize()
+        first = run_case(case, workload, "CPM")
+        second = run_case(case, workload, "CPM")
+        for metric in ("cell_scans", "cell_accesses_per_query_per_ts",
+                       "objects_scanned", "results_changed"):
+            assert first.metrics[metric] == second.metrics[metric]
+
+    def test_run_suite_covers_all_algorithms(self):
+        report = run_suite(0.002, suite="smoke", algorithms=("CPM",))
+        assert report.cases
+        assert {c.algorithm for c in report.cases} == {"CPM"}
+        # Serializes cleanly through the schema layer.
+        assert BenchReport.from_dict(
+            json.loads(json.dumps(report.to_dict()))
+        ).case_ids() == report.case_ids()
+
+
+def bare_workload(n_objects=5, n_queries=0, timestamps=0):
+    spec = WorkloadSpec(
+        n_objects=n_objects, n_queries=n_queries, timestamps=timestamps, seed=3
+    )
+    return Workload(
+        spec=spec,
+        initial_objects={oid: (0.15 * (oid + 1), 0.4) for oid in range(n_objects)},
+        initial_queries={10**9 + i: (0.5, 0.5) for i in range(n_queries)},
+        batches=[UpdateBatch(timestamp=t) for t in range(timestamps)],
+    )
+
+
+class TestMonitoringServerEdges:
+    def test_zero_queries_zero_timestamps(self):
+        """The truly empty workload: nothing to install, nothing to replay."""
+        report = run_workload(CPMMonitor(cells_per_axis=8), bare_workload())
+        assert report.n_queries == 0
+        assert report.timestamps == 0
+        assert report.total_cell_scans == 0
+        assert report.cell_accesses_per_query_per_timestamp == 0.0
+        assert report.mean_cycle_sec == 0.0
+
+    def test_zero_queries_with_batches(self):
+        report = run_workload(
+            CPMMonitor(cells_per_axis=8), bare_workload(timestamps=4)
+        )
+        assert report.timestamps == 4
+        assert report.total_results_changed == 0
+        assert report.cell_accesses_per_query_per_timestamp == 0.0
+
+    def test_zero_queries_result_log_is_empty_tables(self):
+        server = MonitoringServer(
+            CPMMonitor(cells_per_axis=8),
+            bare_workload(timestamps=2),
+            collect_results=True,
+        )
+        server.run()
+        assert server.result_log == [{}, {}, {}]
+
+    def test_empty_workload_summary_keys(self):
+        report = run_workload(CPMMonitor(cells_per_axis=8), bare_workload())
+        summary = report.summary()
+        assert summary["cell_scans"] == 0.0
+        assert summary["cpu_sec"] == 0.0
+        assert set(summary) >= {"cpu_sec", "cell_scans", "install_sec"}
