@@ -48,6 +48,10 @@ from repro.mobility.network import RoadNetwork, grid_network, random_geometric_n
 from repro.mobility.uniform import UniformGenerator
 from repro.mobility.workload import Workload, WorkloadSpec
 from repro.monitor import ContinuousMonitor
+from repro.service.deltas import ResultDelta, diff_results
+from repro.service.service import MonitoringService
+from repro.service.sharding import ShardedMonitor, ShardPlan
+from repro.service.subscriptions import SubscriptionHub
 from repro.updates import (
     ObjectUpdate,
     QueryUpdate,
@@ -73,15 +77,20 @@ __all__ = [
     "GridRangeMonitor",
     "MinkowskiNNStrategy",
     "MonitoringServer",
+    "MonitoringService",
     "ObjectUpdate",
     "PointNNStrategy",
     "QueryStrategy",
     "QueryUpdate",
     "QueryUpdateKind",
     "Rect",
+    "ResultDelta",
     "RoadNetwork",
     "RunReport",
     "SeaCnnMonitor",
+    "ShardPlan",
+    "ShardedMonitor",
+    "SubscriptionHub",
     "UniformGenerator",
     "UpdateBatch",
     "Workload",
@@ -90,6 +99,7 @@ __all__ = [
     "adist",
     "analysis_model",
     "appear_update",
+    "diff_results",
     "disappear_update",
     "dist",
     "grid_network",

@@ -111,14 +111,25 @@ class BruteForceMonitor(ContinuousMonitor):
             self.install_query(qu.qid, qu.point, qu.k or 1)
             changed.add(qu.qid)
             refreshed.add(qu.qid)
+        log = self._delta_log
         for qid, query in self._queries.items():
             if qid in refreshed:
                 continue
             entries = self._evaluate(query)
             if entries != query.entries:
+                if log is not None and qid not in log:
+                    log[qid] = list(query.entries)
                 query.entries = entries
                 changed.add(qid)
         return changed
+
+    def process_deltas(
+        self,
+        object_updates: Sequence[ObjectUpdate],
+        query_updates: Sequence[QueryUpdate] = (),
+    ):
+        """Targeted-capture delta reporting (see ContinuousMonitor)."""
+        return self._process_deltas_captured(object_updates, query_updates)
 
     def _evaluate(self, query: _BruteQuery) -> list[ResultEntry]:
         strategy = query.strategy

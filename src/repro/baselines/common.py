@@ -10,6 +10,9 @@ The central piece is the two-step NN search of YPK-CNN (Figure 2.1a):
 SEA-CNN has no first-time evaluation module of its own, so — exactly as in
 the paper's experimental setup — it borrows this function for initial
 results and for recovering from disappearing neighbors.
+
+The cell-walk primitives (``ring_cells``, ``square_cells``) live in
+:mod:`repro.grid.walk` and are re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
@@ -19,33 +22,16 @@ import math
 from repro.geometry.points import Point
 from repro.grid.cell import CellCoord
 from repro.grid.grid import Grid
+from repro.grid.walk import ring_cells, square_cells
+
+__all__ = [
+    "ring_cells",
+    "square_cells",
+    "collect_cell_objects",
+    "two_step_nn_search",
+]
 
 ResultEntry = tuple[float, int]
-
-
-def ring_cells(grid: Grid, center: CellCoord, radius: int) -> list[CellCoord]:
-    """Cells at Chebyshev distance ``radius`` from ``center`` (clipped).
-
-    ``radius == 0`` yields the center cell itself.  The result is empty when
-    the whole ring falls outside the grid.
-    """
-    ci, cj = center
-    if radius == 0:
-        return [(ci, cj)] if grid.in_bounds(ci, cj) else []
-    cells: list[CellCoord] = []
-    lo_i, hi_i = ci - radius, ci + radius
-    lo_j, hi_j = cj - radius, cj + radius
-    for i in range(lo_i, hi_i + 1):
-        if grid.in_bounds(i, lo_j):
-            cells.append((i, lo_j))
-        if grid.in_bounds(i, hi_j):
-            cells.append((i, hi_j))
-    for j in range(lo_j + 1, hi_j - 1 + 1):
-        if grid.in_bounds(lo_i, j):
-            cells.append((lo_i, j))
-        if grid.in_bounds(hi_i, j):
-            cells.append((hi_i, j))
-    return cells
 
 
 def collect_cell_objects(
@@ -56,15 +42,6 @@ def collect_cell_objects(
     for i, j in cells:
         for oid, (x, y) in grid.scan(i, j).items():
             out.append((math.hypot(x - qx, y - qy), oid))
-
-
-def square_cells(grid: Grid, center_cell: CellCoord, half_side: float):
-    """Cells intersecting the square of the given half side length centered
-    at the *center of* ``center_cell`` (the paper's "centered at c_q")."""
-    x0, y0, x1, y1 = grid.cell_rect(*center_cell)
-    cx = (x0 + x1) / 2.0
-    cy = (y0 + y1) / 2.0
-    return grid.cells_in_rect(cx - half_side, cy - half_side, cx + half_side, cy + half_side)
 
 
 def two_step_nn_search(grid: Grid, q: Point, k: int) -> list[ResultEntry]:

@@ -199,9 +199,12 @@ class SeaCnnMonitor(ContinuousMonitor):
                     sc.offline = True  # force a fresh search
 
         changed: set[int] = set()
+        log = self._delta_log
         for qid, sc in scratch.items():
             query = queries[qid]
             old_entries = query.entries
+            if log is not None and qid not in log:
+                log[qid] = list(old_entries)
             if sc.offline:
                 entries = two_step_nn_search(self._grid, (query.x, query.y), query.k)
             else:
@@ -223,6 +226,14 @@ class SeaCnnMonitor(ContinuousMonitor):
             self.install_query(qu.qid, qu.point, qu.k or 1)
             changed.add(qu.qid)
         return changed
+
+    def process_deltas(
+        self,
+        object_updates: Sequence[ObjectUpdate],
+        query_updates: Sequence[QueryUpdate] = (),
+    ):
+        """Targeted-capture delta reporting (see ContinuousMonitor)."""
+        return self._process_deltas_captured(object_updates, query_updates)
 
     # ------------------------------------------------------------------
     # Internals

@@ -145,14 +145,25 @@ class YpkCnnMonitor(ContinuousMonitor):
             fresh.add(qu.qid)
 
         # Periodic re-evaluation of every other installed query.
+        log = self._delta_log
         for qid, query in self._queries.items():
             if qid in fresh:
                 continue
             new_entries = self._re_evaluate(query)
             if new_entries != query.entries:
+                if log is not None and qid not in log:
+                    log[qid] = list(query.entries)
                 query.entries = new_entries
                 changed.add(qid)
         return changed
+
+    def process_deltas(
+        self,
+        object_updates: Sequence[ObjectUpdate],
+        query_updates: Sequence[QueryUpdate] = (),
+    ):
+        """Targeted-capture delta reporting (see ContinuousMonitor)."""
+        return self._process_deltas_captured(object_updates, query_updates)
 
     def _re_evaluate(self, query: _YpkQuery) -> list[ResultEntry]:
         """Figure 2.1b: bound the search by the furthest previous neighbor."""

@@ -20,10 +20,10 @@ new and the old value of ``best_dist``" of Section 3.3, made explicit.
 
 from __future__ import annotations
 
-from bisect import bisect_right, insort
+from bisect import bisect_right
 
 from repro.core.heap import SearchHeap
-from repro.core.neighbors import NeighborList
+from repro.core.neighbors import NeighborList, ResultEntry
 from repro.core.partition import ConceptualPartition
 from repro.core.strategies import PointNNStrategy, QueryStrategy
 from repro.grid.cell import CellCoord
@@ -186,18 +186,23 @@ class CycleScratch:
     objects at all.
     """
 
-    __slots__ = ("in_list", "out_count", "touched")
+    __slots__ = ("before", "in_list", "out_count", "touched")
 
     def __init__(self, k: int) -> None:
         self.out_count = 0
         # "we do not need more than the k best incomers in any case"
         self.in_list = NeighborList(k)
         self.touched = False
+        #: the query's result at the start of the cycle, captured at
+        #: scratch acquisition (before the first NN-list mutation); the
+        #: exact reference for change detection and delta reporting.
+        self.before: list[ResultEntry] | None = None
 
     def reset(self, k: int) -> None:
         """Recycle this scratch for a (possibly different) query."""
         self.out_count = 0
         self.touched = False
+        self.before = None
         self.in_list.reconfigure(k)
 
     def note_incomer(self, dist: float, oid: int) -> None:
@@ -216,4 +221,5 @@ class CycleScratch:
         self.out_count += 1
 
     def note_reorder(self) -> None:
+        """A NN moved within ``best_dist`` (its distance was re-keyed)."""
         self.touched = True

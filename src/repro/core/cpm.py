@@ -400,14 +400,34 @@ class CPMMonitor(ContinuousMonitor):
     # Update handling (Figures 3.8 and 3.9)
     # ------------------------------------------------------------------
 
-    def _acquire_scratch(self, k: int) -> CycleScratch:
-        """Pooled CycleScratch (recycled across cycles, see Figure 3.8)."""
+    def _acquire_scratch(self, state: QueryState) -> CycleScratch:
+        """Pooled CycleScratch (recycled across cycles, see Figure 3.8).
+
+        Scratch acquisition is the first touch of a query within a cycle
+        and always precedes the first mutation of its NN list, so this is
+        where the pre-cycle result is captured — the exact reference for
+        change detection (``CycleScratch.before``) and delta reporting.
+        """
         pool = self._scratch_pool
         if pool:
             sc = pool.pop()
-            sc.reset(k)
-            return sc
-        return CycleScratch(k)
+            sc.reset(state.k)
+        else:
+            sc = CycleScratch(state.k)
+        before = state.nn.entries()
+        sc.before = before
+        log = self._delta_log
+        if log is not None and state.qid not in log:
+            log[state.qid] = before
+        return sc
+
+    def process_deltas(
+        self,
+        object_updates: Sequence[ObjectUpdate],
+        query_updates: Sequence[QueryUpdate] = (),
+    ):
+        """Targeted-capture delta reporting: only touched queries pay."""
+        return self._process_deltas_captured(object_updates, query_updates)
 
     def process(
         self,
@@ -488,7 +508,7 @@ class CPMMonitor(ContinuousMonitor):
                                 d = state.strategy.dist(nx, ny) if ok else 0.0
                             if oid in state.nn._dists:
                                 if sc is None:
-                                    sc = scratch[qid] = self._acquire_scratch(state.k)
+                                    sc = scratch[qid] = self._acquire_scratch(state)
                                 if ok and d <= state.best_dist:
                                     # p remains in the NN set; update order.
                                     state.nn.update_dist(oid, d)
@@ -503,7 +523,7 @@ class CPMMonitor(ContinuousMonitor):
                                 if ok and d <= state.best_dist:
                                     if sc is None:
                                         sc = scratch[qid] = self._acquire_scratch(
-                                            state.k
+                                            state
                                         )
                                     sc.note_incomer(d, oid)
                     continue
@@ -518,7 +538,7 @@ class CPMMonitor(ContinuousMonitor):
                         sc = scratch_get(qid)
                         if oid in state.nn._dists:
                             if sc is None:
-                                sc = scratch[qid] = self._acquire_scratch(state.k)
+                                sc = scratch[qid] = self._acquire_scratch(state)
                             if state.is_point:
                                 d = hypot(nx - state.qx, ny - state.qy)
                                 ok = True
@@ -557,7 +577,7 @@ class CPMMonitor(ContinuousMonitor):
                         if d <= state.best_dist:
                             sc = scratch_get(qid)
                             if sc is None:
-                                sc = scratch[qid] = self._acquire_scratch(state.k)
+                                sc = scratch[qid] = self._acquire_scratch(state)
                             sc.note_incomer(d, oid)
                 continue
             if old is not None:
@@ -573,7 +593,7 @@ class CPMMonitor(ContinuousMonitor):
                         sc = scratch_get(qid)
                         if oid in state.nn._dists:
                             if sc is None:
-                                sc = scratch[qid] = self._acquire_scratch(state.k)
+                                sc = scratch[qid] = self._acquire_scratch(state)
                             state.nn.remove(oid)
                             sc.note_outgoing()
                         elif sc is not None and oid in sc.in_list._dists:
@@ -604,16 +624,18 @@ class CPMMonitor(ContinuousMonitor):
                     if d <= state.best_dist:
                         sc = scratch_get(qid)
                         if sc is None:
-                            sc = scratch[qid] = self._acquire_scratch(state.k)
+                            sc = scratch[qid] = self._acquire_scratch(state)
                         sc.note_incomer(d, oid)
 
         changed: set[int] = set()
         for qid, sc in scratch.items():
             if sc.touched:
                 state = queries[qid]
-                before = state.nn.entries() if sc.out_count == 0 else None
                 self._finalize_query(state, sc)
-                if before is None or state.nn.entries() != before:
+                # Exact change detection against the pre-cycle result: a
+                # NN that leaves and returns (or re-keys back) to the same
+                # distance within one cycle is correctly a no-op.
+                if state.nn.entries() != sc.before:
                     changed.add(qid)
         self._scratch_pool.extend(scratch.values())
 

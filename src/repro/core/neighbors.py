@@ -105,8 +105,14 @@ class NeighborList:
         return False
 
     def update_dist(self, oid: int, new_dist: float) -> None:
-        """Re-key a member after it moved ("update the order in best_NN")."""
+        """Re-key a member after it moved ("update the order in best_NN").
+
+        An unchanged distance (the object slid along an iso-distance
+        circle) skips the remove/insort pair outright.
+        """
         old = self._dists[oid]
+        if old == new_dist:
+            return
         self._entries.remove((old, oid))
         insort(self._entries, (new_dist, oid))
         self._dists[oid] = new_dist

@@ -4,6 +4,13 @@ Mirrors the paper's simulation loop: load the initial object population,
 install the queries, then — for every timestamp — hand the cycle's object
 and query updates to the monitoring algorithm, measure the processing time
 with ``time.perf_counter`` and snapshot the grid counters.
+
+Since the service-layer refactor the server is a thin adapter over
+:class:`repro.service.service.MonitoringService`: replay drives the
+service's ``tick`` so the same loop transparently feeds delta subscribers
+(pass a service with a populated hub, or subscribe through
+``server.service``), works against a sharded monitor, and still reports
+the exact :class:`RunReport`/:class:`CycleMetrics` surface it always did.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from collections.abc import Callable
 from repro.engine.metrics import CycleMetrics, RunReport
 from repro.mobility.workload import Workload
 from repro.monitor import ContinuousMonitor, ResultEntry
+from repro.service.service import MonitoringService
 
 
 class MonitoringServer:
@@ -24,6 +32,9 @@ class MonitoringServer:
         workload: the materialized update stream.
         collect_results: when true, every cycle's full result table is
             recorded (needed by the equivalence tests; costs memory).
+        service: optional pre-built :class:`MonitoringService` wrapping
+            ``monitor`` (to reuse an existing subscription hub); built on
+            the fly otherwise.
     """
 
     def __init__(
@@ -32,7 +43,13 @@ class MonitoringServer:
         workload: Workload,
         *,
         collect_results: bool = False,
+        service: MonitoringService | None = None,
     ) -> None:
+        if service is None:
+            service = MonitoringService(monitor)
+        elif service.monitor is not monitor:
+            raise ValueError("service wraps a different monitor instance")
+        self.service = service
         self.monitor = monitor
         self.workload = workload
         self.collect_results = collect_results
@@ -45,6 +62,7 @@ class MonitoringServer:
     ) -> RunReport:
         """Replay the full workload; returns the aggregated report."""
         monitor = self.monitor
+        service = self.service
         workload = self.workload
         report = RunReport(
             algorithm=monitor.name, n_queries=len(workload.initial_queries)
@@ -54,17 +72,17 @@ class MonitoringServer:
         monitor.reset_stats()
         t0 = time.perf_counter()
         for qid, point in workload.initial_queries.items():
-            monitor.install_query(qid, point, workload.spec.k)
+            service.install_query(qid, point, workload.spec.k)
         report.install_sec = time.perf_counter() - t0
         report.install_stats = monitor.stats.snapshot()
 
         if self.collect_results:
-            self.result_log.append(self._snapshot_results())
+            self.result_log.append(monitor.result_table())
 
         for batch in workload.batches:
             monitor.reset_stats()
             t0 = time.perf_counter()
-            changed = monitor.process(batch.object_updates, batch.query_updates)
+            changed = service.tick_batch(batch)
             elapsed = time.perf_counter() - t0
             metrics = CycleMetrics(
                 timestamp=batch.timestamp,
@@ -76,13 +94,10 @@ class MonitoringServer:
             )
             report.cycles.append(metrics)
             if self.collect_results:
-                self.result_log.append(self._snapshot_results())
+                self.result_log.append(monitor.result_table())
             if on_cycle is not None:
                 on_cycle(metrics)
         return report
-
-    def _snapshot_results(self) -> dict[int, list[ResultEntry]]:
-        return {qid: self.monitor.result(qid) for qid in self.monitor.query_ids()}
 
 
 def run_workload(

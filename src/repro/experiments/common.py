@@ -14,15 +14,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.baselines.sea import SeaCnnMonitor
-from repro.baselines.ypk import YpkCnnMonitor
-from repro.core.cpm import CPMMonitor
 from repro.engine.metrics import RunReport
 from repro.engine.server import run_workload
 from repro.mobility.brinkhoff import BrinkhoffGenerator
 from repro.mobility.network import RoadNetwork, grid_network
 from repro.mobility.workload import Workload, WorkloadSpec
 from repro.monitor import ContinuousMonitor
+from repro.service.sharding import ShardEngineFactory
 
 #: default downscaling of the paper's experiment sizes (see EXPERIMENTS.md).
 DEFAULT_SCALE = 0.05
@@ -89,14 +87,13 @@ def make_workload(spec: WorkloadSpec, network: RoadNetwork | None = None) -> Wor
 def build_monitor(
     algorithm: str, cells_per_axis: int, bounds=(0.0, 0.0, 1.0, 1.0)
 ) -> ContinuousMonitor:
-    """Instantiate a monitoring algorithm by name."""
-    if algorithm == "CPM":
-        return CPMMonitor(cells_per_axis, bounds=bounds)
-    if algorithm == "YPK-CNN":
-        return YpkCnnMonitor(cells_per_axis, bounds=bounds)
-    if algorithm == "SEA-CNN":
-        return SeaCnnMonitor(cells_per_axis, bounds=bounds)
-    raise ValueError(f"unknown algorithm {algorithm!r}")
+    """Instantiate a monitoring algorithm by name.
+
+    Delegates to :class:`repro.service.sharding.ShardEngineFactory` so the
+    experiment drivers and the shard service share one name-to-engine
+    mapping.
+    """
+    return ShardEngineFactory(cells_per_axis, bounds, algorithm)()
 
 
 @dataclass(slots=True)

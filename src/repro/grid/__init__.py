@@ -21,5 +21,6 @@ the moving objects with a regular grid of cells with side ``delta``
 from repro.grid.cell import CellCoord
 from repro.grid.grid import Grid
 from repro.grid.stats import GridStats
+from repro.grid.walk import ring_cells, square_cells
 
-__all__ = ["CellCoord", "Grid", "GridStats"]
+__all__ = ["CellCoord", "Grid", "GridStats", "ring_cells", "square_cells"]

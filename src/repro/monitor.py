@@ -17,6 +17,7 @@ from collections.abc import Iterable, Sequence
 
 from repro.geometry.points import Point
 from repro.grid.stats import GridStats
+from repro.service.deltas import ResultDelta, diff_results
 from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind, UpdateBatch
 
 ResultEntry = tuple[float, int]
@@ -65,6 +66,10 @@ class ContinuousMonitor(ABC):
     def query_ids(self) -> list[int]:
         """Ids of all currently registered queries."""
 
+    def result_table(self) -> dict[int, list[ResultEntry]]:
+        """Full ``{qid: result}`` snapshot of every registered query."""
+        return {qid: self.result(qid) for qid in self.query_ids()}
+
     # ------------------------------------------------------------------
     # Stream processing
     # ------------------------------------------------------------------
@@ -81,6 +86,78 @@ class ContinuousMonitor(ABC):
     def process_batch(self, batch: UpdateBatch) -> set[int]:
         """Process a packaged :class:`repro.updates.UpdateBatch`."""
         return self.process(batch.object_updates, batch.query_updates)
+
+    # ------------------------------------------------------------------
+    # Delta reporting
+    # ------------------------------------------------------------------
+
+    #: when a capture-aware ``process`` implementation sees this dict it
+    #: records, once per query, the query's *pre-cycle* result under its
+    #: qid at the moment the query is first touched (see
+    #: :meth:`_process_deltas_captured`).  ``None`` disables capture.
+    _delta_log: dict[int, list[ResultEntry]] | None = None
+
+    def process_deltas(
+        self,
+        object_updates: Sequence[ObjectUpdate],
+        query_updates: Sequence[QueryUpdate] = (),
+    ) -> dict[int, ResultDelta]:
+        """Process one cycle and report structured per-query result deltas.
+
+        The returned mapping holds one :class:`ResultDelta` for every query
+        whose result changed (the keys match :meth:`process`'s return set)
+        plus a ``terminated`` delta for every query removed this cycle.
+
+        This base implementation snapshots the full result table around
+        :meth:`process` — correct for any monitor, O(n) per cycle.  The
+        built-in monitors override it with targeted capture that only pays
+        for the touched queries.
+        """
+        before = self.result_table()
+        changed = self.process(object_updates, query_updates)
+        deltas: dict[int, ResultDelta] = {}
+        for qid in changed:
+            deltas[qid] = diff_results(qid, before.get(qid, []), self.result(qid))
+        live = set(self.query_ids())
+        for qid in before.keys() - live:
+            deltas[qid] = diff_results(qid, before[qid], [], terminated=True)
+        return deltas
+
+    def _process_deltas_captured(
+        self,
+        object_updates: Sequence[ObjectUpdate],
+        query_updates: Sequence[QueryUpdate] = (),
+    ) -> dict[int, ResultDelta]:
+        """Shared targeted-capture implementation of :meth:`process_deltas`.
+
+        Monitors whose ``process`` feeds :attr:`_delta_log` (recording each
+        touched query's pre-cycle result before its first mutation) call
+        this helper; it pre-captures the queries receiving query updates
+        (their results change through remove/install, not through object
+        handling), runs the cycle, and diffs.
+        """
+        if self._delta_log is not None:
+            raise RuntimeError("process_deltas is not re-entrant")
+        before: dict[int, list[ResultEntry]] = {}
+        installed = set(self.query_ids())
+        for qu in query_updates:
+            if qu.qid in installed and qu.qid not in before:
+                before[qu.qid] = self.result(qu.qid)
+        self._delta_log = before
+        try:
+            changed = self.process(object_updates, query_updates)
+        finally:
+            self._delta_log = None
+        deltas: dict[int, ResultDelta] = {}
+        for qid in changed:
+            deltas[qid] = diff_results(qid, before.get(qid, []), self.result(qid))
+        live = set(self.query_ids())
+        for qu in query_updates:
+            if qu.kind is QueryUpdateKind.TERMINATE and qu.qid not in live:
+                deltas[qu.qid] = diff_results(
+                    qu.qid, before.get(qu.qid, []), [], terminated=True
+                )
+        return deltas
 
     # ------------------------------------------------------------------
     # Metrics

@@ -273,6 +273,7 @@ class NdCPMMonitor:
                     if oid in state.nn:
                         if sc is None:
                             sc = scratch[qid] = CycleScratch(state.k)
+                            sc.before = state.nn.entries()
                         if new is not None:
                             d = math.dist(new, state.point)
                             if d <= state.best_dist:
@@ -296,6 +297,7 @@ class NdCPMMonitor:
                         sc = scratch.get(qid)
                         if sc is None:
                             sc = scratch[qid] = CycleScratch(state.k)
+                            sc.before = state.nn.entries()
                         sc.note_incomer(d, oid)
             else:
                 self._positions.pop(oid, None)
@@ -305,13 +307,14 @@ class NdCPMMonitor:
             if not sc.touched:
                 continue
             state = queries[qid]
-            before = state.nn.entries() if sc.out_count == 0 else None
             if len(sc.in_list) >= sc.out_count:
                 state.nn.replace(state.nn.entries() + sc.in_list.entries())
                 state.best_dist = state.nn.kth_dist
                 self._reconcile_marks(state, processed_upto=state.marked_upto)
             else:
                 self._recompute(state)
-            if before is None or state.nn.entries() != before:
+            # Exact change detection against the pre-cycle result captured
+            # at scratch creation (same semantics as the 2-D engine).
+            if state.nn.entries() != sc.before:
                 changed.add(qid)
         return changed

@@ -14,6 +14,12 @@ Gate a change against a baseline::
     PYTHONPATH=src python -m repro.perf compare old.json new.json --warn-only \
         --threshold wall_sec=0.5
 
+CI enforces the deterministic counters while treating wall-clock as
+advisory (``--warn-noisy`` = ``--warn-metric`` for each of wall_sec,
+process_sec and peak_rss_kb)::
+
+    PYTHONPATH=src python -m repro.perf compare old.json new.json --warn-noisy
+
 Exit codes: 0 = ok, 1 = perf regression, 2 = unusable input (schema or
 scale mismatch, bad threshold spec).
 """
@@ -24,7 +30,7 @@ import argparse
 import os
 import sys
 
-from repro.perf.compare import compare_reports, render_comparison
+from repro.perf.compare import NOISY_METRICS, compare_reports, render_comparison
 from repro.perf.runner import run_suite
 from repro.perf.schema import SchemaError, dump_report, load_report
 
@@ -121,6 +127,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report regressions but always exit 0 (CI bring-up mode)",
     )
     cmp_parser.add_argument(
+        "--warn-metric",
+        action="append",
+        default=[],
+        metavar="METRIC",
+        help="demote one metric to advisory: its regressions are reported "
+        "but do not fail the gate (repeatable)",
+    )
+    cmp_parser.add_argument(
+        "--warn-noisy",
+        action="store_true",
+        help=f"demote the noisy metrics ({', '.join(NOISY_METRICS)}) to "
+        "advisory, keeping the deterministic counters enforcing",
+    )
+    cmp_parser.add_argument(
         "--verbose", action="store_true", help="list every compared metric"
     )
     return parser
@@ -151,10 +171,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    warn_metrics = set(args.warn_metric)
+    if args.warn_noisy:
+        warn_metrics.update(NOISY_METRICS)
     try:
         old = load_report(args.old)
         new = load_report(args.new)
-        comparison = compare_reports(old, new, _parse_thresholds(args.threshold))
+        comparison = compare_reports(
+            old, new, _parse_thresholds(args.threshold), warn_metrics=warn_metrics
+        )
     except SchemaError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -4,17 +4,25 @@
 flags every metric whose *increase* exceeds its threshold (all suite
 metrics are costs — lower is better).  Deterministic counters (cell scans)
 carry tight thresholds; wall-clock carries a loose one because CI machines
-are noisy.  The exit code is the contract:
+are noisy.
 
-* ``0`` — no regression (or ``--warn-only``);
-* ``1`` — at least one metric regressed past its threshold, or a baseline
-  case disappeared from the new run;
+Metrics can additionally be demoted to *advisory* (``--warn-metric`` /
+``warn_metrics``): their regressions are reported as warnings but do not
+fail the gate.  CI runs with the wall-clock metrics advisory and the
+deterministic counters enforcing — the counters are byte-exact for a fixed
+workload, so any growth there is a real algorithmic regression regardless
+of runner noise.  The exit code is the contract:
+
+* ``0`` — no enforced regression (or ``--warn-only``);
+* ``1`` — at least one enforced metric regressed past its threshold, or a
+  baseline case disappeared from the new run;
 * ``2`` — the files could not be compared at all (schema mismatch,
   different scale or suite).
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.perf.schema import BenchReport, SchemaError
@@ -36,6 +44,10 @@ DEFAULT_THRESHOLDS: dict[str, float] = {
 #: near-zero baselines are meaningless noise).
 _MIN_BASELINE = {"wall_sec": 1e-3, "process_sec": 1e-3}
 
+#: the wall-clock/RSS metrics CI demotes to advisory (runner noise); the
+#: remaining suite metrics are deterministic counters and stay enforced.
+NOISY_METRICS = ("wall_sec", "process_sec", "peak_rss_kb")
+
 
 @dataclass(slots=True)
 class Delta:
@@ -46,6 +58,8 @@ class Delta:
     old: float
     new: float
     threshold: float
+    #: advisory deltas report but never fail the gate.
+    advisory: bool = False
 
     @property
     def ratio(self) -> float:
@@ -71,7 +85,13 @@ class Comparison:
 
     @property
     def regressions(self) -> list[Delta]:
-        return [d for d in self.deltas if d.regressed]
+        """Enforced regressions (they fail the gate)."""
+        return [d for d in self.deltas if d.regressed and not d.advisory]
+
+    @property
+    def warnings(self) -> list[Delta]:
+        """Advisory regressions (reported, never failing)."""
+        return [d for d in self.deltas if d.regressed and d.advisory]
 
     @property
     def ok(self) -> bool:
@@ -82,6 +102,7 @@ def compare_reports(
     old: BenchReport,
     new: BenchReport,
     thresholds: dict[str, float] | None = None,
+    warn_metrics: Iterable[str] = (),
 ) -> Comparison:
     """Diff ``new`` against the ``old`` baseline.
 
@@ -100,6 +121,7 @@ def compare_reports(
     limits = dict(DEFAULT_THRESHOLDS)
     if thresholds:
         limits.update(thresholds)
+    advisory = frozenset(warn_metrics)
 
     new_by_id = {case.case_id: case for case in new.cases}
     deltas: list[Delta] = []
@@ -119,6 +141,7 @@ def compare_reports(
                     old=float(old_case.metrics[metric]),
                     new=float(new_case.metrics[metric]),
                     threshold=threshold,
+                    advisory=metric in advisory,
                 )
             )
     return Comparison(
@@ -130,12 +153,13 @@ def render_comparison(comparison: Comparison, *, verbose: bool = False) -> str:
     """Human-readable diff summary (regressions always listed)."""
     lines: list[str] = []
     regressions = comparison.regressions
+    warnings = comparison.warnings
     improvements = [
         d for d in comparison.deltas if not d.regressed and d.ratio < 1.0 - d.threshold
     ]
     lines.append(
         f"compared {len(comparison.deltas)} metric pairs: "
-        f"{len(regressions)} regression(s), "
+        f"{len(regressions)} regression(s), {len(warnings)} warning(s), "
         f"{len(improvements)} improvement(s) beyond threshold"
     )
     for delta in regressions:
@@ -144,13 +168,20 @@ def render_comparison(comparison: Comparison, *, verbose: bool = False) -> str:
             f"{delta.old:g} -> {delta.new:g} "
             f"({(delta.ratio - 1.0) * 100.0:+.1f}%, limit +{delta.threshold * 100:.0f}%)"
         )
+    for delta in warnings:
+        lines.append(
+            f"  WARNING {delta.case_id} {delta.metric}: "
+            f"{delta.old:g} -> {delta.new:g} "
+            f"({(delta.ratio - 1.0) * 100.0:+.1f}%, limit +{delta.threshold * 100:.0f}%, "
+            "advisory)"
+        )
     for case_id in comparison.missing_cases:
         lines.append(f"  MISSING baseline case disappeared: {case_id}")
     for case_id in comparison.new_cases:
         lines.append(f"  NEW case without baseline: {case_id}")
     shown = improvements if not verbose else comparison.deltas
     for delta in shown:
-        if delta in regressions:
+        if delta.regressed:
             continue
         lines.append(
             f"  {'improved' if delta.ratio < 1.0 else 'ok':>8} "

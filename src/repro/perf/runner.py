@@ -25,8 +25,10 @@ from collections.abc import Callable
 from repro.engine.server import run_workload
 from repro.experiments.common import build_monitor
 from repro.mobility.workload import Workload
+from repro.monitor import ContinuousMonitor
 from repro.perf.schema import BenchCase, BenchReport, environment_info
 from repro.perf.suite import ALGORITHMS, SuiteCase, build_suite
+from repro.service.sharding import ShardedMonitor
 
 try:  # pragma: no cover - platform probe
     import resource
@@ -47,6 +49,17 @@ def peak_rss_kb() -> int:
     return raw
 
 
+def _case_monitor(
+    case: SuiteCase, algorithm: str, bounds: tuple[float, float, float, float]
+) -> ContinuousMonitor:
+    """The monitor under test: bare algorithm or sharded service."""
+    if case.shards:
+        return ShardedMonitor(
+            case.shards, case.grid, bounds=bounds, algorithm=algorithm
+        )
+    return build_monitor(algorithm, case.grid, bounds=bounds)
+
+
 def run_case(
     case: SuiteCase,
     workload: Workload,
@@ -57,7 +70,7 @@ def run_case(
     best_wall = float("inf")
     report = None
     for _ in range(max(1, repeats)):
-        monitor = build_monitor(algorithm, case.grid, bounds=workload.spec.bounds)
+        monitor = _case_monitor(case, algorithm, workload.spec.bounds)
         gc.collect()
         t0 = time.perf_counter()
         candidate = run_workload(monitor, workload)
@@ -78,6 +91,7 @@ def run_case(
             "grid": case.grid,
             "timestamps": spec.timestamps,
             "seed": spec.seed,
+            "shards": case.shards,
         },
         metrics={
             "wall_sec": round(best_wall, 6),
@@ -113,7 +127,14 @@ def run_suite(
     )
     for case in build_suite(scale, suite=suite):
         workload = case.materialize()
-        for algorithm in algorithms:
+        # Shard-scaling cases measure the service layer around one engine;
+        # sweeping every baseline there would triple the suite for no
+        # extra signal.  They still honour the caller's algorithm filter.
+        if case.shards:
+            case_algorithms = ("CPM",) if "CPM" in algorithms else ()
+        else:
+            case_algorithms = algorithms
+        for algorithm in case_algorithms:
             row = run_case(case, workload, algorithm, repeats=repeats)
             report.cases.append(row)
             if progress is not None:

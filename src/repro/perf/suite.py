@@ -12,7 +12,11 @@ algorithm.  The cases mirror the paper's evaluation axes at a configurable
 * ``k_sweep``       — the Figure 6.3 result-cardinality sweep;
 * ``uniform``       — the Section 4.1 analysis setting (uniform random
   displacement);
-* ``skewed``        — the adversarial Gaussian-hotspot workload.
+* ``skewed``        — the adversarial Gaussian-hotspot workload;
+* ``shard_scaling`` — the service-layer sharding sweep: the Figure 6.2
+  defaults workload replayed into a ``repro.service`` sharded CPM monitor
+  at S ∈ {1, 2, 4, 8} shards (serial executor, so the metric isolates
+  partitioning/service overhead; S=1 measures the pure adapter cost).
 
 Workload materialization is deterministic (fixed seed per case), so two
 runs of the same suite at the same scale replay byte-identical update
@@ -41,15 +45,27 @@ K_SWEEP = (4, 16, 64)
 #: default RNG seed of the suite (the paper's publication year).
 SUITE_SEED = 2005
 
+#: shard counts of the service-layer scaling scenario (Figure 6.2 defaults).
+SHARD_SCALING = (1, 2, 4, 8)
+
+#: the cheap subset of the shard sweep exercised by the smoke suite.
+SHARD_SCALING_SMOKE = (1, 4)
+
 
 @dataclass(slots=True, frozen=True)
 class SuiteCase:
-    """One workload case (replayed once per algorithm)."""
+    """One workload case (replayed once per algorithm).
+
+    ``shards > 0`` marks a service-layer case: the workload is replayed
+    into a :class:`repro.service.sharding.ShardedMonitor` with that many
+    shards (CPM engines, serial executor) instead of a bare algorithm.
+    """
 
     key: str
     workload: str  # "network" | "uniform" | "skewed"
     spec: WorkloadSpec
     grid: int
+    shards: int = 0
 
     def materialize(self) -> Workload:
         if self.workload == "network":
@@ -66,7 +82,7 @@ def _dedup(cases: list[SuiteCase]) -> list[SuiteCase]:
     seen: set[tuple] = set()
     out: list[SuiteCase] = []
     for case in cases:
-        signature = (case.workload, case.spec, case.grid)
+        signature = (case.workload, case.spec, case.grid, case.shards)
         if signature in seen:
             continue
         seen.add(signature)
@@ -136,4 +152,19 @@ def build_suite(
     cases.append(
         SuiteCase(key="skewed/default", workload="skewed", spec=default, grid=grid)
     )
+    # Service-layer shard scaling over the defaults workload.  The shard
+    # count is clamped to the grid's column count (tiny smoke grids).
+    shard_counts = SHARD_SCALING if suite == "full" else SHARD_SCALING_SMOKE
+    for n_shards in shard_counts:
+        if n_shards > grid:
+            continue
+        cases.append(
+            SuiteCase(
+                key=f"shard_scaling/S={n_shards}",
+                workload="network",
+                spec=default,
+                grid=grid,
+                shards=n_shards,
+            )
+        )
     return _dedup(cases)

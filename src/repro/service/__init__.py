@@ -1,0 +1,48 @@
+"""The monitoring service layer: sharding, delta streaming, execution.
+
+Layered on top of the single-engine monitors (:mod:`repro.core.cpm` and
+the baselines), this package scales the library toward a serving system:
+
+* :mod:`repro.service.deltas` — structured per-query result deltas (the
+  incremental contract extension of :class:`repro.monitor.ContinuousMonitor`);
+* :mod:`repro.service.subscriptions` — callback-based delta streaming;
+* :mod:`repro.service.sharding` — the space-partitioned multi-shard
+  monitor (``ShardPlan`` + ``ShardedMonitor``);
+* :mod:`repro.service.executor` — pluggable shard executors (serial and
+  ``multiprocessing``-backed);
+* :mod:`repro.service.service` — the cycle-driven facade the replay
+  engine (:mod:`repro.engine.server`) adapts to.
+
+Submodules are imported lazily (PEP 562) so that :mod:`repro.monitor` can
+depend on :mod:`repro.service.deltas` without an import cycle.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "ResultDelta": "repro.service.deltas",
+    "diff_results": "repro.service.deltas",
+    "Subscription": "repro.service.subscriptions",
+    "SubscriptionHub": "repro.service.subscriptions",
+    "ShardPlan": "repro.service.sharding",
+    "ShardedMonitor": "repro.service.sharding",
+    "ShardEngineFactory": "repro.service.sharding",
+    "SerialShardExecutor": "repro.service.executor",
+    "ProcessShardExecutor": "repro.service.executor",
+    "MonitoringService": "repro.service.service",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,95 @@
+"""Structured per-query result deltas.
+
+The CPM engine is inherently incremental: each cycle it touches only the
+queries whose books changed.  The delta layer exposes that incrementality
+at the API surface — instead of snapshotting full result tables, a cycle
+reports, per affected query, which neighbors *entered* the result, which
+*left* it, and whether the surviving neighbors were merely re-ordered by
+their own movement.  Result streaming (``repro.service.subscriptions``)
+ships these deltas to subscribers; a client holding the previous result
+can reconstruct the new one from the delta alone (and the full table is
+carried along for clients that prefer absolute state).
+
+Deltas follow the library-wide result convention: entries are
+``(distance, object_id)`` pairs sorted ascending by ``(distance, oid)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ResultEntry = tuple[float, int]
+
+
+@dataclass(frozen=True, slots=True)
+class ResultDelta:
+    """The change of one query's k-NN result over one processing cycle.
+
+    Attributes:
+        qid: the query id.
+        incoming: entries present in the new result but not the old one
+            (new-result distances), ascending.
+        outgoing: entries present in the old result but not the new one
+            (old-result distances), ascending.
+        reordered: true when at least one *surviving* neighbor changed its
+            distance (the common "NN set stable, order shuffled" cycle).
+        result: the full new result table (ascending ``(dist, oid)``).
+        terminated: true when the query was terminated this cycle; the
+            delta then drains the old result (``outgoing`` = old entries,
+            ``result`` empty).
+    """
+
+    qid: int
+    incoming: tuple[ResultEntry, ...]
+    outgoing: tuple[ResultEntry, ...]
+    reordered: bool
+    result: tuple[ResultEntry, ...]
+    terminated: bool = False
+
+    @property
+    def changed(self) -> bool:
+        """Whether the result actually differs from the previous cycle."""
+        return bool(
+            self.incoming or self.outgoing or self.reordered or self.terminated
+        )
+
+    def apply_to(self, old: list[ResultEntry]) -> list[ResultEntry]:
+        """Reconstruct the new result from the previous one (client side).
+
+        ``reordered`` survivors carry fresh distances, so reconstruction
+        takes the authoritative distances from :attr:`result`; this method
+        exists to *verify* delta consistency (tests, paranoid clients).
+        """
+        outgoing_ids = {oid for _d, oid in self.outgoing}
+        survivors = [e for e in old if e[1] not in outgoing_ids]
+        if len(survivors) + len(self.incoming) != len(self.result):
+            raise ValueError(f"delta for query {self.qid} does not fit the old result")
+        return list(self.result)
+
+
+def diff_results(
+    qid: int,
+    old: list[ResultEntry] | tuple[ResultEntry, ...],
+    new: list[ResultEntry] | tuple[ResultEntry, ...],
+    *,
+    terminated: bool = False,
+) -> ResultDelta:
+    """Compute the :class:`ResultDelta` between two result tables."""
+    old_ids = {oid for _d, oid in old}
+    new_ids = {oid for _d, oid in new}
+    incoming = tuple(e for e in new if e[1] not in old_ids)
+    outgoing = tuple(e for e in old if e[1] not in new_ids)
+    # A survivor whose distance changed re-sorts the list: compare the
+    # surviving sub-sequences rather than positions (an incomer shifts
+    # positions without any survivor having moved).
+    reordered = [e for e in old if e[1] in new_ids] != [
+        e for e in new if e[1] in old_ids
+    ]
+    return ResultDelta(
+        qid=qid,
+        incoming=incoming,
+        outgoing=outgoing,
+        reordered=reordered,
+        result=tuple(new),
+        terminated=terminated,
+    )

@@ -1,0 +1,231 @@
+"""Pluggable shard executors.
+
+A :class:`repro.service.sharding.ShardedMonitor` drives its per-shard
+engines through an executor.  The executor owns the engine *instances*
+(they may live in worker processes) and exposes a uniform command surface:
+``call`` (one shard) and ``call_all`` (every shard, one argument tuple
+each).  Every command returns ``(payload, stats)`` where ``stats`` is the
+:class:`repro.grid.stats.GridStats` delta accumulated by the shard engine
+while executing the command — the sharded monitor folds these into its
+aggregate counters so the engine-facing accounting (cell scans etc.) stays
+exact regardless of where the shards run.
+
+Two implementations:
+
+* :class:`SerialShardExecutor` — engines live in-process, commands run
+  sequentially.  Zero overhead, fully deterministic; the default.
+* :class:`ProcessShardExecutor` — one ``multiprocessing`` worker process
+  per shard, commands fan out over pipes and ``call_all`` overlaps the
+  per-shard work across cores.  Engines are built inside the workers from
+  a picklable factory; command payloads (update batches, result lists)
+  are plain picklable values.
+
+Executors are context managers; :class:`ProcessShardExecutor` must be
+closed (or used via ``with``) to reap its workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+
+from repro.grid.stats import GridStats
+from repro.monitor import ContinuousMonitor
+
+#: a picklable zero-argument callable returning a fresh shard engine.
+ShardFactory = Callable[[], ContinuousMonitor]
+
+
+def _execute(
+    monitor: ContinuousMonitor, method: str, args: tuple
+) -> tuple[object, GridStats]:
+    """Run one command against a shard engine, measuring its stats delta."""
+    monitor.stats.reset()
+    payload = getattr(monitor, method)(*args)
+    return payload, monitor.stats.snapshot()
+
+
+class ShardExecutor(ABC):
+    """Uniform command surface over a fleet of shard engines."""
+
+    @abstractmethod
+    def start(self, factories: Sequence[ShardFactory]) -> None:
+        """Build one engine per factory (idempotent start-once)."""
+
+    @abstractmethod
+    def call(self, shard: int, method: str, *args) -> tuple[object, GridStats]:
+        """Run ``engine.<method>(*args)`` on one shard."""
+
+    @abstractmethod
+    def call_all(
+        self, method: str, args_per_shard: Sequence[tuple]
+    ) -> list[tuple[object, GridStats]]:
+        """Run ``engine.<method>(*args)`` on every shard (one args tuple
+        per shard, in shard order); returns payload/stats pairs in shard
+        order."""
+
+    def close(self) -> None:
+        """Release engines/workers (idempotent)."""
+
+    @property
+    @abstractmethod
+    def n_shards(self) -> int:
+        """Number of started shards (0 before :meth:`start`)."""
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class SerialShardExecutor(ShardExecutor):
+    """In-process executor: shard engines run sequentially in the caller."""
+
+    def __init__(self) -> None:
+        self._monitors: list[ContinuousMonitor] = []
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._monitors)
+
+    def start(self, factories: Sequence[ShardFactory]) -> None:
+        if self._monitors:
+            raise RuntimeError("executor already started")
+        self._monitors = [factory() for factory in factories]
+
+    def monitors(self) -> list[ContinuousMonitor]:
+        """The live shard engines (tests and diagnostics)."""
+        return list(self._monitors)
+
+    def call(self, shard: int, method: str, *args) -> tuple[object, GridStats]:
+        return _execute(self._monitors[shard], method, args)
+
+    def call_all(
+        self, method: str, args_per_shard: Sequence[tuple]
+    ) -> list[tuple[object, GridStats]]:
+        if len(args_per_shard) != len(self._monitors):
+            raise ValueError(
+                f"expected {len(self._monitors)} argument tuples, "
+                f"got {len(args_per_shard)}"
+            )
+        return [
+            _execute(monitor, method, args)
+            for monitor, args in zip(self._monitors, args_per_shard)
+        ]
+
+    def close(self) -> None:
+        self._monitors = []
+
+
+def _shard_worker(conn, factory: ShardFactory) -> None:
+    """Worker-process loop: build the engine, serve commands until EOF."""
+    monitor = factory()
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                break
+            method, args = message
+            try:
+                conn.send(("ok", _execute(monitor, method, args)))
+            except Exception as exc:  # forwarded to the caller
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    except EOFError:  # pragma: no cover - parent died
+        pass
+    finally:
+        conn.close()
+
+
+class ShardWorkerError(RuntimeError):
+    """A command failed inside a shard worker process."""
+
+
+class ProcessShardExecutor(ShardExecutor):
+    """One worker process per shard, connected by a duplex pipe.
+
+    ``call_all`` sends every shard its command before collecting any
+    reply, so the per-shard work overlaps across cores.  The default
+    start method prefers ``fork`` (cheap, engines inherit nothing they
+    need) and falls back to the platform default where unavailable.
+    """
+
+    def __init__(self, *, mp_context: str | None = None) -> None:
+        if mp_context is None:
+            mp_context = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._workers: list = []
+        self._pipes: list = []
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._workers)
+
+    def start(self, factories: Sequence[ShardFactory]) -> None:
+        if self._workers:
+            raise RuntimeError("executor already started")
+        for factory in factories:
+            parent, child = self._ctx.Pipe()
+            worker = self._ctx.Process(
+                target=_shard_worker, args=(child, factory), daemon=True
+            )
+            worker.start()
+            child.close()
+            self._workers.append(worker)
+            self._pipes.append(parent)
+
+    def _recv(self, shard: int) -> tuple[object, GridStats]:
+        status, payload = self._pipes[shard].recv()
+        if status != "ok":
+            raise ShardWorkerError(f"shard {shard}: {payload}")
+        return payload
+
+    def call(self, shard: int, method: str, *args) -> tuple[object, GridStats]:
+        self._pipes[shard].send((method, args))
+        return self._recv(shard)
+
+    def call_all(
+        self, method: str, args_per_shard: Sequence[tuple]
+    ) -> list[tuple[object, GridStats]]:
+        if len(args_per_shard) != len(self._pipes):
+            raise ValueError(
+                f"expected {len(self._pipes)} argument tuples, "
+                f"got {len(args_per_shard)}"
+            )
+        for pipe, args in zip(self._pipes, args_per_shard):
+            pipe.send((method, args))
+        # Drain every reply before raising: leaving a reply buffered would
+        # desynchronize the request/reply protocol and make every later
+        # command return the previous command's payload.
+        results: list[tuple[object, GridStats]] = []
+        failure: ShardWorkerError | None = None
+        for shard in range(len(self._pipes)):
+            try:
+                results.append(self._recv(shard))
+            except ShardWorkerError as exc:
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
+        return results
+
+    def close(self) -> None:
+        for pipe in self._pipes:
+            try:
+                pipe.send(None)
+            except (BrokenPipeError, OSError):  # pragma: no cover - dead worker
+                pass
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+            if worker.is_alive():  # pragma: no cover - stuck worker
+                worker.terminate()
+                worker.join(timeout=5.0)
+        for pipe in self._pipes:
+            pipe.close()
+        self._workers = []
+        self._pipes = []

@@ -1,0 +1,97 @@
+"""The cycle-driven monitoring service facade.
+
+A :class:`MonitoringService` couples one monitor — single-engine or
+:class:`repro.service.sharding.ShardedMonitor` — with a
+:class:`repro.service.subscriptions.SubscriptionHub`.  Callers feed it
+update batches (:meth:`tick`); the service decides per cycle whether the
+cheap path (``process``) suffices or the delta path (``process_deltas``)
+must run to feed subscribers, and publishes the resulting stream.
+
+The replay engine (:class:`repro.engine.server.MonitoringServer`) is a
+thin adapter over this class; interactive callers (see
+``examples/live_dashboard.py``) drive it directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.geometry.points import Point
+from repro.monitor import ContinuousMonitor, ResultEntry
+from repro.service.deltas import diff_results
+from repro.service.subscriptions import SubscriptionHub
+from repro.updates import ObjectUpdate, QueryUpdate, UpdateBatch
+
+
+class MonitoringService:
+    """One monitor plus delta streaming, driven cycle by cycle."""
+
+    def __init__(
+        self,
+        monitor: ContinuousMonitor,
+        *,
+        hub: SubscriptionHub | None = None,
+    ) -> None:
+        self.monitor = monitor
+        self.hub = hub if hub is not None else SubscriptionHub()
+        #: timestamp handed to :meth:`tick` last (diagnostics).
+        self.last_timestamp: int | None = None
+
+    # ------------------------------------------------------------------
+    # Population / query management (pass-through with install streaming)
+    # ------------------------------------------------------------------
+
+    def load_objects(self, objects: Iterable[tuple[int, Point]]) -> None:
+        self.monitor.load_objects(objects)
+
+    def install_query(
+        self, qid: int, point: Point, k: int = 1
+    ) -> list[ResultEntry]:
+        """Install a query; subscribers receive its initial snapshot as an
+        all-incoming delta with ``timestamp=None``."""
+        result = self.monitor.install_query(qid, point, k)
+        if self.hub.has_subscribers:
+            self.hub.publish(None, {qid: diff_results(qid, [], result)})
+        return result
+
+    def remove_query(self, qid: int) -> None:
+        """Terminate a query; subscribers receive the draining delta."""
+        if not self.hub.has_subscribers:
+            self.monitor.remove_query(qid)
+            return
+        old = self.monitor.result(qid)
+        self.monitor.remove_query(qid)
+        self.hub.publish(None, {qid: diff_results(qid, old, [], terminated=True)})
+
+    def subscribe(self, callback, **kwargs):
+        """Shorthand for ``service.hub.subscribe`` (see SubscriptionHub)."""
+        return self.hub.subscribe(callback, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Cycle processing
+    # ------------------------------------------------------------------
+
+    def tick(
+        self,
+        object_updates: Sequence[ObjectUpdate],
+        query_updates: Sequence[QueryUpdate] = (),
+        *,
+        timestamp: int | None = None,
+    ) -> set[int]:
+        """Process one cycle; streams deltas iff anyone is listening.
+
+        Returns the changed-query id set (the :meth:`ContinuousMonitor.process`
+        contract) so metrics collection is identical on both paths.
+        """
+        self.last_timestamp = timestamp
+        if not self.hub.has_subscribers:
+            return self.monitor.process(object_updates, query_updates)
+        deltas = self.monitor.process_deltas(object_updates, query_updates)
+        self.hub.publish(timestamp, deltas)
+        return {qid for qid, delta in deltas.items() if not delta.terminated}
+
+    def tick_batch(self, batch: UpdateBatch) -> set[int]:
+        """Process a packaged :class:`repro.updates.UpdateBatch`."""
+        return self.tick(
+            batch.object_updates, batch.query_updates, timestamp=batch.timestamp
+        )

@@ -1,0 +1,444 @@
+"""Space-partitioned sharding of the monitoring workload.
+
+The cell space of the grid is split into ``S`` contiguous column blocks
+(:class:`ShardPlan`); each shard owns one block and runs a full monitoring
+engine (CPM by default).  A query is placed on the shard whose block
+contains its point — per-query processing (influence probes, incremental
+repair, re-computation: the dominant cost of the paper's workloads) is
+thereby partitioned, and a pluggable executor
+(:mod:`repro.service.executor`) can run the shards on separate cores.
+
+**Replication contract.**  Per-shard results must stay *byte-identical* to
+a single engine's.  CPM re-computation is pull-free: when a query loses
+neighbors, the engine re-scans grid cells in ascending ``mindist`` order
+and may expand past the query's previous influence region into any cell of
+the workspace.  A shard therefore cannot answer exactly from a partial
+object view — every shard keeps its full-workspace grid current, i.e.
+object *maintenance* (two hash-table operations per update, the
+``Time_ind`` of Section 4.1) is replicated to all shards, while the
+per-query work an update triggers runs only on the shard holding the
+affected queries (an update in a cell unmarked on a shard's grid is
+discarded there after one influence probe).  Border-crossing updates thus
+naturally "fan out" to exactly the shards whose installed influence
+regions overlap them.  True object partitioning (halo cells plus a
+cell-sync protocol, cross-shard query migration) is an open ROADMAP item.
+
+:class:`ShardedMonitor` implements the full
+:class:`repro.monitor.ContinuousMonitor` contract — including
+``process_deltas`` — so the replay engine, the experiment drivers and the
+equivalence tests can treat a sharded service exactly like a single
+engine.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from math import ceil
+
+from repro.geometry.points import Point
+from repro.geometry.rects import Rect
+from repro.grid.cell import cell_index
+from repro.grid.stats import GridStats
+from repro.monitor import ContinuousMonitor, ResultEntry
+from repro.service.deltas import ResultDelta, diff_results
+from repro.service.executor import (
+    SerialShardExecutor,
+    ShardExecutor,
+)
+from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind
+
+
+@dataclass(frozen=True, slots=True)
+class ShardPlan:
+    """Partition of a grid's column space into contiguous blocks.
+
+    Column addressing mirrors :class:`repro.grid.grid.Grid` exactly (same
+    ``delta`` derivation, same clamped ``cell_index`` decision), so the
+    shard owning a point is the shard owning the point's grid cell.
+    """
+
+    n_shards: int
+    cols: int
+    x0: float
+    delta: float
+    #: first owned column of each shard, ascending; shard ``s`` owns
+    #: columns ``[col_starts[s], col_starts[s+1])``.
+    col_starts: tuple[int, ...]
+
+    @classmethod
+    def build(
+        cls,
+        n_shards: int,
+        cells_per_axis: int,
+        bounds: Rect | tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0),
+    ) -> "ShardPlan":
+        """Balanced plan over the column space of a ``cells_per_axis`` grid."""
+        if not isinstance(bounds, Rect):
+            bounds = Rect(*bounds)
+        if cells_per_axis <= 0:
+            raise ValueError("cells_per_axis must be positive")
+        # Same derivation as Grid.__init__ (square cells over the extent).
+        extent = max(bounds.width, bounds.height)
+        delta = extent / cells_per_axis
+        cols = max(1, ceil(bounds.width / delta - 1e-9))
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if n_shards > cols:
+            raise ValueError(
+                f"cannot split {cols} grid columns into {n_shards} shards"
+            )
+        base, extra = divmod(cols, n_shards)
+        starts = []
+        start = 0
+        for s in range(n_shards):
+            starts.append(start)
+            start += base + (1 if s < extra else 0)
+        return cls(
+            n_shards=n_shards,
+            cols=cols,
+            x0=bounds.x0,
+            delta=delta,
+            col_starts=tuple(starts),
+        )
+
+    def shard_of_column(self, i: int) -> int:
+        """Owning shard of grid column ``i`` (clamped to the grid)."""
+        if i < 0:
+            i = 0
+        elif i >= self.cols:
+            i = self.cols - 1
+        return bisect_right(self.col_starts, i) - 1
+
+    def shard_of_cell(self, i: int, j: int) -> int:
+        """Owning shard of cell ``c_{i,j}`` (column-block partition)."""
+        return self.shard_of_column(i)
+
+    def shard_of_point(self, x: float, y: float) -> int:
+        """Owning shard of the point ``(x, y)``."""
+        return self.shard_of_column(cell_index(x, self.x0, self.delta, self.cols))
+
+    def owned_columns(self, shard: int) -> range:
+        """The contiguous column block owned by ``shard``."""
+        lo = self.col_starts[shard]
+        hi = (
+            self.col_starts[shard + 1]
+            if shard + 1 < self.n_shards
+            else self.cols
+        )
+        return range(lo, hi)
+
+
+@dataclass(frozen=True, slots=True)
+class ShardEngineFactory:
+    """Picklable factory building one shard's engine.
+
+    Shard engines cover the *full* workspace (see the replication contract
+    in the module docstring); the factory simply captures the construction
+    parameters so worker processes can rebuild the engine after a spawn.
+    """
+
+    cells_per_axis: int
+    bounds: tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0)
+    algorithm: str = "CPM"
+
+    def __call__(self) -> ContinuousMonitor:
+        if self.algorithm == "CPM":
+            from repro.core.cpm import CPMMonitor
+
+            return CPMMonitor(self.cells_per_axis, bounds=self.bounds)
+        if self.algorithm == "YPK-CNN":
+            from repro.baselines.ypk import YpkCnnMonitor
+
+            return YpkCnnMonitor(self.cells_per_axis, bounds=self.bounds)
+        if self.algorithm == "SEA-CNN":
+            from repro.baselines.sea import SeaCnnMonitor
+
+            return SeaCnnMonitor(self.cells_per_axis, bounds=self.bounds)
+        raise ValueError(f"unknown algorithm {self.algorithm!r}")
+
+
+class ShardedMonitor(ContinuousMonitor):
+    """A fleet of per-shard engines behind the single-monitor contract.
+
+    Args:
+        n_shards: number of shards ``S`` (1 measures pure service overhead).
+        cells_per_axis: grid granularity of every shard engine.
+        bounds: workspace rectangle.
+        algorithm: engine algorithm per shard ("CPM", "YPK-CNN", "SEA-CNN").
+        executor: a started-on-demand :class:`ShardExecutor`; defaults to
+            :class:`SerialShardExecutor`.  Pass a
+            :class:`repro.service.executor.ProcessShardExecutor` to run
+            shards on separate cores.
+
+    Only point k-NN queries are routable (a point has one owning cell);
+    the strategy extensions of Section 5 stay on the single engine.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        cells_per_axis: int = 128,
+        *,
+        bounds: Rect | tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0),
+        algorithm: str = "CPM",
+        executor: ShardExecutor | None = None,
+    ) -> None:
+        rect = bounds if isinstance(bounds, Rect) else Rect(*bounds)
+        self.plan = ShardPlan.build(n_shards, cells_per_axis, rect)
+        self.algorithm = algorithm
+        self.name = f"{algorithm}-S{n_shards}"
+        self._executor = executor if executor is not None else SerialShardExecutor()
+        factory = ShardEngineFactory(
+            cells_per_axis, (rect.x0, rect.y0, rect.x1, rect.y1), algorithm
+        )
+        self._executor.start([factory] * n_shards)
+        self._query_shard: dict[int, int] = {}
+        self._positions: dict[int, Point] = {}
+        self._stats = GridStats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def executor(self) -> ShardExecutor:
+        return self._executor
+
+    @property
+    def n_shards(self) -> int:
+        return self.plan.n_shards
+
+    def close(self) -> None:
+        """Shut the executor down (required for process-backed shards)."""
+        self._executor.close()
+
+    def __enter__(self) -> "ShardedMonitor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Stats aggregation
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> GridStats:
+        """Aggregate counters folded from every shard command."""
+        return self._stats
+
+    def _absorb(self, delta: GridStats) -> None:
+        stats = self._stats
+        stats.cell_scans += delta.cell_scans
+        stats.objects_scanned += delta.objects_scanned
+        stats.inserts += delta.inserts
+        stats.deletes += delta.deletes
+        stats.mark_ops += delta.mark_ops
+
+    def _call(self, shard: int, method: str, *args):
+        payload, stats = self._executor.call(shard, method, *args)
+        self._absorb(stats)
+        return payload
+
+    def _call_all(self, method: str, args_per_shard: Sequence[tuple]) -> list:
+        results = self._executor.call_all(method, args_per_shard)
+        payloads = []
+        for payload, stats in results:
+            self._absorb(stats)
+            payloads.append(payload)
+        return payloads
+
+    # ------------------------------------------------------------------
+    # Object population
+    # ------------------------------------------------------------------
+
+    def load_objects(self, objects: Iterable[tuple[int, Point]]) -> None:
+        batch = list(objects)
+        for oid, point in batch:
+            self._positions[oid] = point
+        self._call_all("load_objects", [(batch,)] * self.n_shards)
+
+    def object_position(self, oid: int) -> Point | None:
+        return self._positions.get(oid)
+
+    @property
+    def object_count(self) -> int:
+        return len(self._positions)
+
+    # ------------------------------------------------------------------
+    # Query management
+    # ------------------------------------------------------------------
+
+    def install_query(self, qid: int, point: Point, k: int = 1) -> list[ResultEntry]:
+        if qid in self._query_shard:
+            raise KeyError(f"query {qid} is already installed")
+        shard = self.plan.shard_of_point(point[0], point[1])
+        result = self._call(shard, "install_query", qid, point, k)
+        self._query_shard[qid] = shard
+        return result
+
+    def remove_query(self, qid: int) -> None:
+        shard = self._query_shard.pop(qid)
+        self._call(shard, "remove_query", qid)
+
+    def result(self, qid: int) -> list[ResultEntry]:
+        return self._call(self._query_shard[qid], "result", qid)
+
+    def result_table(self) -> dict[int, list[ResultEntry]]:
+        merged: dict[int, list[ResultEntry]] = {}
+        for table in self._call_all("result_table", [()] * self.n_shards):
+            merged.update(table)
+        return merged
+
+    def query_ids(self) -> list[int]:
+        return list(self._query_shard)
+
+    def query_shard(self, qid: int) -> int:
+        """Shard currently hosting a query (diagnostics)."""
+        return self._query_shard[qid]
+
+    def shard_query_counts(self) -> list[int]:
+        """Number of queries per shard (load-balance diagnostics)."""
+        counts = [0] * self.n_shards
+        for shard in self._query_shard.values():
+            counts[shard] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Stream processing
+    # ------------------------------------------------------------------
+
+    def _split_query_updates(
+        self, query_updates: Sequence[QueryUpdate]
+    ) -> list[list[QueryUpdate]]:
+        """Route query updates to shards, translating cross-shard moves.
+
+        Figure 3.9 handles a moving query as termination + re-insertion;
+        when old and new location fall on different shards the two halves
+        are routed separately, preserving the single-engine semantics.
+
+        Routing is validated against an overlay and committed only once
+        the whole batch routes cleanly, so a bad update (unknown qid,
+        duplicate insert) raises *before* the routing table or any shard
+        engine has been touched.
+        """
+        per_shard: list[list[QueryUpdate]] = [[] for _ in range(self.n_shards)]
+        _GONE = -1
+        overlay: dict[int, int] = {}
+
+        def lookup(qid: int) -> int:
+            shard = overlay.get(qid)
+            if shard is None:
+                shard = self._query_shard.get(qid, _GONE)
+            if shard == _GONE:
+                raise KeyError(f"query {qid} is not installed")
+            return shard
+
+        for qu in query_updates:
+            if qu.kind is QueryUpdateKind.TERMINATE:
+                per_shard[lookup(qu.qid)].append(qu)
+                overlay[qu.qid] = _GONE
+                continue
+            assert qu.point is not None
+            new_shard = self.plan.shard_of_point(qu.point[0], qu.point[1])
+            if qu.kind is QueryUpdateKind.MOVE:
+                old_shard = lookup(qu.qid)
+                if old_shard == new_shard:
+                    per_shard[new_shard].append(qu)
+                else:
+                    per_shard[old_shard].append(
+                        QueryUpdate(qu.qid, QueryUpdateKind.TERMINATE)
+                    )
+                    per_shard[new_shard].append(
+                        QueryUpdate(
+                            qu.qid, QueryUpdateKind.INSERT, qu.point, qu.k
+                        )
+                    )
+            else:
+                gone = overlay.get(qu.qid) == _GONE
+                if not gone and (
+                    qu.qid in overlay or qu.qid in self._query_shard
+                ):
+                    # Match the single-engine failure mode (install_query
+                    # raises KeyError on a duplicate insert).
+                    raise KeyError(f"query {qu.qid} is already installed")
+                per_shard[new_shard].append(qu)
+            overlay[qu.qid] = new_shard
+        for qid, shard in overlay.items():
+            if shard == _GONE:
+                # pop, not del: a query inserted and terminated within the
+                # same batch was never committed to the routing table.
+                self._query_shard.pop(qid, None)
+            else:
+                self._query_shard[qid] = shard
+        return per_shard
+
+    def _apply_positions(self, object_updates: Sequence[ObjectUpdate]) -> None:
+        positions = self._positions
+        for upd in object_updates:
+            if upd.new is not None:
+                positions[upd.oid] = upd.new
+            else:
+                positions.pop(upd.oid, None)
+
+    def process(
+        self,
+        object_updates: Sequence[ObjectUpdate],
+        query_updates: Sequence[QueryUpdate] = (),
+    ) -> set[int]:
+        per_shard_qu = self._split_query_updates(query_updates)
+        object_updates = tuple(object_updates)
+        self._apply_positions(object_updates)
+        changed_sets = self._call_all(
+            "process",
+            [(object_updates, tuple(qus)) for qus in per_shard_qu],
+        )
+        changed: set[int] = set()
+        for shard_changed in changed_sets:
+            changed.update(shard_changed)
+        return changed
+
+    def process_deltas(
+        self,
+        object_updates: Sequence[ObjectUpdate],
+        query_updates: Sequence[QueryUpdate] = (),
+    ) -> dict[int, ResultDelta]:
+        # Snapshot the routing before it mutates: the merge below needs to
+        # know which shard held each query at the *start* of the cycle.
+        origin_shard = dict(self._query_shard) if query_updates else {}
+        per_shard_qu = self._split_query_updates(query_updates)
+        object_updates = tuple(object_updates)
+        self._apply_positions(object_updates)
+        shard_deltas = self._call_all(
+            "process_deltas",
+            [(object_updates, tuple(qus)) for qus in per_shard_qu],
+        )
+        merged: dict[int, ResultDelta] = {}
+        reported: dict[int, list[tuple[int, ResultDelta]]] = {}
+        for shard, deltas in enumerate(shard_deltas):
+            for qid, delta in deltas.items():
+                reported.setdefault(qid, []).append((shard, delta))
+        for qid, entries in reported.items():
+            if len(entries) == 1:
+                merged[qid] = entries[0][1]
+                continue
+            # The query crossed shards this cycle.  Only the origin shard
+            # knows the true pre-cycle result: transit shards saw the
+            # query appear out of nowhere (empty "old" result).
+            origin = origin_shard.get(qid)
+            origin_delta = next((d for s, d in entries if s == origin), None)
+            if origin_delta is not None and not origin_delta.terminated:
+                # The query ended the cycle back on its origin shard,
+                # whose delta already diffs against the true old result;
+                # the other shards only saw transient installs.
+                merged[qid] = origin_delta
+                continue
+            old = list(origin_delta.outgoing) if origin_delta is not None else []
+            fresh = next((d for _s, d in entries if not d.terminated), None)
+            if fresh is not None:
+                merged[qid] = diff_results(qid, old, list(fresh.result))
+            else:
+                merged[qid] = diff_results(qid, old, [], terminated=True)
+        return merged

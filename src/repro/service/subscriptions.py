@@ -1,0 +1,132 @@
+"""Delta streaming: subscriptions over per-query result changes.
+
+A :class:`SubscriptionHub` fans each cycle's
+:class:`repro.service.deltas.ResultDelta` objects out to registered
+callbacks.  Subscribers choose a query filter
+(specific qids or all queries) and receive ``callback(timestamp, delta)``
+calls — only for deltas that actually changed the result, unless they ask
+for unchanged ones too.
+
+The hub is synchronous and single-threaded by design (the monitoring
+cycle is); async ingestion and network transports are ROADMAP follow-ons
+that would wrap this same interface.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.service.deltas import ResultDelta
+
+DeltaCallback = Callable[[int | None, ResultDelta], None]
+
+
+class Subscription:
+    """One registered delta listener (returned by ``subscribe``)."""
+
+    __slots__ = ("callback", "delivered", "include_unchanged", "qids", "_hub")
+
+    def __init__(
+        self,
+        hub: "SubscriptionHub",
+        callback: DeltaCallback,
+        qids: frozenset[int] | None,
+        include_unchanged: bool,
+    ) -> None:
+        self._hub = hub
+        self.callback = callback
+        #: ``None`` = all queries; otherwise the watched qid set.
+        self.qids = qids
+        self.include_unchanged = include_unchanged
+        #: number of deltas delivered so far.
+        self.delivered = 0
+
+    @property
+    def active(self) -> bool:
+        return self._hub is not None and self in self._hub._subscriptions
+
+    def matches(self, delta: ResultDelta) -> bool:
+        if self.qids is not None and delta.qid not in self.qids:
+            return False
+        return self.include_unchanged or delta.changed
+
+    def close(self) -> None:
+        """Unsubscribe (idempotent)."""
+        if self._hub is not None:
+            self._hub.unsubscribe(self)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class SubscriptionHub:
+    """Registry of delta subscribers and the publish fan-out."""
+
+    def __init__(self) -> None:
+        self._subscriptions: list[Subscription] = []
+
+    def subscribe(
+        self,
+        callback: DeltaCallback,
+        *,
+        qids: Iterable[int] | None = None,
+        include_unchanged: bool = False,
+    ) -> Subscription:
+        """Register ``callback(timestamp, delta)`` for matching deltas.
+
+        Args:
+            callback: invoked synchronously during publish.
+            qids: restrict to these query ids (``None`` = every query).
+            include_unchanged: also deliver no-op deltas (e.g. a moved
+                query whose result happens to be identical).
+        """
+        subscription = Subscription(
+            self,
+            callback,
+            None if qids is None else frozenset(qids),
+            include_unchanged,
+        )
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Remove a subscription (no-op when already removed)."""
+        try:
+            self._subscriptions.remove(subscription)
+        except ValueError:
+            pass
+
+    @property
+    def has_subscribers(self) -> bool:
+        return bool(self._subscriptions)
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def publish(
+        self, timestamp: int | None, deltas: dict[int, ResultDelta]
+    ) -> int:
+        """Deliver a cycle's deltas; returns the number of deliveries.
+
+        ``timestamp`` is the cycle timestamp, or ``None`` for
+        installation-time snapshots published outside the replay loop.
+        Deltas are delivered in ascending qid order so the stream is
+        deterministic for a deterministic workload.
+        """
+        if not self._subscriptions:
+            return 0
+        delivered = 0
+        # Snapshot the subscriber list: callbacks may unsubscribe (or
+        # subscribe) during delivery without corrupting this fan-out.
+        subscribers = list(self._subscriptions)
+        for qid in sorted(deltas):
+            delta = deltas[qid]
+            for subscription in subscribers:
+                if subscription.matches(delta):
+                    subscription.callback(timestamp, delta)
+                    subscription.delivered += 1
+                    delivered += 1
+        return delivered

@@ -115,3 +115,16 @@ class TestTwoStepSearch:
         grid.bulk_load(cluster)
         result = two_step_nn_search(grid, (0.5, 0.5), 5)
         assert [oid for _d, oid in result] == [0, 1, 2, 3, 4]
+
+
+class TestWalkHelpersLiveOnGridPackage:
+    """The ring/square walks were promoted to repro.grid.walk; the
+    baselines re-export them so both layers share one implementation."""
+
+    def test_single_implementation(self):
+        import repro.baselines.common as common
+        import repro.grid.walk as walk
+        from repro.grid import ring_cells as grid_ring, square_cells as grid_square
+
+        assert common.ring_cells is walk.ring_cells is grid_ring
+        assert common.square_cells is walk.square_cells is grid_square

@@ -57,6 +57,12 @@ class TestExamples:
         assert "brute-force verification (3D): OK" in out
         assert "sweep 9" in out
 
+    def test_live_dashboard(self):
+        out = run_example("live_dashboard.py")
+        assert "0 mismatching deltas" in out
+        assert "[install]" in out and "[t=0]" in out
+        assert "+obj" in out and "-obj" in out
+
     def test_partition_gallery(self):
         out = run_example("partition_gallery.py")
         assert "Figure 3.1b" in out
@@ -74,4 +80,5 @@ class TestExamples:
             "geofencing.py",
             "drone_airspace.py",
             "partition_gallery.py",
+            "live_dashboard.py",
         } <= present

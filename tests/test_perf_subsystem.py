@@ -156,6 +156,34 @@ class TestCompare:
         assert "cell_scans" in text
 
 
+class TestWarnMetrics:
+    """Advisory metrics: reported, never failing the gate."""
+
+    def test_warn_metric_demotes_regression(self):
+        old = make_report()
+        new = make_report(cases=[make_case(wall_sec=5.0)])  # way past +30%
+        comparison = compare_reports(old, new, warn_metrics={"wall_sec"})
+        assert comparison.ok
+        assert not comparison.regressions
+        assert [d.metric for d in comparison.warnings] == ["wall_sec"]
+
+    def test_enforced_metric_still_fails_alongside_warnings(self):
+        old = make_report()
+        new = make_report(cases=[make_case(wall_sec=5.0, cell_scans=2000)])
+        comparison = compare_reports(old, new, warn_metrics={"wall_sec"})
+        assert not comparison.ok
+        assert [d.metric for d in comparison.regressions] == ["cell_scans"]
+        assert [d.metric for d in comparison.warnings] == ["wall_sec"]
+
+    def test_render_labels_warnings(self):
+        old = make_report()
+        new = make_report(cases=[make_case(wall_sec=5.0)])
+        comparison = compare_reports(old, new, warn_metrics={"wall_sec"})
+        text = render_comparison(comparison)
+        assert "WARNING" in text and "advisory" in text
+        assert "REGRESSION" not in text
+
+
 class TestCli:
     """Exit-code contract of ``python -m repro.perf``."""
 
@@ -184,6 +212,31 @@ class TestCli:
         )
         assert perf_main(["compare", old, new, "--warn-only"]) == 0
         assert "warn-only" in capsys.readouterr().out
+
+    def test_compare_warn_metric_exits_zero(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json", make_report())
+        new = self._write(
+            tmp_path / "new.json", make_report(cases=[make_case(wall_sec=5.0)])
+        )
+        assert perf_main(["compare", old, new]) == 1
+        assert (
+            perf_main(["compare", old, new, "--warn-metric", "wall_sec"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "WARNING" in out and "perf gate: OK" in out
+
+    def test_compare_warn_noisy_keeps_counters_enforcing(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json", make_report())
+        noisy = self._write(
+            tmp_path / "noisy.json",
+            make_report(cases=[make_case(wall_sec=5.0, peak_rss_kb=90000)]),
+        )
+        assert perf_main(["compare", old, noisy, "--warn-noisy"]) == 0
+        counter = self._write(
+            tmp_path / "counter.json",
+            make_report(cases=[make_case(cell_scans=2000)]),
+        )
+        assert perf_main(["compare", old, counter, "--warn-noisy"]) == 1
 
     def test_compare_schema_error_exits_two(self, tmp_path, capsys):
         old = self._write(tmp_path / "old.json", make_report(scale=0.01))
@@ -242,6 +295,40 @@ class TestSuiteAndRunner:
         for metric in ("cell_scans", "cell_accesses_per_query_per_ts",
                        "objects_scanned", "results_changed"):
             assert first.metrics[metric] == second.metrics[metric]
+
+    def test_shard_scaling_cases_present(self):
+        full = build_suite(0.01)
+        smoke = build_suite(0.01, suite="smoke")
+        full_shards = sorted(c.shards for c in full if c.shards)
+        smoke_shards = sorted(c.shards for c in smoke if c.shards)
+        assert full_shards == [1, 2, 4, 8]
+        assert smoke_shards == [1, 4]
+        for case in full:
+            if case.shards:
+                assert case.key == f"shard_scaling/S={case.shards}"
+                assert case.workload == "network"
+
+    def test_shard_case_runs_sharded_monitor(self):
+        case = next(c for c in build_suite(0.002, suite="smoke") if c.shards)
+        workload = case.materialize()
+        row = run_case(case, workload, "CPM")
+        assert row.case_id == f"{case.key}/CPM"
+        assert row.params["shards"] == case.shards
+        # Deterministic counters match the plain-CPM replay of the same
+        # workload: the service layer partitions the search work, it does
+        # not duplicate it.
+        plain = SuiteCase(
+            key="plain", workload=case.workload, spec=case.spec, grid=case.grid
+        )
+        ref = run_case(plain, workload, "CPM")
+        assert row.metrics["cell_scans"] == ref.metrics["cell_scans"]
+        assert row.metrics["results_changed"] == ref.metrics["results_changed"]
+
+    def test_shard_cases_run_only_cpm(self):
+        report = run_suite(0.002, suite="smoke")
+        shard_rows = [c for c in report.cases if c.params.get("shards")]
+        assert shard_rows
+        assert {c.algorithm for c in shard_rows} == {"CPM"}
 
     def test_run_suite_covers_all_algorithms(self):
         report = run_suite(0.002, suite="smoke", algorithms=("CPM",))
