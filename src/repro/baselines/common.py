@@ -33,15 +33,30 @@ __all__ = [
 
 ResultEntry = tuple[float, int]
 
+_INF = math.inf
+
 
 def collect_cell_objects(
     grid: Grid, cells, q: Point, out: list[ResultEntry]
 ) -> None:
-    """Scan ``cells`` (charging cell accesses) and append ``(dist, oid)``."""
+    """Scan ``cells`` (charging cell accesses) and append ``(dist, oid)``.
+
+    Each cell scan reads the raw columns through
+    :meth:`Grid.scan_all_flat` and walks them with a single zip loop —
+    coordinates arrive as plain floats (no position-tuple unpacking) and
+    no intermediate per-cell list is built.  The cell walkers only yield
+    in-bounds cells, so packing ``(i, j)`` inline is safe.
+    """
     qx, qy = q
+    scan_all_flat = grid.scan_all_flat
+    rows = grid.rows
+    append = out.append
+    hypot = math.hypot
     for i, j in cells:
-        for oid, (x, y) in grid.scan(i, j).items():
-            out.append((math.hypot(x - qx, y - qy), oid))
+        oids, xs, ys = scan_all_flat(i * rows + j)
+        if oids:
+            for oid, x, y in zip(oids, xs, ys):
+                append((hypot(x - qx, y - qy), oid))
 
 
 def two_step_nn_search(grid: Grid, q: Point, k: int) -> list[ResultEntry]:

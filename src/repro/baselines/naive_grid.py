@@ -40,10 +40,12 @@ def naive_strategy_search(
     )
     nn = NeighborList(k)
     processed: list[CellCoord] = []
+    rows = grid.rows
     for key, (i, j) in keyed:
         if nn.is_full and key >= nn.kth_dist:
             break
-        for oid, (x, y) in grid.scan(i, j).items():
+        oids, xs, ys = grid.scan_all_flat(i * rows + j)
+        for oid, x, y in zip(oids, xs, ys):
             if strategy.accepts(x, y):
                 nn.add(strategy.dist(x, y), oid)
         processed.append((i, j))

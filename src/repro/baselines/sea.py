@@ -153,8 +153,24 @@ class SeaCnnMonitor(ContinuousMonitor):
             oid = upd.oid
             old = upd.old
             new = upd.new
-            if old is not None:
+            if old is not None and new is not None:
+                # Movement: one Grid.move (same-cell fast path relocates
+                # in place; counters identical to delete+insert).  The
+                # mark probes only read answer-region state, so running
+                # both after the move matches the delete-then-insert
+                # interleaving exactly.
+                old_cell, new_cell = grid.move(oid, old, new)
+                self._positions[oid] = new
+            elif old is not None:
                 old_cell = grid.delete(oid, old[0], old[1])
+                new_cell = None
+                self._positions.pop(oid, None)
+            else:
+                assert new is not None
+                old_cell = None
+                new_cell = grid.insert(oid, new[0], new[1])
+                self._positions[oid] = new
+            if old_cell is not None:
                 for qid in grid.marks(old_cell):
                     if qid in updated_qids:
                         continue
@@ -173,9 +189,7 @@ class SeaCnnMonitor(ContinuousMonitor):
                                 sc.d_max = d
                         else:
                             sc.within = True
-            if new is not None:
-                new_cell = grid.insert(oid, new[0], new[1])
-                self._positions[oid] = new
+            if new_cell is not None:
                 for qid in grid.marks(new_cell):
                     if qid in updated_qids:
                         continue
@@ -188,8 +202,6 @@ class SeaCnnMonitor(ContinuousMonitor):
                         if sc is None:
                             sc = scratch[qid] = _SeaScratch()
                         sc.within = True
-            else:
-                self._positions.pop(oid, None)
 
         # Under-full queries watch the whole workspace.
         if object_updates:
@@ -261,12 +273,25 @@ class SeaCnnMonitor(ContinuousMonitor):
         self, query: _SeaQuery, center: Point, radius: float
     ) -> list[ResultEntry]:
         """Scan the cells intersecting the circle ``(center, radius)`` and
-        return the k best objects found."""
+        return the k best objects found.
+
+        Cell scans read the raw columns (:meth:`Grid.scan_all_flat`) —
+        SEA-CNN considers *every* object of an intersecting cell a
+        candidate (the paper's semantics), so the circle prunes cells,
+        not objects, and the zip loop avoids position-tuple unpacking.
+        """
+        grid = self._grid
         candidates: list[ResultEntry] = []
         cx, cy = center
-        for i, j in self._grid.cells_in_circle(center, radius):
-            for oid, (x, y) in self._grid.scan(i, j).items():
-                candidates.append((math.hypot(x - cx, y - cy), oid))
+        scan_all_flat = grid.scan_all_flat
+        rows = grid.rows
+        append = candidates.append
+        hypot = math.hypot
+        for i, j in grid.cells_in_circle(center, radius):
+            oids, xs, ys = scan_all_flat(i * rows + j)
+            if oids:
+                for oid, x, y in zip(oids, xs, ys):
+                    append((hypot(x - cx, y - cy), oid))
         candidates.sort()
         if len(candidates) < query.k:
             # Defensive: the population shrank below k inside SR.

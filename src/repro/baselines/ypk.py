@@ -119,15 +119,22 @@ class YpkCnnMonitor(ContinuousMonitor):
     ) -> set[int]:
         grid = self._grid
         # "YPK-CNN does not process updates as they arrive, but directly
-        # applies the changes to the grid."
+        # applies the changes to the grid."  Movements go through
+        # Grid.move, whose same-cell fast path relocates in place
+        # (identical delete+insert counters).
         for upd in object_updates:
-            if upd.old is not None:
-                grid.delete(upd.oid, upd.old[0], upd.old[1])
-            if upd.new is not None:
-                grid.insert(upd.oid, upd.new[0], upd.new[1])
-                self._positions[upd.oid] = upd.new
-            else:
+            old = upd.old
+            new = upd.new
+            if old is not None and new is not None:
+                grid.move(upd.oid, old, new)
+                self._positions[upd.oid] = new
+            elif old is not None:
+                grid.delete(upd.oid, old[0], old[1])
                 self._positions.pop(upd.oid, None)
+            else:
+                assert new is not None
+                grid.insert(upd.oid, new[0], new[1])
+                self._positions[upd.oid] = new
 
         changed: set[int] = set()
         fresh: set[int] = set()

@@ -50,8 +50,9 @@ class QueryState:
         "qid",
         "qx",
         "qy",
+        "rows",
         "strategy",
-        "visit_cells",
+        "visit_cids",
         "visit_keys",
     )
 
@@ -62,8 +63,15 @@ class QueryState:
         self.k = k
         self.strategy = strategy
         self.partition = partition
+        #: grid row count — the packing factor of the visit-list cids.
+        self.rows = partition.rows
         self.heap = SearchHeap()
-        self.visit_cells: list[CellCoord] = []
+        # The visit list stores *packed* cell ids (cid = i * rows + j):
+        # the hot consumers (re-computation rescans, influence-mark
+        # reconciliation) index the grid's flat stores directly, and no
+        # coordinate tuple is allocated per processed cell.  The
+        # coordinate view is exposed by :attr:`visit_cells`.
+        self.visit_cids: list[int] = []
         self.visit_keys: list[float] = []
         self.nn = NeighborList(k)
         self.best_dist = float("inf")
@@ -87,21 +95,28 @@ class QueryState:
         De-heap order is ascending, so the parallel key list stays sorted —
         the precondition for the bisect-based influence reconciliation.
         """
-        self.visit_cells.append(cell)
+        self.visit_cids.append(cell[0] * self.rows + cell[1])
         self.visit_keys.append(key)
 
     @property
+    def visit_cells(self) -> list[CellCoord]:
+        """The visit list as coordinate pairs (diagnostics/tests view)."""
+        rows = self.rows
+        return [divmod(cid, rows) for cid in self.visit_cids]
+
+    @property
     def visit_length(self) -> int:
-        return len(self.visit_cells)
+        return len(self.visit_cids)
 
     def influence_cells(self) -> list[CellCoord]:
         """Cells currently carrying this query's influence mark."""
-        return self.visit_cells[: self.marked_upto]
+        rows = self.rows
+        return [divmod(cid, rows) for cid in self.visit_cids[: self.marked_upto]]
 
     def csh(self) -> int:
         """``C_SH``: cells stored in the visit list or the search heap
         (the space quantity analyzed in Section 4.1)."""
-        return len(self.visit_cells) + self.heap.cell_entry_count()
+        return len(self.visit_cids) + self.heap.cell_entry_count()
 
     # ------------------------------------------------------------------
     # Influence-list reconciliation
@@ -134,16 +149,36 @@ class QueryState:
         current = self.marked_upto if self.marked_upto > processed_upto else processed_upto
         if target < current:
             qid = self.qid
-            cells = self.visit_cells
+            cids = self.visit_cids
+            # Inlined Grid.remove_mark over the live mark store (visit
+            # cells are always in bounds; same counter semantics).
+            marks_store = grid._marks
+            removed = 0
             for idx in range(target, current):
-                grid.remove_mark(cells[idx], qid)
+                ms = marks_store[cids[idx]]
+                if ms and qid in ms:
+                    ms.remove(qid)
+                    removed += 1
+            if removed:
+                grid._mark_count -= removed
+                grid.stats.mark_ops += removed
         self.marked_upto = target
 
     def unmark_all(self, grid: Grid) -> None:
         """Remove every influence mark (query termination, Figure 3.9)."""
         qid = self.qid
+        cids = self.visit_cids
+        # Inlined Grid.remove_mark (see reconcile_marks).
+        marks_store = grid._marks
+        removed = 0
         for idx in range(self.marked_upto):
-            grid.remove_mark(self.visit_cells[idx], qid)
+            ms = marks_store[cids[idx]]
+            if ms and qid in ms:
+                ms.remove(qid)
+                removed += 1
+        if removed:
+            grid._mark_count -= removed
+            grid.stats.mark_ops += removed
         self.marked_upto = 0
 
     # ------------------------------------------------------------------
@@ -160,7 +195,7 @@ class QueryState:
         if self.marked_upto:
             raise RuntimeError("unmark the grid before dropping book-keeping")
         self.heap.clear()
-        self.visit_cells.clear()
+        self.visit_cids.clear()
         self.visit_keys.clear()
 
     def result_entries(self) -> list[tuple[float, int]]:
@@ -170,7 +205,7 @@ class QueryState:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"QueryState(qid={self.qid}, k={self.k}, |NN|={len(self.nn)}, "
-            f"best_dist={self.best_dist:.6g}, visit={len(self.visit_cells)}, "
+            f"best_dist={self.best_dist:.6g}, visit={len(self.visit_cids)}, "
             f"marked={self.marked_upto}, heap={len(self.heap)})"
         )
 

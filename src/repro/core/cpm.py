@@ -36,11 +36,11 @@ from __future__ import annotations
 
 from bisect import insort
 from collections.abc import Iterable, Sequence
-from heapq import heappop
+from heapq import heappop, heappush
 from math import hypot, inf as _INF
 
 from repro.core.bookkeeping import CycleScratch, QueryState
-from repro.core.heap import CELL
+from repro.core.heap import CELL, RECT
 from repro.core.partition import DIRECTIONS
 from repro.core.strategies import (
     AggregateNNStrategy,
@@ -52,6 +52,7 @@ from repro.geometry.aggregates import AggregateFunction
 from repro.geometry.points import Point
 from repro.geometry.rects import Rect
 from repro.grid.grid import Grid
+from repro.grid.kernels import CellColumns
 from repro.grid.stats import GridStats
 from repro.monitor import ContinuousMonitor, ResultEntry
 from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind
@@ -76,7 +77,18 @@ class CPMMonitor(ContinuousMonitor):
         else:
             self._grid = Grid(cells_per_axis, bounds=bounds)
         self._positions: dict[int, Point] = {}
+        # oid -> packed cell id: the authoritative object->cell map.  The
+        # update loop reads it instead of re-deriving the old cell from
+        # the update's old coordinates (one dict hit versus ~a dozen
+        # float/int operations per endpoint).
+        self._object_cells: dict[int, int] = {}
         self._queries: dict[int, QueryState] = {}
+        # qid -> (state, nn, qx, qy, is_point): the influence-probe
+        # record.  One dict hit + tuple unpack replaces an attribute
+        # chase per probed query in the update loop (the fields are
+        # immutable per installation; the NeighborList identity is stable
+        # - replace() swaps its internals, not the object).
+        self._query_probes: dict[int, tuple] = {}
         # Recycled CycleScratch instances (see CycleScratch.reset): the
         # steady-state update loop allocates no per-cycle scratch objects.
         self._scratch_pool: list[CycleScratch] = []
@@ -133,9 +145,12 @@ class CPMMonitor(ContinuousMonitor):
                 "bulk loading after query installation would corrupt results; "
                 "send appearance updates instead"
             )
+        grid = self._grid
         for oid, (x, y) in objects:
-            self._grid.insert(oid, x, y)
+            cid = grid.cell_id(x, y)
+            grid.insert_at(cid, oid, (x, y))
             self._positions[oid] = (x, y)
+            self._object_cells[oid] = cid
 
     # ------------------------------------------------------------------
     # Query installation (Figure 3.4)
@@ -174,11 +189,15 @@ class CPMMonitor(ContinuousMonitor):
         state.best_dist = state.nn.kth_dist
         state.reconcile_marks(self._grid, processed_upto=state.visit_length)
         self._queries[qid] = state
+        self._query_probes[qid] = (
+            state, state.nn, state.qx, state.qy, state.is_point
+        )
         return state.result_entries()
 
     def remove_query(self, qid: int) -> None:
         """Terminate a query: drop its QT entry and influence marks."""
         state = self._queries.pop(qid)
+        del self._query_probes[qid]
         state.unmark_all(self._grid)
 
     def result(self, qid: int) -> list[ResultEntry]:
@@ -196,21 +215,43 @@ class CPMMonitor(ContinuousMonitor):
         heap = state.heap
         partition = state.partition
         if state.is_point:
-            # Plain point NN: mindist computed inline, no constraint filter.
+            # Plain point NN: the core is the single query cell (mindist
+            # 0 by construction would be wrong for clamped out-of-bounds
+            # queries, so it is still computed) and the four level-0 keys
+            # are perpendicular gaps (strategies._perpendicular_gap,
+            # inlined; same float ops).
             qx = state.qx
             qy = state.qy
-            mindist = grid.mindist_xy
-            for i, j in partition.core_cells():
-                heap.push_cell(mindist(i, j, qx, qy), i, j)
+            ci = partition.i_lo
+            cj = partition.j_lo
+            bounds = grid.bounds
+            bx0 = bounds.x0
+            by0 = bounds.y0
+            delta = grid.delta
+            heap.push_cell(grid.mindist_xy(ci, cj, qx, qy), ci, cj)
+            rows_2 = partition.rows - 2
+            cols_2 = partition.cols - 2
+            if cj <= rows_2:  # UP_0 exists
+                gap = by0 + (cj + 1) * delta - qy
+                heap.push_rect(gap if gap > 0.0 else 0.0, 0, 0)
+            if ci <= cols_2:  # RIGHT_0
+                gap = bx0 + (ci + 1) * delta - qx
+                heap.push_rect(gap if gap > 0.0 else 0.0, 1, 0)
+            if cj >= 1:  # DOWN_0
+                gap = qy - (by0 + cj * delta)
+                heap.push_rect(gap if gap > 0.0 else 0.0, 2, 0)
+            if ci >= 1:  # LEFT_0
+                gap = qx - (bx0 + ci * delta)
+                heap.push_rect(gap if gap > 0.0 else 0.0, 3, 0)
         else:
             for i, j in partition.core_cells():
                 if strategy.cell_allowed(grid, i, j):
                     heap.push_cell(strategy.cell_key(grid, i, j), i, j)
-        for direction in DIRECTIONS:
-            if partition.exists(direction, 0):
-                heap.push_rect(
-                    strategy.strip_key0(grid, partition, direction), direction, 0
-                )
+            for direction in DIRECTIONS:
+                if partition.exists(direction, 0):
+                    heap.push_rect(
+                        strategy.strip_key0(grid, partition, direction), direction, 0
+                    )
 
     def _run_search(self, state: QueryState) -> None:
         """The de-heaping loop of Figure 3.4 (also the heap continuation of
@@ -221,9 +262,11 @@ class CPMMonitor(ContinuousMonitor):
         De-heaped cells run lines 10-12 of Figure 3.4 inline: scan the
         cell, update ``best_NN``, insert the query into the cell's
         influence list, extend the visit list.  For plain point queries the
-        best-NN insertion (the semantics of ``NeighborList.add``) is
-        likewise inlined against the live entry/distance containers — this
-        is the hottest loop of the library.
+        cell scan is the fused :meth:`Grid.scan_within` kernel (distances
+        computed and bounded by the k-th distance in one comprehension)
+        and the best-NN insertion (the semantics of ``NeighborList.add``)
+        is inlined against the live entry/distance containers — this is
+        the hottest loop of the library.
         """
         grid = self._grid
         strategy = state.strategy
@@ -235,12 +278,28 @@ class CPMMonitor(ContinuousMonitor):
         qx = state.qx
         qy = state.qy
         qid = state.qid
-        mindist = grid.mindist_xy
-        scan = grid.scan
-        add_mark_id = grid.add_mark_id
         rows = grid.rows
-        visit_cells = state.visit_cells
+        visit_cids = state.visit_cids
         visit_keys = state.visit_keys
+        # Inlined partition geometry for the point path: the core cell,
+        # the workspace frame and the per-direction level bounds (the
+        # max_level arithmetic of ConceptualPartition) as plain locals.
+        bounds = grid.bounds
+        bx0 = bounds.x0
+        by0 = bounds.y0
+        bx1 = bounds.x1
+        by1 = bounds.y1
+        delta = grid.delta
+        cols_1 = grid.cols - 1
+        rows_1 = rows - 1
+        ci = partition.i_lo
+        cj = partition.j_lo
+        # Inlined grid storage (the mirror contract of the grid module
+        # docstring): the cell columns, the mark store and the counters
+        # are driven directly — zero function frames per processed cell.
+        cells_store = grid._cells
+        marks_store = grid._marks
+        stats = grid.stats
         # The NN list identity is stable here: the search only inserts (in
         # place); replace() — which rebinds — never runs during a search.
         heap_list = heap._heap
@@ -249,26 +308,37 @@ class CPMMonitor(ContinuousMonitor):
         k = nn.k
         n_cur = len(entries)
         kd = entries[k - 1][0] if n_cur >= k else _INF
+        # Counters accumulate in locals and flush once after the loop:
+        # nothing reads them mid-search, and an attribute bump per cell
+        # is measurable at this loop's trip count.
+        n_scans = 0
+        n_objs = 0
+        n_marks = 0
         while heap_list:
             if heap_list[0][0] >= kd:
                 break
             key, _seq, kind, a, b = heappop(heap_list)
             if kind == CELL:
-                cell = scan(a, b)
-                if cell:
+                cid = a * rows + b
+                # Inlined Grid.scan_within / scan_all_flat: one charged
+                # cell access, objects_scanned bumped by the population.
+                cell = cells_store[cid]
+                n_scans += 1
+                if cell is not None and (coids := cell.oids):
+                    n_objs += len(coids)
                     if is_point:
-                        for oid, pt in cell.items():
-                            d = hypot(pt[0] - qx, pt[1] - qy)
-                            # Pre-filter on the k-th distance: candidates
-                            # beyond it can never enter; ties resolve by
-                            # (dist, oid) entry order exactly as add().
+                        # Fused scan-and-merge over the coordinate
+                        # columns; ties resolve by (dist, oid) entry
+                        # order exactly as NeighborList.add.
+                        for oid, x, y in zip(coids, cell.xs, cell.ys):
+                            d = hypot(x - qx, y - qy)
                             if d <= kd:
                                 if n_cur < k:
                                     insort(entries, (d, oid))
                                     dists[oid] = d
                                     n_cur += 1
                                     if n_cur == k:
-                                        kd = entries[k - 1][0]
+                                        kd = entries[-1][0]
                                 else:
                                     entry = (d, oid)
                                     last = entries[-1]
@@ -277,28 +347,148 @@ class CPMMonitor(ContinuousMonitor):
                                         del dists[last[1]]
                                         insort(entries, entry)
                                         dists[oid] = d
-                                        kd = entries[k - 1][0]
+                                        kd = entries[-1][0]
                     else:
-                        for oid, (x, y) in cell.items():
+                        for oid, x, y in zip(coids, cell.xs, cell.ys):
                             if strategy.accepts(x, y):
                                 nn.add(strategy.dist(x, y), oid)
                         n_cur = len(entries)
                         kd = entries[k - 1][0] if n_cur >= k else _INF
-                add_mark_id(a * rows + b, qid)
-                visit_cells.append((a, b))
+                # Inlined Grid.add_mark_id (idempotent influence mark).
+                ms = marks_store[cid]
+                if ms is None:
+                    marks_store[cid] = {qid}
+                    n_marks += 1
+                elif qid not in ms:
+                    ms.add(qid)
+                    n_marks += 1
+                visit_cids.append(cid)
                 visit_keys.append(key)
-                state.marked_upto = len(visit_cells)
+            elif is_point:
+                # Rectangle expansion, point path: the strip ranges (the
+                # pinwheel arms of ConceptualPartition.strip_cell_range),
+                # the per-cell mindist (exact float ops of
+                # Grid.mindist_xy) and the heap pushes all run inline —
+                # this is where most heap entries are born.
+                direction, level = a, b
+                seq = heap._seq
+                if direction == 0:  # UP: row cj+level+1, columns vary
+                    jj = cj + level + 1
+                    lo = ci - level
+                    if lo < 0:
+                        lo = 0
+                    hi = ci + level + 1
+                    if hi > cols_1:
+                        hi = cols_1
+                    horizontal = True
+                    nxt = rows_1 - 1 - cj >= level + 1
+                elif direction == 1:  # RIGHT: column ci+level+1, rows vary
+                    ii = ci + level + 1
+                    lo = cj - level - 1
+                    if lo < 0:
+                        lo = 0
+                    hi = cj + level
+                    if hi > rows_1:
+                        hi = rows_1
+                    horizontal = False
+                    nxt = cols_1 - 1 - ci >= level + 1
+                elif direction == 2:  # DOWN: row cj-level-1, columns vary
+                    jj = cj - level - 1
+                    lo = ci - level - 1
+                    if lo < 0:
+                        lo = 0
+                    hi = ci + level
+                    if hi > cols_1:
+                        hi = cols_1
+                    horizontal = True
+                    nxt = cj - 1 >= level + 1
+                else:  # LEFT: column ci-level-1, rows vary
+                    ii = ci - level - 1
+                    lo = cj - level
+                    if lo < 0:
+                        lo = 0
+                    hi = cj + level + 1
+                    if hi > rows_1:
+                        hi = rows_1
+                    horizontal = False
+                    nxt = ci - 1 >= level + 1
+                if horizontal:
+                    # Fixed-row arm: dy is constant (same branch structure
+                    # as mindist_xy, computed once), dx varies per column.
+                    y0 = by0 + jj * delta
+                    if qy < y0:
+                        dy = y0 - qy
+                    else:
+                        y1 = y0 + delta
+                        if jj == rows_1 and y1 < by1:
+                            y1 = by1
+                        dy = qy - y1 if qy > y1 else 0.0
+                    for i in range(lo, hi + 1):
+                        x0 = bx0 + i * delta
+                        if qx < x0:
+                            dx = x0 - qx
+                        else:
+                            x1 = x0 + delta
+                            if i == cols_1 and x1 < bx1:
+                                x1 = bx1
+                            dx = qx - x1 if qx > x1 else 0.0
+                        if dx == 0.0:
+                            md = dy
+                        elif dy == 0.0:
+                            md = dx
+                        else:
+                            md = hypot(dx, dy)
+                        seq += 1
+                        heappush(heap_list, (md, seq, CELL, i, jj))
+                else:
+                    # Fixed-column arm: dx constant, dy varies per row.
+                    x0 = bx0 + ii * delta
+                    if qx < x0:
+                        dx = x0 - qx
+                    else:
+                        x1 = x0 + delta
+                        if ii == cols_1 and x1 < bx1:
+                            x1 = bx1
+                        dx = qx - x1 if qx > x1 else 0.0
+                    for j in range(lo, hi + 1):
+                        y0 = by0 + j * delta
+                        if qy < y0:
+                            dy = y0 - qy
+                        else:
+                            y1 = y0 + delta
+                            if j == rows_1 and y1 < by1:
+                                y1 = by1
+                            dy = qy - y1 if qy > y1 else 0.0
+                        if dx == 0.0:
+                            md = dy
+                        elif dy == 0.0:
+                            md = dx
+                        else:
+                            md = hypot(dx, dy)
+                        seq += 1
+                        heappush(heap_list, (md, seq, CELL, ii, j))
+                if nxt:
+                    # Inlined SearchHeap.push_rect (Lemma 3.1 key step).
+                    seq += 1
+                    heappush(heap_list, (key + step, seq, RECT, direction, level + 1))
+                heap._seq = seq
             else:
                 direction, level = a, b
-                if is_point:
-                    for i, j in partition.strip_cells(direction, level):
-                        heap.push_cell(mindist(i, j, qx, qy), i, j)
-                else:
-                    for i, j in partition.strip_cells(direction, level):
-                        if strategy.cell_allowed(grid, i, j):
-                            heap.push_cell(strategy.cell_key(grid, i, j), i, j)
+                for i, j in partition.strip_cells(direction, level):
+                    if strategy.cell_allowed(grid, i, j):
+                        heap.push_cell(strategy.cell_key(grid, i, j), i, j)
                 if partition.exists(direction, level + 1):
                     heap.push_rect(key + step, direction, level + 1)
+        if n_scans:
+            stats.cell_scans += n_scans
+            stats.objects_scanned += n_objs
+        if n_marks:
+            stats.mark_ops += n_marks
+            grid._mark_count += n_marks
+        # Every de-heaped cell was marked and appended above, so the
+        # marked prefix always extends exactly to the visit-list end.
+        if state.marked_upto < len(visit_cids):
+            state.marked_upto = len(visit_cids)
 
     def _recompute(self, state: QueryState) -> None:
         """NN re-computation (Figure 3.6): rescan the visit list first, then
@@ -306,39 +496,46 @@ class CPMMonitor(ContinuousMonitor):
         grid = self._grid
         nn = state.nn
         nn.clear()
-        visit_cells = state.visit_cells
+        visit_cids = state.visit_cids
         visit_keys = state.visit_keys
-        scan = grid.scan
+        cells_store = grid._cells
+        stats = grid.stats
         qid = state.qid
         is_point = state.is_point
         qx = state.qx
         qy = state.qy
         strategy = state.strategy
         pos = 0
-        total = len(visit_cells)
+        total = len(visit_cids)
         entries = nn._entries
         dists = nn._dists
         k = nn.k
         n_cur = 0
+        n_scans = 0
+        n_objs = 0
         kd = _INF  # the list was just cleared; under-full never stops a scan
         while pos < total:
             if visit_keys[pos] >= kd:
                 break
-            i, j = visit_cells[pos]
-            cell = scan(i, j)
-            if cell:
+            cid = visit_cids[pos]
+            # Inlined Grid.scan_within / scan_all_flat over the cell
+            # columns + inline best-NN insertion (same semantics as
+            # NeighborList.add, see _run_search); counters flush once
+            # after the loop, as in _run_search.
+            cell = cells_store[cid]
+            n_scans += 1
+            if cell is not None and (coids := cell.oids):
+                n_objs += len(coids)
                 if is_point:
-                    for oid, pt in cell.items():
-                        d = hypot(pt[0] - qx, pt[1] - qy)
+                    for oid, x, y in zip(coids, cell.xs, cell.ys):
+                        d = hypot(x - qx, y - qy)
                         if d <= kd:
-                            # Inline best-NN insertion (same semantics as
-                            # NeighborList.add, see _run_search).
                             if n_cur < k:
                                 insort(entries, (d, oid))
                                 dists[oid] = d
                                 n_cur += 1
                                 if n_cur == k:
-                                    kd = entries[k - 1][0]
+                                    kd = entries[-1][0]
                             else:
                                 entry = (d, oid)
                                 last = entries[-1]
@@ -347,16 +544,19 @@ class CPMMonitor(ContinuousMonitor):
                                     del dists[last[1]]
                                     insort(entries, entry)
                                     dists[oid] = d
-                                    kd = entries[k - 1][0]
+                                    kd = entries[-1][0]
                 else:
-                    for oid, (x, y) in cell.items():
+                    for oid, x, y in zip(coids, cell.xs, cell.ys):
                         if strategy.accepts(x, y):
                             nn.add(strategy.dist(x, y), oid)
                     kd = nn.kth_dist
             if pos >= state.marked_upto:
-                grid.add_mark((i, j), qid)
+                grid.add_mark_id(cid, qid)
                 state.marked_upto = pos + 1
             pos += 1
+        if n_scans:
+            stats.cell_scans += n_scans
+            stats.objects_scanned += n_objs
         if pos == total:
             # The whole visit list was consumed; the residual heap holds the
             # frontier (its minimum key is >= every visit-list key).
@@ -443,9 +643,15 @@ class CPMMonitor(ContinuousMonitor):
         scratch: dict[int, CycleScratch] = {}
         cell_id = grid.cell_id
         scratch_get = scratch.get
-        # Inlined cell addressing (same float ops as Grid.cell_id) and the
-        # live mark store: one multiply-add + one index per influence probe.
+        # Inlined cell addressing (same float ops as Grid.cell_id), the
+        # live mark/cell stores and the counters: one multiply-add + one
+        # index per influence probe, zero function frames per columnar
+        # mutation (the storage-mirror contract of the grid module).
         marks_store = grid._marks
+        cells_store = grid._cells
+        stats = grid.stats
+        object_cells = self._object_cells
+        probes = self._query_probes
         bounds = grid.bounds
         bx0 = bounds.x0
         by0 = bounds.y0
@@ -455,22 +661,18 @@ class CPMMonitor(ContinuousMonitor):
         cols_1 = cols - 1
         rows_1 = rows - 1
 
+        n_del = 0
+        n_ins = 0
         for upd in object_updates:
             oid = upd.oid
             old = upd.old
             new = upd.new
             if old is not None and new is not None:
-                i = int((old[0] - bx0) / delta)
-                if i < 0:
-                    i = 0
-                elif i > cols_1:
-                    i = cols_1
-                j = int((old[1] - by0) / delta)
-                if j < 0:
-                    j = 0
-                elif j > rows_1:
-                    j = rows_1
-                old_cid = i * rows + j
+                # The old cell comes from the object->cell map (identical
+                # to re-deriving it from the old coordinates for any
+                # consistent stream); the new cell is inlined Grid.cell_id
+                # (same float ops).
+                old_cid = object_cells[oid]
                 nx = new[0]
                 ny = new[1]
                 i = int((nx - bx0) / delta)
@@ -485,36 +687,47 @@ class CPMMonitor(ContinuousMonitor):
                     j = rows_1
                 new_cid = i * rows + j
                 if old_cid == new_cid:
-                    # Same-cell move (the common case at coarse grids): one
-                    # hash-table store and one influence probe instead of a
-                    # delete/insert pair touching the mark set twice.  The
-                    # combined loop below is exactly the delete-phase
-                    # followed by the insert-phase of Figure 3.8 for a cell
-                    # whose mark set is probed once.
-                    grid.relocate_at(old_cid, oid, new)
+                    # Same-cell move (the common case at coarse grids): two
+                    # in-place column stores and one influence probe
+                    # instead of a delete/insert pair touching the mark set
+                    # twice.  The combined loop below is exactly the
+                    # delete-phase followed by the insert-phase of Figure
+                    # 3.8 for a cell whose mark set is probed once.
+                    # (Inlined Grid.relocate_at.)
+                    cell = cells_store[old_cid]
+                    idx = None if cell is None else cell.slot.get(oid)
+                    if idx is None:
+                        raise KeyError(
+                            f"object {oid} not found in cell "
+                            f"{grid.unpack(old_cid)}"
+                        )
+                    cell.xs[idx] = nx
+                    cell.ys[idx] = ny
+                    n_del += 1
+                    n_ins += 1
                     positions[oid] = new
                     ms = marks_store[old_cid]
                     if ms:
                         for qid in ms:
                             if qid in updated_qids:
                                 continue
-                            state = queries[qid]
+                            state, nn, pqx, pqy, ispt = probes[qid]
                             sc = scratch_get(qid)
-                            if state.is_point:
-                                d = hypot(nx - state.qx, ny - state.qy)
+                            if ispt:
+                                d = hypot(nx - pqx, ny - pqy)
                                 ok = True
                             else:
                                 ok = state.strategy.accepts(nx, ny)
                                 d = state.strategy.dist(nx, ny) if ok else 0.0
-                            if oid in state.nn._dists:
+                            if oid in nn._dists:
                                 if sc is None:
                                     sc = scratch[qid] = self._acquire_scratch(state)
                                 if ok and d <= state.best_dist:
                                     # p remains in the NN set; update order.
-                                    state.nn.update_dist(oid, d)
+                                    nn.update_dist(oid, d)
                                     sc.note_reorder()
                                 else:
-                                    state.nn.remove(oid)
+                                    nn.remove(oid)
                                     sc.note_outgoing()
                             else:
                                 if sc is not None and oid in sc.in_list._dists:
@@ -528,48 +741,87 @@ class CPMMonitor(ContinuousMonitor):
                                     sc.note_incomer(d, oid)
                     continue
                 # Cross-cell move: delete phase on the old cell...
-                grid.delete_at(old_cid, oid)
+                # (Inlined Grid.delete_at: delete-by-swap on the columns.)
+                cell = cells_store[old_cid]
+                idx = None if cell is None else cell.slot.pop(oid, None)
+                if idx is None:
+                    raise KeyError(
+                        f"object {oid} not found in cell {grid.unpack(old_cid)}"
+                    )
+                coids = cell.oids
+                last_oid = coids.pop()
+                lx = cell.xs.pop()
+                ly = cell.ys.pop()
+                if last_oid != oid:
+                    coids[idx] = last_oid
+                    cell.xs[idx] = lx
+                    cell.ys[idx] = ly
+                    cell.slot[last_oid] = idx
+                elif not coids:
+                    grid._occupied -= 1
+                grid._n_objects -= 1
+                n_del += 1
                 ms = marks_store[old_cid]
                 if ms:
                     for qid in ms:
                         if qid in updated_qids:
                             continue
-                        state = queries[qid]
+                        state, nn, pqx, pqy, ispt = probes[qid]
                         sc = scratch_get(qid)
-                        if oid in state.nn._dists:
+                        if oid in nn._dists:
                             if sc is None:
                                 sc = scratch[qid] = self._acquire_scratch(state)
-                            if state.is_point:
-                                d = hypot(nx - state.qx, ny - state.qy)
+                            if ispt:
+                                d = hypot(nx - pqx, ny - pqy)
                                 ok = True
                             else:
                                 ok = state.strategy.accepts(nx, ny)
                                 d = state.strategy.dist(nx, ny) if ok else 0.0
                             if ok and d <= state.best_dist:
                                 # p remains in the NN set; update the order.
-                                state.nn.update_dist(oid, d)
+                                nn.update_dist(oid, d)
                                 sc.note_reorder()
                             else:
                                 # p is an outgoing NN (moved beyond
                                 # best_dist or left the constraint region).
-                                state.nn.remove(oid)
+                                nn.remove(oid)
                                 sc.note_outgoing()
                         elif sc is not None and oid in sc.in_list._dists:
                             # A pending incomer moved again within this cycle.
                             sc.in_list.remove(oid)
                 # ... then insert phase on the new cell.
-                grid.insert_at(new_cid, oid, new)
+                # (Inlined Grid.insert_at: append a row to the columns.)
+                cell = cells_store[new_cid]
+                if cell is None:
+                    cell = CellColumns()
+                    cells_store[new_cid] = cell
+                slot = cell.slot
+                if oid in slot:
+                    raise KeyError(
+                        f"object {oid} already present in cell "
+                        f"{grid.unpack(new_cid)}"
+                    )
+                coids = cell.oids
+                if not coids:
+                    grid._occupied += 1
+                slot[oid] = len(coids)
+                coids.append(oid)
+                cell.xs.append(nx)
+                cell.ys.append(ny)
+                grid._n_objects += 1
+                n_ins += 1
                 positions[oid] = new
+                object_cells[oid] = new_cid
                 ms = marks_store[new_cid]
                 if ms:
                     for qid in ms:
                         if qid in updated_qids:
                             continue
-                        state = queries[qid]
-                        if oid in state.nn._dists:
+                        state, nn, pqx, pqy, ispt = probes[qid]
+                        if oid in nn._dists:
                             continue
-                        if state.is_point:
-                            d = hypot(nx - state.qx, ny - state.qy)
+                        if ispt:
+                            d = hypot(nx - pqx, ny - pqy)
                         else:
                             if not state.strategy.accepts(nx, ny):
                                 continue
@@ -582,19 +834,38 @@ class CPMMonitor(ContinuousMonitor):
                 continue
             if old is not None:
                 # Disappearance: off-line NNs are outgoing ones (Section 4.2).
-                old_cid = cell_id(old[0], old[1])
-                grid.delete_at(old_cid, oid)
+                # (Inlined Grid.delete_at, as in the move path above.)
+                old_cid = object_cells.pop(oid)
+                cell = cells_store[old_cid]
+                idx = None if cell is None else cell.slot.pop(oid, None)
+                if idx is None:
+                    raise KeyError(
+                        f"object {oid} not found in cell {grid.unpack(old_cid)}"
+                    )
+                coids = cell.oids
+                last_oid = coids.pop()
+                lx = cell.xs.pop()
+                ly = cell.ys.pop()
+                if last_oid != oid:
+                    coids[idx] = last_oid
+                    cell.xs[idx] = lx
+                    cell.ys[idx] = ly
+                    cell.slot[last_oid] = idx
+                elif not coids:
+                    grid._occupied -= 1
+                grid._n_objects -= 1
+                n_del += 1
                 ms = marks_store[old_cid]
                 if ms:
                     for qid in ms:
                         if qid in updated_qids:
                             continue
-                        state = queries[qid]
+                        state, nn, _pqx, _pqy, _ispt = probes[qid]
                         sc = scratch_get(qid)
-                        if oid in state.nn._dists:
+                        if oid in nn._dists:
                             if sc is None:
                                 sc = scratch[qid] = self._acquire_scratch(state)
-                            state.nn.remove(oid)
+                            nn.remove(oid)
                             sc.note_outgoing()
                         elif sc is not None and oid in sc.in_list._dists:
                             sc.in_list.remove(oid)
@@ -603,8 +874,27 @@ class CPMMonitor(ContinuousMonitor):
             # Appearance (old is None; both None is rejected by ObjectUpdate).
             assert new is not None
             new_cid = cell_id(new[0], new[1])
-            grid.insert_at(new_cid, oid, new)
+            # (Inlined Grid.insert_at, as in the move path above.)
+            cell = cells_store[new_cid]
+            if cell is None:
+                cell = CellColumns()
+                cells_store[new_cid] = cell
+            slot = cell.slot
+            if oid in slot:
+                raise KeyError(
+                    f"object {oid} already present in cell {grid.unpack(new_cid)}"
+                )
+            coids = cell.oids
+            if not coids:
+                grid._occupied += 1
+            slot[oid] = len(coids)
+            coids.append(oid)
+            cell.xs.append(new[0])
+            cell.ys.append(new[1])
+            grid._n_objects += 1
+            n_ins += 1
             positions[oid] = new
+            object_cells[oid] = new_cid
             ms = marks_store[new_cid]
             if ms:
                 nx = new[0]
@@ -612,11 +902,11 @@ class CPMMonitor(ContinuousMonitor):
                 for qid in ms:
                     if qid in updated_qids:
                         continue
-                    state = queries[qid]
-                    if oid in state.nn._dists:
+                    state, nn, pqx, pqy, ispt = probes[qid]
+                    if oid in nn._dists:
                         continue
-                    if state.is_point:
-                        d = hypot(nx - state.qx, ny - state.qy)
+                    if ispt:
+                        d = hypot(nx - pqx, ny - pqy)
                     else:
                         if not state.strategy.accepts(nx, ny):
                             continue
@@ -626,6 +916,10 @@ class CPMMonitor(ContinuousMonitor):
                         if sc is None:
                             sc = scratch[qid] = self._acquire_scratch(state)
                         sc.note_incomer(d, oid)
+
+        if n_del or n_ins:
+            stats.deletes += n_del
+            stats.inserts += n_ins
 
         changed: set[int] = set()
         for qid, sc in scratch.items():

@@ -118,11 +118,15 @@ class GridRangeMonitor:
             for coord in self._grid.cells_in_rect(rect.x0, rect.y0, rect.x1, rect.y1)
         ]
         query = _RangeQuery(rect, cells)
+        grid = self._grid
+        rows = grid.rows
+        contains = rect.contains_point
         for coord in cells:
-            self._grid.add_mark(coord, qid)
-            for oid, (x, y) in self._grid.scan(*coord).items():
-                if rect.contains_point(x, y):
-                    query.members.add(oid)
+            grid.add_mark(coord, qid)
+            oids, xs, ys = grid.scan_all_flat(coord[0] * rows + coord[1])
+            query.members.update(
+                oid for oid, x, y in zip(oids, xs, ys) if contains(x, y)
+            )
         self._queries[qid] = query
         return set(query.members)
 

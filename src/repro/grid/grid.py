@@ -8,13 +8,20 @@ tuple allocation plus a tuple hash.  Grids too large for dense backing
 (beyond ~2M cells; the paper's finest granularity, 1024x1024, stays dense)
 fall back transparently to a sparse store with identical semantics.
 
-Per-cell object lists are hash tables, matching the paper's cost model
-("the object lists of the cells are implemented as hash tables so that the
-deletion of an object from its old cell and the insertion into its new one
-takes expected ``Time_ind = 2``", Section 4.1).  Empty cell dictionaries
-and mark sets are kept in place once allocated: cells that repeatedly
-empty and refill (the common case under sustained update streams) reuse
-their containers instead of churning the allocator.
+Per-cell object lists are *columnar*
+(:class:`repro.grid.kernels.CellColumns`): parallel ``oids`` / ``xs`` /
+``ys`` lists plus an ``oid -> slot`` hash side index.  The side index
+preserves the paper's cost model ("the object lists of the cells are
+implemented as hash tables so that the deletion of an object from its old
+cell and the insertion into its new one takes expected ``Time_ind = 2``",
+Section 4.1: insert appends a row, delete swaps the last row into the
+freed slot — both expected O(1)), while the flat coordinate columns let
+the scan kernels (:meth:`Grid.scan_within`, :meth:`Grid.scan_best_k`,
+:meth:`Grid.scan_all_flat`) run their distance-and-filter loops as single
+fused comprehensions instead of per-object dict iteration.  Empty cell
+columns and mark sets are kept in place once allocated: cells that
+repeatedly empty and refill (the common case under sustained update
+streams) reuse their containers instead of churning the allocator.
 
 The grid additionally hosts *query marks*: per-cell sets of query ids.  CPM
 uses them as influence lists ("each cell c of the grid is associated with
@@ -26,27 +33,31 @@ O(1).
 Two parallel APIs are exposed: the coordinate API (``insert``, ``scan``,
 ``add_mark`` ... over ``(i, j)`` tuples — the stable public surface) and
 the packed-id API (``cell_id``, ``insert_at``, ``delete_at``,
-``relocate_at``, ``add_mark_id`` ...).  The CPM engine drives its update
-loop through the packed-id mutators; its very hottest reads (the
-per-update influence probe, the per-move cell addressing) additionally
-inline this module's storage layout directly — any change to the packing
-scheme or the cell decision here must be mirrored in
-``repro.core.cpm.CPMMonitor.process``.  Both views address the same
-storage and may be mixed freely.
+``relocate_at``, ``add_mark_id`` ...).  The CPM engine inlines this
+module's storage layout directly in its hottest loops — cell addressing,
+columnar mutations, influence probes, scan kernels and mark maintenance
+— as does :meth:`Grid.move` itself; any change to the packing scheme,
+the cell decision or the column layout here must be mirrored in
+``repro.core.cpm`` and ``repro.core.bookkeeping`` (the storage-mirror
+contract).  Both views address the same storage and may be mixed freely.
 """
 
 from __future__ import annotations
 
 import math
 from collections.abc import Iterable, Iterator
+from math import hypot as _hypot
 
 from repro.geometry.points import Point
 from repro.geometry.rects import Rect
 from repro.grid.cell import CellCoord, cell_bounds, cell_index
+from repro.grid.kernels import CellColumns, best_k
 from repro.grid.stats import GridStats
 
 _EMPTY_OBJECTS: dict[int, Point] = {}
 _EMPTY_MARKS: frozenset[int] = frozenset()
+#: immutable empty column triple returned by flat scans of empty cells.
+_EMPTY_COLUMNS: tuple = ((), (), ())
 
 #: largest cell count served by dense (list) backing; 1024x1024 — the
 #: paper's finest evaluated granularity — is ~1M cells and stays dense.
@@ -128,7 +139,7 @@ class Grid:
         )
         self.stats = GridStats()
         n_cells = self.cols * self.rows
-        # cid -> {oid: (x, y)} and cid -> {qid, ...}; dense list backing
+        # cid -> CellColumns and cid -> {qid, ...}; dense list backing
         # when the grid fits, sparse fallback otherwise.
         if n_cells <= _DENSE_LIMIT:
             self._cells: list | _SparseStore = [None] * n_cells
@@ -273,31 +284,39 @@ class Grid:
     def insert_at(self, cid: int, oid: int, point: Point) -> None:
         """Insert object ``oid`` into the cell with packed id ``cid``.
 
-        The caller vouches that ``cid == self.cell_id(*point)``; the stored
-        position tuple is ``point`` itself (no re-allocation).
+        The caller vouches that ``cid == self.cell_id(*point)``.
         """
         cells = self._cells
         cell = cells[cid]
         if cell is None:
-            cell = {}
+            cell = CellColumns()
             cells[cid] = cell
-        if oid in cell:
+        slot = cell.slot
+        if oid in slot:
             raise KeyError(
                 f"object {oid} already present in cell {self.unpack(cid)}"
             )
-        if not cell:
+        oids = cell.oids
+        if not oids:
             self._occupied += 1
-        cell[oid] = point
+        slot[oid] = len(oids)
+        oids.append(oid)
+        cell.xs.append(point[0])
+        cell.ys.append(point[1])
         self._n_objects += 1
         self.stats.inserts += 1
 
     def delete_at(self, cid: int, oid: int) -> None:
-        """Delete object ``oid`` from the cell with packed id ``cid``."""
+        """Delete object ``oid`` from the cell with packed id ``cid``.
+
+        Delete-by-swap: the last column row moves into the freed slot, so
+        removal is O(1) regardless of the cell population.
+        """
         cell = self._cells[cid]
-        if cell is None or oid not in cell:
+        if cell is None or oid not in cell.slot:
             raise KeyError(f"object {oid} not found in cell {self.unpack(cid)}")
-        del cell[oid]
-        if not cell:
+        cell.delete(oid)
+        if not cell.oids:
             self._occupied -= 1
         self._n_objects -= 1
         self.stats.deletes += 1
@@ -306,12 +325,16 @@ class Grid:
         """Move an object within its cell (same-cell location update).
 
         Observationally a delete followed by an insert into the same cell
-        (both counters bump), executed as a single hash-table store.
+        (both counters bump), executed as two in-place column stores.
         """
         cell = self._cells[cid]
-        if cell is None or oid not in cell:
+        if cell is None:
             raise KeyError(f"object {oid} not found in cell {self.unpack(cid)}")
-        cell[oid] = point
+        idx = cell.slot.get(oid)
+        if idx is None:
+            raise KeyError(f"object {oid} not found in cell {self.unpack(cid)}")
+        cell.xs[idx] = point[0]
+        cell.ys[idx] = point[1]
         self.stats.deletes += 1
         self.stats.inserts += 1
 
@@ -330,10 +353,97 @@ class Grid:
     def move(
         self, oid: int, old: Point, new: Point
     ) -> tuple[CellCoord, CellCoord]:
-        """Relocate an object; returns ``(old_cell, new_cell)``."""
-        old_coord = self.delete(oid, old[0], old[1])
-        new_coord = self.insert(oid, new[0], new[1])
-        return (old_coord, new_coord)
+        """Relocate an object; returns ``(old_cell, new_cell)``.
+
+        Same-cell moves (the common case at coarse granularities) take an
+        in-place relocate fast path — each cell id is computed once and
+        no delete/insert pair runs.  Counters are identical to the
+        two-step path (one delete plus one insert bump either way).  The
+        addressing and both columnar mutations run inline (zero callee
+        frames): this is the whole object-maintenance path of the
+        YPK-CNN / SEA-CNN update loops.
+        """
+        bounds = self.bounds
+        bx0 = bounds.x0
+        by0 = bounds.y0
+        delta = self.delta
+        cols_1 = self.cols - 1
+        rows = self.rows
+        rows_1 = rows - 1
+        # Inlined cell_id for both endpoints (same float ops).
+        i = int((old[0] - bx0) / delta)
+        if i < 0:
+            i = 0
+        elif i > cols_1:
+            i = cols_1
+        j = int((old[1] - by0) / delta)
+        if j < 0:
+            j = 0
+        elif j > rows_1:
+            j = rows_1
+        old_cid = i * rows + j
+        i = int((new[0] - bx0) / delta)
+        if i < 0:
+            i = 0
+        elif i > cols_1:
+            i = cols_1
+        j = int((new[1] - by0) / delta)
+        if j < 0:
+            j = 0
+        elif j > rows_1:
+            j = rows_1
+        new_cid = i * rows + j
+        cells = self._cells
+        stats = self.stats
+        cell = cells[old_cid]
+        if old_cid == new_cid:
+            # Inlined relocate_at.
+            idx = None if cell is None else cell.slot.get(oid)
+            if idx is None:
+                raise KeyError(
+                    f"object {oid} not found in cell {self.unpack(old_cid)}"
+                )
+            cell.xs[idx] = new[0]
+            cell.ys[idx] = new[1]
+        else:
+            # Inlined delete_at (delete-by-swap) ...
+            idx = None if cell is None else cell.slot.pop(oid, None)
+            if idx is None:
+                raise KeyError(
+                    f"object {oid} not found in cell {self.unpack(old_cid)}"
+                )
+            oids = cell.oids
+            last_oid = oids.pop()
+            lx = cell.xs.pop()
+            ly = cell.ys.pop()
+            if last_oid != oid:
+                oids[idx] = last_oid
+                cell.xs[idx] = lx
+                cell.ys[idx] = ly
+                cell.slot[last_oid] = idx
+            elif not oids:
+                self._occupied -= 1
+            # ... and inlined insert_at on the new cell (duplicate guard
+            # kept: a second row for oid would be unscannable corruption).
+            cell = cells[new_cid]
+            if cell is None:
+                cell = CellColumns()
+                cells[new_cid] = cell
+            slot = cell.slot
+            if oid in slot:
+                raise KeyError(
+                    f"object {oid} already present in cell {self.unpack(new_cid)}"
+                )
+            oids = cell.oids
+            if not oids:
+                self._occupied += 1
+            slot[oid] = len(oids)
+            oids.append(oid)
+            cell.xs.append(new[0])
+            cell.ys.append(new[1])
+        stats.deletes += 1
+        stats.inserts += 1
+        return (divmod(old_cid, rows), divmod(new_cid, rows))
 
     def bulk_load(self, objects: Iterable[tuple[int, Point]]) -> None:
         """Insert many objects at once (initial workload loading)."""
@@ -347,46 +457,121 @@ class Grid:
     def scan_id(self, cid: int) -> dict[int, Point]:
         """Scan the object list of the cell ``cid`` — *this is a cell access*.
 
-        Every call increments the counters that back Figure 6.3b.  The
-        returned mapping is the live cell dictionary; callers must not
-        mutate it.
+        Every call increments the counters that back Figure 6.3b.  This is
+        the dict *compatibility view* over the columnar store (a fresh
+        ``{oid: (x, y)}`` snapshot per call); hot paths use the fused
+        kernels (:meth:`scan_within`, :meth:`scan_best_k`,
+        :meth:`scan_all_flat`) instead, which charge identically.
         """
         cell = self._cells[cid]
         stats = self.stats
         stats.cell_scans += 1
-        if cell:
-            stats.objects_scanned += len(cell)
-            return cell
+        if cell is not None and cell.oids:
+            stats.objects_scanned += len(cell.oids)
+            return cell.as_dict()
         return _EMPTY_OBJECTS
 
     def scan(self, i: int, j: int) -> dict[int, Point]:
-        """Scan the object list of ``c_{i,j}`` (a charged cell access)."""
+        """Scan the object list of ``c_{i,j}`` (a charged cell access).
+
+        Dict compatibility view, like :meth:`scan_id`.
+        """
         if 0 <= i < self.cols and 0 <= j < self.rows:
             cell = self._cells[i * self.rows + j]
         else:
             cell = None
         stats = self.stats
         stats.cell_scans += 1
-        if cell:
-            stats.objects_scanned += len(cell)
-            return cell
+        if cell is not None and cell.oids:
+            stats.objects_scanned += len(cell.oids)
+            return cell.as_dict()
         return _EMPTY_OBJECTS
+
+    # -- fused scan kernels (see repro.grid.kernels) -------------------
+
+    def scan_within(
+        self, cid: int, qx: float, qy: float, r: float
+    ) -> list[tuple[float, int]]:
+        """Fused scan-and-filter: ``(dist, oid)`` pairs with ``dist <= r``.
+
+        One charged cell access (same accounting as :meth:`scan_id`: the
+        whole cell population counts as scanned — the bound prunes the
+        *candidates*, not the paper's cost).  ``r = inf`` returns every
+        object with its distance computed.
+        """
+        cell = self._cells[cid]
+        stats = self.stats
+        stats.cell_scans += 1
+        if cell is None:
+            return []
+        oids = cell.oids
+        if not oids:
+            return []
+        stats.objects_scanned += len(oids)
+        # kernels.within, inlined to spare one frame per scanned cell.
+        return [
+            (d, oid)
+            for oid, x, y in zip(oids, cell.xs, cell.ys)
+            if (d := _hypot(x - qx, y - qy)) <= r
+        ]
+
+    def scan_best_k(
+        self, cid: int, qx: float, qy: float, k: int, bound: float = math.inf
+    ) -> list[tuple[float, int]]:
+        """The cell's ``k`` best ``(dist, oid)`` within ``bound``, ascending.
+
+        One charged cell access, like :meth:`scan_within`.
+        """
+        cell = self._cells[cid]
+        stats = self.stats
+        stats.cell_scans += 1
+        if cell is None:
+            return []
+        oids = cell.oids
+        if not oids:
+            return []
+        stats.objects_scanned += len(oids)
+        return best_k(oids, cell.xs, cell.ys, qx, qy, k, bound)
+
+    def scan_all_flat(
+        self, cid: int
+    ) -> tuple[list[int], list[float], list[float]]:
+        """The cell's raw ``(oids, xs, ys)`` columns — a charged access.
+
+        For strategy-generic consumers that apply their own predicate.
+        The returned lists are the live columns; callers must not mutate
+        them (and must not hold them across grid mutations).
+        """
+        cell = self._cells[cid]
+        stats = self.stats
+        stats.cell_scans += 1
+        if cell is None:
+            return _EMPTY_COLUMNS
+        oids = cell.oids
+        if not oids:
+            return _EMPTY_COLUMNS
+        stats.objects_scanned += len(oids)
+        return cell.columns
 
     def peek(self, i: int, j: int) -> dict[int, Point]:
         """Object list of ``c_{i,j}`` *without* charging a cell access.
 
         Reserved for assertions, tests and size inspection — algorithm code
-        must go through :meth:`scan`.
+        must go through :meth:`scan` or the fused kernels.
         """
         if 0 <= i < self.cols and 0 <= j < self.rows:
             cell = self._cells[i * self.rows + j]
-            if cell:
-                return cell
+            if cell is not None and cell.oids:
+                return cell.as_dict()
         return _EMPTY_OBJECTS
 
     def cell_size(self, i: int, j: int) -> int:
         """Number of objects currently in ``c_{i,j}`` (no access charged)."""
-        return len(self.peek(i, j))
+        if 0 <= i < self.cols and 0 <= j < self.rows:
+            cell = self._cells[i * self.rows + j]
+            if cell is not None:
+                return len(cell.oids)
+        return 0
 
     def __len__(self) -> int:
         """Total number of indexed objects."""

@@ -1,0 +1,170 @@
+"""Columnar cell storage and the fused scan/filter kernels.
+
+The per-cell object store of the grid index is *columnar*: a cell keeps
+its objects in three parallel flat lists — ``oids`` / ``xs`` / ``ys`` —
+plus an ``oid -> slot`` side index for O(1) membership, delete-by-swap
+and same-cell relocation.  The paper's cost model is unchanged (a cell
+list still supports expected-O(1) insert and delete, the ``Time_ind = 2``
+of Section 4.1); what changes is the *per-object* cost of a scan.
+
+Every hot read in the monitoring pipeline is a scan-and-filter: walk a
+cell's objects, compute each distance to the query, keep the ones below
+a bound.  With a ``dict[int, Point]`` store that loop pays dict-item
+iteration, a tuple unpack and interpreted compare per object.  The
+kernels below fuse the whole thing into a single list comprehension over
+the parallel columns, so the per-object work runs on the comprehension
+fast path — the standard flat-array trick of fast NN systems, in pure
+Python.
+
+Three kernel shapes make up the public scan surface:
+
+* :func:`within` — fused distance + radius filter, returning ready-made
+  ``(dist, oid)`` result entries (:func:`within_nd` is its d-dimensional
+  sibling, consumed by ``repro.ndim``);
+* :func:`best_k` — ``within`` plus sort-and-truncate, for callers that
+  want a cell's local top-k;
+* the raw columns themselves (``CellColumns`` attributes / the grid's
+  ``scan_all_flat``) for consumers that apply their own predicate — on
+  CPython 3.11 this zip-loop shape is what the 2-D baselines use, and
+  the CPM engine inlines the same loops against the storage directly
+  (see ``python -m repro.perf micro`` for why: the comprehension frame
+  offsets the column savings at low occupancy, so the framed kernels
+  are kept as the *API*, not the hot path).
+
+The kernels are *pure* (no accounting): the grid front-ends
+(:meth:`repro.grid.grid.Grid.scan_within` and friends) charge the cell
+access before delegating, so the paper's counters — one charged access
+per scan call, ``objects_scanned`` bumped by the cell population — are
+identical to the dict-store era, byte for byte.
+"""
+
+from __future__ import annotations
+
+from math import dist as _dist, hypot as _hypot
+
+__all__ = ["CellColumns", "within", "best_k", "within_nd"]
+
+
+class CellColumns:
+    """One cell's objects as parallel columns plus a slot index.
+
+    Invariants: ``len(oids) == len(xs) == len(ys)``;
+    ``slot[oids[i]] == i`` for every position ``i``.  Deletion swaps the
+    last row into the freed slot (object order inside a cell is not
+    observable: every consumer either filters by distance or sorts).
+    """
+
+    __slots__ = ("oids", "xs", "ys", "slot", "columns")
+
+    def __init__(self) -> None:
+        self.oids: list[int] = []
+        self.xs: list[float] = []
+        self.ys: list[float] = []
+        self.slot: dict[int, int] = {}
+        #: the (oids, xs, ys) triple, prebuilt once — flat scans return
+        #: it without allocating (the lists mutate in place, so the
+        #: tuple stays valid for the cell's lifetime).
+        self.columns = (self.oids, self.xs, self.ys)
+
+    def __len__(self) -> int:
+        return len(self.oids)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self.slot
+
+    def insert(self, oid: int, x: float, y: float) -> None:
+        """Append a row (caller guarantees ``oid`` is not present)."""
+        self.slot[oid] = len(self.oids)
+        self.oids.append(oid)
+        self.xs.append(x)
+        self.ys.append(y)
+
+    def delete(self, oid: int) -> None:
+        """Remove a row by swapping the last row into its slot.
+
+        Raises ``KeyError`` when ``oid`` is not in the cell.
+        """
+        idx = self.slot.pop(oid)
+        oids = self.oids
+        last_oid = oids.pop()
+        lx = self.xs.pop()
+        ly = self.ys.pop()
+        if last_oid != oid:
+            oids[idx] = last_oid
+            self.xs[idx] = lx
+            self.ys[idx] = ly
+            self.slot[last_oid] = idx
+
+    def relocate(self, oid: int, x: float, y: float) -> None:
+        """Overwrite a row's coordinates in place (same-cell move).
+
+        Raises ``KeyError`` when ``oid`` is not in the cell.
+        """
+        idx = self.slot[oid]
+        self.xs[idx] = x
+        self.ys[idx] = y
+
+    def position(self, oid: int) -> tuple[float, float]:
+        """Stored coordinates of a member (``KeyError`` when absent)."""
+        idx = self.slot[oid]
+        return (self.xs[idx], self.ys[idx])
+
+    def as_dict(self) -> dict[int, tuple[float, float]]:
+        """Dict snapshot ``{oid: (x, y)}`` (the compatibility view)."""
+        return {
+            oid: (x, y) for oid, x, y in zip(self.oids, self.xs, self.ys)
+        }
+
+
+def within(
+    oids: list[int],
+    xs: list[float],
+    ys: list[float],
+    qx: float,
+    qy: float,
+    r: float,
+) -> list[tuple[float, int]]:
+    """Fused scan-and-filter: ``(dist, oid)`` pairs with ``dist <= r``.
+
+    One comprehension computes every distance and applies the bound, so
+    the per-object loop runs at comprehension speed.  ``r = inf`` returns
+    every object with its distance.  The returned pairs are ready-made
+    ``(dist, oid)`` result entries (the library-wide tie-break order).
+    """
+    return [
+        (d, oid)
+        for oid, x, y in zip(oids, xs, ys)
+        if (d := _hypot(x - qx, y - qy)) <= r
+    ]
+
+
+def best_k(
+    oids: list[int],
+    xs: list[float],
+    ys: list[float],
+    qx: float,
+    qy: float,
+    k: int,
+    bound: float,
+) -> list[tuple[float, int]]:
+    """The cell's ``k`` best objects within ``bound``, ascending."""
+    hits = [
+        (d, oid)
+        for oid, x, y in zip(oids, xs, ys)
+        if (d := _hypot(x - qx, y - qy)) <= bound
+    ]
+    if len(hits) > 1:
+        hits.sort()
+    return hits[:k]
+
+
+def within_nd(
+    oids: list[int],
+    pts: list[tuple[float, ...]],
+    q: tuple[float, ...],
+    r: float,
+) -> list[tuple[float, int]]:
+    """d-dimensional :func:`within` over an ``oids`` / ``pts`` column pair."""
+    return [
+        (d, oid) for oid, p in zip(oids, pts) if (d := _dist(p, q)) <= r
+    ]

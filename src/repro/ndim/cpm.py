@@ -210,8 +210,12 @@ class NdCPMMonitor:
     def _process_cell(self, state: _NdQueryState, key: float, cell: NdCell) -> None:
         q = state.point
         nn = state.nn
-        for oid, point in self._grid.scan(cell).items():
-            nn.add(math.dist(point, q), oid)
+        # Fused scan bounded by the k-th distance as of cell entry: the
+        # kernel returns a superset of what the running bound would keep,
+        # and nn.add makes the final (dist, oid)-ordered accept decision,
+        # so results are identical to the unbounded dict scan.
+        for d, oid in self._grid.scan_within(cell, q, nn.kth_dist):
+            nn.add(d, oid)
         self._grid.add_mark(cell, state.qid)
         state.visit_cells.append(cell)
         state.visit_keys.append(key)
@@ -228,8 +232,8 @@ class NdCPMMonitor:
             if nn.is_full and state.visit_keys[pos] >= nn.kth_dist:
                 break
             cell = state.visit_cells[pos]
-            for oid, point in grid.scan(cell).items():
-                nn.add(math.dist(point, q), oid)
+            for d, oid in grid.scan_within(cell, q, nn.kth_dist):
+                nn.add(d, oid)
             if pos >= state.marked_upto:
                 grid.add_mark(cell, state.qid)
                 state.marked_upto = pos + 1

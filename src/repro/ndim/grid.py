@@ -2,8 +2,15 @@
 
 The direct generalization of :class:`repro.grid.grid.Grid`: cells are
 addressed by integer coordinate tuples, cover half-open boxes of side
-``delta`` per dimension, store object hash tables, carry query marks, and
-charge one *cell access* per object-list scan.
+``delta`` per dimension, carry query marks, and charge one *cell access*
+per object-list scan.
+
+Cell storage is columnar, mirroring the 2-D grid: parallel ``oids`` /
+``pts`` lists plus an ``oid -> slot`` side index (append-insert,
+delete-by-swap, both expected O(1)).  The fused
+:meth:`NdGrid.scan_within` kernel computes every object distance in one
+comprehension; :meth:`NdGrid.scan` remains the dict compatibility view
+with identical accounting.
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable, Iterator, Sequence
 
+from repro.grid.kernels import within_nd
 from repro.grid.stats import GridStats
 
 NdPoint = tuple[float, ...]
@@ -18,6 +26,37 @@ NdCell = tuple[int, ...]
 
 _EMPTY_OBJECTS: dict[int, NdPoint] = {}
 _EMPTY_MARKS: frozenset[int] = frozenset()
+
+
+class _NdCellColumns:
+    """One d-dimensional cell as ``oids`` / ``pts`` columns + slot index."""
+
+    __slots__ = ("oids", "pts", "slot")
+
+    def __init__(self) -> None:
+        self.oids: list[int] = []
+        self.pts: list[NdPoint] = []
+        self.slot: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.oids)
+
+    def insert(self, oid: int, point: NdPoint) -> None:
+        self.slot[oid] = len(self.oids)
+        self.oids.append(oid)
+        self.pts.append(point)
+
+    def delete(self, oid: int) -> None:
+        idx = self.slot.pop(oid)
+        last_oid = self.oids.pop()
+        last_pt = self.pts.pop()
+        if last_oid != oid:
+            self.oids[idx] = last_oid
+            self.pts[idx] = last_pt
+            self.slot[last_oid] = idx
+
+    def as_dict(self) -> dict[int, NdPoint]:
+        return dict(zip(self.oids, self.pts))
 
 
 class NdGrid:
@@ -67,7 +106,7 @@ class NdGrid:
             1.0 + sum(abs(lo) + abs(hi) for lo, hi in bounds)
         )
         self.stats = GridStats()
-        self._cells: dict[NdCell, dict[int, NdPoint]] = {}
+        self._cells: dict[NdCell, _NdCellColumns] = {}
         self._marks: dict[NdCell, set[int]] = {}
         self._n_objects = 0
 
@@ -144,11 +183,11 @@ class NdGrid:
         coord = self.cell_of(point)
         cell = self._cells.get(coord)
         if cell is None:
-            cell = {}
+            cell = _NdCellColumns()
             self._cells[coord] = cell
-        if oid in cell:
+        if oid in cell.slot:
             raise KeyError(f"object {oid} already present in cell {coord}")
-        cell[oid] = tuple(point)
+        cell.insert(oid, tuple(point))
         self._n_objects += 1
         self.stats.inserts += 1
         return coord
@@ -156,10 +195,10 @@ class NdGrid:
     def delete(self, oid: int, point: NdPoint) -> NdCell:
         coord = self.cell_of(point)
         cell = self._cells.get(coord)
-        if cell is None or oid not in cell:
+        if cell is None or oid not in cell.slot:
             raise KeyError(f"object {oid} not found in cell {coord}")
-        del cell[oid]
-        if not cell:
+        cell.delete(oid)
+        if not cell.oids:
             del self._cells[coord]
         self._n_objects -= 1
         self.stats.deletes += 1
@@ -170,11 +209,45 @@ class NdGrid:
             self.insert(oid, point)
 
     def scan(self, cell: NdCell) -> dict[int, NdPoint]:
-        """Scan a cell's object list — charges one cell access."""
-        objects = self._cells.get(cell, _EMPTY_OBJECTS)
+        """Scan a cell's object list — charges one cell access.
+
+        Dict compatibility view (a fresh snapshot per call); the hot path
+        is the fused :meth:`scan_within` kernel, which charges
+        identically.
+        """
+        columns = self._cells.get(cell)
         self.stats.cell_scans += 1
-        self.stats.objects_scanned += len(objects)
-        return objects
+        if columns is None:
+            return _EMPTY_OBJECTS
+        self.stats.objects_scanned += len(columns.oids)
+        return columns.as_dict()
+
+    def peek(self, cell: NdCell) -> dict[int, NdPoint]:
+        """Object list of a cell *without* charging a cell access.
+
+        Tests/diagnostics only — algorithm code must go through
+        :meth:`scan` or :meth:`scan_within` (mirrors the 2-D grid).
+        """
+        columns = self._cells.get(cell)
+        if columns is None:
+            return _EMPTY_OBJECTS
+        return columns.as_dict()
+
+    def scan_within(
+        self, cell: NdCell, q: NdPoint, r: float
+    ) -> list[tuple[float, int]]:
+        """Fused scan-and-filter: ``(dist, oid)`` pairs with ``dist <= r``.
+
+        One charged cell access with the same accounting as :meth:`scan`
+        (the whole cell population counts as scanned; the bound prunes
+        candidates, not cost).  ``r = inf`` returns every object.
+        """
+        columns = self._cells.get(cell)
+        self.stats.cell_scans += 1
+        if columns is None:
+            return []
+        self.stats.objects_scanned += len(columns.oids)
+        return within_nd(columns.oids, columns.pts, q, r)
 
     def __len__(self) -> int:
         return self._n_objects

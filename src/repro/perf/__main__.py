@@ -14,6 +14,12 @@ Gate a change against a baseline::
     PYTHONPATH=src python -m repro.perf compare old.json new.json --warn-only \
         --threshold wall_sec=0.5
 
+Time the scan kernels in isolation (advisory; per-object ns of the dict
+loop versus the fused columnar kernel)::
+
+    PYTHONPATH=src python -m repro.perf micro
+    PYTHONPATH=src python -m repro.perf micro --sizes 8,64 --json
+
 CI enforces the deterministic counters while treating wall-clock as
 advisory (``--warn-noisy`` = ``--warn-metric`` for each of wall_sec,
 process_sec and peak_rss_kb)::
@@ -31,6 +37,7 @@ import os
 import sys
 
 from repro.perf.compare import NOISY_METRICS, compare_reports, render_comparison
+from repro.perf.micro import DEFAULT_SIZES, render_micro, run_micro
 from repro.perf.runner import run_suite
 from repro.perf.schema import SchemaError, dump_report, load_report
 
@@ -143,6 +150,22 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_parser.add_argument(
         "--verbose", action="store_true", help="list every compared metric"
     )
+
+    micro = sub.add_parser(
+        "micro",
+        help="time the scan kernels in isolation (advisory wall-clock)",
+    )
+    micro.add_argument(
+        "--sizes",
+        default=",".join(str(s) for s in DEFAULT_SIZES),
+        help="comma-separated cell populations to time",
+    )
+    micro.add_argument(
+        "--repeats", type=int, default=5, help="samples per layout (best kept)"
+    )
+    micro.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
     return parser
 
 
@@ -194,11 +217,34 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_micro(args: argparse.Namespace) -> int:
+    try:
+        sizes = tuple(int(s) for s in args.sizes.split(",") if s)
+        if not sizes or any(s < 1 for s in sizes):
+            raise ValueError
+    except ValueError:
+        print(
+            f"error: --sizes expects positive integers, got {args.sizes!r}",
+            file=sys.stderr,
+        )
+        return 2
+    rows = run_micro(sizes, repeats=max(1, args.repeats))
+    if args.json:
+        import json
+
+        print(json.dumps(rows, indent=1))
+    else:
+        print(render_micro(rows))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "micro":
+        return _cmd_micro(args)
     return _cmd_run(args)
 
 

@@ -50,6 +50,10 @@ REQUIRED_METRICS = (
     "cell_accesses_per_query_per_ts",
 )
 
+#: the reduced requirement for wall-clock-only cases (process-backed shard
+#: executors record no deterministic counters; see repro.perf.runner).
+WALLCLOCK_REQUIRED_METRICS = ("wall_sec", "process_sec")
+
 
 class SchemaError(ValueError):
     """A bench document violates the BENCH_*.json schema."""
@@ -84,7 +88,12 @@ class BenchCase:
         metrics = raw["metrics"]
         if not isinstance(metrics, dict):
             raise SchemaError(f"case {raw['case_id']!r}: metrics must be an object")
-        for key in REQUIRED_METRICS:
+        params = raw["params"]
+        if isinstance(params, dict) and params.get("executor") == "process":
+            required = WALLCLOCK_REQUIRED_METRICS
+        else:
+            required = REQUIRED_METRICS
+        for key in required:
             if key not in metrics:
                 raise SchemaError(
                     f"case {raw['case_id']!r} is missing required metric {key!r}"

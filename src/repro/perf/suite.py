@@ -16,7 +16,13 @@ algorithm.  The cases mirror the paper's evaluation axes at a configurable
 * ``shard_scaling`` — the service-layer sharding sweep: the Figure 6.2
   defaults workload replayed into a ``repro.service`` sharded CPM monitor
   at S ∈ {1, 2, 4, 8} shards (serial executor, so the metric isolates
-  partitioning/service overhead; S=1 measures the pure adapter cost).
+  partitioning/service overhead; S=1 measures the pure adapter cost);
+* ``shard_scaling_wallclock`` — the same sweep on the
+  ``ProcessShardExecutor`` (one worker process per shard): records
+  *wall-clock-only* metrics — real multi-core speedup — and omits the
+  deterministic counters (they would duplicate the serial scenario's)
+  and peak RSS (unmeasurable across workers from the parent).  Full
+  suite only (worker startup is too heavy for the CI smoke subset).
 
 Workload materialization is deterministic (fixed seed per case), so two
 runs of the same suite at the same scale replay byte-identical update
@@ -58,7 +64,9 @@ class SuiteCase:
 
     ``shards > 0`` marks a service-layer case: the workload is replayed
     into a :class:`repro.service.sharding.ShardedMonitor` with that many
-    shards (CPM engines, serial executor) instead of a bare algorithm.
+    shards (CPM engines) instead of a bare algorithm.  ``executor``
+    selects the shard executor: ``"serial"`` (deterministic, in-process)
+    or ``"process"`` (one worker per shard, wall-clock-only metrics).
     """
 
     key: str
@@ -66,6 +74,7 @@ class SuiteCase:
     spec: WorkloadSpec
     grid: int
     shards: int = 0
+    executor: str = "serial"
 
     def materialize(self) -> Workload:
         if self.workload == "network":
@@ -82,7 +91,7 @@ def _dedup(cases: list[SuiteCase]) -> list[SuiteCase]:
     seen: set[tuple] = set()
     out: list[SuiteCase] = []
     for case in cases:
-        signature = (case.workload, case.spec, case.grid, case.shards)
+        signature = (case.workload, case.spec, case.grid, case.shards, case.executor)
         if signature in seen:
             continue
         seen.add(signature)
@@ -167,4 +176,20 @@ def build_suite(
                 shards=n_shards,
             )
         )
+    if suite == "full":
+        # Real multi-core speedup on the process-backed executor
+        # (ROADMAP: "parallel shard executor in the perf gate").
+        for n_shards in SHARD_SCALING:
+            if n_shards > grid:
+                continue
+            cases.append(
+                SuiteCase(
+                    key=f"shard_scaling_wallclock/S={n_shards}",
+                    workload="network",
+                    spec=default,
+                    grid=grid,
+                    shards=n_shards,
+                    executor="process",
+                )
+            )
     return _dedup(cases)

@@ -1,0 +1,145 @@
+"""Unit tests for the columnar cell store and the pure scan kernels."""
+
+import math
+
+import pytest
+
+from repro.grid.grid import Grid
+from repro.grid.kernels import CellColumns, best_k, within, within_nd
+
+
+class TestCellColumns:
+    def test_insert_and_position(self):
+        cell = CellColumns()
+        cell.insert(7, 0.25, 0.75)
+        assert len(cell) == 1
+        assert 7 in cell
+        assert cell.position(7) == (0.25, 0.75)
+
+    def test_delete_by_swap_moves_last_row(self):
+        cell = CellColumns()
+        for oid in range(4):
+            cell.insert(oid, oid * 0.1, oid * 0.2)
+        cell.delete(1)  # row 3 swaps into slot 1
+        assert len(cell) == 3
+        assert 1 not in cell
+        assert cell.position(3) == pytest.approx((0.3, 0.6))
+        # Slot invariant: slot[oids[i]] == i for every row.
+        assert all(cell.slot[oid] == i for i, oid in enumerate(cell.oids))
+
+    def test_delete_last_row(self):
+        cell = CellColumns()
+        cell.insert(1, 0.1, 0.1)
+        cell.insert(2, 0.2, 0.2)
+        cell.delete(2)
+        assert cell.oids == [1]
+        assert cell.slot == {1: 0}
+
+    def test_delete_missing_raises(self):
+        cell = CellColumns()
+        with pytest.raises(KeyError):
+            cell.delete(5)
+
+    def test_relocate_in_place(self):
+        cell = CellColumns()
+        cell.insert(1, 0.1, 0.1)
+        cell.relocate(1, 0.9, 0.8)
+        assert cell.position(1) == (0.9, 0.8)
+        assert len(cell) == 1
+
+    def test_as_dict_snapshot(self):
+        cell = CellColumns()
+        cell.insert(1, 0.1, 0.2)
+        cell.insert(2, 0.3, 0.4)
+        snapshot = cell.as_dict()
+        assert snapshot == {1: (0.1, 0.2), 2: (0.3, 0.4)}
+        snapshot[3] = (9.9, 9.9)  # mutating the snapshot is harmless
+        assert 3 not in cell
+
+    def test_columns_tuple_is_prebuilt_and_live(self):
+        cell = CellColumns()
+        columns = cell.columns
+        cell.insert(4, 0.5, 0.6)
+        assert columns is cell.columns
+        assert columns == ([4], [0.5], [0.6])
+
+
+class TestKernels:
+    def _cell(self):
+        cell = CellColumns()
+        cell.insert(1, 0.0, 0.0)
+        cell.insert(2, 0.3, 0.0)
+        cell.insert(3, 0.0, 0.6)
+        return cell
+
+    def test_within_filters_inclusively(self):
+        cell = self._cell()
+        hits = within(cell.oids, cell.xs, cell.ys, 0.0, 0.0, 0.3)
+        assert sorted(hits) == [(0.0, 1), (0.3, 2)]
+
+    def test_within_infinite_radius_returns_all(self):
+        cell = self._cell()
+        hits = within(cell.oids, cell.xs, cell.ys, 0.0, 0.0, math.inf)
+        assert sorted(oid for _d, oid in hits) == [1, 2, 3]
+
+    def test_best_k_sorted_and_truncated(self):
+        cell = self._cell()
+        top = best_k(cell.oids, cell.xs, cell.ys, 0.0, 0.0, 2, math.inf)
+        assert top == [(0.0, 1), (0.3, 2)]
+
+    def test_best_k_respects_bound(self):
+        cell = self._cell()
+        top = best_k(cell.oids, cell.xs, cell.ys, 0.0, 0.0, 5, 0.1)
+        assert top == [(0.0, 1)]
+
+    def test_within_nd(self):
+        oids = [1, 2]
+        pts = [(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]
+        hits = within_nd(oids, pts, (0.0, 0.0, 0.0), 0.5)
+        assert hits == [(0.0, 1)]
+
+
+class TestGridKernelAccounting:
+    """Every kernel front-end charges exactly one cell access."""
+
+    def _grid(self):
+        grid = Grid(4)
+        grid.insert(1, 0.1, 0.1)
+        grid.insert(2, 0.2, 0.1)
+        return grid
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda g, cid: g.scan_within(cid, 0.1, 0.1, math.inf),
+            lambda g, cid: g.scan_best_k(cid, 0.1, 0.1, 1),
+            lambda g, cid: g.scan_all_flat(cid),
+            lambda g, cid: g.scan_id(cid),
+        ],
+    )
+    def test_kernel_charges_one_scan(self, call):
+        grid = self._grid()
+        cid = grid.cell_id(0.1, 0.1)
+        before_scans = grid.stats.cell_scans
+        before_objects = grid.stats.objects_scanned
+        call(grid, cid)
+        assert grid.stats.cell_scans == before_scans + 1
+        assert grid.stats.objects_scanned == before_objects + 2
+
+    def test_empty_cell_charges_scan_but_no_objects(self):
+        grid = self._grid()
+        cid = grid.cell_id(0.9, 0.9)
+        grid.stats.reset()
+        assert grid.scan_within(cid, 0.5, 0.5, math.inf) == []
+        assert grid.scan_all_flat(cid) == ((), (), ())
+        assert grid.stats.cell_scans == 2
+        assert grid.stats.objects_scanned == 0
+
+    def test_scan_within_matches_scan_id(self):
+        grid = self._grid()
+        cid = grid.cell_id(0.1, 0.1)
+        expected = sorted(
+            (math.hypot(x - 0.15, y - 0.15), oid)
+            for oid, (x, y) in grid.scan_id(cid).items()
+        )
+        assert sorted(grid.scan_within(cid, 0.15, 0.15, math.inf)) == expected

@@ -46,7 +46,7 @@ class TestNdGrid:
         q = tuple(rng.random() for _ in range(3))
         for cell in grid.all_cells():
             md = grid.mindist(cell, q)
-            for _oid, p in grid._cells.get(cell, {}).items():
+            for _oid, p in grid.peek(cell).items():
                 assert md <= math.dist(p, q) + 1e-12
 
     def test_boundary_object_zero_mindist(self):

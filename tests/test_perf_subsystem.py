@@ -299,14 +299,52 @@ class TestSuiteAndRunner:
     def test_shard_scaling_cases_present(self):
         full = build_suite(0.01)
         smoke = build_suite(0.01, suite="smoke")
-        full_shards = sorted(c.shards for c in full if c.shards)
+        serial = sorted(c.shards for c in full if c.shards and c.executor == "serial")
+        wallclock = sorted(
+            c.shards for c in full if c.shards and c.executor == "process"
+        )
         smoke_shards = sorted(c.shards for c in smoke if c.shards)
-        assert full_shards == [1, 2, 4, 8]
+        assert serial == [1, 2, 4, 8]
+        assert wallclock == [1, 2, 4, 8]
         assert smoke_shards == [1, 4]
+        for case in smoke:
+            assert case.executor == "serial"  # smoke stays deterministic
         for case in full:
-            if case.shards:
+            if case.shards and case.executor == "serial":
                 assert case.key == f"shard_scaling/S={case.shards}"
                 assert case.workload == "network"
+            elif case.shards:
+                assert case.key == f"shard_scaling_wallclock/S={case.shards}"
+                assert case.workload == "network"
+
+    def test_micro_bench_rows(self):
+        from repro.perf.micro import render_micro, run_micro
+
+        rows = run_micro((4, 8), repeats=1)
+        assert [row["n_objects"] for row in rows] == [4, 8]
+        for row in rows:
+            assert row["dict_ns_per_object"] > 0
+            assert row["columnar_ns_per_object"] > 0
+            assert row["fused_ns_per_object"] > 0
+            assert row["speedup"] > 0
+        rendered = render_micro(rows)
+        assert "objects/cell" in rendered and "fused" in rendered
+
+    def test_wallclock_case_records_only_wall_metrics(self):
+        case = next(
+            c for c in build_suite(0.002) if c.shards and c.executor == "process"
+        )
+        workload = case.materialize()
+        row = run_case(case, workload, "CPM")
+        assert row.params["executor"] == "process"
+        assert sorted(row.metrics) == sorted(
+            ("wall_sec", "process_sec", "install_sec")
+        )
+        # The reduced metric set round-trips through the schema validator.
+        report = BenchReport(scale=0.002, suite="full", repeats=1)
+        report.cases.append(row)
+        restored = BenchReport.from_dict(report.to_dict())
+        assert restored.cases[0].metrics == row.metrics
 
     def test_shard_case_runs_sharded_monitor(self):
         case = next(c for c in build_suite(0.002, suite="smoke") if c.shards)

@@ -1,0 +1,84 @@
+"""Full-replay CPM equality against the pre-rewrite result stream.
+
+The golden fixture (``tests/data/cpm_replay_golden.json``) was recorded
+with the dict-per-cell grid that preceded the columnar storage rewrite
+(PR 3).  Replaying the same deterministic workload must reproduce the
+stream *byte-identically* — every cycle's changed-query set, every
+changed query's exact result entries (full float precision via ``repr``
+round-tripping), and the final deterministic grid counters.  Any
+divergence means the columnar layout or the fused scan kernels altered
+observable behavior, not just speed.
+
+Regenerate (only when the *intended* behavior changes)::
+
+    PYTHONPATH=src python -m tests.test_replay_golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.cpm import CPMMonitor
+from repro.experiments.common import make_workload, scaled_spec
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "cpm_replay_golden.json"
+
+#: fixed replay parameters; changing any of these invalidates the fixture.
+SPEC_OVERRIDES = dict(
+    n_objects=300, n_queries=12, k=4, timestamps=10, seed=2005
+)
+GRID = 16
+
+
+def build_stream() -> dict:
+    """Replay the fixture workload into a fresh CPM monitor.
+
+    Returns a JSON-ready document: initial results, the per-cycle change
+    stream, and the final deterministic counters.
+    """
+    spec = scaled_spec(1.0, **SPEC_OVERRIDES)
+    workload = make_workload(spec)
+    monitor = CPMMonitor(GRID, bounds=spec.bounds)
+    monitor.load_objects(sorted(workload.initial_objects.items()))
+    initial = {
+        str(qid): [[repr(d), oid] for d, oid in monitor.install_query(qid, point, spec.k)]
+        for qid, point in sorted(workload.initial_queries.items())
+    }
+    cycles = []
+    for batch in workload.batches:
+        changed = monitor.process(batch.object_updates, batch.query_updates)
+        cycles.append(
+            {
+                "timestamp": batch.timestamp,
+                "changed": {
+                    str(qid): [[repr(d), oid] for d, oid in monitor.result(qid)]
+                    for qid in sorted(changed)
+                },
+            }
+        )
+    stats = monitor.stats
+    return {
+        "spec": SPEC_OVERRIDES,
+        "grid": GRID,
+        "initial": initial,
+        "cycles": cycles,
+        "counters": {
+            "cell_scans": stats.cell_scans,
+            "objects_scanned": stats.objects_scanned,
+            "inserts": stats.inserts,
+            "deletes": stats.deletes,
+            "mark_ops": stats.mark_ops,
+        },
+    }
+
+
+def test_cpm_replay_matches_pre_rewrite_stream():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert build_stream() == golden
+
+
+if __name__ == "__main__":  # fixture regeneration entry point
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(build_stream(), indent=1) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
