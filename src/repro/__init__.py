@@ -43,6 +43,14 @@ from repro.geometry.aggregates import adist
 from repro.geometry.points import dist
 from repro.geometry.rects import Rect
 from repro.grid.grid import Grid
+from repro.ingest import (
+    GeneratorFeed,
+    IngestBuffer,
+    IngestDriver,
+    JsonlTraceFeed,
+    UpdateFeed,
+    WorkloadFeed,
+)
 from repro.mobility.brinkhoff import BrinkhoffGenerator
 from repro.mobility.network import RoadNetwork, grid_network, random_geometric_network
 from repro.mobility.uniform import UniformGenerator
@@ -53,6 +61,7 @@ from repro.service.service import MonitoringService
 from repro.service.sharding import ShardedMonitor, ShardPlan
 from repro.service.subscriptions import SubscriptionHub
 from repro.updates import (
+    FlatUpdateBatch,
     ObjectUpdate,
     QueryUpdate,
     QueryUpdateKind,
@@ -73,8 +82,13 @@ __all__ = [
     "ConstrainedStrategy",
     "ContinuousMonitor",
     "CycleMetrics",
+    "FlatUpdateBatch",
+    "GeneratorFeed",
     "Grid",
     "GridRangeMonitor",
+    "IngestBuffer",
+    "IngestDriver",
+    "JsonlTraceFeed",
     "MinkowskiNNStrategy",
     "MonitoringServer",
     "MonitoringService",
@@ -93,7 +107,9 @@ __all__ = [
     "SubscriptionHub",
     "UniformGenerator",
     "UpdateBatch",
+    "UpdateFeed",
     "Workload",
+    "WorkloadFeed",
     "WorkloadSpec",
     "YpkCnnMonitor",
     "adist",

@@ -55,7 +55,12 @@ from repro.grid.grid import Grid
 from repro.grid.kernels import CellColumns
 from repro.grid.stats import GridStats
 from repro.monitor import ContinuousMonitor, ResultEntry
-from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind
+from repro.updates import (
+    FlatUpdateBatch,
+    ObjectUpdate,
+    QueryUpdate,
+    QueryUpdateKind,
+)
 
 
 class CPMMonitor(ContinuousMonitor):
@@ -76,11 +81,14 @@ class CPMMonitor(ContinuousMonitor):
             self._grid = Grid(delta=delta, bounds=bounds)
         else:
             self._grid = Grid(cells_per_axis, bounds=bounds)
-        self._positions: dict[int, Point] = {}
         # oid -> packed cell id: the authoritative object->cell map.  The
         # update loop reads it instead of re-deriving the old cell from
         # the update's old coordinates (one dict hit versus ~a dozen
-        # float/int operations per endpoint).
+        # float/int operations per endpoint).  It is also the only
+        # per-object side table: positions are *not* shadowed in a second
+        # dict — object_position() reads them back through the cell
+        # columns, so the update loops save one dict store (and, on the
+        # flat path, one tuple allocation) per move.
         self._object_cells: dict[int, int] = {}
         self._queries: dict[int, QueryState] = {}
         # qid -> (state, nn, qx, qy, is_point): the influence-probe
@@ -110,10 +118,15 @@ class CPMMonitor(ContinuousMonitor):
 
     @property
     def object_count(self) -> int:
-        return len(self._positions)
+        return len(self._object_cells)
 
     def object_position(self, oid: int) -> Point | None:
-        return self._positions.get(oid)
+        cid = self._object_cells.get(oid)
+        if cid is None:
+            return None
+        cell = self._grid._cells[cid]
+        idx = cell.slot[oid]
+        return (cell.xs[idx], cell.ys[idx])
 
     def query_ids(self) -> list[int]:
         return list(self._queries)
@@ -149,7 +162,6 @@ class CPMMonitor(ContinuousMonitor):
         for oid, (x, y) in objects:
             cid = grid.cell_id(x, y)
             grid.insert_at(cid, oid, (x, y))
-            self._positions[oid] = (x, y)
             self._object_cells[oid] = cid
 
     # ------------------------------------------------------------------
@@ -635,8 +647,6 @@ class CPMMonitor(ContinuousMonitor):
         query_updates: Sequence[QueryUpdate] = (),
     ) -> set[int]:
         grid = self._grid
-        queries = self._queries
-        positions = self._positions
         # "Queries that receive updates are ignored when handling object
         # updates in order to avoid waste of computations" (Section 3.3).
         updated_qids = {qu.qid for qu in query_updates}
@@ -705,7 +715,6 @@ class CPMMonitor(ContinuousMonitor):
                     cell.ys[idx] = ny
                     n_del += 1
                     n_ins += 1
-                    positions[oid] = new
                     ms = marks_store[old_cid]
                     if ms:
                         for qid in ms:
@@ -810,7 +819,6 @@ class CPMMonitor(ContinuousMonitor):
                 cell.ys.append(ny)
                 grid._n_objects += 1
                 n_ins += 1
-                positions[oid] = new
                 object_cells[oid] = new_cid
                 ms = marks_store[new_cid]
                 if ms:
@@ -869,7 +877,6 @@ class CPMMonitor(ContinuousMonitor):
                             sc.note_outgoing()
                         elif sc is not None and oid in sc.in_list._dists:
                             sc.in_list.remove(oid)
-                positions.pop(oid, None)
                 continue
             # Appearance (old is None; both None is rejected by ObjectUpdate).
             assert new is not None
@@ -893,7 +900,6 @@ class CPMMonitor(ContinuousMonitor):
             cell.ys.append(new[1])
             grid._n_objects += 1
             n_ins += 1
-            positions[oid] = new
             object_cells[oid] = new_cid
             ms = marks_store[new_cid]
             if ms:
@@ -921,6 +927,312 @@ class CPMMonitor(ContinuousMonitor):
             stats.deletes += n_del
             stats.inserts += n_ins
 
+        return self._finish_cycle(scratch, query_updates)
+
+    def process_flat(
+        self,
+        batch: FlatUpdateBatch,
+        query_updates: Sequence[QueryUpdate] | None = None,
+    ) -> set[int]:
+        """Columnar fast path: one cycle straight off a
+        :class:`FlatUpdateBatch`.
+
+        Byte-identical to :meth:`process` over ``batch.to_object_updates()``
+        (same changed sets, results and deterministic counters — the
+        equivalence suite pins this): the loop below is the update handling
+        of Figure 3.8 with every per-update value read from the parallel
+        columns by one ``zip`` unpack instead of dataclass attribute reads
+        plus position-tuple indexing.
+
+        The zip stays four columns wide on purpose — each extra zip column
+        costs measurably at this trip count (``python -m repro.perf
+        micro``).  The old coordinates are never read (the authoritative
+        old cell comes from the object->cell map, exactly as in
+        :meth:`process`) and the appearance mask is not consulted either:
+        for any consistent stream an appearing object is exactly one the
+        map does not know.  Consequence for *invalid* streams: a movement
+        row for an unknown object is treated as an appearance here, where
+        :meth:`process` would raise — the validity checks that matter
+        (double insert, delete of a missing object) still raise in both.
+        """
+        if query_updates is None:
+            query_updates = batch.query_updates
+        grid = self._grid
+        updated_qids = {qu.qid for qu in query_updates}
+        scratch: dict[int, CycleScratch] = {}
+        scratch_get = scratch.get
+        # Inlined cell addressing, live stores and counters — the same
+        # storage-mirror locals as `process` (see the comments there).
+        marks_store = grid._marks
+        cells_store = grid._cells
+        stats = grid.stats
+        object_cells = self._object_cells
+        probes = self._query_probes
+        bounds = grid.bounds
+        bx0 = bounds.x0
+        by0 = bounds.y0
+        delta = grid.delta
+        rows = grid.rows
+        cols_1 = grid.cols - 1
+        rows_1 = rows - 1
+
+        object_cells_get = object_cells.get
+        n_del = 0
+        n_ins = 0
+        for oid, nx, ny, dis in zip(
+            batch.oids, batch.new_xs, batch.new_ys, batch.disappear
+        ):
+            if not dis:
+                # Movement or appearance: the new cell is needed either
+                # way (inlined Grid.cell_id); one map probe then decides
+                # which — a known object moves, an unknown one appears.
+                i = int((nx - bx0) / delta)
+                if i < 0:
+                    i = 0
+                elif i > cols_1:
+                    i = cols_1
+                j = int((ny - by0) / delta)
+                if j < 0:
+                    j = 0
+                elif j > rows_1:
+                    j = rows_1
+                new_cid = i * rows + j
+                old_cid = object_cells_get(oid)
+                if old_cid is None:
+                    # Appearance (inlined Grid.insert_at).
+                    cell = cells_store[new_cid]
+                    if cell is None:
+                        cell = CellColumns()
+                        cells_store[new_cid] = cell
+                    slot = cell.slot
+                    if oid in slot:
+                        raise KeyError(
+                            f"object {oid} already present in cell "
+                            f"{grid.unpack(new_cid)}"
+                        )
+                    coids = cell.oids
+                    if not coids:
+                        grid._occupied += 1
+                    slot[oid] = len(coids)
+                    coids.append(oid)
+                    cell.xs.append(nx)
+                    cell.ys.append(ny)
+                    grid._n_objects += 1
+                    n_ins += 1
+                    object_cells[oid] = new_cid
+                    ms = marks_store[new_cid]
+                    if ms:
+                        for qid in ms:
+                            if qid in updated_qids:
+                                continue
+                            state, nn, pqx, pqy, ispt = probes[qid]
+                            if oid in nn._dists:
+                                continue
+                            if ispt:
+                                d = hypot(nx - pqx, ny - pqy)
+                            else:
+                                if not state.strategy.accepts(nx, ny):
+                                    continue
+                                d = state.strategy.dist(nx, ny)
+                            if d <= state.best_dist:
+                                sc = scratch_get(qid)
+                                if sc is None:
+                                    sc = scratch[qid] = self._acquire_scratch(
+                                        state
+                                    )
+                                sc.note_incomer(d, oid)
+                    continue
+                if old_cid == new_cid:
+                    # Same-cell move (inlined Grid.relocate_at + one
+                    # influence probe; see `process`).
+                    cell = cells_store[old_cid]
+                    idx = None if cell is None else cell.slot.get(oid)
+                    if idx is None:
+                        raise KeyError(
+                            f"object {oid} not found in cell "
+                            f"{grid.unpack(old_cid)}"
+                        )
+                    cell.xs[idx] = nx
+                    cell.ys[idx] = ny
+                    n_del += 1
+                    n_ins += 1
+                    ms = marks_store[old_cid]
+                    if ms:
+                        for qid in ms:
+                            if qid in updated_qids:
+                                continue
+                            state, nn, pqx, pqy, ispt = probes[qid]
+                            sc = scratch_get(qid)
+                            if ispt:
+                                d = hypot(nx - pqx, ny - pqy)
+                                ok = True
+                            else:
+                                ok = state.strategy.accepts(nx, ny)
+                                d = state.strategy.dist(nx, ny) if ok else 0.0
+                            if oid in nn._dists:
+                                if sc is None:
+                                    sc = scratch[qid] = self._acquire_scratch(
+                                        state
+                                    )
+                                if ok and d <= state.best_dist:
+                                    # p remains in the NN set; update order.
+                                    nn.update_dist(oid, d)
+                                    sc.note_reorder()
+                                else:
+                                    nn.remove(oid)
+                                    sc.note_outgoing()
+                            else:
+                                if sc is not None and oid in sc.in_list._dists:
+                                    # Pending incomer moved again in-cycle.
+                                    sc.in_list.remove(oid)
+                                if ok and d <= state.best_dist:
+                                    if sc is None:
+                                        sc = scratch[qid] = (
+                                            self._acquire_scratch(state)
+                                        )
+                                    sc.note_incomer(d, oid)
+                    continue
+                # Cross-cell move: delete phase on the old cell...
+                # (Inlined Grid.delete_at: delete-by-swap on the columns.)
+                cell = cells_store[old_cid]
+                idx = None if cell is None else cell.slot.pop(oid, None)
+                if idx is None:
+                    raise KeyError(
+                        f"object {oid} not found in cell {grid.unpack(old_cid)}"
+                    )
+                coids = cell.oids
+                last_oid = coids.pop()
+                lx = cell.xs.pop()
+                ly = cell.ys.pop()
+                if last_oid != oid:
+                    coids[idx] = last_oid
+                    cell.xs[idx] = lx
+                    cell.ys[idx] = ly
+                    cell.slot[last_oid] = idx
+                elif not coids:
+                    grid._occupied -= 1
+                grid._n_objects -= 1
+                n_del += 1
+                ms = marks_store[old_cid]
+                if ms:
+                    for qid in ms:
+                        if qid in updated_qids:
+                            continue
+                        state, nn, pqx, pqy, ispt = probes[qid]
+                        sc = scratch_get(qid)
+                        if oid in nn._dists:
+                            if sc is None:
+                                sc = scratch[qid] = self._acquire_scratch(state)
+                            if ispt:
+                                d = hypot(nx - pqx, ny - pqy)
+                                ok = True
+                            else:
+                                ok = state.strategy.accepts(nx, ny)
+                                d = state.strategy.dist(nx, ny) if ok else 0.0
+                            if ok and d <= state.best_dist:
+                                # p remains in the NN set; update the order.
+                                nn.update_dist(oid, d)
+                                sc.note_reorder()
+                            else:
+                                # p is an outgoing NN.
+                                nn.remove(oid)
+                                sc.note_outgoing()
+                        elif sc is not None and oid in sc.in_list._dists:
+                            sc.in_list.remove(oid)
+                # ... then insert phase on the new cell.
+                # (Inlined Grid.insert_at: append a row to the columns.)
+                cell = cells_store[new_cid]
+                if cell is None:
+                    cell = CellColumns()
+                    cells_store[new_cid] = cell
+                slot = cell.slot
+                if oid in slot:
+                    raise KeyError(
+                        f"object {oid} already present in cell "
+                        f"{grid.unpack(new_cid)}"
+                    )
+                coids = cell.oids
+                if not coids:
+                    grid._occupied += 1
+                slot[oid] = len(coids)
+                coids.append(oid)
+                cell.xs.append(nx)
+                cell.ys.append(ny)
+                grid._n_objects += 1
+                n_ins += 1
+                object_cells[oid] = new_cid
+                ms = marks_store[new_cid]
+                if ms:
+                    for qid in ms:
+                        if qid in updated_qids:
+                            continue
+                        state, nn, pqx, pqy, ispt = probes[qid]
+                        if oid in nn._dists:
+                            continue
+                        if ispt:
+                            d = hypot(nx - pqx, ny - pqy)
+                        else:
+                            if not state.strategy.accepts(nx, ny):
+                                continue
+                            d = state.strategy.dist(nx, ny)
+                        if d <= state.best_dist:
+                            sc = scratch_get(qid)
+                            if sc is None:
+                                sc = scratch[qid] = self._acquire_scratch(state)
+                            sc.note_incomer(d, oid)
+                continue
+            # Disappearance: off-line NNs are outgoing ones (Section
+            # 4.2).  (Inlined Grid.delete_at, as in the move path.)
+            old_cid = object_cells.pop(oid)
+            cell = cells_store[old_cid]
+            idx = None if cell is None else cell.slot.pop(oid, None)
+            if idx is None:
+                raise KeyError(
+                    f"object {oid} not found in cell {grid.unpack(old_cid)}"
+                )
+            coids = cell.oids
+            last_oid = coids.pop()
+            lx = cell.xs.pop()
+            ly = cell.ys.pop()
+            if last_oid != oid:
+                coids[idx] = last_oid
+                cell.xs[idx] = lx
+                cell.ys[idx] = ly
+                cell.slot[last_oid] = idx
+            elif not coids:
+                grid._occupied -= 1
+            grid._n_objects -= 1
+            n_del += 1
+            ms = marks_store[old_cid]
+            if ms:
+                for qid in ms:
+                    if qid in updated_qids:
+                        continue
+                    state, nn, _pqx, _pqy, _ispt = probes[qid]
+                    sc = scratch_get(qid)
+                    if oid in nn._dists:
+                        if sc is None:
+                            sc = scratch[qid] = self._acquire_scratch(state)
+                        nn.remove(oid)
+                        sc.note_outgoing()
+                    elif sc is not None and oid in sc.in_list._dists:
+                        sc.in_list.remove(oid)
+
+        if n_del or n_ins:
+            stats.deletes += n_del
+            stats.inserts += n_ins
+
+        return self._finish_cycle(scratch, query_updates)
+
+    def _finish_cycle(
+        self,
+        scratch: dict[int, CycleScratch],
+        query_updates: Sequence[QueryUpdate],
+    ) -> set[int]:
+        """The cycle tail shared by :meth:`process` and :meth:`process_flat`:
+        finalize the touched queries (Figure 3.8 lines 17-24), then run the
+        query-update phase of Figure 3.9."""
+        queries = self._queries
         changed: set[int] = set()
         for qid, sc in scratch.items():
             if sc.touched:

@@ -1,0 +1,76 @@
+"""The cycle batcher: drained buffer state -> columnar update batch.
+
+The buffer stages *target* positions (latest known per object); the
+monitors consume *transitions* ``<oid, old, new>`` whose ``old`` must be
+exactly the previously applied position (the grid deletes by position,
+``Workload.validate`` documents the same contract).  The batcher closes
+that gap: it keeps a shadow table of every position the monitor has been
+shown and re-bases each drained target against it —
+
+* unknown object with a target position → appearance;
+* known object with ``target is None`` → disappearance;
+* known object with a *different* target → movement from the applied
+  position (NOT from whatever ``old`` the feed once carried: coalescing
+  and drops may have skipped intermediate hops);
+* known object with the *same* target (or unknown and off-line, the
+  appear-then-disappear annihilation) → no-op, emitted nowhere.
+
+Because ``old`` always comes from the shadow table, any re-cutting of
+cycles — coalescing, drops, deadline flushes mid-timestamp — still yields
+a stream every monitor accepts, and an offline replay of the assembled
+batches reproduces the exact same end state.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.geometry.points import Point
+from repro.updates import FlatUpdateBatch, QueryUpdate
+
+
+class CycleBatcher:
+    """Stateful assembler of :class:`repro.updates.FlatUpdateBatch`."""
+
+    def __init__(self) -> None:
+        #: oid -> position as last shown to the monitor (the shadow table).
+        self.positions: dict[int, Point] = {}
+
+    def prime(self, objects: Iterable[tuple[int, Point]]) -> None:
+        """Seed the shadow table with the bulk-loaded initial population."""
+        self.positions.update(objects)
+
+    def assemble(
+        self,
+        object_targets: Sequence[tuple[int, Point | None]],
+        query_updates: Sequence[QueryUpdate] = (),
+        timestamp: int = 0,
+    ) -> tuple[FlatUpdateBatch, int]:
+        """Build one columnar batch; returns ``(batch, n_noops)``.
+
+        Commits the shadow table as it goes — callers apply the batch to
+        the monitor immediately (the driver does), keeping both in step.
+        """
+        positions = self.positions
+        batch = FlatUpdateBatch(
+            timestamp=timestamp, query_updates=tuple(query_updates)
+        )
+        noops = 0
+        for oid, target in object_targets:
+            old = positions.get(oid)
+            if target is None:
+                if old is None:
+                    # Appeared and disappeared entirely within the buffer.
+                    noops += 1
+                    continue
+                batch.append_disappear(oid, old[0], old[1])
+                del positions[oid]
+            elif old is None:
+                batch.append_appear(oid, target[0], target[1])
+                positions[oid] = target
+            elif old == target:
+                noops += 1
+            else:
+                batch.append_move(oid, old[0], old[1], target[0], target[1])
+                positions[oid] = target
+        return batch, noops

@@ -1,0 +1,289 @@
+"""The bounded ingest buffer: where back-pressure lives.
+
+Between a feed that produces updates at its own pace and a monitor that
+consumes them in cycles sits one bounded structure.  Its key invariant is
+*last-write-wins per object*: the buffer keys pending work by object id
+and keeps only the latest target position — semantics-preserving for
+per-cycle monitoring, because a cycle only ever applies an object's final
+position anyway (intermediate positions within one cycle are unobservable
+by construction; the coalescing-correctness tests pin this).
+
+Capacity bounds the number of *distinct pending objects*.  When a new
+object arrives at a full buffer, the :class:`BackPressurePolicy` decides:
+
+* ``BLOCK`` — the producer waits until the consumer drains (classic
+  back-pressure; needs the producer on its own thread);
+* ``DROP_OLDEST`` — the stalest pending object's update is shed.  Safe
+  under the target-state model: the dropped object simply keeps its
+  last *applied* position until a newer update arrives, at which point the
+  batcher (:mod:`repro.ingest.batcher`) re-bases the move off the applied
+  position — the stream stays consistent, it just loses freshness.
+
+Query updates ride in a side FIFO, uncoalesced and unbounded: they are
+orders of magnitude rarer than object updates and each one changes
+monitor state (terminate/move/insert are not idempotent).
+
+All operations are thread-safe; one lock guards both directions.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.geometry.points import Point
+from repro.updates import ObjectUpdate, QueryUpdate
+
+
+class BackPressurePolicy(Enum):
+    """What :meth:`IngestBuffer.offer` does when the buffer is full."""
+
+    BLOCK = "block"
+    DROP_OLDEST = "drop-oldest"
+
+
+@dataclass(slots=True)
+class BufferCounters:
+    """Monotonic ingest accounting (deltas reported per drained cycle)."""
+
+    #: object updates offered (accepted, coalesced, dropped or rejected).
+    offered: int = 0
+    #: offers that collapsed into an already-pending object (last-write-wins).
+    coalesced: int = 0
+    #: pending objects evicted by the DROP_OLDEST policy.
+    dropped: int = 0
+    #: times a producer had to wait on a full buffer (BLOCK policy).
+    blocked: int = 0
+    #: offers that timed out waiting (BLOCK policy with a timeout).
+    rejected: int = 0
+    #: query updates offered.
+    query_offered: int = 0
+
+    def snapshot(self) -> "BufferCounters":
+        return BufferCounters(
+            offered=self.offered,
+            coalesced=self.coalesced,
+            dropped=self.dropped,
+            blocked=self.blocked,
+            rejected=self.rejected,
+            query_offered=self.query_offered,
+        )
+
+    def delta(self, since: "BufferCounters") -> "BufferCounters":
+        return BufferCounters(
+            offered=self.offered - since.offered,
+            coalesced=self.coalesced - since.coalesced,
+            dropped=self.dropped - since.dropped,
+            blocked=self.blocked - since.blocked,
+            rejected=self.rejected - since.rejected,
+            query_offered=self.query_offered - since.query_offered,
+        )
+
+
+@dataclass(slots=True)
+class DrainedCycle:
+    """One drain's worth of buffered work plus the accounting delta."""
+
+    #: ``(oid, target)`` pairs in first-arrival order; ``target is None``
+    #: means the object's latest known state is *off-line* (disappear).
+    object_targets: list[tuple[int, Point | None]] = field(default_factory=list)
+    query_updates: list[QueryUpdate] = field(default_factory=list)
+    counters: BufferCounters = field(default_factory=BufferCounters)
+
+
+class IngestBuffer:
+    """Bounded, coalescing staging area between a feed and the batcher."""
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        policy: BackPressurePolicy = BackPressurePolicy.BLOCK,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.policy = policy
+        #: oid -> latest target position (None = off-line); insertion
+        #: order is first-arrival order, which DROP_OLDEST evicts from.
+        self._targets: dict[int, Point | None] = {}
+        self._query_updates: list[QueryUpdate] = []
+        self._cond = threading.Condition()
+        self._counters = BufferCounters()
+        self._drained = BufferCounters()  # counter values at the last drain
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+
+    def offer(self, update: ObjectUpdate, timeout: float | None = None) -> int:
+        """Stage one object update.
+
+        Returns the number of distinct objects staged after the offer
+        (always >= 1, so truthy), or ``0`` on a BLOCK timeout — callers
+        get the size-trigger check for free instead of re-locking for
+        :attr:`pending`.
+
+        Only the update's *target* (``new``, or off-line when ``new is
+        None``) is staged — the authoritative old position is re-based by
+        the batcher against what the monitor actually saw, so coalescing
+        and drops can never desynchronize the stream.
+        """
+        oid = update.oid
+        target = update.new
+        cond = self._cond
+        counters = self._counters
+        with cond:
+            counters.offered += 1
+            targets = self._targets
+            if oid in targets:
+                # Last write wins; the slot (and its arrival rank) is kept.
+                targets[oid] = target
+                counters.coalesced += 1
+                cond.notify_all()
+                return len(targets)
+            while len(targets) >= self.capacity:
+                if self.policy is BackPressurePolicy.DROP_OLDEST:
+                    stalest = next(iter(targets))
+                    del targets[stalest]
+                    counters.dropped += 1
+                    break
+                if self._closed:
+                    # Nobody will drain a closed buffer: waiting would
+                    # hang the producer forever.  Reject instead.
+                    counters.rejected += 1
+                    return 0
+                counters.blocked += 1
+                if not cond.wait(timeout):
+                    counters.rejected += 1
+                    return 0
+            targets[oid] = target
+            cond.notify_all()
+            return len(targets)
+
+    def try_offer(self, update: ObjectUpdate) -> int:
+        """Non-blocking :meth:`offer` for the single-threaded pull loop.
+
+        A full BLOCK buffer means "close the cycle", not "a producer had
+        to wait" — so a declined update is *not* counted as offered,
+        blocked or rejected (the caller re-offers it next cycle, where it
+        counts exactly once).  Returns the staged count, or ``0`` when
+        the update could not be staged.
+        """
+        oid = update.oid
+        target = update.new
+        counters = self._counters
+        with self._cond:
+            targets = self._targets
+            if oid in targets:
+                counters.offered += 1
+                targets[oid] = target
+                counters.coalesced += 1
+                return len(targets)
+            if len(targets) >= self.capacity:
+                if self.policy is not BackPressurePolicy.DROP_OLDEST:
+                    return 0
+                stalest = next(iter(targets))
+                del targets[stalest]
+                counters.dropped += 1
+            counters.offered += 1
+            targets[oid] = target
+            return len(targets)
+
+    def offer_query(self, update: QueryUpdate) -> None:
+        """Stage one query update (FIFO, never coalesced or dropped)."""
+        with self._cond:
+            self._counters.query_offered += 1
+            self._query_updates.append(update)
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Mark the producer finished; wakes any waiting consumer."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Distinct objects currently staged."""
+        with self._cond:
+            return len(self._targets)
+
+    @property
+    def pending_queries(self) -> int:
+        with self._cond:
+            return len(self._query_updates)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def counters(self) -> BufferCounters:
+        """Snapshot of the monotonic counters."""
+        with self._cond:
+            return self._counters.snapshot()
+
+    def wait_for_work(
+        self, count: int = 1, deadline: float | None = None, *, clock=None
+    ) -> bool:
+        """Block until ``count`` objects are staged, any query update is,
+        the producer closed, or ``deadline`` (absolute, on ``clock``'s
+        axis) passes.  Returns True when work or closure is available."""
+        import time as _time
+
+        clk = clock if clock is not None else _time.monotonic
+        with self._cond:
+            while True:
+                if (
+                    len(self._targets) >= count
+                    or self._query_updates
+                    or self._closed
+                ):
+                    return True
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - clk()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        return bool(self._targets or self._query_updates)
+
+    def wait(self, timeout: float) -> None:
+        """Sleep on the buffer's condition for up to ``timeout`` seconds.
+
+        Wakes early on any offer or on close — the building block of the
+        driver's pure-deadline cadence (callers re-check their own clock
+        after every wake; offers cause benign spurious wakeups).
+        """
+        with self._cond:
+            if not self._closed:
+                self._cond.wait(timeout)
+
+    def drain(self, max_objects: int | None = None) -> DrainedCycle:
+        """Remove staged work (first-arrival order) and report the
+        accounting delta since the previous drain; wakes blocked
+        producers."""
+        with self._cond:
+            targets = self._targets
+            if max_objects is None or max_objects >= len(targets):
+                object_targets = list(targets.items())
+                targets.clear()
+            else:
+                object_targets = []
+                for oid in list(targets)[:max_objects]:
+                    object_targets.append((oid, targets.pop(oid)))
+            query_updates = self._query_updates
+            self._query_updates = []
+            counters = self._counters.delta(self._drained)
+            self._drained = self._counters.snapshot()
+            self._cond.notify_all()
+            return DrainedCycle(
+                object_targets=object_targets,
+                query_updates=query_updates,
+                counters=counters,
+            )

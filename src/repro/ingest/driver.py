@@ -1,0 +1,468 @@
+"""The ingest driver: feed -> buffer -> batcher -> monitoring service.
+
+One :class:`IngestDriver` owns the whole pipeline and pumps it cycle by
+cycle.  A cycle closes on the first of three triggers:
+
+* **mark** — the feed emitted a :class:`repro.ingest.feeds.CycleMark` and
+  the driver honors source cycles (deterministic replay: the resulting
+  stream of batches — and therefore every deterministic counter — is
+  byte-identical to a plain workload replay);
+* **size** — ``max_batch`` distinct objects are staged;
+* **deadline** — ``cycle_deadline`` seconds elapsed since the cycle
+  started (real-time operation; a feed that outruns the deadline shows up
+  as coalesced/dropped counts in the stats, not as an error).
+
+Each closed cycle drains the buffer, assembles one columnar
+:class:`repro.updates.FlatUpdateBatch` (or a row batch with
+``flat=False``) and hands it to
+:meth:`repro.service.service.MonitoringService.tick_report`; the per-cycle
+:class:`CycleIngestStats` aggregates into an :class:`IngestReport`.
+
+Two source modes:
+
+* **pull** (default) — the driver iterates the feed itself, applying
+  back-pressure implicitly (it simply stops pulling while it processes);
+* **buffered** — a :class:`ThreadedFeedPump` pushes the feed into the
+  buffer from its own thread while the driver drains on its own cadence;
+  this is where the buffer's BLOCK/DROP_OLDEST policies do real work.
+
+``start()`` runs the pump loop on a background thread for interactive
+deployments; ``run()`` drives it synchronously.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from repro.ingest.batcher import CycleBatcher
+from repro.ingest.buffer import BackPressurePolicy, IngestBuffer
+from repro.ingest.feeds import CycleMark, FeedEvent, UpdateFeed
+from repro.service.service import MonitoringService
+from repro.updates import FlatUpdateBatch, ObjectUpdate, QueryUpdate
+
+
+@dataclass(slots=True)
+class CycleIngestStats:
+    """Ingest-side accounting of one driven cycle."""
+
+    #: driver cycle ordinal (0-based).
+    cycle: int
+    #: cycle label: the honored mark's timestamp, else the ordinal.
+    timestamp: int
+    #: what closed the cycle: "mark" | "size" | "deadline" | "drain"
+    #: (buffered mode woke with work but no configured trigger fired) |
+    #: "end" (feed exhausted).
+    trigger: str
+    #: object updates offered by the feed during this cycle.
+    offered: int
+    #: offers coalesced into a pending object (last-write-wins).
+    coalesced: int
+    #: pending objects shed by DROP_OLDEST back-pressure.
+    dropped: int
+    #: producer waits on a full buffer (BLOCK back-pressure).
+    blocked: int
+    #: rows in the applied batch.
+    applied: int
+    #: drained targets that assembled to nothing (unchanged position or
+    #: in-buffer appear/disappear annihilation).
+    noops: int
+    query_updates: int
+    #: queries whose result changed.
+    changed: int
+    #: the cycle missed its cadence: an early-triggered (mark/size/drain)
+    #: cycle failed to finish within one deadline period, or a
+    #: deadline-triggered cycle's post-trigger work (drain + assemble +
+    #: tick) consumed more than a further full period.  (A
+    #: deadline-triggered cycle necessarily *ends* past the deadline, so
+    #: raw elapsed time would flag every one of them and carry no signal.)
+    deadline_overrun: bool
+    #: wall-clock spent pulling/draining/assembling.
+    ingest_sec: float
+    #: wall-clock spent inside the service tick.
+    process_sec: float
+
+
+@dataclass(slots=True)
+class IngestReport:
+    """Aggregated stats of one driver run."""
+
+    cycles: list[CycleIngestStats] = field(default_factory=list)
+
+    @property
+    def n_cycles(self) -> int:
+        return len(self.cycles)
+
+    @property
+    def total_offered(self) -> int:
+        return sum(c.offered for c in self.cycles)
+
+    @property
+    def total_applied(self) -> int:
+        return sum(c.applied for c in self.cycles)
+
+    @property
+    def total_coalesced(self) -> int:
+        return sum(c.coalesced for c in self.cycles)
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(c.dropped for c in self.cycles)
+
+    @property
+    def total_changed(self) -> int:
+        return sum(c.changed for c in self.cycles)
+
+    @property
+    def deadline_overruns(self) -> int:
+        return sum(1 for c in self.cycles if c.deadline_overrun)
+
+    @property
+    def total_ingest_sec(self) -> float:
+        return sum(c.ingest_sec for c in self.cycles)
+
+    @property
+    def total_process_sec(self) -> float:
+        return sum(c.process_sec for c in self.cycles)
+
+
+_END = object()
+
+
+class IngestDriver:
+    """Pumps one feed through a buffer/batcher into a monitoring service.
+
+    Args:
+        feed: the update source.
+        service: the service whose monitor consumes the cycles.
+        buffer: staging buffer; a fresh unbounded-ish default otherwise.
+        max_batch: close a cycle once this many distinct objects are
+            staged (``None`` = no size trigger).
+        cycle_deadline: close a cycle after this many seconds (``None`` =
+            no deadline; required for byte-deterministic replay).
+        honor_marks: close cycles on the feed's own :class:`CycleMark`
+            boundaries (on by default; turn off to re-cut a marked feed
+            purely by size/deadline).
+        flat: hand the engines columnar batches (the fast path); with
+            ``False`` each batch is converted to the row encoding first —
+            same stream, used by the equivalence tests.
+        record: keep every applied :class:`FlatUpdateBatch` in
+            :attr:`recorded` (the offline-replay verification hook).
+        clock: time source for deadlines (monotonic seconds); injectable
+            for deterministic tests.
+        on_cycle: optional per-cycle callback (stats dashboards).
+    """
+
+    def __init__(
+        self,
+        feed: UpdateFeed,
+        service: MonitoringService,
+        *,
+        buffer: IngestBuffer | None = None,
+        max_batch: int | None = None,
+        cycle_deadline: float | None = None,
+        honor_marks: bool = True,
+        flat: bool = True,
+        record: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+        on_cycle: Callable[[CycleIngestStats], None] | None = None,
+    ) -> None:
+        self.feed = feed
+        self.service = service
+        self.buffer = buffer if buffer is not None else IngestBuffer(
+            capacity=1 << 20, policy=BackPressurePolicy.BLOCK
+        )
+        self.max_batch = max_batch
+        self.cycle_deadline = cycle_deadline
+        self.honor_marks = honor_marks
+        self.flat = flat
+        self.record = record
+        self.clock = clock
+        self.on_cycle = on_cycle
+        self.batcher = CycleBatcher()
+        self.report = IngestReport()
+        #: applied columnar batches, when ``record`` is set.
+        self.recorded: list[FlatUpdateBatch] = []
+        self._events: Iterator[FeedEvent] | None = None
+        #: pull-mode event that could not be staged (buffer full under
+        #: BLOCK): retried at the start of the next cycle.
+        self._carry: ObjectUpdate | None = None
+        self._primed = False
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Priming
+    # ------------------------------------------------------------------
+
+    def prime(self, k: int = 1) -> None:
+        """Load the feed's initial populations into the service.
+
+        Objects bulk-load (and seed the batcher's shadow table); queries
+        install with ``k`` neighbors — a feed carrying per-query ``k``
+        (see :meth:`UpdateFeed.install_k`, e.g. a recorded trace)
+        overrides the argument.
+        """
+        if self._primed:
+            raise RuntimeError("driver already primed")
+        initial_objects = self.feed.initial_objects()
+        if initial_objects:
+            items = sorted(initial_objects.items())
+            self.service.load_objects(items)
+            self.batcher.prime(items)
+        for qid, point in sorted(self.feed.initial_queries().items()):
+            self.service.install_query(qid, point, self.feed.install_k(qid, k))
+        self._primed = True
+
+    # ------------------------------------------------------------------
+    # The pump
+    # ------------------------------------------------------------------
+
+    def _fill_from_feed(self, cycle_start: float) -> tuple[str, int | None]:
+        """Pull feed events until a cycle trigger fires (pull mode).
+
+        Returns ``(trigger, mark_timestamp)``.
+
+        Offers never block here: the pull loop is the only thread that
+        could drain the buffer, so a blocking offer on a full BLOCK
+        buffer would deadlock.  A full buffer instead closes the cycle
+        (trigger ``"size"``) and the unplaceable event is carried into
+        the next cycle, which starts with a freshly drained buffer.
+        """
+        if self._events is None:
+            self._events = self.feed.events()
+        events = self._events
+        buffer = self.buffer
+        max_batch = self.max_batch
+        deadline = self.cycle_deadline
+        clock = self.clock
+        if self._carry is not None:
+            if not buffer.try_offer(self._carry):
+                return "size", None
+            self._carry = None
+        while True:
+            event = next(events, _END)
+            if event is _END:
+                return "end", None
+            if type(event) is CycleMark:
+                if self.honor_marks:
+                    return "mark", event.timestamp
+                continue
+            if type(event) is ObjectUpdate:
+                pending = buffer.try_offer(event)
+                if not pending:
+                    self._carry = event
+                    return "size", None
+                if max_batch is not None and pending >= max_batch:
+                    return "size", None
+            else:
+                buffer.offer_query(event)
+            if deadline is not None and clock() - cycle_start >= deadline:
+                return "deadline", None
+
+    def _wait_on_buffer(self, cycle_start: float) -> str:
+        """Wait for staged work until a trigger fires (buffered mode)."""
+        buffer = self.buffer
+        clock = self.clock
+        max_batch = self.max_batch
+        deadline = (
+            None
+            if self.cycle_deadline is None
+            else cycle_start + self.cycle_deadline
+        )
+        if deadline is not None:
+            # Deadline cadence (optionally with a size trigger): keep
+            # accumulating — query updates included — until the batch
+            # fills, the deadline elapses, or the producer closes.
+            # buffer.wait wakes on every offer; each wake just re-checks.
+            while True:
+                if max_batch is not None and buffer.pending >= max_batch:
+                    return "size"
+                if buffer.closed:
+                    if not buffer.pending and not buffer.pending_queries:
+                        return "end"
+                    return "drain"
+                remaining = deadline - clock()
+                if remaining <= 0:
+                    return "deadline"
+                buffer.wait(remaining)
+        if max_batch is not None:
+            buffer.wait_for_work(count=max_batch, deadline=None, clock=clock)
+            if buffer.pending >= max_batch:
+                return "size"
+            if buffer.closed and not buffer.pending and not buffer.pending_queries:
+                return "end"
+            # Woke early: producer closed with leftovers, or a query
+            # update arrived (order-sensitive, flushed promptly when no
+            # deadline bounds its latency).
+            return "drain"
+        # No triggers configured: one cycle per batch of whatever shows up.
+        buffer.wait_for_work(count=1, deadline=None, clock=clock)
+        if buffer.closed and not buffer.pending and not buffer.pending_queries:
+            return "end"
+        return "drain"
+
+    def pump_cycle(self, *, from_buffer: bool = False) -> CycleIngestStats | None:
+        """Drive one cycle; returns its stats, or ``None`` at stream end.
+
+        ``from_buffer`` selects buffered mode (a producer thread owns the
+        feed); the default pulls from the feed inline.
+        """
+        clock = self.clock
+        cycle_start = clock()
+        if from_buffer:
+            trigger = self._wait_on_buffer(cycle_start)
+            mark_ts = None
+        else:
+            trigger, mark_ts = self._fill_from_feed(cycle_start)
+        trigger_elapsed = clock() - cycle_start
+        drained = self.buffer.drain(self.max_batch)
+        if trigger == "end" and not drained.object_targets and not drained.query_updates:
+            return None
+        ordinal = len(self.report.cycles)
+        timestamp = mark_ts if mark_ts is not None else ordinal
+        batch, noops = self.batcher.assemble(
+            drained.object_targets, drained.query_updates, timestamp
+        )
+        ingest_sec = clock() - cycle_start
+        if self.record:
+            self.recorded.append(batch)
+        tick = self.service.tick_report(batch if self.flat else batch.to_batch())
+        elapsed = clock() - cycle_start
+        if self.cycle_deadline is None:
+            overrun = False
+        elif trigger == "deadline":
+            # The fill/wait phase ends at the deadline by construction;
+            # overrun means the post-trigger work alone ate a further
+            # full period.
+            overrun = (elapsed - trigger_elapsed) > self.cycle_deadline
+        else:
+            overrun = elapsed > self.cycle_deadline
+        stats = CycleIngestStats(
+            cycle=ordinal,
+            timestamp=timestamp,
+            trigger=trigger,
+            offered=drained.counters.offered,
+            coalesced=drained.counters.coalesced,
+            dropped=drained.counters.dropped,
+            blocked=drained.counters.blocked,
+            applied=len(batch),
+            noops=noops,
+            query_updates=len(batch.query_updates),
+            changed=len(tick.changed),
+            deadline_overrun=overrun,
+            ingest_sec=ingest_sec,
+            process_sec=tick.process_sec,
+        )
+        self.report.cycles.append(stats)
+        if self.on_cycle is not None:
+            self.on_cycle(stats)
+        return stats
+
+    def run(
+        self, max_cycles: int | None = None, *, from_buffer: bool = False
+    ) -> IngestReport:
+        """Pump cycles until the feed ends (or ``max_cycles``)."""
+        while max_cycles is None or len(self.report.cycles) < max_cycles:
+            if self._stop.is_set():
+                break
+            if self.pump_cycle(from_buffer=from_buffer) is None:
+                break
+        return self.report
+
+    # ------------------------------------------------------------------
+    # Background operation
+    # ------------------------------------------------------------------
+
+    def start(
+        self, max_cycles: int | None = None, *, from_buffer: bool = False
+    ) -> None:
+        """Run the pump loop on a daemon thread (see :meth:`stop`)."""
+        if self._thread is not None:
+            raise RuntimeError("driver already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self.run,
+            args=(max_cycles,),
+            kwargs={"from_buffer": from_buffer},
+            name="ingest-driver",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float | None = 5.0) -> IngestReport:
+        """Signal the background loop to finish and join it."""
+        self._stop.set()
+        self.buffer.close()  # wake a blocked consumer wait
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            self._thread = None
+        return self.report
+
+
+class ThreadedFeedPump:
+    """Producer thread pushing a feed into an :class:`IngestBuffer`.
+
+    The live half of buffered mode: cycle marks are ignored (the driver
+    re-cuts cycles by size/deadline), object updates go through
+    :meth:`IngestBuffer.offer` — so a full buffer exerts real
+    back-pressure on this thread (BLOCK) or sheds stale positions
+    (DROP_OLDEST).  ``events_per_cycle`` throttles the push rate for
+    demos; ``None`` pushes as fast as the buffer accepts.
+    """
+
+    def __init__(
+        self,
+        feed: UpdateFeed,
+        buffer: IngestBuffer,
+        *,
+        max_events: int | None = None,
+        offer_timeout: float = 0.05,
+    ) -> None:
+        self.feed = feed
+        self.buffer = buffer
+        self.max_events = max_events
+        self.offer_timeout = offer_timeout
+        self.pushed = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _run(self) -> None:
+        try:
+            for event in self.feed.events():
+                if self._stop.is_set():
+                    break
+                if self.max_events is not None and self.pushed >= self.max_events:
+                    break
+                if type(event) is CycleMark:
+                    continue
+                if type(event) is QueryUpdate:
+                    self.buffer.offer_query(event)
+                else:
+                    while not self.buffer.offer(event, timeout=self.offer_timeout):
+                        # A closed buffer rejects instantly (nobody will
+                        # drain it again): retrying would spin forever.
+                        if self._stop.is_set() or self.buffer.closed:
+                            return
+                self.pushed += 1
+        finally:
+            self.buffer.close()
+
+    def start(self) -> "ThreadedFeedPump":
+        if self._thread is not None:
+            raise RuntimeError("pump already started")
+        self._thread = threading.Thread(
+            target=self._run, name="ingest-feed-pump", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float | None = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            self._thread = None

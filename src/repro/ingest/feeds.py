@@ -1,0 +1,289 @@
+"""Update feed sources: where the ingestion tier's events come from.
+
+The paper models the input as a continuous stream of ``<p.id, x_old,
+y_old, x_new, y_new>`` location updates (Section 3).  A feed is the
+library's abstraction of that stream: an iterator of
+:class:`repro.updates.ObjectUpdate` / :class:`repro.updates.QueryUpdate`
+events, optionally punctuated by :class:`CycleMark` sentinels that flag
+the source's own cycle boundaries (a materialized workload knows its
+timestamps; a live generator emits one mark per simulation step).  The
+driver (:mod:`repro.ingest.driver`) may honor the marks — deterministic
+replay — or re-cut cycles by batch size and deadline, which is what a
+real-time deployment does.
+
+Three adapters cover the sources the repo has:
+
+* :class:`WorkloadFeed` — a materialized
+  :class:`repro.mobility.workload.Workload`, replayed event by event;
+* :class:`GeneratorFeed` — a *live* Brinkhoff-style source stepping
+  :class:`repro.mobility.brinkhoff.BrinkhoffStream` agents on demand,
+  unbounded unless capped;
+* :class:`JsonlTraceFeed` — a replayable JSONL trace on disk (one event
+  per line); :func:`write_jsonl_trace` records one.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from repro.geometry.points import Point
+from repro.mobility.brinkhoff import BrinkhoffStream
+from repro.mobility.network import RoadNetwork
+from repro.mobility.workload import Workload, WorkloadSpec
+from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind
+
+
+@dataclass(frozen=True, slots=True)
+class CycleMark:
+    """End-of-cycle sentinel carrying the source's timestamp label."""
+
+    timestamp: int
+
+
+FeedEvent = Union[ObjectUpdate, QueryUpdate, CycleMark]
+
+
+class UpdateFeed:
+    """Source protocol of the ingestion tier.
+
+    Subclasses yield :data:`FeedEvent` items from :meth:`events`; the
+    initial populations (loaded/installed before the stream starts) are
+    exposed separately because monitors bulk-load them outside the update
+    path (``load_objects`` rejects late bulk loads).
+    """
+
+    def initial_objects(self) -> dict[int, Point]:
+        """Object id -> position at stream start (may be empty)."""
+        return {}
+
+    def initial_queries(self) -> dict[int, Point]:
+        """Query id -> position at stream start (may be empty)."""
+        return {}
+
+    def install_k(self, qid: int, default: int = 1) -> int:
+        """Neighbor count to install an initial query with.
+
+        Feeds that carry per-query ``k`` (recorded traces) override this;
+        the base returns the caller's ``default`` unchanged.
+        """
+        return default
+
+    def events(self) -> Iterator[FeedEvent]:
+        """The update stream itself."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[FeedEvent]:
+        return self.events()
+
+
+class WorkloadFeed(UpdateFeed):
+    """A materialized workload replayed as a feed.
+
+    Every batch's object updates stream first, then its query updates,
+    then one :class:`CycleMark` with the batch's timestamp — so a driver
+    honoring marks reproduces the workload's exact cycle structure (and
+    therefore the exact deterministic counters of a plain replay).
+    """
+
+    def __init__(self, workload: Workload) -> None:
+        self.workload = workload
+
+    def initial_objects(self) -> dict[int, Point]:
+        return dict(self.workload.initial_objects)
+
+    def initial_queries(self) -> dict[int, Point]:
+        return dict(self.workload.initial_queries)
+
+    def events(self) -> Iterator[FeedEvent]:
+        for batch in self.workload.batches:
+            yield from batch.object_updates
+            yield from batch.query_updates
+            yield CycleMark(batch.timestamp)
+
+
+class GeneratorFeed(UpdateFeed):
+    """A live Brinkhoff-style feed stepping moving agents on demand.
+
+    Wraps :class:`repro.mobility.brinkhoff.BrinkhoffStream`: each
+    simulation step yields that cycle's object updates, query moves and a
+    :class:`CycleMark`.  With ``timestamps=None`` the feed never ends —
+    the shape of real traffic; cap it for bounded runs.  The first
+    ``spec.timestamps`` steps are byte-identical to
+    ``BrinkhoffGenerator(spec).generate()``'s batches (the materialized
+    generator consumes the same stream class), which is what makes
+    live-vs-materialized equivalence testable.
+    """
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        *,
+        network: RoadNetwork | None = None,
+        timestamps: int | None = None,
+    ) -> None:
+        self.stream = BrinkhoffStream(spec, network)
+        self.timestamps = timestamps
+
+    def initial_objects(self) -> dict[int, Point]:
+        return dict(self.stream.initial_objects)
+
+    def initial_queries(self) -> dict[int, Point]:
+        return dict(self.stream.initial_queries)
+
+    def events(self) -> Iterator[FeedEvent]:
+        # Mark timestamps come from the stream's own step counter, so a
+        # second events() iterator continues the labels where the first
+        # stopped instead of restarting at 0 over advanced agent state
+        # (``timestamps`` caps the stream's total steps, not each
+        # iterator's).
+        while self.timestamps is None or self.stream.steps < self.timestamps:
+            t = self.stream.steps
+            object_updates, query_updates = self.stream.step()
+            yield from object_updates
+            yield from query_updates
+            yield CycleMark(t)
+
+
+# ----------------------------------------------------------------------
+# JSONL traces
+# ----------------------------------------------------------------------
+#
+# One JSON object per line.  ``kind`` selects the record type:
+#
+#   {"kind": "load",    "oid": 3, "pos": [x, y]}          initial object
+#   {"kind": "install", "qid": 9, "point": [x, y], "k": 4} initial query
+#   {"kind": "obj",     "oid": 3, "old": [x, y] | null, "new": [x, y] | null}
+#   {"kind": "qry",     "qid": 9, "op": "move", "point": [x, y], "k": 4}
+#   {"kind": "cycle",   "t": 17}                           cycle mark
+#
+# ``load``/``install`` records must precede every stream record.
+
+
+class JsonlTraceFeed(UpdateFeed):
+    """A replayable update trace stored as JSONL on disk."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._initial_objects: dict[int, Point] = {}
+        self._initial_queries: dict[int, Point] = {}
+        self._install_ks: dict[int, int] = {}
+        # The prologue (load/install records) is parsed eagerly so the
+        # initial populations are available before iteration; the stream
+        # body stays lazy.
+        self._body_offset = 0
+        with self.path.open("r", encoding="utf-8") as fh:
+            while True:
+                line = fh.readline()
+                if not line:
+                    break
+                record = json.loads(line)
+                kind = record["kind"]
+                if kind == "load":
+                    self._initial_objects[int(record["oid"])] = (
+                        float(record["pos"][0]),
+                        float(record["pos"][1]),
+                    )
+                elif kind == "install":
+                    qid = int(record["qid"])
+                    self._initial_queries[qid] = (
+                        float(record["point"][0]),
+                        float(record["point"][1]),
+                    )
+                    self._install_ks[qid] = int(record.get("k", 1))
+                else:
+                    break
+                self._body_offset = fh.tell()
+
+    def initial_objects(self) -> dict[int, Point]:
+        return dict(self._initial_objects)
+
+    def initial_queries(self) -> dict[int, Point]:
+        return dict(self._initial_queries)
+
+    def install_k(self, qid: int, default: int = 1) -> int:
+        """``k`` recorded with an initial query installation."""
+        return self._install_ks.get(qid, default)
+
+    @staticmethod
+    def _point(raw) -> Point | None:
+        return None if raw is None else (float(raw[0]), float(raw[1]))
+
+    def events(self) -> Iterator[FeedEvent]:
+        with self.path.open("r", encoding="utf-8") as fh:
+            fh.seek(self._body_offset)
+            for line in fh:
+                record = json.loads(line)
+                kind = record["kind"]
+                if kind == "obj":
+                    yield ObjectUpdate(
+                        int(record["oid"]),
+                        self._point(record["old"]),
+                        self._point(record["new"]),
+                    )
+                elif kind == "qry":
+                    k_raw = record.get("k")
+                    yield QueryUpdate(
+                        int(record["qid"]),
+                        QueryUpdateKind(record["op"]),
+                        self._point(record.get("point")),
+                        None if k_raw is None else int(k_raw),
+                    )
+                elif kind == "cycle":
+                    yield CycleMark(int(record["t"]))
+                elif kind in ("load", "install"):
+                    raise ValueError(
+                        f"{self.path}: {kind!r} record after the stream started"
+                    )
+                else:
+                    raise ValueError(f"{self.path}: unknown record kind {kind!r}")
+
+
+def write_jsonl_trace(
+    path: str | Path, workload: Workload, *, default_k: int | None = None
+) -> Path:
+    """Record a materialized workload as a replayable JSONL trace.
+
+    ``JsonlTraceFeed(path)`` then yields the byte-identical event stream
+    of ``WorkloadFeed(workload)``.  ``default_k`` (defaulting to the
+    workload spec's ``k``) is stamped onto the install records.
+    """
+    path = Path(path)
+    k = workload.spec.k if default_k is None else default_k
+    with path.open("w", encoding="utf-8") as fh:
+        for oid, pos in workload.initial_objects.items():
+            fh.write(
+                json.dumps({"kind": "load", "oid": oid, "pos": list(pos)}) + "\n"
+            )
+        for qid, point in workload.initial_queries.items():
+            fh.write(
+                json.dumps(
+                    {"kind": "install", "qid": qid, "point": list(point), "k": k}
+                )
+                + "\n"
+            )
+        for batch in workload.batches:
+            for upd in batch.object_updates:
+                fh.write(
+                    json.dumps(
+                        {
+                            "kind": "obj",
+                            "oid": upd.oid,
+                            "old": None if upd.old is None else list(upd.old),
+                            "new": None if upd.new is None else list(upd.new),
+                        }
+                    )
+                    + "\n"
+                )
+            for qu in batch.query_updates:
+                record = {"kind": "qry", "qid": qu.qid, "op": qu.kind.value}
+                if qu.point is not None:
+                    record["point"] = list(qu.point)
+                if qu.k is not None:
+                    record["k"] = qu.k
+                fh.write(json.dumps(record) + "\n")
+            fh.write(json.dumps({"kind": "cycle", "t": batch.timestamp}) + "\n")
+    return path

@@ -29,6 +29,21 @@ from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind, UpdateBatc
 QUERY_ID_BASE = 1_000_000_000
 
 
+def _resolve_network(
+    spec: WorkloadSpec, network: RoadNetwork | None
+) -> RoadNetwork:
+    """The one place the default network is derived from a spec.
+
+    Shared by the materialized generator and the live stream so their
+    byte-identity can never be broken by a drifting default.
+    """
+    if network is None:
+        network = grid_network(16, 16, bounds=spec.rect, seed=spec.seed)
+    if network.bounds != spec.rect:
+        raise ValueError("network workspace differs from the spec bounds")
+    return network
+
+
 class BrinkhoffGenerator:
     """Network-based moving object and query generator.
 
@@ -40,66 +55,25 @@ class BrinkhoffGenerator:
 
     def __init__(self, spec: WorkloadSpec, network: RoadNetwork | None = None) -> None:
         self.spec = spec
-        self.network = network or grid_network(
-            16, 16, bounds=spec.rect, seed=spec.seed
-        )
-        if self.network.bounds != spec.rect:
-            raise ValueError("network workspace differs from the spec bounds")
+        self.network = _resolve_network(spec, network)
+
+    def stream(self) -> "BrinkhoffStream":
+        """An incrementally stepped update source over this generator's
+        populations (the live-feed counterpart of :meth:`generate`)."""
+        return BrinkhoffStream(self.spec, self.network)
 
     def generate(self) -> Workload:
-        """Materialize the full update stream."""
+        """Materialize the full update stream.
+
+        Thin consumer of :class:`BrinkhoffStream`: ``spec.timestamps``
+        steps are drawn and packaged, so a live feed stepping the same
+        stream object produces the byte-identical sequence of updates.
+        """
         spec = self.spec
-        rng = random.Random(spec.seed)
-        object_speed = speed_per_timestamp(spec.object_speed, spec.rect)
-        query_speed = speed_per_timestamp(spec.query_speed, spec.rect)
-
-        objects: dict[int, MovingAgent] = {}
-        next_oid = 0
-        for _ in range(spec.n_objects):
-            objects[next_oid] = MovingAgent(self.network, object_speed, rng)
-            next_oid += 1
-        queries: dict[int, MovingAgent] = {}
-        for idx in range(spec.n_queries):
-            queries[QUERY_ID_BASE + idx] = MovingAgent(
-                self.network, query_speed, rng, respawn=True
-            )
-
-        initial_objects = {oid: agent.position for oid, agent in objects.items()}
-        initial_queries = {qid: agent.position for qid, agent in queries.items()}
-
+        stream = self.stream()
         batches: list[UpdateBatch] = []
         for t in range(spec.timestamps):
-            object_updates: list[ObjectUpdate] = []
-            moving_oids = self._sample(rng, list(objects), spec.object_agility)
-            for oid in moving_oids:
-                agent = objects[oid]
-                old: Point = agent.position
-                new = agent.advance(rng)
-                if new is None:
-                    # Trip completed: disappear and spawn a replacement to
-                    # keep the average population at N.
-                    object_updates.append(ObjectUpdate(oid, old, None))
-                    del objects[oid]
-                    replacement = MovingAgent(self.network, object_speed, rng)
-                    object_updates.append(
-                        ObjectUpdate(next_oid, None, replacement.position)
-                    )
-                    objects[next_oid] = replacement
-                    next_oid += 1
-                elif new != old:
-                    object_updates.append(ObjectUpdate(oid, old, new))
-
-            query_updates: list[QueryUpdate] = []
-            moving_qids = self._sample(rng, list(queries), spec.query_agility)
-            for qid in moving_qids:
-                agent = queries[qid]
-                old = agent.position
-                new = agent.advance(rng)
-                assert new is not None  # respawning agents never disappear
-                if new != old:
-                    query_updates.append(
-                        QueryUpdate(qid, QueryUpdateKind.MOVE, new, spec.k)
-                    )
+            object_updates, query_updates = stream.step()
             batches.append(
                 UpdateBatch(
                     timestamp=t,
@@ -109,10 +83,97 @@ class BrinkhoffGenerator:
             )
         return Workload(
             spec=spec,
-            initial_objects=initial_objects,
-            initial_queries=initial_queries,
+            initial_objects=stream.initial_objects,
+            initial_queries=stream.initial_queries,
             batches=batches,
         )
+
+
+class BrinkhoffStream:
+    """Live Brinkhoff-style populations, stepped one timestamp at a time.
+
+    Unlike :meth:`BrinkhoffGenerator.generate` — which materializes
+    ``spec.timestamps`` cycles up front — a stream holds the moving agents
+    and produces each cycle's updates on demand, with no horizon:
+    :meth:`step` can be called indefinitely, which is what a *live* update
+    feed (see :mod:`repro.ingest.feeds`) needs.  The whole trajectory is
+    deterministic in the spec's seed, and the materialized generator is a
+    thin consumer of this class, so the first ``spec.timestamps`` steps
+    are byte-identical to the materialized workload's batches.
+
+    Attributes:
+        initial_objects: object id -> starting position (timestamp 0).
+        initial_queries: query id -> starting position.
+        steps: number of :meth:`step` calls taken so far.
+    """
+
+    def __init__(self, spec: WorkloadSpec, network: RoadNetwork | None = None) -> None:
+        self.spec = spec
+        self.network = _resolve_network(spec, network)
+        self._rng = random.Random(spec.seed)
+        self._object_speed = speed_per_timestamp(spec.object_speed, spec.rect)
+        self._query_speed = speed_per_timestamp(spec.query_speed, spec.rect)
+        self._objects: dict[int, MovingAgent] = {}
+        self._next_oid = 0
+        for _ in range(spec.n_objects):
+            self._objects[self._next_oid] = MovingAgent(
+                self.network, self._object_speed, self._rng
+            )
+            self._next_oid += 1
+        self._queries: dict[int, MovingAgent] = {}
+        for idx in range(spec.n_queries):
+            self._queries[QUERY_ID_BASE + idx] = MovingAgent(
+                self.network, self._query_speed, self._rng, respawn=True
+            )
+        self.initial_objects = {
+            oid: agent.position for oid, agent in self._objects.items()
+        }
+        self.initial_queries = {
+            qid: agent.position for qid, agent in self._queries.items()
+        }
+        self.steps = 0
+
+    def step(self) -> tuple[list[ObjectUpdate], list[QueryUpdate]]:
+        """Advance every sampled mover by one timestamp; returns the
+        cycle's updates (objects with the Brinkhoff lifecycle: completed
+        trips disappear and are replaced to keep the population at N)."""
+        spec = self.spec
+        rng = self._rng
+        objects = self._objects
+        object_updates: list[ObjectUpdate] = []
+        moving_oids = self._sample(rng, list(objects), spec.object_agility)
+        for oid in moving_oids:
+            agent = objects[oid]
+            old: Point = agent.position
+            new = agent.advance(rng)
+            if new is None:
+                # Trip completed: disappear and spawn a replacement to
+                # keep the average population at N.
+                object_updates.append(ObjectUpdate(oid, old, None))
+                del objects[oid]
+                replacement = MovingAgent(self.network, self._object_speed, rng)
+                object_updates.append(
+                    ObjectUpdate(self._next_oid, None, replacement.position)
+                )
+                objects[self._next_oid] = replacement
+                self._next_oid += 1
+            elif new != old:
+                object_updates.append(ObjectUpdate(oid, old, new))
+
+        queries = self._queries
+        query_updates: list[QueryUpdate] = []
+        moving_qids = self._sample(rng, list(queries), spec.query_agility)
+        for qid in moving_qids:
+            agent = queries[qid]
+            old = agent.position
+            new = agent.advance(rng)
+            assert new is not None  # respawning agents never disappear
+            if new != old:
+                query_updates.append(
+                    QueryUpdate(qid, QueryUpdateKind.MOVE, new, spec.k)
+                )
+        self.steps += 1
+        return object_updates, query_updates
 
     @staticmethod
     def _sample(rng: random.Random, ids: list[int], agility: float) -> list[int]:

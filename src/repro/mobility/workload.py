@@ -15,7 +15,7 @@ from typing import Literal
 
 from repro.geometry.points import Point
 from repro.geometry.rects import Rect
-from repro.updates import UpdateBatch
+from repro.updates import FlatUpdateBatch, UpdateBatch
 
 SpeedClass = Literal["slow", "medium", "fast"]
 
@@ -110,6 +110,14 @@ class Workload:
     @property
     def total_query_updates(self) -> int:
         return sum(len(b.query_updates) for b in self.batches)
+
+    def flat_batches(self) -> list[FlatUpdateBatch]:
+        """The stream re-encoded columnar, one
+        :class:`repro.updates.FlatUpdateBatch` per timestamp (lossless —
+        see ``FlatUpdateBatch.from_batch``); the input of the
+        ``process_flat`` fast path and the offline-replay reference the
+        ingestion tests compare against."""
+        return [FlatUpdateBatch.from_batch(b) for b in self.batches]
 
     def validate(self) -> None:
         """Replay the stream against a shadow position table and verify that

@@ -18,7 +18,13 @@ from collections.abc import Iterable, Sequence
 from repro.geometry.points import Point
 from repro.grid.stats import GridStats
 from repro.service.deltas import ResultDelta, diff_results
-from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind, UpdateBatch
+from repro.updates import (
+    FlatUpdateBatch,
+    ObjectUpdate,
+    QueryUpdate,
+    QueryUpdateKind,
+    UpdateBatch,
+)
 
 ResultEntry = tuple[float, int]
 
@@ -86,6 +92,27 @@ class ContinuousMonitor(ABC):
     def process_batch(self, batch: UpdateBatch) -> set[int]:
         """Process a packaged :class:`repro.updates.UpdateBatch`."""
         return self.process(batch.object_updates, batch.query_updates)
+
+    def process_flat(
+        self,
+        batch: FlatUpdateBatch,
+        query_updates: Sequence[QueryUpdate] | None = None,
+    ) -> set[int]:
+        """Process one cycle from a columnar :class:`FlatUpdateBatch`.
+
+        Contract: byte-identical to :meth:`process` over
+        ``batch.to_object_updates()`` — same changed set, same results,
+        same deterministic access counters.  ``query_updates`` overrides
+        the batch's own query updates when given (the sharded monitor
+        routes them separately).
+
+        This base implementation translates back to the
+        :class:`ObjectUpdate` vocabulary; monitors with a columnar hot
+        path (CPM) override it to iterate the flat arrays end to end.
+        """
+        if query_updates is None:
+            query_updates = batch.query_updates
+        return self.process(batch.to_object_updates(), query_updates)
 
     # ------------------------------------------------------------------
     # Delta reporting

@@ -14,11 +14,12 @@ Gate a change against a baseline::
     PYTHONPATH=src python -m repro.perf compare old.json new.json --warn-only \
         --threshold wall_sec=0.5
 
-Time the scan kernels in isolation (advisory; per-object ns of the dict
-loop versus the fused columnar kernel)::
+Time the hot loop shapes in isolation (advisory; per-object ns of the
+dict scan loop versus the fused columnar kernel, plus the per-update ns
+of the dataclass batch walk versus the flat-array walk)::
 
     PYTHONPATH=src python -m repro.perf micro
-    PYTHONPATH=src python -m repro.perf micro --sizes 8,64 --json
+    PYTHONPATH=src python -m repro.perf micro --sizes 8,64 --batch-sizes 4096 --json
 
 CI enforces the deterministic counters while treating wall-clock as
 advisory (``--warn-noisy`` = ``--warn-metric`` for each of wall_sec,
@@ -37,7 +38,14 @@ import os
 import sys
 
 from repro.perf.compare import NOISY_METRICS, compare_reports, render_comparison
-from repro.perf.micro import DEFAULT_SIZES, render_micro, run_micro
+from repro.perf.micro import (
+    DEFAULT_BATCH_SIZES,
+    DEFAULT_SIZES,
+    render_micro,
+    render_micro_batch,
+    run_micro,
+    run_micro_batch,
+)
 from repro.perf.runner import run_suite
 from repro.perf.schema import SchemaError, dump_report, load_report
 
@@ -153,12 +161,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
     micro = sub.add_parser(
         "micro",
-        help="time the scan kernels in isolation (advisory wall-clock)",
+        help="time the scan/batch-apply kernels in isolation (advisory "
+        "wall-clock)",
     )
     micro.add_argument(
         "--sizes",
         default=",".join(str(s) for s in DEFAULT_SIZES),
-        help="comma-separated cell populations to time",
+        help="comma-separated cell populations to time (scan shapes)",
+    )
+    micro.add_argument(
+        "--batch-sizes",
+        default=",".join(str(s) for s in DEFAULT_BATCH_SIZES),
+        help="comma-separated update-batch sizes to time (apply shapes)",
     )
     micro.add_argument(
         "--repeats", type=int, default=5, help="samples per layout (best kept)"
@@ -217,24 +231,36 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 1
 
 
-def _cmd_micro(args: argparse.Namespace) -> int:
+def _parse_sizes(raw: str, flag: str) -> tuple[int, ...]:
     try:
-        sizes = tuple(int(s) for s in args.sizes.split(",") if s)
+        sizes = tuple(int(s) for s in raw.split(",") if s)
         if not sizes or any(s < 1 for s in sizes):
             raise ValueError
     except ValueError:
         print(
-            f"error: --sizes expects positive integers, got {args.sizes!r}",
+            f"error: {flag} expects positive integers, got {raw!r}",
             file=sys.stderr,
         )
-        return 2
-    rows = run_micro(sizes, repeats=max(1, args.repeats))
+        raise SystemExit(2) from None
+    return sizes
+
+
+def _cmd_micro(args: argparse.Namespace) -> int:
+    sizes = _parse_sizes(args.sizes, "--sizes")
+    batch_sizes = _parse_sizes(args.batch_sizes, "--batch-sizes")
+    repeats = max(1, args.repeats)
+    scan_rows = run_micro(sizes, repeats=repeats)
+    batch_rows = run_micro_batch(batch_sizes, repeats=repeats)
     if args.json:
         import json
 
-        print(json.dumps(rows, indent=1))
+        print(json.dumps({"scan": scan_rows, "batch": batch_rows}, indent=1))
     else:
-        print(render_micro(rows))
+        print("cell-scan shapes (dict era vs columnar):")
+        print(render_micro(scan_rows))
+        print()
+        print("batch-apply shapes (ObjectUpdate dataclass vs FlatUpdateBatch):")
+        print(render_micro_batch(batch_rows))
     return 0
 
 

@@ -24,11 +24,14 @@ from collections.abc import Callable
 
 from repro.engine.server import run_workload
 from repro.experiments.common import build_monitor
+from repro.ingest.driver import IngestDriver
+from repro.ingest.feeds import WorkloadFeed
 from repro.mobility.workload import Workload
 from repro.monitor import ContinuousMonitor
 from repro.perf.schema import BenchCase, BenchReport, environment_info
 from repro.perf.suite import ALGORITHMS, SuiteCase, build_suite
 from repro.service.executor import ProcessShardExecutor
+from repro.service.service import MonitoringService
 from repro.service.sharding import ShardedMonitor
 
 #: metrics recorded for wall-clock-only cases (process-backed executors):
@@ -78,6 +81,70 @@ def _case_monitor(
     return build_monitor(algorithm, case.grid, bounds=bounds)
 
 
+def _run_ingest_case(
+    case: SuiteCase, workload: Workload, algorithm: str, repeats: int
+) -> BenchCase:
+    """Replay one case through the full ingestion pipeline.
+
+    The driver honors the workload feed's cycle marks, so every
+    deterministic counter is byte-identical to the direct replay of the
+    same workload; ``wall_sec``/``process_sec`` price the columnar
+    ``tick_flat`` path and the extra ``ingest_sec`` metric prices the
+    feed→buffer→batcher tier itself (advisory — no gate threshold).
+    """
+    spec = workload.spec
+    best = None
+    for _ in range(max(1, repeats)):
+        monitor = build_monitor(algorithm, case.grid, bounds=spec.bounds)
+        service = MonitoringService(monitor)
+        driver = IngestDriver(WorkloadFeed(workload), service)
+        gc.collect()
+        t0 = time.perf_counter()
+        driver.prime(k=spec.k)
+        install_sec = time.perf_counter() - t0
+        monitor.reset_stats()
+        t0 = time.perf_counter()
+        report = driver.run()
+        wall = install_sec + time.perf_counter() - t0
+        if best is None or wall < best[0]:
+            best = (wall, install_sec, report, monitor.stats.snapshot())
+    assert best is not None
+    wall, install_sec, report, stats = best
+    n_cycles = max(1, report.n_cycles)
+    metrics = {
+        "wall_sec": round(wall, 6),
+        "process_sec": round(report.total_process_sec, 6),
+        "install_sec": round(install_sec, 6),
+        "ingest_sec": round(report.total_ingest_sec, 6),
+        "cell_scans": stats.cell_scans,
+        "cell_accesses_per_query_per_ts": round(
+            stats.cell_scans / (spec.n_queries * n_cycles), 6
+        )
+        if spec.n_queries
+        else 0.0,
+        "objects_scanned": stats.objects_scanned,
+        "results_changed": report.total_changed,
+        "peak_rss_kb": peak_rss_kb(),
+    }
+    return BenchCase(
+        case_id=f"{case.key}/{algorithm}",
+        workload=case.workload,
+        algorithm=algorithm,
+        params={
+            "n_objects": spec.n_objects,
+            "n_queries": spec.n_queries,
+            "k": spec.k,
+            "grid": case.grid,
+            "timestamps": spec.timestamps,
+            "seed": spec.seed,
+            "shards": case.shards,
+            "executor": case.executor,
+            "ingest": True,
+        },
+        metrics=metrics,
+    )
+
+
 def run_case(
     case: SuiteCase,
     workload: Workload,
@@ -89,8 +156,11 @@ def run_case(
     Wall-clock-only cases (``case.executor == "process"``) record just
     the :data:`WALLCLOCK_METRICS` — worker scheduling makes their value
     the *real* multi-core time, while the deterministic counters belong
-    to the serial scenario.
+    to the serial scenario.  Ingest cases (``case.ingest``) replay
+    through the :mod:`repro.ingest` pipeline instead of the direct loop.
     """
+    if case.ingest:
+        return _run_ingest_case(case, workload, algorithm, repeats)
     best_wall = float("inf")
     report = None
     for _ in range(max(1, repeats)):
@@ -160,10 +230,11 @@ def run_suite(
     )
     for case in build_suite(scale, suite=suite):
         workload = case.materialize()
-        # Shard-scaling cases measure the service layer around one engine;
-        # sweeping every baseline there would triple the suite for no
-        # extra signal.  They still honour the caller's algorithm filter.
-        if case.shards:
+        # Shard-scaling and ingest cases measure the service/ingestion
+        # layers around one engine; sweeping every baseline there would
+        # triple the suite for no extra signal.  They still honour the
+        # caller's algorithm filter.
+        if case.shards or case.ingest:
             case_algorithms = ("CPM",) if "CPM" in algorithms else ()
         else:
             case_algorithms = algorithms

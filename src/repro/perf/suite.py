@@ -22,7 +22,14 @@ algorithm.  The cases mirror the paper's evaluation axes at a configurable
   *wall-clock-only* metrics — real multi-core speedup — and omits the
   deterministic counters (they would duplicate the serial scenario's)
   and peak RSS (unmeasurable across workers from the parent).  Full
-  suite only (worker startup is too heavy for the CI smoke subset).
+  suite only (worker startup is too heavy for the CI smoke subset);
+* ``streaming_ingest`` — the defaults workload pushed through the full
+  ``repro.ingest`` pipeline (feed → buffer → batcher →
+  ``MonitoringService.tick_flat``) instead of the direct replay loop.
+  The driver honors the feed's cycle marks, so the cycle structure — and
+  therefore every deterministic counter — is byte-comparable with the
+  plain replay; the extra ``ingest_sec`` metric (advisory, not gated)
+  prices the ingestion tier itself.
 
 Workload materialization is deterministic (fixed seed per case), so two
 runs of the same suite at the same scale replay byte-identical update
@@ -67,6 +74,8 @@ class SuiteCase:
     shards (CPM engines) instead of a bare algorithm.  ``executor``
     selects the shard executor: ``"serial"`` (deterministic, in-process)
     or ``"process"`` (one worker per shard, wall-clock-only metrics).
+    ``ingest`` routes the replay through the ``repro.ingest`` pipeline
+    (mark-honoring, columnar fast path) instead of the direct loop.
     """
 
     key: str
@@ -75,6 +84,7 @@ class SuiteCase:
     grid: int
     shards: int = 0
     executor: str = "serial"
+    ingest: bool = False
 
     def materialize(self) -> Workload:
         if self.workload == "network":
@@ -91,7 +101,14 @@ def _dedup(cases: list[SuiteCase]) -> list[SuiteCase]:
     seen: set[tuple] = set()
     out: list[SuiteCase] = []
     for case in cases:
-        signature = (case.workload, case.spec, case.grid, case.shards, case.executor)
+        signature = (
+            case.workload,
+            case.spec,
+            case.grid,
+            case.shards,
+            case.executor,
+            case.ingest,
+        )
         if signature in seen:
             continue
         seen.add(signature)
@@ -160,6 +177,18 @@ def build_suite(
     )
     cases.append(
         SuiteCase(key="skewed/default", workload="skewed", spec=default, grid=grid)
+    )
+    # Streaming ingestion over the defaults workload: both suites run it
+    # (the ingestion tier is hot-path code, so the smoke gate must cover
+    # its deterministic counters per PR).
+    cases.append(
+        SuiteCase(
+            key="streaming_ingest/default",
+            workload="network",
+            spec=default,
+            grid=grid,
+            ingest=True,
+        )
     )
     # Service-layer shard scaling over the defaults workload.  The shard
     # count is clamped to the grid's column count (tiny smoke grids).

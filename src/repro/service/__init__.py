@@ -30,6 +30,7 @@ _EXPORTS = {
     "SerialShardExecutor": "repro.service.executor",
     "ProcessShardExecutor": "repro.service.executor",
     "MonitoringService": "repro.service.service",
+    "TickReport": "repro.service.service",
 }
 
 __all__ = sorted(_EXPORTS)

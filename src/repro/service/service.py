@@ -14,13 +14,37 @@ thin adapter over this class; interactive callers (see
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
 
 from repro.geometry.points import Point
 from repro.monitor import ContinuousMonitor, ResultEntry
 from repro.service.deltas import diff_results
 from repro.service.subscriptions import SubscriptionHub
-from repro.updates import ObjectUpdate, QueryUpdate, UpdateBatch
+from repro.updates import FlatUpdateBatch, ObjectUpdate, QueryUpdate, UpdateBatch
+
+
+@dataclass(slots=True)
+class TickReport:
+    """Everything one processing cycle produced, for callers that need
+    more than the bare changed-set (the ingestion driver, dashboards).
+
+    ``timestamp`` is echoed back verbatim: the service itself only
+    *labels* cycles with it (see :meth:`MonitoringService.tick`), it never
+    interprets it.
+    """
+
+    timestamp: int | None
+    #: ids of queries whose result changed this cycle (the
+    #: :meth:`ContinuousMonitor.process` contract).
+    changed: set[int] = field(default_factory=set)
+    #: whether the delta path ran (i.e. subscribers were listening).
+    streamed: bool = False
+    object_updates: int = 0
+    query_updates: int = 0
+    #: wall-clock spent inside the monitor's cycle processing.
+    process_sec: float = 0.0
 
 
 class MonitoringService:
@@ -82,6 +106,14 @@ class MonitoringService:
 
         Returns the changed-query id set (the :meth:`ContinuousMonitor.process`
         contract) so metrics collection is identical on both paths.
+
+        **Timestamp contract.**  ``timestamp`` is a cycle *label*, never an
+        input to processing: it is recorded as :attr:`last_timestamp` on
+        every path and stamped onto the published deltas when (and only
+        when) subscribers are listening.  With no subscribers there is no
+        delta capture, so the label has no further effect — that asymmetry
+        is intentional, not a dropped value.  Callers that need the label
+        echoed back alongside cycle timing use :meth:`tick_report`.
         """
         self.last_timestamp = timestamp
         if not self.hub.has_subscribers:
@@ -94,4 +126,47 @@ class MonitoringService:
         """Process a packaged :class:`repro.updates.UpdateBatch`."""
         return self.tick(
             batch.object_updates, batch.query_updates, timestamp=batch.timestamp
+        )
+
+    def tick_flat(self, batch: FlatUpdateBatch) -> set[int]:
+        """Process a columnar :class:`repro.updates.FlatUpdateBatch`.
+
+        The fast path: with no subscribers the batch goes straight into
+        the monitor's ``process_flat`` (CPM iterates the flat arrays end
+        to end).  With subscribers listening the cycle must capture
+        per-query deltas, so the batch is translated back to the
+        :class:`ObjectUpdate` vocabulary — correctness over speed on the
+        streaming path; both paths observe the identical update stream.
+        """
+        self.last_timestamp = batch.timestamp
+        if not self.hub.has_subscribers:
+            return self.monitor.process_flat(batch)
+        deltas = self.monitor.process_deltas(
+            batch.to_object_updates(), batch.query_updates
+        )
+        self.hub.publish(batch.timestamp, deltas)
+        return {qid for qid, delta in deltas.items() if not delta.terminated}
+
+    def tick_report(self, batch: UpdateBatch | FlatUpdateBatch) -> TickReport:
+        """Process one packaged cycle and report label, changes and timing.
+
+        Accepts either batch encoding (columnar batches take the
+        :meth:`tick_flat` fast path) and returns a :class:`TickReport` —
+        the surface the ingestion driver consumes (``tick`` stays the
+        backward-compatible changed-set entry point).
+        """
+        t0 = time.perf_counter()
+        if isinstance(batch, FlatUpdateBatch):
+            changed = self.tick_flat(batch)
+            n_objects = len(batch.oids)
+        else:
+            changed = self.tick_batch(batch)
+            n_objects = len(batch.object_updates)
+        return TickReport(
+            timestamp=batch.timestamp,
+            changed=changed,
+            streamed=self.hub.has_subscribers,
+            object_updates=n_objects,
+            query_updates=len(batch.query_updates),
+            process_sec=time.perf_counter() - t0,
         )

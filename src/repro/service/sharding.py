@@ -47,7 +47,12 @@ from repro.service.executor import (
     SerialShardExecutor,
     ShardExecutor,
 )
-from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind
+from repro.updates import (
+    FlatUpdateBatch,
+    ObjectUpdate,
+    QueryUpdate,
+    QueryUpdateKind,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -394,6 +399,37 @@ class ShardedMonitor(ContinuousMonitor):
         changed_sets = self._call_all(
             "process",
             [(object_updates, tuple(qus)) for qus in per_shard_qu],
+        )
+        changed: set[int] = set()
+        for shard_changed in changed_sets:
+            changed.update(shard_changed)
+        return changed
+
+    def process_flat(
+        self,
+        batch: FlatUpdateBatch,
+        query_updates: Sequence[QueryUpdate] | None = None,
+    ) -> set[int]:
+        """Route a columnar batch: object maintenance replicated to every
+        shard (the replication contract above — one flat batch fans out
+        as-is, no per-shard re-packing), query updates split by owning
+        shard exactly as in :meth:`process`.  Each shard engine runs its
+        own ``process_flat`` (CPM's columnar loop), so the fast path stays
+        flat end to end across the service layer."""
+        if query_updates is None:
+            query_updates = batch.query_updates
+        per_shard_qu = self._split_query_updates(query_updates)
+        positions = self._positions
+        for oid, nx, ny, dis in zip(
+            batch.oids, batch.new_xs, batch.new_ys, batch.disappear
+        ):
+            if dis:
+                positions.pop(oid, None)
+            else:
+                positions[oid] = (nx, ny)
+        changed_sets = self._call_all(
+            "process_flat",
+            [(batch, tuple(qus)) for qus in per_shard_qu],
         )
         changed: set[int] = set()
         for shard_changed in changed_sets:

@@ -14,10 +14,19 @@ the tuple with two boundary cases the evaluation needs:
 
 Query updates follow Figure 3.9: a query may be ``insert``-ed, ``move``-d
 (handled as a termination plus a re-insertion) or ``terminate``-d.
+
+Two batch encodings coexist: the row-oriented :class:`UpdateBatch` (one
+:class:`ObjectUpdate` dataclass per row — the vocabulary every monitor
+accepts) and the columnar :class:`FlatUpdateBatch` (parallel
+``oids``/``old_xs``/``old_ys``/``new_xs``/``new_ys`` arrays plus
+appearance/disappearance masks — the ``process_flat`` hot path of the
+ingestion tier).  Conversion between the two is lossless in both
+directions.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -88,6 +97,147 @@ class UpdateBatch:
     @property
     def size(self) -> int:
         return len(self.object_updates) + len(self.query_updates)
+
+
+@dataclass(slots=True)
+class FlatUpdateBatch:
+    """Columnar (structure-of-arrays) encoding of one cycle's object updates.
+
+    The row ``i`` encodes the tuple ``<oids[i], old_xs[i], old_ys[i],
+    new_xs[i], new_ys[i]>`` of Section 3, with the two boundary cases
+    carried as masks instead of ``None`` sentinels:
+
+    * ``appear[i]`` — the object appears; ``old_xs[i]``/``old_ys[i]`` are
+      meaningless placeholders (``0.0``);
+    * ``disappear[i]`` — the object disappears; ``new_xs[i]``/``new_ys[i]``
+      are placeholders.
+
+    The layout exists for the update-handling hot path: a monitor's
+    ``process_flat`` iterates the parallel columns with one ``zip`` —
+    plain floats, no per-update dataclass attribute reads and no
+    position-tuple indexing (see ``CPMMonitor.process_flat``).  Conversion
+    to and from the :class:`ObjectUpdate` vocabulary is lossless
+    (:meth:`from_updates` / :meth:`to_object_updates` round-trip
+    byte-identically), so both representations describe the same stream.
+
+    Query updates ride along untouched — they are orders of magnitude
+    rarer than object updates and never hot.
+    """
+
+    timestamp: int
+    oids: list[int] = field(default_factory=list)
+    old_xs: list[float] = field(default_factory=list)
+    old_ys: list[float] = field(default_factory=list)
+    new_xs: list[float] = field(default_factory=list)
+    new_ys: list[float] = field(default_factory=list)
+    appear: list[bool] = field(default_factory=list)
+    disappear: list[bool] = field(default_factory=list)
+    query_updates: tuple[QueryUpdate, ...] = ()
+
+    def __post_init__(self) -> None:
+        n = len(self.oids)
+        for name in ("old_xs", "old_ys", "new_xs", "new_ys", "appear", "disappear"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(
+                    f"column {name!r} holds {len(getattr(self, name))} rows, "
+                    f"expected {n}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.oids)
+
+    @property
+    def size(self) -> int:
+        """Total updates in the batch (mirrors :attr:`UpdateBatch.size`)."""
+        return len(self.oids) + len(self.query_updates)
+
+    def append_move(
+        self, oid: int, old_x: float, old_y: float, new_x: float, new_y: float
+    ) -> None:
+        """Append a plain movement row."""
+        self.oids.append(oid)
+        self.old_xs.append(old_x)
+        self.old_ys.append(old_y)
+        self.new_xs.append(new_x)
+        self.new_ys.append(new_y)
+        self.appear.append(False)
+        self.disappear.append(False)
+
+    def append_appear(self, oid: int, x: float, y: float) -> None:
+        """Append an appearance row (old columns hold placeholders)."""
+        self.oids.append(oid)
+        self.old_xs.append(0.0)
+        self.old_ys.append(0.0)
+        self.new_xs.append(x)
+        self.new_ys.append(y)
+        self.appear.append(True)
+        self.disappear.append(False)
+
+    def append_disappear(self, oid: int, x: float, y: float) -> None:
+        """Append a disappearance row (new columns hold placeholders)."""
+        self.oids.append(oid)
+        self.old_xs.append(x)
+        self.old_ys.append(y)
+        self.new_xs.append(0.0)
+        self.new_ys.append(0.0)
+        self.appear.append(False)
+        self.disappear.append(True)
+
+    @classmethod
+    def from_updates(
+        cls,
+        object_updates: Iterable[ObjectUpdate],
+        query_updates: Sequence[QueryUpdate] = (),
+        timestamp: int = 0,
+    ) -> "FlatUpdateBatch":
+        """Columnarize a sequence of :class:`ObjectUpdate` rows."""
+        batch = cls(timestamp=timestamp, query_updates=tuple(query_updates))
+        for upd in object_updates:
+            old = upd.old
+            new = upd.new
+            if old is None:
+                batch.append_appear(upd.oid, new[0], new[1])
+            elif new is None:
+                batch.append_disappear(upd.oid, old[0], old[1])
+            else:
+                batch.append_move(upd.oid, old[0], old[1], new[0], new[1])
+        return batch
+
+    @classmethod
+    def from_batch(cls, batch: UpdateBatch) -> "FlatUpdateBatch":
+        """Columnarize a packaged :class:`UpdateBatch`."""
+        return cls.from_updates(
+            batch.object_updates, batch.query_updates, timestamp=batch.timestamp
+        )
+
+    def to_object_updates(self) -> tuple[ObjectUpdate, ...]:
+        """Reconstruct the :class:`ObjectUpdate` rows (lossless)."""
+        out: list[ObjectUpdate] = []
+        append = out.append
+        for oid, ox, oy, nx, ny, ap, dis in zip(
+            self.oids,
+            self.old_xs,
+            self.old_ys,
+            self.new_xs,
+            self.new_ys,
+            self.appear,
+            self.disappear,
+        ):
+            if ap:
+                append(ObjectUpdate(oid, None, (nx, ny)))
+            elif dis:
+                append(ObjectUpdate(oid, (ox, oy), None))
+            else:
+                append(ObjectUpdate(oid, (ox, oy), (nx, ny)))
+        return tuple(out)
+
+    def to_batch(self) -> UpdateBatch:
+        """Reconstruct the packaged :class:`UpdateBatch` (lossless)."""
+        return UpdateBatch(
+            timestamp=self.timestamp,
+            object_updates=self.to_object_updates(),
+            query_updates=self.query_updates,
+        )
 
 
 def move_update(oid: int, old: Point, new: Point) -> ObjectUpdate:

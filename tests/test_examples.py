@@ -63,6 +63,12 @@ class TestExamples:
         assert "[install]" in out and "[t=0]" in out
         assert "+obj" in out and "-obj" in out
 
+    def test_streaming_feed(self):
+        out = run_example("streaming_feed.py")
+        assert "offline replay of the recorded stream: MATCHES" in out
+        assert "cycle   0" in out
+        assert "overruns=" in out
+
     def test_partition_gallery(self):
         out = run_example("partition_gallery.py")
         assert "Figure 3.1b" in out
@@ -81,4 +87,5 @@ class TestExamples:
             "drone_airspace.py",
             "partition_gallery.py",
             "live_dashboard.py",
+            "streaming_feed.py",
         } <= present

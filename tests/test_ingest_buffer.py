@@ -1,0 +1,168 @@
+"""Unit tests for the bounded ingest buffer (back-pressure + coalescing)."""
+
+import threading
+
+import pytest
+
+from repro.ingest.buffer import BackPressurePolicy, IngestBuffer
+from repro.updates import (
+    QueryUpdate,
+    QueryUpdateKind,
+    appear_update,
+    disappear_update,
+    move_update,
+)
+
+
+class TestCoalescing:
+    def test_last_write_wins_per_oid(self):
+        buf = IngestBuffer(capacity=8)
+        buf.offer(move_update(1, (0.0, 0.0), (0.1, 0.1)))
+        buf.offer(move_update(1, (0.1, 0.1), (0.2, 0.2)))
+        buf.offer(move_update(1, (0.2, 0.2), (0.3, 0.3)))
+        assert buf.pending == 1
+        drained = buf.drain()
+        assert drained.object_targets == [(1, (0.3, 0.3))]
+        assert drained.counters.offered == 3
+        assert drained.counters.coalesced == 2
+
+    def test_coalescing_keeps_arrival_order(self):
+        buf = IngestBuffer(capacity=8)
+        buf.offer(move_update(1, (0.0, 0.0), (0.1, 0.1)))
+        buf.offer(move_update(2, (0.0, 0.0), (0.2, 0.2)))
+        buf.offer(move_update(1, (0.1, 0.1), (0.9, 0.9)))
+        assert [oid for oid, _ in buf.drain().object_targets] == [1, 2]
+
+    def test_disappearance_coalesces_to_offline_target(self):
+        buf = IngestBuffer(capacity=8)
+        buf.offer(move_update(1, (0.0, 0.0), (0.1, 0.1)))
+        buf.offer(disappear_update(1, (0.1, 0.1)))
+        assert buf.drain().object_targets == [(1, None)]
+
+    def test_appearance_then_move_keeps_latest_position(self):
+        buf = IngestBuffer(capacity=8)
+        buf.offer(appear_update(1, (0.5, 0.5)))
+        buf.offer(move_update(1, (0.5, 0.5), (0.6, 0.6)))
+        assert buf.drain().object_targets == [(1, (0.6, 0.6))]
+
+
+class TestDropOldest:
+    def test_full_buffer_sheds_stalest_object(self):
+        buf = IngestBuffer(capacity=2, policy=BackPressurePolicy.DROP_OLDEST)
+        buf.offer(move_update(1, (0, 0), (0.1, 0.1)))
+        buf.offer(move_update(2, (0, 0), (0.2, 0.2)))
+        buf.offer(move_update(3, (0, 0), (0.3, 0.3)))
+        drained = buf.drain()
+        assert [oid for oid, _ in drained.object_targets] == [2, 3]
+        assert drained.counters.dropped == 1
+
+    def test_coalescing_never_drops(self):
+        buf = IngestBuffer(capacity=2, policy=BackPressurePolicy.DROP_OLDEST)
+        buf.offer(move_update(1, (0, 0), (0.1, 0.1)))
+        buf.offer(move_update(2, (0, 0), (0.2, 0.2)))
+        buf.offer(move_update(1, (0.1, 0.1), (0.9, 0.9)))
+        drained = buf.drain()
+        assert drained.counters.dropped == 0
+        assert drained.object_targets == [(1, (0.9, 0.9)), (2, (0.2, 0.2))]
+
+
+class TestBlock:
+    def test_block_times_out_when_full(self):
+        buf = IngestBuffer(capacity=1, policy=BackPressurePolicy.BLOCK)
+        assert buf.offer(move_update(1, (0, 0), (0.1, 0.1)))
+        assert not buf.offer(move_update(2, (0, 0), (0.2, 0.2)), timeout=0.01)
+        counters = buf.counters()
+        assert counters.blocked == 1
+        assert counters.rejected == 1
+
+    def test_blocked_producer_resumes_after_drain(self):
+        buf = IngestBuffer(capacity=1, policy=BackPressurePolicy.BLOCK)
+        buf.offer(move_update(1, (0, 0), (0.1, 0.1)))
+        accepted = []
+
+        def producer():
+            accepted.append(
+                bool(buf.offer(move_update(2, (0, 0), (0.2, 0.2)), timeout=5.0))
+            )
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        # Give the producer a moment to block, then free a slot.
+        for _ in range(1000):
+            if buf.counters().blocked:
+                break
+        buf.drain()
+        thread.join(timeout=5.0)
+        assert accepted == [True]
+        assert buf.drain().object_targets == [(2, (0.2, 0.2))]
+
+
+class TestDrain:
+    def test_partial_drain_is_fifo(self):
+        buf = IngestBuffer(capacity=8)
+        for oid in (1, 2, 3):
+            buf.offer(move_update(oid, (0, 0), (oid / 10.0, 0.0)))
+        first = buf.drain(max_objects=2)
+        assert [oid for oid, _ in first.object_targets] == [1, 2]
+        assert buf.pending == 1
+        assert [oid for oid, _ in buf.drain().object_targets] == [3]
+
+    def test_counter_deltas_reset_per_drain(self):
+        buf = IngestBuffer(capacity=8)
+        buf.offer(move_update(1, (0, 0), (0.1, 0.1)))
+        assert buf.drain().counters.offered == 1
+        buf.offer(move_update(2, (0, 0), (0.2, 0.2)))
+        drained = buf.drain()
+        assert drained.counters.offered == 1
+        assert drained.counters.coalesced == 0
+
+    def test_query_updates_are_fifo_and_unbounded(self):
+        buf = IngestBuffer(capacity=1)
+        qus = [QueryUpdate(q, QueryUpdateKind.TERMINATE) for q in (7, 8, 9)]
+        for qu in qus:
+            buf.offer_query(qu)
+        drained = buf.drain()
+        assert drained.query_updates == qus
+        assert drained.counters.query_offered == 3
+
+    def test_close_wakes_consumer(self):
+        buf = IngestBuffer(capacity=4)
+        buf.close()
+        assert buf.closed
+        assert buf.wait_for_work(count=1, deadline=None)
+
+    def test_blocking_offer_on_closed_full_buffer_rejects_instead_of_hanging(self):
+        buf = IngestBuffer(capacity=1, policy=BackPressurePolicy.BLOCK)
+        buf.offer(move_update(1, (0, 0), (0.1, 0.1)))
+        buf.close()
+        # timeout=None would previously wait forever: nobody drains a
+        # closed buffer.
+        assert not buf.offer(move_update(2, (0, 0), (0.2, 0.2)), timeout=None)
+        assert buf.counters().rejected == 1
+
+
+class TestTryOffer:
+    def test_try_offer_declines_without_touching_producer_stats(self):
+        buf = IngestBuffer(capacity=1, policy=BackPressurePolicy.BLOCK)
+        assert buf.try_offer(move_update(1, (0, 0), (0.1, 0.1))) == 1
+        assert buf.try_offer(move_update(2, (0, 0), (0.2, 0.2))) == 0
+        counters = buf.counters()
+        assert counters.offered == 1  # the declined update was not counted
+        assert counters.blocked == 0
+        assert counters.rejected == 0
+
+    def test_try_offer_coalesces_and_drops_like_offer(self):
+        buf = IngestBuffer(capacity=2, policy=BackPressurePolicy.DROP_OLDEST)
+        buf.try_offer(move_update(1, (0, 0), (0.1, 0.1)))
+        buf.try_offer(move_update(1, (0.1, 0.1), (0.5, 0.5)))
+        buf.try_offer(move_update(2, (0, 0), (0.2, 0.2)))
+        buf.try_offer(move_update(3, (0, 0), (0.3, 0.3)))
+        drained = buf.drain()
+        assert drained.object_targets == [(2, (0.2, 0.2)), (3, (0.3, 0.3))]
+        assert drained.counters.coalesced == 1
+        assert drained.counters.dropped == 1
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        IngestBuffer(capacity=0)

@@ -149,7 +149,7 @@ class TestShardedEquivalence:
         engines = sharded.executor.monitors()
         assert engines[0].query_ids() == [1]
         assert engines[3].query_ids() == [2]
-        assert all(len(e._positions) == 2 for e in engines)
+        assert all(e.object_count == 2 for e in engines)
 
     def test_terminate_and_duplicate_install_match_single_engine(self):
         sharded = ShardedMonitor(2, cells_per_axis=8)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.updates import (
+    FlatUpdateBatch,
     ObjectUpdate,
     QueryUpdate,
     QueryUpdateKind,
@@ -72,3 +73,54 @@ class TestUpdateBatch:
         assert batch.size == 0
         assert batch.object_updates == ()
         assert batch.query_updates == ()
+
+
+class TestFlatUpdateBatch:
+    def _mixed_updates(self):
+        return (
+            move_update(1, (0.1, 0.2), (0.3, 0.4)),
+            appear_update(2, (0.5, 0.6)),
+            disappear_update(3, (0.7, 0.8)),
+            move_update(4, (0.0, 0.0), (1.0, 1.0)),
+        )
+
+    def test_round_trip_is_lossless_and_order_preserving(self):
+        updates = self._mixed_updates()
+        qus = (QueryUpdate(9, QueryUpdateKind.TERMINATE),)
+        flat = FlatUpdateBatch.from_updates(updates, qus, timestamp=7)
+        assert flat.to_object_updates() == updates
+        assert flat.timestamp == 7
+        assert flat.query_updates == qus
+        assert len(flat) == 4
+        assert flat.size == 5
+
+    def test_batch_round_trip(self):
+        batch = UpdateBatch(
+            timestamp=3,
+            object_updates=self._mixed_updates(),
+            query_updates=(QueryUpdate(9, QueryUpdateKind.INSERT, (0.5, 0.5), 2),),
+        )
+        assert FlatUpdateBatch.from_batch(batch).to_batch() == batch
+
+    def test_masks(self):
+        flat = FlatUpdateBatch.from_updates(self._mixed_updates())
+        assert flat.appear == [False, True, False, False]
+        assert flat.disappear == [False, False, True, False]
+        assert flat.oids == [1, 2, 3, 4]
+        assert flat.new_xs == [0.3, 0.5, 0.0, 1.0]
+        assert flat.old_xs == [0.1, 0.0, 0.7, 0.0]
+
+    def test_append_helpers(self):
+        flat = FlatUpdateBatch(timestamp=0)
+        flat.append_move(1, 0.1, 0.2, 0.3, 0.4)
+        flat.append_appear(2, 0.5, 0.6)
+        flat.append_disappear(3, 0.7, 0.8)
+        assert flat.to_object_updates() == (
+            move_update(1, (0.1, 0.2), (0.3, 0.4)),
+            appear_update(2, (0.5, 0.6)),
+            disappear_update(3, (0.7, 0.8)),
+        )
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FlatUpdateBatch(timestamp=0, oids=[1], new_xs=[0.1])
