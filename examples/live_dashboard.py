@@ -1,26 +1,29 @@
 #!/usr/bin/env python
-"""Live dashboard: streaming result deltas from the sharded service.
+"""Live dashboard: per-query delta streams through the client API.
 
-Builds a 2-shard monitoring service over a skewed (hotspot) workload,
-subscribes to a handful of queries through the subscription API and
-prints the per-cycle delta stream — which neighbors entered each watched
-result, which left, and when only the ordering shifted.  A full-table
-subscriber would have to diff snapshots itself; the delta stream hands
-the change over pre-chewed.
+Builds a :class:`repro.api.session.Session` over a 2-shard monitoring
+service on a skewed (hotspot) workload, registers every query through
+the typed-spec API, watches a handful of them on per-query topics and
+prints the delta stream — which neighbors entered each watched result,
+which left, and when only the ordering shifted.  A full-table subscriber
+would have to diff snapshots itself; the delta stream hands the change
+over pre-chewed, and the hub's topic routing means a dashboard watching
+3 queries never even touches the other queries' traffic.
 
-Every delta is verified against a snapshot diff of the monitor's result
-table, so the example doubles as an end-to-end check of the
-service layer (exit code != 0 on any mismatch).
+Every published delta is verified against a snapshot diff of the
+monitor's result table, so the example doubles as an end-to-end check of
+the service layer (exit code != 0 on any mismatch).
 
 Run:  python examples/live_dashboard.py
 """
 
 from __future__ import annotations
 
+from repro.api.queries import KnnSpec
+from repro.api.session import Session
 from repro.mobility.skewed import SkewedGenerator
 from repro.mobility.workload import WorkloadSpec
 from repro.service.deltas import ResultDelta, diff_results
-from repro.service.service import MonitoringService
 from repro.service.sharding import ShardedMonitor
 
 
@@ -55,20 +58,30 @@ def main() -> None:
     workload = SkewedGenerator(spec).generate()
 
     monitor = ShardedMonitor(2, cells_per_axis=32)
-    service = MonitoringService(monitor)
+    session = Session(monitor)
 
-    # Watch three of the queries on the dashboard.
+    # Watch three of the queries on the dashboard.  Subscribing to their
+    # topics *before* registration means even the install snapshots
+    # stream in as all-incoming deltas.
     watched = sorted(workload.initial_queries)[:3]
     lines: list[str] = []
-    subscription = service.subscribe(
+    dashboard = session.subscribe(
         lambda ts, delta: lines.append(describe(ts, delta)), qids=watched
     )
     # A firehose subscriber counting every changed query in the system.
-    firehose = service.subscribe(lambda ts, delta: None)
+    firehose = session.subscribe(lambda ts, delta: None)
+    # The verifier sees everything, no-op deltas included.
+    published: dict[int, ResultDelta] = {}
+    verifier = session.subscribe(
+        lambda ts, delta: published.__setitem__(delta.qid, delta),
+        include_unchanged=True,
+    )
 
-    service.load_objects(workload.initial_objects.items())
-    for qid, point in workload.initial_queries.items():
-        service.install_query(qid, point, spec.k)
+    session.load_objects(workload.initial_objects.items())
+    handles = {
+        qid: session.register(KnnSpec(point=point, k=spec.k), qid=qid)
+        for qid, point in workload.initial_queries.items()
+    }
 
     print(f"watching queries {watched} on {monitor.n_shards} shards "
           f"(query load per shard: {monitor.shard_query_counts()})")
@@ -79,11 +92,11 @@ def main() -> None:
     mismatches = 0
     previous = monitor.result_table()
     for batch in workload.batches:
-        deltas = monitor.process_deltas(batch.object_updates, batch.query_updates)
-        service.hub.publish(batch.timestamp, deltas)
+        published.clear()
+        session.tick_batch(batch)
         current = monitor.result_table()
         # Verify the stream: every delta must equal the snapshot diff.
-        for qid, delta in deltas.items():
+        for qid, delta in published.items():
             reference = diff_results(
                 qid,
                 previous.get(qid, []),
@@ -97,14 +110,20 @@ def main() -> None:
             print(line)
         lines.clear()
 
+    # The handle view agrees with the delta-built picture.
+    sample = handles[watched[0]]
+    nearest = sample.snapshot()[0]
+    print(f"handle q{sample.qid} snapshot: nearest obj{nearest[1]}@{nearest[0]:.3f}")
+
     print(
-        f"stream complete: {subscription.delivered} deltas on the dashboard, "
+        f"stream complete: {dashboard.delivered} deltas on the dashboard, "
         f"{firehose.delivered} deltas on the firehose, "
         f"{mismatches} mismatching deltas"
     )
-    subscription.close()
+    dashboard.close()
     firehose.close()
-    monitor.close()
+    verifier.close()
+    session.close()
     if mismatches:
         raise SystemExit(1)
 

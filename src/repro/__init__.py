@@ -23,6 +23,10 @@ paper-to-module map.
 """
 
 from repro.analysis import model as analysis_model
+from repro.api.client import Client
+from repro.api.queries import ConstrainedKnnSpec, KnnSpec, RangeSpec
+from repro.api.server import MonitorSocketServer
+from repro.api.session import QueryHandle, Session
 from repro.baselines.brute import BruteForceMonitor
 from repro.baselines.naive_grid import naive_nn_search, naive_strategy_search
 from repro.baselines.sea import SeaCnnMonitor
@@ -48,6 +52,7 @@ from repro.ingest import (
     IngestBuffer,
     IngestDriver,
     JsonlTraceFeed,
+    SocketFeed,
     UpdateFeed,
     WorkloadFeed,
 )
@@ -78,7 +83,9 @@ __all__ = [
     "BrinkhoffGenerator",
     "BruteForceMonitor",
     "CPMMonitor",
+    "Client",
     "ConceptualPartition",
+    "ConstrainedKnnSpec",
     "ConstrainedStrategy",
     "ContinuousMonitor",
     "CycleMetrics",
@@ -89,21 +96,27 @@ __all__ = [
     "IngestBuffer",
     "IngestDriver",
     "JsonlTraceFeed",
+    "KnnSpec",
     "MinkowskiNNStrategy",
+    "MonitorSocketServer",
     "MonitoringServer",
     "MonitoringService",
     "ObjectUpdate",
     "PointNNStrategy",
+    "QueryHandle",
     "QueryStrategy",
     "QueryUpdate",
     "QueryUpdateKind",
+    "RangeSpec",
     "Rect",
     "ResultDelta",
     "RoadNetwork",
     "RunReport",
     "SeaCnnMonitor",
+    "Session",
     "ShardPlan",
     "ShardedMonitor",
+    "SocketFeed",
     "SubscriptionHub",
     "UniformGenerator",
     "UpdateBatch",

@@ -1,0 +1,351 @@
+"""The remote client: the Session API mirrored over a socket.
+
+A :class:`Client` connects to a :class:`repro.api.server.MonitorSocketServer`
+and exposes the same vocabulary as the in-process
+:class:`repro.api.session.Session` — ``register`` returning handles with
+``move`` / ``terminate`` / ``snapshot`` / ``subscribe``, plus
+``send_updates`` / ``tick`` for driving cycles — every call translated
+to wire frames (:mod:`repro.api.wire`).
+
+One background reader thread owns the socket's receive side.  It
+dispatches ``delta`` frames to the subscribed handles' callbacks
+(callbacks therefore run on the reader thread — keep them fast, hand
+off to a queue for heavy work) and routes reply frames to the one
+in-flight request (requests are serialized by an internal lock).
+Because the server publishes a cycle's deltas before replying to the
+``tick`` that produced them, every delta of a cycle has been dispatched
+by the time :meth:`tick` returns — remote code can treat ``tick`` as a
+synchronization point exactly like in-process code does.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from collections.abc import Callable, Sequence
+
+from repro.api import wire
+from repro.api.queries import QuerySpec
+from repro.geometry.points import Point
+from repro.service.deltas import ResultDelta
+from repro.updates import ObjectUpdate, QueryUpdate
+
+ResultEntry = tuple[float, int]
+DeltaCallback = Callable[[int | None, ResultDelta], None]
+
+
+class RemoteError(RuntimeError):
+    """The server answered a request with an ``error`` frame."""
+
+
+class RemoteSubscription:
+    """Client-side registration of one delta callback (see ``close``)."""
+
+    __slots__ = ("callback", "delivered", "qid", "_client")
+
+    def __init__(self, client: "Client", qid: int, callback: DeltaCallback) -> None:
+        self._client = client
+        self.qid = qid
+        self.callback = callback
+        self.delivered = 0
+
+    def close(self) -> None:
+        """Detach the callback (and unsubscribe the topic when it was the
+        last one on this query)."""
+        self._client._drop_subscription(self)
+
+
+class RemoteQueryHandle:
+    """A registered query on the remote monitor (mirror of QueryHandle)."""
+
+    __slots__ = ("qid", "_client", "_spec", "_alive")
+
+    def __init__(self, client: "Client", qid: int, spec: QuerySpec) -> None:
+        self._client = client
+        self.qid = qid
+        self._spec = spec
+        self._alive = True
+
+    @property
+    def spec(self) -> QuerySpec:
+        return self._spec
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def _check_alive(self) -> None:
+        if not self._alive:
+            raise RuntimeError(f"query {self.qid} is terminated")
+
+    def snapshot(self) -> list[ResultEntry]:
+        self._check_alive()
+        return self._client.snapshot(self.qid)
+
+    def move(self, point: Point) -> list[ResultEntry]:
+        self._check_alive()
+        reply = self._client._request(
+            wire.Move(qid=self.qid, point=(point[0], point[1])), wire.Snapshot
+        )
+        self._spec = self._spec.moved_to((point[0], point[1]))
+        return list(reply.result)
+
+    def terminate(self) -> None:
+        self._check_alive()
+        self._client._request(wire.Terminate(qid=self.qid), wire.Ok)
+        self._alive = False
+        self._client._forget_handle(self.qid)
+
+    def subscribe(
+        self, callback: DeltaCallback, *, include_unchanged: bool = False
+    ) -> RemoteSubscription:
+        """Route this query's deltas to ``callback(timestamp, delta)``.
+
+        Callbacks run on the client's reader thread.
+        """
+        self._check_alive()
+        return self._client._subscribe(self.qid, callback, include_unchanged)
+
+
+class Client:
+    """A wire-protocol monitoring client (see module docstring).
+
+    Use :meth:`connect`, or hand an already-connected socket to the
+    constructor (tests).  The client reads the server's ``welcome``
+    eagerly and refuses servers that do not speak a supported version.
+    """
+
+    def __init__(self, sock: socket.socket, *, client_name: str = "") -> None:
+        self._sock = sock
+        self._reader = sock.makefile("r", encoding="utf-8", newline="\n")
+        self._write_lock = threading.Lock()
+        self._request_lock = threading.Lock()
+        self._replies: queue.Queue = queue.Queue()
+        self._handles: dict[int, RemoteQueryHandle] = {}
+        self._subscriptions: dict[int, list[RemoteSubscription]] = {}
+        self._closed = threading.Event()
+        #: why the reader loop stopped, when it stopped abnormally (a
+        #: transport error or an undecodable server frame); surfaced in
+        #: the RemoteError of the next request.
+        self._reader_error: BaseException | None = None
+        #: exceptions raised by subscription callbacks (callbacks run on
+        #: the reader thread; a raising callback does NOT kill the
+        #: connection — the error is recorded here and delivery goes on).
+        self.callback_errors: list[BaseException] = []
+        #: set to a list to record **every** delta frame this connection
+        #: receives, subscribed or not — the hook that lets tests and the
+        #: remote-dashboard example prove the server routes only the
+        #: topics this connection asked for.
+        self.delta_frame_log: list[wire.Delta] | None = None
+        #: the server's ``welcome`` frame (name + supported versions).
+        self.welcome: wire.Welcome = self._read_welcome()
+        if wire.WIRE_VERSION not in self.welcome.versions:
+            raise RemoteError(
+                f"server speaks versions {list(self.welcome.versions)}, "
+                f"client needs {wire.WIRE_VERSION}"
+            )
+        self._reader_thread = threading.Thread(
+            target=self._read_loop, name="monitor-client-reader", daemon=True
+        )
+        self._reader_thread.start()
+        if client_name:
+            self._send(wire.Hello(client=client_name))
+
+    def _closed_reason(self) -> str:
+        if self._reader_error is not None:
+            return f"connection closed ({self._reader_error!r})"
+        return "connection closed"
+
+    @classmethod
+    def connect(
+        cls, host: str, port: int, *, timeout: float = 10.0, client_name: str = ""
+    ) -> "Client":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.settimeout(None)
+        return cls(sock, client_name=client_name)
+
+    # ------------------------------------------------------------------
+    # Transport plumbing
+    # ------------------------------------------------------------------
+
+    def _send(self, frame: wire.Frame) -> None:
+        data = (wire.encode_frame(frame) + "\n").encode("utf-8")
+        with self._write_lock:
+            self._sock.sendall(data)
+
+    def _read_welcome(self) -> wire.Welcome:
+        line = self._reader.readline()
+        if not line:
+            raise RemoteError("connection closed before welcome")
+        frame = wire.decode_frame(line)
+        if type(frame) is not wire.Welcome:
+            raise RemoteError(f"expected welcome, got {frame!r}")
+        return frame
+
+    def _read_loop(self) -> None:
+        try:
+            for line in self._reader:
+                line = line.strip()
+                if not line:
+                    continue
+                frame = wire.decode_frame(line)
+                kind = type(frame)
+                if kind is wire.Delta:
+                    self._dispatch_delta(frame)
+                elif kind is wire.Bye:
+                    break
+                else:
+                    # Replies (registered/snapshot/ticked/ok/error) go to
+                    # the single in-flight request.
+                    self._replies.put(frame)
+        except (OSError, ValueError) as exc:
+            # Transport failure or an undecodable server frame: remember
+            # why, so the next request's RemoteError can say.
+            self._reader_error = exc
+        finally:
+            self._closed.set()
+            # Unblock a requester waiting on a reply that will never come.
+            self._replies.put(None)
+
+    def _dispatch_delta(self, frame: wire.Delta) -> None:
+        if self.delta_frame_log is not None:
+            self.delta_frame_log.append(frame)
+        for subscription in tuple(self._subscriptions.get(frame.delta.qid, ())):
+            try:
+                subscription.callback(frame.timestamp, frame.delta)
+            except Exception as exc:  # a bad callback must not kill the link
+                self.callback_errors.append(exc)
+            else:
+                subscription.delivered += 1
+
+    def _request(self, frame: wire.Frame, expected: type) -> wire.Frame:
+        """Send one frame and wait for its reply (serialized)."""
+        if threading.current_thread() is self._reader_thread:
+            # The reply could only be enqueued by the reader thread —
+            # which is the one blocked here.  Fail fast instead.
+            raise RemoteError(
+                "requests cannot be issued from inside a delta callback "
+                "(it runs on the reader thread); hand off to another thread"
+            )
+        with self._request_lock:
+            if self._closed.is_set():
+                raise RemoteError(self._closed_reason())
+            self._send(frame)
+            reply = self._replies.get()
+        if reply is None:
+            raise RemoteError(
+                f"{self._closed_reason()} while waiting for a reply"
+            )
+        if type(reply) is wire.Error:
+            raise RemoteError(reply.message)
+        if type(reply) is not expected:
+            raise RemoteError(
+                f"expected {expected.__name__}, got {reply!r}"
+            )
+        return reply
+
+    # ------------------------------------------------------------------
+    # The Session vocabulary
+    # ------------------------------------------------------------------
+
+    def register(
+        self, spec: QuerySpec, *, qid: int | None = None, watch: bool = True
+    ) -> RemoteQueryHandle:
+        """Install a typed query on the remote monitor.
+
+        ``watch=True`` (default) also subscribes the connection to the
+        query's delta topic server-side, so callbacks attached with
+        :meth:`RemoteQueryHandle.subscribe` start streaming immediately.
+        """
+        reply = self._request(
+            wire.Register(spec=spec, qid=qid, watch=watch), wire.Registered
+        )
+        handle = RemoteQueryHandle(self, reply.qid, spec)
+        self._handles[reply.qid] = handle
+        return handle
+
+    def handle(self, qid: int) -> RemoteQueryHandle:
+        return self._handles[qid]
+
+    def handles(self) -> list[RemoteQueryHandle]:
+        return [self._handles[qid] for qid in sorted(self._handles)]
+
+    def snapshot(self, qid: int) -> list[ResultEntry]:
+        reply = self._request(wire.GetSnapshot(qid=qid), wire.Snapshot)
+        return list(reply.result)
+
+    def send_updates(self, object_updates: Sequence[ObjectUpdate]) -> None:
+        """Stage object updates for the next :meth:`tick` (no reply)."""
+        self._send(wire.Updates(updates=tuple(object_updates)))
+
+    def send_query_update(self, update: QueryUpdate) -> None:
+        """Stage a raw query update for the next :meth:`tick`."""
+        self._send(wire.QueryOp(update=update))
+
+    def tick(self, *, timestamp: int | None = None) -> set[int]:
+        """Close the staged cycle; returns the changed-query id set.
+
+        Every delta of the cycle has been dispatched to subscription
+        callbacks by the time this returns (see module docstring).
+        """
+        reply = self._request(wire.Tick(timestamp=timestamp), wire.Ticked)
+        return set(reply.changed)
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+
+    def _subscribe(
+        self, qid: int, callback: DeltaCallback, include_unchanged: bool
+    ) -> RemoteSubscription:
+        bucket = self._subscriptions.setdefault(qid, [])
+        if not bucket:
+            self._request(
+                wire.Subscribe(qid=qid, include_unchanged=include_unchanged),
+                wire.Ok,
+            )
+        subscription = RemoteSubscription(self, qid, callback)
+        bucket.append(subscription)
+        return subscription
+
+    def _drop_subscription(self, subscription: RemoteSubscription) -> None:
+        bucket = self._subscriptions.get(subscription.qid)
+        if not bucket or subscription not in bucket:
+            return
+        bucket.remove(subscription)
+        if not bucket:
+            del self._subscriptions[subscription.qid]
+            if not self._closed.is_set():
+                try:
+                    self._request(wire.Unsubscribe(qid=subscription.qid), wire.Ok)
+                except RemoteError:
+                    pass
+
+    def _forget_handle(self, qid: int) -> None:
+        self._handles.pop(qid, None)
+        self._subscriptions.pop(qid, None)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Orderly shutdown (idempotent)."""
+        if not self._closed.is_set():
+            try:
+                self._send(wire.Bye())
+            except OSError:
+                pass
+        self._closed.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._reader_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,325 @@
+"""Socket transport: publish subscribed deltas, accept update frames.
+
+A :class:`MonitorSocketServer` exposes one
+:class:`repro.api.session.Session` over TCP speaking the ndjson wire
+protocol (:mod:`repro.api.wire`).  Each connection gets a reader thread;
+frames on one connection are processed strictly in arrival order, and
+every engine-touching operation takes the server-wide :attr:`lock` — the
+monitoring cycle itself stays single-threaded, the transport only
+serializes *around* it.  A host program that also drives the session
+directly (e.g. a server-side feed) must hold the same lock, or use
+:meth:`tick`.
+
+Delta delivery rides the hub's per-query routing: a ``subscribe`` frame
+registers a per-qid subscription whose callback encodes the delta and
+writes it to that connection.  Because the deltas produced by a ``tick``
+frame are published *before* the ``ticked`` reply is written — and TCP
+preserves order — a client has received every delta of a cycle by the
+time it sees the cycle's ``ticked`` frame.  That ordering is what makes
+remote delta streams byte-comparable with in-process runs.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.api import wire
+from repro.api.session import Session
+from repro.service.subscriptions import Subscription
+from repro.updates import QueryUpdateKind
+
+
+class _Connection:
+    """Server-side state of one client connection."""
+
+    def __init__(self, server: "MonitorSocketServer", sock: socket.socket) -> None:
+        self.server = server
+        self.sock = sock
+        self.reader = sock.makefile("r", encoding="utf-8", newline="\n")
+        self.write_lock = threading.Lock()
+        #: qid -> hub subscription feeding this connection.
+        self.subscriptions: dict[int, Subscription] = {}
+        #: updates staged by ``updates`` / ``query`` frames until ``tick``.
+        self.staged_objects: list = []
+        self.staged_queries: list = []
+        self.closed = False
+
+    # -- writing -------------------------------------------------------
+
+    def send(self, frame: wire.Frame) -> None:
+        data = (wire.encode_frame(frame) + "\n").encode("utf-8")
+        try:
+            with self.write_lock:
+                self.sock.sendall(data)
+        except OSError:
+            self.closed = True
+
+    def deliver(self, timestamp: int | None, delta) -> None:
+        """Hub callback: one subscribed delta out to the client."""
+        self.send(wire.Delta(timestamp=timestamp, delta=delta))
+
+    # -- teardown ------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for subscription in self.subscriptions.values():
+            subscription.close()
+        self.subscriptions.clear()
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class MonitorSocketServer:
+    """Serves one session to remote wire-protocol clients.
+
+    Args:
+        session: the session (and therefore monitor + hub) to expose.
+        host/port: bind address; port 0 picks a free port (see
+            :attr:`address` after :meth:`start`).
+        name: server string echoed in the ``welcome`` frame.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        name: str = "repro-monitor",
+    ) -> None:
+        self.session = session
+        self.name = name
+        #: guards every engine-touching operation (register/tick/...).
+        self.lock = threading.RLock()
+        self._host = host
+        self._port = port
+        self._sock: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._connections: list[_Connection] = []
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._sock is None:
+            raise RuntimeError("server not started")
+        return self._sock.getsockname()[:2]
+
+    def start(self) -> tuple[str, int]:
+        """Bind, listen and start accepting; returns the bound address."""
+        if self._sock is not None:
+            raise RuntimeError("server already started")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self._host, self._port))
+        sock.listen(16)
+        self._sock = sock
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="monitor-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        """Close the listener and every connection."""
+        self._stopping.set()
+        if self._sock is not None:
+            try:
+                # Wakes a blocked accept() (close alone does not, on
+                # Linux); ENOTCONN on platforms where it would have.
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        for conn in list(self._connections):
+            conn.close()
+        thread = self._accept_thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._accept_thread = None
+
+    def __enter__(self) -> "MonitorSocketServer":
+        if self._sock is None:
+            self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Host-side driving
+    # ------------------------------------------------------------------
+
+    def tick(self, object_updates, query_updates=(), *, timestamp=None):
+        """Advance the session one cycle under the server lock (for host
+        programs feeding updates server-side while clients subscribe)."""
+        with self.lock:
+            return self.session.tick(
+                object_updates, query_updates, timestamp=timestamp
+            )
+
+    # ------------------------------------------------------------------
+    # Accept / per-connection loops
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._sock is not None
+        while not self._stopping.is_set():
+            try:
+                client_sock, _addr = self._sock.accept()
+            except OSError:
+                break
+            conn = _Connection(self, client_sock)
+            self._connections.append(conn)
+            conn.send(
+                wire.Welcome(server=self.name, versions=wire.SUPPORTED_VERSIONS)
+            )
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="monitor-server-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: _Connection) -> None:
+        try:
+            for line in conn.reader:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    frame = wire.decode_frame(line)
+                except wire.WireError as exc:
+                    conn.send(wire.Error(message=str(exc)))
+                    break
+                if type(frame) is wire.Bye:
+                    conn.send(wire.Bye())
+                    break
+                try:
+                    self._handle(conn, frame)
+                except Exception as exc:  # app errors keep the connection
+                    conn.send(wire.Error(message=f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+            try:
+                self._connections.remove(conn)
+            except ValueError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Frame dispatch
+    # ------------------------------------------------------------------
+
+    def _subscribe(
+        self, conn: _Connection, qid: int, include_unchanged: bool
+    ) -> None:
+        existing = conn.subscriptions.get(qid)
+        if existing is not None:
+            if existing.include_unchanged == include_unchanged:
+                return
+            # Re-subscribing with a different filter replaces the old
+            # registration (e.g. upgrading a register-time watch to an
+            # include-unchanged stream).
+            existing.close()
+        conn.subscriptions[qid] = self.session.hub.subscribe_query(
+            qid, conn.deliver, include_unchanged=include_unchanged
+        )
+
+    def _handle(self, conn: _Connection, frame: wire.Frame) -> None:
+        session = self.session
+        kind = type(frame)
+        if kind is wire.Updates:
+            conn.staged_objects.extend(frame.updates)
+            return
+        if kind is wire.QueryOp:
+            conn.staged_queries.append(frame.update)
+            return
+        if kind is wire.Tick:
+            with self.lock:
+                changed = session.tick(
+                    conn.staged_objects,
+                    conn.staged_queries,
+                    timestamp=frame.timestamp,
+                )
+            # Terminated-by-stream queries no longer route anywhere; reap
+            # their connection subscriptions too.  Only a TERMINATE kind
+            # qualifies (a raw MOVE/INSERT leaves the query alive), and
+            # only if the query really ended the cycle uninstalled (a
+            # terminate + re-insert within one batch keeps it).
+            if conn.staged_queries:
+                live = set(session.query_ids())
+                for qu in conn.staged_queries:
+                    if (
+                        qu.kind is QueryUpdateKind.TERMINATE
+                        and qu.qid in conn.subscriptions
+                        and qu.qid not in live
+                    ):
+                        conn.subscriptions.pop(qu.qid).close()
+            conn.staged_objects = []
+            conn.staged_queries = []
+            conn.send(
+                wire.Ticked(
+                    timestamp=frame.timestamp, changed=tuple(sorted(changed))
+                )
+            )
+            return
+        if kind is wire.Register:
+            with self.lock:
+                handle = session.register(frame.spec, qid=frame.qid)
+                result = tuple(handle.snapshot())
+                if frame.watch:
+                    self._subscribe(conn, handle.qid, include_unchanged=False)
+            conn.send(wire.Registered(qid=handle.qid, result=result))
+            return
+        if kind is wire.Move:
+            with self.lock:
+                result = session.handle(frame.qid).move(frame.point)
+            conn.send(wire.Snapshot(qid=frame.qid, result=tuple(result)))
+            return
+        if kind is wire.Terminate:
+            with self.lock:
+                # Terminate first so the draining delta still routes to
+                # this connection, then drop the dead topic.
+                session.handle(frame.qid).terminate()
+                subscription = conn.subscriptions.pop(frame.qid, None)
+                if subscription is not None:
+                    subscription.close()
+            conn.send(wire.Ok(op="terminate", qid=frame.qid))
+            return
+        if kind is wire.GetSnapshot:
+            with self.lock:
+                result = tuple(session.snapshot(frame.qid))
+            conn.send(wire.Snapshot(qid=frame.qid, result=result))
+            return
+        if kind is wire.Subscribe:
+            with self.lock:
+                self._subscribe(conn, frame.qid, frame.include_unchanged)
+            conn.send(wire.Ok(op="subscribe", qid=frame.qid))
+            return
+        if kind is wire.Unsubscribe:
+            subscription = conn.subscriptions.pop(frame.qid, None)
+            if subscription is not None:
+                subscription.close()
+            conn.send(wire.Ok(op="unsubscribe", qid=frame.qid))
+            return
+        if kind is wire.Hello:
+            return  # the welcome already went out on accept
+        raise wire.WireError(
+            f"frame {wire.encode_frame(frame)!r} is not valid client->server"
+        )

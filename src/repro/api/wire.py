@@ -1,0 +1,418 @@
+"""The versioned ndjson wire protocol: updates in, deltas out.
+
+One frame = one JSON object = one ``\\n``-terminated line.  Every frame
+carries the protocol version under ``"v"`` and its type under ``"t"``;
+decoding rejects unknown versions and unknown types up front, so a
+future v2 can change any frame shape without silently corrupting v1
+peers (the versioning policy is documented in the README's client-API
+section).
+
+The frame vocabulary mirrors the in-process client surface
+(:mod:`repro.api.session`) plus the ingestion vocabulary
+(:mod:`repro.updates`):
+
+====================  =========  ==========================================
+frame                 direction  meaning
+====================  =========  ==========================================
+:class:`Hello`        c -> s     optional client introduction
+:class:`Welcome`      s -> c     greeting; lists the server's versions
+:class:`Updates`      c -> s     stage object location updates
+:class:`QueryOp`      c -> s     stage a raw query update (insert/move/term)
+:class:`Tick`         c -> s     close the staged cycle (timestamp label)
+:class:`Ticked`       s -> c     cycle outcome: changed query ids
+:class:`Register`     c -> s     install a typed query spec
+:class:`Registered`   s -> c     its qid + initial result snapshot
+:class:`Move`         c -> s     re-anchor a registered query
+:class:`Terminate`    c -> s     terminate a registered query
+:class:`GetSnapshot`  c -> s     request a query's current result
+:class:`Snapshot`     s -> c     the ordered result table of one query
+:class:`Subscribe`    c -> s     route this query's deltas to me
+:class:`Unsubscribe`  c -> s     stop routing them
+:class:`Delta`        s -> c     one per-query result delta
+:class:`Ok`           s -> c     generic acknowledgement (op echoed)
+:class:`Error`        s -> c     request failed (message echoed)
+:class:`Bye`          both       orderly shutdown
+====================  =========  ==========================================
+
+Encoding is canonical: explicit key order, compact separators, floats
+serialized by ``repr`` (via ``json``) — so ``encode(decode(line)) ==
+line`` for every frame this module produced, which is what lets the
+tests (and paranoid clients) compare delta streams byte for byte.
+
+Points are ``[x, y]``; result entries are ``[dist, oid]``; object
+update rows are ``[oid, old, new]`` with ``null`` for the
+appearance/disappearance side, exactly the Section 3 tuple.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Union
+
+from repro.api.queries import QuerySpec, spec_from_wire, spec_to_wire
+from repro.geometry.points import Point
+from repro.service.deltas import ResultDelta
+from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind
+
+#: the protocol version this module speaks.
+WIRE_VERSION = 1
+
+#: versions :func:`decode_frame` accepts.
+SUPPORTED_VERSIONS = (1,)
+
+ResultEntry = tuple[float, int]
+
+
+class WireError(ValueError):
+    """A frame could not be decoded (bad json, version, type or shape)."""
+
+
+# ----------------------------------------------------------------------
+# Frame types
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Hello:
+    client: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class Welcome:
+    server: str = ""
+    versions: tuple[int, ...] = (WIRE_VERSION,)
+
+
+@dataclass(frozen=True, slots=True)
+class Updates:
+    """Object location updates staged for the next :class:`Tick`."""
+
+    updates: tuple[ObjectUpdate, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryOp:
+    """A raw :class:`repro.updates.QueryUpdate` staged for the next tick
+    (the ingestion vocabulary; typed registration uses :class:`Register`)."""
+
+    update: QueryUpdate
+
+
+@dataclass(frozen=True, slots=True)
+class Tick:
+    timestamp: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Ticked:
+    timestamp: int | None
+    changed: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Register:
+    spec: QuerySpec
+    qid: int | None = None
+    watch: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class Registered:
+    qid: int
+    result: tuple[ResultEntry, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Move:
+    qid: int
+    point: Point
+
+
+@dataclass(frozen=True, slots=True)
+class Terminate:
+    qid: int
+
+
+@dataclass(frozen=True, slots=True)
+class GetSnapshot:
+    qid: int
+
+
+@dataclass(frozen=True, slots=True)
+class Snapshot:
+    qid: int
+    result: tuple[ResultEntry, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Subscribe:
+    qid: int
+    include_unchanged: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Unsubscribe:
+    qid: int
+
+
+@dataclass(frozen=True, slots=True)
+class Delta:
+    """One :class:`repro.service.deltas.ResultDelta`, stamped with its
+    cycle timestamp (``None`` = outside the replay loop: installs,
+    immediate moves/terminations)."""
+
+    timestamp: int | None
+    delta: ResultDelta
+
+
+@dataclass(frozen=True, slots=True)
+class Ok:
+    op: str
+    qid: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Error:
+    message: str
+
+
+@dataclass(frozen=True, slots=True)
+class Bye:
+    pass
+
+
+Frame = Union[
+    Hello, Welcome, Updates, QueryOp, Tick, Ticked, Register, Registered,
+    Move, Terminate, GetSnapshot, Snapshot, Subscribe, Unsubscribe, Delta,
+    Ok, Error, Bye,
+]
+
+
+# ----------------------------------------------------------------------
+# Scalar helpers
+# ----------------------------------------------------------------------
+
+
+def _point(raw) -> Point:
+    x, y = raw
+    return (float(x), float(y))
+
+
+def _opt_point(raw) -> Point | None:
+    return None if raw is None else _point(raw)
+
+
+def _entries(raw) -> tuple[ResultEntry, ...]:
+    return tuple((float(d), int(oid)) for d, oid in raw)
+
+
+def _entries_out(entries) -> list[list]:
+    return [[d, oid] for d, oid in entries]
+
+
+def _update_row(upd: ObjectUpdate) -> list:
+    return [
+        upd.oid,
+        None if upd.old is None else [upd.old[0], upd.old[1]],
+        None if upd.new is None else [upd.new[0], upd.new[1]],
+    ]
+
+
+def _query_op_out(qu: QueryUpdate) -> dict:
+    obj: dict = {"qid": qu.qid, "op": qu.kind.value}
+    if qu.point is not None:
+        obj["point"] = [qu.point[0], qu.point[1]]
+    if qu.k is not None:
+        obj["k"] = qu.k
+    return obj
+
+
+def _query_op_in(obj: dict) -> QueryUpdate:
+    k = obj.get("k")
+    return QueryUpdate(
+        int(obj["qid"]),
+        QueryUpdateKind(obj["op"]),
+        _opt_point(obj.get("point")),
+        None if k is None else int(k),
+    )
+
+
+def _delta_out(delta: ResultDelta) -> dict:
+    return {
+        "qid": delta.qid,
+        "in": _entries_out(delta.incoming),
+        "out": _entries_out(delta.outgoing),
+        "reordered": delta.reordered,
+        "result": _entries_out(delta.result),
+        "terminated": delta.terminated,
+    }
+
+
+def _delta_in(obj: dict) -> ResultDelta:
+    return ResultDelta(
+        qid=int(obj["qid"]),
+        incoming=_entries(obj["in"]),
+        outgoing=_entries(obj["out"]),
+        reordered=bool(obj["reordered"]),
+        result=_entries(obj["result"]),
+        terminated=bool(obj["terminated"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+
+def _body(frame: Frame) -> tuple[str, dict]:
+    if type(frame) is Delta:
+        return "delta", {"ts": frame.timestamp, **_delta_out(frame.delta)}
+    if type(frame) is Updates:
+        return "updates", {"rows": [_update_row(u) for u in frame.updates]}
+    if type(frame) is Tick:
+        return "tick", {"ts": frame.timestamp}
+    if type(frame) is Ticked:
+        return "ticked", {"ts": frame.timestamp, "changed": list(frame.changed)}
+    if type(frame) is QueryOp:
+        return "query", _query_op_out(frame.update)
+    if type(frame) is Register:
+        return "register", {
+            "spec": spec_to_wire(frame.spec),
+            "qid": frame.qid,
+            "watch": frame.watch,
+        }
+    if type(frame) is Registered:
+        return "registered", {
+            "qid": frame.qid,
+            "result": _entries_out(frame.result),
+        }
+    if type(frame) is Move:
+        return "move", {"qid": frame.qid, "point": [frame.point[0], frame.point[1]]}
+    if type(frame) is Terminate:
+        return "terminate", {"qid": frame.qid}
+    if type(frame) is GetSnapshot:
+        return "get_snapshot", {"qid": frame.qid}
+    if type(frame) is Snapshot:
+        return "snapshot", {"qid": frame.qid, "result": _entries_out(frame.result)}
+    if type(frame) is Subscribe:
+        return "subscribe", {
+            "qid": frame.qid,
+            "include_unchanged": frame.include_unchanged,
+        }
+    if type(frame) is Unsubscribe:
+        return "unsubscribe", {"qid": frame.qid}
+    if type(frame) is Hello:
+        return "hello", {"client": frame.client}
+    if type(frame) is Welcome:
+        return "welcome", {"server": frame.server, "versions": list(frame.versions)}
+    if type(frame) is Ok:
+        return "ok", {"op": frame.op, "qid": frame.qid}
+    if type(frame) is Error:
+        return "error", {"message": frame.message}
+    if type(frame) is Bye:
+        return "bye", {}
+    raise TypeError(f"not a wire frame: {frame!r}")
+
+
+def encode_frame(frame: Frame) -> str:
+    """One canonical ndjson line (no trailing newline)."""
+    kind, body = _body(frame)
+    obj = {"v": WIRE_VERSION, "t": kind}
+    obj.update(body)
+    return json.dumps(obj, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+
+def decode_frame(line: str | bytes) -> Frame:
+    """Parse one frame line; raises :class:`WireError` on anything off.
+
+    Unknown versions are rejected *before* the type is inspected — a v2
+    peer talking to a v1 endpoint fails loudly at the first frame.
+    """
+    try:
+        obj = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise WireError(f"malformed frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise WireError(f"frame is not an object: {obj!r}")
+    version = obj.get("v")
+    if version not in SUPPORTED_VERSIONS:
+        raise WireError(
+            f"unsupported wire version {version!r} "
+            f"(this endpoint speaks {list(SUPPORTED_VERSIONS)})"
+        )
+    kind = obj.get("t")
+    try:
+        if kind == "delta":
+            return Delta(timestamp=obj["ts"], delta=_delta_in(obj))
+        if kind == "updates":
+            rows = []
+            for oid, old, new in obj["rows"]:
+                rows.append(
+                    ObjectUpdate(int(oid), _opt_point(old), _opt_point(new))
+                )
+            return Updates(updates=tuple(rows))
+        if kind == "tick":
+            ts = obj["ts"]
+            return Tick(timestamp=None if ts is None else int(ts))
+        if kind == "ticked":
+            ts = obj["ts"]
+            return Ticked(
+                timestamp=None if ts is None else int(ts),
+                changed=tuple(int(q) for q in obj["changed"]),
+            )
+        if kind == "query":
+            return QueryOp(update=_query_op_in(obj))
+        if kind == "register":
+            qid = obj.get("qid")
+            return Register(
+                spec=spec_from_wire(obj["spec"]),
+                qid=None if qid is None else int(qid),
+                watch=bool(obj.get("watch", True)),
+            )
+        if kind == "registered":
+            return Registered(qid=int(obj["qid"]), result=_entries(obj["result"]))
+        if kind == "move":
+            return Move(qid=int(obj["qid"]), point=_point(obj["point"]))
+        if kind == "terminate":
+            return Terminate(qid=int(obj["qid"]))
+        if kind == "get_snapshot":
+            return GetSnapshot(qid=int(obj["qid"]))
+        if kind == "snapshot":
+            return Snapshot(qid=int(obj["qid"]), result=_entries(obj["result"]))
+        if kind == "subscribe":
+            return Subscribe(
+                qid=int(obj["qid"]),
+                include_unchanged=bool(obj.get("include_unchanged", False)),
+            )
+        if kind == "unsubscribe":
+            return Unsubscribe(qid=int(obj["qid"]))
+        if kind == "hello":
+            return Hello(client=str(obj.get("client", "")))
+        if kind == "welcome":
+            return Welcome(
+                server=str(obj.get("server", "")),
+                versions=tuple(int(v) for v in obj.get("versions", ())),
+            )
+        if kind == "ok":
+            qid = obj.get("qid")
+            return Ok(op=str(obj["op"]), qid=None if qid is None else int(qid))
+        if kind == "error":
+            return Error(message=str(obj["message"]))
+        if kind == "bye":
+            return Bye()
+    except WireError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"bad {kind!r} frame: {exc}") from exc
+    raise WireError(f"unknown frame type {kind!r}")
+
+
+def encode_delta(timestamp: int | None, delta: ResultDelta) -> str:
+    """Shorthand used by publishers: the :class:`Delta` frame line."""
+    return encode_frame(Delta(timestamp=timestamp, delta=delta))

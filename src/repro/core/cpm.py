@@ -641,6 +641,26 @@ class CPMMonitor(ContinuousMonitor):
         """Targeted-capture delta reporting: only touched queries pay."""
         return self._process_deltas_captured(object_updates, query_updates)
 
+    def process_deltas_flat(
+        self,
+        batch: FlatUpdateBatch,
+        query_updates: Sequence[QueryUpdate] | None = None,
+    ):
+        """Columnar delta reporting: :meth:`process_flat` with capture.
+
+        The capture hook lives in :meth:`_acquire_scratch`, which the
+        flat loop shares with :meth:`process`, so streaming deployments
+        keep the columnar apply — no fallback through
+        ``to_object_updates``.  Deltas are byte-identical to
+        :meth:`process_deltas` over the translated batch (pinned by
+        tests/test_flat_delta_capture.py).
+        """
+        if query_updates is None:
+            query_updates = batch.query_updates
+        return self._captured_deltas(
+            query_updates, lambda: self.process_flat(batch, query_updates)
+        )
+
     def process(
         self,
         object_updates: Sequence[ObjectUpdate],

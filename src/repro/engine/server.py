@@ -1,23 +1,25 @@
-"""The central monitoring server: workload replay and measurement.
+"""The legacy replay entry point — now a shim over the client API.
+
+.. deprecated::
+    :class:`MonitoringServer` predates the typed client surface.  New
+    code drives :class:`repro.api.session.Session` directly (register
+    specs, tick batches, subscribe per handle); the replay/measurement
+    loop this class used to own lives in :meth:`Session.replay`.  The
+    class is kept as a thin adapter because a large body of callers
+    (benchmarks, experiment drivers, the perf suite) still speaks it —
+    the ``RunReport``/``CycleMetrics`` surface is unchanged.
 
 Mirrors the paper's simulation loop: load the initial object population,
 install the queries, then — for every timestamp — hand the cycle's object
 and query updates to the monitoring algorithm, measure the processing time
 with ``time.perf_counter`` and snapshot the grid counters.
-
-Since the service-layer refactor the server is a thin adapter over
-:class:`repro.service.service.MonitoringService`: replay drives the
-service's ``tick`` so the same loop transparently feeds delta subscribers
-(pass a service with a populated hub, or subscribe through
-``server.service``), works against a sharded monitor, and still reports
-the exact :class:`RunReport`/:class:`CycleMetrics` surface it always did.
 """
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable
 
+from repro.api.session import Session
 from repro.engine.metrics import CycleMetrics, RunReport
 from repro.mobility.workload import Workload
 from repro.monitor import ContinuousMonitor, ResultEntry
@@ -25,7 +27,8 @@ from repro.service.service import MonitoringService
 
 
 class MonitoringServer:
-    """Drives one monitor over one workload.
+    """Drives one monitor over one workload (deprecated shim, see module
+    docstring).
 
     Args:
         monitor: the algorithm under test.
@@ -49,6 +52,7 @@ class MonitoringServer:
             service = MonitoringService(monitor)
         elif service.monitor is not monitor:
             raise ValueError("service wraps a different monitor instance")
+        self.session = Session(service)
         self.service = service
         self.monitor = monitor
         self.workload = workload
@@ -61,43 +65,12 @@ class MonitoringServer:
         on_cycle: Callable[[CycleMetrics], None] | None = None,
     ) -> RunReport:
         """Replay the full workload; returns the aggregated report."""
-        monitor = self.monitor
-        service = self.service
-        workload = self.workload
-        report = RunReport(
-            algorithm=monitor.name, n_queries=len(workload.initial_queries)
+        return self.session.replay(
+            self.workload,
+            collect_results=self.collect_results,
+            on_cycle=on_cycle,
+            result_log=self.result_log,
         )
-
-        monitor.load_objects(workload.initial_objects.items())
-        monitor.reset_stats()
-        t0 = time.perf_counter()
-        for qid, point in workload.initial_queries.items():
-            service.install_query(qid, point, workload.spec.k)
-        report.install_sec = time.perf_counter() - t0
-        report.install_stats = monitor.stats.snapshot()
-
-        if self.collect_results:
-            self.result_log.append(monitor.result_table())
-
-        for batch in workload.batches:
-            monitor.reset_stats()
-            t0 = time.perf_counter()
-            changed = service.tick_batch(batch)
-            elapsed = time.perf_counter() - t0
-            metrics = CycleMetrics(
-                timestamp=batch.timestamp,
-                elapsed_sec=elapsed,
-                stats=monitor.stats.snapshot(),
-                object_updates=len(batch.object_updates),
-                query_updates=len(batch.query_updates),
-                results_changed=len(changed),
-            )
-            report.cycles.append(metrics)
-            if self.collect_results:
-                self.result_log.append(monitor.result_table())
-            if on_cycle is not None:
-                on_cycle(metrics)
-        return report
 
 
 def run_workload(

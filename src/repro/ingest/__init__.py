@@ -7,7 +7,9 @@ turns a live (or replayed) update feed into the per-cycle batches a
 :class:`repro.service.service.MonitoringService` consumes:
 
 * :mod:`repro.ingest.feeds` — update sources (:class:`UpdateFeed`):
-  materialized workloads, live generator-backed feeds, JSONL traces;
+  materialized workloads, live generator-backed feeds, JSONL traces and
+  wire-protocol sockets (:class:`SocketFeed`, speaking the
+  :mod:`repro.api.wire` ndjson frames);
 * :mod:`repro.ingest.buffer` — the bounded :class:`IngestBuffer` with
   explicit back-pressure (block / drop-oldest) and last-write-wins
   coalescing per object;
@@ -36,8 +38,10 @@ from repro.ingest.feeds import (
     CycleMark,
     GeneratorFeed,
     JsonlTraceFeed,
+    SocketFeed,
     UpdateFeed,
     WorkloadFeed,
+    push_feed_to_socket,
     write_jsonl_trace,
 )
 
@@ -53,8 +57,10 @@ __all__ = [
     "IngestDriver",
     "IngestReport",
     "JsonlTraceFeed",
+    "SocketFeed",
     "ThreadedFeedPump",
     "UpdateFeed",
     "WorkloadFeed",
+    "push_feed_to_socket",
     "write_jsonl_trace",
 ]

@@ -81,7 +81,9 @@ class CycleIngestStats:
     deadline_overrun: bool
     #: wall-clock spent pulling/draining/assembling.
     ingest_sec: float
-    #: wall-clock spent inside the service tick.
+    #: wall-clock spent inside the service tick (monitor processing plus
+    #: delta diffing plus, when streaming, the subscriber fan-out — the
+    #: sum of ``TickReport.process_sec`` and ``TickReport.publish_sec``).
     process_sec: float
 
 
@@ -354,7 +356,7 @@ class IngestDriver:
             changed=len(tick.changed),
             deadline_overrun=overrun,
             ingest_sec=ingest_sec,
-            process_sec=tick.process_sec,
+            process_sec=tick.process_sec + tick.publish_sec,
         )
         self.report.cycles.append(stats)
         if self.on_cycle is not None:

@@ -11,7 +11,7 @@ driver (:mod:`repro.ingest.driver`) may honor the marks — deterministic
 replay — or re-cut cycles by batch size and deadline, which is what a
 real-time deployment does.
 
-Three adapters cover the sources the repo has:
+Four adapters cover the sources the repo has:
 
 * :class:`WorkloadFeed` — a materialized
   :class:`repro.mobility.workload.Workload`, replayed event by event;
@@ -19,7 +19,11 @@ Three adapters cover the sources the repo has:
   :class:`repro.mobility.brinkhoff.BrinkhoffStream` agents on demand,
   unbounded unless capped;
 * :class:`JsonlTraceFeed` — a replayable JSONL trace on disk (one event
-  per line); :func:`write_jsonl_trace` records one.
+  per line); :func:`write_jsonl_trace` records one;
+* :class:`SocketFeed` — a live network source speaking the versioned
+  ndjson wire protocol of :mod:`repro.api.wire` (``updates`` / ``query``
+  / ``tick`` frames), so the ingest driver can sit behind the same
+  protocol the delta publisher serves.
 """
 
 from __future__ import annotations
@@ -287,3 +291,134 @@ def write_jsonl_trace(
                 fh.write(json.dumps(record) + "\n")
             fh.write(json.dumps({"kind": "cycle", "t": batch.timestamp}) + "\n")
     return path
+
+
+# ----------------------------------------------------------------------
+# Socket sources (the wire-format ingestion path)
+# ----------------------------------------------------------------------
+
+
+class SocketFeed(UpdateFeed):
+    """A live update source speaking the ndjson wire protocol.
+
+    Reads frames (:mod:`repro.api.wire`) off a connected socket and
+    yields the feed vocabulary: each ``updates`` frame's rows stream as
+    :class:`repro.updates.ObjectUpdate`, ``query`` frames as
+    :class:`repro.updates.QueryUpdate`, ``tick`` frames as
+    :class:`CycleMark` (an unlabelled tick gets the running frame
+    ordinal).  ``bye`` — or the peer closing the connection — ends the
+    feed.  ``hello``/``welcome`` frames are tolerated anywhere (so the
+    feed can sit directly behind a :class:`repro.api.client.Client`-style
+    producer); any other frame type raises.
+
+    Initial populations do not travel over the stream (monitors
+    bulk-load them before updates start): pass them to the constructor
+    when the driver should prime from this feed.
+    """
+
+    def __init__(
+        self,
+        sock,
+        *,
+        initial_objects: dict[int, Point] | None = None,
+        initial_queries: dict[int, Point] | None = None,
+        install_ks: dict[int, int] | None = None,
+    ) -> None:
+        self.sock = sock
+        self._initial_objects = dict(initial_objects or {})
+        self._initial_queries = dict(initial_queries or {})
+        self._install_ks = dict(install_ks or {})
+
+    @classmethod
+    def connect(cls, host: str, port: int, *, timeout: float = 10.0, **kwargs):
+        """Connect to a producer and wrap the socket."""
+        import socket as _socket
+
+        sock = _socket.create_connection((host, port), timeout=timeout)
+        sock.settimeout(None)
+        return cls(sock, **kwargs)
+
+    def initial_objects(self) -> dict[int, Point]:
+        return dict(self._initial_objects)
+
+    def initial_queries(self) -> dict[int, Point]:
+        return dict(self._initial_queries)
+
+    def install_k(self, qid: int, default: int = 1) -> int:
+        return self._install_ks.get(qid, default)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def events(self) -> Iterator[FeedEvent]:
+        # Local import: the api package depends on repro.updates, not on
+        # the ingest tier, so this direction stays cycle-free; importing
+        # lazily keeps plain workload feeds free of the wire module.
+        from repro.api import wire
+
+        reader = self.sock.makefile("r", encoding="utf-8", newline="\n")
+        marks = 0
+        try:
+            for line in reader:
+                line = line.strip()
+                if not line:
+                    continue
+                frame = wire.decode_frame(line)
+                kind = type(frame)
+                if kind is wire.Updates:
+                    yield from frame.updates
+                elif kind is wire.QueryOp:
+                    yield frame.update
+                elif kind is wire.Tick:
+                    t = frame.timestamp if frame.timestamp is not None else marks
+                    marks += 1
+                    yield CycleMark(t)
+                elif kind is wire.Bye:
+                    return
+                elif kind in (wire.Hello, wire.Welcome):
+                    continue
+                else:
+                    raise ValueError(
+                        f"frame type {kind.__name__!r} is not part of the "
+                        "ingestion stream vocabulary"
+                    )
+        finally:
+            reader.close()
+
+
+def push_feed_to_socket(feed: UpdateFeed, sock, *, updates_per_frame: int = 256) -> None:
+    """Stream a feed's events to a socket as wire frames (the producer
+    half of :class:`SocketFeed`; used by tests and demos).
+
+    Object updates are packed ``updates_per_frame`` to an ``updates``
+    frame (flushed at every cycle boundary), query updates and cycle
+    marks are sent as they come, and the stream ends with ``bye``.
+    """
+    from repro.api import wire
+
+    pending: list[ObjectUpdate] = []
+
+    def send(frame) -> None:
+        sock.sendall((wire.encode_frame(frame) + "\n").encode("utf-8"))
+
+    def flush() -> None:
+        if pending:
+            send(wire.Updates(updates=tuple(pending)))
+            pending.clear()
+
+    for event in feed.events():
+        if type(event) is CycleMark:
+            flush()
+            send(wire.Tick(timestamp=event.timestamp))
+        elif type(event) is QueryUpdate:
+            flush()
+            send(wire.QueryOp(update=event))
+        else:
+            pending.append(event)
+            if len(pending) >= updates_per_frame:
+                flush()
+    flush()
+    send(wire.Bye())

@@ -150,6 +150,25 @@ class ContinuousMonitor(ABC):
             deltas[qid] = diff_results(qid, before[qid], [], terminated=True)
         return deltas
 
+    def process_deltas_flat(
+        self,
+        batch: FlatUpdateBatch,
+        query_updates: Sequence[QueryUpdate] | None = None,
+    ) -> dict[int, ResultDelta]:
+        """Delta-reporting twin of :meth:`process_flat`.
+
+        Contract: the returned deltas are byte-identical to
+        :meth:`process_deltas` over ``batch.to_object_updates()`` (same
+        keys, same :class:`ResultDelta` tuples, same deterministic
+        counters).  This base implementation translates back to the
+        :class:`ObjectUpdate` vocabulary; monitors whose columnar loop
+        feeds :attr:`_delta_log` (CPM) override it so streaming
+        deployments keep the columnar apply.
+        """
+        if query_updates is None:
+            query_updates = batch.query_updates
+        return self.process_deltas(batch.to_object_updates(), query_updates)
+
     def _process_deltas_captured(
         self,
         object_updates: Sequence[ObjectUpdate],
@@ -163,6 +182,22 @@ class ContinuousMonitor(ABC):
         (their results change through remove/install, not through object
         handling), runs the cycle, and diffs.
         """
+        return self._captured_deltas(
+            query_updates, lambda: self.process(object_updates, query_updates)
+        )
+
+    def _captured_deltas(
+        self,
+        query_updates: Sequence[QueryUpdate],
+        run,
+    ) -> dict[int, ResultDelta]:
+        """Targeted-capture core shared by the row and columnar cycles.
+
+        ``run`` executes one cycle (``process`` or ``process_flat`` over
+        the same ``query_updates``) and returns its changed set; any
+        capture-aware cycle loop works because the capture happens at
+        scratch acquisition, which both loops share.
+        """
         if self._delta_log is not None:
             raise RuntimeError("process_deltas is not re-entrant")
         before: dict[int, list[ResultEntry]] = {}
@@ -172,7 +207,7 @@ class ContinuousMonitor(ABC):
                 before[qu.qid] = self.result(qu.qid)
         self._delta_log = before
         try:
-            changed = self.process(object_updates, query_updates)
+            changed = run()
         finally:
             self._delta_log = None
         deltas: dict[int, ResultDelta] = {}

@@ -36,6 +36,9 @@ DEFAULT_THRESHOLDS: dict[str, float] = {
     # rounding is a real algorithmic regression.
     "cell_scans": 0.02,
     "cell_accesses_per_query_per_ts": 0.02,
+    # Delivered deltas (subscription_routing cases) are deterministic too:
+    # growth means the per-query routing leaks traffic it should not.
+    "deltas_delivered": 0.02,
     # Peak RSS is a coarse high-water mark.
     "peak_rss_kb": 0.30,
 }

@@ -29,7 +29,14 @@ algorithm.  The cases mirror the paper's evaluation axes at a configurable
   The driver honors the feed's cycle marks, so the cycle structure — and
   therefore every deterministic counter — is byte-comparable with the
   plain replay; the extra ``ingest_sec`` metric (advisory, not gated)
-  prices the ingestion tier itself.
+  prices the ingestion tier itself;
+* ``subscription_routing`` — the defaults workload replayed through a
+  ``MonitoringService`` with per-query subscriptions on a quarter of the
+  queries plus one firehose: the delta-streaming path of the client API
+  (``repro.api``).  The grid counters stay byte-comparable with the
+  plain replay (delta capture never touches the grid) and the extra
+  ``deltas_delivered`` metric is itself deterministic, so the gate pins
+  the routing exactly.
 
 Workload materialization is deterministic (fixed seed per case), so two
 runs of the same suite at the same scale replay byte-identical update
@@ -85,6 +92,7 @@ class SuiteCase:
     shards: int = 0
     executor: str = "serial"
     ingest: bool = False
+    subscribed: bool = False
 
     def materialize(self) -> Workload:
         if self.workload == "network":
@@ -108,6 +116,7 @@ def _dedup(cases: list[SuiteCase]) -> list[SuiteCase]:
             case.shards,
             case.executor,
             case.ingest,
+            case.subscribed,
         )
         if signature in seen:
             continue
@@ -188,6 +197,21 @@ def build_suite(
             spec=default,
             grid=grid,
             ingest=True,
+        )
+    )
+    # Per-query subscription routing (the repro.api delta-streaming path):
+    # the defaults workload replayed through a service with per-query
+    # topics and a firehose attached, so the smoke gate covers both the
+    # streamed path's deterministic counters and the delivered-delta
+    # count per PR.  (The plain cases above gate the no-subscriber cheap
+    # path: they replay through the same service tier with an empty hub.)
+    cases.append(
+        SuiteCase(
+            key="subscription_routing/default",
+            workload="network",
+            spec=default,
+            grid=grid,
+            subscribed=True,
         )
     )
     # Service-layer shard scaling over the defaults workload.  The shard

@@ -4,12 +4,16 @@ A :class:`MonitoringService` couples one monitor — single-engine or
 :class:`repro.service.sharding.ShardedMonitor` — with a
 :class:`repro.service.subscriptions.SubscriptionHub`.  Callers feed it
 update batches (:meth:`tick`); the service decides per cycle whether the
-cheap path (``process``) suffices or the delta path (``process_deltas``)
-must run to feed subscribers, and publishes the resulting stream.
+cheap path (``process``/``process_flat``) suffices or the delta path
+(``process_deltas``/``process_deltas_flat``) must run to feed
+subscribers, and publishes the resulting stream through the hub's
+per-query routing.
 
-The replay engine (:class:`repro.engine.server.MonitoringServer`) is a
-thin adapter over this class; interactive callers (see
-``examples/live_dashboard.py``) drive it directly.
+Programs normally talk to the service through the typed client surface
+(:class:`repro.api.session.Session` in-process,
+:class:`repro.api.client.Client` over a socket); the replay shim
+(:class:`repro.engine.server.MonitoringServer`) and the ingest driver
+drive it batch by batch.
 """
 
 from __future__ import annotations
@@ -43,8 +47,16 @@ class TickReport:
     streamed: bool = False
     object_updates: int = 0
     query_updates: int = 0
-    #: wall-clock spent inside the monitor's cycle processing.
+    #: wall-clock spent producing the cycle's outcome: the monitor's
+    #: update handling *plus*, when :attr:`streamed` is set, the
+    #: per-query delta diffing of the ``process_deltas`` path.  On the
+    #: no-subscriber cheap path this is exactly the monitor's cycle
+    #: time; either way it excludes subscriber fan-out, which is
+    #: reported separately as :attr:`publish_sec`.
     process_sec: float = 0.0
+    #: wall-clock spent inside ``SubscriptionHub.publish`` delivering the
+    #: cycle's deltas to subscriber callbacks (0.0 when not streamed).
+    publish_sec: float = 0.0
 
 
 class MonitoringService:
@@ -118,7 +130,14 @@ class MonitoringService:
         self.last_timestamp = timestamp
         if not self.hub.has_subscribers:
             return self.monitor.process(object_updates, query_updates)
-        deltas = self.monitor.process_deltas(object_updates, query_updates)
+        return self._publish_cycle(
+            timestamp, self.monitor.process_deltas(object_updates, query_updates)
+        )
+
+    def _publish_cycle(self, timestamp: int | None, deltas) -> set[int]:
+        """The streamed cycle tail shared by every tick flavor: fan the
+        deltas out, then reduce them to the ``process`` changed-set
+        contract (terminated queries are deltas, not changes)."""
         self.hub.publish(timestamp, deltas)
         return {qid for qid, delta in deltas.items() if not delta.terminated}
 
@@ -131,21 +150,18 @@ class MonitoringService:
     def tick_flat(self, batch: FlatUpdateBatch) -> set[int]:
         """Process a columnar :class:`repro.updates.FlatUpdateBatch`.
 
-        The fast path: with no subscribers the batch goes straight into
-        the monitor's ``process_flat`` (CPM iterates the flat arrays end
-        to end).  With subscribers listening the cycle must capture
-        per-query deltas, so the batch is translated back to the
-        :class:`ObjectUpdate` vocabulary — correctness over speed on the
-        streaming path; both paths observe the identical update stream.
+        Both paths keep the columnar apply: with no subscribers the batch
+        goes straight into the monitor's ``process_flat``; with
+        subscribers listening the delta twin ``process_deltas_flat`` runs
+        — CPM's flat loop with targeted pre-cycle capture — so streaming
+        deployments never fall back to the dataclass vocabulary.
         """
         self.last_timestamp = batch.timestamp
         if not self.hub.has_subscribers:
             return self.monitor.process_flat(batch)
-        deltas = self.monitor.process_deltas(
-            batch.to_object_updates(), batch.query_updates
+        return self._publish_cycle(
+            batch.timestamp, self.monitor.process_deltas_flat(batch)
         )
-        self.hub.publish(batch.timestamp, deltas)
-        return {qid for qid, delta in deltas.items() if not delta.terminated}
 
     def tick_report(self, batch: UpdateBatch | FlatUpdateBatch) -> TickReport:
         """Process one packaged cycle and report label, changes and timing.
@@ -153,20 +169,44 @@ class MonitoringService:
         Accepts either batch encoding (columnar batches take the
         :meth:`tick_flat` fast path) and returns a :class:`TickReport` —
         the surface the ingestion driver consumes (``tick`` stays the
-        backward-compatible changed-set entry point).
+        backward-compatible changed-set entry point).  The timing is
+        decomposed so streaming callers can see the diff cost:
+        ``process_sec`` covers the monitor cycle *including* the
+        per-query delta diffing of the streamed path, ``publish_sec``
+        covers only the subscriber fan-out.
         """
-        t0 = time.perf_counter()
-        if isinstance(batch, FlatUpdateBatch):
-            changed = self.tick_flat(batch)
+        flat = isinstance(batch, FlatUpdateBatch)
+        if flat:
             n_objects = len(batch.oids)
         else:
-            changed = self.tick_batch(batch)
             n_objects = len(batch.object_updates)
+        self.last_timestamp = batch.timestamp
+        streamed = self.hub.has_subscribers
+        publish_sec = 0.0
+        t0 = time.perf_counter()
+        if not streamed:
+            if flat:
+                changed = self.monitor.process_flat(batch)
+            else:
+                changed = self.monitor.process_batch(batch)
+            process_sec = time.perf_counter() - t0
+        else:
+            if flat:
+                deltas = self.monitor.process_deltas_flat(batch)
+            else:
+                deltas = self.monitor.process_deltas(
+                    batch.object_updates, batch.query_updates
+                )
+            process_sec = time.perf_counter() - t0
+            t1 = time.perf_counter()
+            changed = self._publish_cycle(batch.timestamp, deltas)
+            publish_sec = time.perf_counter() - t1
         return TickReport(
             timestamp=batch.timestamp,
             changed=changed,
-            streamed=self.hub.has_subscribers,
+            streamed=streamed,
             object_updates=n_objects,
             query_updates=len(batch.query_updates),
-            process_sec=time.perf_counter() - t0,
+            process_sec=process_sec,
+            publish_sec=publish_sec,
         )

@@ -451,6 +451,41 @@ class ShardedMonitor(ContinuousMonitor):
             "process_deltas",
             [(object_updates, tuple(qus)) for qus in per_shard_qu],
         )
+        return self._merge_shard_deltas(origin_shard, shard_deltas)
+
+    def process_deltas_flat(
+        self,
+        batch: FlatUpdateBatch,
+        query_updates: Sequence[QueryUpdate] | None = None,
+    ) -> dict[int, ResultDelta]:
+        """Columnar delta reporting: :meth:`process_flat` routing with the
+        :meth:`process_deltas` merge.  Each shard engine runs its own
+        ``process_deltas_flat`` (CPM's columnar loop with capture), so the
+        streaming path stays flat end to end across the service layer."""
+        if query_updates is None:
+            query_updates = batch.query_updates
+        origin_shard = dict(self._query_shard) if query_updates else {}
+        per_shard_qu = self._split_query_updates(query_updates)
+        positions = self._positions
+        for oid, nx, ny, dis in zip(
+            batch.oids, batch.new_xs, batch.new_ys, batch.disappear
+        ):
+            if dis:
+                positions.pop(oid, None)
+            else:
+                positions[oid] = (nx, ny)
+        shard_deltas = self._call_all(
+            "process_deltas_flat",
+            [(batch, tuple(qus)) for qus in per_shard_qu],
+        )
+        return self._merge_shard_deltas(origin_shard, shard_deltas)
+
+    def _merge_shard_deltas(
+        self,
+        origin_shard: dict[int, int],
+        shard_deltas: Sequence[dict[int, ResultDelta]],
+    ) -> dict[int, ResultDelta]:
+        """Merge per-shard delta maps into the single-engine view."""
         merged: dict[int, ResultDelta] = {}
         reported: dict[int, list[tuple[int, ResultDelta]]] = {}
         for shard, deltas in enumerate(shard_deltas):

@@ -1,15 +1,23 @@
-"""Delta streaming: subscriptions over per-query result changes.
+"""Delta streaming: per-query subscriptions over result changes.
 
-A :class:`SubscriptionHub` fans each cycle's
-:class:`repro.service.deltas.ResultDelta` objects out to registered
-callbacks.  Subscribers choose a query filter
-(specific qids or all queries) and receive ``callback(timestamp, delta)``
-calls — only for deltas that actually changed the result, unless they ask
-for unchanged ones too.
+A :class:`SubscriptionHub` routes each cycle's
+:class:`repro.service.deltas.ResultDelta` objects to registered
+callbacks.  Routing is *topic based*: the topic of a delta is its query
+id, a subscription watching specific qids is registered under exactly
+those topics, and a subscription with no qid filter sits on the
+**firehose** topic that observes every query.  Publishing a cycle
+therefore touches only the subscriptions that can possibly want each
+delta — a handle watching one query out of a million never sees (or
+pays for) the other 999 999 — instead of probing every subscriber
+against every delta as a global broadcast would.
+
+Subscribers receive ``callback(timestamp, delta)`` calls — only for
+deltas that actually changed the result, unless they ask for unchanged
+ones too.
 
 The hub is synchronous and single-threaded by design (the monitoring
-cycle is); async ingestion and network transports are ROADMAP follow-ons
-that would wrap this same interface.
+cycle is); the socket transport (:mod:`repro.api.server`) wraps this
+same interface with per-connection locking on the outside.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ DeltaCallback = Callable[[int | None, ResultDelta], None]
 class Subscription:
     """One registered delta listener (returned by ``subscribe``)."""
 
-    __slots__ = ("callback", "delivered", "include_unchanged", "qids", "_hub")
+    __slots__ = ("callback", "delivered", "include_unchanged", "qids", "seq", "_hub")
 
     def __init__(
         self,
@@ -32,18 +40,22 @@ class Subscription:
         callback: DeltaCallback,
         qids: frozenset[int] | None,
         include_unchanged: bool,
+        seq: int,
     ) -> None:
         self._hub = hub
         self.callback = callback
-        #: ``None`` = all queries; otherwise the watched qid set.
+        #: ``None`` = firehose (all queries); otherwise the watched qid set.
         self.qids = qids
         self.include_unchanged = include_unchanged
+        #: registration ordinal — the deterministic delivery order within
+        #: one delta (bucketed and firehose subscribers interleave by it).
+        self.seq = seq
         #: number of deltas delivered so far.
         self.delivered = 0
 
     @property
     def active(self) -> bool:
-        return self._hub is not None and self in self._hub._subscriptions
+        return self._hub is not None and self._hub.is_active(self)
 
     def matches(self, delta: ResultDelta) -> bool:
         if self.qids is not None and delta.qid not in self.qids:
@@ -63,10 +75,23 @@ class Subscription:
 
 
 class SubscriptionHub:
-    """Registry of delta subscribers and the publish fan-out."""
+    """Per-query routing table of delta subscribers plus the publish loop.
+
+    Internally two structures share the subscriptions:
+
+    * ``_by_qid`` — topic buckets: qid -> subscriptions watching it (a
+      subscription watching n qids appears in n buckets);
+    * ``_firehose`` — subscriptions with no qid filter.
+
+    Both keep registration order; delivery within one delta merges the
+    two by registration ordinal so the stream stays deterministic.
+    """
 
     def __init__(self) -> None:
-        self._subscriptions: list[Subscription] = []
+        self._by_qid: dict[int, list[Subscription]] = {}
+        self._firehose: list[Subscription] = []
+        self._count = 0
+        self._next_seq = 0
 
     def subscribe(
         self,
@@ -79,32 +104,78 @@ class SubscriptionHub:
 
         Args:
             callback: invoked synchronously during publish.
-            qids: restrict to these query ids (``None`` = every query).
+            qids: restrict to these query ids (``None`` = the firehose:
+                every query).
             include_unchanged: also deliver no-op deltas (e.g. a moved
                 query whose result happens to be identical).
         """
+        qid_set = None if qids is None else frozenset(qids)
         subscription = Subscription(
-            self,
-            callback,
-            None if qids is None else frozenset(qids),
-            include_unchanged,
+            self, callback, qid_set, include_unchanged, self._next_seq
         )
-        self._subscriptions.append(subscription)
+        self._next_seq += 1
+        if qid_set is None:
+            self._firehose.append(subscription)
+        else:
+            for qid in qid_set:
+                self._by_qid.setdefault(qid, []).append(subscription)
+        self._count += 1
         return subscription
+
+    def subscribe_query(
+        self,
+        qid: int,
+        callback: DeltaCallback,
+        *,
+        include_unchanged: bool = False,
+    ) -> Subscription:
+        """Shorthand: watch exactly one query (the handle/topic idiom)."""
+        return self.subscribe(
+            callback, qids=(qid,), include_unchanged=include_unchanged
+        )
 
     def unsubscribe(self, subscription: Subscription) -> None:
         """Remove a subscription (no-op when already removed)."""
-        try:
-            self._subscriptions.remove(subscription)
-        except ValueError:
-            pass
+        removed = False
+        if subscription.qids is None:
+            if subscription in self._firehose:
+                self._firehose.remove(subscription)
+                removed = True
+        else:
+            for qid in subscription.qids:
+                bucket = self._by_qid.get(qid)
+                if bucket and subscription in bucket:
+                    bucket.remove(subscription)
+                    removed = True
+                    if not bucket:
+                        del self._by_qid[qid]
+        if removed:
+            self._count -= 1
+
+    def is_active(self, subscription: Subscription) -> bool:
+        """Whether the subscription is still registered."""
+        if subscription.qids is None:
+            return subscription in self._firehose
+        return any(
+            subscription in self._by_qid.get(qid, ()) for qid in subscription.qids
+        )
 
     @property
     def has_subscribers(self) -> bool:
-        return bool(self._subscriptions)
+        """O(1): anything registered at all (the tick cheap-path probe)."""
+        return self._count > 0
+
+    @property
+    def has_firehose(self) -> bool:
+        """Whether any subscription watches every query."""
+        return bool(self._firehose)
+
+    def watched_qids(self) -> set[int]:
+        """Qids with at least one targeted subscription (diagnostics)."""
+        return set(self._by_qid)
 
     def __len__(self) -> int:
-        return len(self._subscriptions)
+        return self._count
 
     def publish(
         self, timestamp: int | None, deltas: dict[int, ResultDelta]
@@ -113,19 +184,32 @@ class SubscriptionHub:
 
         ``timestamp`` is the cycle timestamp, or ``None`` for
         installation-time snapshots published outside the replay loop.
-        Deltas are delivered in ascending qid order so the stream is
-        deterministic for a deterministic workload.
+        Deltas are delivered in ascending qid order, and within one delta
+        in subscriber-registration order, so the stream is deterministic
+        for a deterministic workload.  Per-topic snapshots are taken
+        before delivery: callbacks may subscribe or unsubscribe during
+        the fan-out without corrupting it.
         """
-        if not self._subscriptions:
+        if not self._count:
             return 0
         delivered = 0
-        # Snapshot the subscriber list: callbacks may unsubscribe (or
-        # subscribe) during delivery without corrupting this fan-out.
-        subscribers = list(self._subscriptions)
+        by_qid = self._by_qid
+        firehose = list(self._firehose)
         for qid in sorted(deltas):
             delta = deltas[qid]
-            for subscription in subscribers:
-                if subscription.matches(delta):
+            bucket = by_qid.get(qid)
+            if bucket:
+                if firehose:
+                    targets = sorted(bucket + firehose, key=lambda s: s.seq)
+                else:
+                    targets = list(bucket)
+            elif firehose:
+                targets = firehose
+            else:
+                continue
+            changed = delta.changed
+            for subscription in targets:
+                if changed or subscription.include_unchanged:
                     subscription.callback(timestamp, delta)
                     subscription.delivered += 1
                     delivered += 1

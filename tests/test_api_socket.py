@@ -1,0 +1,303 @@
+"""End-to-end socket tests: server + client in-process over localhost.
+
+The headline check pins the acceptance criterion of the wire protocol:
+a remote client registering queries and streaming a workload receives a
+delta stream **byte-equivalent** (as encoded ndjson frames) to an
+in-process Session subscribing on the same workload.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.api import wire
+from repro.api.client import Client, RemoteError
+from repro.api.queries import ConstrainedKnnSpec, KnnSpec, RangeSpec
+from repro.api.server import MonitorSocketServer
+from repro.api.session import Session
+from repro.core.cpm import CPMMonitor
+from repro.ingest.driver import IngestDriver
+from repro.ingest.feeds import SocketFeed, WorkloadFeed, push_feed_to_socket
+from repro.mobility.uniform import UniformGenerator
+from repro.mobility.workload import WorkloadSpec
+from repro.service.service import MonitoringService
+
+SPEC = WorkloadSpec(
+    n_objects=120, n_queries=4, k=3, timestamps=5, seed=17, query_agility=0.0
+)
+CELLS = 16
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return UniformGenerator(SPEC).generate()
+
+
+@pytest.fixture()
+def endpoint(workload):
+    """A served session preloaded with the workload's objects."""
+    session = Session(CPMMonitor(cells_per_axis=CELLS))
+    session.load_objects(workload.initial_objects.items())
+    server = MonitorSocketServer(session, name="test-server")
+    host, port = server.start()
+    try:
+        yield session, server, host, port
+    finally:
+        server.stop()
+
+
+class TestEndToEnd:
+    def test_remote_stream_matches_direct_drive_byte_for_byte(
+        self, workload, endpoint
+    ):
+        _session, _server, host, port = endpoint
+        queries = sorted(workload.initial_queries.items())
+
+        with Client.connect(host, port) as client:
+            remote: dict[int, list[str]] = {}
+            handles = []
+            for qid, point in queries:
+                handle = client.register(KnnSpec(point=point, k=SPEC.k), qid=qid)
+                lines: list[str] = []
+                handle.subscribe(
+                    lambda ts, d, _lines=lines: _lines.append(
+                        wire.encode_delta(ts, d)
+                    )
+                )
+                remote[qid] = lines
+                handles.append(handle)
+            for batch in workload.batches:
+                client.send_updates(batch.object_updates)
+                client.tick(timestamp=batch.timestamp)
+
+        # Direct drive: same workload, in-process Session.
+        local_session = Session(CPMMonitor(cells_per_axis=CELLS))
+        local_session.load_objects(workload.initial_objects.items())
+        local: dict[int, list[str]] = {}
+        for qid, point in queries:
+            handle = local_session.register(KnnSpec(point=point, k=SPEC.k), qid=qid)
+            lines = []
+            handle.subscribe(
+                lambda ts, d, _lines=lines: _lines.append(wire.encode_delta(ts, d))
+            )
+            local[qid] = lines
+        for batch in workload.batches:
+            local_session.tick_batch(batch)
+
+        assert remote.keys() == local.keys()
+        for qid in remote:
+            assert remote[qid], f"query {qid} streamed nothing"
+            assert remote[qid] == local[qid]
+
+    def test_unwatched_query_deltas_never_cross_the_socket(
+        self, workload, endpoint
+    ):
+        _session, _server, host, port = endpoint
+        (qid_a, point_a), (qid_b, point_b) = sorted(
+            workload.initial_queries.items()
+        )[:2]
+        with Client.connect(host, port) as client:
+            frames: list[wire.Delta] = []
+            client.delta_frame_log = frames
+            a = client.register(KnnSpec(point=point_a, k=SPEC.k), qid=qid_a)
+            client.register(KnnSpec(point=point_b, k=SPEC.k), qid=qid_b, watch=False)
+            a.subscribe(lambda ts, d: None)
+            for batch in workload.batches:
+                client.send_updates(batch.object_updates)
+                changed = client.tick(timestamp=batch.timestamp)
+                assert isinstance(changed, set)
+            assert frames, "watched query streamed nothing"
+            assert {f.delta.qid for f in frames} == {qid_a}
+
+    def test_remote_handle_operations(self, endpoint):
+        _session, _server, host, port = endpoint
+        with Client.connect(host, port) as client:
+            handle = client.register(KnnSpec(point=(0.5, 0.5), k=2))
+            assert len(handle.snapshot()) == 2
+            drained = []
+            handle.subscribe(lambda ts, d: drained.append(d))
+            moved = handle.move((0.25, 0.25))
+            assert moved == client.snapshot(handle.qid)
+            assert handle.spec.point == (0.25, 0.25)
+            handle.terminate()
+            assert not handle.alive
+            assert drained and drained[-1].terminated
+            with pytest.raises(RuntimeError):
+                handle.snapshot()
+
+    def test_typed_specs_register_remotely(self, endpoint):
+        session, _server, host, port = endpoint
+        with Client.connect(host, port) as client:
+            constrained = client.register(
+                ConstrainedKnnSpec(
+                    point=(0.5, 0.5), region=(0.0, 0.0, 0.5, 0.5), k=2
+                )
+            )
+            ranged = client.register(RangeSpec(region=(0.4, 0.4, 0.7, 0.7)))
+            assert constrained.snapshot() == session.snapshot(constrained.qid)
+            assert ranged.snapshot() == session.snapshot(ranged.qid)
+            constrained.terminate()
+            ranged.terminate()
+
+    def test_app_errors_come_back_as_remote_errors(self, endpoint):
+        _session, _server, host, port = endpoint
+        with Client.connect(host, port) as client:
+            client.register(KnnSpec(point=(0.5, 0.5)), qid=123)
+            with pytest.raises(RemoteError, match="already"):
+                client.register(KnnSpec(point=(0.1, 0.1)), qid=123)
+            # The connection survives application errors.
+            assert client.snapshot(123) == client.handle(123).snapshot()
+
+    def test_raw_query_move_keeps_subscription_alive(self, endpoint):
+        """A raw MOVE query op must not reap the connection's topic
+        (only TERMINATE kills it)."""
+        from repro.updates import QueryUpdate, QueryUpdateKind
+
+        _session, _server, host, port = endpoint
+        with Client.connect(host, port) as client:
+            seen = []
+            handle = client.register(KnnSpec(point=(0.5, 0.5), k=2))
+            handle.subscribe(lambda ts, d: seen.append((ts, d.qid)))
+            client.send_query_update(
+                QueryUpdate(
+                    handle.qid, QueryUpdateKind.MOVE, (0.25, 0.25), 2
+                )
+            )
+            client.tick(timestamp=1)
+            moved_deltas = len(seen)
+            assert moved_deltas >= 1  # the move itself streams
+            # The topic must still be live on a later change.
+            client.send_query_update(
+                QueryUpdate(handle.qid, QueryUpdateKind.MOVE, (0.75, 0.75), 2)
+            )
+            client.tick(timestamp=2)
+            assert len(seen) > moved_deltas
+
+    def test_resubscribe_upgrades_include_unchanged(self, endpoint):
+        """Re-subscribing with include_unchanged=True replaces the
+        register-time watch instead of being silently dropped."""
+        session, _server, host, port = endpoint
+        with Client.connect(host, port) as client:
+            handle = client.register(KnnSpec(point=(0.5, 0.5), k=2))
+            [server_sub] = session.hub._by_qid[handle.qid]
+            assert server_sub.include_unchanged is False
+            handle.subscribe(lambda ts, d: None, include_unchanged=True)
+            [server_sub] = session.hub._by_qid[handle.qid]
+            assert server_sub.include_unchanged is True
+            handle.terminate()
+
+    def test_callback_exception_does_not_kill_connection(self, endpoint):
+        _session, _server, host, port = endpoint
+        with Client.connect(host, port) as client:
+            handle = client.register(KnnSpec(point=(0.5, 0.5), k=2))
+
+            def boom(ts, d):
+                raise ValueError("dashboard bug")
+
+            handle.subscribe(boom)
+            handle.move((0.2, 0.2))  # publishes a delta -> callback raises
+            assert client.callback_errors
+            # The connection is still serviceable.
+            assert client.snapshot(handle.qid) == handle.snapshot()
+
+    def test_request_from_delta_callback_raises_instead_of_deadlocking(
+        self, endpoint
+    ):
+        _session, _server, host, port = endpoint
+        with Client.connect(host, port) as client:
+            handle = client.register(KnnSpec(point=(0.5, 0.5), k=2))
+            outcome = []
+
+            def reenter(ts, d):
+                try:
+                    client.snapshot(handle.qid)
+                    outcome.append("no error")
+                except RemoteError as exc:
+                    outcome.append(str(exc))
+
+            handle.subscribe(reenter)
+            handle.move((0.2, 0.2))
+            assert outcome and "reader thread" in outcome[0]
+
+    def test_future_version_frames_rejected_with_error_frame(self, endpoint):
+        _session, _server, host, port = endpoint
+        raw = socket.create_connection((host, port), timeout=10.0)
+        try:
+            reader = raw.makefile("r", encoding="utf-8", newline="\n")
+            welcome = wire.decode_frame(reader.readline())
+            assert type(welcome) is wire.Welcome
+            assert wire.WIRE_VERSION in welcome.versions
+            raw.sendall(b'{"v":99,"t":"tick","ts":0}\n')
+            reply = wire.decode_frame(reader.readline())
+            assert type(reply) is wire.Error
+            assert "unsupported wire version" in reply.message
+        finally:
+            raw.close()
+
+
+class TestSocketFeed:
+    def test_socket_fed_ingest_matches_direct_replay(self, workload):
+        """The ingest driver behind a SocketFeed reproduces a direct
+        replay exactly (end state and per-cycle structure)."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def produce():
+            conn, _ = listener.accept()
+            try:
+                push_feed_to_socket(WorkloadFeed(workload), conn, updates_per_frame=7)
+            finally:
+                conn.close()
+                listener.close()
+
+        producer = threading.Thread(target=produce, daemon=True)
+        producer.start()
+        feed = SocketFeed.connect(
+            "127.0.0.1",
+            port,
+            initial_objects=workload.initial_objects,
+            initial_queries=workload.initial_queries,
+        )
+        monitor = CPMMonitor(cells_per_axis=CELLS)
+        driver = IngestDriver(WorkloadFeed(workload), MonitoringService(monitor))
+        socket_monitor = CPMMonitor(cells_per_axis=CELLS)
+        socket_driver = IngestDriver(feed, MonitoringService(socket_monitor))
+        driver.prime(k=SPEC.k)
+        socket_driver.prime(k=SPEC.k)
+        report = driver.run()
+        socket_report = socket_driver.run()
+        producer.join(timeout=10)
+        feed.close()
+
+        assert socket_report.n_cycles == report.n_cycles
+        assert socket_report.total_applied == report.total_applied
+        assert socket_monitor.result_table() == monitor.result_table()
+        assert socket_monitor.stats.snapshot() == monitor.stats.snapshot()
+
+    def test_socket_feed_rejects_foreign_frames(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(
+                (wire.encode_frame(wire.GetSnapshot(qid=1)) + "\n").encode()
+            )
+            feed = SocketFeed(b)
+            with pytest.raises(ValueError, match="not part of the"):
+                next(iter(feed.events()))
+        finally:
+            a.close()
+            b.close()
+
+    def test_socket_feed_carries_initial_populations(self):
+        feed = SocketFeed(
+            None,
+            initial_objects={1: (0.1, 0.2)},
+            initial_queries={9: (0.5, 0.5)},
+            install_ks={9: 4},
+        )
+        assert feed.initial_objects() == {1: (0.1, 0.2)}
+        assert feed.initial_queries() == {9: (0.5, 0.5)}
+        assert feed.install_k(9) == 4
+        assert feed.install_k(8, default=2) == 2

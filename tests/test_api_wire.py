@@ -1,0 +1,258 @@
+"""Wire-protocol tests: round-trip identity for every frame type,
+canonical re-encoding, and version/type rejection."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.api import wire
+from repro.api.queries import ConstrainedKnnSpec, KnnSpec, RangeSpec
+from repro.service.deltas import ResultDelta
+from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.tuples(finite, finite)
+oids = st.integers(min_value=0, max_value=2**40)
+entries = st.lists(
+    st.tuples(st.floats(min_value=0, max_value=1e6, allow_nan=False), oids),
+    max_size=6,
+).map(tuple)
+
+object_updates = st.one_of(
+    st.builds(ObjectUpdate, oids, points, points),          # move
+    st.builds(ObjectUpdate, oids, st.none(), points),       # appear
+    st.builds(ObjectUpdate, oids, points, st.none()),       # disappear
+)
+
+query_updates = st.one_of(
+    st.builds(
+        QueryUpdate,
+        oids,
+        st.sampled_from([QueryUpdateKind.INSERT, QueryUpdateKind.MOVE]),
+        points,
+        st.one_of(st.none(), st.integers(min_value=1, max_value=64)),
+    ),
+    st.builds(QueryUpdate, oids, st.just(QueryUpdateKind.TERMINATE)),
+)
+
+deltas = st.builds(
+    ResultDelta,
+    qid=oids,
+    incoming=entries,
+    outgoing=entries,
+    reordered=st.booleans(),
+    result=entries,
+    terminated=st.booleans(),
+)
+
+specs = st.one_of(
+    st.builds(KnnSpec, point=points, k=st.integers(min_value=1, max_value=64)),
+    st.builds(
+        ConstrainedKnnSpec,
+        point=points,
+        region=st.tuples(finite, finite, finite, finite).map(
+            lambda t: (min(t[0], t[2]), min(t[1], t[3]),
+                       max(t[0], t[2]), max(t[1], t[3]))
+        ),
+        k=st.integers(min_value=1, max_value=64),
+    ),
+    st.builds(
+        RangeSpec,
+        region=st.tuples(finite, finite, finite, finite).map(
+            lambda t: (min(t[0], t[2]), min(t[1], t[3]),
+                       max(t[0], t[2]), max(t[1], t[3]))
+        ),
+    ),
+)
+
+timestamps = st.one_of(st.none(), st.integers(min_value=0, max_value=2**40))
+
+frames = st.one_of(
+    st.builds(wire.Hello, client=st.text(max_size=20)),
+    st.builds(
+        wire.Welcome,
+        server=st.text(max_size=20),
+        versions=st.lists(
+            st.integers(min_value=1, max_value=9), min_size=1, max_size=3
+        ).map(tuple),
+    ),
+    st.builds(wire.Updates, updates=st.lists(object_updates, max_size=5).map(tuple)),
+    st.builds(wire.QueryOp, update=query_updates),
+    st.builds(wire.Tick, timestamp=timestamps),
+    st.builds(
+        wire.Ticked,
+        timestamp=timestamps,
+        changed=st.lists(oids, max_size=5).map(tuple),
+    ),
+    st.builds(
+        wire.Register,
+        spec=specs,
+        qid=st.one_of(st.none(), oids),
+        watch=st.booleans(),
+    ),
+    st.builds(wire.Registered, qid=oids, result=entries),
+    st.builds(wire.Move, qid=oids, point=points),
+    st.builds(wire.Terminate, qid=oids),
+    st.builds(wire.GetSnapshot, qid=oids),
+    st.builds(wire.Snapshot, qid=oids, result=entries),
+    st.builds(wire.Subscribe, qid=oids, include_unchanged=st.booleans()),
+    st.builds(wire.Unsubscribe, qid=oids),
+    st.builds(wire.Delta, timestamp=timestamps, delta=deltas),
+    st.builds(wire.Ok, op=st.sampled_from(["subscribe", "terminate"]),
+              qid=st.one_of(st.none(), oids)),
+    st.builds(wire.Error, message=st.text(max_size=40)),
+    st.builds(wire.Bye),
+)
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @given(frames)
+    def test_decode_encode_identity(self, frame):
+        """encode -> decode reproduces the frame object exactly."""
+        line = wire.encode_frame(frame)
+        assert wire.decode_frame(line) == frame
+
+    @given(frames)
+    def test_encoding_is_canonical(self, frame):
+        """decode -> encode reproduces the line byte for byte (what makes
+        delta streams comparable across process boundaries)."""
+        line = wire.encode_frame(frame)
+        assert wire.encode_frame(wire.decode_frame(line)) == line
+
+    @given(frames)
+    def test_one_line_ndjson(self, frame):
+        line = wire.encode_frame(frame)
+        assert "\n" not in line
+        obj = json.loads(line)
+        assert obj["v"] == wire.WIRE_VERSION
+        assert isinstance(obj["t"], str)
+
+    @given(frames)
+    def test_bytes_accepted(self, frame):
+        line = wire.encode_frame(frame)
+        assert wire.decode_frame(line.encode("utf-8")) == frame
+
+    def test_every_frame_type_covered(self):
+        """One hand-built example per frame type round-trips, and the
+        example list covers the full :data:`wire.Frame` union."""
+        import typing
+
+        examples = [
+            wire.Hello(client="c"),
+            wire.Welcome(server="s", versions=(1,)),
+            wire.Updates(updates=(ObjectUpdate(1, None, (0.5, 0.5)),)),
+            wire.QueryOp(update=QueryUpdate(2, QueryUpdateKind.TERMINATE)),
+            wire.Tick(timestamp=None),
+            wire.Ticked(timestamp=4, changed=(1, 2)),
+            wire.Register(spec=KnnSpec(point=(0.1, 0.2), k=3), qid=None),
+            wire.Registered(qid=9, result=((0.5, 1),)),
+            wire.Move(qid=9, point=(0.3, 0.4)),
+            wire.Terminate(qid=9),
+            wire.GetSnapshot(qid=9),
+            wire.Snapshot(qid=9, result=()),
+            wire.Subscribe(qid=9, include_unchanged=True),
+            wire.Unsubscribe(qid=9),
+            wire.Delta(
+                timestamp=None,
+                delta=ResultDelta(9, (), (), False, (), terminated=True),
+            ),
+            wire.Ok(op="subscribe", qid=9),
+            wire.Error(message="boom"),
+            wire.Bye(),
+        ]
+        assert {type(f) for f in examples} == set(typing.get_args(wire.Frame))
+        for frame in examples:
+            assert wire.decode_frame(wire.encode_frame(frame)) == frame
+
+
+class TestDeltaFrames:
+    def test_delta_encoding_shape(self):
+        delta = ResultDelta(
+            qid=7,
+            incoming=((0.5, 3),),
+            outgoing=((0.25, 9),),
+            reordered=True,
+            result=((0.5, 3), (0.75, 4)),
+            terminated=False,
+        )
+        obj = json.loads(wire.encode_delta(11, delta))
+        assert obj == {
+            "v": 1,
+            "t": "delta",
+            "ts": 11,
+            "qid": 7,
+            "in": [[0.5, 3]],
+            "out": [[0.25, 9]],
+            "reordered": True,
+            "result": [[0.5, 3], [0.75, 4]],
+            "terminated": False,
+        }
+
+    def test_install_delta_has_null_timestamp(self):
+        delta = ResultDelta(
+            qid=1, incoming=(), outgoing=(), reordered=False, result=(),
+            terminated=True,
+        )
+        obj = json.loads(wire.encode_delta(None, delta))
+        assert obj["ts"] is None
+
+
+# ----------------------------------------------------------------------
+# Rejection
+# ----------------------------------------------------------------------
+
+
+class TestRejection:
+    def test_unknown_version_rejected(self):
+        line = wire.encode_frame(wire.Tick(timestamp=3)).replace(
+            '"v":1', '"v":2', 1
+        )
+        with pytest.raises(wire.WireError, match="unsupported wire version"):
+            wire.decode_frame(line)
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(wire.WireError, match="unsupported wire version"):
+            wire.decode_frame('{"t":"tick","ts":0}')
+
+    @given(frames)
+    def test_future_version_rejected_for_every_frame(self, frame):
+        obj = json.loads(wire.encode_frame(frame))
+        obj["v"] = 99
+        with pytest.raises(wire.WireError, match="unsupported wire version"):
+            wire.decode_frame(json.dumps(obj))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(wire.WireError, match="unknown frame type"):
+            wire.decode_frame('{"v":1,"t":"frobnicate"}')
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(wire.WireError, match="malformed frame"):
+            wire.decode_frame("{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(wire.WireError, match="not an object"):
+            wire.decode_frame("[1,2,3]")
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(wire.WireError, match="bad 'move' frame"):
+            wire.decode_frame('{"v":1,"t":"move","qid":1}')
+
+    def test_unknown_spec_type_rejected(self):
+        with pytest.raises(wire.WireError, match="bad 'register' frame"):
+            wire.decode_frame(
+                '{"v":1,"t":"register","spec":{"type":"voronoi"},"qid":null,'
+                '"watch":true}'
+            )

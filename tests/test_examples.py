@@ -63,6 +63,12 @@ class TestExamples:
         assert "[install]" in out and "[t=0]" in out
         assert "+obj" in out and "-obj" in out
 
+    def test_remote_dashboard(self):
+        out = run_example("remote_dashboard.py")
+        assert "leaked topics: none" in out
+        assert "byte-identical: True" in out
+        assert '"t":"delta"' in out
+
     def test_streaming_feed(self):
         out = run_example("streaming_feed.py")
         assert "offline replay of the recorded stream: MATCHES" in out
@@ -87,5 +93,6 @@ class TestExamples:
             "drone_airspace.py",
             "partition_gallery.py",
             "live_dashboard.py",
+            "remote_dashboard.py",
             "streaming_feed.py",
         } <= present

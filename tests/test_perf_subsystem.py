@@ -362,6 +362,32 @@ class TestSuiteAndRunner:
         assert row.metrics["cell_scans"] == ref.metrics["cell_scans"]
         assert row.metrics["results_changed"] == ref.metrics["results_changed"]
 
+    def test_subscription_routing_case_matches_plain_counters(self):
+        """The delta-streaming replay must not change a single grid
+        counter, and its delivered-delta count must be deterministic."""
+        case = next(
+            c for c in build_suite(0.002, suite="smoke") if c.subscribed
+        )
+        workload = case.materialize()
+        row = run_case(case, workload, "CPM")
+        assert row.params["subscribed"] is True
+        assert row.params["watched_queries"] >= 1
+        assert row.metrics["deltas_delivered"] > 0
+        again = run_case(case, workload, "CPM")
+        assert row.metrics["deltas_delivered"] == again.metrics["deltas_delivered"]
+        plain = SuiteCase(
+            key="plain", workload=case.workload, spec=case.spec, grid=case.grid
+        )
+        ref = run_case(plain, workload, "CPM")
+        for metric in ("cell_scans", "cell_accesses_per_query_per_ts",
+                       "objects_scanned", "results_changed"):
+            assert row.metrics[metric] == ref.metrics[metric], metric
+
+    def test_subscription_routing_in_both_suites(self):
+        for suite in ("smoke", "full"):
+            keys = [c.key for c in build_suite(0.01, suite=suite)]
+            assert "subscription_routing/default" in keys
+
     def test_shard_cases_run_only_cpm(self):
         report = run_suite(0.002, suite="smoke")
         shard_rows = [c for c in report.cases if c.params.get("shards")]

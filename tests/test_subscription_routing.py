@@ -1,0 +1,111 @@
+"""SubscriptionHub per-query routing tests (the PR5 hub redesign)."""
+
+from repro.service.deltas import ResultDelta, diff_results
+from repro.service.subscriptions import SubscriptionHub
+
+
+def delta(qid: int, changed: bool = True) -> ResultDelta:
+    if changed:
+        return diff_results(qid, [], [(0.5, 1)])
+    return diff_results(qid, [(0.5, 1)], [(0.5, 1)])
+
+
+class TestTopicRouting:
+    def test_targeted_subscription_sees_only_its_topics(self):
+        hub = SubscriptionHub()
+        seen = []
+        hub.subscribe(lambda ts, d: seen.append(d.qid), qids=[2, 4])
+        hub.publish(0, {qid: delta(qid) for qid in range(6)})
+        assert seen == [2, 4]
+
+    def test_firehose_sees_every_topic_in_qid_order(self):
+        hub = SubscriptionHub()
+        seen = []
+        hub.subscribe(lambda ts, d: seen.append(d.qid))
+        hub.publish(0, {qid: delta(qid) for qid in (5, 1, 3)})
+        assert seen == [1, 3, 5]
+
+    def test_delivery_order_interleaves_by_registration(self):
+        hub = SubscriptionHub()
+        order = []
+        hub.subscribe(lambda ts, d: order.append(("targeted-1", d.qid)), qids=[1])
+        hub.subscribe(lambda ts, d: order.append(("fire", d.qid)))
+        hub.subscribe(lambda ts, d: order.append(("targeted-2", d.qid)), qids=[1])
+        hub.publish(0, {1: delta(1)})
+        assert order == [("targeted-1", 1), ("fire", 1), ("targeted-2", 1)]
+
+    def test_unchanged_deltas_filtered_unless_requested(self):
+        hub = SubscriptionHub()
+        changed_only, everything = [], []
+        hub.subscribe(lambda ts, d: changed_only.append(d.qid), qids=[1])
+        hub.subscribe(
+            lambda ts, d: everything.append(d.qid),
+            qids=[1],
+            include_unchanged=True,
+        )
+        delivered = hub.publish(0, {1: delta(1, changed=False)})
+        assert delivered == 1
+        assert changed_only == []
+        assert everything == [1]
+
+    def test_no_listener_topics_are_skipped_entirely(self):
+        hub = SubscriptionHub()
+        hub.subscribe(lambda ts, d: None, qids=[99])
+        delivered = hub.publish(0, {qid: delta(qid) for qid in range(5)})
+        assert delivered == 0
+
+
+class TestLifecycle:
+    def test_counts_and_active_flags(self):
+        hub = SubscriptionHub()
+        assert not hub.has_subscribers
+        a = hub.subscribe(lambda ts, d: None, qids=[1, 2])
+        b = hub.subscribe(lambda ts, d: None)
+        assert len(hub) == 2
+        assert hub.has_subscribers and hub.has_firehose
+        assert hub.watched_qids() == {1, 2}
+        assert a.active and b.active
+        a.close()
+        assert not a.active and b.active
+        assert hub.watched_qids() == set()
+        b.close()
+        b.close()  # idempotent
+        assert not hub.has_subscribers
+        assert not hub.has_firehose
+
+    def test_context_manager_unsubscribes(self):
+        hub = SubscriptionHub()
+        with hub.subscribe(lambda ts, d: None, qids=[7]) as subscription:
+            assert subscription.active
+        assert not subscription.active
+
+    def test_subscribe_query_shorthand(self):
+        hub = SubscriptionHub()
+        seen = []
+        subscription = hub.subscribe_query(3, lambda ts, d: seen.append(d.qid))
+        hub.publish(1, {2: delta(2), 3: delta(3)})
+        assert seen == [3]
+        assert subscription.delivered == 1
+
+    def test_callback_may_unsubscribe_during_delivery(self):
+        hub = SubscriptionHub()
+        seen = []
+        subscription = hub.subscribe_query(
+            1, lambda ts, d: (seen.append(d.qid), subscription.close())
+        )
+        hub.publish(0, {1: delta(1)})
+        hub.publish(1, {1: delta(1)})
+        assert seen == [1]
+
+    def test_callback_may_subscribe_during_delivery(self):
+        hub = SubscriptionHub()
+        late = []
+
+        def attach(ts, d):
+            hub.subscribe_query(2, lambda ts2, d2: late.append(d2.qid))
+
+        hub.subscribe_query(1, attach)
+        hub.publish(0, {1: delta(1), 2: delta(2)})
+        # The late subscription starts with the *next* publish.
+        hub.publish(1, {2: delta(2)})
+        assert late.count(2) >= 1
