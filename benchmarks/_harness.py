@@ -17,7 +17,7 @@ from __future__ import annotations
 import os
 
 from repro.engine.metrics import RunReport
-from repro.engine.server import run_workload
+from repro.api.session import replay_workload
 from repro.experiments.common import (
     build_monitor,
     make_workload,
@@ -49,7 +49,7 @@ def cached_workload(spec: WorkloadSpec) -> Workload:
 def replay(algorithm: str, workload: Workload, cells_per_axis: int) -> RunReport:
     """One full replay of a workload into a fresh monitor."""
     monitor = build_monitor(algorithm, cells_per_axis, bounds=workload.spec.bounds)
-    return run_workload(monitor, workload)
+    return replay_workload(monitor, workload)
 
 
 def run_benchmark_case(

@@ -15,7 +15,7 @@ quantify the contribution of each mechanism.
 import pytest
 
 from _harness import cached_workload, default_grid, default_spec
-from repro.engine.server import run_workload
+from repro.api.session import replay_workload
 from repro.experiments.ablations import VARIANTS, build_variant
 
 REGISTRY: dict = {}
@@ -24,7 +24,7 @@ REGISTRY: dict = {}
 def replay_variant(variant: str):
     workload = cached_workload(default_spec())
     monitor = build_variant(variant, default_grid(), workload.spec.bounds)
-    return run_workload(monitor, workload)
+    return replay_workload(monitor, workload)
 
 
 @pytest.mark.parametrize("variant", VARIANTS)

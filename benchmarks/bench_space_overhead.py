@@ -16,7 +16,7 @@ from repro.analysis.space import (
     modeled_space_units,
     units_to_mbytes,
 )
-from repro.engine.server import run_workload
+from repro.api.session import replay_workload
 from repro.experiments.common import build_monitor
 
 REGISTRY: dict = {}
@@ -25,7 +25,7 @@ REGISTRY: dict = {}
 def replay_and_measure(algorithm: str) -> float:
     workload = cached_workload(default_spec())
     monitor = build_monitor(algorithm, default_grid())
-    run_workload(monitor, workload)
+    replay_workload(monitor, workload)
     return measured_space_units(monitor)
 
 

@@ -15,7 +15,7 @@ import argparse
 
 from repro import (
     BruteForceMonitor,
-    MonitoringServer,
+    replay_workload,
 )
 from repro.experiments.common import (
     build_monitor,
@@ -43,11 +43,14 @@ def main(argv: list[str] | None = None) -> None:
     rows = []
     logs = {}
     for name in ("CPM", "YPK-CNN", "SEA-CNN"):
-        server = MonitoringServer(
-            build_monitor(name, grid), workload, collect_results=True
+        log: list = []
+        report = replay_workload(
+            build_monitor(name, grid),
+            workload,
+            collect_results=True,
+            result_log=log,
         )
-        report = server.run()
-        logs[name] = server.result_log
+        logs[name] = log
         rows.append([
             name,
             f"{report.total_processing_sec:.3f}",
@@ -56,8 +59,10 @@ def main(argv: list[str] | None = None) -> None:
             report.total_results_changed,
         ])
 
-    brute = MonitoringServer(BruteForceMonitor(), workload, collect_results=True)
-    brute.run()
+    brute_log: list = []
+    replay_workload(
+        BruteForceMonitor(), workload, collect_results=True, result_log=brute_log
+    )
 
     print()
     print(format_table(
@@ -74,7 +79,7 @@ def main(argv: list[str] | None = None) -> None:
             for table in log
         ]
 
-    reference = distances(brute.result_log)
+    reference = distances(brute_log)
     ok = all(distances(logs[name]) == reference for name in logs)
     print(f"\nall algorithms agree with brute force on every cycle: {ok}")
 

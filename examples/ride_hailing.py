@@ -16,9 +16,9 @@ from repro import (
     BrinkhoffGenerator,
     BruteForceMonitor,
     CPMMonitor,
-    MonitoringServer,
     WorkloadSpec,
     grid_network,
+    replay_workload,
 )
 
 
@@ -41,12 +41,17 @@ def main() -> None:
         f"{spec.n_objects} taxis, {spec.n_queries} riders"
     )
 
-    cpm_server = MonitoringServer(
-        CPMMonitor(cells_per_axis=32), workload, collect_results=True
+    cpm_log: list = []
+    brute_log: list = []
+    cpm_report = replay_workload(
+        CPMMonitor(cells_per_axis=32),
+        workload,
+        collect_results=True,
+        result_log=cpm_log,
     )
-    brute_server = MonitoringServer(BruteForceMonitor(), workload, collect_results=True)
-    cpm_report = cpm_server.run()
-    brute_server.run()
+    replay_workload(
+        BruteForceMonitor(), workload, collect_results=True, result_log=brute_log
+    )
 
     # Verify: CPM's answer distances equal brute force at every timestamp
     # (ids may differ only on exact distance ties).
@@ -55,7 +60,7 @@ def main() -> None:
 
     mismatches = sum(
         1
-        for got, want in zip(cpm_server.result_log, brute_server.result_log)
+        for got, want in zip(cpm_log, brute_log)
         if dist_table(got) != dist_table(want)
     )
     print(f"verification: {mismatches} mismatching cycles (expected 0)")
@@ -63,7 +68,7 @@ def main() -> None:
     # Show one rider's taxi feed over time.
     rider = sorted(workload.initial_queries)[0]
     print(f"\nrider {rider}: nearest taxi over time")
-    for t, table in enumerate(cpm_server.result_log[1:], start=0):
+    for t, table in enumerate(cpm_log[1:], start=0):
         dist, taxi = table[rider][0]
         print(f"  t={t:2d}: taxi {taxi:4d} at {dist:.4f}")
 

@@ -24,9 +24,14 @@ paper-to-module map.
 
 from repro.analysis import model as analysis_model
 from repro.api.client import Client
-from repro.api.queries import ConstrainedKnnSpec, KnnSpec, RangeSpec
+from repro.api.queries import (
+    ConstrainedKnnSpec,
+    FilteredKnnSpec,
+    KnnSpec,
+    RangeSpec,
+)
 from repro.api.server import MonitorSocketServer
-from repro.api.session import QueryHandle, Session
+from repro.api.session import QueryHandle, Session, replay_workload
 from repro.baselines.brute import BruteForceMonitor
 from repro.baselines.naive_grid import naive_nn_search, naive_strategy_search
 from repro.baselines.sea import SeaCnnMonitor
@@ -38,11 +43,11 @@ from repro.core.range_monitor import GridRangeMonitor
 from repro.core.strategies import (
     AggregateNNStrategy,
     ConstrainedStrategy,
+    FilteredStrategy,
     PointNNStrategy,
     QueryStrategy,
 )
 from repro.engine.metrics import CycleMetrics, RunReport
-from repro.engine.server import MonitoringServer, run_workload
 from repro.geometry.aggregates import adist
 from repro.geometry.points import dist
 from repro.geometry.rects import Rect
@@ -64,7 +69,11 @@ from repro.monitor import ContinuousMonitor
 from repro.service.deltas import ResultDelta, diff_results
 from repro.service.service import MonitoringService
 from repro.service.sharding import ShardedMonitor, ShardPlan
-from repro.service.subscriptions import SubscriptionHub
+from repro.service.subscriptions import (
+    FanoutQueue,
+    SlowConsumerPolicy,
+    SubscriptionHub,
+)
 from repro.updates import (
     FlatUpdateBatch,
     ObjectUpdate,
@@ -78,6 +87,17 @@ from repro.updates import (
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name: str):
+    # Deprecated replay shim: imported lazily so ``import repro`` stays
+    # warning-free while ``repro.MonitoringServer`` / ``repro.run_workload``
+    # keep resolving (with the shim's DeprecationWarning) until removal.
+    if name in ("MonitoringServer", "run_workload"):
+        from repro.engine import server as _server
+
+        return getattr(_server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "AggregateNNStrategy",
     "BrinkhoffGenerator",
@@ -89,6 +109,9 @@ __all__ = [
     "ConstrainedStrategy",
     "ContinuousMonitor",
     "CycleMetrics",
+    "FanoutQueue",
+    "FilteredKnnSpec",
+    "FilteredStrategy",
     "FlatUpdateBatch",
     "GeneratorFeed",
     "Grid",
@@ -115,6 +138,7 @@ __all__ = [
     "SeaCnnMonitor",
     "Session",
     "ShardPlan",
+    "SlowConsumerPolicy",
     "ShardedMonitor",
     "SocketFeed",
     "SubscriptionHub",
@@ -136,5 +160,6 @@ __all__ = [
     "naive_nn_search",
     "naive_strategy_search",
     "random_geometric_network",
+    "replay_workload",
     "run_workload",
 ]

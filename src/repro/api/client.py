@@ -23,7 +23,8 @@ from __future__ import annotations
 import queue
 import socket
 import threading
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
 
 from repro.api import wire
 from repro.api.queries import QuerySpec
@@ -33,6 +34,19 @@ from repro.updates import ObjectUpdate, QueryUpdate
 
 ResultEntry = tuple[float, int]
 DeltaCallback = Callable[[int | None, ResultDelta], None]
+
+
+@dataclass(slots=True)
+class SyncState:
+    """What :meth:`Client.sync` brought over: the handles of every query
+    registered on the session (with their synced results) and, when
+    requested, the object table rows ``(oid, (x, y), tags-or-None)``."""
+
+    handles: list["RemoteQueryHandle"] = field(default_factory=list)
+    results: dict[int, list[ResultEntry]] = field(default_factory=dict)
+    objects: list[tuple[int, Point, tuple[str, ...] | None]] = field(
+        default_factory=list
+    )
 
 
 class RemoteError(RuntimeError):
@@ -138,6 +152,10 @@ class Client:
         #: remote-dashboard example prove the server routes only the
         #: topics this connection asked for.
         self.delta_frame_log: list[wire.Delta] | None = None
+        #: dropped-delivery counts from ``lagged`` frames (the server's
+        #: DROP_AND_SNAPSHOT slow-consumer policy shed deltas for this
+        #: connection; re-snapshot what you watch).
+        self.lag_events: list[int] = []
         #: the server's ``welcome`` frame (name + supported versions).
         self.welcome: wire.Welcome = self._read_welcome()
         if wire.WIRE_VERSION not in self.welcome.versions:
@@ -163,6 +181,9 @@ class Client:
     ) -> "Client":
         sock = socket.create_connection((host, port), timeout=timeout)
         sock.settimeout(None)
+        # Request/response frames are small; Nagle + delayed ACK would
+        # add ~40ms to every round trip.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         return cls(sock, client_name=client_name)
 
     # ------------------------------------------------------------------
@@ -193,6 +214,8 @@ class Client:
                 kind = type(frame)
                 if kind is wire.Delta:
                     self._dispatch_delta(frame)
+                elif kind is wire.Lagged:
+                    self.lag_events.append(frame.dropped)
                 elif kind is wire.Bye:
                     break
                 else:
@@ -274,6 +297,69 @@ class Client:
     def snapshot(self, qid: int) -> list[ResultEntry]:
         reply = self._request(wire.GetSnapshot(qid=qid), wire.Snapshot)
         return list(reply.result)
+
+    def set_object_tags(self, tags: Mapping[int, Iterable[str]]) -> None:
+        """Merge object attribute tags on the remote monitor (the
+        predicate state of :class:`repro.api.queries.FilteredKnnSpec`
+        subscriptions); an empty tag set removes an object's tags."""
+        rows = tuple(
+            (int(oid), tuple(sorted(str(t) for t in tag_set)))
+            for oid, tag_set in tags.items()
+        )
+        self._request(wire.Tags(rows=rows), wire.Ok)
+
+    def sync(self, *, objects: bool = False, watch: bool = True) -> SyncState:
+        """Cold-start: mirror the server session's current state.
+
+        Streams every registered query (spec + current result) — and the
+        object table when ``objects`` is set — building a
+        :class:`RemoteQueryHandle` for each query so a fresh client can
+        adopt a long-running session entirely over the wire.
+        ``watch=True`` also subscribes this connection to every synced
+        query's delta topic.
+        """
+        if threading.current_thread() is self._reader_thread:
+            raise RemoteError(
+                "requests cannot be issued from inside a delta callback "
+                "(it runs on the reader thread); hand off to another thread"
+            )
+        state = SyncState()
+        with self._request_lock:
+            if self._closed.is_set():
+                raise RemoteError(self._closed_reason())
+            self._send(wire.Sync(objects=objects, watch=watch))
+            # The sync stream is a multi-frame reply; requests are
+            # serialized, so everything until sync_done belongs to us.
+            while True:
+                reply = self._replies.get()
+                if reply is None:
+                    raise RemoteError(
+                        f"{self._closed_reason()} while waiting for sync"
+                    )
+                kind = type(reply)
+                if kind is wire.Error:
+                    raise RemoteError(reply.message)
+                if kind is wire.SyncObjects:
+                    state.objects.extend(reply.rows)
+                elif kind is wire.SyncQuery:
+                    handle = self._handles.get(reply.qid)
+                    if handle is None:
+                        handle = RemoteQueryHandle(self, reply.qid, reply.spec)
+                        self._handles[reply.qid] = handle
+                    state.handles.append(handle)
+                    state.results[reply.qid] = list(reply.result)
+                elif kind is wire.SyncDone:
+                    if len(state.handles) != reply.queries or (
+                        len(state.objects) != reply.objects
+                    ):
+                        raise RemoteError(
+                            f"sync stream incomplete: got "
+                            f"{len(state.handles)}/{reply.queries} queries, "
+                            f"{len(state.objects)}/{reply.objects} objects"
+                        )
+                    return state
+                else:
+                    raise RemoteError(f"unexpected frame during sync: {reply!r}")
 
     def send_updates(self, object_updates: Sequence[ObjectUpdate]) -> None:
         """Stage object updates for the next :meth:`tick` (no reply)."""

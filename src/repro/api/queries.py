@@ -26,6 +26,17 @@ Monitoring for Location-aware Pub/Sub* — treats each as one topic):
   vocabulary with distances measured from the rectangle's center.
   Installed as a constrained query with an effectively unbounded ``k``,
   so the one CPM engine (and the one delta stream) serves ranges too.
+* :class:`FilteredKnnSpec` — attribute-filtered k-NN (the pub/sub
+  subscription type): the k nearest objects carrying **all** of the
+  spec's tags, optionally also constrained to a rectangle.  Rides the
+  same strategy machinery (:class:`repro.core.strategies.FilteredStrategy`)
+  and the engine's per-monitor tag table
+  (:meth:`repro.monitor.ContinuousMonitor.set_object_tags`).
+
+The strategy-backed specs install on any strategy-capable engine — the
+CPM core directly, or the sharded service tier, which routes them to the
+shard owning the spec's anchor cell (every shard maintains the full
+object view, so anchor routing is a pure load-balancing choice).
 
 All specs expose ``anchor`` (the representative point used for shard
 routing and ``move``) and ``moved_to(point)`` (the same spec re-anchored
@@ -121,9 +132,40 @@ class RangeSpec:
         return RangeSpec(region=Rect(r.x0 + dx, r.y0 + dy, r.x1 + dx, r.y1 + dy))
 
 
-QuerySpec = Union[KnnSpec, ConstrainedKnnSpec, RangeSpec]
+@dataclass(frozen=True, slots=True)
+class FilteredKnnSpec:
+    """Continuous attribute-filtered k-NN: the nearest ``k`` objects
+    carrying every tag in ``tags`` (optionally inside ``region``)."""
 
-_SPEC_TYPES = (KnnSpec, ConstrainedKnnSpec, RangeSpec)
+    point: Point
+    k: int = 1
+    tags: tuple[str, ...] = ()
+    region: Rect | None = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        normalized = tuple(sorted({str(t) for t in self.tags}))
+        if not normalized:
+            raise ValueError("a filtered query needs at least one tag")
+        object.__setattr__(self, "tags", normalized)
+        if self.region is not None:
+            object.__setattr__(self, "region", as_rect(self.region))
+
+    @property
+    def anchor(self) -> Point:
+        return self.point
+
+    def moved_to(self, point: Point) -> "FilteredKnnSpec":
+        """Re-anchor the query point; tags and region stay put."""
+        return FilteredKnnSpec(
+            point=point, k=self.k, tags=self.tags, region=self.region
+        )
+
+
+QuerySpec = Union[KnnSpec, ConstrainedKnnSpec, RangeSpec, FilteredKnnSpec]
+
+_SPEC_TYPES = (KnnSpec, ConstrainedKnnSpec, RangeSpec, FilteredKnnSpec)
 
 
 def install_spec(monitor, qid: int, spec: QuerySpec):
@@ -131,9 +173,10 @@ def install_spec(monitor, qid: int, spec: QuerySpec):
 
     :class:`KnnSpec` goes through the universal
     ``ContinuousMonitor.install_query``; the strategy-backed specs need
-    the CPM strategy surface (``install_strategy_query``) and raise
-    :class:`TypeError` against engines that lack it (the baselines, the
-    sharded monitor — whose routing only understands point queries).
+    a strategy-capable engine (``install_strategy_query`` — the CPM core,
+    the brute-force reference, or the sharded service tier, which routes
+    by the spec's anchor cell) and raise :class:`TypeError` against
+    engines that lack it (the YPK/SEA baselines).
     """
     if isinstance(spec, KnnSpec):
         return monitor.install_query(qid, spec.point, spec.k)
@@ -144,15 +187,24 @@ def install_spec(monitor, qid: int, spec: QuerySpec):
         raise TypeError(
             f"{type(monitor).__name__} supports only plain k-NN specs; "
             f"{type(spec).__name__} needs a strategy-capable engine "
-            "(repro.core.cpm.CPMMonitor)"
+            "(repro.core.cpm.CPMMonitor or the sharded service tier)"
         )
-    from repro.core.strategies import ConstrainedStrategy, PointNNStrategy
+    from repro.core.strategies import (
+        ConstrainedStrategy,
+        FilteredStrategy,
+        PointNNStrategy,
+    )
 
     if isinstance(spec, ConstrainedKnnSpec):
         strategy = ConstrainedStrategy(
             PointNNStrategy(spec.point[0], spec.point[1]), spec.region
         )
         return install(qid, strategy, spec.k)
+    if isinstance(spec, FilteredKnnSpec):
+        inner: "QueryStrategy" = PointNNStrategy(spec.point[0], spec.point[1])
+        if spec.region is not None:
+            inner = ConstrainedStrategy(inner, spec.region)
+        return install(qid, FilteredStrategy(inner, spec.tags), spec.k)
     cx, cy = spec.anchor
     strategy = ConstrainedStrategy(PointNNStrategy(cx, cy), spec.region)
     return install(qid, strategy, RANGE_K)
@@ -177,6 +229,15 @@ def spec_to_wire(spec: QuerySpec) -> dict:
     if isinstance(spec, RangeSpec):
         r = spec.region
         return {"type": "range", "region": [r.x0, r.y0, r.x1, r.y1]}
+    if isinstance(spec, FilteredKnnSpec):
+        r = spec.region
+        return {
+            "type": "filtered",
+            "point": [spec.point[0], spec.point[1]],
+            "k": spec.k,
+            "tags": list(spec.tags),
+            "region": None if r is None else [r.x0, r.y0, r.x1, r.y1],
+        }
     raise TypeError(f"not a query spec: {spec!r}")
 
 
@@ -195,4 +256,13 @@ def spec_from_wire(obj: dict) -> QuerySpec:
         )
     if kind == "range":
         return RangeSpec(region=as_rect(obj["region"]))
+    if kind == "filtered":
+        x, y = obj["point"]
+        region = obj.get("region")
+        return FilteredKnnSpec(
+            point=(float(x), float(y)),
+            k=int(obj.get("k", 1)),
+            tags=tuple(str(t) for t in obj["tags"]),
+            region=None if region is None else as_rect(region),
+        )
     raise ValueError(f"unknown query spec type {kind!r}")

@@ -11,12 +11,22 @@ directly (e.g. a server-side feed) must hold the same lock, or use
 :meth:`tick`.
 
 Delta delivery rides the hub's per-query routing: a ``subscribe`` frame
-registers a per-qid subscription whose callback encodes the delta and
-writes it to that connection.  Because the deltas produced by a ``tick``
-frame are published *before* the ``ticked`` reply is written — and TCP
-preserves order — a client has received every delta of a cycle by the
-time it sees the cycle's ``ticked`` frame.  That ordering is what makes
-remote delta streams byte-comparable with in-process runs.
+registers a per-qid subscription whose callback *enqueues* the delta on
+the connection's bounded outbox (:class:`repro.service.subscriptions.
+FanoutQueue`); a per-connection writer thread encodes and sends.  The
+hub's publish loop therefore never blocks on a socket — a stalled
+client costs O(1) per delta until its outbox fills, at which point the
+server's :class:`SlowConsumerPolicy` fires (disconnect the laggard, or
+drop its queued deltas and send a ``lagged`` marker) instead of
+extending ``publish_sec`` for everyone else.
+
+Every outbound frame of one connection flows through the same FIFO
+outbox, so the v1 ordering contract survives the async tier: the deltas
+produced by a ``tick`` frame are enqueued *before* the ``ticked`` reply
+— and TCP preserves order — so a client has received every delta of a
+cycle by the time it sees the cycle's ``ticked`` frame.  That ordering
+is what makes remote delta streams byte-comparable with in-process
+runs.
 """
 
 from __future__ import annotations
@@ -26,8 +36,15 @@ import threading
 
 from repro.api import wire
 from repro.api.session import Session
-from repro.service.subscriptions import Subscription
+from repro.service.subscriptions import (
+    FanoutQueue,
+    SlowConsumerPolicy,
+    Subscription,
+)
 from repro.updates import QueryUpdateKind
+
+#: rows per ``sync_objects`` chunk of the cold-start stream.
+SYNC_CHUNK = 512
 
 
 class _Connection:
@@ -37,37 +54,59 @@ class _Connection:
         self.server = server
         self.sock = sock
         self.reader = sock.makefile("r", encoding="utf-8", newline="\n")
-        self.write_lock = threading.Lock()
         #: qid -> hub subscription feeding this connection.
         self.subscriptions: dict[int, Subscription] = {}
         #: updates staged by ``updates`` / ``query`` frames until ``tick``.
         self.staged_objects: list = []
         self.staged_queries: list = []
         self.closed = False
+        #: bounded outbound queue; its writer thread owns the send side.
+        #: Deltas ride as ``(timestamp, delta)`` pairs and are encoded on
+        #: the writer thread, keeping the hub's enqueue O(1) regardless
+        #: of result width.
+        self.outbox = FanoutQueue(
+            self._write_item,
+            limit=server.outbound_limit,
+            policy=server.slow_consumer,
+            lag_factory=lambda dropped: wire.Lagged(dropped=dropped),
+            on_overflow=lambda: self.close(flush=False),
+            name=f"conn-{sock.fileno()}",
+        )
 
     # -- writing -------------------------------------------------------
 
+    def _write_item(self, item) -> None:
+        """Writer-thread sink: encode (late, for deltas) and send."""
+        if type(item) is tuple:
+            line = wire.encode_delta(item[0], item[1])
+        else:
+            line = wire.encode_frame(item)
+        self.sock.sendall((line + "\n").encode("utf-8"))
+
     def send(self, frame: wire.Frame) -> None:
-        data = (wire.encode_frame(frame) + "\n").encode("utf-8")
-        try:
-            with self.write_lock:
-                self.sock.sendall(data)
-        except OSError:
-            self.closed = True
+        self.outbox.put(frame)
 
     def deliver(self, timestamp: int | None, delta) -> None:
-        """Hub callback: one subscribed delta out to the client."""
-        self.send(wire.Delta(timestamp=timestamp, delta=delta))
+        """Hub callback: enqueue one subscribed delta (droppable — the
+        DROP_AND_SNAPSHOT policy may shed it under backpressure)."""
+        self.outbox.put((timestamp, delta), droppable=True)
 
     # -- teardown ------------------------------------------------------
 
-    def close(self) -> None:
+    def close(self, *, flush: bool = True) -> None:
+        """Tear the connection down.  Orderly closes flush the outbox
+        first so queued replies (``error``, ``bye``) still reach the
+        peer; overflow disconnects skip the flush — the peer is stalled,
+        waiting on it would be the very head-of-line blocking the policy
+        exists to prevent."""
         if self.closed:
             return
         self.closed = True
         for subscription in self.subscriptions.values():
             subscription.close()
         self.subscriptions.clear()
+        if flush:
+            self.outbox.join(timeout=2.0)
         try:
             self.sock.shutdown(socket.SHUT_RDWR)
         except OSError:
@@ -76,6 +115,8 @@ class _Connection:
             self.sock.close()
         except OSError:
             pass
+        # The shutdown above errors out a writer blocked in sendall.
+        self.outbox.close(flush=False, timeout=1.0)
 
 
 class MonitorSocketServer:
@@ -86,6 +127,12 @@ class MonitorSocketServer:
         host/port: bind address; port 0 picks a free port (see
             :attr:`address` after :meth:`start`).
         name: server string echoed in the ``welcome`` frame.
+        outbound_limit: per-connection outbox bound (frames) before the
+            slow-consumer policy fires.
+        slow_consumer: what happens to a connection that cannot drain
+            its outbox (see :class:`SlowConsumerPolicy`).
+        sndbuf: ``SO_SNDBUF`` applied to accepted sockets; small values
+            make kernel buffering deterministic for backpressure tests.
     """
 
     def __init__(
@@ -95,9 +142,15 @@ class MonitorSocketServer:
         port: int = 0,
         *,
         name: str = "repro-monitor",
+        outbound_limit: int = 1024,
+        slow_consumer: SlowConsumerPolicy = SlowConsumerPolicy.DISCONNECT,
+        sndbuf: int | None = None,
     ) -> None:
         self.session = session
         self.name = name
+        self.outbound_limit = outbound_limit
+        self.slow_consumer = slow_consumer
+        self.sndbuf = sndbuf
         #: guards every engine-touching operation (register/tick/...).
         self.lock = threading.RLock()
         self._host = host
@@ -185,6 +238,11 @@ class MonitorSocketServer:
                 client_sock, _addr = self._sock.accept()
             except OSError:
                 break
+            client_sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if self.sndbuf is not None:
+                client_sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_SNDBUF, self.sndbuf
+                )
             conn = _Connection(self, client_sock)
             self._connections.append(conn)
             conn.send(
@@ -318,8 +376,58 @@ class MonitorSocketServer:
                 subscription.close()
             conn.send(wire.Ok(op="unsubscribe", qid=frame.qid))
             return
+        if kind is wire.Tags:
+            with self.lock:
+                session.set_object_tags(
+                    {oid: set(tags) for oid, tags in frame.rows}
+                )
+            conn.send(wire.Ok(op="tags"))
+            return
+        if kind is wire.Sync:
+            self._sync(conn, frame)
+            return
         if kind is wire.Hello:
             return  # the welcome already went out on accept
         raise wire.WireError(
             f"frame {wire.encode_frame(frame)!r} is not valid client->server"
         )
+
+    def _sync(self, conn: _Connection, frame: wire.Sync) -> None:
+        """Cold-start stream: the state a fresh client needs to mirror
+        this session — the object table (on request), every registered
+        query with its spec and current result, then ``sync_done``.
+
+        Everything is captured under the server lock, but the frames go
+        out through the outbox like any other traffic, so a huge sync
+        never stalls the monitoring cycle either.
+        """
+        session = self.session
+        with self.lock:
+            monitor = session.service.monitor
+            n_objects = 0
+            if frame.objects:
+                tag_table = getattr(monitor, "_object_tags", None) or {}
+                rows = []
+                for oid, point in monitor.iter_objects():
+                    tags = tag_table.get(oid)
+                    rows.append(
+                        (oid, point, None if tags is None else tuple(sorted(tags)))
+                    )
+                    n_objects += 1
+                    if len(rows) >= SYNC_CHUNK:
+                        conn.send(wire.SyncObjects(rows=tuple(rows)))
+                        rows = []
+                if rows:
+                    conn.send(wire.SyncObjects(rows=tuple(rows)))
+            handles = session.handles()
+            for handle in handles:
+                conn.send(
+                    wire.SyncQuery(
+                        qid=handle.qid,
+                        spec=handle.spec,
+                        result=tuple(handle.snapshot()),
+                    )
+                )
+                if frame.watch:
+                    self._subscribe(conn, handle.qid, include_unchanged=False)
+        conn.send(wire.SyncDone(queries=len(handles), objects=n_objects))

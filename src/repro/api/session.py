@@ -17,9 +17,9 @@ a bare engine) and exposes the client vocabulary:
   monitoring cycle exactly like the service does.
 
 The same surface exists remotely: :class:`repro.api.client.Client`
-mirrors it over the ndjson wire protocol, and the replay engine
-(:class:`repro.engine.server.MonitoringServer`) is a deprecation shim
-over :meth:`Session.replay`.
+mirrors it over the ndjson wire protocol.  Workload replay lives here
+too — :meth:`Session.replay`, or the one-shot :func:`replay_workload`
+(the deprecated ``repro.engine.server`` shim delegates to them).
 """
 
 from __future__ import annotations
@@ -195,6 +195,17 @@ class Session:
     def load_objects(self, objects: Iterable[tuple[int, Point]]) -> None:
         self.service.load_objects(objects)
 
+    def set_object_tags(self, tags) -> None:
+        """Merge attribute tags into the monitor's object tag table.
+
+        Tags are the predicate state of filtered subscriptions
+        (:class:`repro.api.queries.FilteredKnnSpec`): a filtered query
+        only ever returns objects carrying all of its tags.  Tag changes
+        take effect from the next cycle that touches the object (see
+        :meth:`repro.monitor.ContinuousMonitor.set_object_tags`).
+        """
+        self.service.set_object_tags(tags)
+
     def register(self, spec: QuerySpec, *, qid: int | None = None) -> QueryHandle:
         """Install a typed query and return its handle.
 
@@ -333,10 +344,8 @@ class Session:
 
         This is the paper's simulation loop (load, install, then one
         ``tick`` per timestamp with per-cycle timing and counter
-        snapshots), lifted onto the session so the deprecated
-        :class:`repro.engine.server.MonitoringServer` can be a thin shim
-        over it.  ``result_log`` (when ``collect_results``) receives the
-        per-cycle ``{qid: result}`` tables, install snapshot first.
+        snapshots).  ``result_log`` (when ``collect_results``) receives
+        the per-cycle ``{qid: result}`` tables, install snapshot first.
         """
         # Local import: repro.engine.server imports this module at load
         # time; importing engine.metrics lazily keeps the cycle open.
@@ -404,3 +413,29 @@ class Session:
 
     def __exit__(self, *_exc) -> None:
         self.close()
+
+
+def replay_workload(
+    monitor: ContinuousMonitor | MonitoringService,
+    workload,
+    *,
+    collect_results: bool = False,
+    result_log: list | None = None,
+    on_cycle=None,
+):
+    """One-shot replay of a workload into a monitor (or service).
+
+    The module-level convenience that replaced the deprecated
+    ``repro.engine.server.run_workload``: builds a throwaway
+    :class:`Session` (reusing the hub when handed a
+    :class:`MonitoringService`) and runs :meth:`Session.replay`.
+    ``result_log`` receives the per-cycle ``{qid: result}`` tables when
+    ``collect_results`` is set (install snapshot first).
+    """
+    session = Session(monitor)
+    return session.replay(
+        workload,
+        collect_results=collect_results,
+        on_cycle=on_cycle,
+        result_log=result_log,
+    )

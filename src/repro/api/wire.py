@@ -3,9 +3,15 @@
 One frame = one JSON object = one ``\\n``-terminated line.  Every frame
 carries the protocol version under ``"v"`` and its type under ``"t"``;
 decoding rejects unknown versions and unknown types up front, so a
-future v2 can change any frame shape without silently corrupting v1
-peers (the versioning policy is documented in the README's client-API
-section).
+future version can change any frame shape without silently corrupting
+older peers (the versioning policy is documented in the README's
+client-API section).
+
+**v2** added the pub/sub vocabulary — attribute tags, filtered
+subscriptions, the cold-start sync handshake and the slow-consumer lag
+marker — without reshaping any v1 frame, so v1 lines still decode
+(:data:`SUPPORTED_VERSIONS`); everything this module *encodes* is
+stamped v2, which a strict v1 peer rejects loudly at the first frame.
 
 The frame vocabulary mirrors the in-process client surface
 (:mod:`repro.api.session`) plus the ingestion vocabulary
@@ -29,6 +35,12 @@ frame                 direction  meaning
 :class:`Subscribe`    c -> s     route this query's deltas to me
 :class:`Unsubscribe`  c -> s     stop routing them
 :class:`Delta`        s -> c     one per-query result delta
+:class:`Tags`         c -> s     merge object attribute tags (v2)
+:class:`Sync`         c -> s     cold-start: stream current state (v2)
+:class:`SyncObjects`  s -> c     one chunk of the object table (v2)
+:class:`SyncQuery`    s -> c     one registered query + its result (v2)
+:class:`SyncDone`     s -> c     cold-start stream complete (v2)
+:class:`Lagged`       s -> c     deltas dropped by slow-consumer policy (v2)
 :class:`Ok`           s -> c     generic acknowledgement (op echoed)
 :class:`Error`        s -> c     request failed (message echoed)
 :class:`Bye`          both       orderly shutdown
@@ -55,11 +67,12 @@ from repro.geometry.points import Point
 from repro.service.deltas import ResultDelta
 from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind
 
-#: the protocol version this module speaks.
-WIRE_VERSION = 1
+#: the protocol version this module speaks (stamps every encoded frame).
+WIRE_VERSION = 2
 
-#: versions :func:`decode_frame` accepts.
-SUPPORTED_VERSIONS = (1,)
+#: versions :func:`decode_frame` accepts.  v2 is additive over v1 (new
+#: frame types only, no reshapes), so v1 lines still parse.
+SUPPORTED_VERSIONS = (1, 2)
 
 ResultEntry = tuple[float, int]
 
@@ -167,6 +180,61 @@ class Delta:
 
 
 @dataclass(frozen=True, slots=True)
+class Tags:
+    """Merge object attribute tags (the filtered-subscription predicate
+    state).  Rows are ``[oid, [tag, ...]]``; an empty tag list removes
+    the object's tags."""
+
+    rows: tuple[tuple[int, tuple[str, ...]], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Sync:
+    """Cold-start request: stream the server's current state.
+
+    The server answers with zero or more :class:`SyncObjects` chunks
+    (iff ``objects`` is set), one :class:`SyncQuery` per query this
+    connection registered, then :class:`SyncDone`.  ``watch`` upgrades
+    every synced query to a subscribed one in the same breath."""
+
+    objects: bool = False
+    watch: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class SyncObjects:
+    """One chunk of the object table.  Rows are
+    ``[oid, [x, y], tags-or-null]``."""
+
+    rows: tuple[tuple[int, Point, tuple[str, ...] | None], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SyncQuery:
+    """One registered query: its id, spec and current ordered result."""
+
+    qid: int
+    spec: QuerySpec
+    result: tuple[ResultEntry, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SyncDone:
+    """Cold-start stream complete (counts echoed for sanity checks)."""
+
+    queries: int
+    objects: int
+
+
+@dataclass(frozen=True, slots=True)
+class Lagged:
+    """The slow-consumer policy dropped ``dropped`` delta deliveries for
+    this connection; the client should re-snapshot what it watches."""
+
+    dropped: int
+
+
+@dataclass(frozen=True, slots=True)
 class Ok:
     op: str
     qid: int | None = None
@@ -185,6 +253,7 @@ class Bye:
 Frame = Union[
     Hello, Welcome, Updates, QueryOp, Tick, Ticked, Register, Registered,
     Move, Terminate, GetSnapshot, Snapshot, Subscribe, Unsubscribe, Delta,
+    Tags, Sync, SyncObjects, SyncQuery, SyncDone, Lagged,
     Ok, Error, Bye,
 ]
 
@@ -302,6 +371,29 @@ def _body(frame: Frame) -> tuple[str, dict]:
         }
     if type(frame) is Unsubscribe:
         return "unsubscribe", {"qid": frame.qid}
+    if type(frame) is Tags:
+        return "tags", {
+            "rows": [[oid, list(tags)] for oid, tags in frame.rows]
+        }
+    if type(frame) is Sync:
+        return "sync", {"objects": frame.objects, "watch": frame.watch}
+    if type(frame) is SyncObjects:
+        return "sync_objects", {
+            "rows": [
+                [oid, [pt[0], pt[1]], None if tags is None else list(tags)]
+                for oid, pt, tags in frame.rows
+            ]
+        }
+    if type(frame) is SyncQuery:
+        return "sync_query", {
+            "qid": frame.qid,
+            "spec": spec_to_wire(frame.spec),
+            "result": _entries_out(frame.result),
+        }
+    if type(frame) is SyncDone:
+        return "sync_done", {"queries": frame.queries, "objects": frame.objects}
+    if type(frame) is Lagged:
+        return "lagged", {"dropped": frame.dropped}
     if type(frame) is Hello:
         return "hello", {"client": frame.client}
     if type(frame) is Welcome:
@@ -392,6 +484,41 @@ def decode_frame(line: str | bytes) -> Frame:
             )
         if kind == "unsubscribe":
             return Unsubscribe(qid=int(obj["qid"]))
+        if kind == "tags":
+            return Tags(
+                rows=tuple(
+                    (int(oid), tuple(str(t) for t in tags))
+                    for oid, tags in obj["rows"]
+                )
+            )
+        if kind == "sync":
+            return Sync(
+                objects=bool(obj.get("objects", False)),
+                watch=bool(obj.get("watch", True)),
+            )
+        if kind == "sync_objects":
+            return SyncObjects(
+                rows=tuple(
+                    (
+                        int(oid),
+                        _point(pt),
+                        None if tags is None else tuple(str(t) for t in tags),
+                    )
+                    for oid, pt, tags in obj["rows"]
+                )
+            )
+        if kind == "sync_query":
+            return SyncQuery(
+                qid=int(obj["qid"]),
+                spec=spec_from_wire(obj["spec"]),
+                result=_entries(obj["result"]),
+            )
+        if kind == "sync_done":
+            return SyncDone(
+                queries=int(obj["queries"]), objects=int(obj["objects"])
+            )
+        if kind == "lagged":
+            return Lagged(dropped=int(obj["dropped"]))
         if kind == "hello":
             return Hello(client=str(obj.get("client", "")))
         if kind == "welcome":

@@ -67,6 +67,10 @@ class BruteForceMonitor(ContinuousMonitor):
         """Register a query with an arbitrary geometry strategy."""
         if qid in self._queries:
             raise KeyError(f"query {qid} is already installed")
+        from repro.core.strategies import FilteredStrategy
+
+        if isinstance(strategy, FilteredStrategy):
+            strategy.bind_tags(self.tag_table)
         query = _BruteQuery(strategy, k)
         self._queries[qid] = query
         query.entries = self._evaluate(query)
@@ -136,7 +140,7 @@ class BruteForceMonitor(ContinuousMonitor):
         entries = [
             (strategy.dist(x, y), oid)
             for oid, (x, y) in self._positions.items()
-            if strategy.accepts(x, y)
+            if strategy.accepts(x, y, oid)
         ]
         entries.sort()
         return entries[: query.k]

@@ -46,7 +46,7 @@ def naive_strategy_search(
             break
         oids, xs, ys = grid.scan_all_flat(i * rows + j)
         for oid, x, y in zip(oids, xs, ys):
-            if strategy.accepts(x, y):
+            if strategy.accepts(x, y, oid):
                 nn.add(strategy.dist(x, y), oid)
         processed.append((i, j))
     return nn.entries(), processed

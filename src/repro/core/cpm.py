@@ -45,6 +45,7 @@ from repro.core.partition import DIRECTIONS
 from repro.core.strategies import (
     AggregateNNStrategy,
     ConstrainedStrategy,
+    FilteredStrategy,
     PointNNStrategy,
     QueryStrategy,
 )
@@ -128,6 +129,15 @@ class CPMMonitor(ContinuousMonitor):
         idx = cell.slot[oid]
         return (cell.xs[idx], cell.ys[idx])
 
+    def iter_objects(self) -> Iterable[tuple[int, Point]]:
+        """Ascending-oid iteration (positions read back through the cell
+        columns — CPM keeps no second position table)."""
+        cells = self._grid._cells
+        for oid in sorted(self._object_cells):
+            cell = cells[self._object_cells[oid]]
+            idx = cell.slot[oid]
+            yield oid, (cell.xs[idx], cell.ys[idx])
+
     def query_ids(self) -> list[int]:
         return list(self._queries)
 
@@ -195,6 +205,11 @@ class CPMMonitor(ContinuousMonitor):
         """Register a query with an arbitrary geometry strategy."""
         if qid in self._queries:
             raise KeyError(f"query {qid} is already installed")
+        if isinstance(strategy, FilteredStrategy):
+            # Filter predicates read this monitor's live tag table; bound
+            # here (not at construction) so strategies travel through
+            # specs/wire/pickle free of engine state.
+            strategy.bind_tags(self.tag_table)
         state = QueryState(qid, strategy, k, strategy.partition(self._grid))
         self._seed_heap(state)
         self._run_search(state)
@@ -362,7 +377,7 @@ class CPMMonitor(ContinuousMonitor):
                                         kd = entries[-1][0]
                     else:
                         for oid, x, y in zip(coids, cell.xs, cell.ys):
-                            if strategy.accepts(x, y):
+                            if strategy.accepts(x, y, oid):
                                 nn.add(strategy.dist(x, y), oid)
                         n_cur = len(entries)
                         kd = entries[k - 1][0] if n_cur >= k else _INF
@@ -559,7 +574,7 @@ class CPMMonitor(ContinuousMonitor):
                                     kd = entries[-1][0]
                 else:
                     for oid, x, y in zip(coids, cell.xs, cell.ys):
-                        if strategy.accepts(x, y):
+                        if strategy.accepts(x, y, oid):
                             nn.add(strategy.dist(x, y), oid)
                     kd = nn.kth_dist
             if pos >= state.marked_upto:
@@ -746,7 +761,7 @@ class CPMMonitor(ContinuousMonitor):
                                 d = hypot(nx - pqx, ny - pqy)
                                 ok = True
                             else:
-                                ok = state.strategy.accepts(nx, ny)
+                                ok = state.strategy.accepts(nx, ny, oid)
                                 d = state.strategy.dist(nx, ny) if ok else 0.0
                             if oid in nn._dists:
                                 if sc is None:
@@ -804,7 +819,7 @@ class CPMMonitor(ContinuousMonitor):
                                 d = hypot(nx - pqx, ny - pqy)
                                 ok = True
                             else:
-                                ok = state.strategy.accepts(nx, ny)
+                                ok = state.strategy.accepts(nx, ny, oid)
                                 d = state.strategy.dist(nx, ny) if ok else 0.0
                             if ok and d <= state.best_dist:
                                 # p remains in the NN set; update the order.
@@ -851,7 +866,7 @@ class CPMMonitor(ContinuousMonitor):
                         if ispt:
                             d = hypot(nx - pqx, ny - pqy)
                         else:
-                            if not state.strategy.accepts(nx, ny):
+                            if not state.strategy.accepts(nx, ny, oid):
                                 continue
                             d = state.strategy.dist(nx, ny)
                         if d <= state.best_dist:
@@ -934,7 +949,7 @@ class CPMMonitor(ContinuousMonitor):
                     if ispt:
                         d = hypot(nx - pqx, ny - pqy)
                     else:
-                        if not state.strategy.accepts(nx, ny):
+                        if not state.strategy.accepts(nx, ny, oid):
                             continue
                         d = state.strategy.dist(nx, ny)
                     if d <= state.best_dist:
@@ -1051,7 +1066,7 @@ class CPMMonitor(ContinuousMonitor):
                             if ispt:
                                 d = hypot(nx - pqx, ny - pqy)
                             else:
-                                if not state.strategy.accepts(nx, ny):
+                                if not state.strategy.accepts(nx, ny, oid):
                                     continue
                                 d = state.strategy.dist(nx, ny)
                             if d <= state.best_dist:
@@ -1087,7 +1102,7 @@ class CPMMonitor(ContinuousMonitor):
                                 d = hypot(nx - pqx, ny - pqy)
                                 ok = True
                             else:
-                                ok = state.strategy.accepts(nx, ny)
+                                ok = state.strategy.accepts(nx, ny, oid)
                                 d = state.strategy.dist(nx, ny) if ok else 0.0
                             if oid in nn._dists:
                                 if sc is None:
@@ -1147,7 +1162,7 @@ class CPMMonitor(ContinuousMonitor):
                                 d = hypot(nx - pqx, ny - pqy)
                                 ok = True
                             else:
-                                ok = state.strategy.accepts(nx, ny)
+                                ok = state.strategy.accepts(nx, ny, oid)
                                 d = state.strategy.dist(nx, ny) if ok else 0.0
                             if ok and d <= state.best_dist:
                                 # p remains in the NN set; update the order.
@@ -1192,7 +1207,7 @@ class CPMMonitor(ContinuousMonitor):
                         if ispt:
                             d = hypot(nx - pqx, ny - pqy)
                         else:
-                            if not state.strategy.accepts(nx, ny):
+                            if not state.strategy.accepts(nx, ny, oid):
                                 continue
                             d = state.strategy.dist(nx, ny)
                         if d <= state.best_dist:

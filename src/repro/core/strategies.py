@@ -17,6 +17,13 @@ its own geometry:
 * :class:`ConstrainedStrategy` — constrained (A)NN (Figure 5.3): wraps
   another strategy and filters both the candidate objects and the visited
   cells by a constraint rectangle.
+* :class:`FilteredStrategy` — attribute-filtered NN (the location-aware
+  pub/sub extension): wraps another strategy and additionally requires
+  every result object to carry a set of attribute tags.  The geometry is
+  untouched (all keys delegate to the inner strategy and stay valid lower
+  bounds); only :meth:`QueryStrategy.accepts` narrows, exactly like the
+  constrained filter — which is why the whole CPM machinery (influence
+  regions, visit lists, incremental repair) applies verbatim.
 """
 
 from __future__ import annotations
@@ -51,8 +58,12 @@ class QueryStrategy(ABC):
     def dist(self, x: float, y: float) -> float:
         """Distance of an object at ``(x, y)`` from the query."""
 
-    def accepts(self, x: float, y: float) -> bool:
-        """Whether an object at ``(x, y)`` may appear in the result."""
+    def accepts(self, x: float, y: float, oid: int = -1) -> bool:
+        """Whether object ``oid`` at ``(x, y)`` may appear in the result.
+
+        ``oid`` lets attribute predicates (:class:`FilteredStrategy`)
+        consult per-object state; pure-geometry strategies ignore it.
+        """
         return True
 
     @abstractmethod
@@ -209,8 +220,8 @@ class ConstrainedStrategy(QueryStrategy):
     def dist(self, x: float, y: float) -> float:
         return self.inner.dist(x, y)
 
-    def accepts(self, x: float, y: float) -> bool:
-        return self.region.contains_point(x, y) and self.inner.accepts(x, y)
+    def accepts(self, x: float, y: float, oid: int = -1) -> bool:
+        return self.region.contains_point(x, y) and self.inner.accepts(x, y, oid)
 
     def core_range(self, grid: Grid) -> tuple[int, int, int, int]:
         return self.inner.core_range(grid)
@@ -238,6 +249,92 @@ class ConstrainedStrategy(QueryStrategy):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ConstrainedStrategy({self.inner!r}, region={self.region})"
+
+
+class FilteredStrategy(QueryStrategy):
+    """Attribute-filtered NN: results restricted to tagged objects.
+
+    Wraps an inner strategy and accepts an object only when the engine's
+    tag table says the object carries **every** tag in ``tags`` (subset
+    semantics, like a pub/sub topic filter over attributes).  Geometry
+    delegates to the inner strategy wholesale: search keys are unchanged
+    lower bounds, so CPM's correctness argument (Section 3.1) holds with
+    the filter exactly as it does for the constrained variant.
+
+    The tag table is **bound by the engine at installation**
+    (:meth:`bind_tags` — CPM hands over its own per-monitor table), not
+    at construction: the strategy object travels through specs, the wire
+    protocol and process-shard pickling without dragging object state
+    along.  An unbound strategy accepts nothing, and an object absent
+    from the table has no tags — both reject, never crash.
+    """
+
+    __slots__ = ("inner", "tags", "_table")
+
+    kind = "filtered"
+
+    def __init__(
+        self,
+        inner: QueryStrategy,
+        tags,
+        table: dict[int, frozenset[str]] | None = None,
+    ) -> None:
+        if isinstance(inner, FilteredStrategy):
+            raise TypeError("filtered strategies do not nest")
+        required = frozenset(str(tag) for tag in tags)
+        if not required:
+            raise ValueError("a filtered query needs at least one tag")
+        self.inner = inner
+        self.tags = required
+        self._table = table
+
+    def bind_tags(self, table: dict[int, frozenset[str]]) -> None:
+        """Attach the engine's live ``oid -> tags`` table (install time)."""
+        self._table = table
+
+    def accepts(self, x: float, y: float, oid: int = -1) -> bool:
+        table = self._table
+        if table is None:
+            return False
+        tags = table.get(oid)
+        if tags is None or not self.tags <= tags:
+            return False
+        return self.inner.accepts(x, y, oid)
+
+    def dist(self, x: float, y: float) -> float:
+        return self.inner.dist(x, y)
+
+    def core_range(self, grid: Grid) -> tuple[int, int, int, int]:
+        return self.inner.core_range(grid)
+
+    def cell_key(self, grid: Grid, i: int, j: int) -> float:
+        return self.inner.cell_key(grid, i, j)
+
+    def strip_key0(
+        self, grid: Grid, partition: ConceptualPartition, direction: int
+    ) -> float:
+        return self.inner.strip_key0(grid, partition, direction)
+
+    def level_step(self, grid: Grid) -> float:
+        return self.inner.level_step(grid)
+
+    def cell_allowed(self, grid: Grid, i: int, j: int) -> bool:
+        return self.inner.cell_allowed(grid, i, j)
+
+    def reference_point(self) -> Point:
+        return self.inner.reference_point()
+
+    def __getstate__(self):
+        # The bound tag table is engine-local state: process shards
+        # rebind their own replica at installation.
+        return (self.inner, self.tags)
+
+    def __setstate__(self, state) -> None:
+        self.inner, self.tags = state
+        self._table = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FilteredStrategy({self.inner!r}, tags={sorted(self.tags)})"
 
 
 def _perpendicular_gap(

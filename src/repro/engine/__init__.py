@@ -1,12 +1,22 @@
-"""Monitoring server and metrics collection (system S11 of DESIGN.md).
+"""Metrics collection for workload replay (system S11 of DESIGN.md).
 
-The engine replays a materialized workload into any
-:class:`repro.monitor.ContinuousMonitor`, timing each processing cycle and
-snapshotting the grid access counters — the two quantities the paper's
+The replay loop itself lives in :meth:`repro.api.session.Session.replay`
+(one-shot: :func:`repro.api.session.replay_workload`); this package holds
+the per-cycle/per-run measurement vocabulary it produces — cycle timing
+and grid access counter snapshots, the two quantities the paper's
 evaluation reports (CPU time and cell accesses).
 """
 
 from repro.engine.metrics import CycleMetrics, RunReport
-from repro.engine.server import MonitoringServer, run_workload
 
 __all__ = ["CycleMetrics", "MonitoringServer", "RunReport", "run_workload"]
+
+
+def __getattr__(name: str):
+    # Deprecated replay shim, imported lazily so the warning only fires
+    # for code that still reaches for it.
+    if name in ("MonitoringServer", "run_workload"):
+        from repro.engine import server as _server
+
+        return getattr(_server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

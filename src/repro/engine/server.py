@@ -4,10 +4,11 @@
     :class:`MonitoringServer` predates the typed client surface.  New
     code drives :class:`repro.api.session.Session` directly (register
     specs, tick batches, subscribe per handle); the replay/measurement
-    loop this class used to own lives in :meth:`Session.replay`.  The
-    class is kept as a thin adapter because a large body of callers
-    (benchmarks, experiment drivers, the perf suite) still speaks it —
-    the ``RunReport``/``CycleMetrics`` surface is unchanged.
+    loop this class used to own lives in :meth:`Session.replay`, and the
+    one-shot convenience is :func:`repro.api.session.replay_workload`.
+    Every in-repo caller has been migrated; importing this module warns,
+    and the shim will be removed in a future release.  The
+    ``RunReport``/``CycleMetrics`` surface is unchanged.
 
 Mirrors the paper's simulation loop: load the initial object population,
 install the queries, then — for every timestamp — hand the cycle's object
@@ -17,7 +18,16 @@ with ``time.perf_counter`` and snapshot the grid counters.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable
+
+warnings.warn(
+    "repro.engine.server is deprecated: use repro.api.session.Session.replay "
+    "(or the replay_workload convenience) instead of MonitoringServer/"
+    "run_workload",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 from repro.api.session import Session
 from repro.engine.metrics import CycleMetrics, RunReport

@@ -19,7 +19,7 @@ from __future__ import annotations
 import argparse
 
 from repro.core.cpm import CPMMonitor
-from repro.engine.server import run_workload
+from repro.api.session import replay_workload
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentResult,
@@ -58,7 +58,7 @@ def run(scale: float = DEFAULT_SCALE, seed: int = 2005) -> ExperimentResult:
     workload = make_workload(spec)
     for variant in VARIANTS:
         monitor = build_variant(variant, grid, spec.bounds)
-        report = run_workload(monitor, workload)
+        report = replay_workload(monitor, workload)
         result.points.append(
             SeriesPoint(
                 parameter="variant",

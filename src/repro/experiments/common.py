@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engine.metrics import RunReport
-from repro.engine.server import run_workload
+from repro.api.session import replay_workload
 from repro.mobility.brinkhoff import BrinkhoffGenerator
 from repro.mobility.network import RoadNetwork, grid_network
 from repro.mobility.workload import Workload, WorkloadSpec
@@ -162,7 +162,7 @@ def run_algorithms(
     points = []
     for algorithm in algorithms:
         monitor = build_monitor(algorithm, cells_per_axis, bounds=workload.spec.bounds)
-        report = run_workload(monitor, workload)
+        report = replay_workload(monitor, workload)
         points.append(
             SeriesPoint(
                 parameter=parameter, value=value, algorithm=algorithm, report=report

@@ -18,7 +18,7 @@ from repro.analysis.space import (
     modeled_space_units,
     units_to_mbytes,
 )
-from repro.engine.server import run_workload
+from repro.api.session import replay_workload
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ALGORITHMS,
@@ -61,7 +61,7 @@ def run(scale: float = DEFAULT_SCALE, seed: int = 2005) -> SpaceExperiment:
     measured = []
     for name in ALGORITHMS:
         monitor = build_monitor(name, grid)
-        run_workload(monitor, workload)
+        replay_workload(monitor, workload)
         measured.append(
             SpaceRow(
                 method=name,

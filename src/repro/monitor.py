@@ -35,6 +35,38 @@ class ContinuousMonitor(ABC):
     #: short algorithm name used in reports ("CPM", "YPK-CNN", ...).
     name: str = "abstract"
 
+    #: lazily created ``oid -> frozenset(tags)`` table backing filtered
+    #: queries (:class:`repro.core.strategies.FilteredStrategy`); shared
+    #: by reference with every installed filter strategy.
+    _object_tags: dict[int, frozenset[str]] | None = None
+
+    # ------------------------------------------------------------------
+    # Object attributes (filtered-subscription support)
+    # ------------------------------------------------------------------
+
+    @property
+    def tag_table(self) -> dict[int, frozenset[str]]:
+        """The live ``oid -> tags`` table (created on first touch)."""
+        if self._object_tags is None:
+            self._object_tags = {}
+        return self._object_tags
+
+    def set_object_tags(self, tags: dict[int, Iterable[str]]) -> None:
+        """Merge attribute tags into the object tag table.
+
+        An empty (or ``None``) tag set removes the object's entry.  Tag
+        changes are visible to filtered queries from the next cycle that
+        *touches* the object — a pure tag change does not itself
+        re-evaluate results; pair it with a disappear+appear update when
+        immediate re-evaluation is required.
+        """
+        table = self.tag_table
+        for oid, tag_set in tags.items():
+            if tag_set:
+                table[int(oid)] = frozenset(str(t) for t in tag_set)
+            else:
+                table.pop(int(oid), None)
+
     # ------------------------------------------------------------------
     # Object population
     # ------------------------------------------------------------------
@@ -75,6 +107,22 @@ class ContinuousMonitor(ABC):
     def result_table(self) -> dict[int, list[ResultEntry]]:
         """Full ``{qid: result}`` snapshot of every registered query."""
         return {qid: self.result(qid) for qid in self.query_ids()}
+
+    def iter_objects(self) -> Iterable[tuple[int, Point]]:
+        """Ascending-oid iteration of the live ``(oid, position)`` pairs.
+
+        Feeds the wire cold-start (``sync`` with an object prologue).
+        This base implementation reads the ``_positions`` side table every
+        built-in baseline keeps; monitors with a different object store
+        (CPM reads positions back through its cell columns) override it.
+        """
+        positions = getattr(self, "_positions", None)
+        if positions is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} does not enumerate its objects"
+            )
+        for oid in sorted(positions):
+            yield oid, positions[oid]
 
     # ------------------------------------------------------------------
     # Stream processing

@@ -22,7 +22,7 @@ import gc
 import time
 from collections.abc import Callable
 
-from repro.engine.server import MonitoringServer, run_workload
+from repro.api.session import Session, replay_workload
 from repro.experiments.common import build_monitor
 from repro.ingest.driver import IngestDriver
 from repro.ingest.feeds import WorkloadFeed
@@ -150,17 +150,26 @@ def _run_subscribed_case(
 ) -> BenchCase:
     """Replay one case through the delta-streaming service path.
 
-    A quarter of the queries (at least one) get per-query topic
-    subscriptions and one firehose listens to everything — the shape of
-    a ``repro.api`` deployment.  The grid counters are byte-identical to
-    the plain replay (delta capture reads result lists, never the grid),
-    and the delivered-delta count is deterministic for a fixed workload,
-    so both gate exactly; ``process_sec``/``wall_sec`` price the capture
-    + diff + fan-out overhead (advisory, CI runners are noisy).
+    The default shape (``subscription_routing``): a quarter of the
+    queries (at least one) get per-query topic subscriptions and one
+    firehose listens to everything — a small ``repro.api`` deployment.
+    With ``case.subscribers > 0`` (``subscription_scale``): every query
+    gets that many topic subscriptions and no firehose — tens of
+    thousands of concurrent subscriptions at full scale.  Either way the
+    grid counters are byte-identical to the plain replay (delta capture
+    reads result lists, never the grid), and the delivered-delta count
+    is deterministic for a fixed workload, so both gate exactly;
+    ``process_sec``/``wall_sec`` price the capture + diff + fan-out
+    overhead (advisory, CI runners are noisy).
     """
     spec = workload.spec
-    watched = sorted(workload.initial_queries)
-    watched = watched[: max(1, len(watched) // 4)]
+    qids = sorted(workload.initial_queries)
+    if case.subscribers > 0:
+        watched = [qid for qid in qids for _ in range(case.subscribers)]
+        use_firehose = False
+    else:
+        watched = qids[: max(1, len(qids) // 4)]
+        use_firehose = True
     best = None
     for _ in range(max(1, repeats)):
         monitor = build_monitor(algorithm, case.grid, bounds=spec.bounds)
@@ -169,13 +178,17 @@ def _run_subscribed_case(
             service.hub.subscribe_query(qid, lambda ts, delta: None)
             for qid in watched
         ]
-        firehose = service.subscribe(lambda ts, delta: None)
-        server = MonitoringServer(monitor, workload, service=service)
+        firehose = (
+            service.subscribe(lambda ts, delta: None) if use_firehose else None
+        )
+        session = Session(service)
         gc.collect()
         t0 = time.perf_counter()
-        candidate = server.run()
+        candidate = session.replay(workload)
         wall = time.perf_counter() - t0
-        delivered = firehose.delivered + sum(s.delivered for s in per_query)
+        delivered = sum(s.delivered for s in per_query)
+        if firehose is not None:
+            delivered += firehose.delivered
         if best is None or wall < best[0]:
             best = (wall, candidate, delivered)
     assert best is not None
@@ -207,6 +220,7 @@ def _run_subscribed_case(
             "shards": case.shards,
             "executor": case.executor,
             "subscribed": True,
+            "subscribers": case.subscribers,
             "watched_queries": len(watched),
         },
         metrics=metrics,
@@ -238,7 +252,7 @@ def run_case(
         gc.collect()
         try:
             t0 = time.perf_counter()
-            candidate = run_workload(monitor, workload)
+            candidate = replay_workload(monitor, workload)
             wall = time.perf_counter() - t0
         finally:
             close = getattr(monitor, "close", None)

@@ -36,7 +36,13 @@ algorithm.  The cases mirror the paper's evaluation axes at a configurable
   (``repro.api``).  The grid counters stay byte-comparable with the
   plain replay (delta capture never touches the grid) and the extra
   ``deltas_delivered`` metric is itself deterministic, so the gate pins
-  the routing exactly.
+  the routing exactly;
+* ``subscription_scale`` — the pub/sub stress shape: **every** query
+  carries multiple per-query subscriptions (``SuiteCase.subscribers``
+  per query — tens of thousands of live subscriptions at full scale),
+  pricing the hub's topic routing under subscriber fan-out.  The
+  ``deltas_delivered`` counter stays deterministic (fixed workload ×
+  fixed subscription multiplicity), so CI gates it like any counter.
 
 Workload materialization is deterministic (fixed seed per case), so two
 runs of the same suite at the same scale replay byte-identical update
@@ -71,6 +77,10 @@ SHARD_SCALING = (1, 2, 4, 8)
 #: the cheap subset of the shard sweep exercised by the smoke suite.
 SHARD_SCALING_SMOKE = (1, 4)
 
+#: per-query subscription multiplicity of the ``subscription_scale``
+#: case: 8 × 5 000 queries = 40 000 live subscriptions at full scale.
+SUBSCRIBERS_PER_QUERY = 8
+
 
 @dataclass(slots=True, frozen=True)
 class SuiteCase:
@@ -83,6 +93,9 @@ class SuiteCase:
     or ``"process"`` (one worker per shard, wall-clock-only metrics).
     ``ingest`` routes the replay through the ``repro.ingest`` pipeline
     (mark-honoring, columnar fast path) instead of the direct loop.
+    ``subscribed`` replays through a delta-streaming service;
+    ``subscribers > 0`` additionally attaches that many per-query topic
+    subscriptions to *every* query (the ``subscription_scale`` shape).
     """
 
     key: str
@@ -93,6 +106,7 @@ class SuiteCase:
     executor: str = "serial"
     ingest: bool = False
     subscribed: bool = False
+    subscribers: int = 0
 
     def materialize(self) -> Workload:
         if self.workload == "network":
@@ -117,6 +131,7 @@ def _dedup(cases: list[SuiteCase]) -> list[SuiteCase]:
             case.executor,
             case.ingest,
             case.subscribed,
+            case.subscribers,
         )
         if signature in seen:
             continue
@@ -212,6 +227,19 @@ def build_suite(
             spec=default,
             grid=grid,
             subscribed=True,
+        )
+    )
+    # Subscription scale: every query watched by SUBSCRIBERS_PER_QUERY
+    # topic subscriptions — tens of thousands of concurrent subscriptions
+    # at full scale — pricing hub routing under real pub/sub fan-out.
+    cases.append(
+        SuiteCase(
+            key="subscription_scale/default",
+            workload="network",
+            spec=default,
+            grid=grid,
+            subscribed=True,
+            subscribers=SUBSCRIBERS_PER_QUERY,
         )
     )
     # Service-layer shard scaling over the defaults workload.  The shard

@@ -11,9 +11,9 @@ per-query routing.
 
 Programs normally talk to the service through the typed client surface
 (:class:`repro.api.session.Session` in-process,
-:class:`repro.api.client.Client` over a socket); the replay shim
-(:class:`repro.engine.server.MonitoringServer`) and the ingest driver
-drive it batch by batch.
+:class:`repro.api.client.Client` over a socket); the replay loop
+(:meth:`repro.api.session.Session.replay`) and the ingest driver drive
+it batch by batch.
 """
 
 from __future__ import annotations
@@ -79,6 +79,11 @@ class MonitoringService:
 
     def load_objects(self, objects: Iterable[tuple[int, Point]]) -> None:
         self.monitor.load_objects(objects)
+
+    def set_object_tags(self, tags) -> None:
+        """Merge attribute tags into the monitor's object tag table (the
+        predicate state of filtered subscriptions)."""
+        self.monitor.set_object_tags(tags)
 
     def install_query(
         self, qid: int, point: Point, k: int = 1

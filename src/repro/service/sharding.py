@@ -177,8 +177,14 @@ class ShardedMonitor(ContinuousMonitor):
             :class:`repro.service.executor.ProcessShardExecutor` to run
             shards on separate cores.
 
-    Only point k-NN queries are routable (a point has one owning cell);
-    the strategy extensions of Section 5 stay on the single engine.
+    Every query type is routable.  Point k-NN queries go to the shard
+    owning their point's cell; strategy-backed queries (constrained,
+    range, aggregate, filtered) go to the shard owning their strategy's
+    *reference point* — under the replication contract every shard holds
+    the full object view, so any shard answers any query exactly and the
+    anchor choice is purely a load-balancing decision.  Object attribute
+    tags (filtered queries) are replicated to all shards like object
+    maintenance is.
     """
 
     def __init__(
@@ -272,6 +278,20 @@ class ShardedMonitor(ContinuousMonitor):
     def object_count(self) -> int:
         return len(self._positions)
 
+    def set_object_tags(self, tags) -> None:
+        """Replicate attribute tags to every shard (and the local table).
+
+        Tags are object state, so they follow the replication contract:
+        each shard engine keeps its own synchronized copy backing the
+        filtered queries it hosts.
+        """
+        mapping = {
+            int(oid): frozenset(str(t) for t in tag_set) if tag_set else frozenset()
+            for oid, tag_set in tags.items()
+        }
+        super().set_object_tags(mapping)
+        self._call_all("set_object_tags", [(mapping,)] * self.n_shards)
+
     # ------------------------------------------------------------------
     # Query management
     # ------------------------------------------------------------------
@@ -281,6 +301,25 @@ class ShardedMonitor(ContinuousMonitor):
             raise KeyError(f"query {qid} is already installed")
         shard = self.plan.shard_of_point(point[0], point[1])
         result = self._call(shard, "install_query", qid, point, k)
+        self._query_shard[qid] = shard
+        return result
+
+    def install_strategy_query(
+        self, qid: int, strategy, k: int = 1
+    ) -> list[ResultEntry]:
+        """Install a strategy-backed query, routed by its reference point.
+
+        Correct on any shard (full object view per the replication
+        contract); the anchor cell's owner is chosen so co-located
+        queries cluster where their updates land.  Strategy objects must
+        pickle for process-backed executors — engine-bound state (the
+        filtered tag table) is rebound by the shard engine at install.
+        """
+        if qid in self._query_shard:
+            raise KeyError(f"query {qid} is already installed")
+        x, y = strategy.reference_point()
+        shard = self.plan.shard_of_point(x, y)
+        result = self._call(shard, "install_strategy_query", qid, strategy, k)
         self._query_shard[qid] = shard
         return result
 

@@ -18,15 +18,219 @@ ones too.
 The hub is synchronous and single-threaded by design (the monitoring
 cycle is); the socket transport (:mod:`repro.api.server`) wraps this
 same interface with per-connection locking on the outside.
+
+The **fan-out tier** lives next to the hub: a :class:`FanoutQueue` is a
+bounded per-consumer outbound queue drained by its own writer thread,
+with an explicit :class:`SlowConsumerPolicy` deciding what happens when
+a consumer cannot keep up.  The publish loop above only ever *enqueues*
+(O(1) per delivery, never blocks on a socket), so one stalled consumer
+cannot extend the cycle's ``publish_sec`` for everyone else.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import deque
 from collections.abc import Callable, Iterable
+from enum import Enum
 
 from repro.service.deltas import ResultDelta
 
 DeltaCallback = Callable[[int | None, ResultDelta], None]
+
+
+class SlowConsumerPolicy(Enum):
+    """What a :class:`FanoutQueue` does when its bound is hit.
+
+    * ``DISCONNECT`` — the consumer is marked broken and dropped (the
+      transport's ``on_overflow`` hook closes the connection).  Strict:
+      a lagging subscriber loses its stream rather than degrade it.
+    * ``DROP_AND_SNAPSHOT`` — queued *droppable* items (deltas) are
+      discarded and a single coalesced lag marker is enqueued in their
+      place, telling the consumer how many deliveries it lost so it can
+      request a fresh snapshot.  Lossy but connected.
+    """
+
+    DISCONNECT = "disconnect"
+    DROP_AND_SNAPSHOT = "drop_and_snapshot"
+
+
+class _LagMarker:
+    """Placeholder for dropped items; resolved to a real item at write
+    time via ``lag_factory`` so consecutive overflows coalesce."""
+
+    __slots__ = ()
+
+
+_LAG = _LagMarker()
+
+
+class FanoutQueue:
+    """A bounded outbound queue drained by a dedicated writer thread.
+
+    ``put`` never blocks: the producer (the monitoring cycle's publish
+    loop) enqueues and moves on, while the writer thread feeds
+    ``deliver(item)`` — typically encode-and-send on a socket — at
+    whatever pace the consumer sustains.  When the queue is full the
+    ``policy`` is applied *at the producer*, so backpressure from one
+    slow consumer is converted into an explicit local decision instead
+    of a global stall.
+
+    Args:
+        deliver: called on the writer thread for every item.  An
+            exception marks the queue broken (the consumer is gone).
+        limit: queue bound (items) before the policy triggers.
+        policy: the :class:`SlowConsumerPolicy` applied on overflow.
+        lag_factory: ``lag_factory(dropped) -> item`` building the lag
+            marker item delivered in place of ``dropped`` discarded
+            items.  Required for ``DROP_AND_SNAPSHOT``.
+        on_overflow: called once (on the producer thread) when
+            ``DISCONNECT`` fires — the transport's close hook.
+        name: diagnostics label.
+    """
+
+    def __init__(
+        self,
+        deliver: Callable[[object], None],
+        *,
+        limit: int = 1024,
+        policy: SlowConsumerPolicy = SlowConsumerPolicy.DISCONNECT,
+        lag_factory: Callable[[int], object] | None = None,
+        on_overflow: Callable[[], None] | None = None,
+        name: str = "fanout",
+    ) -> None:
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        if policy is SlowConsumerPolicy.DROP_AND_SNAPSHOT and lag_factory is None:
+            raise ValueError("DROP_AND_SNAPSHOT needs a lag_factory")
+        self._deliver = deliver
+        self.limit = limit
+        self.policy = policy
+        self._lag_factory = lag_factory
+        self._on_overflow = on_overflow
+        self.name = name
+        self._items: deque[tuple[object, bool]] = deque()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        self.broken = False
+        #: items handed to ``deliver`` so far (lag markers included).
+        self.delivered = 0
+        #: droppable items discarded by DROP_AND_SNAPSHOT so far.
+        self.dropped = 0
+        #: times the overflow policy fired.
+        self.overflows = 0
+        self._pending_lag = 0
+        self._inflight = False
+        self._writer = threading.Thread(
+            target=self._drain, name=f"{name}-writer", daemon=True
+        )
+        self._writer.start()
+
+    def put(self, item: object, *, droppable: bool = False) -> bool:
+        """Enqueue without blocking; returns False when closed/broken.
+
+        ``droppable`` marks items the DROP_AND_SNAPSHOT policy may shed
+        (deltas); control frames stay queued regardless.
+        """
+        overflow_hook = None
+        with self._lock:
+            if self._closed or self.broken:
+                return False
+            if len(self._items) >= self.limit:
+                self.overflows += 1
+                if self.policy is SlowConsumerPolicy.DISCONNECT:
+                    self.broken = True
+                    self._items.clear()
+                    overflow_hook = self._on_overflow
+                    self._wakeup.notify()
+                else:
+                    kept: deque[tuple[object, bool]] = deque()
+                    shed = 0
+                    for queued, d in self._items:
+                        if d:
+                            shed += 1
+                        elif queued is not _LAG:
+                            kept.append((queued, d))
+                    self.dropped += shed
+                    self._pending_lag += shed
+                    if droppable:
+                        # The overflowing item itself is shed too.
+                        self.dropped += 1
+                        self._pending_lag += 1
+                        item = None
+                    if self._pending_lag:
+                        # One coalesced marker; its count resolves at
+                        # write time so back-to-back overflows merge.
+                        kept.append((_LAG, False))
+                    if item is not None:
+                        kept.append((item, droppable))
+                    self._items = kept
+                    self._wakeup.notify()
+                    return True
+            else:
+                self._items.append((item, droppable))
+                self._wakeup.notify()
+                return True
+        # DISCONNECT fired: run the close hook outside the lock.
+        if overflow_hook is not None:
+            overflow_hook()
+        return False
+
+    def _drain(self) -> None:
+        while True:
+            with self._lock:
+                while not self._items and not self._closed and not self.broken:
+                    self._wakeup.wait()
+                if self.broken or (self._closed and not self._items):
+                    return
+                item, _ = self._items.popleft()
+                if item is _LAG:
+                    dropped, self._pending_lag = self._pending_lag, 0
+                    item = self._lag_factory(dropped)
+                self._inflight = True
+            try:
+                self._deliver(item)
+            except Exception:
+                with self._lock:
+                    self.broken = True
+                    self._inflight = False
+                    self._items.clear()
+                    self._wakeup.notify_all()
+                return
+            with self._lock:
+                self.delivered += 1
+                self._inflight = False
+                if not self._items:
+                    self._wakeup.notify_all()
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait until everything queued is delivered; True when drained."""
+        with self._lock:
+            if timeout is None:
+                while (self._items or self._inflight) and not self.broken:
+                    self._wakeup.wait()
+            elif (self._items or self._inflight) and not self.broken:
+                self._wakeup.wait(timeout)
+            return not self._items and not self._inflight and not self.broken
+
+    def close(self, *, flush: bool = True, timeout: float = 5.0) -> None:
+        """Stop the writer; by default after draining what's queued."""
+        if flush:
+            self.join(timeout=timeout)
+        with self._lock:
+            self._closed = True
+            if not flush:
+                self._items.clear()
+            self._wakeup.notify_all()
+        if threading.current_thread() is not self._writer:
+            self._writer.join(timeout=timeout)
+
+    @property
+    def depth(self) -> int:
+        """Items currently queued (diagnostics)."""
+        with self._lock:
+            return len(self._items)
 
 
 class Subscription:

@@ -273,22 +273,25 @@ class TestShardedSession:
         assert set(seen) <= {handles[0].qid}
         session.close()
 
-    def test_strategy_specs_rejected_on_sharded(self):
+    def test_strategy_specs_install_on_sharded(self):
+        # Every typed spec is routable on the sharded tier (anchor-cell
+        # routing over full-workspace replicas).
         session = Session(ShardedMonitor(2, cells_per_axis=16))
-        with pytest.raises(TypeError, match="strategy-capable"):
-            session.register(ConstrainedKnnSpec(
-                point=(0.5, 0.5), region=(0.0, 0.0, 1.0, 1.0), k=2
-            ))
+        session.load_objects([(1, (0.2, 0.5)), (2, (0.6, 0.5)), (3, (0.8, 0.5))])
+        handle = session.register(ConstrainedKnnSpec(
+            point=(0.5, 0.5), region=(0.0, 0.0, 1.0, 1.0), k=2
+        ))
+        assert [oid for _d, oid in handle.snapshot()] == [2, 1]
         session.close()
 
 
 class TestReplay:
-    def test_replay_matches_monitoring_server(self, workload):
-        from repro.engine.server import run_workload
+    def test_replay_matches_replay_workload(self, workload):
+        from repro.api.session import replay_workload
 
         session = make_session()
         report = session.replay(workload)
-        reference = run_workload(CPMMonitor(cells_per_axis=16), workload)
+        reference = replay_workload(CPMMonitor(cells_per_axis=16), workload)
         assert report.algorithm == reference.algorithm
         assert len(report.cycles) == len(reference.cycles)
         for got, want in zip(report.cycles, reference.cycles):

@@ -8,12 +8,18 @@ in-process Session subscribing on the same workload.
 
 import socket
 import threading
+import time
 
 import pytest
 
 from repro.api import wire
 from repro.api.client import Client, RemoteError
-from repro.api.queries import ConstrainedKnnSpec, KnnSpec, RangeSpec
+from repro.api.queries import (
+    ConstrainedKnnSpec,
+    FilteredKnnSpec,
+    KnnSpec,
+    RangeSpec,
+)
 from repro.api.server import MonitorSocketServer
 from repro.api.session import Session
 from repro.core.cpm import CPMMonitor
@@ -22,6 +28,8 @@ from repro.ingest.feeds import SocketFeed, WorkloadFeed, push_feed_to_socket
 from repro.mobility.uniform import UniformGenerator
 from repro.mobility.workload import WorkloadSpec
 from repro.service.service import MonitoringService
+from repro.service.subscriptions import SlowConsumerPolicy
+from repro.updates import ObjectUpdate
 
 SPEC = WorkloadSpec(
     n_objects=120, n_queries=4, k=3, timestamps=5, seed=17, query_agility=0.0
@@ -234,6 +242,230 @@ class TestEndToEnd:
             assert "unsupported wire version" in reply.message
         finally:
             raw.close()
+
+
+class TestFilteredAndSync:
+    def test_tags_and_filtered_subscription_over_the_wire(self, endpoint):
+        session, _server, host, port = endpoint
+        with Client.connect(host, port) as client:
+            client.send_updates(
+                [
+                    ObjectUpdate(9001, None, (0.45, 0.5)),
+                    ObjectUpdate(9002, None, (0.55, 0.5)),
+                    ObjectUpdate(9003, None, (0.5, 0.6)),
+                ]
+            )
+            client.tick(timestamp=0)
+            client.set_object_tags({9001: {"taxi"}, 9003: {"bus"}})
+            handle = client.register(
+                FilteredKnnSpec(point=(0.5, 0.5), k=3, tags=("taxi",))
+            )
+            assert [oid for _, oid in handle.snapshot()] == [9001]
+            assert handle.snapshot() == session.snapshot(handle.qid)
+
+            # The filter tracks remote tag changes: 9002 gains the tag
+            # and moves -> it enters the streamed result.
+            seen = []
+            handle.subscribe(lambda ts, d: seen.append(d.result))
+            client.set_object_tags({9002: {"taxi"}})
+            client.send_updates([ObjectUpdate(9002, (0.55, 0.5), (0.54, 0.5))])
+            client.tick(timestamp=1)
+            assert seen
+            assert [oid for _, oid in seen[-1]] == [9002, 9001]
+
+    def test_cold_start_sync_adopts_session_state(self, workload, endpoint):
+        session, _server, host, port = endpoint
+        queries = sorted(workload.initial_queries.items())[:2]
+        with Client.connect(host, port) as seeder:
+            seeder.set_object_tags({1: {"taxi"}, 2: {"taxi", "xl"}})
+            for qid, point in queries:
+                seeder.register(KnnSpec(point=point, k=SPEC.k), qid=qid)
+
+            with Client.connect(host, port) as late:
+                state = late.sync(objects=True, watch=True)
+                assert sorted(h.qid for h in state.handles) == [
+                    qid for qid, _ in queries
+                ]
+                for handle in state.handles:
+                    assert state.results[handle.qid] == session.snapshot(
+                        handle.qid
+                    )
+                # Object prologue: full table, tags attached where set.
+                assert len(state.objects) == len(workload.initial_objects)
+                by_oid = {oid: (pos, tags) for oid, pos, tags in state.objects}
+                assert by_oid[1][1] == ("taxi",)
+                assert by_oid[2][1] == ("taxi", "xl")
+                untagged = [t for _, t in by_oid.values() if t is None]
+                assert len(untagged) == len(workload.initial_objects) - 2
+
+                # watch=True upgraded the synced queries to live
+                # subscriptions on this connection.
+                frames: list[wire.Delta] = []
+                late.delta_frame_log = frames
+                batch = workload.batches[0]
+                seeder.send_updates(batch.object_updates)
+                seeder.tick(timestamp=batch.timestamp)
+                deadline = time.monotonic() + 5.0
+                while not frames and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                assert frames, "synced client received no deltas"
+                assert {f.delta.qid for f in frames} <= {q for q, _ in queries}
+
+    def test_sync_without_objects_skips_prologue(self, endpoint):
+        _session, _server, host, port = endpoint
+        with Client.connect(host, port) as client:
+            client.register(KnnSpec(point=(0.5, 0.5), k=2))
+            state = client.sync(objects=False, watch=False)
+            assert state.objects == []
+            assert len(state.handles) == 1
+
+
+def _stalled_peer(host, port, qid, point, k, rcvbuf=2048):
+    """A raw connection that registers a watched query, then stops
+    reading — the slow consumer under test."""
+    sock = socket.socket()
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, rcvbuf)
+    sock.connect((host, port))
+    reader = sock.makefile("r", encoding="utf-8", newline="\n")
+    welcome = wire.decode_frame(reader.readline())
+    assert type(welcome) is wire.Welcome
+    register = wire.Register(
+        spec=KnnSpec(point=point, k=k), qid=qid, watch=True
+    )
+    sock.sendall((wire.encode_frame(register) + "\n").encode())
+    reply = wire.decode_frame(reader.readline())
+    assert type(reply) is wire.Registered
+    return sock, reader
+
+
+def _drive_and_collect(host, port, *, ticks, register_peer_query):
+    """Connect a healthy client, register qid 1 (watched) and qid 2
+    (per ``register_peer_query``), drive ``ticks`` cycles of a toggling
+    object, and return the encoded delta lines qid 1 streamed."""
+    lines: list[str] = []
+    with Client.connect(host, port) as client:
+        client.send_updates(
+            [
+                ObjectUpdate(1, None, (0.52, 0.5)),
+                ObjectUpdate(2, None, (0.9, 0.9)),
+            ]
+        )
+        client.tick(timestamp=0)
+        handle = client.register(KnnSpec(point=(0.5, 0.5), k=2), qid=1)
+        handle.subscribe(
+            lambda ts, d: lines.append(wire.encode_delta(ts, d))
+        )
+        if register_peer_query:
+            client.register(
+                KnnSpec(point=(0.45, 0.5), k=2), qid=2, watch=False
+            )
+        positions = [(0.55, 0.5), (0.6, 0.5)]
+        old = (0.52, 0.5)
+        start = time.monotonic()
+        for i in range(ticks):
+            new = positions[i % 2]
+            client.send_updates([ObjectUpdate(1, old, new)])
+            client.tick(timestamp=i + 1)
+            old = new
+        elapsed = time.monotonic() - start
+        assert not client.lag_events, "healthy client must never lag"
+    return lines, elapsed
+
+
+class TestSlowConsumer:
+    """A stalled reader must not stall the monitoring loop or disturb
+    other connections' delta streams."""
+
+    TICKS = 200
+
+    def make_server(self, policy):
+        session = Session(CPMMonitor(cells_per_axis=CELLS))
+        server = MonitorSocketServer(
+            session,
+            name="stall-server",
+            outbound_limit=8,
+            slow_consumer=policy,
+            sndbuf=4096,
+        )
+        host, port = server.start()
+        return session, server, host, port
+
+    def baseline_stream(self):
+        """The healthy delta stream with no stalled peer attached."""
+        _session, server, host, port = self.make_server(
+            SlowConsumerPolicy.DISCONNECT
+        )
+        try:
+            lines, _ = _drive_and_collect(
+                host, port, ticks=self.TICKS, register_peer_query=True
+            )
+        finally:
+            server.stop()
+        return lines
+
+    def test_disconnect_policy_isolates_stalled_reader(self):
+        baseline = self.baseline_stream()
+        _session, server, host, port = self.make_server(
+            SlowConsumerPolicy.DISCONNECT
+        )
+        try:
+            # The peer registers its own watched query first; the healthy
+            # client then re-registers it as qid 2 is already taken --
+            # so it only registers qid 1.
+            stalled, reader = _stalled_peer(
+                host, port, qid=2, point=(0.45, 0.5), k=2
+            )
+            lines, elapsed = _drive_and_collect(
+                host, port, ticks=self.TICKS, register_peer_query=False
+            )
+            # The stalled reader never extends the healthy client's
+            # cycle: 200 tick round-trips complete promptly.
+            assert elapsed < 10.0
+            # Healthy stream is byte-identical to a run with no stalled
+            # peer attached at all.
+            assert lines == baseline
+            # The policy disconnected the stalled peer: draining what the
+            # kernel buffered ends in EOF, not a live stream.
+            stalled.settimeout(5.0)
+            try:
+                while stalled.recv(65536):
+                    pass
+                eof = True
+            except (ConnectionError, OSError):
+                eof = True
+            assert eof
+        finally:
+            server.stop()
+
+    def test_drop_and_snapshot_policy_sends_lagged_frames(self):
+        baseline = self.baseline_stream()
+        _session, server, host, port = self.make_server(
+            SlowConsumerPolicy.DROP_AND_SNAPSHOT
+        )
+        try:
+            stalled, reader = _stalled_peer(
+                host, port, qid=2, point=(0.45, 0.5), k=2
+            )
+            lines, elapsed = _drive_and_collect(
+                host, port, ticks=self.TICKS, register_peer_query=False
+            )
+            assert elapsed < 10.0
+            assert lines == baseline
+            # The stalled peer stays connected; when it finally reads, the
+            # stream carries explicit lag markers for the shed deltas.
+            stalled.settimeout(2.0)
+            frames = []
+            try:
+                for line in reader:
+                    frames.append(wire.decode_frame(line))
+            except (TimeoutError, socket.timeout, ConnectionError, OSError):
+                pass
+            lagged = [f for f in frames if type(f) is wire.Lagged]
+            assert lagged, "no lagged frame reached the slow consumer"
+            assert all(f.dropped >= 1 for f in lagged)
+        finally:
+            stalled.close()
+            server.stop()
 
 
 class TestSocketFeed:

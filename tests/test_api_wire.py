@@ -8,7 +8,12 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.api import wire
-from repro.api.queries import ConstrainedKnnSpec, KnnSpec, RangeSpec
+from repro.api.queries import (
+    ConstrainedKnnSpec,
+    FilteredKnnSpec,
+    KnnSpec,
+    RangeSpec,
+)
 from repro.service.deltas import ResultDelta
 from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind
 
@@ -53,8 +58,28 @@ deltas = st.builds(
     terminated=st.booleans(),
 )
 
+tags = st.lists(
+    st.text(min_size=1, max_size=8), min_size=0, max_size=3
+).map(tuple)
+nonempty_tags = st.lists(
+    st.text(min_size=1, max_size=8), min_size=1, max_size=3
+).map(tuple)
+
 specs = st.one_of(
     st.builds(KnnSpec, point=points, k=st.integers(min_value=1, max_value=64)),
+    st.builds(
+        FilteredKnnSpec,
+        point=points,
+        k=st.integers(min_value=1, max_value=64),
+        tags=nonempty_tags,
+        region=st.one_of(
+            st.none(),
+            st.tuples(finite, finite, finite, finite).map(
+                lambda t: (min(t[0], t[2]), min(t[1], t[3]),
+                           max(t[0], t[2]), max(t[1], t[3]))
+            ),
+        ),
+    ),
     st.builds(
         ConstrainedKnnSpec,
         point=points,
@@ -106,6 +131,21 @@ frames = st.one_of(
     st.builds(wire.Subscribe, qid=oids, include_unchanged=st.booleans()),
     st.builds(wire.Unsubscribe, qid=oids),
     st.builds(wire.Delta, timestamp=timestamps, delta=deltas),
+    st.builds(wire.Tags, rows=st.lists(st.tuples(oids, tags), max_size=4).map(tuple)),
+    st.builds(wire.Sync, objects=st.booleans(), watch=st.booleans()),
+    st.builds(
+        wire.SyncObjects,
+        rows=st.lists(
+            st.tuples(oids, points, st.one_of(st.none(), tags)), max_size=4
+        ).map(tuple),
+    ),
+    st.builds(wire.SyncQuery, qid=oids, spec=specs, result=entries),
+    st.builds(
+        wire.SyncDone,
+        queries=st.integers(min_value=0, max_value=2**20),
+        objects=st.integers(min_value=0, max_value=2**20),
+    ),
+    st.builds(wire.Lagged, dropped=st.integers(min_value=1, max_value=2**20)),
     st.builds(wire.Ok, op=st.sampled_from(["subscribe", "terminate"]),
               qid=st.one_of(st.none(), oids)),
     st.builds(wire.Error, message=st.text(max_size=40)),
@@ -169,6 +209,16 @@ class TestRoundTrip:
                 timestamp=None,
                 delta=ResultDelta(9, (), (), False, (), terminated=True),
             ),
+            wire.Tags(rows=((1, ("taxi",)), (2, ()))),
+            wire.Sync(objects=True, watch=False),
+            wire.SyncObjects(rows=((1, (0.5, 0.5), ("taxi",)), (2, (0.1, 0.2), None))),
+            wire.SyncQuery(
+                qid=9,
+                spec=FilteredKnnSpec(point=(0.1, 0.2), k=2, tags=("taxi",)),
+                result=((0.5, 1),),
+            ),
+            wire.SyncDone(queries=1, objects=2),
+            wire.Lagged(dropped=7),
             wire.Ok(op="subscribe", qid=9),
             wire.Error(message="boom"),
             wire.Bye(),
@@ -190,7 +240,7 @@ class TestDeltaFrames:
         )
         obj = json.loads(wire.encode_delta(11, delta))
         assert obj == {
-            "v": 1,
+            "v": 2,
             "t": "delta",
             "ts": 11,
             "qid": 7,
@@ -218,10 +268,17 @@ class TestDeltaFrames:
 class TestRejection:
     def test_unknown_version_rejected(self):
         line = wire.encode_frame(wire.Tick(timestamp=3)).replace(
-            '"v":1', '"v":2', 1
+            '"v":2', '"v":3', 1
         )
         with pytest.raises(wire.WireError, match="unsupported wire version"):
             wire.decode_frame(line)
+
+    def test_v1_frames_still_decode(self):
+        """v2 is additive: a v1 line from an old peer still decodes."""
+        line = wire.encode_frame(wire.Tick(timestamp=3)).replace(
+            '"v":2', '"v":1', 1
+        )
+        assert wire.decode_frame(line) == wire.Tick(timestamp=3)
 
     def test_missing_version_rejected(self):
         with pytest.raises(wire.WireError, match="unsupported wire version"):

@@ -1,11 +1,15 @@
-"""Tests for the monitoring server and metrics (repro.engine)."""
+"""Tests for workload replay and metrics (repro.api.session + repro.engine)."""
+
+import importlib
+import sys
+import warnings
 
 import pytest
 
 from repro.baselines.brute import BruteForceMonitor
 from repro.core.cpm import CPMMonitor
 from repro.engine.metrics import CycleMetrics, RunReport
-from repro.engine.server import MonitoringServer, run_workload
+from repro.api.session import replay_workload
 from repro.grid.stats import GridStats
 from repro.mobility.brinkhoff import BrinkhoffGenerator
 from repro.mobility.workload import WorkloadSpec
@@ -18,23 +22,31 @@ def workload():
     return BrinkhoffGenerator(SPEC).generate()
 
 
-class TestMonitoringServer:
+class TestWorkloadReplay:
     def test_run_produces_per_cycle_metrics(self, workload):
-        report = run_workload(CPMMonitor(cells_per_axis=16), workload)
+        report = replay_workload(CPMMonitor(cells_per_axis=16), workload)
         assert report.algorithm == "CPM"
         assert report.timestamps == 8
         assert all(isinstance(c, CycleMetrics) for c in report.cycles)
         assert report.total_processing_sec > 0.0
 
     def test_results_match_brute_force_cycle_by_cycle(self, workload):
-        cpm = MonitoringServer(
-            CPMMonitor(cells_per_axis=16), workload, collect_results=True
+        cpm_log: list = []
+        brute_log: list = []
+        replay_workload(
+            CPMMonitor(cells_per_axis=16),
+            workload,
+            collect_results=True,
+            result_log=cpm_log,
         )
-        brute = MonitoringServer(BruteForceMonitor(), workload, collect_results=True)
-        cpm.run()
-        brute.run()
-        assert len(cpm.result_log) == len(brute.result_log) == 9  # install + 8
-        for t, (got, want) in enumerate(zip(cpm.result_log, brute.result_log)):
+        replay_workload(
+            BruteForceMonitor(),
+            workload,
+            collect_results=True,
+            result_log=brute_log,
+        )
+        assert len(cpm_log) == len(brute_log) == 9  # install + 8
+        for t, (got, want) in enumerate(zip(cpm_log, brute_log)):
             assert got.keys() == want.keys(), t
             for qid in want:
                 # Distances must match exactly; ids can differ on exact ties.
@@ -42,24 +54,26 @@ class TestMonitoringServer:
 
     def test_on_cycle_callback(self, workload):
         seen = []
-        MonitoringServer(CPMMonitor(cells_per_axis=16), workload).run(
-            on_cycle=lambda m: seen.append(m.timestamp)
+        replay_workload(
+            CPMMonitor(cells_per_axis=16),
+            workload,
+            on_cycle=lambda m: seen.append(m.timestamp),
         )
         assert seen == list(range(8))
 
     def test_install_metrics_recorded(self, workload):
-        report = run_workload(CPMMonitor(cells_per_axis=16), workload)
+        report = replay_workload(CPMMonitor(cells_per_axis=16), workload)
         assert report.install_sec > 0.0
         assert report.install_stats.cell_scans > 0
 
     def test_cycle_stats_are_deltas_not_totals(self, workload):
-        report = run_workload(CPMMonitor(cells_per_axis=16), workload)
+        report = replay_workload(CPMMonitor(cells_per_axis=16), workload)
         # Each cycle's scans must be far below the total.
         total = report.total_cell_scans
         assert all(c.stats.cell_scans <= total for c in report.cycles)
 
     def test_update_counts_recorded(self, workload):
-        report = run_workload(BruteForceMonitor(), workload)
+        report = replay_workload(BruteForceMonitor(), workload)
         for batch, cycle in zip(workload.batches, report.cycles):
             assert cycle.object_updates == len(batch.object_updates)
             assert cycle.query_updates == len(batch.query_updates)
@@ -116,3 +130,25 @@ class TestRunReport:
             "objects_scanned",
             "results_changed",
         }
+
+
+class TestDeprecatedShim:
+    """repro.engine.server is import-warning-only; the adapter still works."""
+
+    def test_import_warns_and_shim_delegates(self, workload):
+        sys.modules.pop("repro.engine.server", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            server_mod = importlib.import_module("repro.engine.server")
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        ), "importing the shim must warn"
+        report = server_mod.run_workload(CPMMonitor(cells_per_axis=16), workload)
+        assert report.timestamps == 8
+
+    def test_package_getattr_still_resolves(self):
+        import repro
+        import repro.engine
+
+        assert repro.MonitoringServer is repro.engine.MonitoringServer
+        assert callable(repro.run_workload)

@@ -12,7 +12,7 @@ from repro.baselines.brute import BruteForceMonitor
 from repro.baselines.sea import SeaCnnMonitor
 from repro.baselines.ypk import YpkCnnMonitor
 from repro.core.cpm import CPMMonitor
-from repro.engine.server import MonitoringServer
+from repro.api.session import replay_workload
 from repro.mobility.brinkhoff import BrinkhoffGenerator
 from repro.mobility.uniform import UniformGenerator
 from repro.mobility.workload import WorkloadSpec
@@ -27,9 +27,9 @@ def replay_all(workload, cells=16):
     ]
     logs = {}
     for monitor in monitors:
-        server = MonitoringServer(monitor, workload, collect_results=True)
-        server.run()
-        logs[monitor.name] = server.result_log
+        log: list = []
+        replay_workload(monitor, workload, collect_results=True, result_log=log)
+        logs[monitor.name] = log
     return logs
 
 
@@ -145,7 +145,7 @@ class TestRelativePerformance:
             YpkCnnMonitor(cells_per_axis=16),
             SeaCnnMonitor(cells_per_axis=16),
         ):
-            report = MonitoringServer(monitor, workload).run()
+            report = replay_workload(monitor, workload)
             scans[monitor.name] = report.total_cell_scans
         assert scans["CPM"] < scans["YPK-CNN"]
         assert scans["CPM"] < scans["SEA-CNN"]

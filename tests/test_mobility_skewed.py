@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines.brute import BruteForceMonitor
 from repro.core.cpm import CPMMonitor
-from repro.engine.server import MonitoringServer
+from repro.api.session import replay_workload
 from repro.grid.grid import Grid
 from repro.mobility.skewed import SkewedGenerator, occupancy_skew
 from repro.mobility.uniform import UniformGenerator
@@ -72,11 +72,15 @@ class TestGeneration:
 
     def test_monitors_stay_correct_under_skew(self):
         wl = SkewedGenerator(SPEC).generate()
-        cpm = MonitoringServer(CPMMonitor(cells_per_axis=16), wl, collect_results=True)
-        brute = MonitoringServer(BruteForceMonitor(), wl, collect_results=True)
-        cpm.run()
-        brute.run()
-        for got, want in zip(cpm.result_log, brute.result_log):
+        cpm_log: list = []
+        brute_log: list = []
+        replay_workload(
+            CPMMonitor(cells_per_axis=16), wl, collect_results=True, result_log=cpm_log
+        )
+        replay_workload(
+            BruteForceMonitor(), wl, collect_results=True, result_log=brute_log
+        )
+        for got, want in zip(cpm_log, brute_log):
             for qid in want:
                 assert [d for d, _ in got[qid]] == [d for d, _ in want[qid]]
 

@@ -2,7 +2,7 @@
 
 Covers the three satellite requirements of the perf-gate PR: BENCH JSON
 schema round-trips, ``compare`` threshold semantics with their exit codes,
-and :class:`repro.engine.server.MonitoringServer` edge cases (empty
+and workload-replay (`Session.replay`) edge cases (empty
 workloads, zero queries).
 """
 
@@ -12,7 +12,7 @@ import json
 import pytest
 
 from repro.core.cpm import CPMMonitor
-from repro.engine.server import MonitoringServer, run_workload
+from repro.api.session import replay_workload
 from repro.mobility.workload import Workload, WorkloadSpec
 from repro.perf.compare import compare_reports, render_comparison
 from repro.perf.runner import run_case, run_suite
@@ -416,10 +416,10 @@ def bare_workload(n_objects=5, n_queries=0, timestamps=0):
     )
 
 
-class TestMonitoringServerEdges:
+class TestReplayEdges:
     def test_zero_queries_zero_timestamps(self):
         """The truly empty workload: nothing to install, nothing to replay."""
-        report = run_workload(CPMMonitor(cells_per_axis=8), bare_workload())
+        report = replay_workload(CPMMonitor(cells_per_axis=8), bare_workload())
         assert report.n_queries == 0
         assert report.timestamps == 0
         assert report.total_cell_scans == 0
@@ -427,7 +427,7 @@ class TestMonitoringServerEdges:
         assert report.mean_cycle_sec == 0.0
 
     def test_zero_queries_with_batches(self):
-        report = run_workload(
+        report = replay_workload(
             CPMMonitor(cells_per_axis=8), bare_workload(timestamps=4)
         )
         assert report.timestamps == 4
@@ -435,16 +435,17 @@ class TestMonitoringServerEdges:
         assert report.cell_accesses_per_query_per_timestamp == 0.0
 
     def test_zero_queries_result_log_is_empty_tables(self):
-        server = MonitoringServer(
+        log: list = []
+        replay_workload(
             CPMMonitor(cells_per_axis=8),
             bare_workload(timestamps=2),
             collect_results=True,
+            result_log=log,
         )
-        server.run()
-        assert server.result_log == [{}, {}, {}]
+        assert log == [{}, {}, {}]
 
     def test_empty_workload_summary_keys(self):
-        report = run_workload(CPMMonitor(cells_per_axis=8), bare_workload())
+        report = replay_workload(CPMMonitor(cells_per_axis=8), bare_workload())
         summary = report.summary()
         assert summary["cell_scans"] == 0.0
         assert summary["cpu_sec"] == 0.0

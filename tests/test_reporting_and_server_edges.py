@@ -1,10 +1,10 @@
-"""Edge-case tests for reporting helpers and the monitoring server."""
+"""Edge-case tests for reporting helpers and workload replay."""
 
 import pytest
 
 from repro.baselines.brute import BruteForceMonitor
 from repro.core.cpm import CPMMonitor
-from repro.engine.server import MonitoringServer, run_workload
+from repro.api.session import replay_workload
 from repro.experiments.common import ExperimentResult, SeriesPoint
 from repro.experiments.reporting import format_table, print_result, render_result
 from repro.engine.metrics import RunReport
@@ -26,21 +26,22 @@ def empty_workload(n_objects=5, n_queries=1, timestamps=0):
 
 class TestServerEdges:
     def test_zero_timestamp_workload(self):
-        report = run_workload(CPMMonitor(cells_per_axis=8), empty_workload())
+        report = replay_workload(CPMMonitor(cells_per_axis=8), empty_workload())
         assert report.timestamps == 0
         assert report.total_processing_sec == 0.0
         assert report.install_sec > 0.0
 
     def test_empty_batches_preserve_results(self):
         workload = empty_workload(timestamps=3)
-        server = MonitoringServer(
-            CPMMonitor(cells_per_axis=8), workload, collect_results=True
+        log: list = []
+        replay_workload(
+            CPMMonitor(cells_per_axis=8),
+            workload,
+            collect_results=True,
+            result_log=log,
         )
-        server.run()
-        assert len(server.result_log) == 4
-        assert all(
-            table == server.result_log[0] for table in server.result_log[1:]
-        )
+        assert len(log) == 4
+        assert all(table == log[0] for table in log[1:])
 
     def test_workload_without_queries(self):
         spec = WorkloadSpec(n_objects=3, n_queries=0, timestamps=2, seed=1)
@@ -50,15 +51,17 @@ class TestServerEdges:
             initial_queries={},
             batches=[UpdateBatch(timestamp=0), UpdateBatch(timestamp=1)],
         )
-        report = run_workload(BruteForceMonitor(), workload)
+        report = replay_workload(BruteForceMonitor(), workload)
         assert report.n_queries == 0
         assert report.cell_accesses_per_query_per_timestamp == 0.0
 
     def test_on_cycle_sees_metrics_in_order(self):
         workload = empty_workload(timestamps=4)
         stamps = []
-        MonitoringServer(CPMMonitor(cells_per_axis=8), workload).run(
-            on_cycle=lambda m: stamps.append(m.timestamp)
+        replay_workload(
+            CPMMonitor(cells_per_axis=8),
+            workload,
+            on_cycle=lambda m: stamps.append(m.timestamp),
         )
         assert stamps == [0, 1, 2, 3]
 

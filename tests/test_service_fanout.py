@@ -1,0 +1,221 @@
+"""Unit tests for the async fan-out tier (:class:`FanoutQueue`).
+
+The contract under test: ``put`` never blocks the producer, the writer
+thread delivers in FIFO order, and a stalled consumer triggers an
+explicit slow-consumer policy — DISCONNECT (break the queue, fire the
+close hook once) or DROP_AND_SNAPSHOT (shed droppable items, deliver a
+single coalesced lag marker, keep control frames intact and ordered).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.subscriptions import FanoutQueue, SlowConsumerPolicy
+
+
+class Gate:
+    """A deliver callable that can be blocked and records everything."""
+
+    def __init__(self):
+        self.items = []
+        self._open = threading.Event()
+        self._open.set()
+        self.entered = threading.Event()
+
+    def __call__(self, item):
+        self.entered.set()
+        self._open.wait(timeout=10.0)
+        self.items.append(item)
+
+    def block(self):
+        self._open.clear()
+
+    def unblock(self):
+        self._open.set()
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestBasics:
+    def test_delivers_in_fifo_order(self):
+        gate = Gate()
+        q = FanoutQueue(gate, limit=64)
+        for i in range(20):
+            assert q.put(i)
+        assert q.join(timeout=5.0)
+        assert gate.items == list(range(20))
+        assert q.delivered == 20
+        q.close()
+
+    def test_put_after_close_returns_false(self):
+        gate = Gate()
+        q = FanoutQueue(gate, limit=4)
+        q.close()
+        assert q.put("late") is False
+
+    def test_close_with_flush_delivers_the_backlog(self):
+        gate = Gate()
+        gate.block()
+        q = FanoutQueue(gate, limit=64)
+        for i in range(5):
+            q.put(i)
+        gate.unblock()
+        q.close(flush=True)
+        assert gate.items == list(range(5))
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError, match="limit"):
+            FanoutQueue(lambda item: None, limit=0)
+
+    def test_drop_policy_requires_lag_factory(self):
+        with pytest.raises(ValueError, match="lag_factory"):
+            FanoutQueue(
+                lambda item: None,
+                policy=SlowConsumerPolicy.DROP_AND_SNAPSHOT,
+            )
+
+    def test_join_waits_for_the_inflight_item(self):
+        """join must not report drained while an item sits inside
+        deliver (popped from the queue but not yet on the wire)."""
+        gate = Gate()
+        q = FanoutQueue(gate, limit=8)
+        gate.block()
+        q.put("slow")
+        assert gate.entered.wait(timeout=5.0)
+
+        def release():
+            time.sleep(0.05)
+            gate.unblock()
+
+        threading.Thread(target=release, daemon=True).start()
+        assert q.join(timeout=5.0)
+        assert gate.items == ["slow"]
+        q.close()
+
+
+class TestDisconnectPolicy:
+    def test_overflow_breaks_queue_and_fires_hook_once(self):
+        gate = Gate()
+        gate.block()
+        hooks = []
+        q = FanoutQueue(
+            gate,
+            limit=4,
+            policy=SlowConsumerPolicy.DISCONNECT,
+            on_overflow=lambda: hooks.append(1),
+        )
+        # One item enters deliver and blocks; the limit then applies to
+        # what queues up behind it.
+        q.put("head")
+        assert gate.entered.wait(timeout=5.0)
+        accepted = sum(1 for i in range(10) if q.put(i))
+        assert accepted < 10
+        assert q.broken
+        assert hooks == [1]
+        assert q.overflows == 1
+        # Broken queue refuses everything, without re-firing the hook.
+        assert q.put("after") is False
+        assert hooks == [1]
+        gate.unblock()
+        q.close(flush=False)
+
+    def test_producer_is_never_blocked_by_a_stalled_consumer(self):
+        gate = Gate()
+        gate.block()
+        q = FanoutQueue(gate, limit=2, policy=SlowConsumerPolicy.DISCONNECT)
+        start = time.monotonic()
+        for i in range(100):
+            q.put(i)
+        elapsed = time.monotonic() - start
+        assert elapsed < 1.0
+        gate.unblock()
+        q.close(flush=False)
+
+
+class TestDropAndSnapshotPolicy:
+    def make(self, gate, limit=4):
+        return FanoutQueue(
+            gate,
+            limit=limit,
+            policy=SlowConsumerPolicy.DROP_AND_SNAPSHOT,
+            lag_factory=lambda dropped: ("lagged", dropped),
+        )
+
+    def test_droppables_shed_and_coalesced_into_one_lag_marker(self):
+        gate = Gate()
+        gate.block()
+        q = self.make(gate, limit=4)
+        q.put("head")  # enters deliver and stalls there
+        assert gate.entered.wait(timeout=5.0)
+        for i in range(12):
+            assert q.put(("delta", i), droppable=True)
+        gate.unblock()
+        assert q.join(timeout=5.0)
+        q.close()
+
+        assert gate.items[0] == "head"
+        lag_frames = [x for x in gate.items if x[0] == "lagged"]
+        delta_frames = [x for x in gate.items if x[0] == "delta"]
+        # Every delta was either delivered or counted in a lag marker.
+        assert sum(n for _, n in lag_frames) + len(delta_frames) == 12
+        assert q.dropped == sum(n for _, n in lag_frames)
+        assert q.dropped > 0
+        # Back-to-back overflows coalesce: one marker per stall window,
+        # and a marker is never followed by another marker directly.
+        for a, b in zip(gate.items, gate.items[1:]):
+            assert not (a[0] == "lagged" and b[0] == "lagged")
+
+    def test_control_frames_survive_overflow_in_order(self):
+        gate = Gate()
+        gate.block()
+        q = self.make(gate, limit=4)
+        q.put("head")
+        assert gate.entered.wait(timeout=5.0)
+        q.put("ctrl0")
+        for i in range(8):
+            q.put(("delta", i), droppable=True)
+        q.put("ctrl1")
+        gate.unblock()
+        assert q.join(timeout=5.0)
+        q.close()
+        kept = [x for x in gate.items if isinstance(x, str)]
+        assert kept == ["head", "ctrl0", "ctrl1"]
+        assert not q.broken
+
+    def test_lag_count_resolves_at_write_time(self):
+        """The marker reports everything dropped up to the moment it is
+        written, even across multiple overflow events."""
+        gate = Gate()
+        gate.block()
+        q = self.make(gate, limit=2)
+        q.put("head")
+        assert gate.entered.wait(timeout=5.0)
+        for i in range(9):
+            q.put(("delta", i), droppable=True)
+        gate.unblock()
+        assert q.join(timeout=5.0)
+        q.close()
+        lag_frames = [x for x in gate.items if x[0] == "lagged"]
+        assert len(lag_frames) >= 1
+        assert sum(n for _, n in lag_frames) == q.dropped
+
+
+class TestBrokenConsumer:
+    def test_deliver_exception_marks_broken(self):
+        def explode(item):
+            raise ConnectionError("peer gone")
+
+        q = FanoutQueue(explode, limit=8)
+        q.put("x")
+        assert wait_for(lambda: q.broken)
+        assert q.put("y") is False
+        q.close(flush=False)

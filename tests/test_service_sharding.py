@@ -8,7 +8,7 @@ byte) is covered here deterministically and in
 import pytest
 
 from repro.core.cpm import CPMMonitor
-from repro.engine.server import MonitoringServer, run_workload
+from repro.api.session import Session, replay_workload
 from repro.mobility.brinkhoff import BrinkhoffGenerator
 from repro.mobility.uniform import UniformGenerator
 from repro.mobility.workload import WorkloadSpec
@@ -83,9 +83,11 @@ def small_workload(**overrides):
 
 
 def replay(monitor, workload):
-    server = MonitoringServer(monitor, workload, collect_results=True)
-    report = server.run()
-    return report, server.result_log
+    log: list = []
+    report = replay_workload(
+        monitor, workload, collect_results=True, result_log=log
+    )
+    return report, log
 
 
 class TestShardedEquivalence:
@@ -322,8 +324,8 @@ class TestProcessExecutor:
 class TestStatsAggregation:
     def test_sharded_counters_feed_run_report(self):
         workload = small_workload(timestamps=4)
-        single_report = run_workload(CPMMonitor(cells_per_axis=16), workload)
-        sharded_report = run_workload(ShardedMonitor(2, cells_per_axis=16), workload)
+        single_report = replay_workload(CPMMonitor(cells_per_axis=16), workload)
+        sharded_report = replay_workload(ShardedMonitor(2, cells_per_axis=16), workload)
         assert sharded_report.total_cell_scans == single_report.total_cell_scans
         # Maintenance is replicated to both shards: insert/delete counters
         # double while the query-driven scan counters stay identical.
@@ -428,15 +430,20 @@ class TestMonitoringService:
         service = MonitoringService(monitor)
         timestamps = set()
         service.subscribe(lambda ts, d: timestamps.add(ts))
-        server = MonitoringServer(monitor, workload, service=service)
-        report = server.run()
+        report = Session(service).replay(workload)
         assert report.timestamps == len(workload.batches)
         # Install snapshots (None) plus every cycle that changed something.
         assert None in timestamps
         assert {b.timestamp for b in workload.batches} <= timestamps
 
-    def test_server_rejects_foreign_service(self):
+    def test_session_replay_reuses_service_hub(self):
+        # Handing a pre-built service to Session keeps its hub (and
+        # therefore its subscribers) wired through the replay.
         workload = small_workload(timestamps=2)
         service = MonitoringService(CPMMonitor(cells_per_axis=8))
-        with pytest.raises(ValueError):
-            MonitoringServer(CPMMonitor(cells_per_axis=8), workload, service=service)
+        session = Session(service)
+        assert session.service is service
+        events = []
+        service.subscribe(lambda ts, d: events.append(ts))
+        session.replay(workload)
+        assert events
