@@ -87,17 +87,6 @@ from repro.updates import (
 
 __version__ = "1.0.0"
 
-
-def __getattr__(name: str):
-    # Deprecated replay shim: imported lazily so ``import repro`` stays
-    # warning-free while ``repro.MonitoringServer`` / ``repro.run_workload``
-    # keep resolving (with the shim's DeprecationWarning) until removal.
-    if name in ("MonitoringServer", "run_workload"):
-        from repro.engine import server as _server
-
-        return getattr(_server, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
 __all__ = [
     "AggregateNNStrategy",
     "BrinkhoffGenerator",
@@ -122,7 +111,6 @@ __all__ = [
     "KnnSpec",
     "MinkowskiNNStrategy",
     "MonitorSocketServer",
-    "MonitoringServer",
     "MonitoringService",
     "ObjectUpdate",
     "PointNNStrategy",
@@ -161,5 +149,4 @@ __all__ = [
     "naive_strategy_search",
     "random_geometric_network",
     "replay_workload",
-    "run_workload",
 ]

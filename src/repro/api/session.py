@@ -18,8 +18,7 @@ a bare engine) and exposes the client vocabulary:
 
 The same surface exists remotely: :class:`repro.api.client.Client`
 mirrors it over the ndjson wire protocol.  Workload replay lives here
-too — :meth:`Session.replay`, or the one-shot :func:`replay_workload`
-(the deprecated ``repro.engine.server`` shim delegates to them).
+too — :meth:`Session.replay`, or the one-shot :func:`replay_workload`.
 """
 
 from __future__ import annotations
@@ -347,8 +346,8 @@ class Session:
         snapshots).  ``result_log`` (when ``collect_results``) receives
         the per-cycle ``{qid: result}`` tables, install snapshot first.
         """
-        # Local import: repro.engine.server imports this module at load
-        # time; importing engine.metrics lazily keeps the cycle open.
+        # Local import: keeps the api package importable without pulling
+        # the metrics vocabulary in at load time.
         from repro.engine.metrics import CycleMetrics, RunReport
         import time
 
@@ -369,16 +368,21 @@ class Session:
         if collect_results and result_log is not None:
             result_log.append(monitor.result_table())
 
-        for batch in workload.batches:
+        # Columnar replay: the materialized stream is transposed once
+        # (memoized on the workload) and every cycle runs the monitors'
+        # ``process_flat`` fast path — the row and columnar cycles are
+        # pinned byte-identical, so results, changed sets and counters
+        # match a ``tick_batch`` replay exactly.
+        for batch in workload.flat_batches():
             monitor.reset_stats()
             t0 = time.perf_counter()
-            changed = self.tick_batch(batch)
+            changed = self.tick_flat(batch)
             elapsed = time.perf_counter() - t0
             metrics = CycleMetrics(
                 timestamp=batch.timestamp,
                 elapsed_sec=elapsed,
                 stats=monitor.stats.snapshot(),
-                object_updates=len(batch.object_updates),
+                object_updates=len(batch.oids),
                 query_updates=len(batch.query_updates),
                 results_changed=len(changed),
             )
@@ -425,9 +429,7 @@ def replay_workload(
 ):
     """One-shot replay of a workload into a monitor (or service).
 
-    The module-level convenience that replaced the deprecated
-    ``repro.engine.server.run_workload``: builds a throwaway
-    :class:`Session` (reusing the hub when handed a
+    Builds a throwaway :class:`Session` (reusing the hub when handed a
     :class:`MonitoringService`) and runs :meth:`Session.replay`.
     ``result_log`` receives the per-cycle ``{qid: result}`` tables when
     ``collect_results`` is set (install snapshot first).

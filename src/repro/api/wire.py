@@ -65,7 +65,7 @@ from typing import Union
 from repro.api.queries import QuerySpec, spec_from_wire, spec_to_wire
 from repro.geometry.points import Point
 from repro.service.deltas import ResultDelta
-from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind
+from repro.updates import FlatUpdateBatch, ObjectUpdate, QueryUpdate, QueryUpdateKind
 
 #: the protocol version this module speaks (stamps every encoded frame).
 WIRE_VERSION = 2
@@ -413,6 +413,35 @@ def encode_frame(frame: Frame) -> str:
     obj = {"v": WIRE_VERSION, "t": kind}
     obj.update(body)
     return json.dumps(obj, separators=(",", ":"))
+
+
+def encode_updates_flat(batch: FlatUpdateBatch) -> str:
+    """The :class:`Updates` frame line read straight from a columnar
+    :class:`repro.updates.FlatUpdateBatch` — no per-row
+    :class:`ObjectUpdate` objects are built.
+
+    Byte-identical to
+    ``encode_frame(Updates(updates=batch.to_object_updates()))``: the
+    coordinate columns hold the same floats the row objects would carry
+    (``json`` serializes them by ``repr`` either way) and the key order
+    is the canonical ``v``/``t``/``rows``.
+    """
+    rows: list[list] = []
+    append = rows.append
+    for oid, ox, oy, nx, ny, ap, dis in zip(
+        batch.oids,
+        batch.old_xs,
+        batch.old_ys,
+        batch.new_xs,
+        batch.new_ys,
+        batch.appear,
+        batch.disappear,
+    ):
+        append([oid, None if ap else [ox, oy], None if dis else [nx, ny]])
+    return json.dumps(
+        {"v": WIRE_VERSION, "t": "updates", "rows": rows},
+        separators=(",", ":"),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -41,13 +41,23 @@ def naive_strategy_search(
     nn = NeighborList(k)
     processed: list[CellCoord] = []
     rows = grid.rows
+    is_point = type(strategy) is PointNNStrategy
     for key, (i, j) in keyed:
         if nn.is_full and key >= nn.kth_dist:
             break
-        oids, xs, ys = grid.scan_all_flat(i * rows + j)
-        for oid, x, y in zip(oids, xs, ys):
-            if strategy.accepts(x, y, oid):
-                nn.add(strategy.dist(x, y), oid)
+        if is_point:
+            # Point queries go through the fused (possibly vectorized)
+            # within-kernel; the kth-distance bound only prunes entries
+            # NeighborList.add would reject anyway, so results and
+            # accounting match the generic arm exactly.
+            bound = nn.kth_dist if nn.is_full else float("inf")
+            for d, oid in grid.scan_within(i * rows + j, strategy.x, strategy.y, bound):
+                nn.add(d, oid)
+        else:
+            oids, xs, ys = grid.scan_all_flat(i * rows + j)
+            for oid, x, y in zip(oids, xs, ys):
+                if strategy.accepts(x, y, oid):
+                    nn.add(strategy.dist(x, y), oid)
         processed.append((i, j))
     return nn.entries(), processed
 

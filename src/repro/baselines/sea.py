@@ -35,9 +35,15 @@ from repro.geometry.points import Point
 from repro.geometry.rects import Rect
 from repro.grid.cell import CellCoord
 from repro.grid.grid import Grid
+from repro.grid.kernels import KernelBackend
 from repro.grid.stats import GridStats
 from repro.monitor import ContinuousMonitor, ResultEntry
-from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind
+from repro.updates import (
+    FlatUpdateBatch,
+    ObjectUpdate,
+    QueryUpdate,
+    QueryUpdateKind,
+)
 
 
 class _SeaQuery:
@@ -76,11 +82,12 @@ class SeaCnnMonitor(ContinuousMonitor):
         *,
         bounds: Rect | tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0),
         delta: float | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if delta is not None:
-            self._grid = Grid(delta=delta, bounds=bounds)
+            self._grid = Grid(delta=delta, bounds=bounds, backend=backend)
         else:
-            self._grid = Grid(cells_per_axis, bounds=bounds)
+            self._grid = Grid(cells_per_axis, bounds=bounds, backend=backend)
         self._positions: dict[int, Point] = {}
         self._queries: dict[int, _SeaQuery] = {}
 
@@ -203,8 +210,114 @@ class SeaCnnMonitor(ContinuousMonitor):
                             sc = scratch[qid] = _SeaScratch()
                         sc.within = True
 
+        return self._finish_cycle(
+            scratch, updated_qids, bool(object_updates), query_updates
+        )
+
+    def process_flat(
+        self,
+        batch: FlatUpdateBatch,
+        query_updates: Sequence[QueryUpdate] | None = None,
+    ) -> set[int]:
+        """Columnar fast path: byte-identical to :meth:`process` over
+        ``batch.to_object_updates()``.
+
+        Grid surgery and answer-region probes match :meth:`process` row
+        for row (same counters, same scratch classification); both cell
+        ids of every row come from one batch addressing pass
+        (:meth:`repro.grid.grid.Grid.batch_cell_ids`, vectorized on the
+        numpy backend) and the mark sets are read straight off the
+        packed-id store — no coordinate tuples anywhere in the loop.
+        """
+        if query_updates is None:
+            query_updates = batch.query_updates
+        grid = self._grid
+        queries = self._queries
+        positions = self._positions
+        updated_qids = {qu.qid for qu in query_updates}
+        scratch: dict[int, _SeaScratch] = {}
+        scratch_get = scratch.get
+        marks_store = grid._marks
+        hypot = math.hypot
+        old_cids = grid.batch_cell_ids(batch.old_xs, batch.old_ys)
+        new_cids = grid.batch_cell_ids(batch.new_xs, batch.new_ys)
+        insert_at = grid.insert_at
+        delete_at = grid.delete_at
+        move_ids = grid.move_ids
+        positions_pop = positions.pop
+        for oid, nx, ny, ap, dis, ocid, ncid in zip(
+            batch.oids,
+            batch.new_xs,
+            batch.new_ys,
+            batch.appear,
+            batch.disappear,
+            old_cids,
+            new_cids,
+        ):
+            if ap:
+                insert_at(ncid, oid, (nx, ny))
+                positions[oid] = (nx, ny)
+                old_ms = None
+                new_ms = marks_store[ncid]
+            elif dis:
+                delete_at(ocid, oid)
+                positions_pop(oid, None)
+                old_ms = marks_store[ocid]
+                new_ms = None
+            else:
+                move_ids(oid, ocid, ncid, nx, ny)
+                positions[oid] = (nx, ny)
+                old_ms = marks_store[ocid]
+                new_ms = marks_store[ncid]
+            if old_ms:
+                for qid in old_ms:
+                    if qid in updated_qids:
+                        continue
+                    query = queries[qid]
+                    if oid not in query.ids:
+                        continue
+                    sc = scratch_get(qid)
+                    if sc is None:
+                        sc = scratch[qid] = _SeaScratch()
+                    if dis:
+                        sc.offline = True
+                    else:
+                        d = hypot(nx - query.x, ny - query.y)
+                        if d > query.best_dist:
+                            if d > sc.d_max:
+                                sc.d_max = d
+                        else:
+                            sc.within = True
+            if new_ms:
+                for qid in new_ms:
+                    if qid in updated_qids:
+                        continue
+                    query = queries[qid]
+                    if oid in query.ids:
+                        continue
+                    d = hypot(nx - query.x, ny - query.y)
+                    if d <= query.best_dist:
+                        sc = scratch_get(qid)
+                        if sc is None:
+                            sc = scratch[qid] = _SeaScratch()
+                        sc.within = True
+        return self._finish_cycle(
+            scratch, updated_qids, len(batch.oids) > 0, query_updates
+        )
+
+    def _finish_cycle(
+        self,
+        scratch: dict[int, _SeaScratch],
+        updated_qids: set[int],
+        had_updates: bool,
+        query_updates: Sequence[QueryUpdate],
+    ) -> set[int]:
+        """Re-evaluation of the affected queries plus query-update
+        handling (shared tail of :meth:`process` and
+        :meth:`process_flat`)."""
+        queries = self._queries
         # Under-full queries watch the whole workspace.
-        if object_updates:
+        if had_updates:
             for qid, query in queries.items():
                 if query.monitor_all and qid not in updated_qids and qid not in scratch:
                     sc = scratch[qid] = _SeaScratch()
@@ -246,6 +359,20 @@ class SeaCnnMonitor(ContinuousMonitor):
     ):
         """Targeted-capture delta reporting (see ContinuousMonitor)."""
         return self._process_deltas_captured(object_updates, query_updates)
+
+    def process_deltas_flat(
+        self,
+        batch: FlatUpdateBatch,
+        query_updates: Sequence[QueryUpdate] | None = None,
+    ):
+        """Columnar delta reporting: :meth:`process_flat` with capture
+        (the capture hook fires in the re-evaluation sweep, which the
+        row and columnar cycles share)."""
+        if query_updates is None:
+            query_updates = batch.query_updates
+        return self._captured_deltas(
+            query_updates, lambda: self.process_flat(batch, query_updates)
+        )
 
     # ------------------------------------------------------------------
     # Internals

@@ -29,9 +29,15 @@ from repro.baselines.common import collect_cell_objects, square_cells, two_step_
 from repro.geometry.points import Point
 from repro.geometry.rects import Rect
 from repro.grid.grid import Grid
+from repro.grid.kernels import KernelBackend
 from repro.grid.stats import GridStats
 from repro.monitor import ContinuousMonitor, ResultEntry
-from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind
+from repro.updates import (
+    FlatUpdateBatch,
+    ObjectUpdate,
+    QueryUpdate,
+    QueryUpdateKind,
+)
 
 
 class _YpkQuery:
@@ -55,11 +61,12 @@ class YpkCnnMonitor(ContinuousMonitor):
         *,
         bounds: Rect | tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0),
         delta: float | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if delta is not None:
-            self._grid = Grid(delta=delta, bounds=bounds)
+            self._grid = Grid(delta=delta, bounds=bounds, backend=backend)
         else:
-            self._grid = Grid(cells_per_axis, bounds=bounds)
+            self._grid = Grid(cells_per_axis, bounds=bounds, backend=backend)
         self._positions: dict[int, Point] = {}
         self._queries: dict[int, _YpkQuery] = {}
 
@@ -135,7 +142,61 @@ class YpkCnnMonitor(ContinuousMonitor):
                 assert new is not None
                 grid.insert(upd.oid, new[0], new[1])
                 self._positions[upd.oid] = new
+        return self._finish_cycle(query_updates)
 
+    def process_flat(
+        self,
+        batch: FlatUpdateBatch,
+        query_updates: Sequence[QueryUpdate] | None = None,
+    ) -> set[int]:
+        """Columnar fast path: byte-identical to :meth:`process` over
+        ``batch.to_object_updates()``.
+
+        The grid surgery is the same as in :meth:`process` — one
+        move/insert/delete per row, identical counters — but both cell
+        ids of every row come from one batch addressing pass
+        (:meth:`repro.grid.grid.Grid.batch_cell_ids`, vectorized on the
+        numpy backend) and the columns are consumed by a single zip
+        instead of per-row dataclass attribute reads.
+        """
+        if query_updates is None:
+            query_updates = batch.query_updates
+        grid = self._grid
+        positions = self._positions
+        # Full-row alignment: appearance rows carry placeholder old
+        # coordinates (their old cid lands in cell 0, unused), so no
+        # mask is needed and both id columns stay row-aligned.
+        old_cids = grid.batch_cell_ids(batch.old_xs, batch.old_ys)
+        new_cids = grid.batch_cell_ids(batch.new_xs, batch.new_ys)
+        insert_at = grid.insert_at
+        delete_at = grid.delete_at
+        move_ids = grid.move_ids
+        positions_pop = positions.pop
+        for oid, nx, ny, ap, dis, ocid, ncid in zip(
+            batch.oids,
+            batch.new_xs,
+            batch.new_ys,
+            batch.appear,
+            batch.disappear,
+            old_cids,
+            new_cids,
+        ):
+            if ap:
+                insert_at(ncid, oid, (nx, ny))
+                positions[oid] = (nx, ny)
+            elif dis:
+                delete_at(ocid, oid)
+                positions_pop(oid, None)
+            else:
+                move_ids(oid, ocid, ncid, nx, ny)
+                positions[oid] = (nx, ny)
+        return self._finish_cycle(query_updates)
+
+    def _finish_cycle(
+        self, query_updates: Sequence[QueryUpdate]
+    ) -> set[int]:
+        """Query-update handling plus the periodic re-evaluation sweep
+        (shared tail of :meth:`process` and :meth:`process_flat`)."""
         changed: set[int] = set()
         fresh: set[int] = set()
         for qu in query_updates:
@@ -171,6 +232,20 @@ class YpkCnnMonitor(ContinuousMonitor):
     ):
         """Targeted-capture delta reporting (see ContinuousMonitor)."""
         return self._process_deltas_captured(object_updates, query_updates)
+
+    def process_deltas_flat(
+        self,
+        batch: FlatUpdateBatch,
+        query_updates: Sequence[QueryUpdate] | None = None,
+    ):
+        """Columnar delta reporting: :meth:`process_flat` with capture
+        (the capture hook fires in the re-evaluation sweep, which the
+        row and columnar cycles share)."""
+        if query_updates is None:
+            query_updates = batch.query_updates
+        return self._captured_deltas(
+            query_updates, lambda: self.process_flat(batch, query_updates)
+        )
 
     def _re_evaluate(self, query: _YpkQuery) -> list[ResultEntry]:
         """Figure 2.1b: bound the search by the furthest previous neighbor."""

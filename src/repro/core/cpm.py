@@ -37,6 +37,7 @@ from __future__ import annotations
 from bisect import insort
 from collections.abc import Iterable, Sequence
 from heapq import heappop, heappush
+from itertools import repeat
 from math import hypot, inf as _INF
 
 from repro.core.bookkeeping import CycleScratch, QueryState
@@ -53,7 +54,7 @@ from repro.geometry.aggregates import AggregateFunction
 from repro.geometry.points import Point
 from repro.geometry.rects import Rect
 from repro.grid.grid import Grid
-from repro.grid.kernels import CellColumns
+from repro.grid.kernels import VEC_MIN_BATCH as _VEC_MIN_BATCH, KernelBackend
 from repro.grid.stats import GridStats
 from repro.monitor import ContinuousMonitor, ResultEntry
 from repro.updates import (
@@ -77,11 +78,12 @@ class CPMMonitor(ContinuousMonitor):
         delta: float | None = None,
         reuse_bookkeeping: bool = True,
         merge_optimization: bool = True,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if delta is not None:
-            self._grid = Grid(delta=delta, bounds=bounds)
+            self._grid = Grid(delta=delta, bounds=bounds, backend=backend)
         else:
-            self._grid = Grid(cells_per_axis, bounds=bounds)
+            self._grid = Grid(cells_per_axis, bounds=bounds, backend=backend)
         # oid -> packed cell id: the authoritative object->cell map.  The
         # update loop reads it instead of re-deriving the old cell from
         # the update's old coordinates (one dict hit versus ~a dozen
@@ -327,6 +329,9 @@ class CPMMonitor(ContinuousMonitor):
         cells_store = grid._cells
         marks_store = grid._marks
         stats = grid.stats
+        # Vectorized cell-scan kernel (numpy backend; None elsewhere).
+        vec_within = grid._vec_within
+        vec_min = grid._vec_min
         # The NN list identity is stable here: the search only inserts (in
         # place); replace() — which rebinds — never runs during a search.
         heap_list = heap._heap
@@ -354,27 +359,52 @@ class CPMMonitor(ContinuousMonitor):
                 if cell is not None and (coids := cell.oids):
                     n_objs += len(coids)
                     if is_point:
-                        # Fused scan-and-merge over the coordinate
-                        # columns; ties resolve by (dist, oid) entry
-                        # order exactly as NeighborList.add.
-                        for oid, x, y in zip(coids, cell.xs, cell.ys):
-                            d = hypot(x - qx, y - qy)
-                            if d <= kd:
-                                if n_cur < k:
-                                    insort(entries, (d, oid))
-                                    dists[oid] = d
-                                    n_cur += 1
-                                    if n_cur == k:
-                                        kd = entries[-1][0]
-                                else:
-                                    entry = (d, oid)
-                                    last = entries[-1]
-                                    if entry < last:
-                                        entries.pop()
-                                        del dists[last[1]]
-                                        insort(entries, entry)
+                        if vec_within is not None and len(coids) >= vec_min:
+                            # Vectorized prefilter bounded by the
+                            # loop-entry kd — a superset of everything
+                            # the scalar loop accepts (kd only shrinks)
+                            # — then the same merge re-applying the
+                            # live kd, so the outcome is identical.
+                            for d, oid in vec_within(cell, qx, qy, kd):
+                                if d <= kd:
+                                    if n_cur < k:
+                                        insort(entries, (d, oid))
                                         dists[oid] = d
-                                        kd = entries[-1][0]
+                                        n_cur += 1
+                                        if n_cur == k:
+                                            kd = entries[-1][0]
+                                    else:
+                                        entry = (d, oid)
+                                        last = entries[-1]
+                                        if entry < last:
+                                            entries.pop()
+                                            del dists[last[1]]
+                                            insort(entries, entry)
+                                            dists[oid] = d
+                                            kd = entries[-1][0]
+                            # (fall through to the mark bookkeeping)
+                        else:
+                            # Fused scan-and-merge over the coordinate
+                            # columns; ties resolve by (dist, oid) entry
+                            # order exactly as NeighborList.add.
+                            for oid, x, y in zip(coids, cell.xs, cell.ys):
+                                d = hypot(x - qx, y - qy)
+                                if d <= kd:
+                                    if n_cur < k:
+                                        insort(entries, (d, oid))
+                                        dists[oid] = d
+                                        n_cur += 1
+                                        if n_cur == k:
+                                            kd = entries[-1][0]
+                                    else:
+                                        entry = (d, oid)
+                                        last = entries[-1]
+                                        if entry < last:
+                                            entries.pop()
+                                            del dists[last[1]]
+                                            insort(entries, entry)
+                                            dists[oid] = d
+                                            kd = entries[-1][0]
                     else:
                         for oid, x, y in zip(coids, cell.xs, cell.ys):
                             if strategy.accepts(x, y, oid):
@@ -527,6 +557,8 @@ class CPMMonitor(ContinuousMonitor):
         visit_keys = state.visit_keys
         cells_store = grid._cells
         stats = grid.stats
+        vec_within = grid._vec_within
+        vec_min = grid._vec_min
         qid = state.qid
         is_point = state.is_point
         qx = state.qx
@@ -554,24 +586,47 @@ class CPMMonitor(ContinuousMonitor):
             if cell is not None and (coids := cell.oids):
                 n_objs += len(coids)
                 if is_point:
-                    for oid, x, y in zip(coids, cell.xs, cell.ys):
-                        d = hypot(x - qx, y - qy)
-                        if d <= kd:
-                            if n_cur < k:
-                                insort(entries, (d, oid))
-                                dists[oid] = d
-                                n_cur += 1
-                                if n_cur == k:
-                                    kd = entries[-1][0]
-                            else:
-                                entry = (d, oid)
-                                last = entries[-1]
-                                if entry < last:
-                                    entries.pop()
-                                    del dists[last[1]]
-                                    insort(entries, entry)
+                    if vec_within is not None and len(coids) >= vec_min:
+                        # Vectorized prefilter by the loop-entry kd (a
+                        # superset of the scalar accepts — kd only
+                        # shrinks); the merge re-applies the live kd,
+                        # so the outcome is identical (see _run_search).
+                        for d, oid in vec_within(cell, qx, qy, kd):
+                            if d <= kd:
+                                if n_cur < k:
+                                    insort(entries, (d, oid))
                                     dists[oid] = d
-                                    kd = entries[-1][0]
+                                    n_cur += 1
+                                    if n_cur == k:
+                                        kd = entries[-1][0]
+                                else:
+                                    entry = (d, oid)
+                                    last = entries[-1]
+                                    if entry < last:
+                                        entries.pop()
+                                        del dists[last[1]]
+                                        insort(entries, entry)
+                                        dists[oid] = d
+                                        kd = entries[-1][0]
+                    else:
+                        for oid, x, y in zip(coids, cell.xs, cell.ys):
+                            d = hypot(x - qx, y - qy)
+                            if d <= kd:
+                                if n_cur < k:
+                                    insort(entries, (d, oid))
+                                    dists[oid] = d
+                                    n_cur += 1
+                                    if n_cur == k:
+                                        kd = entries[-1][0]
+                                else:
+                                    entry = (d, oid)
+                                    last = entries[-1]
+                                    if entry < last:
+                                        entries.pop()
+                                        del dists[last[1]]
+                                        insort(entries, entry)
+                                        dists[oid] = d
+                                        kd = entries[-1][0]
                 else:
                     for oid, x, y in zip(coids, cell.xs, cell.ys):
                         if strategy.accepts(x, y, oid):
@@ -697,6 +752,7 @@ class CPMMonitor(ContinuousMonitor):
         stats = grid.stats
         object_cells = self._object_cells
         probes = self._query_probes
+        cell_cls = grid.cell_factory
         bounds = grid.bounds
         bx0 = bounds.x0
         by0 = bounds.y0
@@ -837,7 +893,7 @@ class CPMMonitor(ContinuousMonitor):
                 # (Inlined Grid.insert_at: append a row to the columns.)
                 cell = cells_store[new_cid]
                 if cell is None:
-                    cell = CellColumns()
+                    cell = cell_cls()
                     cells_store[new_cid] = cell
                 slot = cell.slot
                 if oid in slot:
@@ -919,7 +975,7 @@ class CPMMonitor(ContinuousMonitor):
             # (Inlined Grid.insert_at, as in the move path above.)
             cell = cells_store[new_cid]
             if cell is None:
-                cell = CellColumns()
+                cell = cell_cls()
                 cells_store[new_cid] = cell
             slot = cell.slot
             if oid in slot:
@@ -1003,6 +1059,7 @@ class CPMMonitor(ContinuousMonitor):
         stats = grid.stats
         object_cells = self._object_cells
         probes = self._query_probes
+        cell_cls = grid.cell_factory
         bounds = grid.bounds
         bx0 = bounds.x0
         by0 = bounds.y0
@@ -1012,32 +1069,55 @@ class CPMMonitor(ContinuousMonitor):
         rows_1 = rows - 1
 
         object_cells_get = object_cells.get
+        # Batch addressing kernel (numpy backend): the new cell of every
+        # row precomputed in one vectorized pass and zipped in as a fifth
+        # column (full-row alignment — a disappear row's cid is simply
+        # never read, which is cheaper than compressing rows out and
+        # pulling from an iterator).  The scalar backends zip a stream of
+        # ``None`` instead and keep the inlined per-row arithmetic.
+        vec_cells = grid._vec_cell_ids
+        if vec_cells is not None and len(batch.oids) >= _VEC_MIN_BATCH:
+            new_cids: Iterable[int | None] = vec_cells(
+                batch.new_xs,
+                batch.new_ys,
+                bx0,
+                by0,
+                delta,
+                cols_1,
+                rows_1,
+                rows,
+                None,
+            )
+        else:
+            new_cids = repeat(None)
         n_del = 0
         n_ins = 0
-        for oid, nx, ny, dis in zip(
-            batch.oids, batch.new_xs, batch.new_ys, batch.disappear
+        for oid, nx, ny, dis, new_cid in zip(
+            batch.oids, batch.new_xs, batch.new_ys, batch.disappear, new_cids
         ):
             if not dis:
                 # Movement or appearance: the new cell is needed either
-                # way (inlined Grid.cell_id); one map probe then decides
-                # which — a known object moves, an unknown one appears.
-                i = int((nx - bx0) / delta)
-                if i < 0:
-                    i = 0
-                elif i > cols_1:
-                    i = cols_1
-                j = int((ny - by0) / delta)
-                if j < 0:
-                    j = 0
-                elif j > rows_1:
-                    j = rows_1
-                new_cid = i * rows + j
+                # way (inlined Grid.cell_id, or the precomputed batch
+                # column); one map probe then decides which — a known
+                # object moves, an unknown one appears.
+                if new_cid is None:
+                    i = int((nx - bx0) / delta)
+                    if i < 0:
+                        i = 0
+                    elif i > cols_1:
+                        i = cols_1
+                    j = int((ny - by0) / delta)
+                    if j < 0:
+                        j = 0
+                    elif j > rows_1:
+                        j = rows_1
+                    new_cid = i * rows + j
                 old_cid = object_cells_get(oid)
                 if old_cid is None:
                     # Appearance (inlined Grid.insert_at).
                     cell = cells_store[new_cid]
                     if cell is None:
-                        cell = CellColumns()
+                        cell = cell_cls()
                         cells_store[new_cid] = cell
                     slot = cell.slot
                     if oid in slot:
@@ -1178,7 +1258,7 @@ class CPMMonitor(ContinuousMonitor):
                 # (Inlined Grid.insert_at: append a row to the columns.)
                 cell = cells_store[new_cid]
                 if cell is None:
-                    cell = CellColumns()
+                    cell = cell_cls()
                     cells_store[new_cid] = cell
                 slot = cell.slot
                 if oid in slot:

@@ -9,14 +9,4 @@ evaluation reports (CPU time and cell accesses).
 
 from repro.engine.metrics import CycleMetrics, RunReport
 
-__all__ = ["CycleMetrics", "MonitoringServer", "RunReport", "run_workload"]
-
-
-def __getattr__(name: str):
-    # Deprecated replay shim, imported lazily so the warning only fires
-    # for code that still reaches for it.
-    if name in ("MonitoringServer", "run_workload"):
-        from repro.engine import server as _server
-
-        return getattr(_server, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+__all__ = ["CycleMetrics", "RunReport"]

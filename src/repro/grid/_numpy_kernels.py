@@ -1,0 +1,144 @@
+"""Vectorized scan kernels over buffer-backed cell columns (numpy).
+
+This module is imported *lazily* by :func:`repro.grid.kernels.resolve_backend`
+— only when numpy is installed and the ``numpy`` backend is selected — so
+``import repro`` never touches numpy (the library stays stdlib-only by
+default; see the "no hard numpy import" contract in the README's numeric
+backends section).
+
+Byte-identity contract
+----------------------
+
+Every kernel here returns *exactly* what its scalar reference
+(:func:`repro.grid.kernels.within` and friends) returns: same candidate
+set, same ``(dist, oid)`` tuples (distances computed by ``math.hypot`` /
+``math.dist``, not ``numpy.hypot`` — the two may differ in the last ulp),
+same column order.  The vectorization is a *prefilter*: a squared-distance
+pass with a conservative relative slack selects the survivors (a strict
+superset of the true hits — squared compare in float64 loses at most a few
+ulps, the slack covers that), then the exact scalar distance and the exact
+``d <= r`` decision re-run per survivor.  Cells are small (tens to a few
+hundreds of objects), so the exact finish touches few rows while numpy
+eats the O(population) arithmetic.
+
+The coordinate views are *zero-copy*: ``np.frombuffer`` maps the live
+``array('d')`` buffers of a :class:`repro.grid.kernels.BufferCellColumns`.
+Views are taken per scan and never cached — an ``append`` may realloc the
+backing buffer, so a held view could go stale.
+"""
+
+from __future__ import annotations
+
+from math import dist as _dist, hypot as _hypot, inf as _INF, isfinite
+
+import numpy as np
+
+#: relative slack of the squared-distance prefilter.  The squared compare
+#: ``dx*dx + dy*dy <= r*r`` loses at most ~4 ulps (two products, one sum,
+#: one square) — 1e-12 relative is ~2000x that, still pruning everything
+#: that is not within a hair of the bound.
+_SLACK = 1.0 + 1e-12
+
+#: squared radii beyond this overflow float64 (hypot does not); the
+#: prefilter falls back to keeping every row for such bounds.
+_MAX_SQUARE_BOUND = 1.3e154
+
+
+def within_cell(cell, qx: float, qy: float, r: float) -> list[tuple[float, int]]:
+    """Vectorized twin of the inlined scalar ``within`` scan over one
+    buffer-backed cell: ``(dist, oid)`` pairs with ``dist <= r``, in
+    column order, distances by ``math.hypot``."""
+    xs = cell.xs
+    ys = cell.ys
+    oids = cell.oids
+    vx = np.frombuffer(xs) - qx
+    vy = np.frombuffer(ys) - qy
+    d2 = vx * vx + vy * vy
+    if r >= _MAX_SQUARE_BOUND:
+        # inf (the under-full search bound) or a radius whose square
+        # overflows: every row survives the prefilter by definition.
+        idx = range(len(oids))
+    else:
+        idx = np.nonzero(d2 <= r * r * _SLACK)[0].tolist()
+    out = []
+    append = out.append
+    for i in idx:
+        d = _hypot(xs[i] - qx, ys[i] - qy)
+        if d <= r:
+            append((d, oids[i]))
+    return out
+
+
+def best_k_cell(
+    cell, qx: float, qy: float, k: int, bound: float
+) -> list[tuple[float, int]]:
+    """Vectorized twin of :func:`repro.grid.kernels.best_k`."""
+    hits = within_cell(cell, qx, qy, bound)
+    if len(hits) > 1:
+        hits.sort()
+    return hits[:k]
+
+
+def batch_cell_ids(
+    xs,
+    ys,
+    x0: float,
+    y0: float,
+    delta: float,
+    cols_1: int,
+    rows_1: int,
+    rows: int,
+    skip=None,
+) -> list[int]:
+    """Packed cell ids of every ``(xs[i], ys[i])`` row in one vector pass.
+
+    Twin of the inlined per-row addressing of the update loops
+    (``i = int((x - x0) / delta)`` clamped to ``[0, cols-1]``, then
+    ``i * rows + j``).  The clamp runs in the *float* domain before the
+    integer cast: for in-range values the cast truncates exactly like
+    ``int()``, out-of-range values hit the clamp boundary exactly as the
+    integer clamp does, and huge coordinates never reach an overflowing
+    float->int64 cast.  Non-finite coordinates are outside the grid
+    contract (the scalar path raises on them; this one does not).
+
+    ``skip`` (an optional byte mask, e.g. a batch's ``disappear``
+    column) drops the marked rows from the result, keeping the remaining
+    ids aligned with the rows a consumer actually addresses.
+    """
+    fi = np.clip((np.frombuffer(xs) - x0) / delta, 0.0, float(cols_1))
+    fj = np.clip((np.frombuffer(ys) - y0) / delta, 0.0, float(rows_1))
+    cids = fi.astype(np.int64) * rows + fj.astype(np.int64)
+    if skip is not None:
+        cids = cids[np.frombuffer(skip, dtype=np.uint8) == 0]
+    return cids.tolist()
+
+
+def within_nd(
+    oids, pts, q, r: float
+) -> list[tuple[float, int]]:
+    """Vectorized twin of :func:`repro.grid.kernels.within_nd`.
+
+    The d-dimensional cells store rows as point tuples, so this pass
+    *copies* into a matrix before filtering (not zero-copy like the 2-D
+    kernels); it still wins once the population crosses the crossover
+    because the per-row squared distance runs in one vector expression.
+    """
+    if not oids:
+        return []
+    mat = np.asarray(pts, dtype=np.float64)
+    diff = mat - np.asarray(q, dtype=np.float64)
+    d2 = np.einsum("ij,ij->i", diff, diff)
+    if not isfinite(r) or r >= _MAX_SQUARE_BOUND:
+        if r == _INF or r != r or r >= _MAX_SQUARE_BOUND:
+            idx = range(len(oids))
+        else:  # -inf: nothing can match
+            return []
+    else:
+        idx = np.nonzero(d2 <= r * r * _SLACK)[0].tolist()
+    out = []
+    append = out.append
+    for i in idx:
+        d = _dist(pts[i], q)
+        if d <= r:
+            append((d, oids[i]))
+    return out

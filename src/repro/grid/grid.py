@@ -51,7 +51,12 @@ from math import hypot as _hypot
 from repro.geometry.points import Point
 from repro.geometry.rects import Rect
 from repro.grid.cell import CellCoord, cell_bounds, cell_index
-from repro.grid.kernels import CellColumns, best_k
+from repro.grid.kernels import (
+    VEC_MIN_BATCH as _VEC_MIN_BATCH,
+    KernelBackend,
+    best_k,
+    resolve_backend,
+)
 from repro.grid.stats import GridStats
 
 _EMPTY_OBJECTS: dict[int, Point] = {}
@@ -88,11 +93,20 @@ class Grid:
             workspace, the last column/row possibly extending past it.
         bounds: workspace rectangle; defaults to the unit square used by the
             paper's normalized datasets.
+        backend: numeric kernel backend — a name (``"list"`` /
+            ``"array"`` / ``"numpy"`` / ``"auto"``), a resolved
+            :class:`repro.grid.kernels.KernelBackend`, or ``None`` to
+            honor ``REPRO_KERNEL_BACKEND`` (default ``auto``: numpy when
+            installed, the stdlib ``array('d')`` buffers otherwise).
+            Every backend produces byte-identical scan results and
+            counters; only the speed differs.
     """
 
     __slots__ = (
+        "backend",
         "boundary_epsilon",
         "bounds",
+        "cell_factory",
         "cols",
         "delta",
         "rows",
@@ -102,6 +116,9 @@ class Grid:
         "_marks",
         "_n_objects",
         "_occupied",
+        "_vec_cell_ids",
+        "_vec_min",
+        "_vec_within",
     )
 
     def __init__(
@@ -110,6 +127,7 @@ class Grid:
         *,
         delta: float | None = None,
         bounds: Rect | tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0),
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if not isinstance(bounds, Rect):
             bounds = Rect(*bounds)
@@ -138,6 +156,15 @@ class Grid:
             + abs(bounds.x1) + abs(bounds.y1)
         )
         self.stats = GridStats()
+        # The numeric backend: the cell representation every mutation
+        # path constructs, plus the (optional) vectorized scan kernel
+        # the scan front-ends call once a cell's population reaches
+        # the crossover (see repro.grid.kernels).
+        self.backend = resolve_backend(backend)
+        self.cell_factory = self.backend.cell_factory
+        self._vec_within = self.backend.vec_within
+        self._vec_min = self.backend.vec_min
+        self._vec_cell_ids = self.backend.batch_cell_ids
         n_cells = self.cols * self.rows
         # cid -> CellColumns and cid -> {qid, ...}; dense list backing
         # when the grid fits, sparse fallback otherwise.
@@ -181,6 +208,52 @@ class Grid:
         elif j >= self.rows:
             j = self.rows - 1
         return i * self.rows + j
+
+    def batch_cell_ids(self, xs, ys, skip=None) -> list[int]:
+        """Packed cell ids for whole coordinate columns at once.
+
+        The batch twin of :meth:`cell_id` (identical clamped cell
+        decisions, row by row): ``xs`` / ``ys`` are parallel columns —
+        a :class:`repro.updates.FlatUpdateBatch`'s coordinate arrays in
+        the hot path — and ``skip`` is an optional byte mask whose
+        truthy rows are omitted from the result (the masked columnar
+        loops address only the unmasked rows).
+
+        Backends with a batch addressing kernel
+        (``KernelBackend.batch_cell_ids``: numpy) run it vectorized
+        past :data:`repro.grid.kernels.VEC_MIN_BATCH` rows; otherwise a
+        scalar loop produces the same list.
+        """
+        bounds = self.bounds
+        bx0 = bounds.x0
+        by0 = bounds.y0
+        delta = self.delta
+        rows = self.rows
+        cols_1 = self.cols - 1
+        rows_1 = rows - 1
+        vec = self._vec_cell_ids
+        if vec is not None and len(xs) >= _VEC_MIN_BATCH:
+            return vec(xs, ys, bx0, by0, delta, cols_1, rows_1, rows, skip)
+        out: list[int] = []
+        append = out.append
+        rows_iter = (
+            zip(xs, ys)
+            if skip is None
+            else ((x, y) for x, y, s in zip(xs, ys, skip) if not s)
+        )
+        for x, y in rows_iter:
+            i = int((x - bx0) / delta)
+            if i < 0:
+                i = 0
+            elif i > cols_1:
+                i = cols_1
+            j = int((y - by0) / delta)
+            if j < 0:
+                j = 0
+            elif j > rows_1:
+                j = rows_1
+            append(i * rows + j)
+        return out
 
     def pack(self, i: int, j: int) -> int:
         """Packed id of ``c_{i,j}``."""
@@ -289,7 +362,7 @@ class Grid:
         cells = self._cells
         cell = cells[cid]
         if cell is None:
-            cell = CellColumns()
+            cell = self.cell_factory()
             cells[cid] = cell
         slot = cell.slot
         if oid in slot:
@@ -427,7 +500,7 @@ class Grid:
             # kept: a second row for oid would be unscannable corruption).
             cell = cells[new_cid]
             if cell is None:
-                cell = CellColumns()
+                cell = self.cell_factory()
                 cells[new_cid] = cell
             slot = cell.slot
             if oid in slot:
@@ -444,6 +517,67 @@ class Grid:
         stats.deletes += 1
         stats.inserts += 1
         return (divmod(old_cid, rows), divmod(new_cid, rows))
+
+    def move_ids(
+        self, oid: int, old_cid: int, new_cid: int, nx: float, ny: float
+    ) -> None:
+        """:meth:`move` with both cell ids precomputed by the caller.
+
+        The columnar update loops (``process_flat``) address whole
+        batches through :meth:`batch_cell_ids` and then drive this
+        entry point, skipping the per-row addressing of :meth:`move`.
+        Same fast path, same failure modes, same counters (one delete
+        plus one insert bump whether or not the cell changes).
+        """
+        cells = self._cells
+        stats = self.stats
+        cell = cells[old_cid]
+        if old_cid == new_cid:
+            # Inlined relocate_at.
+            idx = None if cell is None else cell.slot.get(oid)
+            if idx is None:
+                raise KeyError(
+                    f"object {oid} not found in cell {self.unpack(old_cid)}"
+                )
+            cell.xs[idx] = nx
+            cell.ys[idx] = ny
+        else:
+            # Inlined delete_at (delete-by-swap) ...
+            idx = None if cell is None else cell.slot.pop(oid, None)
+            if idx is None:
+                raise KeyError(
+                    f"object {oid} not found in cell {self.unpack(old_cid)}"
+                )
+            oids = cell.oids
+            last_oid = oids.pop()
+            lx = cell.xs.pop()
+            ly = cell.ys.pop()
+            if last_oid != oid:
+                oids[idx] = last_oid
+                cell.xs[idx] = lx
+                cell.ys[idx] = ly
+                cell.slot[last_oid] = idx
+            elif not oids:
+                self._occupied -= 1
+            # ... and inlined insert_at on the new cell.
+            cell = cells[new_cid]
+            if cell is None:
+                cell = self.cell_factory()
+                cells[new_cid] = cell
+            slot = cell.slot
+            if oid in slot:
+                raise KeyError(
+                    f"object {oid} already present in cell {self.unpack(new_cid)}"
+                )
+            oids = cell.oids
+            if not oids:
+                self._occupied += 1
+            slot[oid] = len(oids)
+            oids.append(oid)
+            cell.xs.append(nx)
+            cell.ys.append(ny)
+        stats.deletes += 1
+        stats.inserts += 1
 
     def bulk_load(self, objects: Iterable[tuple[int, Point]]) -> None:
         """Insert many objects at once (initial workload loading)."""
@@ -508,6 +642,11 @@ class Grid:
         if not oids:
             return []
         stats.objects_scanned += len(oids)
+        # Vectorized distance+filter pass past the crossover occupancy
+        # (numpy backend only; byte-identical to the scalar loop).
+        vec = self._vec_within
+        if vec is not None and len(oids) >= self._vec_min:
+            return vec(cell, qx, qy, r)
         # kernels.within, inlined to spare one frame per scanned cell.
         return [
             (d, oid)
@@ -531,6 +670,12 @@ class Grid:
         if not oids:
             return []
         stats.objects_scanned += len(oids)
+        vec = self._vec_within
+        if vec is not None and len(oids) >= self._vec_min:
+            hits = vec(cell, qx, qy, bound)
+            if len(hits) > 1:
+                hits.sort()
+            return hits[:k]
         return best_k(oids, cell.xs, cell.ys, qx, qy, k, bound)
 
     def scan_all_flat(

@@ -19,6 +19,11 @@ Because ``old`` always comes from the shadow table, any re-cutting of
 cycles — coalescing, drops, deadline flushes mid-timestamp — still yields
 a stream every monitor accepts, and an offline replay of the assembled
 batches reproduces the exact same end state.
+
+The assembled batches are buffer-backed (``FlatUpdateBatch`` columns are
+``array``/``bytearray``), so downstream consumers — ``process_flat``,
+the shared-memory shard transport, ``wire.encode_updates_flat`` — read
+the rows without any further conversion.
 """
 
 from __future__ import annotations

@@ -396,18 +396,29 @@ def push_feed_to_socket(feed: UpdateFeed, sock, *, updates_per_frame: int = 256)
     Object updates are packed ``updates_per_frame`` to an ``updates``
     frame (flushed at every cycle boundary), query updates and cycle
     marks are sent as they come, and the stream ends with ``bye``.
+
+    Pending updates accumulate in the buffer-backed columns of a
+    :class:`repro.updates.FlatUpdateBatch` and each frame is encoded
+    straight from those columns (``wire.encode_updates_flat``) — same
+    bytes on the wire as packing :class:`Updates` row objects, without
+    materializing them.
     """
     from repro.api import wire
+    from repro.updates import FlatUpdateBatch
 
-    pending: list[ObjectUpdate] = []
+    pending = FlatUpdateBatch(timestamp=0)
+
+    def send_line(line: str) -> None:
+        sock.sendall((line + "\n").encode("utf-8"))
 
     def send(frame) -> None:
-        sock.sendall((wire.encode_frame(frame) + "\n").encode("utf-8"))
+        send_line(wire.encode_frame(frame))
 
     def flush() -> None:
-        if pending:
-            send(wire.Updates(updates=tuple(pending)))
-            pending.clear()
+        nonlocal pending
+        if len(pending):
+            send_line(wire.encode_updates_flat(pending))
+            pending = FlatUpdateBatch(timestamp=0)
 
     for event in feed.events():
         if type(event) is CycleMark:
@@ -417,7 +428,14 @@ def push_feed_to_socket(feed: UpdateFeed, sock, *, updates_per_frame: int = 256)
             flush()
             send(wire.QueryOp(update=event))
         else:
-            pending.append(event)
+            old = event.old
+            new = event.new
+            if old is None:
+                pending.append_appear(event.oid, new[0], new[1])
+            elif new is None:
+                pending.append_disappear(event.oid, old[0], old[1])
+            else:
+                pending.append_move(event.oid, old[0], old[1], new[0], new[1])
             if len(pending) >= updates_per_frame:
                 flush()
     flush()

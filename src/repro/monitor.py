@@ -1,9 +1,9 @@
 """Abstract interface shared by every continuous k-NN monitor.
 
 CPM, YPK-CNN, SEA-CNN and the brute-force reference all implement
-:class:`ContinuousMonitor`, so the replay engine
-(:mod:`repro.engine.server`), the experiment drivers and the cross-algorithm
-equivalence tests can treat them interchangeably.
+:class:`ContinuousMonitor`, so the replay loop
+(:meth:`repro.api.session.Session.replay`), the experiment drivers and the
+cross-algorithm equivalence tests can treat them interchangeably.
 
 Results are lists of ``(distance, object_id)`` pairs sorted ascending by
 ``(distance, object_id)``; ties on distance are broken by object id in every

@@ -39,11 +39,14 @@ import sys
 
 from repro.perf.compare import NOISY_METRICS, compare_reports, render_comparison
 from repro.perf.micro import (
+    DEFAULT_BACKEND_SIZES,
     DEFAULT_BATCH_SIZES,
     DEFAULT_SIZES,
     render_micro,
+    render_micro_backends,
     render_micro_batch,
     run_micro,
+    run_micro_backends,
     run_micro_batch,
 )
 from repro.perf.runner import run_suite
@@ -175,6 +178,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated update-batch sizes to time (apply shapes)",
     )
     micro.add_argument(
+        "--backend-sizes",
+        default=",".join(str(s) for s in DEFAULT_BACKEND_SIZES),
+        help="comma-separated cell populations for the per-backend kernel "
+        "scan (numpy crossover)",
+    )
+    micro.add_argument(
         "--repeats", type=int, default=5, help="samples per layout (best kept)"
     )
     micro.add_argument(
@@ -248,19 +257,33 @@ def _parse_sizes(raw: str, flag: str) -> tuple[int, ...]:
 def _cmd_micro(args: argparse.Namespace) -> int:
     sizes = _parse_sizes(args.sizes, "--sizes")
     batch_sizes = _parse_sizes(args.batch_sizes, "--batch-sizes")
+    backend_sizes = _parse_sizes(args.backend_sizes, "--backend-sizes")
     repeats = max(1, args.repeats)
     scan_rows = run_micro(sizes, repeats=repeats)
     batch_rows = run_micro_batch(batch_sizes, repeats=repeats)
+    backend_result = run_micro_backends(backend_sizes, repeats=repeats)
     if args.json:
         import json
 
-        print(json.dumps({"scan": scan_rows, "batch": batch_rows}, indent=1))
+        print(
+            json.dumps(
+                {
+                    "scan": scan_rows,
+                    "batch": batch_rows,
+                    "backends": backend_result,
+                },
+                indent=1,
+            )
+        )
     else:
         print("cell-scan shapes (dict era vs columnar):")
         print(render_micro(scan_rows))
         print()
         print("batch-apply shapes (ObjectUpdate dataclass vs FlatUpdateBatch):")
         print(render_micro_batch(batch_rows))
+        print()
+        print("within-kernel per numeric backend (scalar loop vs numpy):")
+        print(render_micro_backends(backend_result))
     return 0
 
 

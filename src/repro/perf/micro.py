@@ -32,6 +32,15 @@ the per-update *encoding read* cost — the piece the columnar batch
 exists to shrink.  (The downstream grid mutations are identical between
 the paths by construction and would only dilute the signal here.)
 
+**Backend scans** — the fused within-kernel timed once per installed
+numeric backend (``list`` / ``array`` / ``numpy``, see
+:mod:`repro.grid.kernels`) over a ladder of cell occupancies.  The
+scalar backends run the exact comprehension the engines inline; numpy
+runs its vectorized prefilter kernel.  The reported *crossover* — the
+smallest occupancy where the numpy kernel beats the best scalar shape —
+is what :data:`repro.grid.kernels.VEC_MIN_OCCUPANCY` encodes (override
+per machine with ``REPRO_KERNEL_VEC_MIN``).
+
 All shapes are timed as *inline statements* (``timeit``-style compiled
 loops) because that is how the hot paths execute them; within a family
 they charge the same counters, walk identical inputs and produce
@@ -48,7 +57,7 @@ import random
 import timeit
 from math import hypot
 
-from repro.grid.kernels import CellColumns
+from repro.grid.kernels import CellColumns, available_backends, resolve_backend
 from repro.updates import FlatUpdateBatch, ObjectUpdate
 
 #: cell populations timed by default: a sparse cell, the paper's typical
@@ -60,6 +69,10 @@ DEFAULT_SIZES = (4, 32, 256)
 #: a big dataclass batch walks thousands of scattered 3-pointer objects
 #: (cache-miss bound), the columnar batch walks five dense arrays.
 DEFAULT_BATCH_SIZES = (1024, 8192, 65536)
+
+#: occupancy ladder for the per-backend kernel scan — dense enough around
+#: the expected numpy crossover (tens of objects) to pin it down.
+DEFAULT_BACKEND_SIZES = (4, 8, 16, 32, 64, 128, 256, 1024)
 
 #: query point / filter radius (roughly half the objects pass).
 _QX, _QY, _RADIUS = 0.5, 0.5, 0.35
@@ -198,6 +211,113 @@ def run_micro(
             }
         )
     return rows
+
+
+# ----------------------------------------------------------------------
+# Per-backend kernel scan (the VEC_MIN_OCCUPANCY crossover, measured)
+# ----------------------------------------------------------------------
+
+#: the exact fused comprehension the engines inline for scalar backends
+#: (works unchanged over list- and array('d')-backed columns).
+_SCALAR_WITHIN_STMT = """
+out = [
+    (d, oid)
+    for oid, x, y in zip(cell.oids, cell.xs, cell.ys)
+    if (d := hypot(x - qx, y - qy)) <= r
+]
+"""
+
+_VEC_WITHIN_STMT = """
+out = vec(cell, qx, qy, r)
+"""
+
+
+def _populate_backend_cell(backend, n_objects: int, seed: int):
+    rng = random.Random(seed)
+    cell = backend.cell_factory()
+    for oid in range(n_objects):
+        cell.insert(oid, rng.random(), rng.random())
+    return cell
+
+
+def run_micro_backends(
+    sizes: tuple[int, ...] = DEFAULT_BACKEND_SIZES,
+    repeats: int = 5,
+    seed: int = 2005,
+) -> dict:
+    """Time the within-kernel per installed backend over an occupancy
+    ladder; returns ``{"rows": [...], "crossover": int | None}``.
+
+    ``crossover`` is the smallest occupancy where the numpy kernel beats
+    every scalar backend (``None`` when numpy is absent or never wins) —
+    the measured value of ``VEC_MIN_OCCUPANCY``.
+    """
+    backends = available_backends()
+    rows: list[dict] = []
+    for n_objects in sizes:
+        row: dict = {"n_objects": n_objects}
+        expected: list | None = None
+        for name in backends:
+            backend = resolve_backend(name)
+            cell = _populate_backend_cell(backend, n_objects, seed)
+            namespace = {
+                "cell": cell,
+                "qx": _QX,
+                "qy": _QY,
+                "r": _RADIUS,
+                "hypot": hypot,
+                "vec": backend.vec_within,
+            }
+            stmt = (
+                _VEC_WITHIN_STMT
+                if backend.vec_within is not None
+                else _SCALAR_WITHIN_STMT
+            )
+            # Sanity: every backend returns the identical candidate list.
+            check: dict = dict(namespace)
+            exec(stmt, check)  # noqa: S102 - fixed local statement
+            if expected is None:
+                expected = check["out"]
+            else:
+                assert check["out"] == expected
+            row[f"{name}_ns_per_object"] = round(
+                _time_per_object(stmt, namespace, n_objects, repeats), 2
+            )
+        rows.append(row)
+    crossover: int | None = None
+    if "numpy" in backends:
+        scalar_names = [n for n in backends if n != "numpy"]
+        for row in rows:
+            vec_ns = row["numpy_ns_per_object"]
+            if all(vec_ns <= row[f"{n}_ns_per_object"] for n in scalar_names):
+                crossover = row["n_objects"]
+                break
+    return {"rows": rows, "crossover": crossover}
+
+
+def render_micro_backends(result: dict) -> str:
+    rows = result["rows"]
+    names = [k[: -len("_ns_per_object")] for k in rows[0] if k != "n_objects"]
+    header = f"{'objects/cell':>12}" + "".join(
+        f" {name + ' ns/obj':>15}" for name in names
+    )
+    lines = [header]
+    for row in rows:
+        lines.append(
+            f"{row['n_objects']:>12}"
+            + "".join(f" {row[f'{n}_ns_per_object']:>15.1f}" for n in names)
+        )
+    crossover = result["crossover"]
+    if "numpy" not in names:
+        lines.append("numpy backend not installed; no crossover to report")
+    elif crossover is None:
+        lines.append("numpy never beat the scalar backends at these sizes")
+    else:
+        lines.append(
+            f"numpy crossover at ~{crossover} objects/cell "
+            "(VEC_MIN_OCCUPANCY; override with REPRO_KERNEL_VEC_MIN)"
+        )
+    return "\n".join(lines)
 
 
 # ----------------------------------------------------------------------

@@ -11,7 +11,7 @@ the baselines), this package scales the library toward a serving system:
 * :mod:`repro.service.executor` — pluggable shard executors (serial and
   ``multiprocessing``-backed);
 * :mod:`repro.service.service` — the cycle-driven facade the replay
-  engine (:mod:`repro.engine.server`) adapts to.
+  loop (:meth:`repro.api.session.Session.replay`) adapts to.
 
 Submodules are imported lazily (PEP 562) so that :mod:`repro.monitor` can
 depend on :mod:`repro.service.deltas` without an import cycle.

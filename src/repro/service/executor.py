@@ -18,7 +18,10 @@ Two implementations:
   per shard, commands fan out over pipes and ``call_all`` overlaps the
   per-shard work across cores.  Engines are built inside the workers from
   a picklable factory; command payloads (update batches, result lists)
-  are plain picklable values.
+  are plain picklable values, except that large
+  :class:`repro.updates.FlatUpdateBatch` arguments travel as
+  ``multiprocessing.shared_memory`` blocks with only a fixed-size header
+  pickled through the pipe (see :mod:`repro.service.shm`).
 
 Executors are context managers; :class:`ProcessShardExecutor` must be
 closed (or used via ``with``) to reap its workers.
@@ -32,6 +35,7 @@ from collections.abc import Callable, Sequence
 
 from repro.grid.stats import GridStats
 from repro.monitor import ContinuousMonitor
+from repro.service.shm import SHM_MIN_ROWS, decode_args, encode_args, release_segment
 
 #: a picklable zero-argument callable returning a fresh shard engine.
 ShardFactory = Callable[[], ContinuousMonitor]
@@ -129,7 +133,7 @@ def _shard_worker(conn, factory: ShardFactory) -> None:
                 break
             method, args = message
             try:
-                conn.send(("ok", _execute(monitor, method, args)))
+                conn.send(("ok", _execute(monitor, method, decode_args(args))))
             except Exception as exc:  # forwarded to the caller
                 conn.send(("err", f"{type(exc).__name__}: {exc}"))
     except EOFError:  # pragma: no cover - parent died
@@ -149,9 +153,17 @@ class ProcessShardExecutor(ShardExecutor):
     reply, so the per-shard work overlaps across cores.  The default
     start method prefers ``fork`` (cheap, engines inherit nothing they
     need) and falls back to the platform default where unavailable.
+
+    Flat update batches of at least ``shm_min_rows`` rows ship to the
+    workers as shared-memory blocks instead of pickles (header-only pipe
+    traffic); the parent creates each segment just before sending and
+    unlinks it after the command's reply, so segments never outlive a
+    command.
     """
 
-    def __init__(self, *, mp_context: str | None = None) -> None:
+    def __init__(
+        self, *, mp_context: str | None = None, shm_min_rows: int | None = None
+    ) -> None:
         if mp_context is None:
             mp_context = (
                 "fork"
@@ -159,6 +171,7 @@ class ProcessShardExecutor(ShardExecutor):
                 else None
             )
         self._ctx = multiprocessing.get_context(mp_context)
+        self._shm_min_rows = SHM_MIN_ROWS if shm_min_rows is None else shm_min_rows
         self._workers: list = []
         self._pipes: list = []
 
@@ -186,8 +199,17 @@ class ProcessShardExecutor(ShardExecutor):
         return payload
 
     def call(self, shard: int, method: str, *args) -> tuple[object, GridStats]:
-        self._pipes[shard].send((method, args))
-        return self._recv(shard)
+        segments: list = []
+        try:
+            self._pipes[shard].send(
+                (method, encode_args(args, segments, self._shm_min_rows))
+            )
+            return self._recv(shard)
+        finally:
+            # The worker copied the columns out before replying, so the
+            # segments are safe to destroy as soon as the reply is in.
+            for shm in segments:
+                release_segment(shm)
 
     def call_all(
         self, method: str, args_per_shard: Sequence[tuple]
@@ -197,22 +219,27 @@ class ProcessShardExecutor(ShardExecutor):
                 f"expected {len(self._pipes)} argument tuples, "
                 f"got {len(args_per_shard)}"
             )
-        for pipe, args in zip(self._pipes, args_per_shard):
-            pipe.send((method, args))
-        # Drain every reply before raising: leaving a reply buffered would
-        # desynchronize the request/reply protocol and make every later
-        # command return the previous command's payload.
-        results: list[tuple[object, GridStats]] = []
-        failure: ShardWorkerError | None = None
-        for shard in range(len(self._pipes)):
-            try:
-                results.append(self._recv(shard))
-            except ShardWorkerError as exc:
-                if failure is None:
-                    failure = exc
-        if failure is not None:
-            raise failure
-        return results
+        segments: list = []
+        try:
+            for pipe, args in zip(self._pipes, args_per_shard):
+                pipe.send((method, encode_args(args, segments, self._shm_min_rows)))
+            # Drain every reply before raising: leaving a reply buffered
+            # would desynchronize the request/reply protocol and make every
+            # later command return the previous command's payload.
+            results: list[tuple[object, GridStats]] = []
+            failure: ShardWorkerError | None = None
+            for shard in range(len(self._pipes)):
+                try:
+                    results.append(self._recv(shard))
+                except ShardWorkerError as exc:
+                    if failure is None:
+                        failure = exc
+            if failure is not None:
+                raise failure
+            return results
+        finally:
+            for shm in segments:
+                release_segment(shm)
 
     def close(self) -> None:
         for pipe in self._pipes:

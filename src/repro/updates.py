@@ -26,6 +26,7 @@ directions.
 
 from __future__ import annotations
 
+from array import array
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from enum import Enum
@@ -120,21 +121,40 @@ class FlatUpdateBatch:
     (:meth:`from_updates` / :meth:`to_object_updates` round-trip
     byte-identically), so both representations describe the same stream.
 
+    The columns are buffer-backed: ``oids`` is an ``array('q')``, the four
+    coordinate columns are ``array('d')`` and the two masks are
+    ``bytearray`` (one byte per row, 0/1).  Each column therefore exposes
+    its raw bytes through the buffer protocol — :meth:`column_buffers` —
+    which is what lets ``ProcessShardExecutor`` ship a batch to a shard as
+    one ``multiprocessing.shared_memory`` block and the wire encoder read
+    rows without building :class:`ObjectUpdate` objects.  The constructor
+    coerces plain lists, so literal construction in tests keeps working.
+
     Query updates ride along untouched — they are orders of magnitude
     rarer than object updates and never hot.
     """
 
     timestamp: int
-    oids: list[int] = field(default_factory=list)
-    old_xs: list[float] = field(default_factory=list)
-    old_ys: list[float] = field(default_factory=list)
-    new_xs: list[float] = field(default_factory=list)
-    new_ys: list[float] = field(default_factory=list)
-    appear: list[bool] = field(default_factory=list)
-    disappear: list[bool] = field(default_factory=list)
+    oids: array = field(default_factory=lambda: array("q"))
+    old_xs: array = field(default_factory=lambda: array("d"))
+    old_ys: array = field(default_factory=lambda: array("d"))
+    new_xs: array = field(default_factory=lambda: array("d"))
+    new_ys: array = field(default_factory=lambda: array("d"))
+    appear: bytearray = field(default_factory=bytearray)
+    disappear: bytearray = field(default_factory=bytearray)
     query_updates: tuple[QueryUpdate, ...] = ()
 
     def __post_init__(self) -> None:
+        if type(self.oids) is not array:
+            self.oids = array("q", self.oids)
+        for name in ("old_xs", "old_ys", "new_xs", "new_ys"):
+            col = getattr(self, name)
+            if type(col) is not array:
+                setattr(self, name, array("d", col))
+        for name in ("appear", "disappear"):
+            col = getattr(self, name)
+            if type(col) is not bytearray:
+                setattr(self, name, bytearray(col))
         n = len(self.oids)
         for name in ("old_xs", "old_ys", "new_xs", "new_ys", "appear", "disappear"):
             if len(getattr(self, name)) != n:
@@ -142,6 +162,62 @@ class FlatUpdateBatch:
                     f"column {name!r} holds {len(getattr(self, name))} rows, "
                     f"expected {n}"
                 )
+
+    def column_buffers(self) -> tuple[memoryview, ...]:
+        """Raw little-endian byte views of the seven columns, in field
+        order (``oids``, the four coordinate columns, the two masks).
+
+        Zero-copy: the views alias the live column buffers, so they must
+        not be held across appends (an append may realloc the backing
+        buffer).
+        """
+        return (
+            memoryview(self.oids).cast("B"),
+            memoryview(self.old_xs).cast("B"),
+            memoryview(self.old_ys).cast("B"),
+            memoryview(self.new_xs).cast("B"),
+            memoryview(self.new_ys).cast("B"),
+            memoryview(self.appear),
+            memoryview(self.disappear),
+        )
+
+    @classmethod
+    def from_column_bytes(
+        cls,
+        n: int,
+        buffer,
+        timestamp: int = 0,
+        query_updates: tuple[QueryUpdate, ...] = (),
+    ) -> "FlatUpdateBatch":
+        """Rebuild a batch from the packed column bytes of ``n`` rows.
+
+        ``buffer`` holds the seven columns back to back in
+        :meth:`column_buffers` order (``42 * n`` bytes: five 8-byte
+        columns plus two 1-byte masks); this is the inverse of writing
+        those views contiguously, e.g. into a shared-memory block.
+        """
+        view = memoryview(buffer)
+        w = 8 * n
+        cols = []
+        off = 0
+        for typecode in ("q", "d", "d", "d", "d"):
+            col = array(typecode)
+            col.frombytes(view[off : off + w])
+            cols.append(col)
+            off += w
+        appear = bytearray(view[off : off + n])
+        disappear = bytearray(view[off + n : off + 2 * n])
+        return cls(
+            timestamp,
+            cols[0],
+            cols[1],
+            cols[2],
+            cols[3],
+            cols[4],
+            appear,
+            disappear,
+            query_updates,
+        )
 
     def __len__(self) -> int:
         return len(self.oids)

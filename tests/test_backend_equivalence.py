@@ -1,0 +1,318 @@
+"""Numeric-backend byte-identity and the shared-memory batch transport.
+
+Every backend ``available_backends()`` reports must be observationally
+indistinguishable from the ``list`` reference: same scan results, same
+changed sets, same delta streams, same deterministic grid counters — a
+backend changes *how* a kernel runs, never what it returns.  The suite
+pins that contract three ways:
+
+* hypothesis equivalence — random workload shapes replayed through the
+  columnar cycle on every installed backend, compared cycle by cycle
+  against the ``list`` reference (results, deltas, counters);
+* golden replay — the PR 3 pre-rewrite fixture stream must be reproduced
+  byte-identically by every backend, not just the default one;
+* kernel-level properties — ``Grid.batch_cell_ids`` (vectorized batch
+  addressing) against per-row ``Grid.cell_id``, including the skip mask,
+  out-of-bounds clamping and sub-``VEC_MIN_BATCH`` fallback, plus
+  ``Grid.move_ids`` against coordinate-addressed ``Grid.move``.
+
+The shared-memory transport rides here too: ``pack_flat_batch`` /
+``unpack_flat_batch`` round-trips are property-tested in-process, and a
+``ProcessShardExecutor`` forced onto the shm path (``shm_min_rows=1``)
+must produce the same results as the serial executor across real worker
+processes.
+"""
+
+from __future__ import annotations
+
+import json
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.sea import SeaCnnMonitor
+from repro.baselines.ypk import YpkCnnMonitor
+from repro.core.cpm import CPMMonitor
+from repro.grid.grid import Grid
+from repro.grid.kernels import VEC_MIN_BATCH, available_backends
+from repro.mobility.brinkhoff import BrinkhoffGenerator
+from repro.mobility.workload import WorkloadSpec
+from repro.service.executor import ProcessShardExecutor, SerialShardExecutor
+from repro.service.sharding import ShardedMonitor
+from repro.service.shm import pack_flat_batch, unpack_flat_batch
+from repro.updates import FlatUpdateBatch
+
+BACKENDS = available_backends()
+ALT_BACKENDS = tuple(b for b in BACKENDS if b != "list")
+
+ENGINES = {
+    "CPM": CPMMonitor,
+    "YPK-CNN": YpkCnnMonitor,
+    "SEA-CNN": SeaCnnMonitor,
+}
+
+
+def _workload(shape):
+    spec = WorkloadSpec(
+        n_objects=shape["n_objects"],
+        n_queries=shape["n_queries"],
+        k=shape["k"],
+        timestamps=shape["timestamps"],
+        seed=shape["seed"],
+        object_speed=shape["object_speed"],
+        query_agility=shape["query_agility"],
+    )
+    return BrinkhoffGenerator(spec).generate()
+
+
+def _install(monitor, workload):
+    monitor.load_objects(sorted(workload.initial_objects.items()))
+    for qid, point in sorted(workload.initial_queries.items()):
+        monitor.install_query(qid, point, workload.spec.k)
+
+
+def _counter_tuple(monitor):
+    stats = monitor.stats
+    return (
+        stats.cell_scans,
+        stats.objects_scanned,
+        stats.inserts,
+        stats.deletes,
+        stats.mark_ops,
+    )
+
+
+workload_shapes = st.fixed_dictionaries(
+    {
+        "n_objects": st.integers(min_value=30, max_value=120),
+        "n_queries": st.integers(min_value=1, max_value=6),
+        "k": st.integers(min_value=1, max_value=6),
+        "timestamps": st.integers(min_value=1, max_value=5),
+        "seed": st.integers(min_value=0, max_value=2**20),
+        "object_speed": st.sampled_from(["slow", "medium", "fast"]),
+        "query_agility": st.sampled_from([0.0, 0.3]),
+        "cells": st.sampled_from([4, 8, 16]),
+    }
+)
+
+
+# ----------------------------------------------------------------------
+# Backend equivalence: replayed streams must match the list reference
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@given(shape=workload_shapes)
+@settings(max_examples=10, deadline=None)
+def test_backend_replay_matches_list_reference(backend, engine, shape):
+    """Changed sets, full delta streams and deterministic counters of the
+    columnar cycle are byte-identical across backends."""
+    workload = _workload(shape)
+    cells = shape["cells"]
+    ref = ENGINES[engine](cells_per_axis=cells, backend="list")
+    alt = ENGINES[engine](cells_per_axis=cells, backend=backend)
+    _install(ref, workload)
+    _install(alt, workload)
+    assert alt.result_table() == ref.result_table()
+    for batch in workload.batches:
+        flat = FlatUpdateBatch.from_batch(batch)
+        expect = ref.process_deltas_flat(flat)
+        got = alt.process_deltas_flat(flat)
+        assert got == expect, batch.timestamp
+        assert alt.result_table() == ref.result_table(), batch.timestamp
+    assert _counter_tuple(alt) == _counter_tuple(ref)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_golden_fixture_replays_identically_on_every_backend(backend):
+    """The PR 3 golden stream — recorded with the dict-per-cell grid —
+    is reproduced byte-identically by every installed backend."""
+    from repro.experiments.common import make_workload, scaled_spec
+    from tests.test_replay_golden import GOLDEN_PATH, GRID, SPEC_OVERRIDES
+
+    golden = json.loads(GOLDEN_PATH.read_text())
+    spec = scaled_spec(1.0, **SPEC_OVERRIDES)
+    workload = make_workload(spec)
+    monitor = CPMMonitor(GRID, bounds=spec.bounds, backend=backend)
+    monitor.load_objects(sorted(workload.initial_objects.items()))
+    initial = {
+        str(qid): [
+            [repr(d), oid] for d, oid in monitor.install_query(qid, point, spec.k)
+        ]
+        for qid, point in sorted(workload.initial_queries.items())
+    }
+    assert initial == golden["initial"]
+    for batch, expect in zip(workload.batches, golden["cycles"]):
+        changed = monitor.process_flat(FlatUpdateBatch.from_batch(batch))
+        got = {
+            str(qid): [[repr(d), oid] for d, oid in monitor.result(qid)]
+            for qid in sorted(changed)
+        }
+        assert got == expect["changed"], batch.timestamp
+    stats = monitor.stats
+    assert {
+        "cell_scans": stats.cell_scans,
+        "objects_scanned": stats.objects_scanned,
+        "inserts": stats.inserts,
+        "deletes": stats.deletes,
+        "mark_ops": stats.mark_ops,
+    } == golden["counters"]
+
+
+# ----------------------------------------------------------------------
+# Batch addressing kernel
+# ----------------------------------------------------------------------
+
+coords = st.one_of(
+    st.floats(min_value=-0.5, max_value=1.5, allow_nan=False),
+    st.sampled_from([0.0, 1.0, -0.0, 1e-300, 1e300, -1e300, 0.999999999999]),
+)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(
+    pts=st.lists(st.tuples(coords, coords), min_size=0, max_size=40),
+    pad=st.booleans(),
+)
+@settings(max_examples=30, deadline=None)
+def test_batch_cell_ids_matches_per_row_cell_id(backend, pts, pad):
+    """``Grid.batch_cell_ids`` equals per-row ``Grid.cell_id`` on every
+    backend — including out-of-bounds coordinates (clamped to the border
+    cells) and huge magnitudes, above and below ``VEC_MIN_BATCH``."""
+    if pad:
+        # Pad past the vectorization threshold so the numpy kernel engages.
+        pts = pts + [(0.25, 0.75)] * VEC_MIN_BATCH
+    grid = Grid(16, backend=backend)
+    xs = array("d", (x for x, _ in pts))
+    ys = array("d", (y for _, y in pts))
+    expect = [grid.cell_id(x, y) for x, y in pts]
+    assert grid.batch_cell_ids(xs, ys) == expect
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(
+    pts=st.lists(
+        st.tuples(coords, coords, st.booleans()), min_size=0, max_size=40
+    ),
+    pad=st.booleans(),
+)
+@settings(max_examples=30, deadline=None)
+def test_batch_cell_ids_skip_mask_compresses_rows(backend, pts, pad):
+    """With a skip mask, exactly the unskipped rows come back, in order."""
+    if pad:
+        pts = pts + [(0.5, 0.5, i % 3 == 0) for i in range(VEC_MIN_BATCH)]
+    grid = Grid(16, backend=backend)
+    xs = array("d", (x for x, _, _ in pts))
+    ys = array("d", (y for _, y, _ in pts))
+    skip = bytearray(1 if s else 0 for _, _, s in pts)
+    expect = [grid.cell_id(x, y) for x, y, s in pts if not s]
+    assert grid.batch_cell_ids(xs, ys, skip) == expect
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_move_ids_matches_coordinate_addressed_move(backend):
+    """``Grid.move_ids`` is the id-addressed twin of ``Grid.move``: same
+    storage end state, same counters, for cross-cell and same-cell moves."""
+    a = Grid(8, backend=backend)
+    b = Grid(8, backend=backend)
+    pts = [(i, (i % 13) / 13.0, (i % 7) / 7.0) for i in range(40)]
+    for oid, x, y in pts:
+        a.insert(oid, x, y)
+        b.insert(oid, x, y)
+    moves = [
+        (oid, x, y, ((x + 0.31) % 1.0), ((y + 0.57) % 1.0)) for oid, x, y in pts
+    ] + [(0, 0.31 % 1.0, 0.57 % 1.0, 0.3100001, 0.5700001)]  # same-cell
+    for oid, ox, oy, nx, ny in moves:
+        a.move(oid, (ox, oy), (nx, ny))
+        b.move_ids(oid, b.cell_id(ox, oy), b.cell_id(nx, ny), nx, ny)
+    assert a.stats.inserts == b.stats.inserts
+    assert a.stats.deletes == b.stats.deletes
+    assert len(a) == len(b)
+    for oid, _, _, nx, ny in moves:
+        i, j = a.cell_of(nx, ny)
+        assert a.peek(i, j) == b.peek(i, j)
+        assert oid in a.peek(i, j)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_move_ids_unknown_object_raises(backend):
+    grid = Grid(8, backend=backend)
+    grid.insert(1, 0.1, 0.1)
+    with pytest.raises(KeyError):
+        grid.move_ids(99, grid.cell_id(0.1, 0.1), grid.cell_id(0.9, 0.9), 0.9, 0.9)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory flat-batch transport
+# ----------------------------------------------------------------------
+
+rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2**40),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.sampled_from(["move", "appear", "disappear"]),
+    ),
+    min_size=0,
+    max_size=64,
+    unique_by=lambda r: r[0],
+)
+
+
+@given(rows=rows, timestamp=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=40, deadline=None)
+def test_shm_pack_unpack_round_trips_every_column(rows, timestamp):
+    """``pack_flat_batch``/``unpack_flat_batch`` preserve all seven
+    columns, the timestamp and the query updates exactly."""
+    batch = FlatUpdateBatch(timestamp)
+    for oid, ox, oy, nx, ny, kind in rows:
+        if kind == "appear":
+            batch.append_appear(oid, nx, ny)
+        elif kind == "disappear":
+            batch.append_disappear(oid, ox, oy)
+        else:
+            batch.append_move(oid, ox, oy, nx, ny)
+    handle, segment = pack_flat_batch(batch)
+    try:
+        copy = unpack_flat_batch(handle)
+    finally:
+        segment.close()
+        segment.unlink()
+    assert copy.timestamp == batch.timestamp
+    assert copy.query_updates == batch.query_updates
+    assert copy.oids == batch.oids
+    assert copy.old_xs == batch.old_xs
+    assert copy.old_ys == batch.old_ys
+    assert copy.new_xs == batch.new_xs
+    assert copy.new_ys == batch.new_ys
+    assert copy.appear == batch.appear
+    assert copy.disappear == batch.disappear
+
+
+def test_process_executor_shm_path_matches_serial():
+    """A sharded monitor whose executor ships every batch through shared
+    memory (``shm_min_rows=1``) produces the same per-cycle changed sets
+    and results as the in-process serial executor."""
+    spec = WorkloadSpec(n_objects=120, n_queries=4, k=3, timestamps=4, seed=11)
+    workload = BrinkhoffGenerator(spec).generate()
+    serial = ShardedMonitor(2, cells_per_axis=8, executor=SerialShardExecutor())
+    shm = ShardedMonitor(
+        2, cells_per_axis=8, executor=ProcessShardExecutor(shm_min_rows=1)
+    )
+    try:
+        _install(serial, workload)
+        _install(shm, workload)
+        for batch in workload.batches:
+            flat = FlatUpdateBatch.from_batch(batch)
+            expect = serial.process_flat(flat)
+            got = shm.process_flat(flat)
+            assert got == expect, batch.timestamp
+            assert shm.result_table() == serial.result_table(), batch.timestamp
+    finally:
+        serial.close()
+        shm.close()

@@ -2,7 +2,6 @@
 
 import importlib
 import sys
-import warnings
 
 import pytest
 
@@ -132,23 +131,22 @@ class TestRunReport:
         }
 
 
-class TestDeprecatedShim:
-    """repro.engine.server is import-warning-only; the adapter still works."""
+class TestShimRemoved:
+    """The deprecated repro.engine.server shim is gone for good."""
 
-    def test_import_warns_and_shim_delegates(self, workload):
+    def test_shim_module_is_gone(self):
         sys.modules.pop("repro.engine.server", None)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            server_mod = importlib.import_module("repro.engine.server")
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        ), "importing the shim must warn"
-        report = server_mod.run_workload(CPMMonitor(cells_per_axis=16), workload)
-        assert report.timestamps == 8
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.engine.server")
 
-    def test_package_getattr_still_resolves(self):
+    def test_re_exports_are_gone(self):
         import repro
         import repro.engine
 
-        assert repro.MonitoringServer is repro.engine.MonitoringServer
-        assert callable(repro.run_workload)
+        for module in (repro, repro.engine):
+            assert "MonitoringServer" not in module.__all__
+            assert "run_workload" not in module.__all__
+            with pytest.raises(AttributeError):
+                module.MonitoringServer
+            with pytest.raises(AttributeError):
+                module.run_workload

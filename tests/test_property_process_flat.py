@@ -4,9 +4,9 @@ The columnar fast path's contract is byte-identity with the dataclass
 path: same per-cycle changed sets, same results, and — for the monitors
 with deterministic accounting — identical cell-access counters.
 Hypothesis sweeps workload shapes (generator family, population, k,
-speed, agility, grid granularity) across every engine: CPM (native flat
-loop), YPK-CNN/SEA-CNN/brute (default translating wrapper) and the
-sharded service (flat routing).
+speed, agility, grid granularity) across every engine: CPM, YPK-CNN and
+SEA-CNN (native columnar loops over batch-addressed cell ids), brute
+(default translating wrapper) and the sharded service (flat routing).
 
 The golden acceptance check replays the PR 3 full-replay fixture
 workload through ``process_flat`` and requires the byte-identical stream
@@ -106,8 +106,9 @@ def test_cpm_process_flat_is_byte_identical(shape):
 )
 @settings(max_examples=15, deadline=None)
 def test_wrapped_engines_process_flat_matches_process(shape, engine):
-    """The default translating wrapper must be exactly ``process`` over
-    the reconstructed updates — changed sets, results and counters."""
+    """Every engine's columnar cycle — the YPK/SEA native loops and
+    brute's default translating wrapper — must be exactly ``process``
+    over the same stream: changed sets, results and counters."""
 
     def build():
         cells = shape["cells"]

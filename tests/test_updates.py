@@ -1,5 +1,7 @@
 """Unit tests for repro.updates (the update-stream vocabulary)."""
 
+from array import array
+
 import pytest
 
 from repro.updates import (
@@ -102,13 +104,39 @@ class TestFlatUpdateBatch:
         )
         assert FlatUpdateBatch.from_batch(batch).to_batch() == batch
 
-    def test_masks(self):
+    def test_masks_pack_as_bytes(self):
         flat = FlatUpdateBatch.from_updates(self._mixed_updates())
-        assert flat.appear == [False, True, False, False]
-        assert flat.disappear == [False, False, True, False]
-        assert flat.oids == [1, 2, 3, 4]
-        assert flat.new_xs == [0.3, 0.5, 0.0, 1.0]
-        assert flat.old_xs == [0.1, 0.0, 0.7, 0.0]
+        assert flat.appear == bytearray([False, True, False, False])
+        assert flat.disappear == bytearray([False, False, True, False])
+        assert flat.oids == array("q", [1, 2, 3, 4])
+        assert flat.new_xs == array("d", [0.3, 0.5, 0.0, 1.0])
+        assert flat.old_xs == array("d", [0.1, 0.0, 0.7, 0.0])
+
+    def test_list_columns_are_coerced_to_buffers(self):
+        flat = FlatUpdateBatch(
+            timestamp=0,
+            oids=[1],
+            old_xs=[0.1],
+            old_ys=[0.2],
+            new_xs=[0.3],
+            new_ys=[0.4],
+            appear=[False],
+            disappear=[False],
+        )
+        assert type(flat.oids) is array and flat.oids.typecode == "q"
+        assert type(flat.new_xs) is array and flat.new_xs.typecode == "d"
+        assert type(flat.appear) is bytearray
+        assert flat.to_object_updates() == (move_update(1, (0.1, 0.2), (0.3, 0.4)),)
+
+    def test_column_bytes_round_trip(self):
+        qus = (QueryUpdate(9, QueryUpdateKind.TERMINATE),)
+        flat = FlatUpdateBatch.from_updates(self._mixed_updates(), qus, timestamp=5)
+        packed = b"".join(flat.column_buffers())
+        assert len(packed) == 42 * len(flat)
+        back = FlatUpdateBatch.from_column_bytes(
+            len(flat), packed, timestamp=5, query_updates=qus
+        )
+        assert back == flat
 
     def test_append_helpers(self):
         flat = FlatUpdateBatch(timestamp=0)
