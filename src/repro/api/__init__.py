@@ -33,6 +33,8 @@ _EXPORTS = {
     "Client": "repro.api.client",
     "RemoteQueryHandle": "repro.api.client",
     "RemoteError": "repro.api.client",
+    "ReconnectEvent": "repro.api.client",
+    "ReconnectPolicy": "repro.api.retry",
     "MonitorSocketServer": "repro.api.server",
     "WIRE_VERSION": "repro.api.wire",
     "WireError": "repro.api.wire",

@@ -16,6 +16,22 @@ Because the server publishes a cycle's deltas before replying to the
 ``tick`` that produced them, every delta of a cycle has been dispatched
 by the time :meth:`tick` returns — remote code can treat ``tick`` as a
 synchronization point exactly like in-process code does.
+
+**Reconnects.**  Pass a :class:`repro.api.retry.ReconnectPolicy` to make
+the client survive transport loss: when the link drops abnormally (and
+only then — a server ``bye`` or a local :meth:`Client.close` stays
+final), the reader thread redials with capped exponential backoff and
+re-syncs over the wire-v2 ``sync`` path — re-adopting every session
+query, re-subscribing their delta topics and refreshing the handles'
+results — then resumes streaming.  Each recovery is surfaced as a
+:class:`ReconnectEvent` (``reconnect_events`` / ``on_reconnect``).
+Semantics the application must own: a request in flight at the moment
+of loss fails with :class:`RemoteError` (it may or may not have been
+applied — reads are safe to retry, writes need idempotence), staged
+updates not yet ticked are lost with the old connection, and deltas
+published while the link was down are *not* replayed — treat a
+reconnect like a ``lagged`` marker and re-snapshot what you watch
+(the re-synced results in the event carry exactly that snapshot).
 """
 
 from __future__ import annotations
@@ -23,17 +39,23 @@ from __future__ import annotations
 import queue
 import socket
 import threading
+import time
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.api import wire
 from repro.api.queries import QuerySpec
+from repro.api.retry import ReconnectPolicy
 from repro.geometry.points import Point
 from repro.service.deltas import ResultDelta
 from repro.updates import ObjectUpdate, QueryUpdate
 
 ResultEntry = tuple[float, int]
 DeltaCallback = Callable[[int | None, ResultDelta], None]
+
+#: sentinel returned by the reader pump for EOF-without-bye (the server
+#: vanished without an orderly goodbye — a reconnectable failure).
+_EOF = object()
 
 
 @dataclass(slots=True)
@@ -47,6 +69,20 @@ class SyncState:
     objects: list[tuple[int, Point, tuple[str, ...] | None]] = field(
         default_factory=list
     )
+
+
+@dataclass(slots=True)
+class ReconnectEvent:
+    """One successful transparent reconnect (see ``Client.reconnect_events``).
+
+    ``results`` holds the re-synced result table — the authoritative
+    post-gap snapshot of every session query (deltas missed while the
+    link was down are not replayed; this is the re-anchor point).
+    """
+
+    attempts: int  # dial attempts this recovery needed (>= 1)
+    cause: str  # repr of the transport failure that triggered it
+    results: dict[int, list[ResultEntry]] = field(default_factory=dict)
 
 
 class RemoteError(RuntimeError):
@@ -130,7 +166,14 @@ class Client:
     eagerly and refuses servers that do not speak a supported version.
     """
 
-    def __init__(self, sock: socket.socket, *, client_name: str = "") -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        client_name: str = "",
+        reconnect: ReconnectPolicy | None = None,
+        on_reconnect: Callable[[ReconnectEvent], None] | None = None,
+    ) -> None:
         self._sock = sock
         self._reader = sock.makefile("r", encoding="utf-8", newline="\n")
         self._write_lock = threading.Lock()
@@ -139,6 +182,24 @@ class Client:
         self._handles: dict[int, RemoteQueryHandle] = {}
         self._subscriptions: dict[int, list[RemoteSubscription]] = {}
         self._closed = threading.Event()
+        self._client_name = client_name
+        self._reconnect = reconnect
+        self._on_reconnect = on_reconnect
+        #: the dial address for redials; without one (a pre-connected
+        #: socket whose peer cannot be named) reconnects are disabled.
+        try:
+            peer = sock.getpeername()
+        except OSError:
+            peer = None
+        self._address: tuple | None = peer if peer else None
+        #: distinguishes a local close() (final) from transport loss
+        #: (reconnectable): the reader must never redial a user close.
+        self._user_closed = threading.Event()
+        #: cleared while a reconnect is in progress; requests wait on it.
+        self._connected = threading.Event()
+        self._connected.set()
+        #: every successful transparent reconnect, in order.
+        self.reconnect_events: list[ReconnectEvent] = []
         #: why the reader loop stopped, when it stopped abnormally (a
         #: transport error or an undecodable server frame); surfaced in
         #: the RemoteError of the next request.
@@ -177,14 +238,33 @@ class Client:
 
     @classmethod
     def connect(
-        cls, host: str, port: int, *, timeout: float = 10.0, client_name: str = ""
+        cls,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 10.0,
+        client_name: str = "",
+        reconnect: ReconnectPolicy | None = None,
+        on_reconnect: Callable[[ReconnectEvent], None] | None = None,
     ) -> "Client":
-        sock = socket.create_connection((host, port), timeout=timeout)
+        sock = cls._dial((host, port), timeout)
+        client = cls(
+            sock,
+            client_name=client_name,
+            reconnect=reconnect,
+            on_reconnect=on_reconnect,
+        )
+        client._address = (host, port)
+        return client
+
+    @staticmethod
+    def _dial(address: tuple, timeout: float) -> socket.socket:
+        sock = socket.create_connection(address, timeout=timeout)
         sock.settimeout(None)
         # Request/response frames are small; Nagle + delayed ACK would
         # add ~40ms to every round trip.
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return cls(sock, client_name=client_name)
+        return sock
 
     # ------------------------------------------------------------------
     # Transport plumbing
@@ -206,6 +286,48 @@ class Client:
 
     def _read_loop(self) -> None:
         try:
+            while True:
+                outcome = self._pump()
+                if outcome is None or self._user_closed.is_set():
+                    # Orderly end (server bye, or our own close racing the
+                    # read): final, never redialed.
+                    break
+                if self._reconnect is None or self._address is None:
+                    if isinstance(outcome, BaseException):
+                        # Transport failure or an undecodable server frame:
+                        # remember why, so the next request's RemoteError
+                        # can say.
+                        self._reader_error = outcome
+                    break
+                # Abnormal loss with reconnects enabled: fail the in-flight
+                # request (its reply is gone with the old connection), then
+                # redial off-line while requesters wait on _connected.
+                cause = (
+                    outcome
+                    if isinstance(outcome, BaseException)
+                    else ConnectionResetError("server closed without bye")
+                )
+                self._connected.clear()
+                self._replies.put(None)
+                if not self._redial(cause):
+                    self._reader_error = cause
+                    break
+        finally:
+            self._closed.set()
+            # Wake requesters blocked on the reconnect window or on a
+            # reply that will never come (in that order: a requester
+            # re-checks _closed after _connected fires).
+            self._connected.set()
+            self._replies.put(None)
+
+    def _pump(self):
+        """Read frames until the connection ends.
+
+        Returns ``None`` for an orderly end (server ``bye``), ``_EOF``
+        for a silent peer close, or the exception for a transport/decode
+        failure.
+        """
+        try:
             for line in self._reader:
                 line = line.strip()
                 if not line:
@@ -217,19 +339,147 @@ class Client:
                 elif kind is wire.Lagged:
                     self.lag_events.append(frame.dropped)
                 elif kind is wire.Bye:
-                    break
+                    return None
                 else:
                     # Replies (registered/snapshot/ticked/ok/error) go to
                     # the single in-flight request.
                     self._replies.put(frame)
         except (OSError, ValueError) as exc:
-            # Transport failure or an undecodable server frame: remember
-            # why, so the next request's RemoteError can say.
-            self._reader_error = exc
-        finally:
-            self._closed.set()
-            # Unblock a requester waiting on a reply that will never come.
-            self._replies.put(None)
+            return exc
+        return _EOF
+
+    def _redial(self, cause: BaseException) -> bool:
+        """Dial-and-resync with backoff (reader thread).  True on success."""
+        policy = self._reconnect
+        attempts = 0
+        for delay in policy.delays():
+            if self._user_closed.is_set():
+                return False
+            time.sleep(delay)
+            if self._user_closed.is_set():
+                return False
+            attempts += 1
+            try:
+                sock = self._dial(self._address, policy.connect_timeout)
+            except OSError:
+                continue
+            reader = sock.makefile("r", encoding="utf-8", newline="\n")
+            old_sock = self._sock
+            with self._write_lock:
+                # Writers (requests are still parked on _connected, but a
+                # racing send_updates may hold the lock) must never see a
+                # half-swapped transport.
+                self._sock = sock
+                self._reader = reader
+            try:
+                old_sock.close()
+            except OSError:
+                pass
+            try:
+                event = self._resync(attempts, cause)
+            except (OSError, ValueError, RemoteError):
+                # The fresh connection died during the handshake/re-sync;
+                # treat it like a failed dial and keep backing off.
+                continue
+            # Leftover frames from the old connection (including the None
+            # we queued at loss time, if no request consumed it) are
+            # stale; the link is clean from here.
+            self._drain_replies()
+            self.reconnect_events.append(event)
+            self._connected.set()
+            if self._on_reconnect is not None:
+                try:
+                    self._on_reconnect(event)
+                except Exception as exc:  # observer must not kill the link
+                    self.callback_errors.append(exc)
+            return True
+        return False
+
+    def _resync(self, attempts: int, cause: BaseException) -> ReconnectEvent:
+        """Handshake + wire-v2 ``sync`` on a fresh transport.
+
+        Runs inline on the reader thread (the pump is paused, so frames
+        are read directly): validates the welcome, re-announces the
+        client, then replays the session's queries through ``sync`` —
+        re-creating missing handles, refreshing specs, re-subscribing
+        every query's delta topic (``watch=True``) — and drops handles
+        for queries that vanished while the link was down.  Deltas the
+        server publishes concurrently are dispatched as usual.
+        """
+        welcome = self._read_welcome()
+        if wire.WIRE_VERSION not in welcome.versions:
+            raise RemoteError(
+                f"server speaks versions {list(welcome.versions)}, "
+                f"client needs {wire.WIRE_VERSION}"
+            )
+        self.welcome = welcome
+        if self._client_name:
+            self._send(wire.Hello(client=self._client_name))
+        self._send(
+            wire.Sync(objects=False, watch=True)
+        )
+        results: dict[int, list[ResultEntry]] = {}
+        synced_objects = 0
+        while True:
+            line = self._reader.readline()
+            if not line:
+                raise ConnectionResetError("connection lost during re-sync")
+            line = line.strip()
+            if not line:
+                continue
+            frame = wire.decode_frame(line)
+            kind = type(frame)
+            if kind is wire.Delta:
+                self._dispatch_delta(frame)
+            elif kind is wire.Lagged:
+                self.lag_events.append(frame.dropped)
+            elif kind is wire.SyncObjects:
+                synced_objects += len(frame.rows)
+            elif kind is wire.SyncQuery:
+                handle = self._handles.get(frame.qid)
+                if handle is None:
+                    handle = RemoteQueryHandle(self, frame.qid, frame.spec)
+                    self._handles[frame.qid] = handle
+                else:
+                    handle._spec = frame.spec
+                results[frame.qid] = list(frame.result)
+            elif kind is wire.SyncDone:
+                if len(results) != frame.queries:
+                    raise RemoteError(
+                        f"re-sync incomplete: got {len(results)}/"
+                        f"{frame.queries} queries"
+                    )
+                break
+            elif kind is wire.Bye:
+                raise ConnectionResetError("server said bye during re-sync")
+            elif kind is wire.Error:
+                raise RemoteError(frame.message)
+            # Anything else on a fresh connection is stale noise; skip it.
+        for qid in list(self._handles):
+            if qid not in results:
+                # Terminated while we were away.
+                self._handles[qid]._alive = False
+                self._forget_handle(qid)
+        return ReconnectEvent(
+            attempts=attempts, cause=repr(cause), results=results
+        )
+
+    def _drain_replies(self) -> None:
+        while True:
+            try:
+                self._replies.get_nowait()
+            except queue.Empty:
+                return
+
+    def _await_link(self) -> None:
+        """Park until any in-progress reconnect settles (or give up)."""
+        if self._connected.is_set():
+            return
+        budget = (
+            self._reconnect.total_budget() if self._reconnect is not None else 5.0
+        )
+        if not self._connected.wait(timeout=budget):
+            raise RemoteError("reconnect did not complete in time")
 
     def _dispatch_delta(self, frame: wire.Delta) -> None:
         if self.delta_frame_log is not None:
@@ -252,6 +502,7 @@ class Client:
                 "(it runs on the reader thread); hand off to another thread"
             )
         with self._request_lock:
+            self._await_link()
             if self._closed.is_set():
                 raise RemoteError(self._closed_reason())
             self._send(frame)
@@ -325,6 +576,7 @@ class Client:
             )
         state = SyncState()
         with self._request_lock:
+            self._await_link()
             if self._closed.is_set():
                 raise RemoteError(self._closed_reason())
             self._send(wire.Sync(objects=objects, watch=watch))
@@ -363,10 +615,12 @@ class Client:
 
     def send_updates(self, object_updates: Sequence[ObjectUpdate]) -> None:
         """Stage object updates for the next :meth:`tick` (no reply)."""
+        self._await_link()
         self._send(wire.Updates(updates=tuple(object_updates)))
 
     def send_query_update(self, update: QueryUpdate) -> None:
         """Stage a raw query update for the next :meth:`tick`."""
+        self._await_link()
         self._send(wire.QueryOp(update=update))
 
     def tick(self, *, timestamp: int | None = None) -> set[int]:
@@ -417,7 +671,9 @@ class Client:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Orderly shutdown (idempotent)."""
+        """Orderly shutdown (idempotent).  Always final — a local close
+        never triggers a reconnect."""
+        self._user_closed.set()
         if not self._closed.is_set():
             try:
                 self._send(wire.Bye())

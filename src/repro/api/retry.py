@@ -1,0 +1,65 @@
+"""Reconnect/backoff policy shared by the wire-tier endpoints.
+
+Both sides of the wire reconnect with the same discipline —
+:class:`repro.api.client.Client` (the query/result side) and
+:class:`repro.ingest.feeds.SocketFeed` (the ingest side) — so the knobs
+live here once: capped exponential backoff with multiplicative jitter,
+bounded by ``max_retries``.  The jitter stream is seeded, which keeps
+chaos tests replayable: the same :class:`ReconnectPolicy` always sleeps
+the same schedule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+from random import Random
+
+
+@dataclass(frozen=True, slots=True)
+class ReconnectPolicy:
+    """Backoff schedule for transparent reconnects.
+
+    Attributes:
+        max_retries: connection attempts before giving up for good.
+        base_delay: sleep before the first attempt (seconds).
+        max_delay: backoff cap (seconds).
+        multiplier: exponential growth factor between attempts.
+        jitter: each sleep is scaled by ``1 + jitter * u`` with
+            ``u ~ U[0, 1)`` — spreads thundering-herd reconnects while
+            keeping the schedule bounded by ``(1 + jitter) * max_delay``.
+        seed: seeds the jitter stream (deterministic schedules for
+            tests); ``None`` draws a fresh stream per policy use.
+        connect_timeout: per-attempt TCP connect timeout (seconds).
+    """
+
+    max_retries: int = 8
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int | None = None
+    connect_timeout: float = 10.0
+
+    def delays(self) -> Iterator[float]:
+        """The sleep schedule: ``max_retries`` jittered, capped delays."""
+        rng = Random(self.seed)
+        delay = self.base_delay
+        for _ in range(self.max_retries):
+            yield min(delay, self.max_delay) * (1.0 + self.jitter * rng.random())
+            delay *= self.multiplier
+
+    def total_budget(self) -> float:
+        """Upper bound on one full reconnect cycle's duration (seconds).
+
+        Callers blocked on a link mid-reconnect wait at most this long
+        before giving up (sleeps at their jitter ceiling plus one connect
+        timeout per attempt, plus slack for the re-sync exchange).
+        """
+        delay = self.base_delay
+        total = 5.0
+        for _ in range(self.max_retries):
+            total += min(delay, self.max_delay) * (1.0 + self.jitter)
+            total += self.connect_timeout
+            delay *= self.multiplier
+        return total

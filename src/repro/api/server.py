@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import socket
 import threading
+from collections.abc import Callable
 
 from repro.api import wire
 from repro.api.session import Session
@@ -50,9 +51,18 @@ SYNC_CHUNK = 512
 class _Connection:
     """Server-side state of one client connection."""
 
-    def __init__(self, server: "MonitorSocketServer", sock: socket.socket) -> None:
+    def __init__(
+        self,
+        server: "MonitorSocketServer",
+        sock: socket.socket,
+        index: int = 0,
+    ) -> None:
         self.server = server
         self.sock = sock
+        #: accept-order ordinal of this connection (fault-hook lane key).
+        self.index = index
+        #: outbound frames written so far (fault-hook ordinal).
+        self.frames_sent = 0
         self.reader = sock.makefile("r", encoding="utf-8", newline="\n")
         #: qid -> hub subscription feeding this connection.
         self.subscriptions: dict[int, Subscription] = {}
@@ -77,6 +87,22 @@ class _Connection:
 
     def _write_item(self, item) -> None:
         """Writer-thread sink: encode (late, for deltas) and send."""
+        hook = self.server.fault_hook
+        if hook is not None and hook(self.index, self.frames_sent):
+            # Injected network drop: cut the transport abruptly — no
+            # ``bye`` — so the peer sees exactly what a mid-stream
+            # failure looks like.  The sendall below then raises, which
+            # marks the outbox broken, and the reader thread's EOF tears
+            # the connection down through the normal path.
+            try:
+                self.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+        self.frames_sent += 1
         if type(item) is tuple:
             line = wire.encode_delta(item[0], item[1])
         else:
@@ -133,6 +159,12 @@ class MonitorSocketServer:
             its outbox (see :class:`SlowConsumerPolicy`).
         sndbuf: ``SO_SNDBUF`` applied to accepted sockets; small values
             make kernel buffering deterministic for backpressure tests.
+        fault_hook: chaos-test seam — ``hook(conn_index, frame_seq) ->
+            bool``, called on the writer thread before every outbound
+            frame with the connection's accept ordinal and per-connection
+            frame ordinal; returning ``True`` cuts that connection's
+            transport abruptly (no ``bye``), simulating a network drop
+            (see :meth:`repro.testing.faults.FaultPlan.connection_hook`).
     """
 
     def __init__(
@@ -145,12 +177,16 @@ class MonitorSocketServer:
         outbound_limit: int = 1024,
         slow_consumer: SlowConsumerPolicy = SlowConsumerPolicy.DISCONNECT,
         sndbuf: int | None = None,
+        fault_hook: Callable[[int, int], bool] | None = None,
     ) -> None:
         self.session = session
         self.name = name
         self.outbound_limit = outbound_limit
         self.slow_consumer = slow_consumer
         self.sndbuf = sndbuf
+        self.fault_hook = fault_hook
+        #: accepted connections so far (assigns fault-hook lane keys).
+        self._accepted = 0
         #: guards every engine-touching operation (register/tick/...).
         self.lock = threading.RLock()
         self._host = host
@@ -243,7 +279,8 @@ class MonitorSocketServer:
                 client_sock.setsockopt(
                     socket.SOL_SOCKET, socket.SO_SNDBUF, self.sndbuf
                 )
-            conn = _Connection(self, client_sock)
+            conn = _Connection(self, client_sock, index=self._accepted)
+            self._accepted += 1
             self._connections.append(conn)
             conn.send(
                 wire.Welcome(server=self.name, versions=wire.SUPPORTED_VERSIONS)

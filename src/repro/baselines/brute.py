@@ -14,7 +14,7 @@ from collections.abc import Iterable, Sequence
 from repro.core.strategies import PointNNStrategy, QueryStrategy
 from repro.geometry.points import Point
 from repro.grid.stats import GridStats
-from repro.monitor import ContinuousMonitor, ResultEntry
+from repro.monitor import ContinuousMonitor, QueryRecord, ResultEntry
 from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind
 
 
@@ -84,6 +84,12 @@ class BruteForceMonitor(ContinuousMonitor):
 
     def query_ids(self) -> list[int]:
         return list(self._queries)
+
+    def _query_records(self) -> list[QueryRecord]:
+        return [
+            QueryRecord(qid, q.k, strategy=q.strategy)
+            for qid, q in self._queries.items()
+        ]
 
     # ------------------------------------------------------------------
     # Processing

@@ -37,7 +37,7 @@ from repro.grid.cell import CellCoord
 from repro.grid.grid import Grid
 from repro.grid.kernels import KernelBackend
 from repro.grid.stats import GridStats
-from repro.monitor import ContinuousMonitor, ResultEntry
+from repro.monitor import ContinuousMonitor, QueryRecord, ResultEntry
 from repro.updates import (
     FlatUpdateBatch,
     ObjectUpdate,
@@ -134,6 +134,12 @@ class SeaCnnMonitor(ContinuousMonitor):
 
     def result(self, qid: int) -> list[ResultEntry]:
         return list(self._queries[qid].entries)
+
+    def _query_records(self) -> list[QueryRecord]:
+        return [
+            QueryRecord(qid, q.k, point=(q.x, q.y))
+            for qid, q in self._queries.items()
+        ]
 
     def query_ids(self) -> list[int]:
         return list(self._queries)

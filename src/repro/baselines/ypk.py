@@ -31,7 +31,7 @@ from repro.geometry.rects import Rect
 from repro.grid.grid import Grid
 from repro.grid.kernels import KernelBackend
 from repro.grid.stats import GridStats
-from repro.monitor import ContinuousMonitor, ResultEntry
+from repro.monitor import ContinuousMonitor, QueryRecord, ResultEntry
 from repro.updates import (
     FlatUpdateBatch,
     ObjectUpdate,
@@ -114,6 +114,12 @@ class YpkCnnMonitor(ContinuousMonitor):
 
     def query_ids(self) -> list[int]:
         return list(self._queries)
+
+    def _query_records(self) -> list[QueryRecord]:
+        return [
+            QueryRecord(qid, q.k, point=(q.x, q.y))
+            for qid, q in self._queries.items()
+        ]
 
     # ------------------------------------------------------------------
     # Processing

@@ -56,7 +56,7 @@ from repro.geometry.rects import Rect
 from repro.grid.grid import Grid
 from repro.grid.kernels import VEC_MIN_BATCH as _VEC_MIN_BATCH, KernelBackend
 from repro.grid.stats import GridStats
-from repro.monitor import ContinuousMonitor, ResultEntry
+from repro.monitor import ContinuousMonitor, QueryRecord, ResultEntry
 from repro.updates import (
     FlatUpdateBatch,
     ObjectUpdate,
@@ -142,6 +142,13 @@ class CPMMonitor(ContinuousMonitor):
 
     def query_ids(self) -> list[int]:
         return list(self._queries)
+
+    def _query_records(self) -> list[QueryRecord]:
+        """Capture hook: every query re-installs from its strategy."""
+        return [
+            QueryRecord(qid, state.k, strategy=state.strategy)
+            for qid, state in self._queries.items()
+        ]
 
     def query_state(self, qid: int) -> QueryState:
         """Book-keeping of a query (tests, diagnostics, space accounting)."""

@@ -43,6 +43,20 @@ class GridStats:
         self.deletes = 0
         self.mark_ops = 0
 
+    def restore(self, values: "GridStats") -> None:
+        """Overwrite every counter with ``values`` (state-capture support).
+
+        Used by :meth:`repro.monitor.ContinuousMonitor.restore_state` to
+        reconcile a rebuilt engine's counters with the captured totals, so
+        the rebuild's own grid traffic never leaks into the deterministic
+        accounting.
+        """
+        self.cell_scans = values.cell_scans
+        self.objects_scanned = values.objects_scanned
+        self.inserts = values.inserts
+        self.deletes = values.deletes
+        self.mark_ops = values.mark_ops
+
     def snapshot(self) -> "GridStats":
         """Immutable-ish copy of the current counter values."""
         return GridStats(

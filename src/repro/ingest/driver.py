@@ -92,6 +92,11 @@ class IngestReport:
     """Aggregated stats of one driver run."""
 
     cycles: list[CycleIngestStats] = field(default_factory=list)
+    #: the run died on an exception (feed/service failure) instead of
+    #: ending; ``error`` carries its repr.  A background run records the
+    #: failure here and :meth:`IngestDriver.stop` re-raises it.
+    failed: bool = False
+    error: str | None = None
 
     @property
     def n_cycles(self) -> int:
@@ -194,6 +199,8 @@ class IngestDriver:
         self._primed = False
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        #: exception that killed a background run (re-raised by stop()).
+        self.failure: BaseException | None = None
 
     # ------------------------------------------------------------------
     # Priming
@@ -386,22 +393,35 @@ class IngestDriver:
             raise RuntimeError("driver already started")
         self._stop.clear()
         self._thread = threading.Thread(
-            target=self.run,
-            args=(max_cycles,),
-            kwargs={"from_buffer": from_buffer},
+            target=self._run_background,
+            args=(max_cycles, from_buffer),
             name="ingest-driver",
             daemon=True,
         )
         self._thread.start()
 
+    def _run_background(self, max_cycles: int | None, from_buffer: bool) -> None:
+        """Thread body: a crash must not die silently — it is recorded on
+        the report (``failed``/``error``) and re-raised by :meth:`stop`."""
+        try:
+            self.run(max_cycles, from_buffer=from_buffer)
+        except BaseException as exc:  # noqa: BLE001 - surfaced via stop()
+            self.failure = exc
+            self.report.failed = True
+            self.report.error = repr(exc)
+
     def stop(self, timeout: float | None = 5.0) -> IngestReport:
-        """Signal the background loop to finish and join it."""
+        """Signal the background loop to finish, join it, and re-raise
+        the exception that killed it, if one did."""
         self._stop.set()
         self.buffer.close()  # wake a blocked consumer wait
         thread = self._thread
         if thread is not None:
             thread.join(timeout)
             self._thread = None
+        if self.failure is not None:
+            failure, self.failure = self.failure, None
+            raise failure
         return self.report
 
 
@@ -429,8 +449,14 @@ class ThreadedFeedPump:
         self.max_events = max_events
         self.offer_timeout = offer_timeout
         self.pushed = 0
+        #: exception that killed the producer thread (re-raised by stop()).
+        self.failure: BaseException | None = None
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
 
     def _run(self) -> None:
         try:
@@ -450,6 +476,11 @@ class ThreadedFeedPump:
                         if self._stop.is_set() or self.buffer.closed:
                             return
                 self.pushed += 1
+        except BaseException as exc:  # noqa: BLE001 - surfaced via stop()
+            # A dying feed must not fail silently: record the reason —
+            # the buffer close below still unblocks the consumer, which
+            # otherwise would see a clean early end of stream.
+            self.failure = exc
         finally:
             self.buffer.close()
 
@@ -463,8 +494,13 @@ class ThreadedFeedPump:
         return self
 
     def stop(self, timeout: float | None = 5.0) -> None:
+        """Join the producer thread; re-raises the exception that killed
+        it, if one did (a feed crash is an error, not an end-of-stream)."""
         self._stop.set()
         thread = self._thread
         if thread is not None:
             thread.join(timeout)
             self._thread = None
+        if self.failure is not None:
+            failure, self.failure = self.failure, None
+            raise failure

@@ -29,11 +29,13 @@ Four adapters cover the sources the repo has:
 from __future__ import annotations
 
 import json
-from collections.abc import Iterator
+import socket as _socket
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Union
 
+from repro.api.retry import ReconnectPolicy
 from repro.geometry.points import Point
 from repro.mobility.brinkhoff import BrinkhoffStream
 from repro.mobility.network import RoadNetwork
@@ -306,10 +308,27 @@ class SocketFeed(UpdateFeed):
     :class:`repro.updates.ObjectUpdate`, ``query`` frames as
     :class:`repro.updates.QueryUpdate`, ``tick`` frames as
     :class:`CycleMark` (an unlabelled tick gets the running frame
-    ordinal).  ``bye`` — or the peer closing the connection — ends the
-    feed.  ``hello``/``welcome`` frames are tolerated anywhere (so the
-    feed can sit directly behind a :class:`repro.api.client.Client`-style
-    producer); any other frame type raises.
+    ordinal).  ``bye`` ends the feed.  ``hello``/``welcome`` frames are
+    tolerated anywhere (so the feed can sit directly behind a
+    :class:`repro.api.client.Client`-style producer); any other frame
+    type raises.
+
+    **Transport loss.**  Without a ``reconnect`` policy the old contract
+    holds: the peer closing the connection ends the feed, a socket error
+    propagates.  With a :class:`repro.api.retry.ReconnectPolicy` (and a
+    dialable address — :meth:`connect` records one), EOF-without-``bye``
+    and socket errors instead trigger a backoff redial: the iterator
+    pauses, reconnects and resumes yielding off the fresh transport
+    (``reconnects`` counts recoveries).  A ``bye`` stays final either
+    way.  The producer owns resume semantics — frames in flight at the
+    moment of loss are gone; a producer that must not lose events
+    re-sends from its last cycle boundary.
+
+    ``fault_hook(frame_seq) -> bool`` is the chaos-test seam: called
+    after each decoded frame with its running ordinal (monotonic across
+    reconnects); returning ``True`` cuts the feed's transport abruptly,
+    simulating a network drop at that exact frame boundary (see
+    :meth:`repro.testing.faults.FaultPlan.feed_hook`).
 
     Initial populations do not travel over the stream (monitors
     bulk-load them before updates start): pass them to the constructor
@@ -323,20 +342,32 @@ class SocketFeed(UpdateFeed):
         initial_objects: dict[int, Point] | None = None,
         initial_queries: dict[int, Point] | None = None,
         install_ks: dict[int, int] | None = None,
+        reconnect: ReconnectPolicy | None = None,
+        fault_hook: Callable[[int], bool] | None = None,
     ) -> None:
         self.sock = sock
         self._initial_objects = dict(initial_objects or {})
         self._initial_queries = dict(initial_queries or {})
         self._install_ks = dict(install_ks or {})
+        self.reconnect = reconnect
+        self.fault_hook = fault_hook
+        #: successful transparent reconnects so far.
+        self.reconnects = 0
+        try:
+            peer = sock.getpeername()
+        except (OSError, AttributeError):
+            # AttributeError: metadata-only feeds built without a socket.
+            peer = None
+        self._address = peer if peer else None
 
     @classmethod
     def connect(cls, host: str, port: int, *, timeout: float = 10.0, **kwargs):
         """Connect to a producer and wrap the socket."""
-        import socket as _socket
-
         sock = _socket.create_connection((host, port), timeout=timeout)
         sock.settimeout(None)
-        return cls(sock, **kwargs)
+        feed = cls(sock, **kwargs)
+        feed._address = (host, port)
+        return feed
 
     def initial_objects(self) -> dict[int, Point]:
         return dict(self._initial_objects)
@@ -348,10 +379,40 @@ class SocketFeed(UpdateFeed):
         return self._install_ks.get(qid, default)
 
     def close(self) -> None:
+        # shutdown first: close() alone only drops a reference while an
+        # events() reader holds the fd open via makefile — shutdown makes
+        # the blocked read return EOF immediately.
+        try:
+            self.sock.shutdown(_socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self.sock.close()
         except OSError:
             pass
+
+    def _redial(self) -> bool:
+        """Backoff redial of the recorded address; True on success."""
+        import time
+
+        for delay in self.reconnect.delays():
+            time.sleep(delay)
+            try:
+                sock = _socket.create_connection(
+                    self._address, timeout=self.reconnect.connect_timeout
+                )
+            except OSError:
+                continue
+            sock.settimeout(None)
+            old = self.sock
+            self.sock = sock
+            try:
+                old.close()
+            except OSError:
+                pass
+            self.reconnects += 1
+            return True
+        return False
 
     def events(self) -> Iterator[FeedEvent]:
         # Local import: the api package depends on repro.updates, not on
@@ -359,34 +420,69 @@ class SocketFeed(UpdateFeed):
         # lazily keeps plain workload feeds free of the wire module.
         from repro.api import wire
 
-        reader = self.sock.makefile("r", encoding="utf-8", newline="\n")
         marks = 0
-        try:
-            for line in reader:
-                line = line.strip()
-                if not line:
-                    continue
-                frame = wire.decode_frame(line)
-                kind = type(frame)
-                if kind is wire.Updates:
-                    yield from frame.updates
-                elif kind is wire.QueryOp:
-                    yield frame.update
-                elif kind is wire.Tick:
-                    t = frame.timestamp if frame.timestamp is not None else marks
-                    marks += 1
-                    yield CycleMark(t)
-                elif kind is wire.Bye:
-                    return
-                elif kind in (wire.Hello, wire.Welcome):
-                    continue
-                else:
-                    raise ValueError(
-                        f"frame type {kind.__name__!r} is not part of the "
-                        "ingestion stream vocabulary"
-                    )
-        finally:
-            reader.close()
+        frame_seq = 0
+        while True:
+            reader = self.sock.makefile("r", encoding="utf-8", newline="\n")
+            failure: BaseException | None = None
+            try:
+                while True:
+                    try:
+                        line = reader.readline()
+                    except (OSError, ValueError) as exc:
+                        # ValueError: reading a file object whose socket
+                        # an injected fault closed under it.
+                        failure = exc
+                        break
+                    if not line:
+                        break  # EOF without bye
+                    line = line.strip()
+                    if not line:
+                        continue
+                    frame = wire.decode_frame(line)
+                    kind = type(frame)
+                    if kind is wire.Updates:
+                        yield from frame.updates
+                    elif kind is wire.QueryOp:
+                        yield frame.update
+                    elif kind is wire.Tick:
+                        t = (
+                            frame.timestamp
+                            if frame.timestamp is not None
+                            else marks
+                        )
+                        marks += 1
+                        yield CycleMark(t)
+                    elif kind is wire.Bye:
+                        return
+                    elif kind in (wire.Hello, wire.Welcome):
+                        pass
+                    else:
+                        raise ValueError(
+                            f"frame type {kind.__name__!r} is not part of "
+                            "the ingestion stream vocabulary"
+                        )
+                    if self.fault_hook is not None and self.fault_hook(
+                        frame_seq
+                    ):
+                        # Injected transport loss at this frame boundary.
+                        self.close()
+                    frame_seq += 1
+            finally:
+                try:
+                    reader.close()
+                except (OSError, ValueError):
+                    pass
+            # The connection was lost (EOF without bye, or a socket
+            # error): redial when a policy allows it.
+            if self.reconnect is None or self._address is None:
+                if failure is not None:
+                    raise failure
+                return  # silent peer close ends an un-policied feed
+            if not self._redial():
+                raise ConnectionError(
+                    "feed transport lost and reconnect attempts exhausted"
+                ) from failure
 
 
 def push_feed_to_socket(feed: UpdateFeed, sock, *, updates_per_frame: int = 256) -> None:

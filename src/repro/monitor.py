@@ -12,8 +12,10 @@ implementation so identical inputs produce identical outputs.
 
 from __future__ import annotations
 
+import pickle
 from abc import ABC, abstractmethod
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
 
 from repro.geometry.points import Point
 from repro.grid.stats import GridStats
@@ -27,6 +29,41 @@ from repro.updates import (
 )
 
 ResultEntry = tuple[float, int]
+
+
+@dataclass(slots=True)
+class QueryRecord:
+    """One installed query, reduced to its installation parameters.
+
+    Exactly one of ``point`` (plain point k-NN) or ``strategy`` (any
+    strategy-backed query: constrained, range, aggregate, filtered) is
+    set.  Strategies are engine-state-free by contract (the filtered tag
+    table is rebound at install), so a record re-installs cleanly on a
+    fresh engine.
+    """
+
+    qid: int
+    k: int
+    point: Point | None = None
+    strategy: object | None = None
+
+
+@dataclass(slots=True)
+class MonitorState:
+    """Picklable logical state of a monitor (see :meth:`capture_state`).
+
+    Holds everything needed to rebuild an engine that *answers
+    identically*: object positions, attribute tags, installed queries (in
+    installation order) and the access-counter totals.  It deliberately
+    excludes search bookkeeping (visit lists, heaps, influence marks) —
+    that state is reconstructed by re-running the installation searches.
+    """
+
+    name: str
+    objects: list[tuple[int, Point]] = field(default_factory=list)
+    tags: dict[int, frozenset[str]] = field(default_factory=dict)
+    queries: list[QueryRecord] = field(default_factory=list)
+    stats: GridStats = field(default_factory=GridStats)
 
 
 class ContinuousMonitor(ABC):
@@ -123,6 +160,74 @@ class ContinuousMonitor(ABC):
             )
         for oid in sorted(positions):
             yield oid, positions[oid]
+
+    # ------------------------------------------------------------------
+    # State capture (fault-tolerant rebuild support)
+    # ------------------------------------------------------------------
+
+    def _query_records(self) -> list[QueryRecord]:
+        """Installed queries as :class:`QueryRecord`, in install order.
+
+        Engines that support :meth:`capture_state` implement this hook;
+        the base implementation refuses so capture never silently drops
+        queries on an engine that keeps them elsewhere.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not enumerate its queries for capture"
+        )
+
+    def capture_state(self) -> MonitorState:
+        """Snapshot the logical engine state into a :class:`MonitorState`.
+
+        The snapshot is detached through a pickle round-trip so it shares
+        no mutable structures (tag tables, strategies) with the live
+        engine — it can outlive the engine, travel over a pipe, or seed a
+        replacement while the original keeps running.
+        """
+        state = MonitorState(
+            name=self.name,
+            objects=list(self.iter_objects()),
+            tags=dict(self._object_tags or {}),
+            queries=self._query_records(),
+            stats=self.stats.snapshot(),
+        )
+        return pickle.loads(pickle.dumps(state))
+
+    def restore_state(self, state: MonitorState) -> None:
+        """Rebuild a **fresh** engine from a captured snapshot.
+
+        Loads the objects, replays the tag table, re-installs every query
+        in its original order, then restores the access-counter totals so
+        the rebuild's own search traffic is not accounted (the counters
+        read as if the engine had never gone away).
+
+        Guarantee: the restored engine returns byte-identical *results*
+        to the captured one.  Future counter *deltas* may diverge for
+        engines whose per-query bookkeeping evolves beyond a fresh
+        install (CPM visit lists grow with history); where byte-exact
+        counter accounting matters across a rebuild, replay the command
+        history instead — that is what
+        :class:`repro.service.supervisor.SupervisedShardExecutor` does
+        between checkpoints.
+        """
+        if self.object_count or self.query_ids():
+            raise RuntimeError("restore_state requires a freshly built engine")
+        self.load_objects(state.objects)
+        if state.tags:
+            self.set_object_tags(state.tags)
+        for record in state.queries:
+            if record.strategy is not None:
+                install = getattr(self, "install_strategy_query", None)
+                if install is None:
+                    raise NotImplementedError(
+                        f"{type(self).__name__} cannot restore a "
+                        f"strategy-backed query (qid {record.qid})"
+                    )
+                install(record.qid, record.strategy, record.k)
+            else:
+                assert record.point is not None
+                self.install_query(record.qid, record.point, record.k)
+        self.stats.restore(state.stats)
 
     # ------------------------------------------------------------------
     # Stream processing

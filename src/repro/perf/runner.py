@@ -33,6 +33,7 @@ from repro.perf.suite import ALGORITHMS, SuiteCase, build_suite
 from repro.service.executor import ProcessShardExecutor
 from repro.service.service import MonitoringService
 from repro.service.sharding import ShardedMonitor
+from repro.service.supervisor import SupervisedShardExecutor
 
 #: metrics recorded for wall-clock-only cases (process-backed executors):
 #: the timing metrics the gate treats as advisory.  Deterministic
@@ -70,7 +71,12 @@ def _case_monitor(
 ) -> ContinuousMonitor:
     """The monitor under test: bare algorithm or sharded service."""
     if case.shards:
-        executor = ProcessShardExecutor() if case.executor == "process" else None
+        if case.executor == "process":
+            executor = ProcessShardExecutor()
+        elif case.executor == "supervised":
+            executor = SupervisedShardExecutor()
+        else:
+            executor = None
         return ShardedMonitor(
             case.shards,
             case.grid,
@@ -235,7 +241,8 @@ def run_case(
 ) -> BenchCase:
     """Replay one (case, algorithm) pair; returns its measurement row.
 
-    Wall-clock-only cases (``case.executor == "process"``) record just
+    Wall-clock-only cases (process-backed executors: ``"process"`` and
+    ``"supervised"``) record just
     the :data:`WALLCLOCK_METRICS` — worker scheduling makes their value
     the *real* multi-core time, while the deterministic counters belong
     to the serial scenario.  Ingest cases (``case.ingest``) replay
@@ -275,7 +282,7 @@ def run_case(
         "results_changed": report.total_results_changed,
         "peak_rss_kb": peak_rss_kb(),
     }
-    if case.executor == "process":
+    if case.executor in ("process", "supervised"):
         metrics = {key: metrics[key] for key in WALLCLOCK_METRICS}
     return BenchCase(
         case_id=f"{case.key}/{algorithm}",

@@ -89,7 +89,10 @@ class BenchCase:
         if not isinstance(metrics, dict):
             raise SchemaError(f"case {raw['case_id']!r}: metrics must be an object")
         params = raw["params"]
-        if isinstance(params, dict) and params.get("executor") == "process":
+        if isinstance(params, dict) and params.get("executor") in (
+            "process",
+            "supervised",
+        ):
             required = WALLCLOCK_REQUIRED_METRICS
         else:
             required = REQUIRED_METRICS

@@ -23,6 +23,12 @@ algorithm.  The cases mirror the paper's evaluation axes at a configurable
   deterministic counters (they would duplicate the serial scenario's)
   and peak RSS (unmeasurable across workers from the parent).  Full
   suite only (worker startup is too heavy for the CI smoke subset);
+* ``fault_recovery`` — the same wall-clock sweep on the
+  ``SupervisedShardExecutor`` with **no faults injected**: prices the
+  supervision layer itself (command logging + recv deadlines) against
+  ``shard_scaling_wallclock``, whose raw executor it wraps.  The fault
+  paths themselves are correctness-tested by the chaos suite
+  (``tests/test_fault_tolerance.py``), not timed here;
 * ``streaming_ingest`` — the defaults workload pushed through the full
   ``repro.ingest`` pipeline (feed → buffer → batcher →
   ``MonitoringService.tick_flat``) instead of the direct replay loop.
@@ -89,8 +95,10 @@ class SuiteCase:
     ``shards > 0`` marks a service-layer case: the workload is replayed
     into a :class:`repro.service.sharding.ShardedMonitor` with that many
     shards (CPM engines) instead of a bare algorithm.  ``executor``
-    selects the shard executor: ``"serial"`` (deterministic, in-process)
-    or ``"process"`` (one worker per shard, wall-clock-only metrics).
+    selects the shard executor: ``"serial"`` (deterministic, in-process),
+    ``"process"`` (one worker per shard, wall-clock-only metrics) or
+    ``"supervised"`` (the fault-tolerant process executor, fault-free —
+    prices the supervision overhead).
     ``ingest`` routes the replay through the ``repro.ingest`` pipeline
     (mark-honoring, columnar fast path) instead of the direct loop.
     ``subscribed`` replays through a delta-streaming service;
@@ -271,6 +279,23 @@ def build_suite(
                     grid=grid,
                     shards=n_shards,
                     executor="process",
+                )
+            )
+        # Supervision overhead: the identical sweep wrapped in the
+        # fault-tolerant executor, zero faults firing — the wall-clock
+        # delta against shard_scaling_wallclock IS the price of fault
+        # tolerance (command log + recv deadline per command).
+        for n_shards in SHARD_SCALING:
+            if n_shards > grid:
+                continue
+            cases.append(
+                SuiteCase(
+                    key=f"fault_recovery/S={n_shards}",
+                    workload="network",
+                    spec=default,
+                    grid=grid,
+                    shards=n_shards,
+                    executor="supervised",
                 )
             )
     return _dedup(cases)

@@ -29,6 +29,13 @@ _EXPORTS = {
     "ShardEngineFactory": "repro.service.sharding",
     "SerialShardExecutor": "repro.service.executor",
     "ProcessShardExecutor": "repro.service.executor",
+    "ShardWorkerError": "repro.service.executor",
+    "ShardFailure": "repro.service.executor",
+    "ShardCrashError": "repro.service.executor",
+    "ShardTimeoutError": "repro.service.executor",
+    "SupervisedShardExecutor": "repro.service.supervisor",
+    "SupervisorPolicy": "repro.service.supervisor",
+    "RecoveryEvent": "repro.service.supervisor",
     "MonitoringService": "repro.service.service",
     "TickReport": "repro.service.service",
 }

@@ -32,6 +32,7 @@ from __future__ import annotations
 import multiprocessing
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Sequence
+from time import monotonic
 
 from repro.grid.stats import GridStats
 from repro.monitor import ContinuousMonitor
@@ -39,6 +40,13 @@ from repro.service.shm import SHM_MIN_ROWS, decode_args, encode_args, release_se
 
 #: a picklable zero-argument callable returning a fresh shard engine.
 ShardFactory = Callable[[], ContinuousMonitor]
+
+#: observation hook invoked before every command send:
+#: ``hook(shard, seq, worker)`` where ``seq`` is the per-shard command
+#: ordinal (monotonic across worker restarts) and ``worker`` the live
+#: ``multiprocessing.Process``.  Fault-injection harnesses use it to kill
+#: or wedge workers at exact schedule points; hooks must not raise.
+FaultHook = Callable[[int, int, object], None]
 
 
 def _execute(
@@ -136,7 +144,7 @@ def _shard_worker(conn, factory: ShardFactory) -> None:
                 conn.send(("ok", _execute(monitor, method, decode_args(args))))
             except Exception as exc:  # forwarded to the caller
                 conn.send(("err", f"{type(exc).__name__}: {exc}"))
-    except EOFError:  # pragma: no cover - parent died
+    except (EOFError, BrokenPipeError, OSError):  # pragma: no cover - parent died
         pass
     finally:
         conn.close()
@@ -144,6 +152,30 @@ def _shard_worker(conn, factory: ShardFactory) -> None:
 
 class ShardWorkerError(RuntimeError):
     """A command failed inside a shard worker process."""
+
+
+class ShardFailure(ShardWorkerError):
+    """Transport-level shard failure: the worker process is gone or wedged.
+
+    Unlike a plain :class:`ShardWorkerError` (the engine raised while
+    executing a command — the worker is still healthy), a
+    :class:`ShardFailure` means the request/reply channel itself broke:
+    the shard cannot serve further commands until it is restarted
+    (:meth:`ProcessShardExecutor.restart_shard`) or replaced.  ``shard``
+    identifies the failed shard for supervisors.
+    """
+
+    def __init__(self, shard: int, message: str) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
+class ShardCrashError(ShardFailure):
+    """The shard worker process died (killed, OOM, crashed) mid-protocol."""
+
+
+class ShardTimeoutError(ShardFailure):
+    """The shard worker is alive but did not reply within ``recv_timeout``."""
 
 
 class ProcessShardExecutor(ShardExecutor):
@@ -159,10 +191,31 @@ class ProcessShardExecutor(ShardExecutor):
     traffic); the parent creates each segment just before sending and
     unlinks it after the command's reply, so segments never outlive a
     command.
+
+    **Failure semantics.**  Every receive is deadline-aware: the parent
+    polls the pipe in short intervals and checks the worker's liveness,
+    so a worker that died raises :class:`ShardCrashError` and (when
+    ``recv_timeout`` is set) a worker that wedged raises
+    :class:`ShardTimeoutError` — a faulty shard can never hang the
+    parent.  Both are :class:`ShardFailure`\\ s, after which that shard's
+    request/reply channel is poisoned (a late reply from a wedged worker
+    would desynchronize it); the shard must be rebuilt with
+    :meth:`restart_shard` before further use.  ``call_all`` drains or
+    fails every shard before raising, so surviving shards stay in
+    protocol sync.  :class:`repro.service.supervisor.SupervisedShardExecutor`
+    layers automatic recovery policies on top of these primitives.
     """
 
+    #: liveness/deadline check cadence while waiting on a reply.
+    POLL_INTERVAL = 0.05
+
     def __init__(
-        self, *, mp_context: str | None = None, shm_min_rows: int | None = None
+        self,
+        *,
+        mp_context: str | None = None,
+        shm_min_rows: int | None = None,
+        recv_timeout: float | None = None,
+        fault_hook: FaultHook | None = None,
     ) -> None:
         if mp_context is None:
             mp_context = (
@@ -172,8 +225,12 @@ class ProcessShardExecutor(ShardExecutor):
             )
         self._ctx = multiprocessing.get_context(mp_context)
         self._shm_min_rows = SHM_MIN_ROWS if shm_min_rows is None else shm_min_rows
+        self._recv_timeout = recv_timeout
+        self._fault_hook = fault_hook
+        self._factories: list[ShardFactory] = []
         self._workers: list = []
         self._pipes: list = []
+        self._sent: list[int] = []
 
     @property
     def n_shards(self) -> int:
@@ -182,7 +239,8 @@ class ProcessShardExecutor(ShardExecutor):
     def start(self, factories: Sequence[ShardFactory]) -> None:
         if self._workers:
             raise RuntimeError("executor already started")
-        for factory in factories:
+        self._factories = list(factories)
+        for factory in self._factories:
             parent, child = self._ctx.Pipe()
             worker = self._ctx.Process(
                 target=_shard_worker, args=(child, factory), daemon=True
@@ -191,9 +249,96 @@ class ProcessShardExecutor(ShardExecutor):
             child.close()
             self._workers.append(worker)
             self._pipes.append(parent)
+            self._sent.append(0)
+
+    def worker_pid(self, shard: int) -> int | None:
+        """PID of a shard's worker process (diagnostics, fault injection)."""
+        return self._workers[shard].pid
+
+    def restart_shard(self, shard: int) -> None:
+        """Replace a shard's worker with a fresh process and pipe.
+
+        The old worker is killed outright if still alive (a wedged worker
+        may be unresponsive to SIGTERM — e.g. stopped — so SIGKILL is the
+        only reliable reap), the poisoned pipe is discarded, and a new
+        worker rebuilds an **empty** engine from the shard's factory.
+        Callers are responsible for re-populating the engine (the
+        supervisor replays its command log); the per-shard command
+        ordinal seen by ``fault_hook`` keeps counting monotonically so a
+        scheduled fault never re-fires on the replacement worker.
+        """
+        worker = self._workers[shard]
+        if worker.is_alive():  # wedged, not dead: reap it
+            worker.kill()
+        worker.join(timeout=5.0)
+        try:
+            self._pipes[shard].close()
+        except OSError:  # pragma: no cover - already broken
+            pass
+        parent, child = self._ctx.Pipe()
+        replacement = self._ctx.Process(
+            target=_shard_worker,
+            args=(child, self._factories[shard]),
+            daemon=True,
+        )
+        replacement.start()
+        child.close()
+        self._workers[shard] = replacement
+        self._pipes[shard] = parent
+
+    def _send(self, shard: int, method: str, args: tuple, segments: list) -> None:
+        """Encode and send one command, wrapping transport failures."""
+        if self._fault_hook is not None:
+            self._fault_hook(shard, self._sent[shard], self._workers[shard])
+        self._sent[shard] += 1
+        try:
+            self._pipes[shard].send(
+                (method, encode_args(args, segments, self._shm_min_rows))
+            )
+        except (BrokenPipeError, ConnectionError, OSError) as exc:
+            raise ShardCrashError(
+                shard,
+                f"shard {shard}: worker pipe broke sending {method!r} "
+                f"({type(exc).__name__})",
+            ) from exc
 
     def _recv(self, shard: int) -> tuple[object, GridStats]:
-        status, payload = self._pipes[shard].recv()
+        """Deadline-aware receive: poll the pipe, watch worker liveness."""
+        pipe = self._pipes[shard]
+        worker = self._workers[shard]
+        timeout = self._recv_timeout
+        deadline = None if timeout is None else monotonic() + timeout
+        while True:
+            try:
+                if pipe.poll(self.POLL_INTERVAL):
+                    status, payload = pipe.recv()
+                    break
+            except (EOFError, ConnectionError, OSError) as exc:
+                raise ShardCrashError(
+                    shard,
+                    f"shard {shard}: worker (pid {worker.pid}) died "
+                    f"mid-command ({type(exc).__name__})",
+                ) from exc
+            if not worker.is_alive():
+                # One final zero-timeout poll: the worker may have replied
+                # in full just before exiting.
+                try:
+                    if pipe.poll(0):
+                        status, payload = pipe.recv()
+                        break
+                except (EOFError, ConnectionError, OSError):
+                    pass
+                raise ShardCrashError(
+                    shard,
+                    f"shard {shard}: worker (pid {worker.pid}) exited with "
+                    f"code {worker.exitcode} mid-command",
+                )
+            if deadline is not None and monotonic() >= deadline:
+                raise ShardTimeoutError(
+                    shard,
+                    f"shard {shard}: no reply from worker (pid {worker.pid}) "
+                    f"within {timeout:g}s",
+                )
         if status != "ok":
             raise ShardWorkerError(f"shard {shard}: {payload}")
         return payload
@@ -201,9 +346,7 @@ class ProcessShardExecutor(ShardExecutor):
     def call(self, shard: int, method: str, *args) -> tuple[object, GridStats]:
         segments: list = []
         try:
-            self._pipes[shard].send(
-                (method, encode_args(args, segments, self._shm_min_rows))
-            )
+            self._send(shard, method, args, segments)
             return self._recv(shard)
         finally:
             # The worker copied the columns out before replying, so the
@@ -221,14 +364,28 @@ class ProcessShardExecutor(ShardExecutor):
             )
         segments: list = []
         try:
-            for pipe, args in zip(self._pipes, args_per_shard):
-                pipe.send((method, encode_args(args, segments, self._shm_min_rows)))
+            # Send to every live shard even when one send fails: skipping
+            # the rest would starve healthy workers of their command and
+            # desynchronize the request/reply protocol fleet-wide.
+            failure: ShardWorkerError | None = None
+            sent: list[bool] = []
+            for shard, args in enumerate(args_per_shard):
+                try:
+                    self._send(shard, method, args, segments)
+                    sent.append(True)
+                except ShardFailure as exc:
+                    sent.append(False)
+                    if failure is None:
+                        failure = exc
             # Drain every reply before raising: leaving a reply buffered
             # would desynchronize the request/reply protocol and make every
-            # later command return the previous command's payload.
+            # later command return the previous command's payload.  A dead
+            # pipe (ShardCrashError) counts as drained — there is nothing
+            # left to read from it.
             results: list[tuple[object, GridStats]] = []
-            failure: ShardWorkerError | None = None
             for shard in range(len(self._pipes)):
+                if not sent[shard]:
+                    continue
                 try:
                     results.append(self._recv(shard))
                 except ShardWorkerError as exc:
@@ -250,9 +407,11 @@ class ProcessShardExecutor(ShardExecutor):
         for worker in self._workers:
             worker.join(timeout=5.0)
             if worker.is_alive():  # pragma: no cover - stuck worker
-                worker.terminate()
+                worker.kill()
                 worker.join(timeout=5.0)
         for pipe in self._pipes:
             pipe.close()
+        self._factories = []
         self._workers = []
         self._pipes = []
+        self._sent = []

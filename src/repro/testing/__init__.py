@@ -1,0 +1,11 @@
+"""Deterministic test harnesses (fault injection).
+
+Not imported by the library proper — test suites and chaos drivers pull
+:mod:`repro.testing.faults` in explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.testing.faults import FaultPlan, ScheduledFault
+
+__all__ = ["FaultPlan", "ScheduledFault"]

@@ -1,0 +1,179 @@
+"""Seeded, deterministic fault injection for the service tier.
+
+A :class:`FaultPlan` is a replayable failure schedule: *kill worker N at
+command K*, *wedge worker N at command K*, *cut connection C after frame
+M*, *cut the feed socket after frame M*, *delay command K by d seconds*.
+The plan compiles into the observation hooks the runtime layers already
+expose —
+
+* :class:`repro.service.executor.ProcessShardExecutor` ``fault_hook``
+  (called before every command send with the per-shard command ordinal),
+* :class:`repro.api.server.MonitorSocketServer` ``fault_hook`` (called
+  before every outbound frame with the per-connection frame ordinal),
+* :class:`repro.ingest.feeds.SocketFeed` ``fault_hook`` (called per
+  decoded inbound frame)
+
+— so a chaos test states its schedule once and replays it exactly: same
+seed, same schedule, same failure points, same recovery path.  Worker
+kills use ``SIGKILL`` *and join the corpse* before returning, so the next
+pipe operation fails deterministically (never a half-dead race); wedges
+use ``SIGSTOP``, which only the executor's ``recv_timeout`` path can
+detect (and whose restart path reaps with ``SIGKILL`` — a stopped process
+ignores ``SIGTERM`` until resumed).
+
+Every fault fires at most once; :attr:`FaultPlan.fired` records the
+actual firing order for post-run assertions.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from random import Random
+
+__all__ = ["FaultPlan", "ScheduledFault"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduledFault:
+    """One point fault: ``kind`` at ordinal ``at`` of lane ``key``.
+
+    ``key`` is the shard index (worker faults), connection index
+    (connection drops) or 0 (feed drops); ``seconds`` is only meaningful
+    for ``delay`` faults.
+    """
+
+    kind: str  # "kill" | "stop" | "delay" | "drop_connection" | "drop_feed"
+    key: int
+    at: int
+    seconds: float = 0.0
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic, seeded schedule of injected faults.
+
+    Build a plan fluently, hand its hooks to the components under test::
+
+        plan = FaultPlan(seed=7).kill_worker(shard=1, at_command=5)
+        executor = SupervisedShardExecutor(fault_hook=plan.executor_hook())
+        ...
+        assert [f.kind for f in plan.fired] == ["kill"]
+
+    ``seed`` drives the randomized schedule helpers only; explicitly
+    scheduled faults need no seed.
+    """
+
+    seed: int | None = None
+    faults: list[ScheduledFault] = field(default_factory=list)
+    #: faults that actually fired, in firing order.
+    fired: list[ScheduledFault] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Schedule construction
+    # ------------------------------------------------------------------
+
+    def kill_worker(self, shard: int, at_command: int) -> "FaultPlan":
+        """SIGKILL shard ``shard``'s worker just before command ``at_command``
+        (0-based per-shard ordinal, monotonic across restarts) is sent."""
+        self.faults.append(ScheduledFault("kill", shard, at_command))
+        return self
+
+    def stop_worker(self, shard: int, at_command: int) -> "FaultPlan":
+        """SIGSTOP (wedge, don't kill) the worker before command
+        ``at_command`` — exercises the ``recv_timeout`` detection path."""
+        self.faults.append(ScheduledFault("stop", shard, at_command))
+        return self
+
+    def delay_command(
+        self, shard: int, at_command: int, seconds: float
+    ) -> "FaultPlan":
+        """Sleep ``seconds`` before sending command ``at_command`` (latency
+        injection on the parent side)."""
+        self.faults.append(ScheduledFault("delay", shard, at_command, seconds))
+        return self
+
+    def drop_connection(self, after_frames: int, conn: int = 0) -> "FaultPlan":
+        """Abruptly close server connection ``conn`` (accept order, 0-based)
+        when it is about to write outbound frame ``after_frames``."""
+        self.faults.append(ScheduledFault("drop_connection", conn, after_frames))
+        return self
+
+    def drop_feed(self, after_frames: int) -> "FaultPlan":
+        """Make a :class:`~repro.ingest.feeds.SocketFeed` lose its transport
+        after decoding ``after_frames`` inbound frames."""
+        self.faults.append(ScheduledFault("drop_feed", 0, after_frames))
+        return self
+
+    def random_worker_kills(
+        self, n: int, shards: int, max_command: int
+    ) -> "FaultPlan":
+        """Schedule ``n`` seeded-random worker kills across the fleet.
+
+        Kill points are drawn without replacement from the
+        ``shards x max_command`` lattice by ``Random(seed)``, so the same
+        seed always yields the same schedule.
+        """
+        rng = Random(self.seed)
+        lattice = [(s, c) for s in range(shards) for c in range(1, max_command)]
+        for shard, at in sorted(rng.sample(lattice, n)):
+            self.kill_worker(shard, at)
+        return self
+
+    # ------------------------------------------------------------------
+    # Hook compilation
+    # ------------------------------------------------------------------
+
+    def _take(self, kinds: tuple[str, ...], key: int, at: int) -> ScheduledFault | None:
+        """Pop-and-record the first pending fault matching ``(kind, key, at)``."""
+        with self._lock:
+            for fault in self.faults:
+                if fault.kind in kinds and fault.key == key and fault.at == at:
+                    if fault in self.fired:
+                        continue
+                    self.fired.append(fault)
+                    return fault
+        return None
+
+    def executor_hook(self):
+        """``fault_hook`` for :class:`ProcessShardExecutor` and subclasses."""
+
+        def hook(shard: int, seq: int, worker) -> None:
+            fault = self._take(("kill", "stop", "delay"), shard, seq)
+            if fault is None:
+                return
+            if fault.kind == "kill":
+                worker.kill()
+                worker.join(timeout=5.0)
+            elif fault.kind == "stop":
+                os.kill(worker.pid, signal.SIGSTOP)
+            else:
+                time.sleep(fault.seconds)
+
+        return hook
+
+    def connection_hook(self):
+        """``fault_hook`` for :class:`repro.api.server.MonitorSocketServer`:
+        returns ``True`` when the connection's transport should be cut
+        before the given outbound frame."""
+
+        def hook(conn: int, frame_seq: int) -> bool:
+            return self._take(("drop_connection",), conn, frame_seq) is not None
+
+        return hook
+
+    def feed_hook(self):
+        """``fault_hook`` for :class:`repro.ingest.feeds.SocketFeed`: returns
+        ``True`` when the feed's transport should be cut after the given
+        decoded frame."""
+
+        def hook(frame_seq: int) -> bool:
+            return self._take(("drop_feed",), 0, frame_seq) is not None
+
+        return hook

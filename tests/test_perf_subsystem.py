@@ -303,18 +303,27 @@ class TestSuiteAndRunner:
         wallclock = sorted(
             c.shards for c in full if c.shards and c.executor == "process"
         )
+        supervised = sorted(
+            c.shards for c in full if c.shards and c.executor == "supervised"
+        )
         smoke_shards = sorted(c.shards for c in smoke if c.shards)
         assert serial == [1, 2, 4, 8]
         assert wallclock == [1, 2, 4, 8]
+        # fault_recovery mirrors the wallclock sweep on the supervised
+        # executor (supervision overhead, no faults firing).
+        assert supervised == wallclock
         assert smoke_shards == [1, 4]
         for case in smoke:
             assert case.executor == "serial"  # smoke stays deterministic
+        key_prefix = {
+            "serial": "shard_scaling",
+            "process": "shard_scaling_wallclock",
+            "supervised": "fault_recovery",
+        }
         for case in full:
-            if case.shards and case.executor == "serial":
-                assert case.key == f"shard_scaling/S={case.shards}"
-                assert case.workload == "network"
-            elif case.shards:
-                assert case.key == f"shard_scaling_wallclock/S={case.shards}"
+            if case.shards:
+                prefix = key_prefix[case.executor]
+                assert case.key == f"{prefix}/S={case.shards}"
                 assert case.workload == "network"
 
     def test_micro_bench_rows(self):
