@@ -32,6 +32,23 @@ updates not yet ticked are lost with the old connection, and deltas
 published while the link was down are *not* replayed — treat a
 reconnect like a ``lagged`` marker and re-snapshot what you watch
 (the re-synced results in the event carry exactly that snapshot).
+
+**Lag recovery.**  ``auto_resync=True`` automates that re-snapshot for
+the in-band case: when the server sheds deltas for this connection (a
+``lagged`` frame from the DROP_AND_SNAPSHOT slow-consumer policy), the
+client re-runs the wire-v2 ``sync`` handshake on a side thread — the
+reader thread cannot issue requests itself — refreshing every handle's
+result and re-subscribing its topic.  Each completed recovery lands in
+``resync_events``; overlapping lag markers coalesce into the one
+in-flight re-sync.
+
+**Telemetry.**  ``watch_metrics`` subscribes the connection to the
+server's wire-v3 telemetry stream: ``metrics`` frames land in
+``metrics_frames``, ``alert`` frames in ``alert_events`` (neither is
+routed to the request/reply path).  Pass a
+:class:`repro.obs.metrics.MetricsRegistry` as ``metrics=`` to have the
+client's own transport health — reconnects, shed deltas, received
+alerts — exported alongside everything else.
 """
 
 from __future__ import annotations
@@ -46,6 +63,7 @@ from dataclasses import dataclass, field
 from repro.api import wire
 from repro.api.queries import QuerySpec
 from repro.api.retry import ReconnectPolicy
+from repro.obs.metrics import MetricsRegistry
 from repro.geometry.points import Point
 from repro.service.deltas import ResultDelta
 from repro.updates import ObjectUpdate, QueryUpdate
@@ -173,6 +191,8 @@ class Client:
         client_name: str = "",
         reconnect: ReconnectPolicy | None = None,
         on_reconnect: Callable[[ReconnectEvent], None] | None = None,
+        auto_resync: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._sock = sock
         self._reader = sock.makefile("r", encoding="utf-8", newline="\n")
@@ -217,6 +237,21 @@ class Client:
         #: DROP_AND_SNAPSHOT slow-consumer policy shed deltas for this
         #: connection; re-snapshot what you watch).
         self.lag_events: list[int] = []
+        #: re-run the sync handshake automatically on every ``lagged``
+        #: marker (see module docstring); completed recoveries append
+        #: their :class:`SyncState` to ``resync_events``.
+        self._auto_resync = auto_resync
+        #: single-inflight guard: lag markers arriving while a re-sync
+        #: is already running coalesce into it.
+        self._resyncing = threading.Event()
+        #: every completed automatic lag re-sync, in order.
+        self.resync_events: list[SyncState] = []
+        #: server ``metrics`` frames received after :meth:`watch_metrics`.
+        self.metrics_frames: list[wire.Metrics] = []
+        #: server ``alert`` frames pushed to this connection.
+        self.alert_events: list[wire.Alert] = []
+        #: optional registry exporting this client's transport health.
+        self.metrics = metrics
         #: the server's ``welcome`` frame (name + supported versions).
         self.welcome: wire.Welcome = self._read_welcome()
         if wire.WIRE_VERSION not in self.welcome.versions:
@@ -246,6 +281,8 @@ class Client:
         client_name: str = "",
         reconnect: ReconnectPolicy | None = None,
         on_reconnect: Callable[[ReconnectEvent], None] | None = None,
+        auto_resync: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> "Client":
         sock = cls._dial((host, port), timeout)
         client = cls(
@@ -253,6 +290,8 @@ class Client:
             client_name=client_name,
             reconnect=reconnect,
             on_reconnect=on_reconnect,
+            auto_resync=auto_resync,
+            metrics=metrics,
         )
         client._address = (host, port)
         return client
@@ -337,7 +376,11 @@ class Client:
                 if kind is wire.Delta:
                     self._dispatch_delta(frame)
                 elif kind is wire.Lagged:
-                    self.lag_events.append(frame.dropped)
+                    self._on_lagged(frame)
+                elif kind is wire.Metrics:
+                    self._on_metrics(frame)
+                elif kind is wire.Alert:
+                    self._on_alert(frame)
                 elif kind is wire.Bye:
                     return None
                 else:
@@ -386,6 +429,11 @@ class Client:
             # stale; the link is clean from here.
             self._drain_replies()
             self.reconnect_events.append(event)
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "repro_client_reconnects_total",
+                    "Transparent transport recoveries completed.",
+                ).inc()
             self._connected.set()
             if self._on_reconnect is not None:
                 try:
@@ -491,6 +539,62 @@ class Client:
                 self.callback_errors.append(exc)
             else:
                 subscription.delivered += 1
+
+    def _on_lagged(self, frame: wire.Lagged) -> None:
+        self.lag_events.append(frame.dropped)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_client_lagged_deltas_total",
+                "Deltas the server shed for this connection (lagged frames).",
+            ).inc(frame.dropped)
+        if self._auto_resync:
+            self._spawn_resync()
+
+    def _spawn_resync(self) -> None:
+        """Kick off the lag-recovery ``sync`` on a side thread.
+
+        Runs on the reader thread, which cannot issue requests itself
+        (:meth:`sync` would deadlock waiting for replies only this
+        thread can enqueue).  At most one re-sync is in flight; lag
+        markers arriving meanwhile coalesce into it.
+        """
+        if self._resyncing.is_set() or self._closed.is_set():
+            return
+        self._resyncing.set()
+
+        def run() -> None:
+            try:
+                state = self.sync(objects=False, watch=True)
+            except RemoteError as exc:
+                # A lost link mid-recovery is the reconnect machinery's
+                # problem (or the application's, via the next request);
+                # the recovery itself must not kill anything.
+                self.callback_errors.append(exc)
+            else:
+                self.resync_events.append(state)
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "repro_client_resyncs_total",
+                        "Automatic lag re-syncs completed.",
+                    ).inc()
+            finally:
+                self._resyncing.clear()
+
+        threading.Thread(
+            target=run, name="monitor-client-resync", daemon=True
+        ).start()
+
+    def _on_metrics(self, frame: wire.Metrics) -> None:
+        self.metrics_frames.append(frame)
+
+    def _on_alert(self, frame: wire.Alert) -> None:
+        self.alert_events.append(frame)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_client_alerts_received_total",
+                "Server health alerts pushed to this connection, by level.",
+                level=frame.level,
+            ).inc()
 
     def _request(self, frame: wire.Frame, expected: type) -> wire.Frame:
         """Send one frame and wait for its reply (serialized)."""
@@ -631,6 +735,39 @@ class Client:
         """
         reply = self._request(wire.Tick(timestamp=timestamp), wire.Ticked)
         return set(reply.changed)
+
+    def watch_metrics(
+        self,
+        *,
+        interval_ms: int = 0,
+        alerts: bool = True,
+        timeout: float = 5.0,
+    ) -> wire.Metrics:
+        """Subscribe to the server's telemetry stream (wire v3).
+
+        The server replies with an immediate ``metrics`` frame (the
+        current registry snapshot) and, when ``interval_ms`` is
+        positive, keeps pushing one every interval; ``alerts=True`` also
+        opts this connection into pushed ``alert`` frames.  Frames land
+        in :attr:`metrics_frames` / :attr:`alert_events` on the reader
+        thread.  Returns the immediate snapshot frame (waited for up to
+        ``timeout`` seconds, since it arrives out-of-band after the
+        ``ok`` reply).
+        """
+        seen = len(self.metrics_frames)
+        self._request(
+            wire.WatchMetrics(interval_ms=interval_ms, alerts=alerts), wire.Ok
+        )
+        deadline = time.monotonic() + timeout
+        while len(self.metrics_frames) <= seen:
+            if self._closed.is_set():
+                raise RemoteError(self._closed_reason())
+            if time.monotonic() >= deadline:
+                raise RemoteError(
+                    "no metrics frame arrived after watch_metrics"
+                )
+            time.sleep(0.005)
+        return self.metrics_frames[seen]
 
     # ------------------------------------------------------------------
     # Subscriptions

@@ -33,10 +33,15 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from collections.abc import Callable
+from dataclasses import dataclass
 
 from repro.api import wire
 from repro.api.session import Session
+from repro.obs.health import AlertEvent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.scrape import ScrapeServer
 from repro.service.subscriptions import (
     FanoutQueue,
     SlowConsumerPolicy,
@@ -46,6 +51,43 @@ from repro.updates import QueryUpdateKind
 
 #: rows per ``sync_objects`` chunk of the cold-start stream.
 SYNC_CHUNK = 512
+
+#: metrics-pump wakeup resolution (seconds): the granularity at which
+#: per-connection ``watch_metrics`` intervals are honored.
+METRICS_PUMP_TICK = 0.05
+
+
+@dataclass(frozen=True, slots=True)
+class ConnectionStats:
+    """One connection's outbound accounting (a :class:`FanoutQueue`
+    snapshot plus transport-level counts)."""
+
+    index: int
+    depth: int
+    delivered: int
+    dropped: int
+    overflows: int
+    broken: bool
+    frames_sent: int
+    subscriptions: int
+
+
+@dataclass(frozen=True, slots=True)
+class ServerStats:
+    """Aggregate server health: per-connection rows plus fleet totals.
+
+    Totals include connections that have already closed (their final
+    counters are folded in at teardown), so ``dropped`` is the lifetime
+    count the slow-consumer policies shed — previously recorded on each
+    :class:`FanoutQueue` but unreachable from the embedding process.
+    """
+
+    connections: tuple[ConnectionStats, ...]
+    accepted: int
+    depth: int
+    delivered: int
+    dropped: int
+    overflows: int
 
 
 class _Connection:
@@ -70,6 +112,11 @@ class _Connection:
         self.staged_objects: list = []
         self.staged_queries: list = []
         self.closed = False
+        #: ``watch_metrics`` state: push interval in seconds (``None`` =
+        #: not watching), alert routing flag, next scheduled push.
+        self.metrics_interval: float | None = None
+        self.wants_alerts = False
+        self.next_metrics_at = 0.0
         #: bounded outbound queue; its writer thread owns the send side.
         #: Deltas ride as ``(timestamp, delta)`` pairs and are encoded on
         #: the writer thread, keeping the hub's enqueue O(1) regardless
@@ -143,6 +190,20 @@ class _Connection:
             pass
         # The shutdown above errors out a writer blocked in sendall.
         self.outbox.close(flush=False, timeout=1.0)
+        self.server._retire(self)
+
+    def stats(self) -> ConnectionStats:
+        queue = self.outbox.stats()
+        return ConnectionStats(
+            index=self.index,
+            depth=queue["depth"],
+            delivered=queue["delivered"],
+            dropped=queue["dropped"],
+            overflows=queue["overflows"],
+            broken=queue["broken"],
+            frames_sent=self.frames_sent,
+            subscriptions=len(self.subscriptions),
+        )
 
 
 class MonitorSocketServer:
@@ -165,6 +226,16 @@ class MonitorSocketServer:
             frame ordinal; returning ``True`` cuts that connection's
             transport abruptly (no ``bye``), simulating a network drop
             (see :meth:`repro.testing.faults.FaultPlan.connection_hook`).
+        registry: optional :class:`repro.obs.metrics.MetricsRegistry`.
+            Enables the wire telemetry surface: ``watch_metrics`` frames
+            are honored (a metrics-pump side thread pushes periodic
+            ``metrics`` snapshots), :meth:`publish_alert` fans ``alert``
+            frames out, and the server registers its own fan-out gauges
+            (connections, outbound depth, delivered/dropped totals).
+        scrape_port: with a ``registry``, additionally serve the
+            Prometheus text scrape endpoint on this port from a side
+            thread (``0`` picks a free port — see :attr:`scrape_address`;
+            ``None`` disables the endpoint).
     """
 
     def __init__(
@@ -178,6 +249,8 @@ class MonitorSocketServer:
         slow_consumer: SlowConsumerPolicy = SlowConsumerPolicy.DISCONNECT,
         sndbuf: int | None = None,
         fault_hook: Callable[[int, int], bool] | None = None,
+        registry: MetricsRegistry | None = None,
+        scrape_port: int | None = None,
     ) -> None:
         self.session = session
         self.name = name
@@ -195,6 +268,43 @@ class MonitorSocketServer:
         self._accept_thread: threading.Thread | None = None
         self._connections: list[_Connection] = []
         self._stopping = threading.Event()
+        self.registry = registry
+        self._scrape: ScrapeServer | None = (
+            None
+            if registry is None or scrape_port is None
+            else ScrapeServer(registry, host, scrape_port)
+        )
+        self._metrics_thread: threading.Thread | None = None
+        #: final counters of closed connections, folded into stats().
+        self._retired = {"delivered": 0, "dropped": 0, "overflows": 0}
+        self._retired_lock = threading.Lock()
+        if registry is not None:
+            self._m_alerts = registry.counter(
+                "repro_server_alerts_published_total",
+                "Alert frames fanned out to watching connections.",
+            )
+            registry.gauge_fn(
+                "repro_server_connections",
+                lambda: len(self._connections),
+                "Open client connections.",
+            )
+            registry.gauge_fn(
+                "repro_server_outbound_depth",
+                lambda: self.stats().depth,
+                "Frames queued across every connection outbox.",
+            )
+            registry.gauge_fn(
+                "repro_server_deltas_delivered",
+                lambda: self.stats().delivered,
+                "Outbound items delivered (cumulative, closed conns included).",
+            )
+            registry.gauge_fn(
+                "repro_server_deliveries_dropped",
+                lambda: self.stats().dropped,
+                "Deliveries shed by slow-consumer policies (cumulative).",
+            )
+        else:
+            self._m_alerts = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -207,6 +317,13 @@ class MonitorSocketServer:
             raise RuntimeError("server not started")
         return self._sock.getsockname()[:2]
 
+    @property
+    def scrape_address(self) -> tuple[str, int]:
+        """The scrape endpoint's ``(host, port)`` (after :meth:`start`)."""
+        if self._scrape is None or self._scrape.port is None:
+            raise RuntimeError("scrape endpoint not running")
+        return self._scrape.host, self._scrape.port
+
     def start(self) -> tuple[str, int]:
         """Bind, listen and start accepting; returns the bound address."""
         if self._sock is not None:
@@ -216,15 +333,31 @@ class MonitorSocketServer:
         sock.bind((self._host, self._port))
         sock.listen(16)
         self._sock = sock
+        self._stopping.clear()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="monitor-server-accept", daemon=True
         )
         self._accept_thread.start()
+        if self._scrape is not None:
+            self._scrape.start()
+        if self.registry is not None:
+            self._metrics_thread = threading.Thread(
+                target=self._metrics_pump, name="monitor-server-metrics",
+                daemon=True,
+            )
+            self._metrics_thread.start()
         return self.address
 
     def stop(self) -> None:
-        """Close the listener and every connection."""
+        """Close the listener, the telemetry side threads and every
+        connection."""
         self._stopping.set()
+        if self._scrape is not None:
+            self._scrape.stop()
+        thread = self._metrics_thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._metrics_thread = None
         if self._sock is not None:
             try:
                 # Wakes a blocked accept() (close alone does not, on
@@ -262,6 +395,81 @@ class MonitorSocketServer:
             return self.session.tick(
                 object_updates, query_updates, timestamp=timestamp
             )
+
+    # ------------------------------------------------------------------
+    # Telemetry surface
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ServerStats:
+        """Fan-out accounting: per-connection rows plus lifetime totals."""
+        rows = tuple(conn.stats() for conn in list(self._connections))
+        with self._retired_lock:
+            retired = dict(self._retired)
+        return ServerStats(
+            connections=rows,
+            accepted=self._accepted,
+            depth=sum(row.depth for row in rows),
+            delivered=retired["delivered"] + sum(r.delivered for r in rows),
+            dropped=retired["dropped"] + sum(r.dropped for r in rows),
+            overflows=retired["overflows"] + sum(r.overflows for r in rows),
+        )
+
+    def _retire(self, conn: _Connection) -> None:
+        """Fold a closing connection's final counters into the totals."""
+        queue = conn.outbox.stats()
+        with self._retired_lock:
+            self._retired["delivered"] += queue["delivered"]
+            self._retired["dropped"] += queue["dropped"]
+            self._retired["overflows"] += queue["overflows"]
+
+    def publish_alert(self, event: AlertEvent) -> int:
+        """Fan one health alert out to every ``watch_metrics(alerts=True)``
+        connection; returns the number of connections it reached.  Shaped
+        to plug straight into the ingest driver's ``on_alert``."""
+        frame = wire.Alert(
+            level=event.level,
+            rule=event.rule,
+            message=event.message,
+            value=event.value,
+            cycle=event.cycle,
+            timestamp=event.timestamp,
+        )
+        reached = 0
+        for conn in list(self._connections):
+            if conn.wants_alerts and not conn.closed:
+                conn.send(frame)
+                reached += 1
+        if self._m_alerts is not None and reached:
+            self._m_alerts.inc(reached)
+        return reached
+
+    def _metrics_frame(self) -> wire.Metrics:
+        assert self.registry is not None
+        return wire.Metrics(
+            timestamp=time.time(),
+            rows=tuple(self.registry.snapshot().items()),
+        )
+
+    def _metrics_pump(self) -> None:
+        """Side thread: honor each connection's ``watch_metrics`` cadence."""
+        while not self._stopping.wait(METRICS_PUMP_TICK):
+            now = time.monotonic()
+            frame: wire.Metrics | None = None
+            for conn in list(self._connections):
+                interval = conn.metrics_interval
+                if (
+                    interval is None
+                    or interval <= 0
+                    or conn.closed
+                    or now < conn.next_metrics_at
+                ):
+                    continue
+                if frame is None:
+                    # One snapshot per pump pass, shared by every
+                    # connection due this tick.
+                    frame = self._metrics_frame()
+                conn.next_metrics_at = now + interval
+                conn.send(frame)
 
     # ------------------------------------------------------------------
     # Accept / per-connection loops
@@ -422,6 +630,20 @@ class MonitorSocketServer:
             return
         if kind is wire.Sync:
             self._sync(conn, frame)
+            return
+        if kind is wire.WatchMetrics:
+            if self.registry is None:
+                raise wire.WireError("server has no metrics registry attached")
+            conn.wants_alerts = frame.alerts
+            if frame.interval_ms > 0:
+                conn.metrics_interval = frame.interval_ms / 1000.0
+                conn.next_metrics_at = 0.0  # due at the next pump pass
+            else:
+                conn.metrics_interval = None
+            conn.send(wire.Ok(op="watch_metrics"))
+            # Always answer with one immediate snapshot; periodic pushes
+            # (if requested) continue from the pump thread.
+            conn.send(self._metrics_frame())
             return
         if kind is wire.Hello:
             return  # the welcome already went out on accept

@@ -9,9 +9,13 @@ client-API section).
 
 **v2** added the pub/sub vocabulary — attribute tags, filtered
 subscriptions, the cold-start sync handshake and the slow-consumer lag
-marker — without reshaping any v1 frame, so v1 lines still decode
+marker — and **v3** adds the telemetry vocabulary — the
+``watch_metrics`` request plus server-pushed ``metrics`` snapshots and
+``alert`` events.  Both bumps are additive (new frame types only, no
+reshapes), so v1 and v2 lines still decode
 (:data:`SUPPORTED_VERSIONS`); everything this module *encodes* is
-stamped v2, which a strict v1 peer rejects loudly at the first frame.
+stamped v3, which a strict older peer rejects loudly at the first
+frame.
 
 The frame vocabulary mirrors the in-process client surface
 (:mod:`repro.api.session`) plus the ingestion vocabulary
@@ -41,6 +45,9 @@ frame                 direction  meaning
 :class:`SyncQuery`    s -> c     one registered query + its result (v2)
 :class:`SyncDone`     s -> c     cold-start stream complete (v2)
 :class:`Lagged`       s -> c     deltas dropped by slow-consumer policy (v2)
+:class:`WatchMetrics` c -> s     push telemetry snapshots to me (v3)
+:class:`Metrics`      s -> c     one flat registry snapshot (v3)
+:class:`Alert`        s -> c     one health alert event (v3)
 :class:`Ok`           s -> c     generic acknowledgement (op echoed)
 :class:`Error`        s -> c     request failed (message echoed)
 :class:`Bye`          both       orderly shutdown
@@ -68,11 +75,12 @@ from repro.service.deltas import ResultDelta
 from repro.updates import FlatUpdateBatch, ObjectUpdate, QueryUpdate, QueryUpdateKind
 
 #: the protocol version this module speaks (stamps every encoded frame).
-WIRE_VERSION = 2
+WIRE_VERSION = 3
 
-#: versions :func:`decode_frame` accepts.  v2 is additive over v1 (new
-#: frame types only, no reshapes), so v1 lines still parse.
-SUPPORTED_VERSIONS = (1, 2)
+#: versions :func:`decode_frame` accepts.  v2 (pub/sub) and v3
+#: (telemetry) are additive over v1 (new frame types only, no
+#: reshapes), so older lines still parse.
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 ResultEntry = tuple[float, int]
 
@@ -235,6 +243,40 @@ class Lagged:
 
 
 @dataclass(frozen=True, slots=True)
+class WatchMetrics:
+    """Start (or refresh) telemetry streaming on this connection.
+
+    ``interval_ms == 0`` requests a single immediate :class:`Metrics`
+    snapshot; a positive interval subscribes to periodic snapshots.
+    ``alerts`` additionally routes :class:`Alert` frames here."""
+
+    interval_ms: int = 0
+    alerts: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class Metrics:
+    """One flat registry snapshot.  Rows are ``[series, value]`` in
+    sorted series order; values keep their JSON number type (int stays
+    int) so a round-trip re-encodes byte-identically."""
+
+    timestamp: float
+    rows: tuple[tuple[str, int | float], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Alert:
+    """One health alert event (tier, rule, message, trigger value)."""
+
+    level: str
+    rule: str
+    message: str
+    value: float = 0.0
+    cycle: int = 0
+    timestamp: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
 class Ok:
     op: str
     qid: int | None = None
@@ -254,6 +296,7 @@ Frame = Union[
     Hello, Welcome, Updates, QueryOp, Tick, Ticked, Register, Registered,
     Move, Terminate, GetSnapshot, Snapshot, Subscribe, Unsubscribe, Delta,
     Tags, Sync, SyncObjects, SyncQuery, SyncDone, Lagged,
+    WatchMetrics, Metrics, Alert,
     Ok, Error, Bye,
 ]
 
@@ -270,6 +313,14 @@ def _point(raw) -> Point:
 
 def _opt_point(raw) -> Point | None:
     return None if raw is None else _point(raw)
+
+
+def _number(raw) -> int | float:
+    """A JSON number, *without* coercing int to float — telemetry
+    counters stay ints so canonical re-encode is byte-identical."""
+    if type(raw) is int or type(raw) is float:
+        return raw
+    raise TypeError(f"not a number: {raw!r}")
 
 
 def _entries(raw) -> tuple[ResultEntry, ...]:
@@ -394,6 +445,25 @@ def _body(frame: Frame) -> tuple[str, dict]:
         return "sync_done", {"queries": frame.queries, "objects": frame.objects}
     if type(frame) is Lagged:
         return "lagged", {"dropped": frame.dropped}
+    if type(frame) is WatchMetrics:
+        return "watch_metrics", {
+            "interval_ms": frame.interval_ms,
+            "alerts": frame.alerts,
+        }
+    if type(frame) is Metrics:
+        return "metrics", {
+            "ts": frame.timestamp,
+            "rows": [[name, value] for name, value in frame.rows],
+        }
+    if type(frame) is Alert:
+        return "alert", {
+            "level": frame.level,
+            "rule": frame.rule,
+            "message": frame.message,
+            "value": frame.value,
+            "cycle": frame.cycle,
+            "ts": frame.timestamp,
+        }
     if type(frame) is Hello:
         return "hello", {"client": frame.client}
     if type(frame) is Welcome:
@@ -548,6 +618,27 @@ def decode_frame(line: str | bytes) -> Frame:
             )
         if kind == "lagged":
             return Lagged(dropped=int(obj["dropped"]))
+        if kind == "watch_metrics":
+            return WatchMetrics(
+                interval_ms=int(obj.get("interval_ms", 0)),
+                alerts=bool(obj.get("alerts", True)),
+            )
+        if kind == "metrics":
+            return Metrics(
+                timestamp=_number(obj["ts"]),
+                rows=tuple(
+                    (str(name), _number(value)) for name, value in obj["rows"]
+                ),
+            )
+        if kind == "alert":
+            return Alert(
+                level=str(obj["level"]),
+                rule=str(obj["rule"]),
+                message=str(obj["message"]),
+                value=_number(obj.get("value", 0.0)),
+                cycle=int(obj.get("cycle", 0)),
+                timestamp=_number(obj.get("ts", 0.0)),
+            )
         if kind == "hello":
             return Hello(client=str(obj.get("client", "")))
         if kind == "welcome":

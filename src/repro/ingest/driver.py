@@ -40,6 +40,14 @@ from dataclasses import dataclass, field
 from repro.ingest.batcher import CycleBatcher
 from repro.ingest.buffer import BackPressurePolicy, IngestBuffer
 from repro.ingest.feeds import CycleMark, FeedEvent, UpdateFeed
+from repro.obs.health import (
+    AlertEvent,
+    HealthMonitor,
+    HealthPolicy,
+    HealthSample,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanRecorder
 from repro.service.service import MonitoringService
 from repro.updates import FlatUpdateBatch, ObjectUpdate, QueryUpdate
 
@@ -92,11 +100,15 @@ class IngestReport:
     """Aggregated stats of one driver run."""
 
     cycles: list[CycleIngestStats] = field(default_factory=list)
-    #: the run died on an exception (feed/service failure) instead of
-    #: ending; ``error`` carries its repr.  A background run records the
-    #: failure here and :meth:`IngestDriver.stop` re-raises it.
+    #: the run died on an exception (feed/service failure, or a *hard*
+    #: health violation — a :class:`repro.obs.health.HealthError`)
+    #: instead of ending; ``error`` carries its repr.  A background run
+    #: records the failure here and :meth:`IngestDriver.stop` re-raises
+    #: it.
     failed: bool = False
     error: str | None = None
+    #: soft health alerts emitted during the run (``health`` attached).
+    alerts: list[AlertEvent] = field(default_factory=list)
 
     @property
     def n_cycles(self) -> int:
@@ -160,6 +172,24 @@ class IngestDriver:
         clock: time source for deadlines (monotonic seconds); injectable
             for deterministic tests.
         on_cycle: optional per-cycle callback (stats dashboards).
+        metrics: optional :class:`repro.obs.metrics.MetricsRegistry`; the
+            driver exports per-cycle counters (offered / coalesced /
+            dropped / applied / changed / overruns), buffer occupancy
+            and feed-staleness gauges, and phase-timing histograms.
+            ``None`` (the default) leaves the hot path untouched.
+        health: a :class:`repro.obs.health.HealthPolicy` (or a prebuilt
+            :class:`~repro.obs.health.HealthMonitor`) evaluated on every
+            cycle.  Hard violations raise through the pump loop (a
+            background run surfaces them as ``report.failed``/``error``);
+            soft alerts collect on ``report.alerts``.
+        on_alert: callback for soft alerts (wire export hooks in the
+            socket server); implies nothing without ``health``.
+        fault_hook: test seam called with the cycle ordinal at the start
+            of every cycle (:meth:`repro.testing.faults.FaultPlan.ingest_hook`).
+        queue_depth_probe / reconnect_probe: optional callables sampled
+            into the cycle's :class:`~repro.obs.health.HealthSample`
+            (outbound fan-out depth, cumulative transport reconnects) —
+            how downstream tiers feed the health rules.
     """
 
     def __init__(
@@ -175,6 +205,12 @@ class IngestDriver:
         record: bool = False,
         clock: Callable[[], float] = time.monotonic,
         on_cycle: Callable[[CycleIngestStats], None] | None = None,
+        metrics: MetricsRegistry | None = None,
+        health: HealthPolicy | HealthMonitor | None = None,
+        on_alert: Callable[[AlertEvent], None] | None = None,
+        fault_hook: Callable[[int], None] | None = None,
+        queue_depth_probe: Callable[[], int] | None = None,
+        reconnect_probe: Callable[[], int] | None = None,
     ) -> None:
         self.feed = feed
         self.service = service
@@ -201,6 +237,63 @@ class IngestDriver:
         self._thread: threading.Thread | None = None
         #: exception that killed a background run (re-raised by stop()).
         self.failure: BaseException | None = None
+        self.fault_hook = fault_hook
+        self._queue_depth_probe = queue_depth_probe
+        self._reconnect_probe = reconnect_probe
+        self.metrics = metrics
+        if isinstance(health, HealthMonitor):
+            self.health: HealthMonitor | None = health
+        elif health is not None:
+            self.health = HealthMonitor(
+                health, registry=metrics, on_alert=on_alert
+            )
+        else:
+            self.health = None
+        #: monotonic clock reading of the last cycle that applied rows
+        #: (feed freshness: staleness = clock() - this).
+        self._last_apply_at: float | None = None
+        if metrics is not None:
+            self._spans = SpanRecorder(metrics)
+            self._m = {
+                name: metrics.counter(f"repro_ingest_{name}_total", help_text)
+                for name, help_text in (
+                    ("cycles", "Driver cycles completed."),
+                    ("offered", "Object updates offered by the feed."),
+                    ("coalesced", "Offers coalesced into pending objects."),
+                    ("dropped", "Pending objects shed by DROP_OLDEST."),
+                    ("applied", "Rows applied to the monitor."),
+                    ("changed", "Query results changed."),
+                    ("deadline_overruns", "Cycles that missed their cadence."),
+                )
+            }
+            metrics.gauge_fn(
+                "repro_ingest_buffer_pending",
+                lambda: self.buffer.pending,
+                "Object updates staged in the ingest buffer.",
+            )
+            metrics.gauge_fn(
+                "repro_ingest_buffer_capacity",
+                lambda: self.buffer.capacity,
+                "Ingest buffer capacity.",
+            )
+            metrics.gauge_fn(
+                "repro_ingest_feed_staleness_seconds",
+                self._staleness,
+                "Seconds since the last cycle that applied rows.",
+            )
+            self._g_timestamp = metrics.gauge(
+                "repro_ingest_last_timestamp",
+                "Cycle label of the newest applied batch (stream time).",
+            )
+        else:
+            self._spans = None
+            self._m = None
+            self._g_timestamp = None
+
+    def _staleness(self) -> float:
+        if self._last_apply_at is None:
+            return 0.0
+        return self.clock() - self._last_apply_at
 
     # ------------------------------------------------------------------
     # Priming
@@ -320,7 +413,10 @@ class IngestDriver:
         feed); the default pulls from the feed inline.
         """
         clock = self.clock
+        ordinal = len(self.report.cycles)
         cycle_start = clock()
+        if self.fault_hook is not None:
+            self.fault_hook(ordinal)
         if from_buffer:
             trigger = self._wait_on_buffer(cycle_start)
             mark_ts = None
@@ -328,9 +424,9 @@ class IngestDriver:
             trigger, mark_ts = self._fill_from_feed(cycle_start)
         trigger_elapsed = clock() - cycle_start
         drained = self.buffer.drain(self.max_batch)
+        drain_done = clock()
         if trigger == "end" and not drained.object_targets and not drained.query_updates:
             return None
-        ordinal = len(self.report.cycles)
         timestamp = mark_ts if mark_ts is not None else ordinal
         batch, noops = self.batcher.assemble(
             drained.object_targets, drained.query_updates, timestamp
@@ -340,6 +436,11 @@ class IngestDriver:
             self.recorded.append(batch)
         tick = self.service.tick_report(batch if self.flat else batch.to_batch())
         elapsed = clock() - cycle_start
+        if self._spans is not None:
+            self._spans.record("drain", drain_done - cycle_start)
+            self._spans.record("assemble", ingest_sec - (drain_done - cycle_start))
+            self._spans.record("process", tick.process_sec)
+            self._spans.record("publish", tick.publish_sec)
         if self.cycle_deadline is None:
             overrun = False
         elif trigger == "deadline":
@@ -366,9 +467,58 @@ class IngestDriver:
             process_sec=tick.process_sec + tick.publish_sec,
         )
         self.report.cycles.append(stats)
+        if self._m is not None:
+            self._observe_cycle(stats)
         if self.on_cycle is not None:
             self.on_cycle(stats)
+        if self.health is not None:
+            # After on_cycle: a hard violation propagates with the cycle
+            # already recorded and reported.
+            self.report.alerts.extend(
+                self.health.observe(self._health_sample(stats))
+            )
         return stats
+
+    def _observe_cycle(self, stats: CycleIngestStats) -> None:
+        counters = self._m
+        counters["cycles"].inc()
+        counters["offered"].inc(stats.offered)
+        counters["coalesced"].inc(stats.coalesced)
+        counters["dropped"].inc(stats.dropped)
+        counters["applied"].inc(stats.applied)
+        counters["changed"].inc(stats.changed)
+        if stats.deadline_overrun:
+            counters["deadline_overruns"].inc()
+        if stats.applied or stats.query_updates:
+            self._last_apply_at = self.clock()
+            self._g_timestamp.set(stats.timestamp)
+
+    def _health_sample(self, stats: CycleIngestStats) -> HealthSample:
+        return HealthSample(
+            cycle=stats.cycle,
+            timestamp=float(stats.timestamp),
+            trigger=stats.trigger,
+            offered=stats.offered,
+            coalesced=stats.coalesced,
+            dropped=stats.dropped,
+            applied=stats.applied,
+            changed=stats.changed,
+            deadline_overrun=stats.deadline_overrun,
+            ingest_sec=stats.ingest_sec,
+            process_sec=stats.process_sec,
+            buffer_pending=self.buffer.pending,
+            buffer_capacity=self.buffer.capacity,
+            queue_depth=(
+                0
+                if self._queue_depth_probe is None
+                else self._queue_depth_probe()
+            ),
+            reconnects=(
+                0
+                if self._reconnect_probe is None
+                else self._reconnect_probe()
+            ),
+        )
 
     def run(
         self, max_cycles: int | None = None, *, from_buffer: bool = False

@@ -1,0 +1,71 @@
+"""Production telemetry: metrics, tick tracing, health policy, scrape.
+
+The observability tier of the monitoring service, zero-dependency by
+construction (the library itself is stdlib-only):
+
+* :mod:`repro.obs.metrics` — counter/gauge/histogram primitives behind a
+  :class:`MetricsRegistry`, cheap enough for the hot path (plain
+  attribute bumps; aggregation happens at snapshot time, never at
+  observation time) with Prometheus text rendering for scrapes;
+* :mod:`repro.obs.trace` — per-tick span timing over the pipeline
+  phases (drain → assemble → process → publish);
+* :mod:`repro.obs.health` — declarative tiered thresholds over per-tick
+  samples: hard violations raise a typed :class:`HealthError` (the
+  ingest driver stops), soft anomalies emit :class:`AlertEvent` s;
+* :mod:`repro.obs.scrape` — a plain-text (Prometheus exposition
+  format) scrape endpoint on its own listener thread.
+
+Every runtime tier accepts an optional registry — the ingest driver,
+:class:`repro.service.service.MonitoringService`,
+:class:`repro.api.server.MonitorSocketServer`,
+:class:`repro.api.client.Client` and
+:class:`repro.service.supervisor.SupervisedShardExecutor` — and with no
+registry attached the instrumentation code is never reached, so the
+deterministic counters (and the hot-path timing) of an uninstrumented
+run are untouched.
+"""
+
+from repro.obs.health import (
+    AlertEvent,
+    BufferOccupancy,
+    DeadFeed,
+    DropRateSpike,
+    HealthError,
+    HealthMonitor,
+    HealthPolicy,
+    OverrunStreak,
+    QueueDepthGrowth,
+    ReconnectStorm,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.scrape import ScrapeServer, parse_prometheus, scrape_text
+from repro.obs.trace import TICK_PHASES, SpanRecorder
+
+__all__ = [
+    "AlertEvent",
+    "BufferOccupancy",
+    "Counter",
+    "DeadFeed",
+    "DropRateSpike",
+    "Gauge",
+    "HealthError",
+    "HealthMonitor",
+    "HealthPolicy",
+    "Histogram",
+    "MetricsRegistry",
+    "OverrunStreak",
+    "QueueDepthGrowth",
+    "ReconnectStorm",
+    "ScrapeServer",
+    "SpanRecorder",
+    "TICK_PHASES",
+    "default_registry",
+    "parse_prometheus",
+    "scrape_text",
+]

@@ -1,0 +1,382 @@
+"""Tiered health policy: hard violations stop the driver, soft ones alert.
+
+The ingest driver builds one :class:`HealthSample` per cycle from the
+stats it already records and hands it to a :class:`HealthMonitor`.
+Rules are small stateful observers (streak counters, sliding windows)
+classified into two tiers:
+
+* **hard** — the service is no longer meeting its contract (a sustained
+  deadline-overrun streak means cycles are falling behind the stream; a
+  dead feed means the pipeline is silently stalled).  The monitor
+  raises :class:`HealthError`; the driver lets it propagate, so a
+  background run surfaces it as ``IngestReport.failed`` with the typed
+  error, exactly like any other pipeline failure.
+* **soft** — degraded but operating (drop-rate spikes, buffer
+  saturation, reconnect storms, fan-out queue growth).  The monitor
+  records an :class:`AlertEvent`, bumps the alert counter in the
+  registry, and invokes the ``on_alert`` callback — which the socket
+  server uses to fan ``alert`` frames out to watching connections.
+
+Rules hold mutable state (streaks, windows), so a policy instance
+belongs to exactly one driver; :meth:`HealthPolicy.default` builds a
+fresh instance each call.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "AlertEvent",
+    "BufferOccupancy",
+    "DeadFeed",
+    "DropRateSpike",
+    "HealthError",
+    "HealthMonitor",
+    "HealthPolicy",
+    "HealthSample",
+    "OverrunStreak",
+    "QueueDepthGrowth",
+    "ReconnectStorm",
+]
+
+HARD = "hard"
+SOFT = "soft"
+
+
+@dataclass(frozen=True, slots=True)
+class AlertEvent:
+    """One rule firing: tier, rule name, human message, trigger value."""
+
+    level: str
+    rule: str
+    message: str
+    value: float
+    cycle: int
+    timestamp: float
+
+    def as_dict(self) -> dict:
+        return {
+            "level": self.level,
+            "rule": self.rule,
+            "message": self.message,
+            "value": self.value,
+            "cycle": self.cycle,
+            "timestamp": self.timestamp,
+        }
+
+
+class HealthError(RuntimeError):
+    """A hard health violation; carries the :class:`AlertEvent`."""
+
+    def __init__(self, event: AlertEvent):
+        super().__init__(f"[{event.rule}] {event.message}")
+        self.event = event
+
+
+@dataclass(slots=True)
+class HealthSample:
+    """Per-cycle health observation assembled by the ingest driver."""
+
+    cycle: int
+    timestamp: float
+    trigger: str
+    offered: int = 0
+    coalesced: int = 0
+    dropped: int = 0
+    applied: int = 0
+    changed: int = 0
+    deadline_overrun: bool = False
+    ingest_sec: float = 0.0
+    process_sec: float = 0.0
+    buffer_pending: int = 0
+    buffer_capacity: int = 0
+    queue_depth: int = 0
+    reconnects: int = 0
+
+
+class OverrunStreak:
+    """HARD: ``limit`` consecutive cycles overran their deadline.
+
+    One overrun is load noise; a sustained streak means the cycle
+    budget is structurally too small for the stream and results are
+    falling progressively behind real time.
+    """
+
+    level = HARD
+
+    def __init__(self, limit: int = 5):
+        self.name = "overrun_streak"
+        self.limit = limit
+        self.streak = 0
+
+    def observe(self, sample: HealthSample) -> AlertEvent | None:
+        if sample.deadline_overrun:
+            self.streak += 1
+        else:
+            self.streak = 0
+        if self.streak >= self.limit:
+            return AlertEvent(
+                level=self.level,
+                rule=self.name,
+                message=(
+                    f"{self.streak} consecutive cycles overran the deadline"
+                ),
+                value=float(self.streak),
+                cycle=sample.cycle,
+                timestamp=sample.timestamp,
+            )
+        return None
+
+
+class DeadFeed:
+    """HARD: ``max_idle_cycles`` consecutive cycles applied nothing.
+
+    Only deadline-triggered empty cycles count — an empty *mark* cycle
+    is a legitimate quiet timestamp in the stream, but a run of empty
+    deadline ticks means the feed has stopped producing entirely.
+    """
+
+    level = HARD
+
+    def __init__(self, max_idle_cycles: int = 10):
+        self.name = "dead_feed"
+        self.max_idle_cycles = max_idle_cycles
+        self.idle = 0
+
+    def observe(self, sample: HealthSample) -> AlertEvent | None:
+        if sample.applied == 0 and sample.trigger == "deadline":
+            self.idle += 1
+        else:
+            self.idle = 0
+        if self.idle >= self.max_idle_cycles:
+            return AlertEvent(
+                level=self.level,
+                rule=self.name,
+                message=(
+                    f"feed produced no events for {self.idle} consecutive "
+                    "deadline cycles"
+                ),
+                value=float(self.idle),
+                cycle=sample.cycle,
+                timestamp=sample.timestamp,
+            )
+        return None
+
+
+class DropRateSpike:
+    """SOFT: the buffer dropped more than ``max_rate`` of offered events."""
+
+    level = SOFT
+
+    def __init__(self, max_rate: float = 0.1, min_offered: int = 20):
+        self.name = "drop_rate_spike"
+        self.max_rate = max_rate
+        self.min_offered = min_offered
+
+    def observe(self, sample: HealthSample) -> AlertEvent | None:
+        if sample.offered < self.min_offered:
+            return None
+        rate = sample.dropped / sample.offered
+        if rate > self.max_rate:
+            return AlertEvent(
+                level=self.level,
+                rule=self.name,
+                message=(
+                    f"buffer dropped {rate:.1%} of offered events "
+                    f"({sample.dropped}/{sample.offered})"
+                ),
+                value=rate,
+                cycle=sample.cycle,
+                timestamp=sample.timestamp,
+            )
+        return None
+
+
+class BufferOccupancy:
+    """SOFT: post-drain buffer occupancy above ``max_fraction``.
+
+    The driver samples occupancy *after* draining a batch, so a high
+    reading means the feed outruns even a full drain — back-pressure
+    (BLOCK) or loss (DROP_OLDEST) is imminent.
+    """
+
+    level = SOFT
+
+    def __init__(self, max_fraction: float = 0.8):
+        self.name = "buffer_occupancy"
+        self.max_fraction = max_fraction
+
+    def observe(self, sample: HealthSample) -> AlertEvent | None:
+        if sample.buffer_capacity <= 0:
+            return None
+        fraction = sample.buffer_pending / sample.buffer_capacity
+        if fraction > self.max_fraction:
+            return AlertEvent(
+                level=self.level,
+                rule=self.name,
+                message=(
+                    f"ingest buffer {fraction:.0%} full after drain "
+                    f"({sample.buffer_pending}/{sample.buffer_capacity})"
+                ),
+                value=fraction,
+                cycle=sample.cycle,
+                timestamp=sample.timestamp,
+            )
+        return None
+
+
+class QueueDepthGrowth:
+    """SOFT: outbound fan-out depth exceeds ``limit`` entries."""
+
+    level = SOFT
+
+    def __init__(self, limit: int = 256):
+        self.name = "queue_depth_growth"
+        self.limit = limit
+
+    def observe(self, sample: HealthSample) -> AlertEvent | None:
+        if sample.queue_depth > self.limit:
+            return AlertEvent(
+                level=self.level,
+                rule=self.name,
+                message=(
+                    f"outbound fan-out depth {sample.queue_depth} exceeds "
+                    f"{self.limit}"
+                ),
+                value=float(sample.queue_depth),
+                cycle=sample.cycle,
+                timestamp=sample.timestamp,
+            )
+        return None
+
+
+class ReconnectStorm:
+    """SOFT: more than ``limit`` reconnects within ``window`` cycles."""
+
+    level = SOFT
+
+    def __init__(self, limit: int = 3, window: int = 50):
+        self.name = "reconnect_storm"
+        self.limit = limit
+        self.window = window
+        self._events: deque[tuple[int, int]] = deque()
+        self._last_total = 0
+
+    def observe(self, sample: HealthSample) -> AlertEvent | None:
+        new = sample.reconnects - self._last_total
+        self._last_total = sample.reconnects
+        if new > 0:
+            self._events.append((sample.cycle, new))
+        while self._events and self._events[0][0] <= sample.cycle - self.window:
+            self._events.popleft()
+        recent = sum(count for _, count in self._events)
+        if recent > self.limit:
+            return AlertEvent(
+                level=self.level,
+                rule=self.name,
+                message=(
+                    f"{recent} reconnects within the last "
+                    f"{self.window} cycles"
+                ),
+                value=float(recent),
+                cycle=sample.cycle,
+                timestamp=sample.timestamp,
+            )
+        return None
+
+
+@dataclass(slots=True)
+class HealthPolicy:
+    """An ordered set of rules; hard rules are checked first."""
+
+    rules: Sequence = field(default_factory=tuple)
+
+    @classmethod
+    def default(cls) -> HealthPolicy:
+        """Fresh instances of every rule at its default threshold."""
+        return cls(
+            rules=(
+                OverrunStreak(),
+                DeadFeed(),
+                DropRateSpike(),
+                BufferOccupancy(),
+                QueueDepthGrowth(),
+                ReconnectStorm(),
+            )
+        )
+
+
+class HealthMonitor:
+    """Evaluates a policy per sample; raises on hard, records on soft.
+
+    Soft alerts are de-bounced per rule: a rule that stays in violation
+    re-fires only every ``realert_every`` cycles, so a saturated buffer
+    produces a heartbeat of alerts rather than one per tick.
+    """
+
+    def __init__(
+        self,
+        policy: HealthPolicy,
+        *,
+        registry: MetricsRegistry | None = None,
+        on_alert: Callable[[AlertEvent], None] | None = None,
+        realert_every: int = 10,
+        max_alerts: int = 1000,
+    ):
+        self.policy = policy
+        self.on_alert = on_alert
+        self.realert_every = realert_every
+        self.max_alerts = max_alerts
+        self.alerts: list[AlertEvent] = []
+        self._last_fired: dict[str, int] = {}
+        if registry is not None:
+            self._soft_counter = registry.counter(
+                "repro_health_alerts_total",
+                "Soft health alerts emitted.",
+                level=SOFT,
+            )
+            self._hard_counter = registry.counter(
+                "repro_health_alerts_total",
+                "Hard health violations raised.",
+                level=HARD,
+            )
+        else:
+            self._soft_counter = None
+            self._hard_counter = None
+
+    def observe(self, sample: HealthSample) -> list[AlertEvent]:
+        """Run every rule; returns the soft alerts emitted this cycle.
+
+        Raises :class:`HealthError` on the first hard violation (after
+        bumping the hard counter, so the registry still records it).
+        """
+        emitted: list[AlertEvent] = []
+        for rule in self.policy.rules:
+            event = rule.observe(sample)
+            if event is None:
+                continue
+            if event.level == HARD:
+                if self._hard_counter is not None:
+                    self._hard_counter.inc()
+                raise HealthError(event)
+            last = self._last_fired.get(event.rule)
+            if last is not None and sample.cycle - last < self.realert_every:
+                continue
+            self._last_fired[event.rule] = sample.cycle
+            if len(self.alerts) < self.max_alerts:
+                self.alerts.append(event)
+            if self._soft_counter is not None:
+                self._soft_counter.inc()
+            if self.on_alert is not None:
+                try:
+                    self.on_alert(event)
+                except Exception:
+                    # Alert delivery must never take down the pipeline.
+                    pass
+            emitted.append(event)
+        return emitted

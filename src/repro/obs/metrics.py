@@ -1,0 +1,351 @@
+"""Counter/gauge/histogram primitives behind a process-wide registry.
+
+Design constraints, in order:
+
+1. **Hot-path cheapness.**  A bump is one attribute add on a plain
+   object — no locks, no dict lookups, no allocation.  Instruments are
+   created once (under the registry lock) and held by the instrumented
+   component; CPython's GIL makes ``self.value += x`` safe enough for
+   monitoring counters (a lost increment under free-threading would
+   skew a rate by one sample, never corrupt state).
+2. **Snapshot-on-read.**  All aggregation cost lives in
+   :meth:`MetricsRegistry.snapshot` / :meth:`render_prometheus`, which
+   only scrapes and the wire metrics pump pay.
+3. **Zero dependencies.**  Prometheus text exposition format is
+   produced by hand — it is line-oriented and trivial.
+
+Series names follow Prometheus conventions: ``repro_`` prefix, base
+units (seconds), ``_total`` suffix on counters, labels rendered as
+``name{key="value"}``.  :meth:`MetricsRegistry.snapshot` returns a flat
+``{series: value}`` dict using exactly those rendered names so wire
+``metrics`` frames, scrape output and in-process reads all agree on the
+key space (that equality is what the e2e test asserts).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from collections.abc import Callable, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "render_labels",
+]
+
+#: histogram bucket upper bounds for per-tick phase timings (seconds).
+#: Spans the observed range from sub-millisecond smoke ticks to
+#: multi-second full-scale cycles.
+DEFAULT_TIME_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+)
+
+
+def render_labels(labels: dict[str, str]) -> str:
+    """``{k="v",...}`` in sorted key order; empty string for no labels."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class Counter:
+    """Monotonically increasing count.  Bump with :meth:`inc`."""
+
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help_text: str, labels: dict[str, str]):
+        self.name = name
+        self.help = help_text
+        self.labels = labels
+        self.value: int | float = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value.  :meth:`set` / :meth:`inc` / :meth:`dec`."""
+
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help_text: str, labels: dict[str, str]):
+        self.name = name
+        self.help = help_text
+        self.labels = labels
+        self.value: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts + sum + count).
+
+    ``observe`` costs one bisect over a short tuple plus three adds —
+    cheap enough to wrap every tick phase.
+    """
+
+    __slots__ = ("name", "help", "labels", "bounds", "bucket_counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labels: dict[str, str],
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+    ):
+        self.name = name
+        self.help = help_text
+        self.labels = labels
+        self.bounds = tuple(sorted(buckets))
+        self.bucket_counts = [0] * len(self.bounds)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        if index < len(self.bucket_counts):
+            self.bucket_counts[index] += 1
+        self.sum += value
+        self.count += 1
+
+
+class _CallableGauge:
+    """A gauge whose value is computed at snapshot time.
+
+    Used where the source of truth already exists as live state (queue
+    depths, connection counts) — evaluating lazily avoids a write on
+    every mutation of that state.
+    """
+
+    __slots__ = ("name", "help", "labels", "fn")
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labels: dict[str, str],
+        fn: Callable[[], int | float],
+    ):
+        self.name = name
+        self.help = help_text
+        self.labels = labels
+        self.fn = fn
+
+    @property
+    def value(self) -> int | float:
+        try:
+            return self.fn()
+        except Exception:
+            # A dying component (closed server, reaped worker) must not
+            # poison an unrelated scrape.
+            return 0
+
+
+class MetricsRegistry:
+    """Process-wide get-or-create registry of instruments.
+
+    Creation is serialized under a lock and idempotent — asking for the
+    same ``(name, labels)`` pair returns the existing instrument, so
+    components can declare their instruments without coordinating.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # key -> instrument, insertion-ordered (dict semantics); the
+        # snapshot sorts anyway, so order only affects HELP grouping.
+        self._instruments: dict[str, Counter | Gauge | Histogram | _CallableGauge] = {}
+
+    def _get_or_create(self, cls, name, help_text, labels, **kwargs):
+        key = name + render_labels(labels)
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {key!r} already registered as "
+                        f"{type(existing).__name__}, not {cls.__name__}"
+                    )
+                return existing
+            instrument = cls(name, help_text, labels, **kwargs)
+            self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, help_text: str = "", **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "", **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labels)
+
+    def gauge_fn(
+        self,
+        name: str,
+        fn: Callable[[], int | float],
+        help_text: str = "",
+        **labels: str,
+    ) -> None:
+        """Register (or replace) a lazily-evaluated gauge.
+
+        Unlike the stateful instruments this *replaces* an existing
+        callable under the same key: a restarted server re-registers its
+        depth probes and the stale closure over the dead server must not
+        win.
+        """
+        key = name + render_labels(labels)
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None and not isinstance(existing, _CallableGauge):
+                raise TypeError(
+                    f"metric {key!r} already registered as "
+                    f"{type(existing).__name__}, not a callable gauge"
+                )
+            self._instruments[key] = _CallableGauge(name, help_text, labels, fn)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, labels, buckets=buckets
+        )
+
+    def unregister(self, name: str, **labels: str) -> None:
+        """Drop one series (used by stopping servers for their probes)."""
+        key = name + render_labels(labels)
+        with self._lock:
+            self._instruments.pop(key, None)
+
+    def snapshot(self) -> dict[str, int | float]:
+        """Flat ``{rendered-series-name: value}``, sorted by name.
+
+        Histograms expand to ``<name>_bucket{le=...}`` (cumulative),
+        ``<name>_sum`` and ``<name>_count`` series.  Values keep their
+        python type (int stays int) so a wire round-trip re-encodes
+        byte-identically.
+        """
+        with self._lock:
+            instruments = list(self._instruments.values())
+        flat: dict[str, int | float] = {}
+        for instrument in instruments:
+            if isinstance(instrument, Histogram):
+                label_items = dict(instrument.labels)
+                cumulative = 0
+                for bound, count in zip(
+                    instrument.bounds, instrument.bucket_counts
+                ):
+                    cumulative += count
+                    bucket_labels = dict(label_items, le=_format_bound(bound))
+                    flat[
+                        instrument.name + "_bucket" + render_labels(bucket_labels)
+                    ] = cumulative
+                inf_labels = dict(label_items, le="+Inf")
+                flat[
+                    instrument.name + "_bucket" + render_labels(inf_labels)
+                ] = instrument.count
+                suffix = render_labels(label_items)
+                flat[instrument.name + "_sum" + suffix] = instrument.sum
+                flat[instrument.name + "_count" + suffix] = instrument.count
+            else:
+                flat[
+                    instrument.name + render_labels(instrument.labels)
+                ] = instrument.value
+        return dict(sorted(flat.items()))
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        # Group series by metric name so HELP/TYPE headers appear once.
+        by_name: dict[str, list] = {}
+        for instrument in instruments:
+            by_name.setdefault(instrument.name, []).append(instrument)
+        lines: list[str] = []
+        for name in sorted(by_name):
+            group = by_name[name]
+            first = group[0]
+            if first.help:
+                lines.append(f"# HELP {name} {first.help}")
+            lines.append(f"# TYPE {name} {_prom_type(first)}")
+            series: dict[str, int | float] = {}
+            for instrument in group:
+                if isinstance(instrument, Histogram):
+                    cumulative = 0
+                    for bound, count in zip(
+                        instrument.bounds, instrument.bucket_counts
+                    ):
+                        cumulative += count
+                        labels = dict(instrument.labels, le=_format_bound(bound))
+                        series[name + "_bucket" + render_labels(labels)] = cumulative
+                    labels = dict(instrument.labels, le="+Inf")
+                    series[name + "_bucket" + render_labels(labels)] = (
+                        instrument.count
+                    )
+                    suffix = render_labels(dict(instrument.labels))
+                    series[name + "_sum" + suffix] = instrument.sum
+                    series[name + "_count" + suffix] = instrument.count
+                else:
+                    series[name + render_labels(instrument.labels)] = (
+                        instrument.value
+                    )
+            for key in sorted(series):
+                lines.append(f"{key} {_format_value(series[key])}")
+        return "\n".join(lines) + "\n"
+
+
+def _prom_type(instrument) -> str:
+    if isinstance(instrument, Counter):
+        return "counter"
+    if isinstance(instrument, Histogram):
+        return "histogram"
+    return "gauge"
+
+
+def _format_bound(bound: float) -> str:
+    """Bucket bound label: drop a trailing ``.0`` (``1.0`` → ``1``)."""
+    if bound == int(bound):
+        return str(int(bound))
+    return repr(bound)
+
+
+def _format_value(value: int | float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(value)
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide shared registry (one per interpreter)."""
+    return _DEFAULT

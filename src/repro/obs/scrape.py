@@ -1,0 +1,165 @@
+"""Plain-text scrape endpoint serving Prometheus exposition format.
+
+A minimal HTTP/1.0 responder on its own listener thread: every
+connection gets one ``200 OK`` with the registry's current rendering
+and is closed.  That is the entire contract a Prometheus scraper (or
+``curl``) needs; there is no routing, no keep-alive, no TLS.
+
+:func:`scrape_text` is the matching client and
+:func:`parse_prometheus` turns an exposition body back into the flat
+``{series: value}`` dict of :meth:`MetricsRegistry.snapshot` — the e2e
+test and the dashboard example use the pair to assert a remote scrape
+matches the in-process registry.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ScrapeServer", "parse_prometheus", "scrape_text"]
+
+
+class ScrapeServer:
+    """Serves ``registry.render_prometheus()`` to every connection."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.registry = registry
+        self._requested = (host, port)
+        self._sock: socket.socket | None = None
+        self._thread: threading.Thread | None = None
+        self._stopping = False
+        self.host: str | None = None
+        self.port: int | None = None
+        self.scrapes = 0
+
+    def start(self) -> tuple[str, int]:
+        if self._sock is not None:
+            raise RuntimeError("scrape server already started")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(self._requested)
+        sock.listen(8)
+        self._sock = sock
+        self.host, self.port = sock.getsockname()
+        self._stopping = False
+        self._thread = threading.Thread(
+            target=self._accept_loop, name="repro-scrape", daemon=True
+        )
+        self._thread.start()
+        return self.host, self.port
+
+    def stop(self) -> None:
+        self._stopping = True
+        sock = self._sock
+        self._sock = None
+        if sock is not None:
+            # shutdown() before close(): close() alone does not wake a
+            # thread blocked in accept() on Linux — it would sit on the
+            # dead fd and hijack whichever listener reuses the number.
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - platform specific
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> ScrapeServer:
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _accept_loop(self) -> None:
+        sock = self._sock
+        assert sock is not None
+        while not self._stopping:
+            try:
+                conn, _ = sock.accept()
+            except OSError:
+                return  # listener closed by stop()
+            try:
+                self._serve(conn)
+            except OSError:
+                pass
+            finally:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+
+    def _serve(self, conn: socket.socket) -> None:
+        conn.settimeout(5.0)
+        # Read until the blank line ending the request head (or EOF);
+        # the request itself is ignored — every path scrapes.
+        data = b""
+        while b"\r\n\r\n" not in data and b"\n\n" not in data:
+            chunk = conn.recv(4096)
+            if not chunk:
+                break
+            data = data + chunk
+            if len(data) > 65536:
+                break
+        body = self.registry.render_prometheus().encode("utf-8")
+        head = (
+            b"HTTP/1.0 200 OK\r\n"
+            b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+            b"Content-Length: " + str(len(body)).encode("ascii") + b"\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+        )
+        conn.sendall(head + body)
+        self.scrapes += 1
+
+
+def scrape_text(host: str, port: int, timeout: float = 5.0) -> str:
+    """Fetch one scrape; returns the exposition body as text."""
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+        chunks = []
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    response = b"".join(chunks).decode("utf-8")
+    head, _, body = response.partition("\r\n\r\n")
+    if not head.startswith("HTTP/1.0 200"):
+        raise RuntimeError(f"scrape failed: {head.splitlines()[0] if head else ''}")
+    return body
+
+
+def parse_prometheus(body: str) -> dict[str, int | float]:
+    """Exposition text → flat ``{series: value}`` (comments skipped).
+
+    Values parse as int when the text has no decimal point, matching
+    the type-preserving convention of ``MetricsRegistry.snapshot``.
+    """
+    flat: dict[str, int | float] = {}
+    for line in body.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, _, raw = line.rpartition(" ")
+        if not series:
+            continue
+        value: int | float
+        try:
+            value = int(raw)
+        except ValueError:
+            value = float(raw)
+        flat[series] = value
+    return flat

@@ -1,0 +1,57 @@
+"""Per-tick span timing over the ingest/tick pipeline phases.
+
+The driver's cycle decomposes into ``drain`` (buffer → raw events),
+``assemble`` (batcher → FlatUpdateBatch), ``process`` (engine tick —
+the result diff rides inside this phase: ``tick_report`` times the
+diff/capture as part of ``process_sec``) and ``publish`` (hub fan-out).
+:class:`SpanRecorder` feeds each phase duration into a labelled
+histogram and keeps the latest value per phase for dashboards.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["SpanRecorder", "TICK_PHASES"]
+
+#: canonical pipeline phase names, in execution order.
+TICK_PHASES = ("drain", "assemble", "process", "publish")
+
+
+class SpanRecorder:
+    """Records phase durations into ``<prefix>{phase=...}`` histograms."""
+
+    __slots__ = ("_histograms", "last")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        prefix: str = "repro_tick_phase_seconds",
+    ):
+        self._histograms = {
+            phase: registry.histogram(
+                prefix,
+                "Per-tick pipeline phase duration.",
+                phase=phase,
+            )
+            for phase in TICK_PHASES
+        }
+        #: latest duration per phase — a dashboard-friendly point read.
+        self.last: dict[str, float] = {}
+
+    def record(self, phase: str, seconds: float) -> None:
+        histogram = self._histograms.get(phase)
+        if histogram is not None:
+            histogram.observe(seconds)
+        self.last[phase] = seconds
+
+    @contextmanager
+    def span(self, phase: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(phase, time.perf_counter() - t0)

@@ -8,6 +8,12 @@ Run the suite (the default subcommand)::
 The default ``--scale`` honours the ``REPRO_BENCH_SCALE`` environment
 variable (as the pytest-benchmark suite does), falling back to 0.02.
 
+Price the telemetry overhead (instrumented service tier) and keep the
+run's Prometheus scrape snapshot as an artifact::
+
+    PYTHONPATH=src python -m repro.perf --suite smoke --telemetry \
+        --scrape-out scrape.txt --out bench-telemetry.json
+
 Gate a change against a baseline::
 
     PYTHONPATH=src python -m repro.perf compare old.json new.json
@@ -49,6 +55,7 @@ from repro.perf.micro import (
     run_micro_backends,
     run_micro_batch,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.perf.runner import run_suite
 from repro.perf.schema import SchemaError, dump_report, load_report
 
@@ -128,6 +135,20 @@ def _build_parser() -> argparse.ArgumentParser:
         target.add_argument(
             "--quiet", action="store_true", help="suppress per-case progress lines"
         )
+        target.add_argument(
+            "--telemetry",
+            action="store_true",
+            help="run the service-tier cases fully instrumented (the "
+            "telemetry-overhead configuration; counters must match the "
+            "plain run byte for byte)",
+        )
+        target.add_argument(
+            "--scrape-out",
+            default=None,
+            metavar="PATH",
+            help="write the run's accumulated metrics registry as "
+            "Prometheus text here (implies --telemetry)",
+        )
 
     cmp_parser = sub.add_parser("compare", help="diff two bench files")
     cmp_parser.add_argument("old", help="baseline bench JSON")
@@ -198,12 +219,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("error: --scale must be positive", file=sys.stderr)
         return 2
     progress = None if args.quiet else lambda line: print(line, flush=True)
+    annotations = _parse_annotations(args.annotate)
+    registry = None
+    if args.telemetry or args.scrape_out:
+        registry = MetricsRegistry()
+        annotations.setdefault("telemetry", "on")
     report = run_suite(
         scale,
         suite=args.suite,
         repeats=max(1, args.repeats),
-        annotations=_parse_annotations(args.annotate),
+        annotations=annotations,
         progress=progress,
+        registry=registry,
     )
     total_wall = sum(c.metrics["wall_sec"] for c in report.cases)
     print(
@@ -213,6 +240,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.out:
         dump_report(report, args.out)
         print(f"wrote {args.out}")
+    if args.scrape_out:
+        with open(args.scrape_out, "w", encoding="utf-8") as fh:
+            fh.write(registry.render_prometheus())
+        print(f"wrote {args.scrape_out}")
     return 0
 
 

@@ -28,6 +28,7 @@ from repro.ingest.driver import IngestDriver
 from repro.ingest.feeds import WorkloadFeed
 from repro.mobility.workload import Workload
 from repro.monitor import ContinuousMonitor
+from repro.obs.metrics import MetricsRegistry
 from repro.perf.schema import BenchCase, BenchReport, environment_info
 from repro.perf.suite import ALGORITHMS, SuiteCase, build_suite
 from repro.service.executor import ProcessShardExecutor
@@ -88,7 +89,11 @@ def _case_monitor(
 
 
 def _run_ingest_case(
-    case: SuiteCase, workload: Workload, algorithm: str, repeats: int
+    case: SuiteCase,
+    workload: Workload,
+    algorithm: str,
+    repeats: int,
+    registry: MetricsRegistry | None = None,
 ) -> BenchCase:
     """Replay one case through the full ingestion pipeline.
 
@@ -97,13 +102,18 @@ def _run_ingest_case(
     same workload; ``wall_sec``/``process_sec`` price the columnar
     ``tick_flat`` path and the extra ``ingest_sec`` metric prices the
     feed→buffer→batcher tier itself (advisory — no gate threshold).
+    With a ``registry`` the service and driver run fully instrumented —
+    the telemetry-overhead configuration CI prices against the plain
+    run (the counters must stay byte-identical either way).
     """
     spec = workload.spec
     best = None
     for _ in range(max(1, repeats)):
         monitor = build_monitor(algorithm, case.grid, bounds=spec.bounds)
-        service = MonitoringService(monitor)
-        driver = IngestDriver(WorkloadFeed(workload), service)
+        service = MonitoringService(monitor, metrics=registry)
+        driver = IngestDriver(
+            WorkloadFeed(workload), service, metrics=registry
+        )
         gc.collect()
         t0 = time.perf_counter()
         driver.prime(k=spec.k)
@@ -152,7 +162,11 @@ def _run_ingest_case(
 
 
 def _run_subscribed_case(
-    case: SuiteCase, workload: Workload, algorithm: str, repeats: int
+    case: SuiteCase,
+    workload: Workload,
+    algorithm: str,
+    repeats: int,
+    registry: MetricsRegistry | None = None,
 ) -> BenchCase:
     """Replay one case through the delta-streaming service path.
 
@@ -179,7 +193,7 @@ def _run_subscribed_case(
     best = None
     for _ in range(max(1, repeats)):
         monitor = build_monitor(algorithm, case.grid, bounds=spec.bounds)
-        service = MonitoringService(monitor)
+        service = MonitoringService(monitor, metrics=registry)
         per_query = [
             service.hub.subscribe_query(qid, lambda ts, delta: None)
             for qid in watched
@@ -238,6 +252,7 @@ def run_case(
     workload: Workload,
     algorithm: str,
     repeats: int = 1,
+    registry: MetricsRegistry | None = None,
 ) -> BenchCase:
     """Replay one (case, algorithm) pair; returns its measurement row.
 
@@ -247,11 +262,14 @@ def run_case(
     the *real* multi-core time, while the deterministic counters belong
     to the serial scenario.  Ingest cases (``case.ingest``) replay
     through the :mod:`repro.ingest` pipeline instead of the direct loop.
+    ``registry`` instruments the service-tier cases (ingest and
+    subscribed); the bare-engine replays have no service around them and
+    run unchanged either way.
     """
     if case.ingest:
-        return _run_ingest_case(case, workload, algorithm, repeats)
+        return _run_ingest_case(case, workload, algorithm, repeats, registry)
     if case.subscribed:
-        return _run_subscribed_case(case, workload, algorithm, repeats)
+        return _run_subscribed_case(case, workload, algorithm, repeats, registry)
     best_wall = float("inf")
     report = None
     for _ in range(max(1, repeats)):
@@ -310,8 +328,14 @@ def run_suite(
     algorithms: tuple[str, ...] = ALGORITHMS,
     annotations: dict[str, str] | None = None,
     progress: Callable[[str], None] | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> BenchReport:
-    """Run the whole suite; returns the filled bench report."""
+    """Run the whole suite; returns the filled bench report.
+
+    ``registry`` turns on full service/ingest instrumentation for the
+    cases that have a service tier; counters accumulate across cases, so
+    the registry afterwards is the run's scrape snapshot.
+    """
     report = BenchReport(
         scale=scale,
         suite=suite,
@@ -330,7 +354,9 @@ def run_suite(
         else:
             case_algorithms = algorithms
         for algorithm in case_algorithms:
-            row = run_case(case, workload, algorithm, repeats=repeats)
+            row = run_case(
+                case, workload, algorithm, repeats=repeats, registry=registry
+            )
             report.cases.append(row)
             if progress is not None:
                 scans = row.metrics.get("cell_scans")

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.geometry.points import Point
 from repro.monitor import ContinuousMonitor, ResultEntry
+from repro.obs.metrics import MetricsRegistry
 from repro.service.deltas import diff_results
 from repro.service.subscriptions import SubscriptionHub
 from repro.updates import FlatUpdateBatch, ObjectUpdate, QueryUpdate, UpdateBatch
@@ -57,6 +58,11 @@ class TickReport:
     #: wall-clock spent inside ``SubscriptionHub.publish`` delivering the
     #: cycle's deltas to subscriber callbacks (0.0 when not streamed).
     publish_sec: float = 0.0
+    #: the service's health snapshot taken right after the cycle
+    #: (:meth:`MonitoringService.health_snapshot`); ``None`` unless a
+    #: metrics registry is attached — the uninstrumented path builds
+    #: nothing.
+    health: dict[str, int | float] | None = None
 
 
 class MonitoringService:
@@ -67,11 +73,48 @@ class MonitoringService:
         monitor: ContinuousMonitor,
         *,
         hub: SubscriptionHub | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.monitor = monitor
         self.hub = hub if hub is not None else SubscriptionHub()
         #: timestamp handed to :meth:`tick` last (diagnostics).
         self.last_timestamp: int | None = None
+        #: running totals mirrored into the registry (kept as plain
+        #: attributes too so :meth:`health_snapshot` is registry-free).
+        self.ticks = 0
+        self.total_changed = 0
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_ticks = metrics.counter(
+                "repro_service_ticks_total", "Cycles processed."
+            )
+            self._m_streamed = metrics.counter(
+                "repro_service_streamed_ticks_total",
+                "Cycles that ran the delta-streaming path.",
+            )
+            self._m_changed = metrics.counter(
+                "repro_service_results_changed_total",
+                "Query results changed across all cycles.",
+            )
+            metrics.gauge_fn(
+                "repro_service_subscriptions",
+                lambda: len(self.hub),
+                "Active hub subscriptions.",
+            )
+        else:
+            self._m_ticks = None
+            self._m_streamed = None
+            self._m_changed = None
+
+    def health_snapshot(self) -> dict[str, int | float]:
+        """Point-in-time service health (rides on :class:`TickReport`)."""
+        return {
+            "ticks": self.ticks,
+            "results_changed": self.total_changed,
+            "subscriptions": len(self.hub),
+            "last_timestamp": -1 if self.last_timestamp is None else
+            self.last_timestamp,
+        }
 
     # ------------------------------------------------------------------
     # Population / query management (pass-through with install streaming)
@@ -134,10 +177,21 @@ class MonitoringService:
         """
         self.last_timestamp = timestamp
         if not self.hub.has_subscribers:
-            return self.monitor.process(object_updates, query_updates)
-        return self._publish_cycle(
-            timestamp, self.monitor.process_deltas(object_updates, query_updates)
-        )
+            changed = self.monitor.process(object_updates, query_updates)
+        else:
+            changed = self._publish_cycle(
+                timestamp,
+                self.monitor.process_deltas(object_updates, query_updates),
+            )
+        self._count_tick(changed)
+        return changed
+
+    def _count_tick(self, changed: set[int]) -> None:
+        self.ticks += 1
+        self.total_changed += len(changed)
+        if self._m_ticks is not None:
+            self._m_ticks.inc()
+            self._m_changed.inc(len(changed))
 
     def _publish_cycle(self, timestamp: int | None, deltas) -> set[int]:
         """The streamed cycle tail shared by every tick flavor: fan the
@@ -163,10 +217,13 @@ class MonitoringService:
         """
         self.last_timestamp = batch.timestamp
         if not self.hub.has_subscribers:
-            return self.monitor.process_flat(batch)
-        return self._publish_cycle(
-            batch.timestamp, self.monitor.process_deltas_flat(batch)
-        )
+            changed = self.monitor.process_flat(batch)
+        else:
+            changed = self._publish_cycle(
+                batch.timestamp, self.monitor.process_deltas_flat(batch)
+            )
+        self._count_tick(changed)
+        return changed
 
     def tick_report(self, batch: UpdateBatch | FlatUpdateBatch) -> TickReport:
         """Process one packaged cycle and report label, changes and timing.
@@ -206,6 +263,9 @@ class MonitoringService:
             t1 = time.perf_counter()
             changed = self._publish_cycle(batch.timestamp, deltas)
             publish_sec = time.perf_counter() - t1
+        self._count_tick(changed)
+        if streamed and self._m_streamed is not None:
+            self._m_streamed.inc()
         return TickReport(
             timestamp=batch.timestamp,
             changed=changed,
@@ -214,4 +274,5 @@ class MonitoringService:
             query_updates=len(batch.query_updates),
             process_sec=process_sec,
             publish_sec=publish_sec,
+            health=None if self.metrics is None else self.health_snapshot(),
         )

@@ -232,6 +232,23 @@ class FanoutQueue:
         with self._lock:
             return len(self._items)
 
+    def stats(self) -> dict[str, int | bool]:
+        """One consistent counter snapshot (all fields under one lock).
+
+        This is what :meth:`repro.api.server.MonitorSocketServer.stats`
+        aggregates per connection — the counters themselves always
+        existed, this read makes them reachable from the embedding
+        process without racing the writer thread.
+        """
+        with self._lock:
+            return {
+                "depth": len(self._items),
+                "delivered": self.delivered,
+                "dropped": self.dropped,
+                "overflows": self.overflows,
+                "broken": self.broken,
+            }
+
 
 class Subscription:
     """One registered delta listener (returned by ``subscribe``)."""

@@ -51,6 +51,7 @@ from enum import Enum
 
 from repro.grid.stats import GridStats
 from repro.monitor import ContinuousMonitor, MonitorState
+from repro.obs.metrics import MetricsRegistry
 from repro.service.shm import release_segment  # noqa: F401  (used below)
 from repro.service.executor import (
     FaultHook,
@@ -115,6 +116,9 @@ class SupervisedShardExecutor(ProcessShardExecutor):
             (default) detects only dead workers, never wedged ones.
         mp_context / shm_min_rows / fault_hook: as in
             :class:`ProcessShardExecutor`.
+        metrics: optional :class:`repro.obs.metrics.MetricsRegistry`;
+            every :class:`RecoveryEvent` is forwarded as a
+            ``repro_shard_recoveries_total{action=...}`` bump.
     """
 
     def __init__(
@@ -126,6 +130,7 @@ class SupervisedShardExecutor(ProcessShardExecutor):
         mp_context: str | None = None,
         shm_min_rows: int | None = None,
         fault_hook: FaultHook | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         super().__init__(
             mp_context=mp_context,
@@ -145,6 +150,16 @@ class SupervisedShardExecutor(ProcessShardExecutor):
         self.restart_counts: list[int] = []
         #: every failure observed and the recovery taken, in order.
         self.events: list[RecoveryEvent] = []
+        self.metrics = metrics
+
+    def _record_event(self, event: RecoveryEvent) -> None:
+        self.events.append(event)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_shard_recoveries_total",
+                "Shard failures observed, by recovery action.",
+                action=event.action,
+            ).inc()
 
     def start(self, factories: Sequence[ShardFactory]) -> None:
         super().start(factories)
@@ -273,7 +288,7 @@ class SupervisedShardExecutor(ProcessShardExecutor):
         """Apply the policy to a failed shard; returns the command result."""
         replayed = len(self._log[shard])
         if self.policy is SupervisorPolicy.FAIL_FAST:
-            self.events.append(
+            self._record_event(
                 RecoveryEvent(
                     shard=shard,
                     action="fail_fast",
@@ -288,7 +303,7 @@ class SupervisedShardExecutor(ProcessShardExecutor):
             monitor = self._rebuild_local(shard)
             self._local[shard] = monitor
             self._reap(shard)
-            self.events.append(
+            self._record_event(
                 RecoveryEvent(
                     shard=shard,
                     action="degrade",
@@ -304,7 +319,7 @@ class SupervisedShardExecutor(ProcessShardExecutor):
             if self.restart_counts[shard] >= self.max_restarts:
                 raise failure
             self.restart_counts[shard] += 1
-            self.events.append(
+            self._record_event(
                 RecoveryEvent(
                     shard=shard,
                     action="restart",

@@ -46,7 +46,9 @@ class ScheduledFault:
     for ``delay`` faults.
     """
 
-    kind: str  # "kill" | "stop" | "delay" | "drop_connection" | "drop_feed"
+    #: "kill" | "stop" | "delay" | "drop_connection" | "drop_feed"
+    #: | "stall_ingest"
+    kind: str
     key: int
     at: int
     seconds: float = 0.0
@@ -111,6 +113,13 @@ class FaultPlan:
         self.faults.append(ScheduledFault("drop_feed", 0, after_frames))
         return self
 
+    def stall_ingest(self, at_cycle: int, seconds: float) -> "FaultPlan":
+        """Stall the ingest driver for ``seconds`` at the start of cycle
+        ``at_cycle`` (0-based) — a deterministic way to force deadline
+        overruns and exercise the hard health thresholds."""
+        self.faults.append(ScheduledFault("stall_ingest", 0, at_cycle, seconds))
+        return self
+
     def random_worker_kills(
         self, n: int, shards: int, max_command: int
     ) -> "FaultPlan":
@@ -165,6 +174,18 @@ class FaultPlan:
 
         def hook(conn: int, frame_seq: int) -> bool:
             return self._take(("drop_connection",), conn, frame_seq) is not None
+
+        return hook
+
+    def ingest_hook(self):
+        """``fault_hook`` for :class:`repro.ingest.driver.IngestDriver`:
+        called with the cycle ordinal at the start of every cycle; sleeps
+        through any matching ``stall_ingest`` fault."""
+
+        def hook(cycle: int) -> None:
+            fault = self._take(("stall_ingest",), 0, cycle)
+            if fault is not None:
+                time.sleep(fault.seconds)
 
         return hook
 

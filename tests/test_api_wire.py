@@ -100,6 +100,17 @@ specs = st.one_of(
 
 timestamps = st.one_of(st.none(), st.integers(min_value=0, max_value=2**40))
 
+# Telemetry values keep their JSON number type (a counter stays int);
+# mixing both shapes here is what pins that through the round trip.
+metric_values = st.one_of(
+    st.integers(min_value=0, max_value=2**40),
+    st.floats(min_value=0, max_value=1e9, allow_nan=False),
+)
+metric_rows = st.lists(
+    st.tuples(st.text(min_size=1, max_size=30), metric_values), max_size=6
+).map(tuple)
+wall_clock = st.floats(min_value=0, max_value=2e9, allow_nan=False)
+
 frames = st.one_of(
     st.builds(wire.Hello, client=st.text(max_size=20)),
     st.builds(
@@ -146,6 +157,21 @@ frames = st.one_of(
         objects=st.integers(min_value=0, max_value=2**20),
     ),
     st.builds(wire.Lagged, dropped=st.integers(min_value=1, max_value=2**20)),
+    st.builds(
+        wire.WatchMetrics,
+        interval_ms=st.integers(min_value=0, max_value=60_000),
+        alerts=st.booleans(),
+    ),
+    st.builds(wire.Metrics, timestamp=wall_clock, rows=metric_rows),
+    st.builds(
+        wire.Alert,
+        level=st.sampled_from(["soft", "hard"]),
+        rule=st.text(min_size=1, max_size=20),
+        message=st.text(max_size=60),
+        value=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        cycle=st.integers(min_value=0, max_value=2**40),
+        timestamp=wall_clock,
+    ),
     st.builds(wire.Ok, op=st.sampled_from(["subscribe", "terminate"]),
               qid=st.one_of(st.none(), oids)),
     st.builds(wire.Error, message=st.text(max_size=40)),
@@ -219,6 +245,19 @@ class TestRoundTrip:
             ),
             wire.SyncDone(queries=1, objects=2),
             wire.Lagged(dropped=7),
+            wire.WatchMetrics(interval_ms=500, alerts=True),
+            wire.Metrics(
+                timestamp=12.5,
+                rows=(("repro_ticks_total", 42), ("repro_depth", 0.5)),
+            ),
+            wire.Alert(
+                level="soft",
+                rule="drop_rate_spike",
+                message="buffer dropped 25.0% of offered events",
+                value=0.25,
+                cycle=17,
+                timestamp=12.5,
+            ),
             wire.Ok(op="subscribe", qid=9),
             wire.Error(message="boom"),
             wire.Bye(),
@@ -240,7 +279,7 @@ class TestDeltaFrames:
         )
         obj = json.loads(wire.encode_delta(11, delta))
         assert obj == {
-            "v": 2,
+            "v": 3,
             "t": "delta",
             "ts": 11,
             "qid": 7,
@@ -268,17 +307,40 @@ class TestDeltaFrames:
 class TestRejection:
     def test_unknown_version_rejected(self):
         line = wire.encode_frame(wire.Tick(timestamp=3)).replace(
-            '"v":2', '"v":3', 1
+            '"v":3', '"v":4', 1
         )
         with pytest.raises(wire.WireError, match="unsupported wire version"):
             wire.decode_frame(line)
 
     def test_v1_frames_still_decode(self):
-        """v2 is additive: a v1 line from an old peer still decodes."""
+        """v2/v3 are additive: a v1 line from an old peer still decodes."""
         line = wire.encode_frame(wire.Tick(timestamp=3)).replace(
-            '"v":2', '"v":1', 1
+            '"v":3', '"v":1', 1
         )
         assert wire.decode_frame(line) == wire.Tick(timestamp=3)
+
+    def test_v2_frames_still_decode(self):
+        """v3 is additive: a v2 line (pub/sub era) still decodes."""
+        line = wire.encode_frame(wire.Sync(objects=True, watch=False)).replace(
+            '"v":3', '"v":2', 1
+        )
+        assert wire.decode_frame(line) == wire.Sync(objects=True, watch=False)
+
+    def test_v4_telemetry_frames_rejected(self):
+        """The new frames obey the same version gate as everything else."""
+        frame = wire.Metrics(timestamp=1.5, rows=(("repro_ticks_total", 3),))
+        line = wire.encode_frame(frame).replace('"v":3', '"v":4', 1)
+        with pytest.raises(wire.WireError, match="unsupported wire version"):
+            wire.decode_frame(line)
+
+    def test_metrics_values_keep_number_type(self):
+        """Int counters stay int through decode → canonical re-encode."""
+        line = '{"v":3,"t":"metrics","ts":1.5,"rows":[["a",7],["b",0.5]]}'
+        frame = wire.decode_frame(line)
+        assert frame.rows == (("a", 7), ("b", 0.5))
+        assert type(frame.rows[0][1]) is int
+        assert type(frame.rows[1][1]) is float
+        assert wire.encode_frame(frame) == line
 
     def test_missing_version_rejected(self):
         with pytest.raises(wire.WireError, match="unsupported wire version"):

@@ -1,0 +1,310 @@
+"""End-to-end telemetry: replay over a socket, scrape, alerts, resync.
+
+The acceptance scenario for the observability tier: a feed replayed over
+a real socket into an instrumented driver + service, published through a
+:class:`MonitorSocketServer` carrying the same registry — then asserted
+from *outside* the process boundary: the remote scrape must match the
+in-process registry, ``watch_metrics`` must stream snapshot frames,
+soft health alerts must arrive as wire ``alert`` frames, and a lagging
+client with ``auto_resync`` must recover through the sync handshake.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api.client import Client, RemoteError
+from repro.api.queries import KnnSpec
+from repro.api.server import MonitorSocketServer
+from repro.api.session import Session
+from repro.core.cpm import CPMMonitor
+from repro.ingest.buffer import BackPressurePolicy, IngestBuffer
+from repro.ingest.driver import IngestDriver
+from repro.ingest.feeds import SocketFeed, WorkloadFeed, push_feed_to_socket
+from repro.mobility.uniform import UniformGenerator
+from repro.mobility.workload import WorkloadSpec
+from repro.obs.health import AlertEvent, DropRateSpike, HealthPolicy
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.scrape import parse_prometheus, scrape_text
+from repro.service.service import MonitoringService
+from repro.service.subscriptions import SlowConsumerPolicy
+from repro.updates import ObjectUpdate
+
+SPEC = WorkloadSpec(
+    n_objects=120, n_queries=4, k=3, timestamps=6, seed=23, query_agility=0.0
+)
+CELLS = 16
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return UniformGenerator(SPEC).generate()
+
+
+def _stable(snapshot: dict) -> dict:
+    """Drop the wall-clock-dependent series before comparing snapshots."""
+    return {
+        key: value
+        for key, value in snapshot.items()
+        if "staleness" not in key
+    }
+
+
+def _wait_for(predicate, timeout: float = 10.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestTelemetryEndToEnd:
+    def test_socket_replay_scrape_and_alerts(self, workload):
+        """The headline acceptance flow, one pipeline end to end."""
+        registry = MetricsRegistry()
+        monitor = CPMMonitor(cells_per_axis=CELLS)
+        service = MonitoringService(monitor, metrics=registry)
+        session = Session(service)
+        server = MonitorSocketServer(
+            session, name="obs-e2e", registry=registry, scrape_port=0
+        )
+        host, port = server.start()
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        feed_port = listener.getsockname()[1]
+
+        def produce():
+            conn, _ = listener.accept()
+            try:
+                push_feed_to_socket(WorkloadFeed(workload), conn)
+            finally:
+                conn.close()
+                listener.close()
+
+        producer = threading.Thread(target=produce, daemon=True)
+        producer.start()
+        feed = SocketFeed.connect(
+            "127.0.0.1",
+            feed_port,
+            initial_objects=workload.initial_objects,
+            initial_queries=workload.initial_queries,
+        )
+        # A deliberately lossy buffer: every mark cycle offers ~120
+        # updates into 16 slots, so the drop-rate rule must fire (the
+        # ground-truth soft alert of the acceptance criterion).
+        driver = IngestDriver(
+            feed,
+            service,
+            buffer=IngestBuffer(
+                capacity=16, policy=BackPressurePolicy.DROP_OLDEST
+            ),
+            metrics=registry,
+            health=HealthPolicy(
+                rules=(DropRateSpike(max_rate=0.05, min_offered=10),)
+            ),
+            on_alert=server.publish_alert,
+            queue_depth_probe=lambda: server.stats().depth,
+        )
+        try:
+            with Client.connect(host, port, metrics=registry) as client:
+                first = client.watch_metrics(interval_ms=25, alerts=True)
+                # The immediate frame is the pre-run registry snapshot.
+                names = {name for name, _ in first.rows}
+                assert "repro_service_ticks_total" in names
+                assert "repro_ingest_cycles_total" in names
+
+                driver.prime(k=SPEC.k)
+                report = driver.run()
+                producer.join(timeout=10)
+
+                assert not report.failed
+                assert report.n_cycles > 0
+                assert report.total_dropped > 0
+                assert report.alerts, "lossy replay emitted no soft alert"
+
+                # Wire-exported alerts match the in-process ground truth.
+                assert _wait_for(
+                    lambda: len(client.alert_events) >= len(report.alerts)
+                )
+                ground_truth = {
+                    (event.rule, event.cycle) for event in report.alerts
+                }
+                received = {
+                    (frame.rule, frame.cycle) for frame in client.alert_events
+                }
+                assert ground_truth <= received
+                assert all(
+                    frame.level == "soft" for frame in client.alert_events
+                )
+
+                # Exported counters match the run's report exactly.
+                snap = registry.snapshot()
+                assert snap["repro_ingest_cycles_total"] == report.n_cycles
+                assert snap["repro_ingest_dropped_total"] == (
+                    report.total_dropped
+                )
+                assert snap["repro_ingest_coalesced_total"] == (
+                    report.total_coalesced
+                )
+                assert snap["repro_service_ticks_total"] == report.n_cycles
+                assert snap['repro_health_alerts_total{level="soft"}'] == len(
+                    report.alerts
+                )
+                assert snap[
+                    "repro_client_alerts_received_total"
+                    '{level="soft"}'
+                ] >= len(report.alerts)
+
+                # Periodic metrics frames kept flowing during the run.
+                assert _wait_for(lambda: len(client.metrics_frames) >= 2)
+                latest = dict(client.metrics_frames[-1].rows)
+                assert latest["repro_ingest_cycles_total"] == report.n_cycles
+
+                # The remote scrape equals the in-process registry (the
+                # retry loop absorbs in-flight gauge movement while the
+                # fan-out quiesces).
+                scrape_host, scrape_port = server.scrape_address
+                assert _wait_for(
+                    lambda: _stable(
+                        parse_prometheus(scrape_text(scrape_host, scrape_port))
+                    )
+                    == _stable(registry.snapshot())
+                )
+
+                # The server's stats surface, while the client is live.
+                stats = server.stats()
+                assert stats.accepted == 1
+                assert len(stats.connections) == 1
+                assert stats.connections[0].frames_sent > 0
+        finally:
+            feed.close()
+            server.stop()
+
+    def test_watch_metrics_requires_a_registry(self):
+        session = Session(CPMMonitor(cells_per_axis=CELLS))
+        server = MonitorSocketServer(session, name="bare")
+        host, port = server.start()
+        try:
+            with Client.connect(host, port) as client:
+                with pytest.raises(RemoteError, match="metrics registry"):
+                    client.watch_metrics()
+        finally:
+            server.stop()
+
+    def test_publish_alert_reaches_only_watching_connections(self):
+        registry = MetricsRegistry()
+        session = Session(CPMMonitor(cells_per_axis=CELLS))
+        server = MonitorSocketServer(
+            session, name="alerts", registry=registry
+        )
+        host, port = server.start()
+        try:
+            with Client.connect(host, port) as watching, Client.connect(
+                host, port
+            ) as deaf:
+                watching.watch_metrics(interval_ms=0, alerts=True)
+                event = AlertEvent(
+                    level="soft",
+                    rule="queue_depth_growth",
+                    message="depth 300 exceeds 256",
+                    value=300.0,
+                    cycle=7,
+                    timestamp=1.5,
+                )
+                reached = server.publish_alert(event)
+                assert reached == 1
+                assert _wait_for(lambda: watching.alert_events)
+                frame = watching.alert_events[0]
+                assert frame.rule == "queue_depth_growth"
+                assert frame.cycle == 7
+                assert frame.value == 300.0
+                assert not deaf.alert_events
+                assert (
+                    registry.snapshot()["repro_server_alerts_published_total"]
+                    == 1
+                )
+        finally:
+            server.stop()
+
+    def test_server_stats_fold_retired_connections(self, workload):
+        session = Session(CPMMonitor(cells_per_axis=CELLS))
+        session.load_objects(workload.initial_objects.items())
+        server = MonitorSocketServer(session, name="stats")
+        host, port = server.start()
+        try:
+            with Client.connect(host, port) as client:
+                handle = client.register(KnnSpec(point=(0.5, 0.5), k=2))
+                handle.subscribe(lambda ts, delta: None)
+                for batch in workload.batches[:2]:
+                    client.send_updates(batch.object_updates)
+                    client.tick(timestamp=batch.timestamp)
+                live = server.stats()
+                assert live.accepted == 1
+                delivered_live = live.delivered
+                assert delivered_live > 0
+            # The connection closed: its totals fold into the retired
+            # aggregate instead of vanishing.
+            assert _wait_for(lambda: not server.stats().connections)
+            folded = server.stats()
+            assert folded.accepted == 1
+            assert folded.delivered >= delivered_live
+        finally:
+            server.stop()
+
+
+class TestAutoResync:
+    def test_lagged_client_resyncs_automatically(self):
+        """Satellite (a): a ``lagged`` marker triggers the wire-v2 sync
+        handshake on a side thread, refreshing every handle's result."""
+        session = Session(CPMMonitor(cells_per_axis=CELLS))
+        server = MonitorSocketServer(
+            session,
+            name="lag-server",
+            outbound_limit=4,
+            slow_consumer=SlowConsumerPolicy.DROP_AND_SNAPSHOT,
+            sndbuf=4096,
+        )
+        host, port = server.start()
+        try:
+            with Client.connect(host, port, auto_resync=True) as lagging:
+                handle = lagging.register(
+                    KnnSpec(point=(0.5, 0.5), k=2), qid=1
+                )
+                # Stall delta consumption until the server sheds for us;
+                # then drain fast so the resync can complete.
+                handle.subscribe(
+                    lambda ts, delta: (
+                        time.sleep(0.02) if not lagging.lag_events else None
+                    )
+                )
+                with Client.connect(host, port) as driving:
+                    driving.send_updates(
+                        [
+                            ObjectUpdate(1, None, (0.52, 0.5)),
+                            ObjectUpdate(2, None, (0.9, 0.9)),
+                        ]
+                    )
+                    driving.tick(timestamp=0)
+                    old = (0.52, 0.5)
+                    for i in range(200):
+                        new = [(0.55, 0.5), (0.6, 0.5)][i % 2]
+                        driving.send_updates([ObjectUpdate(1, old, new)])
+                        driving.tick(timestamp=i + 1)
+                        old = new
+                        if lagging.resync_events:
+                            break
+                assert _wait_for(lambda: lagging.lag_events, timeout=15.0)
+                assert _wait_for(lambda: lagging.resync_events, timeout=15.0)
+                state = lagging.resync_events[-1]
+                # The re-sync re-adopted the session's queries with their
+                # authoritative post-gap results.
+                assert 1 in state.results
+                assert state.results[1]
+                assert not lagging.callback_errors
+        finally:
+            server.stop()

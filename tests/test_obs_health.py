@@ -1,0 +1,294 @@
+"""Tiered health policy: rule units plus driver integration.
+
+The contract under test: hard rules (overrun streaks, dead feeds) stop
+the driver with a typed :class:`HealthError` that surfaces exactly like
+any pipeline failure (``IngestReport.failed`` + ``stop()`` re-raise),
+while soft rules only emit :class:`AlertEvent` records — debounced,
+counted in the registry, and collected on ``IngestReport.alerts``.
+"""
+
+import itertools
+import time
+
+import pytest
+
+from repro.core.cpm import CPMMonitor
+from repro.ingest.buffer import BackPressurePolicy, IngestBuffer
+from repro.ingest.driver import IngestDriver
+from repro.ingest.feeds import WorkloadFeed
+from repro.mobility.uniform import UniformGenerator
+from repro.mobility.workload import WorkloadSpec
+from repro.obs.health import (
+    HARD,
+    SOFT,
+    BufferOccupancy,
+    DeadFeed,
+    DropRateSpike,
+    HealthError,
+    HealthMonitor,
+    HealthPolicy,
+    HealthSample,
+    OverrunStreak,
+    QueueDepthGrowth,
+    ReconnectStorm,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.service.service import MonitoringService
+from repro.testing.faults import FaultPlan
+
+
+def sample(cycle: int, **kwargs) -> HealthSample:
+    kwargs.setdefault("trigger", "mark")
+    return HealthSample(cycle=cycle, timestamp=float(cycle), **kwargs)
+
+
+class TestRules:
+    def test_overrun_streak_requires_consecutive_overruns(self):
+        rule = OverrunStreak(limit=3)
+        assert rule.observe(sample(0, deadline_overrun=True)) is None
+        assert rule.observe(sample(1, deadline_overrun=True)) is None
+        # A clean cycle resets the streak.
+        assert rule.observe(sample(2, deadline_overrun=False)) is None
+        assert rule.observe(sample(3, deadline_overrun=True)) is None
+        assert rule.observe(sample(4, deadline_overrun=True)) is None
+        event = rule.observe(sample(5, deadline_overrun=True))
+        assert event is not None
+        assert event.level == HARD
+        assert event.rule == "overrun_streak"
+        assert event.value == 3.0
+
+    def test_dead_feed_counts_only_empty_deadline_cycles(self):
+        rule = DeadFeed(max_idle_cycles=2)
+        assert rule.observe(sample(0, applied=0, trigger="deadline")) is None
+        # An empty *mark* cycle is a quiet timestamp, not a dead feed.
+        assert rule.observe(sample(1, applied=0, trigger="mark")) is None
+        assert rule.observe(sample(2, applied=0, trigger="deadline")) is None
+        event = rule.observe(sample(3, applied=0, trigger="deadline"))
+        assert event is not None and event.rule == "dead_feed"
+        assert event.level == HARD
+
+    def test_dead_feed_resets_on_any_application(self):
+        rule = DeadFeed(max_idle_cycles=2)
+        assert rule.observe(sample(0, applied=0, trigger="deadline")) is None
+        assert rule.observe(sample(1, applied=5, trigger="deadline")) is None
+        assert rule.observe(sample(2, applied=0, trigger="deadline")) is None
+
+    def test_drop_rate_spike_needs_minimum_volume(self):
+        rule = DropRateSpike(max_rate=0.1, min_offered=20)
+        # 90% loss on a tiny cycle: not enough signal.
+        assert rule.observe(sample(0, offered=10, dropped=9)) is None
+        event = rule.observe(sample(1, offered=100, dropped=15))
+        assert event is not None and event.level == SOFT
+        assert event.rule == "drop_rate_spike"
+        assert event.value == pytest.approx(0.15)
+        assert rule.observe(sample(2, offered=100, dropped=5)) is None
+
+    def test_buffer_occupancy_fraction(self):
+        rule = BufferOccupancy(max_fraction=0.8)
+        assert rule.observe(sample(0, buffer_pending=90, buffer_capacity=0)) is None
+        assert (
+            rule.observe(sample(1, buffer_pending=50, buffer_capacity=100)) is None
+        )
+        event = rule.observe(sample(2, buffer_pending=90, buffer_capacity=100))
+        assert event is not None and event.rule == "buffer_occupancy"
+        assert event.value == pytest.approx(0.9)
+
+    def test_queue_depth_growth(self):
+        rule = QueueDepthGrowth(limit=256)
+        assert rule.observe(sample(0, queue_depth=100)) is None
+        event = rule.observe(sample(1, queue_depth=300))
+        assert event is not None and event.rule == "queue_depth_growth"
+
+    def test_reconnect_storm_windows_cumulative_counts(self):
+        rule = ReconnectStorm(limit=2, window=10)
+        # ``reconnects`` is cumulative; the rule diffs it per cycle.
+        assert rule.observe(sample(0, reconnects=1)) is None
+        event = rule.observe(sample(1, reconnects=3))
+        assert event is not None and event.rule == "reconnect_storm"
+        assert event.value == 3.0
+        # Far outside the window with no new reconnects: quiet again.
+        assert rule.observe(sample(20, reconnects=3)) is None
+
+
+class TestHealthMonitor:
+    def test_soft_alerts_are_debounced_per_rule(self):
+        policy = HealthPolicy(rules=(QueueDepthGrowth(limit=0),))
+        monitor = HealthMonitor(policy, realert_every=5)
+        emitted = []
+        for cycle in range(10):
+            emitted.extend(monitor.observe(sample(cycle, queue_depth=1)))
+        assert [event.cycle for event in emitted] == [0, 5]
+        assert monitor.alerts == emitted
+
+    def test_hard_violation_raises_after_counting(self):
+        registry = MetricsRegistry()
+        policy = HealthPolicy(rules=(OverrunStreak(limit=1),))
+        monitor = HealthMonitor(policy, registry=registry)
+        with pytest.raises(HealthError) as err:
+            monitor.observe(sample(0, deadline_overrun=True))
+        assert err.value.event.rule == "overrun_streak"
+        assert (
+            registry.snapshot()['repro_health_alerts_total{level="hard"}'] == 1
+        )
+
+    def test_soft_alerts_bump_registry_and_survive_bad_callbacks(self):
+        registry = MetricsRegistry()
+        policy = HealthPolicy(rules=(QueueDepthGrowth(limit=0),))
+
+        def exploding(_event):
+            raise RuntimeError("observer bug")
+
+        monitor = HealthMonitor(policy, registry=registry, on_alert=exploding)
+        emitted = monitor.observe(sample(0, queue_depth=1))
+        assert len(emitted) == 1
+        assert (
+            registry.snapshot()['repro_health_alerts_total{level="soft"}'] == 1
+        )
+
+    def test_default_policy_builds_fresh_rule_state(self):
+        first = HealthPolicy.default()
+        second = HealthPolicy.default()
+        assert {rule.name for rule in first.rules} == {
+            "overrun_streak",
+            "dead_feed",
+            "drop_rate_spike",
+            "buffer_occupancy",
+            "queue_depth_growth",
+            "reconnect_storm",
+        }
+        assert all(a is not b for a, b in zip(first.rules, second.rules))
+
+
+def _workload(timestamps: int = 8, n_objects: int = 40):
+    spec = WorkloadSpec(
+        n_objects=n_objects,
+        n_queries=2,
+        k=2,
+        timestamps=timestamps,
+        seed=11,
+        query_agility=0.0,
+    )
+    return UniformGenerator(spec).generate()
+
+
+def _counting_clock():
+    """A clock advancing one full second per read: every cycle's elapsed
+    time dwarfs any sub-second deadline, deterministically."""
+    ticks = itertools.count()
+    return lambda: float(next(ticks))
+
+
+class TestDriverIntegration:
+    def test_overrun_streak_stops_a_synchronous_run(self):
+        workload = _workload()
+        service = MonitoringService(CPMMonitor(cells_per_axis=8))
+        driver = IngestDriver(
+            WorkloadFeed(workload),
+            service,
+            cycle_deadline=0.5,
+            clock=_counting_clock(),
+            health=HealthPolicy(rules=(OverrunStreak(limit=3),)),
+        )
+        driver.prime(k=2)
+        with pytest.raises(HealthError) as err:
+            driver.run()
+        assert err.value.event.rule == "overrun_streak"
+        # The violating cycle was recorded before the raise propagated.
+        assert driver.report.n_cycles == 3
+        assert driver.report.cycles[-1].deadline_overrun
+
+    def test_background_run_surfaces_health_error_via_report_and_stop(self):
+        workload = _workload()
+        service = MonitoringService(CPMMonitor(cells_per_axis=8))
+        driver = IngestDriver(
+            WorkloadFeed(workload),
+            service,
+            cycle_deadline=0.5,
+            clock=_counting_clock(),
+            health=HealthPolicy(rules=(OverrunStreak(limit=3),)),
+        )
+        driver.prime(k=2)
+        driver.start()
+        deadline = time.monotonic() + 5.0
+        while not driver.report.failed and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert driver.report.failed
+        assert "overrun_streak" in (driver.report.error or "")
+        with pytest.raises(HealthError):
+            driver.stop()
+
+    def test_fault_plan_stall_forces_the_hard_violation(self):
+        """The seeded fault path of the acceptance criterion: stalls
+        injected through ``repro.testing.faults`` overrun real-clock
+        deadlines until the hard threshold stops the driver."""
+        workload = _workload()
+        plan = FaultPlan()
+        for cycle in range(3):
+            plan.stall_ingest(cycle, 0.05)
+        service = MonitoringService(CPMMonitor(cells_per_axis=8))
+        driver = IngestDriver(
+            WorkloadFeed(workload),
+            service,
+            max_batch=1,
+            cycle_deadline=0.01,
+            health=HealthPolicy(rules=(OverrunStreak(limit=3),)),
+            fault_hook=plan.ingest_hook(),
+        )
+        driver.prime(k=2)
+        with pytest.raises(HealthError) as err:
+            driver.run()
+        assert err.value.event.rule == "overrun_streak"
+        assert [fault.kind for fault in plan.fired] == ["stall_ingest"] * 3
+        assert driver.report.n_cycles == 3
+
+    def test_soft_drop_rate_alerts_do_not_stop_the_run(self):
+        workload = _workload(timestamps=5, n_objects=120)
+        registry = MetricsRegistry()
+        service = MonitoringService(CPMMonitor(cells_per_axis=8))
+        driver = IngestDriver(
+            WorkloadFeed(workload),
+            service,
+            buffer=IngestBuffer(
+                capacity=16, policy=BackPressurePolicy.DROP_OLDEST
+            ),
+            metrics=registry,
+            health=HealthPolicy(rules=(DropRateSpike(max_rate=0.05),)),
+        )
+        driver.prime(k=2)
+        report = driver.run()
+        assert not report.failed
+        assert report.alerts, "lossy buffer produced no drop-rate alert"
+        assert all(event.level == SOFT for event in report.alerts)
+        assert all(
+            event.rule == "drop_rate_spike" for event in report.alerts
+        )
+        snap = registry.snapshot()
+        assert snap['repro_health_alerts_total{level="soft"}'] == len(
+            report.alerts
+        )
+        assert snap["repro_ingest_dropped_total"] == report.total_dropped > 0
+
+    def test_driver_metrics_match_report_totals(self):
+        workload = _workload()
+        registry = MetricsRegistry()
+        service = MonitoringService(
+            CPMMonitor(cells_per_axis=8), metrics=registry
+        )
+        driver = IngestDriver(
+            WorkloadFeed(workload), service, metrics=registry
+        )
+        driver.prime(k=2)
+        report = driver.run()
+        snap = registry.snapshot()
+        assert snap["repro_ingest_cycles_total"] == report.n_cycles
+        assert snap["repro_ingest_offered_total"] == report.total_offered
+        assert snap["repro_ingest_applied_total"] == report.total_applied
+        assert snap["repro_ingest_changed_total"] == report.total_changed
+        assert snap["repro_service_ticks_total"] == report.n_cycles
+        # Every cycle timed all four phases.
+        assert (
+            snap['repro_tick_phase_seconds_count{phase="process"}']
+            == report.n_cycles
+        )
+        # The tick report carries the service health snapshot.
+        assert service.health_snapshot()["ticks"] == report.n_cycles

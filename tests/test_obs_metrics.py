@@ -1,0 +1,231 @@
+"""The telemetry core: registry semantics, Prometheus rendering, scrape.
+
+The invariant the whole tier leans on:
+``registry.snapshot() == parse_prometheus(registry.render_prometheus())
+== parse_prometheus(scrape over a real socket)`` — one key space shared
+by in-process reads, wire ``metrics`` frames and the scrape endpoint.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    render_labels,
+)
+from repro.obs.scrape import ScrapeServer, parse_prometheus, scrape_text
+from repro.obs.trace import TICK_PHASES, SpanRecorder
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter("repro_x_total", "help", {})
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Gauge("repro_g", "help", {})
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 11
+
+    def test_histogram_buckets_are_cumulative_in_snapshot(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_x_seconds", "help", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)  # beyond the last bound: +Inf only
+        snap = registry.snapshot()
+        assert snap['repro_x_seconds_bucket{le="0.1"}'] == 1
+        assert snap['repro_x_seconds_bucket{le="1"}'] == 2
+        assert snap['repro_x_seconds_bucket{le="+Inf"}'] == 3
+        assert snap["repro_x_seconds_count"] == 3
+        assert snap["repro_x_seconds_sum"] == pytest.approx(5.55)
+
+    def test_render_labels_sorted_and_escaped(self):
+        assert render_labels({}) == ""
+        assert render_labels({"b": "2", "a": "1"}) == '{a="1",b="2"}'
+        assert render_labels({"a": 'x"y\n'}) == '{a="x\\"y\\n"}'
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_x_total", "help", shard="0")
+        second = registry.counter("repro_x_total", "ignored", shard="0")
+        assert first is second
+        other = registry.counter("repro_x_total", "help", shard="1")
+        assert other is not first
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(TypeError):
+            registry.gauge("repro_x_total")
+        with pytest.raises(TypeError):
+            registry.gauge_fn("repro_x_total", lambda: 1)
+
+    def test_gauge_fn_is_lazy_and_replaceable(self):
+        registry = MetricsRegistry()
+        calls = []
+
+        def probe():
+            calls.append(1)
+            return 7
+
+        registry.gauge_fn("repro_depth", probe)
+        assert not calls, "callable gauge must not evaluate at registration"
+        assert registry.snapshot()["repro_depth"] == 7
+        assert calls
+        # Replace semantics: a restarted component re-registers its probe
+        # and the fresh closure wins.
+        registry.gauge_fn("repro_depth", lambda: 9)
+        assert registry.snapshot()["repro_depth"] == 9
+
+    def test_gauge_fn_failure_reads_zero(self):
+        registry = MetricsRegistry()
+
+        def dying():
+            raise RuntimeError("component gone")
+
+        registry.gauge_fn("repro_depth", dying)
+        assert registry.snapshot()["repro_depth"] == 0
+
+    def test_snapshot_preserves_number_types(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_n_total").inc(3)
+        registry.gauge("repro_ratio").set(0.5)
+        snap = registry.snapshot()
+        assert type(snap["repro_n_total"]) is int
+        assert type(snap["repro_ratio"]) is float
+
+    def test_snapshot_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_b_total")
+        registry.counter("repro_a_total")
+        assert list(registry.snapshot()) == ["repro_a_total", "repro_b_total"]
+
+    def test_unregister_drops_the_series(self):
+        registry = MetricsRegistry()
+        registry.gauge_fn("repro_depth", lambda: 1)
+        registry.unregister("repro_depth")
+        assert "repro_depth" not in registry.snapshot()
+
+    def test_default_registry_is_shared(self):
+        assert default_registry() is default_registry()
+
+    def test_concurrent_creation_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        instruments = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            instruments.append(registry.counter("repro_x_total"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(map(id, instruments))) == 1
+
+
+class TestPrometheusRendering:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("repro_ticks_total", "Cycles.").inc(12)
+        registry.counter("repro_drops_total", "Drops.", shard="0").inc(2)
+        registry.counter("repro_drops_total", "Drops.", shard="1").inc(3)
+        registry.gauge("repro_depth", "Depth.").set(4)
+        registry.gauge_fn("repro_conns", lambda: 2, "Connections.")
+        histogram = registry.histogram(
+            "repro_phase_seconds", "Phases.", buckets=(0.01, 0.1), phase="drain"
+        )
+        histogram.observe(0.005)
+        histogram.observe(0.05)
+        return registry
+
+    def test_help_and_type_appear_once_per_metric_name(self):
+        text = self._populated().render_prometheus()
+        assert text.count("# HELP repro_drops_total") == 1
+        assert text.count("# TYPE repro_drops_total counter") == 1
+        assert text.count("# TYPE repro_depth gauge") == 1
+        assert text.count("# TYPE repro_phase_seconds histogram") == 1
+
+    def test_parse_of_render_equals_snapshot(self):
+        registry = self._populated()
+        assert parse_prometheus(registry.render_prometheus()) == (
+            registry.snapshot()
+        )
+
+    def test_scrape_over_a_real_socket_matches(self):
+        registry = self._populated()
+        with ScrapeServer(registry) as server:
+            body = scrape_text(server.host, server.port)
+            assert parse_prometheus(body) == registry.snapshot()
+            assert "# TYPE repro_ticks_total counter" in body
+            assert server.scrapes == 1
+            # Every connection is one full response; scrape again.
+            scrape_text(server.host, server.port)
+            assert server.scrapes == 2
+
+    def test_scrape_server_stop_closes_the_listener(self):
+        registry = MetricsRegistry()
+        server = ScrapeServer(registry)
+        host, port = server.start()
+        server.stop()
+        with pytest.raises(OSError):
+            scrape_text(host, port, timeout=0.5)
+
+
+class TestSpanRecorder:
+    def test_records_phases_into_labelled_histograms(self):
+        registry = MetricsRegistry()
+        recorder = SpanRecorder(registry)
+        recorder.record("process", 0.02)
+        with recorder.span("drain"):
+            pass
+        snap = registry.snapshot()
+        assert snap['repro_tick_phase_seconds_count{phase="process"}'] == 1
+        assert snap['repro_tick_phase_seconds_sum{phase="process"}'] == (
+            pytest.approx(0.02)
+        )
+        assert snap['repro_tick_phase_seconds_count{phase="drain"}'] == 1
+        assert recorder.last["process"] == 0.02
+        assert recorder.last["drain"] >= 0.0
+
+    def test_every_canonical_phase_has_a_histogram(self):
+        registry = MetricsRegistry()
+        recorder = SpanRecorder(registry)
+        for phase in TICK_PHASES:
+            recorder.record(phase, 0.001)
+        snap = registry.snapshot()
+        for phase in TICK_PHASES:
+            assert snap[f'repro_tick_phase_seconds_count{{phase="{phase}"}}'] == 1
+
+    def test_unknown_phase_only_updates_last(self):
+        registry = MetricsRegistry()
+        recorder = SpanRecorder(registry)
+        recorder.record("warp", 1.0)
+        assert recorder.last["warp"] == 1.0
+        assert not any("warp" in key for key in registry.snapshot())
+
+
+class TestHistogramDirect:
+    def test_observe_costs_are_bisect_based(self):
+        histogram = Histogram("repro_h", "help", {}, buckets=(1.0, 2.0, 3.0))
+        for value in (0.5, 1.5, 2.5, 9.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [1, 1, 1]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(13.5)
