@@ -33,13 +33,16 @@ published while the link was down are *not* replayed — treat a
 reconnect like a ``lagged`` marker and re-snapshot what you watch
 (the re-synced results in the event carry exactly that snapshot).
 
-**Lag recovery.**  ``auto_resync=True`` automates that re-snapshot for
-the in-band case: when the server sheds deltas for this connection (a
-``lagged`` frame from the DROP_AND_SNAPSHOT slow-consumer policy), the
-client re-runs the wire-v2 ``sync`` handshake on a side thread — the
-reader thread cannot issue requests itself — refreshing every handle's
-result and re-subscribing its topic.  Each completed recovery lands in
-``resync_events``; overlapping lag markers coalesce into the one
+**Lag recovery.**  The in-band case needs no request at all: the server
+follows every ``lagged`` frame (DROP_AND_SNAPSHOT slow-consumer policy)
+with one fresh ``sync_query`` snapshot per subscribed query, which the
+client records in ``lag_snapshots`` — a stalled-then-drained consumer
+converges as soon as it reads its backlog.  ``auto_resync=True``
+additionally re-runs the full wire-v2 ``sync`` handshake on a side
+thread — the reader thread cannot issue requests itself — refreshing
+*every* handle's result and re-subscribing its topic, which also covers
+queries this connection never watched.  Each completed recovery lands
+in ``resync_events``; overlapping lag markers coalesce into the one
 in-flight re-sync.
 
 **Telemetry.**  ``watch_metrics`` subscribes the connection to the
@@ -237,6 +240,16 @@ class Client:
         #: DROP_AND_SNAPSHOT slow-consumer policy shed deltas for this
         #: connection; re-snapshot what you watch).
         self.lag_events: list[int] = []
+        #: qid -> the freshest result the server pushed after a
+        #: ``lagged`` marker (unsolicited ``sync_query`` follow-ups).
+        #: These arrive without any request from this side, so a
+        #: stalled-then-drained consumer converges even with
+        #: ``auto_resync`` off.
+        self.lag_snapshots: dict[int, list[ResultEntry]] = {}
+        #: True while :meth:`sync` owns the reply stream — handshake
+        #: ``sync_query`` frames route to the request, any other
+        #: ``sync_query`` is a server-pushed lag follow-up.
+        self._sync_active = False
         #: re-run the sync handshake automatically on every ``lagged``
         #: marker (see module docstring); completed recoveries append
         #: their :class:`SyncState` to ``resync_events``.
@@ -377,6 +390,8 @@ class Client:
                     self._dispatch_delta(frame)
                 elif kind is wire.Lagged:
                     self._on_lagged(frame)
+                elif kind is wire.SyncQuery and not self._sync_active:
+                    self._on_lag_snapshot(frame)
                 elif kind is wire.Metrics:
                     self._on_metrics(frame)
                 elif kind is wire.Alert:
@@ -550,6 +565,27 @@ class Client:
         if self._auto_resync:
             self._spawn_resync()
 
+    def _on_lag_snapshot(self, frame: wire.SyncQuery) -> None:
+        """A server-pushed post-lag snapshot (no request from this side).
+
+        The server follows every ``lagged`` marker with one fresh
+        ``sync_query`` per subscribed query, so the gap the shed deltas
+        left is closed here — the authoritative result lands in
+        :attr:`lag_snapshots` without a re-sync round trip.
+        """
+        handle = self._handles.get(frame.qid)
+        if handle is None:
+            handle = RemoteQueryHandle(self, frame.qid, frame.spec)
+            self._handles[frame.qid] = handle
+        else:
+            handle._spec = frame.spec
+        self.lag_snapshots[frame.qid] = list(frame.result)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_client_lag_snapshots_total",
+                "Post-lag snapshots the server pushed to this connection.",
+            ).inc()
+
     def _spawn_resync(self) -> None:
         """Kick off the lag-recovery ``sync`` on a side thread.
 
@@ -683,39 +719,50 @@ class Client:
             self._await_link()
             if self._closed.is_set():
                 raise RemoteError(self._closed_reason())
-            self._send(wire.Sync(objects=objects, watch=watch))
-            # The sync stream is a multi-frame reply; requests are
-            # serialized, so everything until sync_done belongs to us.
-            while True:
-                reply = self._replies.get()
-                if reply is None:
-                    raise RemoteError(
-                        f"{self._closed_reason()} while waiting for sync"
-                    )
-                kind = type(reply)
-                if kind is wire.Error:
-                    raise RemoteError(reply.message)
-                if kind is wire.SyncObjects:
-                    state.objects.extend(reply.rows)
-                elif kind is wire.SyncQuery:
-                    handle = self._handles.get(reply.qid)
-                    if handle is None:
-                        handle = RemoteQueryHandle(self, reply.qid, reply.spec)
-                        self._handles[reply.qid] = handle
+            self._sync_active = True
+            try:
+                return self._run_sync(state, objects=objects, watch=watch)
+            finally:
+                self._sync_active = False
+
+    def _run_sync(self, state: SyncState, *, objects: bool, watch: bool):
+        self._send(wire.Sync(objects=objects, watch=watch))
+        # The sync stream is a multi-frame reply; requests are
+        # serialized, so everything until sync_done belongs to us.
+        while True:
+            reply = self._replies.get()
+            if reply is None:
+                raise RemoteError(
+                    f"{self._closed_reason()} while waiting for sync"
+                )
+            kind = type(reply)
+            if kind is wire.Error:
+                raise RemoteError(reply.message)
+            if kind is wire.SyncObjects:
+                state.objects.extend(reply.rows)
+            elif kind is wire.SyncQuery:
+                handle = self._handles.get(reply.qid)
+                if handle is None:
+                    handle = RemoteQueryHandle(self, reply.qid, reply.spec)
+                    self._handles[reply.qid] = handle
+                # A lag follow-up racing the handshake can repeat a qid
+                # in this stream; the later (handshake) result wins and
+                # the completeness check counts each query once.
+                if reply.qid not in state.results:
                     state.handles.append(handle)
-                    state.results[reply.qid] = list(reply.result)
-                elif kind is wire.SyncDone:
-                    if len(state.handles) != reply.queries or (
-                        len(state.objects) != reply.objects
-                    ):
-                        raise RemoteError(
-                            f"sync stream incomplete: got "
-                            f"{len(state.handles)}/{reply.queries} queries, "
-                            f"{len(state.objects)}/{reply.objects} objects"
-                        )
-                    return state
-                else:
-                    raise RemoteError(f"unexpected frame during sync: {reply!r}")
+                state.results[reply.qid] = list(reply.result)
+            elif kind is wire.SyncDone:
+                if len(state.handles) != reply.queries or (
+                    len(state.objects) != reply.objects
+                ):
+                    raise RemoteError(
+                        f"sync stream incomplete: got "
+                        f"{len(state.handles)}/{reply.queries} queries, "
+                        f"{len(state.objects)}/{reply.objects} objects"
+                    )
+                return state
+            else:
+                raise RemoteError(f"unexpected frame during sync: {reply!r}")
 
     def send_updates(self, object_updates: Sequence[ObjectUpdate]) -> None:
         """Stage object updates for the next :meth:`tick` (no reply)."""

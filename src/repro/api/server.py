@@ -126,6 +126,7 @@ class _Connection:
             limit=server.outbound_limit,
             policy=server.slow_consumer,
             lag_factory=lambda dropped: wire.Lagged(dropped=dropped),
+            lag_followup=self._lag_followups,
             on_overflow=lambda: self.close(flush=False),
             name=f"conn-{sock.fileno()}",
         )
@@ -155,6 +156,32 @@ class _Connection:
         else:
             line = wire.encode_frame(item)
         self.sock.sendall((line + "\n").encode("utf-8"))
+
+    def _lag_followups(self):
+        """Fresh ``sync_query`` snapshots pushed right after a resolved
+        ``lagged`` marker, one per query this connection subscribes to.
+
+        Runs on the writer thread (the fan-out queue calls it outside
+        its own lock), so the snapshots reflect the state at delivery
+        time — after every shed delta — and a stalled-then-drained
+        consumer converges without issuing its own re-sync.
+        """
+        frames = []
+        with self.server.lock:
+            session = self.server.session
+            for qid in sorted(self.subscriptions):
+                try:
+                    handle = session.handle(qid)
+                except KeyError:
+                    continue  # terminated while the marker was queued
+                frames.append(
+                    wire.SyncQuery(
+                        qid=qid,
+                        spec=handle.spec,
+                        result=tuple(handle.snapshot()),
+                    )
+                )
+        return frames
 
     def send(self, frame: wire.Frame) -> None:
         self.outbox.put(frame)

@@ -1055,9 +1055,27 @@ class CPMMonitor(ContinuousMonitor):
         """
         if query_updates is None:
             query_updates = batch.query_updates
-        grid = self._grid
         updated_qids = {qu.qid for qu in query_updates}
         scratch: dict[int, CycleScratch] = {}
+        self._apply_flat_rows(batch, scratch, updated_qids)
+        return self._finish_cycle(scratch, query_updates)
+
+    def _apply_flat_rows(
+        self,
+        batch: FlatUpdateBatch,
+        scratch: dict[int, CycleScratch],
+        updated_qids: set[int],
+    ) -> None:
+        """Apply a flat batch's object maintenance + influence probes.
+
+        The per-row loop of :meth:`process_flat`, factored out so cycle
+        assembly (scratch, query updates, :meth:`_finish_cycle`) and row
+        application are separable: the partitioned shard engine
+        (:mod:`repro.service.partition`) overrides this method to splice
+        boundary-crossing "leave" rows into the stream and to apply one
+        cycle's rows across several commands.
+        """
+        grid = self._grid
         scratch_get = scratch.get
         # Inlined cell addressing, live stores and counters — the same
         # storage-mirror locals as `process` (see the comments there).
@@ -1343,8 +1361,6 @@ class CPMMonitor(ContinuousMonitor):
         if n_del or n_ins:
             stats.deletes += n_del
             stats.inserts += n_ins
-
-        return self._finish_cycle(scratch, query_updates)
 
     def _finish_cycle(
         self,

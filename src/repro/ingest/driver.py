@@ -109,6 +109,10 @@ class IngestReport:
     error: str | None = None
     #: soft health alerts emitted during the run (``health`` attached).
     alerts: list[AlertEvent] = field(default_factory=list)
+    #: cross-partition traffic counters when the monitor is partitioned
+    #: (:meth:`repro.service.partition.PartitionedMonitor.partition_stats`,
+    #: snapshotted at the end of the run), else ``None``.
+    partition: dict[str, int] | None = None
 
     @property
     def n_cycles(self) -> int:
@@ -529,6 +533,10 @@ class IngestDriver:
                 break
             if self.pump_cycle(from_buffer=from_buffer) is None:
                 break
+        monitor = getattr(self.service, "monitor", None)
+        partition_stats = getattr(monitor, "partition_stats", None)
+        if partition_stats is not None:
+            self.report.partition = dict(partition_stats())
         return self.report
 
     # ------------------------------------------------------------------

@@ -27,9 +27,12 @@ run are untouched.
 
 from repro.obs.health import (
     AlertEvent,
+    AlertSink,
     BufferOccupancy,
+    CallableAlertSink,
     DeadFeed,
     DropRateSpike,
+    FileAlertSink,
     HealthError,
     HealthMonitor,
     HealthPolicy,
@@ -49,10 +52,13 @@ from repro.obs.trace import TICK_PHASES, SpanRecorder
 
 __all__ = [
     "AlertEvent",
+    "AlertSink",
     "BufferOccupancy",
+    "CallableAlertSink",
     "Counter",
     "DeadFeed",
     "DropRateSpike",
+    "FileAlertSink",
     "Gauge",
     "HealthError",
     "HealthMonitor",

@@ -17,6 +17,12 @@ classified into two tiers:
   registry, and invokes the ``on_alert`` callback — which the socket
   server uses to fan ``alert`` frames out to watching connections.
 
+Beyond the wire callback, a policy can carry :class:`AlertSink` routes
+(:class:`FileAlertSink` for a JSONL audit trail, :class:`CallableAlertSink`
+for in-process hooks).  Every emitted alert — soft after de-bounce, hard
+immediately before the raise — is delivered to each sink, so the trail
+of a fatal violation survives the exception that reports it.
+
 Rules hold mutable state (streaks, windows), so a policy instance
 belongs to exactly one driver; :meth:`HealthPolicy.default` builds a
 fresh instance each call.
@@ -24,6 +30,7 @@ fresh instance each call.
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
@@ -32,9 +39,12 @@ from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "AlertEvent",
+    "AlertSink",
     "BufferOccupancy",
+    "CallableAlertSink",
     "DeadFeed",
     "DropRateSpike",
+    "FileAlertSink",
     "HealthError",
     "HealthMonitor",
     "HealthPolicy",
@@ -290,14 +300,70 @@ class ReconnectStorm:
         return None
 
 
+class AlertSink:
+    """Receives every emitted :class:`AlertEvent` (soft and hard).
+
+    Sinks are routing, not policy: they see alerts *after* the monitor's
+    de-bounce, and delivery failures are swallowed — a broken audit
+    trail must never take down the pipeline it audits.
+    """
+
+    def emit(self, event: AlertEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources; default is a no-op."""
+
+
+class FileAlertSink(AlertSink):
+    """Appends one JSON object per alert to a JSONL file.
+
+    The file is opened lazily on the first alert (a healthy run leaves
+    no empty artifact) and every line is flushed immediately, so the
+    record of a hard violation is durable before :class:`HealthError`
+    propagates.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._handle = None
+
+    def emit(self, event: AlertEvent) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(event.as_dict(), sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class CallableAlertSink(AlertSink):
+    """Routes alerts to an in-process callable (pager shim, test probe)."""
+
+    def __init__(self, fn: Callable[[AlertEvent], None]):
+        self.fn = fn
+
+    def emit(self, event: AlertEvent) -> None:
+        self.fn(event)
+
+
 @dataclass(slots=True)
 class HealthPolicy:
-    """An ordered set of rules; hard rules are checked first."""
+    """An ordered set of rules; hard rules are checked first.
+
+    ``sinks`` are :class:`AlertSink` routes that receive every emitted
+    alert — they belong to the policy (not the monitor) so the component
+    that decides *what* is alarming also decides *where* alarms go.
+    """
 
     rules: Sequence = field(default_factory=tuple)
+    sinks: Sequence[AlertSink] = field(default_factory=tuple)
 
     @classmethod
-    def default(cls) -> HealthPolicy:
+    def default(cls, sinks: Sequence[AlertSink] = ()) -> HealthPolicy:
         """Fresh instances of every rule at its default threshold."""
         return cls(
             rules=(
@@ -307,7 +373,8 @@ class HealthPolicy:
                 BufferOccupancy(),
                 QueueDepthGrowth(),
                 ReconnectStorm(),
-            )
+            ),
+            sinks=tuple(sinks),
         )
 
 
@@ -363,6 +430,9 @@ class HealthMonitor:
             if event.level == HARD:
                 if self._hard_counter is not None:
                     self._hard_counter.inc()
+                # Route before raising so the audit trail records the
+                # violation that kills the run.
+                self._route(event)
                 raise HealthError(event)
             last = self._last_fired.get(event.rule)
             if last is not None and sample.cycle - last < self.realert_every:
@@ -378,5 +448,14 @@ class HealthMonitor:
                 except Exception:
                     # Alert delivery must never take down the pipeline.
                     pass
+            self._route(event)
             emitted.append(event)
         return emitted
+
+    def _route(self, event: AlertEvent) -> None:
+        for sink in self.policy.sinks:
+            try:
+                sink.emit(event)
+            except Exception:
+                # Sink failures must never take down the pipeline.
+                pass

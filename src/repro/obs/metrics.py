@@ -25,7 +25,9 @@ key space (that equality is what the e2e test asserts).
 from __future__ import annotations
 
 import threading
+import time
 from bisect import bisect_left
+from collections import deque
 from collections.abc import Callable, Iterable
 
 __all__ = [
@@ -167,6 +169,54 @@ class _CallableGauge:
             return 0
 
 
+class _WindowRing:
+    """Ring buffer of ``(timestamp, counter-snapshot)`` samples.
+
+    Backs :meth:`MetricsRegistry.windowed`.  Each sample is a flat dict
+    of *counter* series only — windowed views are rate views, and rates
+    over gauges or histogram internals are not meaningful here.  The
+    ring is bounded both by sample count and by the configured horizon,
+    so an over-eager sampler cannot grow it without bound.
+    """
+
+    __slots__ = ("horizons", "clock", "max_samples", "samples")
+
+    def __init__(
+        self,
+        horizons: tuple[float, ...],
+        clock: Callable[[], float],
+        max_samples: int,
+    ):
+        self.horizons = tuple(sorted(set(float(h) for h in horizons)))
+        if not self.horizons or min(self.horizons) <= 0:
+            raise ValueError("window horizons must be positive seconds")
+        self.clock = clock
+        self.max_samples = max_samples
+        self.samples: deque[tuple[float, dict[str, int | float]]] = deque(
+            maxlen=max_samples
+        )
+
+    def append(self, now: float, values: dict[str, int | float]) -> None:
+        self.samples.append((now, values))
+        horizon = max(self.horizons)
+        while len(self.samples) > 1 and self.samples[1][0] <= now - horizon:
+            # Keep one sample at-or-before the horizon edge so a full
+            # window always has a baseline to diff against.
+            self.samples.popleft()
+
+    def baseline(self, cutoff: float) -> dict[str, int | float] | None:
+        """Newest sample taken at or before ``cutoff``; oldest if none."""
+        chosen = None
+        for stamp, values in self.samples:
+            if stamp <= cutoff:
+                chosen = values
+            else:
+                break
+        if chosen is None and self.samples:
+            chosen = self.samples[0][1]
+        return chosen
+
+
 class MetricsRegistry:
     """Process-wide get-or-create registry of instruments.
 
@@ -180,6 +230,7 @@ class MetricsRegistry:
         # key -> instrument, insertion-ordered (dict semantics); the
         # snapshot sorts anyway, so order only affects HELP grouping.
         self._instruments: dict[str, Counter | Gauge | Histogram | _CallableGauge] = {}
+        self._windows: _WindowRing | None = None
 
     def _get_or_create(self, cls, name, help_text, labels, **kwargs):
         key = name + render_labels(labels)
@@ -242,6 +293,77 @@ class MetricsRegistry:
         key = name + render_labels(labels)
         with self._lock:
             self._instruments.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Windowed rates
+    # ------------------------------------------------------------------
+
+    def enable_windows(
+        self,
+        horizons: Iterable[float] = (60.0,),
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        max_samples: int = 512,
+    ) -> None:
+        """Turn on ring-buffered windowed views over counter series.
+
+        ``horizons`` are trailing-window lengths in seconds; each one
+        becomes a ``<counter>_rate<NN>s`` gauge series in the Prometheus
+        render.  Samples are taken explicitly via
+        :meth:`record_window_sample` — the scrape path does this on
+        every render, so under a scraper the ring fills itself — and
+        the injectable ``clock`` keeps tests deterministic.
+        """
+        self._windows = _WindowRing(tuple(horizons), clock, max_samples)
+
+    def record_window_sample(self, now: float | None = None) -> None:
+        """Append one ``(now, counter-values)`` sample to the ring.
+
+        No-op until :meth:`enable_windows` is called, so instrumented
+        components may call this unconditionally.
+        """
+        windows = self._windows
+        if windows is None:
+            return
+        if now is None:
+            now = windows.clock()
+        with self._lock:
+            values = {
+                key: instrument.value
+                for key, instrument in self._instruments.items()
+                if isinstance(instrument, Counter)
+            }
+        windows.append(now, values)
+
+    def windowed(
+        self, series: str, seconds: float, now: float | None = None
+    ) -> int | float:
+        """Increase of a counter ``series`` over the trailing window.
+
+        ``series`` uses the same rendered key space as :meth:`snapshot`
+        (``name{label="value"}``).  Returns the live value minus the
+        newest ring sample at or before ``now - seconds`` (best-effort:
+        the oldest sample when the ring is younger than the window, and
+        the full live value when the ring is empty or the series was
+        born mid-window), so dashboards read per-window drop/alert
+        counts without client-side diffing.
+        """
+        windows = self._windows
+        if windows is None:
+            raise RuntimeError(
+                "windowed() requires enable_windows() on this registry"
+            )
+        if now is None:
+            now = windows.clock()
+        with self._lock:
+            instrument = self._instruments.get(series)
+            if instrument is None or not isinstance(instrument, Counter):
+                raise KeyError(f"no counter series {series!r}")
+            live = instrument.value
+        baseline = windows.baseline(now - seconds)
+        if baseline is None:
+            return live
+        return live - baseline.get(series, 0)
 
     def snapshot(self) -> dict[str, int | float]:
         """Flat ``{rendered-series-name: value}``, sorted by name.
@@ -317,7 +439,51 @@ class MetricsRegistry:
                     )
             for key in sorted(series):
                 lines.append(f"{key} {_format_value(series[key])}")
+        lines.extend(self._render_windows())
         return "\n".join(lines) + "\n"
+
+    def _render_windows(self) -> list[str]:
+        """Windowed-rate lines for the Prometheus render.
+
+        Each enabled horizon ``NN`` adds a ``<counter>_rate<NN>s`` gauge
+        per counter series whose value is the counter's increase over
+        the trailing ``NN`` seconds.  Rendering also records a sample,
+        so a scraper's own cadence keeps the ring fresh.
+        """
+        windows = self._windows
+        if windows is None:
+            return []
+        now = windows.clock()
+        self.record_window_sample(now)
+        with self._lock:
+            counters = [
+                instrument
+                for instrument in self._instruments.values()
+                if isinstance(instrument, Counter)
+            ]
+        lines: list[str] = []
+        for horizon in windows.horizons:
+            suffix = f"_rate{_format_bound(horizon)}s"
+            baseline = windows.baseline(now - horizon) or {}
+            by_name: dict[str, list[Counter]] = {}
+            for counter in counters:
+                by_name.setdefault(counter.name, []).append(counter)
+            for name in sorted(by_name):
+                rate_name = name + suffix
+                lines.append(
+                    f"# HELP {rate_name} Increase of {name} over the "
+                    f"trailing {_format_bound(horizon)}s window."
+                )
+                lines.append(f"# TYPE {rate_name} gauge")
+                series: dict[str, int | float] = {}
+                for counter in by_name[name]:
+                    key = name + render_labels(counter.labels)
+                    series[rate_name + render_labels(counter.labels)] = (
+                        counter.value - baseline.get(key, 0)
+                    )
+                for key in sorted(series):
+                    lines.append(f"{key} {_format_value(series[key])}")
+        return lines
 
 
 def _prom_type(instrument) -> str:

@@ -39,6 +39,14 @@ DEFAULT_THRESHOLDS: dict[str, float] = {
     # Delivered deltas (subscription_routing cases) are deterministic too:
     # growth means the per-query routing leaks traffic it should not.
     "deltas_delivered": 0.02,
+    # Partition traffic (partition_scaling cases) is deterministic for a
+    # fixed workload: growth means the halo/pull protocol ships rows or
+    # round-trips it previously avoided.
+    "partition_fanout_rows": 0.02,
+    "partition_sync_rows": 0.02,
+    "partition_pulls": 0.02,
+    "partition_pull_objects": 0.02,
+    "partition_migrations": 0.02,
     # Peak RSS is a coarse high-water mark.
     "peak_rss_kb": 0.30,
 }

@@ -23,7 +23,9 @@ import time
 from collections.abc import Callable
 
 from repro.api.session import Session, replay_workload
+from repro.core.cpm import CPMMonitor
 from repro.experiments.common import build_monitor
+from repro.grid.kernels import available_backends
 from repro.ingest.driver import IngestDriver
 from repro.ingest.feeds import WorkloadFeed
 from repro.mobility.workload import Workload
@@ -32,6 +34,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.perf.schema import BenchCase, BenchReport, environment_info
 from repro.perf.suite import ALGORITHMS, SuiteCase, build_suite
 from repro.service.executor import ProcessShardExecutor
+from repro.service.partition import PartitionedMonitor
 from repro.service.service import MonitoringService
 from repro.service.sharding import ShardedMonitor
 from repro.service.supervisor import SupervisedShardExecutor
@@ -70,7 +73,8 @@ def peak_rss_kb() -> int:
 def _case_monitor(
     case: SuiteCase, algorithm: str, bounds: tuple[float, float, float, float]
 ) -> ContinuousMonitor:
-    """The monitor under test: bare algorithm or sharded service."""
+    """The monitor under test: bare algorithm, sharded or partitioned
+    service, or a CPM engine pinned to an explicit kernel backend."""
     if case.shards:
         if case.executor == "process":
             executor = ProcessShardExecutor()
@@ -78,12 +82,27 @@ def _case_monitor(
             executor = SupervisedShardExecutor()
         else:
             executor = None
+        if case.partitioned:
+            # The partitioned tier is CPM-specific (run_suite only
+            # sweeps CPM over service-layer cases).
+            return PartitionedMonitor(
+                case.shards,
+                case.grid,
+                bounds=bounds,
+                executor=executor,
+            )
         return ShardedMonitor(
             case.shards,
             case.grid,
             bounds=bounds,
             algorithm=algorithm,
             executor=executor,
+        )
+    if case.backend is not None:
+        # Explicit-backend A/B arms (high_density) pin the CPM engine's
+        # kernel backend instead of the auto default.
+        return CPMMonitor(
+            cells_per_axis=case.grid, bounds=bounds, backend=case.backend
         )
     return build_monitor(algorithm, case.grid, bounds=bounds)
 
@@ -272,6 +291,7 @@ def run_case(
         return _run_subscribed_case(case, workload, algorithm, repeats, registry)
     best_wall = float("inf")
     report = None
+    partition = None
     for _ in range(max(1, repeats)):
         monitor = _case_monitor(case, algorithm, workload.spec.bounds)
         gc.collect()
@@ -286,6 +306,8 @@ def run_case(
         if wall < best_wall:
             best_wall = wall
             report = candidate
+            if case.partitioned:
+                partition = dict(monitor.partition_stats())
     assert report is not None
     spec = workload.spec
     metrics = {
@@ -302,20 +324,39 @@ def run_case(
     }
     if case.executor in ("process", "supervised"):
         metrics = {key: metrics[key] for key in WALLCLOCK_METRICS}
+    if partition is not None:
+        # Partition traffic counters are deterministic for a fixed
+        # workload (the halo/pull protocol is), so they gate exactly —
+        # including on the wall-clock-only process-executor sweep.
+        for key in (
+            "fanout_rows",
+            "sync_rows",
+            "pulls",
+            "pull_objects",
+            "prefetch_cells",
+            "evictions",
+            "migrations",
+        ):
+            metrics[f"partition_{key}"] = partition[key]
+    params = {
+        "n_objects": spec.n_objects,
+        "n_queries": spec.n_queries,
+        "k": spec.k,
+        "grid": case.grid,
+        "timestamps": spec.timestamps,
+        "seed": spec.seed,
+        "shards": case.shards,
+        "executor": case.executor,
+    }
+    if case.partitioned:
+        params["partitioned"] = True
+    if case.backend is not None:
+        params["backend"] = case.backend
     return BenchCase(
         case_id=f"{case.key}/{algorithm}",
         workload=case.workload,
         algorithm=algorithm,
-        params={
-            "n_objects": spec.n_objects,
-            "n_queries": spec.n_queries,
-            "k": spec.k,
-            "grid": case.grid,
-            "timestamps": spec.timestamps,
-            "seed": spec.seed,
-            "shards": case.shards,
-            "executor": case.executor,
-        },
+        params=params,
         metrics=metrics,
     )
 
@@ -343,13 +384,14 @@ def run_suite(
         environment=environment_info(),
         annotations=dict(annotations or {}),
     )
+    report.annotations.setdefault("kernel_backends", ",".join(available_backends()))
     for case in build_suite(scale, suite=suite):
         workload = case.materialize()
-        # Shard-scaling and ingest cases measure the service/ingestion
-        # layers around one engine; sweeping every baseline there would
-        # triple the suite for no extra signal.  They still honour the
-        # caller's algorithm filter.
-        if case.shards or case.ingest or case.subscribed:
+        # Shard-scaling, ingest, and explicit-backend cases measure the
+        # service/ingestion layers or kernel backends around one engine;
+        # sweeping every baseline there would triple the suite for no
+        # extra signal.  They still honour the caller's algorithm filter.
+        if case.shards or case.ingest or case.subscribed or case.backend:
             case_algorithms = ("CPM",) if "CPM" in algorithms else ()
         else:
             case_algorithms = algorithms

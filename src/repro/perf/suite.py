@@ -23,6 +23,29 @@ algorithm.  The cases mirror the paper's evaluation axes at a configurable
   deterministic counters (they would duplicate the serial scenario's)
   and peak RSS (unmeasurable across workers from the parent).  Full
   suite only (worker startup is too heavy for the CI smoke subset);
+* ``partition_scaling`` — the shard sweep on the *partitioned* service
+  tier (``repro.service.partition``): each shard owns a column block
+  plus a halo instead of replicating the object table.  Serial
+  executor, so every deterministic counter is recorded — and because
+  the partitioned tier is counter-exact against the single engine, the
+  gate pins them to the engine's own values, not S-fold copies.  The
+  partition traffic counters (fan-out rows, halo sync rows, pulls,
+  migrations) are deterministic for a fixed workload and gate exactly
+  like cell scans;
+* ``partition_scaling_wallclock`` — the partitioned sweep on the
+  ``ProcessShardExecutor``: real multi-core speedup *with* per-shard
+  object ownership, the configuration where partitioning is supposed to
+  beat replicated sharding.  Wall-clock metrics plus the deterministic
+  partition traffic counters.  Full suite only;
+* ``high_density`` — a coarse-grid/high-occupancy stress shape: the
+  uniform workload over a grid sized so mean cell occupancy sits well
+  above ``VEC_MIN_OCCUPANCY`` (64), the regime where the numpy kernel
+  backend's vectorized cell scans engage.  The case runs once per
+  *available* kernel backend (``high_density/list`` is the scalar
+  reference, ``high_density/numpy`` the vector A/B arm when numpy is
+  importable) — counters are byte-identical across backends by the
+  backend-equivalence contract, so only the wall-clock ratio carries
+  information;
 * ``fault_recovery`` — the same wall-clock sweep on the
   ``SupervisedShardExecutor`` with **no faults injected**: prices the
   supervision layer itself (command logging + recv deadlines) against
@@ -63,6 +86,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import make_workload, scaled_grid, scaled_spec
+from repro.grid.kernels import VEC_MIN_OCCUPANCY, available_backends
 from repro.mobility.skewed import SkewedGenerator
 from repro.mobility.uniform import UniformGenerator
 from repro.mobility.workload import Workload, WorkloadSpec
@@ -115,6 +139,13 @@ class SuiteCase:
     ingest: bool = False
     subscribed: bool = False
     subscribers: int = 0
+    #: replay into a :class:`repro.service.partition.PartitionedMonitor`
+    #: (owned column blocks + halo sync) instead of the replicated
+    #: ``ShardedMonitor``.  Only meaningful with ``shards > 0``.
+    partitioned: bool = False
+    #: explicit kernel backend for the engine grid (``high_density``
+    #: A/B arms); ``None`` keeps the auto default.
+    backend: str | None = None
 
     def materialize(self) -> Workload:
         if self.workload == "network":
@@ -140,6 +171,8 @@ def _dedup(cases: list[SuiteCase]) -> list[SuiteCase]:
             case.ingest,
             case.subscribed,
             case.subscribers,
+            case.partitioned,
+            case.backend,
         )
         if signature in seen:
             continue
@@ -250,6 +283,26 @@ def build_suite(
             subscribers=SUBSCRIBERS_PER_QUERY,
         )
     )
+    # Coarse-grid/high-occupancy stress: size the grid so mean cell
+    # occupancy clears the vectorized-scan threshold with headroom, then
+    # run one arm per available kernel backend.  Counters are
+    # byte-identical across arms (backend equivalence); the wall-clock
+    # ratio is the A/B signal for the vector kernels.
+    dense_grid = max(2, int((default.n_objects / (2 * VEC_MIN_OCCUPANCY)) ** 0.5))
+    for backend in available_backends():
+        if backend == "array":
+            # Same scalar scan loops as "list" (only the column storage
+            # differs); the A/B arms are scalar-reference vs vector.
+            continue
+        cases.append(
+            SuiteCase(
+                key=f"high_density/{backend}",
+                workload="uniform",
+                spec=default,
+                grid=dense_grid,
+                backend=backend,
+            )
+        )
     # Service-layer shard scaling over the defaults workload.  The shard
     # count is clamped to the grid's column count (tiny smoke grids).
     shard_counts = SHARD_SCALING if suite == "full" else SHARD_SCALING_SMOKE
@@ -263,6 +316,22 @@ def build_suite(
                 spec=default,
                 grid=grid,
                 shards=n_shards,
+            )
+        )
+    # Partitioned shard scaling (owned column blocks + halo sync): the
+    # serial sweep records every deterministic counter — counter-exact
+    # against the single engine — plus the partition traffic counters.
+    for n_shards in shard_counts:
+        if n_shards > grid:
+            continue
+        cases.append(
+            SuiteCase(
+                key=f"partition_scaling/S={n_shards}",
+                workload="network",
+                spec=default,
+                grid=grid,
+                shards=n_shards,
+                partitioned=True,
             )
         )
     if suite == "full":
@@ -279,6 +348,23 @@ def build_suite(
                     grid=grid,
                     shards=n_shards,
                     executor="process",
+                )
+            )
+        # The partitioned sweep on real worker processes: per-shard
+        # object ownership AND multi-core parallelism — the
+        # configuration where partitioning must beat replication.
+        for n_shards in SHARD_SCALING:
+            if n_shards > grid:
+                continue
+            cases.append(
+                SuiteCase(
+                    key=f"partition_scaling_wallclock/S={n_shards}",
+                    workload="network",
+                    spec=default,
+                    grid=grid,
+                    shards=n_shards,
+                    executor="process",
+                    partitioned=True,
                 )
             )
         # Supervision overhead: the identical sweep wrapped in the

@@ -8,6 +8,9 @@ the baselines), this package scales the library toward a serving system:
 * :mod:`repro.service.subscriptions` — callback-based delta streaming;
 * :mod:`repro.service.sharding` — the space-partitioned multi-shard
   monitor (``ShardPlan`` + ``ShardedMonitor``);
+* :mod:`repro.service.partition` — true object partitioning
+  (``PartitionedMonitor``: halo cells, cell-sync fan-out, on-demand
+  pulls, live query migration);
 * :mod:`repro.service.executor` — pluggable shard executors (serial and
   ``multiprocessing``-backed);
 * :mod:`repro.service.service` — the cycle-driven facade the replay
@@ -27,6 +30,9 @@ _EXPORTS = {
     "ShardPlan": "repro.service.sharding",
     "ShardedMonitor": "repro.service.sharding",
     "ShardEngineFactory": "repro.service.sharding",
+    "PartitionedMonitor": "repro.service.partition",
+    "PartitionShardEngine": "repro.service.partition",
+    "PartitionShardFactory": "repro.service.partition",
     "SerialShardExecutor": "repro.service.executor",
     "ProcessShardExecutor": "repro.service.executor",
     "ShardWorkerError": "repro.service.executor",

@@ -48,6 +48,12 @@ ShardFactory = Callable[[], ContinuousMonitor]
 #: or wedge workers at exact schedule points; hooks must not raise.
 FaultHook = Callable[[int, int, object], None]
 
+#: coordinator-side cell-pull service: ``server(shard, request) -> reply``.
+#: Bound by a partitioned monitor (:mod:`repro.service.partition`) so a
+#: shard engine that needs a remote cell mid-command can fetch it through
+#: the executor; requests and replies must be picklable.
+PullServer = Callable[[int, object], object]
+
 
 def _execute(
     monitor: ContinuousMonitor, method: str, args: tuple
@@ -60,6 +66,9 @@ def _execute(
 
 class ShardExecutor(ABC):
     """Uniform command surface over a fleet of shard engines."""
+
+    #: coordinator-side cell-pull service (see :meth:`bind_pull_server`).
+    _pull_server: PullServer | None = None
 
     @abstractmethod
     def start(self, factories: Sequence[ShardFactory]) -> None:
@@ -76,6 +85,40 @@ class ShardExecutor(ABC):
         """Run ``engine.<method>(*args)`` on every shard (one args tuple
         per shard, in shard order); returns payload/stats pairs in shard
         order."""
+
+    def bind_pull_server(self, server: PullServer) -> None:
+        """Register the coordinator's cell-pull service.
+
+        Shard engines exposing ``bind_pull_transport`` (the partitioned
+        engines of :mod:`repro.service.partition`) get a transport that
+        routes ``engine -> executor -> server(shard, request)`` so a
+        command that expands past the shard's materialized cells can
+        fetch the missing data mid-command.  Executors without such
+        engines never invoke the server.
+        """
+        self._pull_server = server
+
+    def submit_all(self, method: str, args_per_shard: Sequence[tuple]) -> None:
+        """Stage ``call_all(method, ...)`` for a later :meth:`collect_all`.
+
+        Base implementation: run the command immediately (blocking) and
+        buffer its results, which preserves every subclass's dispatch
+        semantics (the supervisor's logging and recovery in particular).
+        :class:`ProcessShardExecutor` overrides this with a true
+        send-now/collect-later pipeline so consecutive commands overlap
+        coordinator-side work with shard-side processing.
+        """
+        staged = getattr(self, "_staged_groups", None)
+        if staged is None:
+            staged = self._staged_groups = []
+        staged.append(self.call_all(method, args_per_shard))
+
+    def collect_all(self) -> list[list[tuple[object, GridStats]]]:
+        """Collect the results of every staged :meth:`submit_all` command,
+        in submission order (one ``call_all``-shaped list per command)."""
+        staged = getattr(self, "_staged_groups", None) or []
+        self._staged_groups = []
+        return staged
 
     def close(self) -> None:
         """Release engines/workers (idempotent)."""
@@ -106,6 +149,27 @@ class SerialShardExecutor(ShardExecutor):
         if self._monitors:
             raise RuntimeError("executor already started")
         self._monitors = [factory() for factory in factories]
+        for shard, monitor in enumerate(self._monitors):
+            bind = getattr(monitor, "bind_pull_transport", None)
+            if bind is not None:
+                bind(self._local_pull(shard))
+
+    def _local_pull(self, shard: int):
+        """In-process pull transport: dispatch straight to the server.
+
+        Late-bound through ``self`` so ``bind_pull_server`` may run after
+        :meth:`start` (the coordinator binds once its stores exist).
+        """
+
+        def pull(request):
+            server = self._pull_server
+            if server is None:
+                raise RuntimeError(
+                    f"shard {shard} pulled a cell but no pull server is bound"
+                )
+            return server(shard, request)
+
+        return pull
 
     def monitors(self) -> list[ContinuousMonitor]:
         """The live shard engines (tests and diagnostics)."""
@@ -134,6 +198,22 @@ class SerialShardExecutor(ShardExecutor):
 def _shard_worker(conn, factory: ShardFactory) -> None:
     """Worker-process loop: build the engine, serve commands until EOF."""
     monitor = factory()
+    bind = getattr(monitor, "bind_pull_transport", None)
+    if bind is not None:
+        # Cell-pull transport: a mid-command upcall over the same duplex
+        # pipe.  The parent's receive loop recognizes the "pull" status,
+        # serves it, and replies "pulldata" before resuming its wait for
+        # the command's real reply — the worker blocks here meanwhile.
+        def _pull(request):
+            conn.send(("pull", request))
+            status, payload = conn.recv()
+            if status != "pulldata":
+                raise RuntimeError(
+                    f"unexpected pull reply status {status!r}"
+                )
+            return payload
+
+        bind(_pull)
     try:
         while True:
             message = conn.recv()
@@ -231,6 +311,10 @@ class ProcessShardExecutor(ShardExecutor):
         self._workers: list = []
         self._pipes: list = []
         self._sent: list[int] = []
+        # Streaming submit/collect state (see submit_all/collect_all).
+        self._submitted: list[str] = []
+        self._inflight: list[int] = []
+        self._stream_segments: list = []
 
     @property
     def n_shards(self) -> int:
@@ -250,6 +334,7 @@ class ProcessShardExecutor(ShardExecutor):
             self._workers.append(worker)
             self._pipes.append(parent)
             self._sent.append(0)
+            self._inflight.append(0)
 
     def worker_pid(self, shard: int) -> int | None:
         """PID of a shard's worker process (diagnostics, fault injection)."""
@@ -285,6 +370,8 @@ class ProcessShardExecutor(ShardExecutor):
         child.close()
         self._workers[shard] = replacement
         self._pipes[shard] = parent
+        if self._inflight:
+            self._inflight[shard] = 0
 
     def _send(self, shard: int, method: str, args: tuple, segments: list) -> None:
         """Encode and send one command, wrapping transport failures."""
@@ -312,6 +399,30 @@ class ProcessShardExecutor(ShardExecutor):
             try:
                 if pipe.poll(self.POLL_INTERVAL):
                     status, payload = pipe.recv()
+                    if status == "pull":
+                        # Mid-command upcall from a partitioned shard
+                        # engine: serve the cell fetch and keep waiting
+                        # for the command's real reply.  The deadline
+                        # restarts — the worker is demonstrably alive
+                        # and making progress.
+                        server = self._pull_server
+                        if server is None:
+                            raise ShardWorkerError(
+                                f"shard {shard}: pulled a cell but no "
+                                f"pull server is bound"
+                            )
+                        try:
+                            pipe.send(("pulldata", server(shard, payload)))
+                        except (BrokenPipeError, ConnectionError, OSError) as exc:
+                            raise ShardCrashError(
+                                shard,
+                                f"shard {shard}: worker died awaiting pull "
+                                f"data ({type(exc).__name__})",
+                            ) from exc
+                        deadline = (
+                            None if timeout is None else monotonic() + timeout
+                        )
+                        continue
                     break
             except (EOFError, ConnectionError, OSError) as exc:
                 raise ShardCrashError(
@@ -344,6 +455,11 @@ class ProcessShardExecutor(ShardExecutor):
         return payload
 
     def call(self, shard: int, method: str, *args) -> tuple[object, GridStats]:
+        if self._submitted:
+            raise RuntimeError(
+                "collect_all() the in-flight submit_all commands before "
+                "issuing further calls"
+            )
         segments: list = []
         try:
             self._send(shard, method, args, segments)
@@ -354,9 +470,79 @@ class ProcessShardExecutor(ShardExecutor):
             for shm in segments:
                 release_segment(shm)
 
+    def submit_all(self, method: str, args_per_shard: Sequence[tuple]) -> None:
+        """Send a command to every shard without waiting for replies.
+
+        Consecutive submits pipeline: while the workers process command
+        ``k``, the coordinator assembles and sends command ``k+1``.  The
+        caller must :meth:`collect_all` before any plain ``call`` /
+        ``call_all``.  Shared-memory segments stay alive until collection
+        (workers may not have consumed them yet).
+        """
+        if len(args_per_shard) != len(self._pipes):
+            raise ValueError(
+                f"expected {len(self._pipes)} argument tuples, "
+                f"got {len(args_per_shard)}"
+            )
+        failure: ShardFailure | None = None
+        for shard, args in enumerate(args_per_shard):
+            try:
+                self._send(shard, method, args, self._stream_segments)
+                self._inflight[shard] += 1
+            except ShardFailure as exc:
+                if failure is None:
+                    failure = exc
+        self._submitted.append(method)
+        if failure is not None:
+            raise failure
+
+    def collect_all(self) -> list[list[tuple[object, GridStats]]]:
+        """Drain every reply of the submitted command pipeline.
+
+        Replies come back per shard in command order; cell pulls arriving
+        while draining are served inline by :meth:`_recv`.  On a shard
+        failure every healthy shard is still drained (protocol sync)
+        before the first failure is raised.
+        """
+        methods = self._submitted
+        self._submitted = []
+        segments = self._stream_segments
+        self._stream_segments = []
+        n = len(self._pipes)
+        try:
+            replies: list[list] = [[] for _ in range(n)]
+            failure: ShardWorkerError | None = None
+            for shard in range(n):
+                want = self._inflight[shard]
+                self._inflight[shard] = 0
+                for _k in range(want):
+                    try:
+                        replies[shard].append(self._recv(shard))
+                    except ShardFailure as exc:
+                        if failure is None:
+                            failure = exc
+                        break  # channel poisoned: nothing left to drain
+                    except ShardWorkerError as exc:
+                        if failure is None:
+                            failure = exc
+            if failure is not None:
+                raise failure
+            return [
+                [replies[shard][k] for shard in range(n)]
+                for k in range(len(methods))
+            ]
+        finally:
+            for shm in segments:
+                release_segment(shm)
+
     def call_all(
         self, method: str, args_per_shard: Sequence[tuple]
     ) -> list[tuple[object, GridStats]]:
+        if self._submitted:
+            raise RuntimeError(
+                "collect_all() the in-flight submit_all commands before "
+                "issuing further calls"
+            )
         if len(args_per_shard) != len(self._pipes):
             raise ValueError(
                 f"expected {len(self._pipes)} argument tuples, "
@@ -415,3 +601,8 @@ class ProcessShardExecutor(ShardExecutor):
         self._workers = []
         self._pipes = []
         self._sent = []
+        self._submitted = []
+        self._inflight = []
+        for shm in self._stream_segments:
+            release_segment(shm)
+        self._stream_segments = []

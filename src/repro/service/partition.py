@@ -1,0 +1,1197 @@
+"""True object partitioning: halo cells, cell-sync fan-out, pulls, migration.
+
+The replicated tier (:mod:`repro.service.sharding`) keeps shards
+byte-identical to a single engine by replaying *every* object update on
+*every* shard — correct, but the cores buy nothing on object
+maintenance.  This module is the partitioned alternative:
+
+* **Ownership + halo** — each :class:`PartitionShardEngine` runs over
+  the *full* workspace grid (identical packed cell ids everywhere) but
+  materializes object data only for its owned column block plus a
+  configurable halo of border columns.  Every other slot holds a
+  :class:`_HaloCell` sentinel.
+* **Cell-sync protocol** — the coordinator (:class:`PartitionedMonitor`)
+  keeps the one authoritative object store and translates each cycle's
+  :class:`FlatUpdateBatch` into per-shard row streams: a row is fanned
+  only to the shards *tracking* the touched cells (static column mask ∪
+  dynamic interest acquired through pulls/prefetch).  A move whose old
+  cell is tracked but whose new cell is not becomes a **leave** row
+  (``appear`` and ``disappear`` both set): the shard applies the delete
+  phase and the influence probes of the cross-cell move, but no insert.
+* **Pull path** — when CPM re-computation expands past the halo, the
+  first attribute access on a sentinel fetches the cell's rows from the
+  coordinator store, synchronously over the shard's command pipe.  The
+  protocol guarantees consistency without per-cell versions: pulls can
+  only happen during ``partition_finish`` (the begin/apply commands run
+  no searches), and by then the coordinator has applied the *whole*
+  cycle to its store — so pulled data always equals the post-cycle
+  truth the single engine would see.  Every pull registers dynamic
+  interest so later cycles fan rows to the copy; ``partition_finish``
+  evicts pulled cells no influence region marks anymore and releases
+  the interest.
+* **Live query migration** — a cross-boundary query MOVE carries the
+  query's bookkeeping (result list, influence marks, Figure 3.6 visit
+  list) to the new owner via ``migrate_out_query``/``migrate_in_query``
+  instead of the replicated tier's terminate+reinstall split.  See the
+  method docstrings for what is reused and why the counters still match
+  the single engine exactly.
+* **Shard-parallel ingest** — the coordinator streams its translation
+  in chunks through the executor's ``submit_all`` pipeline, so with
+  :class:`~repro.service.executor.ProcessShardExecutor` the shards
+  apply chunk *k* while the coordinator is still translating chunk
+  *k+1* (and the ingest driver is assembling the next batch).
+
+Byte-identity contract (property-pinned): results, changed sets,
+deltas **and all five deterministic counters** equal the single
+engine's — inserts/deletes come from the one coordinator store, and
+search/probe/mark work happens exactly once, on the hosting shard.
+This is *stronger* than the replicated tier, whose aggregate
+inserts/deletes are ``n_shards``-fold.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from math import hypot
+
+from repro.core.bookkeeping import CycleScratch, QueryState
+from repro.core.cpm import CPMMonitor
+from repro.core.strategies import FilteredStrategy
+from repro.geometry.points import Point
+from repro.geometry.rects import Rect
+from repro.grid.grid import Grid
+from repro.grid.stats import GridStats
+from repro.monitor import ResultEntry
+from repro.service.deltas import ResultDelta, diff_results
+from repro.service.executor import SerialShardExecutor, ShardExecutor
+from repro.service.sharding import ShardedMonitor, ShardPlan
+from repro.updates import (
+    FlatUpdateBatch,
+    ObjectUpdate,
+    QueryUpdate,
+    QueryUpdateKind,
+)
+
+#: Dense cell stores only — the sentinel scheme swaps objects into grid
+#: slots, which requires the list-backed store (every Grid backend uses
+#: one below this cell count).
+_DENSE_LIMIT = 1 << 21
+
+#: Translation streams in chunks so process-backed shards overlap chunk
+#: application with coordinator-side translation of the next chunk.
+_CHUNK_ROWS = 2048
+_MAX_CHUNKS = 64
+
+
+class _HaloCell:
+    """Sentinel occupying every untracked cell slot of a shard's grid.
+
+    Any attribute access (``oids``, ``xs``, ``slot``, ``columns``, a
+    method — the search loops only ever read attributes) materializes
+    the real cell by pulling its rows from the coordinator and forwards
+    to it.  After the first touch the grid slot holds the real cell, so
+    subsequent slot reads never see the sentinel again.
+    """
+
+    __slots__ = ("_engine", "_cid")
+
+    def __init__(self, engine: "PartitionShardEngine", cid: int) -> None:
+        self._engine = engine
+        self._cid = cid
+
+    def __getattr__(self, name: str):
+        return getattr(self._engine._materialize(self._cid), name)
+
+
+@dataclass(frozen=True)
+class PartitionShardFactory:
+    """Picklable constructor spec for one partitioned shard engine."""
+
+    cells_per_axis: int
+    bounds: tuple[float, float, float, float]
+    shard: int
+    track_lo: int
+    track_hi: int
+    backend: str | None = None
+
+    def __call__(self) -> "PartitionShardEngine":
+        return PartitionShardEngine(
+            self.cells_per_axis,
+            bounds=self.bounds,
+            shard=self.shard,
+            track_lo=self.track_lo,
+            track_hi=self.track_hi,
+            backend=self.backend,
+        )
+
+
+class PartitionShardEngine(CPMMonitor):
+    """CPM engine owning a column block + halo of the workspace grid.
+
+    The grid spans the *full* workspace (cell ids identical to the
+    single engine and to every peer shard); columns outside
+    ``[track_lo, track_hi)`` start as :class:`_HaloCell` sentinels.
+    The coordinator drives cycles through the three-command protocol
+    ``partition_begin`` / ``partition_apply``* / ``partition_finish``
+    and never routes a row here unless this shard tracks the touched
+    cell — so the apply phase never pulls, and pulls are confined to
+    the finish phase where the parent process is guaranteed to be
+    listening on the command pipe.
+    """
+
+    def __init__(
+        self,
+        cells_per_axis: int = 128,
+        *,
+        bounds: Rect | tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0),
+        shard: int = 0,
+        track_lo: int = 0,
+        track_hi: int | None = None,
+        backend: str | None = None,
+    ) -> None:
+        super().__init__(cells_per_axis, bounds=bounds, backend=backend)
+        grid = self._grid
+        if not isinstance(grid._cells, list) or grid.cols * grid.rows > _DENSE_LIMIT:
+            raise ValueError(
+                "partitioned shards require the dense list cell store "
+                f"(grid {grid.cols}x{grid.rows})"
+            )
+        self.shard = shard
+        self.track_lo = track_lo
+        self.track_hi = grid.cols if track_hi is None else track_hi
+        self._dyn_tracked: set[int] = set()
+        self._pull_fn = None
+        cells = grid._cells
+        rows = grid.rows
+        for i in range(grid.cols):
+            if self.track_lo <= i < self.track_hi:
+                continue
+            base = i * rows
+            for j in range(rows):
+                cells[base + j] = _HaloCell(self, base + j)
+
+    # ------------------------------------------------------------------
+    # Pull path
+    # ------------------------------------------------------------------
+
+    def bind_pull_transport(self, fn) -> None:
+        """Install the executor-provided ``fn(cid) -> (oids, xs, ys)``."""
+        self._pull_fn = fn
+
+    def _materialize(self, cid: int):
+        """Replace a sentinel with the real cell pulled from the store."""
+        cell = self._grid._cells[cid]
+        if type(cell) is not _HaloCell:
+            return cell
+        pull = self._pull_fn
+        if pull is None:
+            raise RuntimeError(
+                f"shard {self.shard} touched untracked cell {cid} with no "
+                "pull transport bound"
+            )
+        oids, xs, ys = pull(cid)
+        return self._install_cell(cid, oids, xs, ys)
+
+    def _install_cell(self, cid: int, oids, xs, ys):
+        """Install pulled/prefetched rows as a real cell — zero counters.
+
+        The single engine never performs this storage motion, so neither
+        inserts nor scans are charged; the object→cell map and the grid
+        occupancy tallies are fixed up so subsequent (counted) work is
+        indistinguishable from running over a fully-populated grid.
+        """
+        grid = self._grid
+        cell = grid.cell_factory()
+        object_cells = self._object_cells
+        for oid, x, y in zip(oids, xs, ys):
+            cell.insert(oid, x, y)
+            object_cells[oid] = cid
+        grid._cells[cid] = cell
+        if cell.oids:
+            grid._occupied += 1
+            grid._n_objects += len(cell.oids)
+        self._dyn_tracked.add(cid)
+        return cell
+
+    def _evict_unmarked(self) -> list[int]:
+        """Drop pulled cells no influence region marks; return their ids.
+
+        Runs at the tail of ``partition_finish``: a pulled cell that is
+        still inside some query's influence region stays (its rows keep
+        syncing), everything else reverts to a sentinel so the dynamic
+        fan-out stays bounded by the live influence surface.
+        """
+        grid = self._grid
+        cells = grid._cells
+        marks = grid._marks
+        object_cells = self._object_cells
+        released: list[int] = []
+        for cid in sorted(self._dyn_tracked):
+            if marks[cid]:
+                continue
+            cell = cells[cid]
+            coids = cell.oids
+            for oid in coids:
+                del object_cells[oid]
+            if coids:
+                grid._occupied -= 1
+                grid._n_objects -= len(coids)
+            cells[cid] = _HaloCell(self, cid)
+            released.append(cid)
+        for cid in released:
+            self._dyn_tracked.discard(cid)
+        return released
+
+    # ------------------------------------------------------------------
+    # Partitioned cycle protocol
+    # ------------------------------------------------------------------
+
+    _cycle_scratch: dict[int, CycleScratch] | None = None
+    _cycle_qus: tuple[QueryUpdate, ...] = ()
+    _cycle_updated: set[int] = frozenset()  # type: ignore[assignment]
+    _cycle_before: dict[int, list[ResultEntry]] | None = None
+
+    def partition_begin(
+        self, query_updates: tuple[QueryUpdate, ...], want_deltas: bool
+    ) -> None:
+        """Open one cycle: scratch + (optionally) targeted delta capture.
+
+        Replicates the head of
+        :meth:`repro.monitor.ContinuousMonitor._captured_deltas` so the
+        shard-local capture is byte-identical to the single engine's.
+        """
+        if self._cycle_scratch is not None:
+            raise RuntimeError("partitioned cycle already open")
+        self._cycle_qus = query_updates
+        self._cycle_updated = {qu.qid for qu in query_updates}
+        self._cycle_scratch = {}
+        if want_deltas:
+            if self._delta_log is not None:
+                raise RuntimeError("process_deltas is not re-entrant")
+            before: dict[int, list[ResultEntry]] = {}
+            installed = set(self.query_ids())
+            for qu in query_updates:
+                if qu.qid in installed and qu.qid not in before:
+                    before[qu.qid] = self.result(qu.qid)
+            self._delta_log = before
+            self._cycle_before = before
+        else:
+            self._cycle_before = None
+
+    def partition_apply(self, chunk: FlatUpdateBatch) -> None:
+        """Apply one translated row chunk inside the open cycle."""
+        scratch = self._cycle_scratch
+        if scratch is None:
+            raise RuntimeError("partition_apply outside a partitioned cycle")
+        self._apply_flat_rows(chunk, scratch, self._cycle_updated)
+
+    def partition_finish(self):
+        """Close the cycle: finalize, query updates, deltas, eviction.
+
+        Returns ``(payload, released)`` where ``payload`` is the changed
+        set (or the delta dict when the cycle opened with
+        ``want_deltas``) and ``released`` lists the dynamically-tracked
+        cell ids evicted — the coordinator drops their fan-out interest.
+        """
+        scratch = self._cycle_scratch
+        if scratch is None:
+            raise RuntimeError("partition_finish outside a partitioned cycle")
+        query_updates = self._cycle_qus
+        before = self._cycle_before
+        try:
+            try:
+                changed = self._finish_cycle(scratch, query_updates)
+            finally:
+                self._delta_log = None
+            if before is None:
+                payload = changed
+            else:
+                # Tail of ``_captured_deltas``, verbatim.
+                deltas: dict[int, ResultDelta] = {}
+                for qid in changed:
+                    deltas[qid] = diff_results(
+                        qid, before.get(qid, []), self.result(qid)
+                    )
+                live = set(self.query_ids())
+                for qu in query_updates:
+                    if qu.kind is QueryUpdateKind.TERMINATE and qu.qid not in live:
+                        deltas[qu.qid] = diff_results(
+                            qu.qid, before.get(qu.qid, []), [], terminated=True
+                        )
+                payload = deltas
+            released = self._evict_unmarked()
+            return payload, released
+        finally:
+            self._cycle_scratch = None
+            self._cycle_qus = ()
+            self._cycle_updated = frozenset()  # type: ignore[assignment]
+            self._cycle_before = None
+
+    # ------------------------------------------------------------------
+    # Row application: leave rows
+    # ------------------------------------------------------------------
+
+    def _apply_flat_rows(
+        self,
+        batch: FlatUpdateBatch,
+        scratch: dict[int, CycleScratch],
+        updated_qids: set[int],
+    ) -> None:
+        """Splice **leave** rows (both masks set) into the base loop.
+
+        The coordinator encodes "this object moved out of your tracked
+        region" as a row with ``appear`` *and* ``disappear`` set and the
+        real new coordinates in ``new_xs``/``new_ys`` (the influence
+        probes need them).  The base loop never sees such rows — the
+        stream is split into plain segments around them, preserving row
+        order exactly.
+        """
+        appear = batch.appear
+        disappear = batch.disappear
+        leave_rows = [
+            i for i, (a, d) in enumerate(zip(appear, disappear)) if a and d
+        ]
+        if not leave_rows:
+            super()._apply_flat_rows(batch, scratch, updated_qids)
+            return
+        pos = 0
+        for i in leave_rows:
+            if i > pos:
+                super()._apply_flat_rows(
+                    _sub_batch(batch, pos, i), scratch, updated_qids
+                )
+            self._apply_leave(
+                batch.oids[i], batch.new_xs[i], batch.new_ys[i], scratch, updated_qids
+            )
+            pos = i + 1
+        if pos < len(batch.oids):
+            super()._apply_flat_rows(
+                _sub_batch(batch, pos, len(batch.oids)), scratch, updated_qids
+            )
+
+    def _apply_leave(
+        self,
+        oid: int,
+        nx: float,
+        ny: float,
+        scratch: dict[int, CycleScratch],
+        updated_qids: set[int],
+    ) -> None:
+        """A cross-cell move whose destination this shard does not track.
+
+        Mirrors the delete phase of the base loop's cross-cell move
+        byte-for-byte — including the influence probes evaluated at the
+        *new* position — and then simply forgets the object instead of
+        inserting it.  Probe equivalence with the single engine holds
+        because a query marked on the old cell is hosted here (marked ⟹
+        tracked), and its mark on the *new* cell (if any) lies in a
+        tracked cell too — in which case the coordinator sent a plain
+        move row instead of a leave row.
+        """
+        grid = self._grid
+        cells_store = grid._cells
+        marks_store = grid._marks
+        probes = self._query_probes
+        scratch_get = scratch.get
+        old_cid = self._object_cells.pop(oid)
+        cell = cells_store[old_cid]
+        idx = None if cell is None else cell.slot.pop(oid, None)
+        if idx is None:
+            raise KeyError(
+                f"object {oid} not found in cell {grid.unpack(old_cid)}"
+            )
+        coids = cell.oids
+        last_oid = coids.pop()
+        lx = cell.xs.pop()
+        ly = cell.ys.pop()
+        if last_oid != oid:
+            coids[idx] = last_oid
+            cell.xs[idx] = lx
+            cell.ys[idx] = ly
+            cell.slot[last_oid] = idx
+        elif not coids:
+            grid._occupied -= 1
+        grid._n_objects -= 1
+        grid.stats.deletes += 1
+        ms = marks_store[old_cid]
+        if ms:
+            for qid in ms:
+                if qid in updated_qids:
+                    continue
+                state, nn, pqx, pqy, ispt = probes[qid]
+                sc = scratch_get(qid)
+                if oid in nn._dists:
+                    if sc is None:
+                        sc = scratch[qid] = self._acquire_scratch(state)
+                    if ispt:
+                        d = hypot(nx - pqx, ny - pqy)
+                        ok = True
+                    else:
+                        ok = state.strategy.accepts(nx, ny, oid)
+                        d = state.strategy.dist(nx, ny) if ok else 0.0
+                    if ok and d <= state.best_dist:
+                        nn.update_dist(oid, d)
+                        sc.note_reorder()
+                    else:
+                        nn.remove(oid)
+                        sc.note_outgoing()
+                elif sc is not None and oid in sc.in_list._dists:
+                    sc.in_list.remove(oid)
+
+    # ------------------------------------------------------------------
+    # Live query migration
+    # ------------------------------------------------------------------
+
+    def migrate_out_query(self, qid: int) -> dict:
+        """Extract a query's full bookkeeping for carriage to a peer.
+
+        The influence marks are removed *silently* (no ``mark_ops``, the
+        mark count fixed up directly): the marks are moving with the
+        query, a storage motion the single engine never performs.  The
+        counted unmark happens on the destination, inside its
+        ``_finish_cycle`` MOVE handling — exactly where the single
+        engine charges it.
+        """
+        state = self._queries.pop(qid)
+        del self._query_probes[qid]
+        grid = self._grid
+        marks_store = grid._marks
+        removed = 0
+        for cid in state.visit_cids[: state.marked_upto]:
+            ms = marks_store[cid]
+            if ms and qid in ms:
+                ms.remove(qid)
+                removed += 1
+        grid._mark_count -= removed
+        return {
+            "qid": qid,
+            "k": state.k,
+            "strategy": state.strategy,
+            "entries": state.nn.entries(),
+            "best_dist": state.best_dist,
+            "visit_cids": list(state.visit_cids),
+            "visit_keys": list(state.visit_keys),
+            "marked_upto": state.marked_upto,
+            "heap": list(state.heap._heap),
+            "heap_seq": state.heap._seq,
+        }
+
+    def migrate_in_query(self, carried: dict, prefetch: Sequence[tuple]) -> None:
+        """Adopt a migrated query: prefetched cells + verbatim bookkeeping.
+
+        ``prefetch`` carries the cells around the query's influence
+        region so the MOVE's re-search (Figure 3.9 → fresh Figure 3.4
+        search, same as the single engine) runs on local data instead of
+        pulling cell by cell.  The carried visit list, result list and
+        heap are installed verbatim; the influence marks are re-applied
+        silently (the counted removal happens in this cycle's
+        ``_finish_cycle``, matching the single engine's ``remove_query``
+        accounting for a moved query).
+        """
+        cells = self._grid._cells
+        for cid, oids, xs, ys in prefetch:
+            if type(cells[cid]) is _HaloCell:
+                self._install_cell(cid, oids, xs, ys)
+        qid = carried["qid"]
+        if qid in self._queries:
+            raise KeyError(f"query {qid} is already installed")
+        strategy = carried["strategy"]
+        if isinstance(strategy, FilteredStrategy):
+            strategy.bind_tags(self.tag_table)
+        state = QueryState(
+            qid, strategy, carried["k"], strategy.partition(self._grid)
+        )
+        state.nn.replace(carried["entries"])
+        state.best_dist = carried["best_dist"]
+        state.visit_cids = list(carried["visit_cids"])
+        state.visit_keys = list(carried["visit_keys"])
+        state.marked_upto = carried["marked_upto"]
+        state.heap._heap = list(carried["heap"])
+        state.heap._seq = carried["heap_seq"]
+        grid = self._grid
+        marks_store = grid._marks
+        added = 0
+        for cid in state.visit_cids[: state.marked_upto]:
+            ms = marks_store[cid]
+            if ms is None:
+                marks_store[cid] = {qid}
+                added += 1
+            elif qid not in ms:
+                ms.add(qid)
+                added += 1
+        grid._mark_count += added
+        self._queries[qid] = state
+        self._query_probes[qid] = (
+            state,
+            state.nn,
+            state.qx,
+            state.qy,
+            state.is_point,
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoint contract (supervisor)
+    # ------------------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """Full-fidelity snapshot: cells, marks, queries *with* bookkeeping.
+
+        Unlike the base :class:`~repro.monitor.MonitorState` capture
+        (which re-installs queries through fresh searches — searches
+        that would pull cells nobody logged), this snapshot records the
+        exact storage and bookkeeping and its restore performs **zero**
+        searches and zero pulls.  Consequence: a checkpointed rebuild is
+        counter-exact, not just results-exact.
+        """
+        grid = self._grid
+        cells: dict[int, tuple] = {}
+        for cid, cell in enumerate(grid._cells):
+            if cell is None or type(cell) is _HaloCell:
+                continue
+            cells[cid] = (tuple(cell.oids), tuple(cell.xs), tuple(cell.ys))
+        marks = {
+            cid: sorted(ms)
+            for cid, ms in enumerate(grid._marks)
+            if ms
+        }
+        queries = []
+        for qid, state in self._queries.items():
+            queries.append(
+                {
+                    "qid": qid,
+                    "k": state.k,
+                    "strategy": state.strategy,
+                    "entries": state.nn.entries(),
+                    "best_dist": state.best_dist,
+                    "visit_cids": list(state.visit_cids),
+                    "visit_keys": list(state.visit_keys),
+                    "marked_upto": state.marked_upto,
+                    "heap": list(state.heap._heap),
+                    "heap_seq": state.heap._seq,
+                }
+            )
+        payload = {
+            "partition_capture": True,
+            "cells": cells,
+            "dyn": sorted(self._dyn_tracked),
+            "marks": marks,
+            "mark_count": grid._mark_count,
+            "tags": dict(self.tag_table),
+            "queries": queries,
+            "stats": self.stats.snapshot(),
+        }
+        # Round-trip so the snapshot shares no mutable state with the
+        # live engine (same detachment the base capture performs).
+        return pickle.loads(pickle.dumps(payload))
+
+    def restore_state(self, state: dict) -> None:
+        if not isinstance(state, dict) or not state.get("partition_capture"):
+            raise ValueError(
+                "partitioned shards restore only partition captures"
+            )
+        if self._queries or self._object_cells:
+            raise RuntimeError(
+                "restore_state requires an empty engine"
+            )
+        grid = self._grid
+        cells_store = grid._cells
+        object_cells = self._object_cells
+        for cid, (oids, xs, ys) in state["cells"].items():
+            cell = grid.cell_factory()
+            for oid, x, y in zip(oids, xs, ys):
+                cell.insert(oid, x, y)
+                object_cells[oid] = cid
+            cells_store[cid] = cell
+            if oids:
+                grid._occupied += 1
+                grid._n_objects += len(oids)
+        self._dyn_tracked = set(state["dyn"])
+        marks_store = grid._marks
+        for cid, qids in state["marks"].items():
+            marks_store[cid] = set(qids)
+        grid._mark_count = state["mark_count"]
+        self.tag_table.update(state["tags"])
+        for rec in state["queries"]:
+            strategy = rec["strategy"]
+            if isinstance(strategy, FilteredStrategy):
+                strategy.bind_tags(self.tag_table)
+            qstate = QueryState(
+                rec["qid"], strategy, rec["k"], strategy.partition(grid)
+            )
+            qstate.nn.replace(rec["entries"])
+            qstate.best_dist = rec["best_dist"]
+            qstate.visit_cids = list(rec["visit_cids"])
+            qstate.visit_keys = list(rec["visit_keys"])
+            qstate.marked_upto = rec["marked_upto"]
+            qstate.heap._heap = list(rec["heap"])
+            qstate.heap._seq = rec["heap_seq"]
+            self._queries[rec["qid"]] = qstate
+            self._query_probes[rec["qid"]] = (
+                qstate,
+                qstate.nn,
+                qstate.qx,
+                qstate.qy,
+                qstate.is_point,
+            )
+        self.stats.restore(state["stats"])
+
+
+def _sub_batch(batch: FlatUpdateBatch, lo: int, hi: int) -> FlatUpdateBatch:
+    """Contiguous row slice of a flat batch (columns keep their types)."""
+    return FlatUpdateBatch(
+        batch.timestamp,
+        batch.oids[lo:hi],
+        batch.old_xs[lo:hi],
+        batch.old_ys[lo:hi],
+        batch.new_xs[lo:hi],
+        batch.new_ys[lo:hi],
+        batch.appear[lo:hi],
+        batch.disappear[lo:hi],
+    )
+
+
+class _ShardRows:
+    """Per-shard row accumulator for one translation chunk."""
+
+    __slots__ = ("oids", "old_xs", "old_ys", "new_xs", "new_ys", "appear", "disappear")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.oids: list[int] = []
+        self.old_xs: list[float] = []
+        self.old_ys: list[float] = []
+        self.new_xs: list[float] = []
+        self.new_ys: list[float] = []
+        self.appear = bytearray()
+        self.disappear = bytearray()
+
+    def append(self, oid, ox, oy, nx, ny, app, dis) -> None:
+        self.oids.append(oid)
+        self.old_xs.append(ox)
+        self.old_ys.append(oy)
+        self.new_xs.append(nx)
+        self.new_ys.append(ny)
+        self.appear.append(app)
+        self.disappear.append(dis)
+
+    def take(self, timestamp: int) -> FlatUpdateBatch:
+        batch = FlatUpdateBatch(
+            timestamp,
+            self.oids,
+            self.old_xs,
+            self.old_ys,
+            self.new_xs,
+            self.new_ys,
+            self.appear,
+            self.disappear,
+        )
+        self.reset()
+        return batch
+
+
+class PartitionedMonitor(ShardedMonitor):
+    """Sharded CPM with true object partitioning (see module docstring).
+
+    The coordinator owns the authoritative object store (a plain dense
+    :class:`Grid` — its insert/delete tallies *are* the canonical
+    counters) and per-cell shard-interest masks; shards receive only the
+    rows they track.  Public surface and byte-identity contract match
+    :class:`~repro.service.sharding.ShardedMonitor`; counters are
+    additionally exact (not ``n_shards``-fold) on inserts/deletes.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        cells_per_axis: int = 128,
+        *,
+        bounds: Rect | tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0),
+        halo: int = 1,
+        backend: str | None = None,
+        executor: ShardExecutor | None = None,
+        metrics=None,
+    ) -> None:
+        if halo < 0:
+            raise ValueError(f"halo must be >= 0, got {halo}")
+        rect = bounds if isinstance(bounds, Rect) else Rect(*bounds)
+        self.plan = ShardPlan.build(n_shards, cells_per_axis, rect)
+        self.algorithm = "CPM"
+        self.name = f"CPM-P{n_shards}"
+        self.halo = halo
+        cols = self.plan.cols
+        self._static_track: list[tuple[int, int]] = []
+        col_mask = [0] * cols
+        for s in range(n_shards):
+            owned = self.plan.owned_columns(s)
+            lo = max(0, owned.start - halo)
+            hi = min(cols, owned.stop + halo)
+            self._static_track.append((lo, hi))
+            bit = 1 << s
+            for i in range(lo, hi):
+                col_mask[i] |= bit
+        self._col_mask = col_mask
+        self._dyn_mask: dict[int, int] = {}
+        self._store = Grid(cells_per_axis, bounds=rect, backend="list")
+        if (
+            not isinstance(self._store._cells, list)
+            or cols * self._store.rows > _DENSE_LIMIT
+        ):
+            raise ValueError(
+                f"partitioning requires a dense cell store (grid {cols}x"
+                f"{self._store.rows})"
+            )
+        self._store_cell: dict[int, int] = {}
+        self._executor = executor if executor is not None else SerialShardExecutor()
+        bounds_t = (rect.x0, rect.y0, rect.x1, rect.y1)
+        self._executor.start(
+            [
+                PartitionShardFactory(cells_per_axis, bounds_t, s, lo, hi, backend)
+                for s, (lo, hi) in enumerate(self._static_track)
+            ]
+        )
+        self._executor.bind_pull_server(self._serve_pull)
+        self._query_shard: dict[int, int] = {}
+        self._positions: dict[int, Point] = {}
+        self._stats = GridStats()
+        self.metrics = metrics
+        self._n_cycles = 0
+        self._n_fanout_rows = 0
+        self._n_sync_rows = 0
+        self._n_pulls = 0
+        self._n_pull_objects = 0
+        self._n_prefetch_cells = 0
+        self._n_evictions = 0
+        self._n_migrations = 0
+        if metrics is not None:
+            self._m_migrations = metrics.counter(
+                "repro_query_migrations_total",
+                "Cross-shard query moves served by live bookkeeping migration.",
+            )
+            self._m_pulls = metrics.counter(
+                "repro_partition_pulls_total",
+                "Remote cells fetched on demand by partitioned shards.",
+            )
+            self._m_sync = metrics.counter(
+                "repro_partition_sync_rows_total",
+                "Update-row copies fanned beyond the first tracking shard.",
+            )
+        else:
+            self._m_migrations = self._m_pulls = self._m_sync = None
+
+    # ------------------------------------------------------------------
+    # Stats: canonical inserts/deletes come from the coordinator store
+    # ------------------------------------------------------------------
+
+    def _absorb(self, delta: GridStats) -> None:
+        """Fold shard counters, *excluding* storage maintenance.
+
+        Shard-side inserts/deletes are replication artifacts (fan-out
+        copies, halo churn); the one coordinator store's tallies are
+        canonical and folded by :meth:`_fold_store_stats`.  Search,
+        probe and mark work happens exactly once — on the hosting
+        shard — so those counters fold unscaled.
+        """
+        stats = self._stats
+        stats.cell_scans += delta.cell_scans
+        stats.objects_scanned += delta.objects_scanned
+        stats.mark_ops += delta.mark_ops
+
+    def _fold_store_stats(self) -> None:
+        store_stats = self._store.stats
+        self._stats.inserts += store_stats.inserts
+        self._stats.deletes += store_stats.deletes
+        store_stats.reset()
+
+    # ------------------------------------------------------------------
+    # Interest masks + pull service
+    # ------------------------------------------------------------------
+
+    def _tracked_mask(self, cid: int) -> int:
+        rows = self._store.rows
+        return self._col_mask[cid // rows] | self._dyn_mask.get(cid, 0)
+
+    def _serve_pull(self, shard: int, cid: int):
+        """Serve one cell to a shard and register its fan-out interest.
+
+        Only callable while the executor is collecting ``partition_finish``
+        (or during a direct query call) — by then the coordinator store
+        holds the complete post-cycle state, so the pulled rows are
+        exactly what the single engine's grid would hold.
+        """
+        self._dyn_mask[cid] = self._dyn_mask.get(cid, 0) | (1 << shard)
+        self._n_pulls += 1
+        if self._m_pulls is not None:
+            self._m_pulls.inc()
+        cell = self._store._cells[cid]
+        if cell is None:
+            return (), (), ()
+        self._n_pull_objects += len(cell.oids)
+        return tuple(cell.oids), tuple(cell.xs), tuple(cell.ys)
+
+    def _release_interest(self, shard: int, released: Sequence[int]) -> None:
+        bit = 1 << shard
+        dyn = self._dyn_mask
+        for cid in released:
+            mask = dyn.get(cid)
+            if mask is None:
+                continue
+            mask &= ~bit
+            if mask:
+                dyn[cid] = mask
+            else:
+                del dyn[cid]
+        self._n_evictions += len(released)
+
+    # ------------------------------------------------------------------
+    # Object population
+    # ------------------------------------------------------------------
+
+    def load_objects(self, objects: Iterable[tuple[int, Point]]) -> None:
+        """Load the initial dataset — each shard gets only its tracked rows."""
+        batch = list(objects)
+        store = self._store
+        rows = store.rows
+        col_mask = self._col_mask
+        per_shard: list[list[tuple[int, Point]]] = [
+            [] for _ in range(self.n_shards)
+        ]
+        for oid, point in batch:
+            x, y = point
+            cid = store.cell_id(x, y)
+            store.insert_at(cid, oid, point)
+            self._store_cell[oid] = cid
+            self._positions[oid] = point
+            m = col_mask[cid // rows] | self._dyn_mask.get(cid, 0)
+            while m:
+                low = m & -m
+                per_shard[low.bit_length() - 1].append((oid, point))
+                m ^= low
+        self._call_all(
+            "load_objects", [(rows_,) for rows_ in per_shard]
+        )
+        self._fold_store_stats()
+
+    # ------------------------------------------------------------------
+    # Live query migration (coordinator side)
+    # ------------------------------------------------------------------
+
+    def _plan_migrations(
+        self, query_updates: Sequence[QueryUpdate]
+    ) -> dict[int, tuple[int, int]]:
+        """Select the MOVEs served by live migration: ``{qid: (src, dst)}``.
+
+        A query migrates when it is already committed to a shard, this
+        batch carries exactly one update for it, that update is a MOVE,
+        and the new anchor cell belongs to a different shard.  Anything
+        more exotic (install-then-move in one batch, stacked updates)
+        falls back to the inherited TERMINATE+INSERT split, which is
+        byte-identical too — migration is the fast path, not a special
+        semantic.
+        """
+        if not query_updates:
+            return {}
+        counts: dict[int, int] = {}
+        for qu in query_updates:
+            counts[qu.qid] = counts.get(qu.qid, 0) + 1
+        migrations: dict[int, tuple[int, int]] = {}
+        for qu in query_updates:
+            if qu.kind is not QueryUpdateKind.MOVE or counts[qu.qid] != 1:
+                continue
+            src = self._query_shard.get(qu.qid)
+            if src is None:
+                continue
+            assert qu.point is not None
+            dst = self.plan.shard_of_point(qu.point[0], qu.point[1])
+            if dst != src:
+                migrations[qu.qid] = (src, dst)
+        return migrations
+
+    def _build_prefetch(self, carried: dict, dst: int) -> list[tuple]:
+        """Cells around the carried influence region, for the destination.
+
+        One bounding box of the influence cells, inflated by one cell —
+        the MOVE's re-search at the new anchor lands inside it for any
+        short move, so the search runs pull-free.  Every shipped cell
+        (including empty ones — a stale empty copy would diverge)
+        registers dynamic interest *before* this cycle's rows are
+        translated, so the copies stay synchronized.
+        """
+        cids = carried["visit_cids"][: carried["marked_upto"]]
+        if not cids:
+            return []
+        store = self._store
+        rows = store.rows
+        cols = self.plan.cols
+        ilo = min(cid // rows for cid in cids) - 1
+        ihi = max(cid // rows for cid in cids) + 1
+        jlo = min(cid % rows for cid in cids) - 1
+        jhi = max(cid % rows for cid in cids) + 1
+        ilo = max(ilo, 0)
+        jlo = max(jlo, 0)
+        ihi = min(ihi, cols - 1)
+        jhi = min(jhi, rows - 1)
+        track_lo, track_hi = self._static_track[dst]
+        bit = 1 << dst
+        dyn = self._dyn_mask
+        cells = store._cells
+        payload: list[tuple] = []
+        for i in range(ilo, ihi + 1):
+            if track_lo <= i < track_hi:
+                continue  # statically tracked: already synchronized
+            base = i * rows
+            for j in range(jlo, jhi + 1):
+                cid = base + j
+                if dyn.get(cid, 0) & bit:
+                    continue  # already materialized on dst via pull
+                cell = cells[cid]
+                if cell is None:
+                    payload.append((cid, (), (), ()))
+                else:
+                    payload.append(
+                        (cid, tuple(cell.oids), tuple(cell.xs), tuple(cell.ys))
+                    )
+                dyn[cid] = dyn.get(cid, 0) | bit
+                self._n_prefetch_cells += 1
+        return payload
+
+    def _migrate(self, migrations: dict[int, tuple[int, int]]) -> None:
+        for qid, (src, dst) in migrations.items():
+            carried = self._call(src, "migrate_out_query", qid)
+            prefetch = self._build_prefetch(carried, dst)
+            self._call(dst, "migrate_in_query", carried, prefetch)
+            self._query_shard[qid] = dst
+            self._n_migrations += 1
+            if self._m_migrations is not None:
+                self._m_migrations.inc()
+
+    # ------------------------------------------------------------------
+    # The partitioned cycle
+    # ------------------------------------------------------------------
+
+    def _partition_cycle(
+        self,
+        batch: FlatUpdateBatch,
+        query_updates: Sequence[QueryUpdate],
+        want_deltas: bool,
+    ):
+        query_updates = tuple(query_updates)
+        origin_shard = dict(self._query_shard) if query_updates else {}
+        self._migrate(self._plan_migrations(query_updates))
+        per_shard_qu = self._split_query_updates(query_updates)
+        n = self.n_shards
+        executor = self._executor
+        executor.submit_all(
+            "partition_begin",
+            [(tuple(qus), want_deltas) for qus in per_shard_qu],
+        )
+        self._translate_and_stream(batch)
+        self._fold_store_stats()
+        executor.submit_all("partition_finish", [()] * n)
+        groups = executor.collect_all()
+        for group in groups:
+            for _payload, stats in group:
+                self._absorb(stats)
+        self._n_cycles += 1
+        finish = groups[-1]
+        payloads = []
+        for shard, (payload, _stats) in enumerate(finish):
+            result, released = payload
+            if released:
+                self._release_interest(shard, released)
+            payloads.append(result)
+        if want_deltas:
+            return self._merge_shard_deltas(origin_shard, payloads)
+        changed: set[int] = set()
+        for result in payloads:
+            changed |= result
+        return changed
+
+    def _translate_and_stream(self, batch: FlatUpdateBatch) -> None:
+        """Translate the authoritative batch into per-shard row streams.
+
+        Applies every row to the coordinator store (canonical
+        inserts/deletes) and fans it, chunk by chunk, to exactly the
+        shards tracking the touched cells.  Cross-boundary moves send a
+        plain move row to the new cell's trackers (shards that do not
+        know the object take the appearance path off their object map,
+        exactly like the single engine's flat loop) and a **leave** row
+        to trackers of only the old cell.
+        """
+        n_rows = len(batch.oids)
+        if not n_rows:
+            return
+        n = self.n_shards
+        ts = batch.timestamp
+        executor = self._executor
+        store = self._store
+        rows = store.rows
+        cell_id = store.cell_id
+        insert_at = store.insert_at
+        delete_at = store.delete_at
+        relocate_at = store.relocate_at
+        col_mask = self._col_mask
+        dyn_mask = self._dyn_mask
+        store_cell = self._store_cell
+        positions = self._positions
+        builders = [_ShardRows() for _ in range(n)]
+        chunk_rows = max(_CHUNK_ROWS, -(-n_rows // _MAX_CHUNKS))
+        fanout = 0
+        sync_extra = 0
+        pending = 0
+
+        def flush() -> None:
+            nonlocal pending
+            if not pending:
+                return
+            executor.submit_all(
+                "partition_apply", [(b.take(ts),) for b in builders]
+            )
+            pending = 0
+
+        for row, (oid, ox, oy, nx, ny, dis) in enumerate(
+            zip(
+                batch.oids,
+                batch.old_xs,
+                batch.old_ys,
+                batch.new_xs,
+                batch.new_ys,
+                batch.disappear,
+            )
+        ):
+            if dis:
+                old_cid = store_cell.pop(oid)
+                delete_at(old_cid, oid)
+                del positions[oid]
+                m = col_mask[old_cid // rows] | dyn_mask.get(old_cid, 0)
+                copies = m.bit_count()
+                fanout += copies
+                sync_extra += copies - 1
+                while m:
+                    low = m & -m
+                    builders[low.bit_length() - 1].append(
+                        oid, ox, oy, nx, ny, 0, 1
+                    )
+                    m ^= low
+            else:
+                new_cid = cell_id(nx, ny)
+                old_cid = store_cell.get(oid)
+                point = (nx, ny)
+                if old_cid is None:
+                    insert_at(new_cid, oid, point)
+                    store_cell[oid] = new_cid
+                    positions[oid] = point
+                    m = col_mask[new_cid // rows] | dyn_mask.get(new_cid, 0)
+                    copies = m.bit_count()
+                    fanout += copies
+                    sync_extra += copies - 1
+                    while m:
+                        low = m & -m
+                        builders[low.bit_length() - 1].append(
+                            oid, ox, oy, nx, ny, 1, 0
+                        )
+                        m ^= low
+                elif old_cid == new_cid:
+                    relocate_at(new_cid, oid, point)
+                    positions[oid] = point
+                    m = col_mask[new_cid // rows] | dyn_mask.get(new_cid, 0)
+                    copies = m.bit_count()
+                    fanout += copies
+                    sync_extra += copies - 1
+                    while m:
+                        low = m & -m
+                        builders[low.bit_length() - 1].append(
+                            oid, ox, oy, nx, ny, 0, 0
+                        )
+                        m ^= low
+                else:
+                    delete_at(old_cid, oid)
+                    insert_at(new_cid, oid, point)
+                    store_cell[oid] = new_cid
+                    positions[oid] = point
+                    m_new = col_mask[new_cid // rows] | dyn_mask.get(new_cid, 0)
+                    m_old = col_mask[old_cid // rows] | dyn_mask.get(old_cid, 0)
+                    m_leave = m_old & ~m_new
+                    copies = m_new.bit_count() + m_leave.bit_count()
+                    fanout += copies
+                    sync_extra += copies - 1
+                    m = m_new
+                    while m:
+                        low = m & -m
+                        builders[low.bit_length() - 1].append(
+                            oid, ox, oy, nx, ny, 0, 0
+                        )
+                        m ^= low
+                    m = m_leave
+                    while m:
+                        low = m & -m
+                        builders[low.bit_length() - 1].append(
+                            oid, ox, oy, nx, ny, 1, 1
+                        )
+                        m ^= low
+            pending += 1
+            if pending >= chunk_rows:
+                flush()
+        flush()
+        self._n_fanout_rows += fanout
+        self._n_sync_rows += sync_extra
+        if self._m_sync is not None and sync_extra:
+            self._m_sync.inc(sync_extra)
+
+    # ------------------------------------------------------------------
+    # Public cycle entry points
+    # ------------------------------------------------------------------
+
+    def process(
+        self,
+        object_updates: Sequence[ObjectUpdate],
+        query_updates: Sequence[QueryUpdate] = (),
+    ) -> set[int]:
+        batch = FlatUpdateBatch.from_updates(object_updates)
+        return self._partition_cycle(batch, tuple(query_updates), False)
+
+    def process_flat(
+        self,
+        batch: FlatUpdateBatch,
+        query_updates: Sequence[QueryUpdate] | None = None,
+    ) -> set[int]:
+        if query_updates is None:
+            query_updates = batch.query_updates
+        return self._partition_cycle(batch, tuple(query_updates), False)
+
+    def process_deltas(
+        self,
+        object_updates: Sequence[ObjectUpdate],
+        query_updates: Sequence[QueryUpdate] = (),
+    ) -> dict[int, ResultDelta]:
+        batch = FlatUpdateBatch.from_updates(object_updates)
+        return self._partition_cycle(batch, tuple(query_updates), True)
+
+    def process_deltas_flat(
+        self,
+        batch: FlatUpdateBatch,
+        query_updates: Sequence[QueryUpdate] | None = None,
+    ) -> dict[int, ResultDelta]:
+        if query_updates is None:
+            query_updates = batch.query_updates
+        return self._partition_cycle(batch, tuple(query_updates), True)
+
+    # ------------------------------------------------------------------
+    # Traffic accounting
+    # ------------------------------------------------------------------
+
+    def partition_stats(self) -> dict[str, int]:
+        """Cross-partition traffic counters (all monotone, process-local)."""
+        return {
+            "cycles": self._n_cycles,
+            "fanout_rows": self._n_fanout_rows,
+            "sync_rows": self._n_sync_rows,
+            "pulls": self._n_pulls,
+            "pull_objects": self._n_pull_objects,
+            "prefetch_cells": self._n_prefetch_cells,
+            "evictions": self._n_evictions,
+            "migrations": self._n_migrations,
+        }

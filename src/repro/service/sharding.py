@@ -20,8 +20,11 @@ per-query work an update triggers runs only on the shard holding the
 affected queries (an update in a cell unmarked on a shard's grid is
 discarded there after one influence probe).  Border-crossing updates thus
 naturally "fan out" to exactly the shards whose installed influence
-regions overlap them.  True object partitioning (halo cells plus a
-cell-sync protocol, cross-shard query migration) is an open ROADMAP item.
+regions overlap them.  :mod:`repro.service.partition` is the
+partitioned alternative: each shard materializes only its owned column
+block plus a halo, the coordinator fans rows to exactly the tracking
+shards, and a pull path covers re-computation expansion — same
+byte-identity contract, without the replicated object maintenance.
 
 :class:`ShardedMonitor` implements the full
 :class:`repro.monitor.ContinuousMonitor` contract — including

@@ -84,6 +84,12 @@ class FanoutQueue:
         lag_factory: ``lag_factory(dropped) -> item`` building the lag
             marker item delivered in place of ``dropped`` discarded
             items.  Required for ``DROP_AND_SNAPSHOT``.
+        lag_followup: ``lag_followup() -> iterable of items`` delivered
+            on the writer thread immediately after a resolved lag
+            marker — the transport's chance to push fresh snapshots so
+            a drained consumer converges without asking.  Both hooks
+            run *outside* the queue lock and may therefore take
+            application locks and read live state.
         on_overflow: called once (on the producer thread) when
             ``DISCONNECT`` fires — the transport's close hook.
         name: diagnostics label.
@@ -96,6 +102,7 @@ class FanoutQueue:
         limit: int = 1024,
         policy: SlowConsumerPolicy = SlowConsumerPolicy.DISCONNECT,
         lag_factory: Callable[[int], object] | None = None,
+        lag_followup: Callable[[], Iterable[object]] | None = None,
         on_overflow: Callable[[], None] | None = None,
         name: str = "fanout",
     ) -> None:
@@ -107,6 +114,7 @@ class FanoutQueue:
         self.limit = limit
         self.policy = policy
         self._lag_factory = lag_factory
+        self._lag_followup = lag_followup
         self._on_overflow = on_overflow
         self.name = name
         self._items: deque[tuple[object, bool]] = deque()
@@ -185,12 +193,23 @@ class FanoutQueue:
                 if self.broken or (self._closed and not self._items):
                     return
                 item, _ = self._items.popleft()
+                lagged = None
                 if item is _LAG:
-                    dropped, self._pending_lag = self._pending_lag, 0
-                    item = self._lag_factory(dropped)
+                    lagged, self._pending_lag = self._pending_lag, 0
                 self._inflight = True
+            delivered = 0
             try:
+                if lagged is not None:
+                    # Resolve the coalesced marker outside the lock so
+                    # the factory/follow-up hooks may take application
+                    # locks and snapshot live state.
+                    item = self._lag_factory(lagged)
                 self._deliver(item)
+                delivered += 1
+                if lagged is not None and self._lag_followup is not None:
+                    for extra in self._lag_followup():
+                        self._deliver(extra)
+                        delivered += 1
             except Exception:
                 with self._lock:
                     self.broken = True
@@ -199,7 +218,7 @@ class FanoutQueue:
                     self._wakeup.notify_all()
                 return
             with self._lock:
-                self.delivered += 1
+                self.delivered += delivered
                 self._inflight = False
                 if not self._items:
                     self._wakeup.notify_all()

@@ -56,6 +56,8 @@ from repro.service.shm import release_segment  # noqa: F401  (used below)
 from repro.service.executor import (
     FaultHook,
     ProcessShardExecutor,
+    PullServer,
+    ShardExecutor,
     ShardFactory,
     ShardFailure,
     ShardWorkerError,
@@ -151,6 +153,11 @@ class SupervisedShardExecutor(ProcessShardExecutor):
         #: every failure observed and the recovery taken, in order.
         self.events: list[RecoveryEvent] = []
         self.metrics = metrics
+        #: per-shard (request, reply) log of served cell pulls, and the
+        #: replay cursor into it (see :meth:`_replayable_pull`).
+        self._pull_log: list[list[tuple[object, object]]] = []
+        self._pull_cursor: list[int] = []
+        self._pull_origin: PullServer | None = None
 
     def _record_event(self, event: RecoveryEvent) -> None:
         self.events.append(event)
@@ -168,6 +175,58 @@ class SupervisedShardExecutor(ProcessShardExecutor):
         self._local = {}
         self.restart_counts = [0] * len(factories)
         self.events = []
+        self._pull_log = [[] for _ in factories]
+        self._pull_cursor = [0] * len(factories)
+
+    # ------------------------------------------------------------------
+    # Cell pulls (partitioned shards)
+    # ------------------------------------------------------------------
+
+    def bind_pull_server(self, server: PullServer) -> None:
+        """Wrap the coordinator's pull service with a replay log.
+
+        The coordinator's stores move on after each committed command, so
+        a restarted shard replaying its command log must NOT hit the live
+        service — it would see post-crash data mid-replay.  Instead every
+        served pull is logged per shard; during replay the cursor walks
+        the log and returns the original replies (asserting the replayed
+        requests match — the engine rebuild is deterministic), going back
+        to live service exactly when the log is exhausted.
+        """
+        self._pull_origin = server
+        super().bind_pull_server(self._replayable_pull)
+
+    def _replayable_pull(self, shard: int, request: object) -> object:
+        log = self._pull_log[shard]
+        cursor = self._pull_cursor[shard]
+        if cursor < len(log):
+            logged_request, logged_reply = log[cursor]
+            if logged_request != request:
+                raise ShardWorkerError(
+                    f"shard {shard}: non-deterministic pull during replay "
+                    f"(logged {logged_request!r}, replayed {request!r})"
+                )
+            self._pull_cursor[shard] = cursor + 1
+            return logged_reply
+        assert self._pull_origin is not None
+        reply = self._pull_origin(shard, request)
+        log.append((request, reply))
+        self._pull_cursor[shard] = len(log)
+        return reply
+
+    # ------------------------------------------------------------------
+    # Staged dispatch
+    # ------------------------------------------------------------------
+
+    def submit_all(self, method: str, args_per_shard: Sequence[tuple]) -> None:
+        """Buffered staging (no streaming): supervision needs every
+        command to commit — log append, recovery, degraded dispatch —
+        before the next is sent, so the base-class blocking fallback is
+        the correct semantics here, not the process executor's pipeline."""
+        ShardExecutor.submit_all(self, method, args_per_shard)
+
+    def collect_all(self) -> list:
+        return ShardExecutor.collect_all(self)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -261,6 +320,11 @@ class SupervisedShardExecutor(ProcessShardExecutor):
                 state, _stats = self._dispatch(shard, "capture_state", ())
             self._checkpoints[shard] = state
             self._log[shard].clear()
+            # Pulls served before the checkpoint can never replay again
+            # (a rebuild restores the snapshot, then replays only the
+            # log tail), so the pull log compacts with the command log.
+            self._pull_log[shard].clear()
+            self._pull_cursor[shard] = 0
 
     # ------------------------------------------------------------------
     # Internals
@@ -350,6 +414,13 @@ class SupervisedShardExecutor(ProcessShardExecutor):
         nothing to the aggregate accounting.
         """
         segments: list = []
+        # Replayed commands re-issue their cell pulls in the original
+        # order; rewind the pull cursor so they are answered from the log
+        # (the live coordinator has moved on).  The re-issued in-flight
+        # command consumes any pulls its crashed attempt logged, then the
+        # cursor reaches the end of the log and service goes live again.
+        if self._pull_cursor:
+            self._pull_cursor[shard] = 0
         try:
             if self._checkpoints[shard] is not None:
                 self._send(
@@ -363,9 +434,18 @@ class SupervisedShardExecutor(ProcessShardExecutor):
             for shm in segments:
                 release_segment(shm)
 
+    def _bind_local_pull(self, monitor: ContinuousMonitor, shard: int) -> None:
+        """Give a degraded in-process engine the same replayable pulls."""
+        bind = getattr(monitor, "bind_pull_transport", None)
+        if bind is not None:
+            bind(lambda request, _shard=shard: self._replayable_pull(_shard, request))
+
     def _rebuild_local(self, shard: int) -> ContinuousMonitor:
         """Rebuild a shard's engine in-process (DEGRADE_TO_SERIAL)."""
         monitor = self._factories[shard]()
+        self._bind_local_pull(monitor, shard)
+        if self._pull_cursor:
+            self._pull_cursor[shard] = 0
         if self._checkpoints[shard] is not None:
             monitor.restore_state(self._checkpoints[shard])
         for method, args in self._log[shard]:
@@ -387,4 +467,6 @@ class SupervisedShardExecutor(ProcessShardExecutor):
         self._local = {}
         self._log = []
         self._checkpoints = []
+        self._pull_log = []
+        self._pull_cursor = []
         super().close()

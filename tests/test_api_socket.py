@@ -467,6 +467,58 @@ class TestSlowConsumer:
             stalled.close()
             server.stop()
 
+    def test_lag_followup_snapshots_converge_a_drained_consumer(self):
+        """Every ``lagged`` marker is followed by a fresh ``sync_query``
+        snapshot per subscribed query, so replaying the stream — shed
+        gaps and all — lands exactly on the authoritative result with no
+        re-sync request from the consumer."""
+        session, server, host, port = self.make_server(
+            SlowConsumerPolicy.DROP_AND_SNAPSHOT
+        )
+        try:
+            stalled, reader = _stalled_peer(
+                host, port, qid=2, point=(0.45, 0.5), k=2
+            )
+            _drive_and_collect(
+                host, port, ticks=self.TICKS, register_peer_query=False
+            )
+            # The run is over; drain the stalled peer's entire backlog.
+            stalled.settimeout(2.0)
+            frames = []
+            try:
+                for line in reader:
+                    frames.append(wire.decode_frame(line))
+            except (TimeoutError, socket.timeout, ConnectionError, OSError):
+                pass
+            lagged_at = [
+                i for i, f in enumerate(frames) if type(f) is wire.Lagged
+            ]
+            assert lagged_at, "no lagged frame reached the slow consumer"
+            # The follow-up snapshot rides directly behind its marker.
+            for index in lagged_at:
+                assert index + 1 < len(frames), "lagged marker had no follow-up"
+                followup = frames[index + 1]
+                assert type(followup) is wire.SyncQuery
+                assert followup.qid == 2
+            # Replay the stream the consumer saw: deltas apply their full
+            # result, a shed gap is bridged by the pushed snapshot.
+            mirror = None
+            gap_open = False
+            for frame in frames:
+                kind = type(frame)
+                if kind is wire.Lagged:
+                    gap_open = True
+                elif kind is wire.SyncQuery:
+                    mirror = list(frame.result)
+                    gap_open = False
+                elif kind is wire.Delta and frame.delta.qid == 2:
+                    mirror = list(frame.delta.result)
+            assert not gap_open
+            assert mirror == session.snapshot(2)
+        finally:
+            stalled.close()
+            server.stop()
+
 
 class TestSocketFeed:
     def test_socket_fed_ingest_matches_direct_replay(self, workload):

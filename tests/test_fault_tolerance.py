@@ -38,6 +38,7 @@ from repro.service.executor import (
     ShardCrashError,
     ShardTimeoutError,
 )
+from repro.service.partition import PartitionedMonitor
 from repro.service.service import MonitoringService
 from repro.service.sharding import ShardedMonitor, ShardEngineFactory
 from repro.service.supervisor import SupervisedShardExecutor, SupervisorPolicy
@@ -185,6 +186,85 @@ class TestSupervisedRecovery:
         assert not executor.events
         assert log == ref_log
         assert report.total_cell_scans == ref_report.total_cell_scans
+
+
+# ----------------------------------------------------------------------
+# Partitioned state: RESTART must replay halo/pull/migration commands
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.chaos
+class TestPartitionedRecovery:
+    """The partition subsystem under the supervisor: a restarted worker
+    rebuilds *partitioned* state (sentinel columns, pulled cells, carried
+    query bookkeeping) from the command log + pull log, byte-identical —
+    and since the partitioned tier is counter-exact, the reference here
+    is the **single engine**, not a replicated sharded run."""
+
+    def _run(self, workload, plan, n_shards=2, checkpoint_at=None):
+        executor = SupervisedShardExecutor(
+            fault_hook=None if plan is None else plan.executor_hook()
+        )
+        monitor = PartitionedMonitor(
+            n_shards, cells_per_axis=CELLS, executor=executor
+        )
+        try:
+            log: list = []
+            cycles = 0
+
+            def on_cycle(report):
+                nonlocal cycles
+                cycles += 1
+                if cycles == checkpoint_at:
+                    executor.checkpoint()
+
+            report = replay_workload(
+                monitor,
+                workload,
+                collect_results=True,
+                result_log=log,
+                on_cycle=on_cycle,
+            )
+        finally:
+            monitor.close()
+        return report, log, executor
+
+    def test_partitioned_restart_mid_replay_is_byte_identical(self):
+        workload = small_workload(query_agility=0.5)
+        ref_report, ref_log = replay(CPMMonitor(cells_per_axis=CELLS), workload)
+        plan = FaultPlan(seed=7).kill_worker(shard=1, at_command=8)
+        report, log, executor = self._run(workload, plan)
+        assert [f.kind for f in plan.fired] == ["kill"]
+        assert executor.restart_counts[1] == 1
+        assert log == ref_log
+        assert report.total_cell_scans == ref_report.total_cell_scans
+        assert report.total_objects_scanned == ref_report.total_objects_scanned
+        assert report.total_results_changed == ref_report.total_results_changed
+
+    def test_partitioned_checkpoint_compaction_then_crash(self):
+        """The full-fidelity partition capture restores cells, marks and
+        query bookkeeping without a single search or pull — the tail
+        replay after the snapshot must still be byte-identical."""
+        workload = small_workload(query_agility=0.4)
+        ref_report, ref_log = replay(CPMMonitor(cells_per_axis=CELLS), workload)
+        plan = FaultPlan().kill_worker(shard=1, at_command=24)
+        report, log, executor = self._run(workload, plan, checkpoint_at=3)
+        assert [f.kind for f in plan.fired] == ["kill"]
+        assert executor.restart_counts[1] == 1
+        assert log == ref_log
+        assert report.total_cell_scans == ref_report.total_cell_scans
+
+    def test_partitioned_four_shards_kill_each(self):
+        workload = small_workload(timestamps=5, query_agility=0.5)
+        _, ref_log = replay(CPMMonitor(cells_per_axis=CELLS), workload)
+        for shard in range(4):
+            plan = FaultPlan(seed=shard).kill_worker(
+                shard=shard, at_command=10 + shard
+            )
+            _, log, executor = self._run(workload, plan, n_shards=4)
+            assert [f.kind for f in plan.fired] == ["kill"]
+            assert executor.restart_counts[shard] == 1
+            assert log == ref_log
 
 
 # ----------------------------------------------------------------------

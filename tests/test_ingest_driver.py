@@ -67,6 +67,34 @@ class TestMarkHonoringReplay:
         assert report.total_coalesced == 0
         assert report.total_dropped == 0
         assert report.total_applied == workload.total_object_updates
+        # A plain engine has no cross-partition traffic to report.
+        assert report.partition is None
+
+    def test_partitioned_service_reports_traffic_counters(self):
+        """Driving a PartitionedMonitor fills IngestReport.partition
+        with the cross-partition traffic counters at the identical end
+        state."""
+        from repro.service.partition import PartitionedMonitor
+
+        workload = BrinkhoffGenerator(SPEC).generate()
+        reference = _reference_monitor(workload)
+
+        monitor = PartitionedMonitor(4, cells_per_axis=8)
+        service = MonitoringService(monitor)
+        driver = IngestDriver(WorkloadFeed(workload), service)
+        driver.prime(k=SPEC.k)
+        try:
+            report = driver.run()
+            table = service.monitor.result_table()
+        finally:
+            monitor.close()
+
+        assert table == reference.result_table()
+        assert report.partition is not None
+        assert report.partition["cycles"] == len(workload.batches)
+        assert report.partition["fanout_rows"] > 0
+        for key in ("sync_rows", "pulls", "pull_objects", "migrations"):
+            assert report.partition[key] >= 0
 
     def test_row_path_driver_matches_flat_path_driver(self):
         workload = BrinkhoffGenerator(SPEC).generate()

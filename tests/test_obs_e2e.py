@@ -257,6 +257,58 @@ class TestTelemetryEndToEnd:
             server.stop()
 
 
+class TestLagSnapshotPush:
+    def test_stalled_consumer_converges_without_auto_resync(self):
+        """The server-pushed ``sync_query`` follow-ups land the
+        authoritative post-gap result in ``lag_snapshots`` — no resync
+        handshake, no request from the client at all."""
+        session = Session(CPMMonitor(cells_per_axis=CELLS))
+        server = MonitorSocketServer(
+            session,
+            name="lag-push-server",
+            outbound_limit=4,
+            slow_consumer=SlowConsumerPolicy.DROP_AND_SNAPSHOT,
+            sndbuf=4096,
+        )
+        host, port = server.start()
+        try:
+            with Client.connect(host, port) as lagging:
+                handle = lagging.register(
+                    KnnSpec(point=(0.5, 0.5), k=2), qid=1
+                )
+                handle.subscribe(
+                    lambda ts, delta: (
+                        time.sleep(0.02) if not lagging.lag_events else None
+                    )
+                )
+                with Client.connect(host, port) as driving:
+                    driving.send_updates(
+                        [
+                            ObjectUpdate(1, None, (0.52, 0.5)),
+                            ObjectUpdate(2, None, (0.9, 0.9)),
+                        ]
+                    )
+                    driving.tick(timestamp=0)
+                    old = (0.52, 0.5)
+                    for i in range(200):
+                        new = [(0.55, 0.5), (0.6, 0.5)][i % 2]
+                        driving.send_updates([ObjectUpdate(1, old, new)])
+                        driving.tick(timestamp=i + 1)
+                        old = new
+                        if 1 in lagging.lag_snapshots:
+                            break
+                assert _wait_for(lambda: lagging.lag_events, timeout=15.0)
+                assert _wait_for(
+                    lambda: 1 in lagging.lag_snapshots, timeout=15.0
+                )
+                assert lagging.lag_snapshots[1], "pushed snapshot was empty"
+                # Convergence came in-band: no sync handshake ran.
+                assert not lagging.resync_events
+                assert not lagging.callback_errors
+        finally:
+            server.stop()
+
+
 class TestAutoResync:
     def test_lagged_client_resyncs_automatically(self):
         """Satellite (a): a ``lagged`` marker triggers the wire-v2 sync

@@ -22,8 +22,10 @@ from repro.obs.health import (
     HARD,
     SOFT,
     BufferOccupancy,
+    CallableAlertSink,
     DeadFeed,
     DropRateSpike,
+    FileAlertSink,
     HealthError,
     HealthMonitor,
     HealthPolicy,
@@ -144,6 +146,62 @@ class TestHealthMonitor:
         assert (
             registry.snapshot()['repro_health_alerts_total{level="soft"}'] == 1
         )
+
+    def test_file_sink_writes_jsonl_and_opens_lazily(self, tmp_path):
+        import json
+
+        path = tmp_path / "alerts.jsonl"
+        sink = FileAlertSink(path)
+        policy = HealthPolicy(rules=(QueueDepthGrowth(limit=0),), sinks=(sink,))
+        monitor = HealthMonitor(policy, realert_every=5)
+        # No alerts yet: a healthy run leaves no empty artifact.
+        assert not path.exists()
+        for cycle in range(10):
+            monitor.observe(sample(cycle, queue_depth=1))
+        sink.close()
+        lines = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        # The sink sees alerts after de-bounce: two firings, not ten.
+        assert [line["cycle"] for line in lines] == [0, 5]
+        assert lines[0] == monitor.alerts[0].as_dict()
+
+    def test_hard_violation_routes_to_sinks_before_raising(self, tmp_path):
+        import json
+
+        seen = []
+        path = tmp_path / "alerts.jsonl"
+        policy = HealthPolicy(
+            rules=(OverrunStreak(limit=1),),
+            sinks=(CallableAlertSink(seen.append), FileAlertSink(path)),
+        )
+        monitor = HealthMonitor(policy)
+        with pytest.raises(HealthError):
+            monitor.observe(sample(0, deadline_overrun=True))
+        assert [event.rule for event in seen] == ["overrun_streak"]
+        record = json.loads(path.read_text().splitlines()[0])
+        assert record["level"] == HARD
+        assert record["rule"] == "overrun_streak"
+
+    def test_broken_sink_does_not_block_the_others(self):
+        seen = []
+
+        def exploding(_event):
+            raise RuntimeError("sink bug")
+
+        policy = HealthPolicy(
+            rules=(QueueDepthGrowth(limit=0),),
+            sinks=(CallableAlertSink(exploding), CallableAlertSink(seen.append)),
+        )
+        monitor = HealthMonitor(policy)
+        emitted = monitor.observe(sample(0, queue_depth=1))
+        assert len(emitted) == 1
+        assert len(seen) == 1
+
+    def test_default_policy_accepts_sinks(self):
+        sink = CallableAlertSink(lambda event: None)
+        policy = HealthPolicy.default(sinks=(sink,))
+        assert policy.sinks == (sink,)
 
     def test_default_policy_builds_fresh_rule_state(self):
         first = HealthPolicy.default()

@@ -188,6 +188,102 @@ class TestPrometheusRendering:
             scrape_text(host, port, timeout=0.5)
 
 
+class TestWindowedRates:
+    """Ring-buffered windowed views over counter series."""
+
+    def _clocked(self, horizons=(10.0,)):
+        now = [0.0]
+        registry = MetricsRegistry()
+        registry.enable_windows(horizons, clock=lambda: now[0])
+        return registry, now
+
+    def test_windowed_is_the_increase_over_the_trailing_window(self):
+        registry, now = self._clocked()
+        counter = registry.counter("repro_drops_total", "Drops.")
+        registry.record_window_sample()
+        counter.inc(5)
+        now[0] = 5.0
+        registry.record_window_sample()
+        counter.inc(3)
+        now[0] = 10.0
+        assert registry.windowed("repro_drops_total", 10.0) == 8
+        # A shorter window diffs against the newer sample.
+        assert registry.windowed("repro_drops_total", 5.0) == 3
+
+    def test_windowed_before_any_sample_returns_the_live_value(self):
+        registry, _ = self._clocked()
+        registry.counter("repro_drops_total", "Drops.").inc(7)
+        assert registry.windowed("repro_drops_total", 10.0) == 7
+
+    def test_series_born_mid_window_counts_in_full(self):
+        registry, now = self._clocked()
+        registry.counter("repro_ticks_total", "Cycles.")
+        registry.record_window_sample()
+        now[0] = 4.0
+        registry.counter("repro_drops_total", "Drops.").inc(2)
+        assert registry.windowed("repro_drops_total", 10.0) == 2
+
+    def test_windowed_requires_enable_windows(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_drops_total", "Drops.")
+        with pytest.raises(RuntimeError, match="enable_windows"):
+            registry.windowed("repro_drops_total", 10.0)
+
+    def test_windowed_rejects_non_counter_series(self):
+        registry, _ = self._clocked()
+        registry.gauge("repro_depth", "Depth.").set(3)
+        with pytest.raises(KeyError, match="repro_depth"):
+            registry.windowed("repro_depth", 10.0)
+        with pytest.raises(KeyError):
+            registry.windowed("repro_missing_total", 10.0)
+
+    def test_ring_prunes_samples_beyond_the_largest_horizon(self):
+        registry, now = self._clocked(horizons=(5.0,))
+        counter = registry.counter("repro_drops_total", "Drops.")
+        for tick in range(20):
+            now[0] = float(tick)
+            counter.inc()
+            registry.record_window_sample()
+        samples = registry._windows.samples
+        # One sample may sit at-or-before the horizon edge as baseline.
+        assert len(samples) <= 7
+        assert registry.windowed("repro_drops_total", 5.0) == 5
+
+    def test_render_exposes_rate_suffix_series(self):
+        registry, now = self._clocked()
+        registry.counter("repro_drops_total", "Drops.", shard="0").inc(2)
+        registry.record_window_sample()
+        now[0] = 10.0
+        registry.counter("repro_drops_total", "Drops.", shard="0").inc(4)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_drops_total_rate10s gauge" in text
+        assert 'repro_drops_total_rate10s{shard="0"} 4' in text
+        # Rendering records a sample, so a scraper keeps the ring fresh.
+        assert len(registry._windows.samples) == 2
+
+    def test_render_without_windows_is_unchanged(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_drops_total", "Drops.").inc(2)
+        assert "_rate" not in registry.render_prometheus()
+        # snapshot keys stay the wire-frame key space: no rate series.
+        assert "repro_drops_total" in registry.snapshot()
+
+    def test_multiple_horizons_render_one_suffix_each(self):
+        registry, now = self._clocked(horizons=(5.0, 60.0))
+        counter = registry.counter("repro_ticks_total", "Cycles.")
+        registry.record_window_sample()
+        now[0] = 5.0
+        counter.inc(3)
+        text = registry.render_prometheus()
+        assert "repro_ticks_total_rate5s 3" in text
+        assert "repro_ticks_total_rate60s 3" in text
+
+    def test_enable_windows_rejects_non_positive_horizons(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="positive"):
+            registry.enable_windows((0.0,))
+
+
 class TestSpanRecorder:
     def test_records_phases_into_labelled_histograms(self):
         registry = MetricsRegistry()

@@ -299,32 +299,88 @@ class TestSuiteAndRunner:
     def test_shard_scaling_cases_present(self):
         full = build_suite(0.01)
         smoke = build_suite(0.01, suite="smoke")
-        serial = sorted(c.shards for c in full if c.shards and c.executor == "serial")
-        wallclock = sorted(
-            c.shards for c in full if c.shards and c.executor == "process"
-        )
-        supervised = sorted(
-            c.shards for c in full if c.shards and c.executor == "supervised"
-        )
-        smoke_shards = sorted(c.shards for c in smoke if c.shards)
-        assert serial == [1, 2, 4, 8]
-        assert wallclock == [1, 2, 4, 8]
+
+        def shards_of(cases, executor, *, partitioned=False):
+            return sorted(
+                c.shards
+                for c in cases
+                if c.shards
+                and c.executor == executor
+                and c.partitioned == partitioned
+            )
+
+        assert shards_of(full, "serial") == [1, 2, 4, 8]
+        assert shards_of(full, "process") == [1, 2, 4, 8]
         # fault_recovery mirrors the wallclock sweep on the supervised
         # executor (supervision overhead, no faults firing).
-        assert supervised == wallclock
-        assert smoke_shards == [1, 4]
+        assert shards_of(full, "supervised") == [1, 2, 4, 8]
+        # The partitioned tier repeats both sweeps (serial counters,
+        # process wall-clock).
+        assert shards_of(full, "serial", partitioned=True) == [1, 2, 4, 8]
+        assert shards_of(full, "process", partitioned=True) == [1, 2, 4, 8]
+        assert shards_of(smoke, "serial") == [1, 4]
+        assert shards_of(smoke, "serial", partitioned=True) == [1, 4]
         for case in smoke:
             assert case.executor == "serial"  # smoke stays deterministic
         key_prefix = {
-            "serial": "shard_scaling",
-            "process": "shard_scaling_wallclock",
-            "supervised": "fault_recovery",
+            (False, "serial"): "shard_scaling",
+            (False, "process"): "shard_scaling_wallclock",
+            (False, "supervised"): "fault_recovery",
+            (True, "serial"): "partition_scaling",
+            (True, "process"): "partition_scaling_wallclock",
         }
         for case in full:
             if case.shards:
-                prefix = key_prefix[case.executor]
+                prefix = key_prefix[(case.partitioned, case.executor)]
                 assert case.key == f"{prefix}/S={case.shards}"
                 assert case.workload == "network"
+
+    def test_high_density_cases_one_arm_per_backend(self):
+        from repro.grid.kernels import available_backends
+
+        expected = {b for b in available_backends() if b != "array"}
+        cases = {
+            c.key: c for c in build_suite(0.01) if c.key.startswith("high_density/")
+        }
+        assert set(cases) == {f"high_density/{b}" for b in expected}
+        for case in cases.values():
+            assert case.backend in expected
+            assert not case.shards
+            # The point of the family: occupancy well above the scalar
+            # grid, so the vector arm's fast path actually engages.
+            assert case.grid < build_suite(0.01)[0].grid
+
+    def test_run_case_backend_arm_is_cpm_only_and_records_backend(self):
+        case = next(
+            c for c in build_suite(0.002) if c.key == "high_density/list"
+        )
+        workload = case.materialize()
+        row = run_case(case, workload, "CPM")
+        assert row.params["backend"] == "list"
+        assert row.metrics["cell_scans"] > 0
+
+    def test_run_case_partitioned_counter_exact_with_traffic_metrics(self):
+        cases = {c.key: c for c in build_suite(0.002, suite="smoke")}
+        part = cases["partition_scaling/S=4"]
+        single = SuiteCase(
+            key="single", workload=part.workload, spec=part.spec, grid=part.grid
+        )
+        workload = part.materialize()
+        single_row = run_case(single, workload, "CPM")
+        part_row = run_case(part, workload, "CPM")
+        # Counter-exact against the single engine: the partitioned tier
+        # reproduces the paper metrics byte-for-byte.
+        for metric in ("cell_scans", "cell_accesses_per_query_per_ts",
+                       "objects_scanned", "results_changed"):
+            assert part_row.metrics[metric] == single_row.metrics[metric]
+        # ...plus the partition traffic counters, which gate at 2%.
+        for key in ("partition_fanout_rows", "partition_sync_rows",
+                    "partition_pulls", "partition_pull_objects",
+                    "partition_migrations"):
+            assert key in part_row.metrics
+        assert part_row.metrics["partition_sync_rows"] > 0
+        assert part_row.params["partitioned"] is True
+        assert "partition_fanout_rows" not in single_row.metrics
 
     def test_micro_bench_rows(self):
         from repro.perf.micro import render_micro, run_micro

@@ -1,0 +1,320 @@
+"""Unit tests for the partition subsystem: sentinels, pulls, sync rows,
+eviction, live query migration, full-fidelity capture, and the
+``ShardPlan`` edge cases surfaced by halo addressing."""
+
+import pytest
+
+from repro.core.cpm import CPMMonitor
+from repro.obs.metrics import MetricsRegistry
+from repro.service.executor import SerialShardExecutor
+from repro.service.partition import (
+    PartitionedMonitor,
+    PartitionShardEngine,
+    _HaloCell,
+)
+from repro.service.sharding import ShardPlan
+from repro.updates import ObjectUpdate, QueryUpdate, QueryUpdateKind
+
+CELLS = 8
+
+
+def _move(oid, old, new):
+    return ObjectUpdate(oid, old, new)
+
+
+# ----------------------------------------------------------------------
+# ShardPlan edge cases (halo addressing relies on all three)
+# ----------------------------------------------------------------------
+
+
+class TestShardPlanEdges:
+    def test_single_column_blocks(self):
+        plan = ShardPlan.build(CELLS, CELLS)
+        for s in range(CELLS):
+            assert plan.owned_columns(s) == range(s, s + 1)
+            assert plan.shard_of_column(s) == s
+
+    def test_more_shards_than_columns_refused(self):
+        with pytest.raises(ValueError, match="cannot split"):
+            ShardPlan.build(CELLS + 1, CELLS)
+
+    def test_block_edge_columns(self):
+        plan = ShardPlan.build(3, CELLS)  # blocks 3/3/2: starts 0, 3, 6
+        assert plan.col_starts == (0, 3, 6)
+        for s in range(1, plan.n_shards):
+            edge = plan.col_starts[s]
+            assert plan.shard_of_column(edge) == s
+            assert plan.shard_of_column(edge - 1) == s - 1
+
+    def test_boundary_points_on_block_edges(self):
+        plan = ShardPlan.build(4, CELLS)
+        for s in range(1, plan.n_shards):
+            x = plan.x0 + plan.col_starts[s] * plan.delta
+            # A point exactly on a block's left edge belongs to that block
+            # (cell_index floors), and a nudge below belongs to the left
+            # neighbor — the bisect must not be off by one either way.
+            assert plan.shard_of_point(x, 0.5) == s
+            assert plan.shard_of_point(x - 1e-9, 0.5) == s - 1
+
+    def test_clamping_at_workspace_edges(self):
+        plan = ShardPlan.build(4, CELLS)
+        assert plan.shard_of_point(-10.0, 0.5) == 0
+        assert plan.shard_of_point(10.0, 0.5) == plan.n_shards - 1
+        assert plan.shard_of_column(-3) == 0
+        assert plan.shard_of_column(plan.cols + 3) == plan.n_shards - 1
+
+
+# ----------------------------------------------------------------------
+# Shard engine: sentinels, pulls, leave rows
+# ----------------------------------------------------------------------
+
+
+class TestPartitionShardEngine:
+    def test_untracked_columns_hold_sentinels(self):
+        engine = PartitionShardEngine(CELLS, shard=0, track_lo=0, track_hi=4)
+        grid = engine._grid
+        for i in range(grid.cols):
+            for j in range(grid.rows):
+                cell = grid._cells[i * grid.rows + j]
+                if i < 4:
+                    assert cell is None
+                else:
+                    assert type(cell) is _HaloCell
+
+    def test_sentinel_access_pulls_and_registers(self):
+        engine = PartitionShardEngine(CELLS, shard=0, track_lo=0, track_hi=4)
+        pulled = []
+
+        def fake_pull(cid):
+            pulled.append(cid)
+            return (7,), (0.9,), (0.5,)
+
+        engine.bind_pull_transport(fake_pull)
+        grid = engine._grid
+        cid = grid.cell_id(0.9, 0.5)
+        cell = grid._cells[cid]
+        assert list(cell.oids) == [7]  # attribute access materializes
+        assert pulled == [cid]
+        assert cid in engine._dyn_tracked
+        assert engine._object_cells[7] == cid
+        assert type(grid._cells[cid]) is not _HaloCell
+        # Install charges no counters: the single engine never performs
+        # this storage motion.
+        assert engine.stats.inserts == 0 and engine.stats.cell_scans == 0
+
+    def test_unbound_pull_raises(self):
+        engine = PartitionShardEngine(CELLS, shard=0, track_lo=0, track_hi=4)
+        cid = engine._grid.cell_id(0.9, 0.5)
+        with pytest.raises(RuntimeError, match="no pull transport"):
+            _ = engine._grid._cells[cid].oids
+
+    def test_dense_store_required(self):
+        with pytest.raises(ValueError, match="dense"):
+            PartitionShardEngine(2048, shard=0, track_lo=0, track_hi=1)
+
+
+# ----------------------------------------------------------------------
+# Coordinator: fan-out, sync rows, eviction, interest release
+# ----------------------------------------------------------------------
+
+
+class TestPartitionedMonitor:
+    def test_rows_fan_only_to_tracking_shards(self):
+        part = PartitionedMonitor(4, CELLS, halo=0)
+        part.load_objects([(1, (0.05, 0.5)), (2, (0.95, 0.5))])
+        engines = part.executor.monitors()
+        assert engines[0].object_count == 1
+        assert engines[3].object_count == 1
+        assert engines[1].object_count == 0
+        # A same-cell move touches one column: exactly one shard sees it.
+        before = part.partition_stats()
+        part.process([_move(1, (0.05, 0.5), (0.06, 0.5))])
+        after = part.partition_stats()
+        assert after["fanout_rows"] - before["fanout_rows"] == 1
+        assert after["sync_rows"] == before["sync_rows"]
+
+    def test_halo_columns_receive_border_updates(self):
+        part = PartitionedMonitor(2, CELLS, halo=1)
+        # Column 3 is owned by shard 0 but inside shard 1's halo.
+        x_owned_0 = 3.5 / CELLS
+        part.load_objects([(1, (x_owned_0, 0.5))])
+        engines = part.executor.monitors()
+        assert engines[0].object_count == 1
+        assert engines[1].object_count == 1  # halo copy
+        stats = part.partition_stats()
+        assert stats["sync_rows"] == 0  # load is not a cycle
+        part.process([_move(1, (x_owned_0, 0.5), (x_owned_0, 0.6))])
+        assert part.partition_stats()["sync_rows"] == 1  # second copy synced
+
+    def test_store_counters_are_canonical(self):
+        single = CPMMonitor(CELLS)
+        part = PartitionedMonitor(4, CELLS, halo=1)
+        objs = [(i, (i / 10 % 1.0, 0.3)) for i in range(8)]
+        for m in (single, part):
+            m.load_objects(objs)
+            m.install_query(1, (0.42, 0.33), 3)
+        ups = [_move(0, (0.0, 0.3), (0.77, 0.4)), ObjectUpdate(9, None, (0.5, 0.5))]
+        assert part.process(ups) == single.process(ups)
+        assert part.stats.snapshot() == single.stats.snapshot()
+
+    def test_pulled_cells_evicted_when_unmarked(self):
+        part = PartitionedMonitor(2, CELLS, halo=0)
+        part.load_objects([(i, (i / 16 % 1.0, 0.5)) for i in range(16)])
+        # A query on shard 0 whose k spans the whole workspace: the
+        # search pulls far columns, then termination releases them.
+        part.install_query(1, (0.1, 0.5), 12)
+        stats = part.partition_stats()
+        assert stats["pulls"] > 0
+        assert part._dyn_mask  # interest registered
+        engines = part.executor.monitors()
+        assert engines[0]._dyn_tracked
+        part.process([], [QueryUpdate(1, QueryUpdateKind.TERMINATE)])
+        assert not engines[0]._dyn_tracked  # evicted at cycle finish
+        assert not part._dyn_mask  # interest released
+        assert part.partition_stats()["evictions"] > 0
+
+    def test_query_updates_only_cycle(self):
+        single = CPMMonitor(CELLS)
+        part = PartitionedMonitor(2, CELLS)
+        objs = [(i, (i / 8 % 1.0, 0.5)) for i in range(8)]
+        for m in (single, part):
+            m.load_objects(objs)
+        qus = [QueryUpdate(1, QueryUpdateKind.INSERT, (0.3, 0.5), 2)]
+        assert part.process_deltas([], qus) == single.process_deltas([], qus)
+        assert part.stats.snapshot() == single.stats.snapshot()
+
+    def test_close_context_manager(self):
+        with PartitionedMonitor(2, CELLS) as part:
+            part.load_objects([(1, (0.2, 0.2))])
+            assert part.object_count == 1
+
+
+# ----------------------------------------------------------------------
+# Live query migration
+# ----------------------------------------------------------------------
+
+
+class TestQueryMigration:
+    def _setup(self, metrics=None, halo=1):
+        part = PartitionedMonitor(2, CELLS, halo=halo, metrics=metrics)
+        single = CPMMonitor(CELLS)
+        objs = [(i, ((i % 16) / 16 + 1 / 32, (i // 16) / 4 + 0.1)) for i in range(48)]
+        for m in (single, part):
+            m.load_objects(objs)
+            m.install_query(1, (0.45, 0.5), 3)
+        return part, single
+
+    def test_cross_boundary_move_migrates(self):
+        registry = MetricsRegistry()
+        part, single = self._setup(metrics=registry)
+        assert part.query_shard(1) == 0
+        qus = [QueryUpdate(1, QueryUpdateKind.MOVE, (0.55, 0.5), 3)]
+        assert part.process_deltas([], qus) == single.process_deltas([], qus)
+        assert part.query_shard(1) == 1
+        assert part.partition_stats()["migrations"] == 1
+        assert registry.snapshot()["repro_query_migrations_total"] == 1
+        assert part.result_table() == single.result_table()
+        assert part.stats.snapshot() == single.stats.snapshot()
+
+    def test_short_move_runs_pull_free(self):
+        """The carried visit list prefetches the neighborhood, so a short
+        cross-boundary move re-searches without a single on-demand pull."""
+        part, single = self._setup()
+        pulls_before = part.partition_stats()["pulls"]
+        qus = [QueryUpdate(1, QueryUpdateKind.MOVE, (0.52, 0.5), 3)]
+        part.process([], qus)
+        single.process([], qus)
+        stats = part.partition_stats()
+        assert stats["migrations"] == 1
+        assert stats["prefetch_cells"] > 0
+        assert stats["pulls"] == pulls_before
+        assert part.result_table() == single.result_table()
+        assert part.stats.snapshot() == single.stats.snapshot()
+
+    def test_same_shard_move_does_not_migrate(self):
+        part, single = self._setup()
+        qus = [QueryUpdate(1, QueryUpdateKind.MOVE, (0.40, 0.5), 3)]
+        assert part.process_deltas([], qus) == single.process_deltas([], qus)
+        assert part.partition_stats()["migrations"] == 0
+        assert part.query_shard(1) == 0
+
+    def test_migrate_out_in_round_trip_carries_bookkeeping(self):
+        part, _ = self._setup()
+        executor = part.executor
+        src = part.query_shard(1)
+        engines = executor.monitors()
+        state_before = engines[src]._queries[1]
+        entries = state_before.nn.entries()
+        visit = list(state_before.visit_cids)
+        carried = part._call(src, "migrate_out_query", 1)
+        assert carried["entries"] == entries
+        assert carried["visit_cids"] == visit
+        assert 1 not in engines[src]._queries
+        dst = 1 - src
+        prefetch = part._build_prefetch(carried, dst)
+        part._call(dst, "migrate_in_query", carried, prefetch)
+        state_after = engines[dst]._queries[1]
+        assert state_after.nn.entries() == entries
+        assert list(state_after.visit_cids) == visit
+        assert state_after.marked_upto == state_before.marked_upto
+        assert state_after.best_dist == state_before.best_dist
+        part._query_shard[1] = dst
+        assert part.result(1) == entries
+
+    def test_stacked_updates_fall_back_to_split(self):
+        """Two updates for one query in a batch use the inherited
+        TERMINATE+INSERT routing — still byte-identical, not migrated."""
+        part, single = self._setup()
+        qus = [
+            QueryUpdate(1, QueryUpdateKind.MOVE, (0.55, 0.5), 3),
+            QueryUpdate(1, QueryUpdateKind.MOVE, (0.45, 0.5), 3),
+        ]
+        assert part.process_deltas([], qus) == single.process_deltas([], qus)
+        assert part.partition_stats()["migrations"] == 0
+        assert part.result_table() == single.result_table()
+
+
+# ----------------------------------------------------------------------
+# Full-fidelity capture/restore
+# ----------------------------------------------------------------------
+
+
+class TestCaptureRestore:
+    def test_round_trip_is_counter_exact(self):
+        part = PartitionedMonitor(2, CELLS, executor=SerialShardExecutor())
+        part.load_objects([(i, (i / 12 % 1.0, 0.4)) for i in range(12)])
+        part.install_query(1, (0.3, 0.4), 4)
+        part.process([_move(2, (2 / 12, 0.4), (0.31, 0.41))])
+        engines = part.executor.monitors()
+        for shard, engine in enumerate(engines):
+            snap = engine.capture_state()
+            fresh = PartitionShardEngine(
+                CELLS,
+                shard=shard,
+                track_lo=engine.track_lo,
+                track_hi=engine.track_hi,
+            )
+            fresh.restore_state(snap)
+            assert fresh.result_table() == engine.result_table()
+            assert fresh.object_count == engine.object_count
+            assert fresh._dyn_tracked == engine._dyn_tracked
+            assert fresh._grid._mark_count == engine._grid._mark_count
+            q_old = engine._queries.get(1)
+            q_new = fresh._queries.get(1)
+            assert (q_old is None) == (q_new is None)
+            if q_old is not None:
+                assert list(q_new.visit_cids) == list(q_old.visit_cids)
+                assert q_new.marked_upto == q_old.marked_upto
+                assert list(q_new.heap._heap) == list(q_old.heap._heap)
+
+    def test_restore_refuses_populated_engine(self):
+        engine = PartitionShardEngine(CELLS, shard=0, track_lo=0, track_hi=CELLS)
+        engine.load_objects([(1, (0.2, 0.2))])
+        snap = engine.capture_state()
+        with pytest.raises(RuntimeError, match="empty engine"):
+            engine.restore_state(snap)
+
+    def test_restore_refuses_foreign_capture(self):
+        engine = PartitionShardEngine(CELLS, shard=0, track_lo=0, track_hi=CELLS)
+        with pytest.raises(ValueError, match="partition captures"):
+            engine.restore_state({"cells": {}})
